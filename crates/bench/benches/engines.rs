@@ -1,0 +1,103 @@
+//! Storage-engine micro-benchmarks: the raw cost of one append batch and
+//! one adjacency lookup per backend, outside the cluster machinery. These
+//! isolate the engine-level differences the figure benchmarks measure
+//! end-to-end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphdb::{GraphDb, GraphDbExt};
+use mssg_core::backend::{open_backend, BackendKind, BackendOptions};
+use mssg_types::{Edge, Gid};
+use simio::IoStats;
+use std::path::PathBuf;
+
+const VERTICES: u64 = 500;
+const EDGES: usize = 5_000;
+
+fn workload() -> Vec<Edge> {
+    let mut rng = graphgen::Xoshiro256::seeded(2006);
+    (0..EDGES)
+        .map(|_| {
+            let a = rng.next_below(VERTICES);
+            let mut b = rng.next_below(VERTICES);
+            while b == a {
+                b = rng.next_below(VERTICES);
+            }
+            Edge::of(a, b)
+        })
+        .collect()
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mssg-engine-bench-{tag}"));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn open(kind: BackendKind, tag: &str) -> Box<dyn GraphDb + Send> {
+    open_backend(
+        kind,
+        &fresh_dir(&format!("{}-{tag}", kind.name())),
+        &BackendOptions::default(),
+        IoStats::new(),
+    )
+    .expect("open backend")
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let edges = workload();
+    let mut group = c.benchmark_group("engine_ingest_5k_edges");
+    group.sample_size(10);
+    for kind in BackendKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut db = open(kind, "ingest");
+                db.store_edges(&edges).unwrap();
+                db.flush().unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_point_lookup(c: &mut Criterion) {
+    let edges = workload();
+    let mut group = c.benchmark_group("engine_adjacency_lookup");
+    group.sample_size(10);
+    // StreamDB is excluded: its point lookup is a full scan by design and
+    // its batch API is what the search algorithms use.
+    for kind in BackendKind::FIGURE_FIVE {
+        let mut db = open(kind, "lookup");
+        db.store_edges(&edges).unwrap();
+        db.flush().unwrap();
+        let mut db = db;
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, _| {
+            let mut v = 0u64;
+            b.iter(|| {
+                v = (v + 17) % VERTICES;
+                db.neighbors(Gid::new(v)).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_hub_append(c: &mut Criterion) {
+    // Appends to one ever-growing hub — grDB's chain walk, the B-tree's
+    // tail chunk, the SQL engine's UPDATE path.
+    let mut group = c.benchmark_group("engine_hub_append_1k");
+    group.sample_size(10);
+    for kind in [BackendKind::Grdb, BackendKind::BerkeleyDb, BackendKind::MySql] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut db = open(kind, "hub");
+                let batch: Vec<Edge> = (0..1000).map(|i| Edge::of(0, i + 1)).collect();
+                db.store_edges(&batch).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(engines, bench_ingest, bench_point_lookup, bench_hub_append);
+criterion_main!(engines);

@@ -1,0 +1,88 @@
+//! Regenerates the thesis' tables and figures.
+//!
+//! ```text
+//! figures all                      # every experiment at default scale
+//! figures fig5_4                   # one experiment
+//! figures fig5_4 --scale 512 --queries 10 --nodes 8 --seed 1
+//! figures list                     # available experiment ids
+//! figures all --markdown out.md    # also write Markdown (for EXPERIMENTS.md)
+//! ```
+
+use mssg_bench::experiments::{self, ExpConfig};
+use std::io::Write;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: figures <experiment|all|list> [--scale N] [--queries N] \
+         [--nodes N] [--seed N] [--markdown FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let which = args[0].clone();
+    let mut cfg = ExpConfig::default();
+    let mut markdown: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        let need_val = |i: usize| -> &str {
+            args.get(i + 1).map(String::as_str).unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--scale" => cfg.scale = need_val(i).parse().unwrap_or_else(|_| usage()),
+            "--queries" => cfg.queries = need_val(i).parse().unwrap_or_else(|_| usage()),
+            "--nodes" => cfg.nodes = need_val(i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.seed = need_val(i).parse().unwrap_or_else(|_| usage()),
+            "--markdown" => markdown = Some(need_val(i).to_string()),
+            _ => usage(),
+        }
+        i += 2;
+    }
+
+    let experiments = experiments::all_experiments();
+    if which == "list" {
+        for (name, _) in &experiments {
+            println!("{name}");
+        }
+        return;
+    }
+
+    let selected: Vec<_> = if which == "all" {
+        experiments
+    } else {
+        let found: Vec<_> =
+            experiments.into_iter().filter(|(n, _)| *n == which).collect();
+        if found.is_empty() {
+            eprintln!("unknown experiment {which:?}; try `figures list`");
+            std::process::exit(2);
+        }
+        found
+    };
+
+    let mut md = String::new();
+    for (name, f) in selected {
+        eprintln!(">> running {name} (scale 1/{}, {} queries)...", cfg.scale, cfg.queries);
+        let started = std::time::Instant::now();
+        match f(&cfg) {
+            Ok(table) => {
+                println!("{table}");
+                eprintln!("   {name} finished in {:.1?}\n", started.elapsed());
+                md.push_str(&table.to_markdown());
+                md.push('\n');
+            }
+            Err(e) => {
+                eprintln!("experiment {name} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = markdown {
+        let mut f = std::fs::File::create(&path).expect("create markdown file");
+        f.write_all(md.as_bytes()).expect("write markdown");
+        eprintln!("markdown written to {path}");
+    }
+}

@@ -1,0 +1,162 @@
+//! Result tables: one per figure/table, printable as aligned text or
+//! Markdown (EXPERIMENTS.md is generated from these).
+
+use std::fmt;
+
+/// A rendered experiment result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table {
+    /// Experiment id and description, e.g. "Figure 5.4 — search, PubMed-S".
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; panics if the width disagrees with the headers.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch in {}", self.title);
+        self.rows.push(cells);
+    }
+
+    /// Column widths for aligned text output.
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.len());
+            }
+        }
+        w
+    }
+
+    /// Renders as GitHub-flavoured Markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        let w = self.widths();
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, "{:<width$}  ", c, width = w[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let rule: Vec<String> = w.iter().map(|&n| "-".repeat(n)).collect();
+        line(f, &rule)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a duration in adaptive units.
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+/// Formats a rate with thousands grouping.
+pub fn fmt_rate(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.2} M/s", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1} K/s", v / 1e3)
+    } else {
+        format!("{v:.0} /s")
+    }
+}
+
+/// Formats a count with thousands separators.
+pub fn fmt_count(v: u64) -> String {
+    let s = v.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn aligned_text_output() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(vec!["grDB".into(), "1.23 s".into()]);
+        t.row(vec!["BerkeleyDB".into(), "2".into()]);
+        let s = t.to_string();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("grDB"));
+        // Alignment: both value columns start at the same offset.
+        let lines: Vec<&str> = s.lines().collect();
+        let col = lines[1].find("value").unwrap();
+        assert_eq!(lines[3].find("1.23 s").unwrap(), col);
+    }
+
+    #[test]
+    fn markdown_output() {
+        let mut t = Table::new("Fig X", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("### Fig X"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("Bad", &["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.00 ms");
+        assert_eq!(fmt_duration(Duration::from_micros(7)), "7.0 µs");
+        assert_eq!(fmt_rate(2_500_000.0), "2.50 M/s");
+        assert_eq!(fmt_rate(1500.0), "1.5 K/s");
+        assert_eq!(fmt_rate(42.0), "42 /s");
+        assert_eq!(fmt_count(1234567), "1,234,567");
+        assert_eq!(fmt_count(12), "12");
+    }
+}

@@ -1,0 +1,167 @@
+//! Workload construction shared by every experiment: build a cluster,
+//! ingest a preset graph, sample query pairs, bucket results by path
+//! length (the x-axis of the search figures).
+
+use graphgen::{GraphPreset, Workload, Xoshiro256};
+use mssg_core::{
+    BackendKind, BackendOptions, BfsOptions, IngestOptions, IngestReport, MssgCluster,
+    SearchMetrics,
+};
+use mssg_types::{Gid, Result};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Creates a fresh cluster directory (wiping any previous contents).
+pub fn fresh_dir(root: &Path, tag: &str) -> PathBuf {
+    let d = root.join(tag);
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("create bench dir");
+    d
+}
+
+/// Builds a cluster and ingests the workload's edge stream into it.
+pub fn build_and_ingest(
+    dir: &Path,
+    workload: &Workload,
+    kind: BackendKind,
+    nodes: usize,
+    backend: &BackendOptions,
+    ingest_opts: &IngestOptions,
+) -> Result<(MssgCluster, IngestReport)> {
+    let mut cluster = MssgCluster::new(dir, nodes, kind, backend)?;
+    let report = mssg_core::ingest::ingest(&mut cluster, workload.edge_stream(), ingest_opts)?;
+    Ok((cluster, report))
+}
+
+/// Samples `n` random (source, dest) query pairs over the workload's
+/// vertex space, per the paper's "100 random BFS queries" methodology.
+pub fn sample_queries(workload: &Workload, n: usize, seed: u64) -> Vec<(Gid, Gid)> {
+    let mut rng = Xoshiro256::seeded(seed ^ 0x5eed_cafe);
+    let v = workload.vertices();
+    (0..n)
+        .map(|_| {
+            let s = rng.next_below(v);
+            let mut d = rng.next_below(v);
+            while d == s {
+                d = rng.next_below(v);
+            }
+            (Gid::new(s), Gid::new(d))
+        })
+        .collect()
+}
+
+/// Runs a batch of queries, returning each query's metrics.
+pub fn run_queries(
+    cluster: &MssgCluster,
+    queries: &[(Gid, Gid)],
+    options: &BfsOptions,
+) -> Result<Vec<SearchMetrics>> {
+    queries
+        .iter()
+        .map(|&(s, d)| mssg_core::bfs::bfs(cluster, s, d, options))
+        .collect()
+}
+
+/// Aggregated per-path-length statistics — one row of a search figure.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Bucket {
+    /// Queries that resolved to this path length.
+    pub count: usize,
+    /// Mean wall-clock time.
+    pub avg_time: Duration,
+    /// Mean adjacency entries scanned.
+    pub avg_edges: f64,
+    /// Mean aggregate scan rate (edges/s).
+    pub avg_edges_per_sec: f64,
+    /// Mean block reads per query.
+    pub avg_block_reads: f64,
+    /// Mean modeled 2006-disk time per query (seek + transfer model).
+    pub avg_modeled_io: Duration,
+}
+
+/// Buckets query metrics by found path length (unreachable queries are
+/// dropped, as in the paper's averaging).
+pub fn bucket_by_path_length(results: &[SearchMetrics]) -> BTreeMap<u32, Bucket> {
+    let mut acc: BTreeMap<u32, Vec<&SearchMetrics>> = BTreeMap::new();
+    for m in results {
+        if let Some(len) = m.path_length {
+            acc.entry(len).or_default().push(m);
+        }
+    }
+    acc.into_iter()
+        .map(|(len, ms)| {
+            let n = ms.len() as f64;
+            let total_time: Duration = ms.iter().map(|m| m.elapsed).sum();
+            let bucket = Bucket {
+                count: ms.len(),
+                avg_time: total_time / ms.len() as u32,
+                avg_edges: ms.iter().map(|m| m.edges_scanned as f64).sum::<f64>() / n,
+                avg_edges_per_sec: ms.iter().map(|m| m.edges_per_sec()).sum::<f64>() / n,
+                avg_block_reads: ms.iter().map(|m| m.io.block_reads as f64).sum::<f64>() / n,
+                avg_modeled_io: ms
+                    .iter()
+                    .map(|m| simio::DiskCostModel::sata_2006().modeled_time(&m.io))
+                    .sum::<Duration>()
+                    / ms.len() as u32,
+            };
+            (len, bucket)
+        })
+        .collect()
+}
+
+/// The workload presets at an experiment scale.
+pub fn preset(preset: GraphPreset, scale: u64, seed: u64) -> Workload {
+    preset.workload(scale, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mssg_core::ingest::DeclusterKind;
+
+    fn root() -> PathBuf {
+        let d = std::env::temp_dir()
+            .join(format!("bench-workloads-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn queries_are_deterministic_and_distinct() {
+        let w = preset(GraphPreset::PubMedS, 8192, 1);
+        let a = sample_queries(&w, 10, 7);
+        let b = sample_queries(&w, 10, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|(s, d)| s != d));
+        let c = sample_queries(&w, 10, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn end_to_end_small_experiment() {
+        let w = preset(GraphPreset::PubMedS, 16384, 2);
+        let dir = fresh_dir(&root(), "e2e");
+        let (cluster, report) = build_and_ingest(
+            &dir,
+            &w,
+            BackendKind::HashMap,
+            4,
+            &BackendOptions::default(),
+            &IngestOptions { declustering: DeclusterKind::VertexHash, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(report.edges, w.edges());
+        let queries = sample_queries(&w, 8, 3);
+        let results = run_queries(&cluster, &queries, &BfsOptions::default()).unwrap();
+        assert_eq!(results.len(), 8);
+        let buckets = bucket_by_path_length(&results);
+        // A scale-free graph at this density is largely connected: most
+        // random pairs resolve.
+        let resolved: usize = buckets.values().map(|b| b.count).sum();
+        assert!(resolved >= 4, "only {resolved}/8 queries resolved");
+        for b in buckets.values() {
+            assert!(b.avg_edges >= 1.0);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! The simulated MSSG cluster.
+//!
+//! A cluster is `p` back-end logical nodes (threads when a service is
+//! running), each owning one GraphDB instance rooted in its own directory —
+//! its "local disk" — plus per-node I/O statistics. Nothing is shared
+//! between nodes except messages, mirroring the distributed-memory target
+//! (DESIGN.md §2).
+
+use crate::backend::{open_backend, BackendKind, BackendOptions};
+use graphdb::GraphDb;
+use mssg_types::{Gid, Result};
+use parking_lot::Mutex;
+use simio::{IoSnapshot, IoStats};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// A back-end node's GraphDB, shareable with the filter threads that run
+/// services over it. Only the filter placed on the owning node touches it
+/// during a run; the mutex makes that safe, not concurrent.
+pub type SharedBackend = Arc<Mutex<Box<dyn GraphDb + Send>>>;
+
+/// The MSSG cluster: back-end storage nodes and their databases.
+pub struct MssgCluster {
+    backends: Vec<SharedBackend>,
+    stats: Vec<Arc<IoStats>>,
+    kind: BackendKind,
+    dir: PathBuf,
+    /// Vertex-owner map published by a `VertexRoundRobin` ingestion; used
+    /// by searches that may consult the ingestion service's knowledge.
+    pub(crate) owner_map: Option<Arc<HashMap<Gid, usize>>>,
+    /// Set by an edge-granularity ingestion: ownership is unknowable, so
+    /// searches must broadcast their fringes (Algorithm 1's third case).
+    pub(crate) broadcast_fringe: bool,
+}
+
+impl MssgCluster {
+    /// Creates a cluster of `nodes` back-ends with `kind` storage, rooted
+    /// at `dir/node-<i>/`.
+    pub fn new(
+        dir: &Path,
+        nodes: usize,
+        kind: BackendKind,
+        options: &BackendOptions,
+    ) -> Result<MssgCluster> {
+        assert!(nodes > 0, "cluster needs at least one back-end node");
+        let mut backends = Vec::with_capacity(nodes);
+        let mut stats = Vec::with_capacity(nodes);
+        for i in 0..nodes {
+            let node_stats = IoStats::new();
+            let db = open_backend(
+                kind,
+                &dir.join(format!("node-{i}")),
+                options,
+                Arc::clone(&node_stats),
+            )?;
+            backends.push(Arc::new(Mutex::new(db)));
+            stats.push(node_stats);
+        }
+        Ok(MssgCluster {
+            backends,
+            stats,
+            kind,
+            dir: dir.to_path_buf(),
+            owner_map: None,
+            broadcast_fringe: false,
+        })
+    }
+
+    /// Number of back-end nodes.
+    pub fn nodes(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// The storage engine in use.
+    pub fn kind(&self) -> BackendKind {
+        self.kind
+    }
+
+    /// The cluster's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Shared handle to node `i`'s backend.
+    pub fn backend(&self, i: usize) -> SharedBackend {
+        Arc::clone(&self.backends[i])
+    }
+
+    /// Runs a closure against node `i`'s backend.
+    pub fn with_backend<T>(
+        &self,
+        i: usize,
+        f: impl FnOnce(&mut (dyn GraphDb + Send)) -> T,
+    ) -> T {
+        let mut guard = self.backends[i].lock();
+        f(guard.as_mut())
+    }
+
+    /// Node `i`'s I/O statistics handle.
+    pub fn io_stats(&self, i: usize) -> Arc<IoStats> {
+        Arc::clone(&self.stats[i])
+    }
+
+    /// Aggregate I/O snapshot across all nodes.
+    pub fn io_snapshot(&self) -> IoSnapshot {
+        self.stats
+            .iter()
+            .map(|s| s.snapshot())
+            .fold(IoSnapshot::default(), |acc, s| acc.merged(&s))
+    }
+
+    /// Resets every node's I/O counters (between experiment phases).
+    pub fn reset_io(&self) {
+        for s in &self.stats {
+            s.reset();
+        }
+    }
+
+    /// Flushes every backend to disk.
+    pub fn flush_all(&self) -> Result<()> {
+        for b in &self.backends {
+            b.lock().flush()?;
+        }
+        Ok(())
+    }
+
+    /// Total directed adjacency entries stored across the cluster.
+    pub fn total_entries(&self) -> u64 {
+        self.backends.iter().map(|b| b.lock().stored_entries()).sum()
+    }
+
+    /// The owner map published by a vertex-round-robin ingestion, if any.
+    pub fn owner_map(&self) -> Option<&Arc<HashMap<Gid, usize>>> {
+        self.owner_map.as_ref()
+    }
+
+    /// `true` when searches must broadcast fringes (edge granularity).
+    pub fn broadcast_fringe(&self) -> bool {
+        self.broadcast_fringe
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mssg_types::Edge;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir()
+            .join(format!("core-cluster-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn nodes_have_independent_storage() {
+        let dir = tmpdir("indep");
+        let cluster =
+            MssgCluster::new(&dir, 3, BackendKind::HashMap, &BackendOptions::default())
+                .unwrap();
+        cluster.with_backend(0, |db| db.store_edges(&[Edge::of(1, 2)]).unwrap());
+        cluster.with_backend(1, |db| db.store_edges(&[Edge::of(1, 3)]).unwrap());
+        // Node 2 knows nothing about vertex 1.
+        let n2 = cluster.with_backend(2, |db| {
+            use graphdb::GraphDbExt;
+            db.neighbors(Gid::new(1)).unwrap()
+        });
+        assert!(n2.is_empty());
+        assert_eq!(cluster.total_entries(), 2);
+    }
+
+    #[test]
+    fn per_node_directories() {
+        let dir = tmpdir("dirs");
+        let _cluster =
+            MssgCluster::new(&dir, 2, BackendKind::Grdb, &BackendOptions::default()).unwrap();
+        assert!(dir.join("node-0").join("grdb").exists());
+        assert!(dir.join("node-1").join("grdb").exists());
+    }
+
+    #[test]
+    fn io_snapshot_aggregates() {
+        let dir = tmpdir("io");
+        let cluster =
+            MssgCluster::new(&dir, 2, BackendKind::StreamDb, &BackendOptions::default())
+                .unwrap();
+        cluster.with_backend(0, |db| {
+            db.store_edges(&[Edge::of(0, 1)]).unwrap();
+            db.flush().unwrap();
+        });
+        cluster.with_backend(1, |db| {
+            db.store_edges(&[Edge::of(2, 3)]).unwrap();
+            db.flush().unwrap();
+        });
+        let snap = cluster.io_snapshot();
+        assert_eq!(snap.bytes_written, 32);
+        cluster.reset_io();
+        assert_eq!(cluster.io_snapshot().bytes_written, 0);
+    }
+}

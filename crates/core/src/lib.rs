@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! `mssg-core` — the MSSG framework: one or more front-end nodes for
+//! ingestion and queries, a set of back-end nodes owning GraphDB instances,
+//! and the services that tie them together over the DataCutter substrate
+//! (thesis chapter 3).
+//!
+//! - [`backend`] — the GraphDB service registry: open any of the six
+//!   storage engines behind one enum,
+//! - [`cluster`] — [`MssgCluster`], the simulated cluster: one thread per
+//!   back-end node, each with its own GraphDB instance rooted in its own
+//!   directory,
+//! - [`decluster`] — the Ingestion service's clustering/declustering
+//!   strategies (vertex-hash, vertex-round-robin, edge-round-robin),
+//! - [`ingest`] — the streaming Ingestion service: windows of edges flow
+//!   from front-end filters to back-end store filters,
+//! - [`visited`] — in-memory and external-memory visited structures for
+//!   the search algorithms (the Figure 5.8/5.9 ablation),
+//! - [`bfs`] — parallel out-of-core BFS (Algorithm 1) and its pipelined
+//!   variant (Algorithm 2), implemented as DataCutter filter graphs,
+//! - [`query`] — the Query service: a registry of analyses executable by
+//!   name.
+
+pub mod backend;
+pub mod bfs;
+pub mod cluster;
+pub mod components;
+pub mod decluster;
+pub mod degrees;
+pub mod ingest;
+pub mod msf;
+pub mod query;
+pub mod visited;
+
+pub use backend::{BackendKind, BackendOptions};
+pub use bfs::{BfsMode, BfsOptions, SearchMetrics};
+pub use cluster::MssgCluster;
+pub use components::{connected_components, ComponentsOptions, ComponentsResult};
+pub use decluster::Declustering;
+pub use degrees::{degree_distribution, DegreeReport};
+pub use ingest::{ingest_typed, IngestOptions, IngestReport, TypedIngestReport};
+pub use msf::{minimum_spanning_forest, MsfResult};
+pub use query::QueryService;
+pub use visited::VisitedKind;

@@ -1,0 +1,534 @@
+//! Parallel out-of-core minimum spanning forest (Borůvka).
+//!
+//! The thesis names "minimum spanning trees" alongside search and
+//! connected components as the out-of-core algorithm family MSSG exists to
+//! host (chapter 2). This module implements distributed Borůvka over the
+//! same substrate the other analyses use:
+//!
+//! - Edge weights: MSSG stores untyped, unweighted edges, so weights come
+//!   from a deterministic symmetric hash of the endpoints
+//!   ([`edge_weight`]) — every processor computes the same weight without
+//!   communication. (Applications with real weights would store them as
+//!   edge attributes; the algorithm is weight-source-agnostic.)
+//! - Each round, every processor scans its local partition for the
+//!   minimum-weight edge leaving each component and sends the candidates
+//!   to the component's hash owner; owners pick global winners and
+//!   broadcast them; every processor applies the same winner set to a
+//!   replicated union-by-minimum structure, so component labels stay
+//!   identical everywhere without further messages.
+//! - A round with no winners terminates; Borůvka needs O(log V) rounds.
+//!
+//! Ties are broken lexicographically on `(weight, u, v)`, making the
+//! forest unique and testable against a sequential Kruskal oracle.
+
+use crate::cluster::{MssgCluster, SharedBackend};
+use datacutter::{DataBuffer, Filter, FilterContext, GraphBuilder, NetSnapshot, OutPort};
+use mssg_types::{AdjBuffer, Edge, Gid, GraphStorageError, MetaOp, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Deterministic symmetric edge weight: a 64-bit mix of the unordered
+/// endpoint pair (SplitMix64 finalizer).
+pub fn edge_weight(a: Gid, b: Gid) -> u64 {
+    let (lo, hi) = if a <= b { (a.raw(), b.raw()) } else { (b.raw(), a.raw()) };
+    let mut z = lo
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(hi.rotate_left(31))
+        .wrapping_add(0x85eb_ca6b_c2b2_ae35);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Result of a minimum-spanning-forest run.
+#[derive(Clone, Debug)]
+pub struct MsfResult {
+    /// The forest's edges (one per merge; `V - components` in total).
+    pub edges: Vec<Edge>,
+    /// Sum of the forest's edge weights.
+    pub total_weight: u128,
+    /// Number of trees in the forest (= connected components).
+    pub components: u64,
+    /// Distinct vertices.
+    pub vertices: u64,
+    /// Borůvka rounds executed.
+    pub rounds: u32,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+    /// Message traffic.
+    pub net: NetSnapshot,
+}
+
+// Message kinds: [kind:8][round:32][sender:24], as in the other analyses.
+const K_REGISTER: u64 = 0;
+const K_REGISTER_DONE: u64 = 1;
+const K_CANDIDATE: u64 = 2;
+const K_CANDIDATE_DONE: u64 = 3;
+const K_WINNER: u64 = 4;
+const K_WINNER_DONE: u64 = 5;
+
+fn tag(kind: u64, round: u32, sender: usize) -> u64 {
+    (kind << 56) | ((round as u64) << 24) | sender as u64
+}
+
+fn tag_kind(t: u64) -> u64 {
+    t >> 56
+}
+
+fn tag_round(t: u64) -> u32 {
+    ((t >> 24) & 0xffff_ffff) as u32
+}
+
+/// Union-find with union-by-minimum: the root of every set is its smallest
+/// element, so the final partition (and every label) is independent of the
+/// order unions are applied in — the property that lets each processor
+/// apply the winner set independently.
+#[derive(Default)]
+struct MinUnionFind {
+    parent: HashMap<u64, u64>,
+}
+
+impl MinUnionFind {
+    fn insert(&mut self, v: u64) {
+        self.parent.entry(v).or_insert(v);
+    }
+
+    fn find(&mut self, v: u64) -> u64 {
+        let p = *self.parent.get(&v).unwrap_or(&v);
+        if p == v {
+            return v;
+        }
+        let root = self.find(p);
+        self.parent.insert(v, root);
+        root
+    }
+
+    /// Unions the sets of `a` and `b`; the smaller root wins.
+    fn union(&mut self, a: u64, b: u64) {
+        self.insert(a);
+        self.insert(b);
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let (small, large) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.parent.insert(large, small);
+    }
+}
+
+#[derive(Default)]
+struct Outcome {
+    edges: Vec<Edge>,
+    total_weight: u128,
+    vertices: u64,
+    components: u64,
+    rounds: u32,
+    filled: bool,
+}
+
+/// Computes the minimum spanning forest of the stored graph.
+pub fn minimum_spanning_forest(cluster: &MssgCluster) -> Result<MsfResult> {
+    let p = cluster.nodes();
+    let outcome = Arc::new(Mutex::new(Outcome::default()));
+    let mut g = GraphBuilder::new();
+    g.channel_capacity(8192);
+    let backends: Vec<SharedBackend> = (0..p).map(|i| cluster.backend(i)).collect();
+    let outcome2 = Arc::clone(&outcome);
+    let filter = g.add_filter("msf", (0..p).collect(), move |i| {
+        Box::new(MsfFilter { backend: backends[i].clone(), outcome: Arc::clone(&outcome2) })
+    });
+    g.connect(filter, "peers", filter, "peers");
+    let report = g.run()?;
+    let out = outcome.lock();
+    Ok(MsfResult {
+        edges: out.edges.clone(),
+        total_weight: out.total_weight,
+        components: out.components,
+        vertices: out.vertices,
+        rounds: out.rounds,
+        elapsed: report.elapsed,
+        net: report.net,
+    })
+}
+
+struct MsfFilter {
+    backend: SharedBackend,
+    outcome: Arc<Mutex<Outcome>>,
+}
+
+/// A candidate/winner record on the wire: (component, weight, u, v).
+fn encode_records(records: &[(u64, u64, Gid, Gid)]) -> Vec<u64> {
+    let mut words = Vec::with_capacity(records.len() * 4);
+    for &(c, w, u, v) in records {
+        words.extend_from_slice(&[c, w, u.raw(), v.raw()]);
+    }
+    words
+}
+
+fn decode_records(buf: &DataBuffer) -> Result<Vec<(u64, u64, Gid, Gid)>> {
+    let words = buf.words();
+    if words.len() % 4 != 0 {
+        return Err(GraphStorageError::corrupt("MSF record payload misaligned"));
+    }
+    Ok(words
+        .chunks_exact(4)
+        .map(|c| (c[0], c[1], Gid::from_raw(c[2]), Gid::from_raw(c[3])))
+        .collect())
+}
+
+/// Waits for `p` DONE markers of the given phase, feeding data messages to
+/// `on_data`; future-phase messages are stashed.
+fn await_phase(
+    ctx: &mut FilterContext,
+    stash: &mut Vec<DataBuffer>,
+    p: usize,
+    data_kind: u64,
+    done_kind: u64,
+    round: u32,
+    on_data: &mut dyn FnMut(&DataBuffer) -> Result<()>,
+) -> Result<u64> {
+    let mut done = 0usize;
+    let mut sum = 0u64;
+    let mut i = 0;
+    while i < stash.len() {
+        let t = stash[i].tag;
+        if tag_round(t) == round && (tag_kind(t) == data_kind || tag_kind(t) == done_kind) {
+            let msg = stash.remove(i);
+            if tag_kind(msg.tag) == done_kind {
+                done += 1;
+                sum += msg.words().first().copied().unwrap_or(0);
+            } else {
+                on_data(&msg)?;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    while done < p {
+        let Some(msg) = ctx.input("peers")?.recv() else {
+            return Err(GraphStorageError::Unsupported("peer exited during MSF".into()));
+        };
+        let (k, r) = (tag_kind(msg.tag), tag_round(msg.tag));
+        if r == round && k == data_kind {
+            on_data(&msg)?;
+        } else if r == round && k == done_kind {
+            done += 1;
+            sum += msg.words().first().copied().unwrap_or(0);
+        } else {
+            stash.push(msg);
+        }
+    }
+    Ok(sum)
+}
+
+impl Filter for MsfFilter {
+    fn process(&mut self, ctx: &mut FilterContext) -> Result<()> {
+        let me = ctx.copy_index;
+        let p = ctx.copies;
+        let hash_owner = |c: u64| (c % p as u64) as usize;
+        let mut stash: Vec<DataBuffer> = Vec::new();
+
+        // ---- registration: replicate the vertex set everywhere ----
+        let local = {
+            let mut db = self.backend.lock();
+            db.local_vertices()?
+        };
+        {
+            let port = ctx.output("peers")?;
+            let words: Vec<u64> = local.iter().map(|g| g.raw()).collect();
+            port.broadcast(DataBuffer::from_words(tag(K_REGISTER, 0, me), &words))?;
+            port.broadcast(DataBuffer::from_words(tag(K_REGISTER_DONE, 0, me), &[0]))?;
+        }
+        let mut uf = MinUnionFind::default();
+        await_phase(ctx, &mut stash, p, K_REGISTER, K_REGISTER_DONE, 0, &mut |msg| {
+            for w in msg.words() {
+                uf.insert(w);
+            }
+            Ok(())
+        })?;
+        let all_vertices: Vec<u64> = uf.parent.keys().copied().collect();
+
+        // Cache the local adjacency once: Borůvka re-scans edges each round.
+        let local_edges: Vec<(Gid, Gid)> = {
+            let mut db = self.backend.lock();
+            let mut adj = AdjBuffer::new();
+            let mut out = Vec::new();
+            for &v in &local {
+                adj.clear();
+                db.adjacency(v, &mut adj, 0, MetaOp::Ignore)?;
+                for &u in adj.as_slice() {
+                    out.push((v, u));
+                }
+            }
+            out
+        };
+
+        let mut forest: Vec<(u64, Edge)> = Vec::new();
+        let mut rounds = 0u32;
+        for round in 1..=64u32 {
+            rounds = round;
+            // Phase A: local minimum outgoing edge per component.
+            let mut best: HashMap<u64, (u64, Gid, Gid)> = HashMap::new();
+            for &(v, u) in &local_edges {
+                let (cv, cu) = (uf.find(v.raw()), uf.find(u.raw()));
+                if cv == cu {
+                    continue;
+                }
+                let w = edge_weight(v, u);
+                // Lexicographic tie-break on (w, min, max).
+                let (a, b) = if v <= u { (v, u) } else { (u, v) };
+                let cand = (w, a, b);
+                let better = match best.get(&cv) {
+                    Some(&(bw, ba, bb)) => cand < (bw, ba, bb),
+                    None => true,
+                };
+                if better {
+                    best.insert(cv, cand);
+                }
+            }
+            let mut per_owner: Vec<Vec<(u64, u64, Gid, Gid)>> = vec![Vec::new(); p];
+            for (c, (w, a, b)) in best {
+                per_owner[hash_owner(c)].push((c, w, a, b));
+            }
+            {
+                let port: &mut OutPort = ctx.output("peers")?;
+                for (owner, records) in per_owner.iter().enumerate() {
+                    if !records.is_empty() {
+                        port.send_to(
+                            owner,
+                            DataBuffer::from_words(
+                                tag(K_CANDIDATE, round, me),
+                                &encode_records(records),
+                            ),
+                        )?;
+                    }
+                }
+                port.broadcast(DataBuffer::from_words(tag(K_CANDIDATE_DONE, round, me), &[0]))?;
+            }
+            // Phase B: owners pick global winners per component.
+            let mut winners: HashMap<u64, (u64, Gid, Gid)> = HashMap::new();
+            await_phase(ctx, &mut stash, p, K_CANDIDATE, K_CANDIDATE_DONE, round, &mut |msg| {
+                for (c, w, a, b) in decode_records(msg)? {
+                    let cand = (w, a, b);
+                    let better = match winners.get(&c) {
+                        Some(&existing) => cand < existing,
+                        None => true,
+                    };
+                    if better {
+                        winners.insert(c, cand);
+                    }
+                }
+                Ok(())
+            })?;
+            let winner_records: Vec<(u64, u64, Gid, Gid)> =
+                winners.into_iter().map(|(c, (w, a, b))| (c, w, a, b)).collect();
+            {
+                let port: &mut OutPort = ctx.output("peers")?;
+                port.broadcast(DataBuffer::from_words(
+                    tag(K_WINNER, round, me),
+                    &encode_records(&winner_records),
+                ))?;
+                port.broadcast(DataBuffer::from_words(
+                    tag(K_WINNER_DONE, round, me),
+                    &[winner_records.len() as u64],
+                ))?;
+            }
+            // Phase C: everyone applies the same winner set.
+            let mut all_winners: Vec<(u64, u64, Gid, Gid)> = Vec::new();
+            let total = await_phase(
+                ctx,
+                &mut stash,
+                p,
+                K_WINNER,
+                K_WINNER_DONE,
+                round,
+                &mut |msg| {
+                    all_winners.extend(decode_records(msg)?);
+                    Ok(())
+                },
+            )?;
+            // Deterministic application order; duplicate (both-side)
+            // winners union idempotently, but only one processor (the
+            // smaller endpoint's component owner... simply: the proc with
+            // copy 0) records forest edges to avoid double counting — all
+            // procs see the identical winner list.
+            all_winners.sort_unstable_by_key(|&(c, w, a, b)| (w, a, b, c));
+            for &(_, w, a, b) in &all_winners {
+                let (ra, rb) = (uf.find(a.raw()), uf.find(b.raw()));
+                if ra != rb {
+                    uf.union(ra, rb);
+                    if me == 0 {
+                        forest.push((w, Edge::new(a, b)));
+                    }
+                }
+            }
+            if total == 0 {
+                break;
+            }
+        }
+
+        // ---- aggregate (copy 0 carries the shared results) ----
+        let mut out = self.outcome.lock();
+        out.rounds = out.rounds.max(rounds);
+        if me == 0 && !out.filled {
+            out.filled = true;
+            out.vertices = all_vertices.len() as u64;
+            let mut roots = std::collections::HashSet::new();
+            for v in all_vertices {
+                roots.insert(uf.find(v));
+            }
+            out.components = roots.len() as u64;
+            out.total_weight = forest.iter().map(|&(w, _)| w as u128).sum();
+            out.edges = forest.into_iter().map(|(_, e)| e).collect();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{BackendKind, BackendOptions};
+    use crate::ingest::{ingest, DeclusterKind, IngestOptions};
+
+    fn run_msf(
+        tag: &str,
+        nodes: usize,
+        kind: BackendKind,
+        edges: Vec<Edge>,
+        decl: DeclusterKind,
+    ) -> MsfResult {
+        let dir = std::env::temp_dir().join(format!("core-msf-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cluster = MssgCluster::new(&dir, nodes, kind, &BackendOptions::default()).unwrap();
+        ingest(
+            &mut cluster,
+            edges.into_iter(),
+            &IngestOptions { declustering: decl, ..Default::default() },
+        )
+        .unwrap();
+        minimum_spanning_forest(&cluster).unwrap()
+    }
+
+    /// Sequential Kruskal with the same weights and tie-breaking.
+    fn kruskal(edges: &[Edge]) -> (u128, usize, usize) {
+        let mut uf = MinUnionFind::default();
+        let mut vertices = std::collections::HashSet::new();
+        let mut weighted: Vec<(u64, Gid, Gid)> = edges
+            .iter()
+            .map(|e| {
+                vertices.insert(e.src.raw());
+                vertices.insert(e.dst.raw());
+                let (a, b) = if e.src <= e.dst { (e.src, e.dst) } else { (e.dst, e.src) };
+                (edge_weight(a, b), a, b)
+            })
+            .collect();
+        weighted.sort_unstable();
+        let mut total: u128 = 0;
+        let mut count = 0usize;
+        for (w, a, b) in weighted {
+            if uf.find(a.raw()) != uf.find(b.raw()) {
+                uf.union(a.raw(), b.raw());
+                total += w as u128;
+                count += 1;
+            }
+        }
+        let roots: std::collections::HashSet<u64> =
+            vertices.iter().map(|&v| uf.find(v)).collect();
+        (total, count, roots.len())
+    }
+
+    fn random_edges(n: usize, vmax: u64, seed: u64) -> Vec<Edge> {
+        let mut x = seed | 1;
+        let mut out = Vec::new();
+        while out.len() < n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let a = x % vmax;
+            let b = (x >> 17) % vmax;
+            if a != b {
+                out.push(Edge::of(a, b));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn path_graph_forest_is_the_path() {
+        let edges: Vec<Edge> = (0..9).map(|i| Edge::of(i, i + 1)).collect();
+        let r = run_msf("path", 3, BackendKind::HashMap, edges.clone(), DeclusterKind::VertexHash);
+        assert_eq!(r.vertices, 10);
+        assert_eq!(r.components, 1);
+        assert_eq!(r.edges.len(), 9, "a tree needs V-1 edges");
+        let (want_w, want_n, want_c) = kruskal(&edges);
+        assert_eq!(r.total_weight, want_w);
+        assert_eq!(r.edges.len(), want_n);
+        assert_eq!(r.components as usize, want_c);
+    }
+
+    #[test]
+    fn matches_kruskal_on_random_graphs() {
+        for (seed, nodes) in [(11u64, 2usize), (23, 4), (37, 3)] {
+            let edges = random_edges(400, 60, seed);
+            let r = run_msf(
+                &format!("rand-{seed}"),
+                nodes,
+                BackendKind::HashMap,
+                edges.clone(),
+                DeclusterKind::VertexHash,
+            );
+            let (want_w, want_n, want_c) = kruskal(&edges);
+            assert_eq!(r.total_weight, want_w, "seed {seed}");
+            assert_eq!(r.edges.len(), want_n, "seed {seed}");
+            assert_eq!(r.components as usize, want_c, "seed {seed}");
+            assert_eq!(r.edges.len() as u64, r.vertices - r.components);
+        }
+    }
+
+    #[test]
+    fn forest_with_multiple_components() {
+        let mut edges = random_edges(50, 20, 5);
+        edges.extend(random_edges(50, 20, 7).iter().map(|e| {
+            Edge::of(e.src.raw() + 1000, e.dst.raw() + 1000)
+        }));
+        let r = run_msf("multi", 3, BackendKind::HashMap, edges.clone(), DeclusterKind::VertexHash);
+        let (want_w, _, want_c) = kruskal(&edges);
+        assert!(want_c >= 2);
+        assert_eq!(r.components as usize, want_c);
+        assert_eq!(r.total_weight, want_w);
+    }
+
+    #[test]
+    fn works_under_edge_granularity_and_grdb() {
+        let edges = random_edges(200, 40, 9);
+        let a = run_msf("gran-a", 3, BackendKind::Grdb, edges.clone(), DeclusterKind::VertexHash);
+        let b = run_msf(
+            "gran-b",
+            3,
+            BackendKind::HashMap,
+            edges.clone(),
+            DeclusterKind::EdgeRoundRobin,
+        );
+        let (want_w, _, want_c) = kruskal(&edges);
+        for r in [&a, &b] {
+            assert_eq!(r.total_weight, want_w);
+            assert_eq!(r.components as usize, want_c);
+        }
+    }
+
+    #[test]
+    fn edge_weight_is_symmetric_and_spread() {
+        let a = Gid::new(3);
+        let b = Gid::new(900);
+        assert_eq!(edge_weight(a, b), edge_weight(b, a));
+        // Weights look uniform-ish: no obvious collisions in a small set.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000u64 {
+            seen.insert(edge_weight(Gid::new(i), Gid::new(i + 1)));
+        }
+        assert_eq!(seen.len(), 1000);
+    }
+}

@@ -1,0 +1,253 @@
+//! The Query service (thesis §3.3).
+//!
+//! "All implemented data analysis techniques are registered with the system
+//! and can be queried by the user." [`QueryService`] is that registry: a
+//! named table of analyses, each a function from a parameter struct to a
+//! serialisable result. BFS relationship analysis (§4.2) is pre-registered;
+//! applications add their own with [`QueryService::register`].
+
+use crate::bfs::{bfs, BfsOptions, SearchMetrics};
+use crate::components::{connected_components, ComponentsOptions};
+use crate::degrees::degree_distribution;
+use crate::msf::minimum_spanning_forest;
+use crate::cluster::MssgCluster;
+use mssg_types::{Gid, GraphStorageError, Result};
+use std::collections::BTreeMap;
+
+/// Parameters of a registered analysis, as key/value strings (the thin
+/// waist a user-facing front end would marshal into).
+pub type QueryParams = BTreeMap<String, String>;
+
+/// A registered analysis.
+pub type Analysis = Box<dyn Fn(&MssgCluster, &QueryParams) -> Result<String> + Send + Sync>;
+
+/// The analysis registry.
+pub struct QueryService {
+    analyses: BTreeMap<String, Analysis>,
+}
+
+impl QueryService {
+    /// A service with the built-in analyses registered: `bfs` (path search)
+    /// and `degree` (local degree lookup).
+    pub fn new() -> QueryService {
+        let mut svc = QueryService { analyses: BTreeMap::new() };
+        svc.register("bfs", Box::new(run_bfs_analysis));
+        svc.register("components", Box::new(run_components_analysis));
+        svc.register("degree", Box::new(run_degree_analysis));
+        svc.register("degree_distribution", Box::new(run_degree_distribution));
+        svc.register("msf", Box::new(run_msf_analysis));
+        svc
+    }
+
+    /// Registers (or replaces) an analysis under `name`.
+    pub fn register(&mut self, name: &str, analysis: Analysis) {
+        self.analyses.insert(name.to_string(), analysis);
+    }
+
+    /// Names of the registered analyses.
+    pub fn registered(&self) -> Vec<&str> {
+        self.analyses.keys().map(String::as_str).collect()
+    }
+
+    /// Runs the analysis `name` with `params` against `cluster`.
+    pub fn run(
+        &self,
+        cluster: &MssgCluster,
+        name: &str,
+        params: &QueryParams,
+    ) -> Result<String> {
+        let analysis = self.analyses.get(name).ok_or_else(|| {
+            GraphStorageError::Query(format!(
+                "no analysis {name:?} registered (have: {:?})",
+                self.registered()
+            ))
+        })?;
+        analysis(cluster, params)
+    }
+
+    /// Convenience: runs a BFS directly, returning the metrics.
+    pub fn bfs(
+        &self,
+        cluster: &MssgCluster,
+        source: Gid,
+        dest: Gid,
+        options: &BfsOptions,
+    ) -> Result<SearchMetrics> {
+        bfs(cluster, source, dest, options)
+    }
+}
+
+impl Default for QueryService {
+    fn default() -> Self {
+        QueryService::new()
+    }
+}
+
+fn param_u64(params: &QueryParams, key: &str) -> Result<u64> {
+    params
+        .get(key)
+        .ok_or_else(|| GraphStorageError::Query(format!("missing parameter {key:?}")))?
+        .parse()
+        .map_err(|_| GraphStorageError::Query(format!("parameter {key:?} is not an integer")))
+}
+
+fn run_bfs_analysis(cluster: &MssgCluster, params: &QueryParams) -> Result<String> {
+    let source = Gid::new(param_u64(params, "source")?);
+    let dest = Gid::new(param_u64(params, "dest")?);
+    let metrics = bfs(cluster, source, dest, &BfsOptions::default())?;
+    Ok(match metrics.path_length {
+        Some(len) => format!(
+            "path_length={len} rounds={} edges_scanned={}",
+            metrics.rounds, metrics.edges_scanned
+        ),
+        None => "unreachable".to_string(),
+    })
+}
+
+fn run_components_analysis(cluster: &MssgCluster, _params: &QueryParams) -> Result<String> {
+    let r = connected_components(cluster, &ComponentsOptions::default())?;
+    Ok(format!(
+        "components={} vertices={} largest={} rounds={}",
+        r.components, r.vertices, r.largest, r.rounds
+    ))
+}
+
+fn run_degree_distribution(cluster: &MssgCluster, _params: &QueryParams) -> Result<String> {
+    let r = degree_distribution(cluster)?;
+    Ok(format!(
+        "vertices={} max_degree={} avg_degree={:.2} powerlaw={}",
+        r.vertices,
+        r.max_degree,
+        r.avg_degree,
+        r.powerlaw_exponent.map_or("n/a".to_string(), |b| format!("{b:.2}"))
+    ))
+}
+
+fn run_msf_analysis(cluster: &MssgCluster, _params: &QueryParams) -> Result<String> {
+    let r = minimum_spanning_forest(cluster)?;
+    Ok(format!(
+        "forest_edges={} total_weight={} components={} rounds={}",
+        r.edges.len(),
+        r.total_weight,
+        r.components,
+        r.rounds
+    ))
+}
+
+fn run_degree_analysis(cluster: &MssgCluster, params: &QueryParams) -> Result<String> {
+    use graphdb::GraphDbExt;
+    let v = Gid::new(param_u64(params, "vertex")?);
+    let mut total = 0usize;
+    for i in 0..cluster.nodes() {
+        total += cluster.with_backend(i, |db| db.degree(v))?;
+    }
+    Ok(format!("degree={total}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{BackendKind, BackendOptions};
+    use crate::ingest::{ingest, IngestOptions};
+    use mssg_types::Edge;
+
+    fn cluster(tag: &str) -> MssgCluster {
+        let dir = std::env::temp_dir()
+            .join(format!("core-query-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut c =
+            MssgCluster::new(&dir, 2, BackendKind::HashMap, &BackendOptions::default())
+                .unwrap();
+        let edges: Vec<Edge> = (0..10).map(|i| Edge::of(i, i + 1)).collect();
+        ingest(&mut c, edges.into_iter(), &IngestOptions::default()).unwrap();
+        c
+    }
+
+    fn params(pairs: &[(&str, &str)]) -> QueryParams {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+    }
+
+    #[test]
+    fn builtins_registered() {
+        let svc = QueryService::new();
+        assert_eq!(
+            svc.registered(),
+            vec!["bfs", "components", "degree", "degree_distribution", "msf"]
+        );
+    }
+
+    #[test]
+    fn components_analysis_by_name() {
+        let c = cluster("components");
+        let svc = QueryService::new();
+        let out = svc.run(&c, "components", &params(&[])).unwrap();
+        assert!(out.contains("components=1"), "{out}");
+        assert!(out.contains("vertices=11"), "{out}");
+    }
+
+    #[test]
+    fn bfs_analysis_by_name() {
+        let c = cluster("bfs");
+        let svc = QueryService::new();
+        let out = svc
+            .run(&c, "bfs", &params(&[("source", "0"), ("dest", "4")]))
+            .unwrap();
+        assert!(out.contains("path_length=4"), "{out}");
+    }
+
+    #[test]
+    fn bfs_analysis_unreachable() {
+        let c = cluster("unreach");
+        let svc = QueryService::new();
+        let out = svc
+            .run(&c, "bfs", &params(&[("source", "0"), ("dest", "5000")]))
+            .unwrap();
+        assert_eq!(out, "unreachable");
+    }
+
+    #[test]
+    fn degree_distribution_analysis() {
+        let c = cluster("degdist");
+        let svc = QueryService::new();
+        let out = svc.run(&c, "degree_distribution", &params(&[])).unwrap();
+        assert!(out.contains("vertices=11"), "{out}");
+        assert!(out.contains("max_degree=2"), "{out}");
+    }
+
+    #[test]
+    fn msf_analysis_by_name() {
+        let c = cluster("msf");
+        let svc = QueryService::new();
+        let out = svc.run(&c, "msf", &params(&[])).unwrap();
+        assert!(out.contains("forest_edges=10"), "{out}");
+        assert!(out.contains("components=1"), "{out}");
+    }
+
+    #[test]
+    fn degree_analysis() {
+        let c = cluster("deg");
+        let svc = QueryService::new();
+        let out = svc.run(&c, "degree", &params(&[("vertex", "5")])).unwrap();
+        assert_eq!(out, "degree=2");
+    }
+
+    #[test]
+    fn unknown_analysis_and_bad_params() {
+        let c = cluster("err");
+        let svc = QueryService::new();
+        assert!(svc.run(&c, "pagerank", &params(&[])).is_err());
+        assert!(svc.run(&c, "bfs", &params(&[("source", "0")])).is_err());
+        assert!(svc.run(&c, "bfs", &params(&[("source", "x"), ("dest", "1")])).is_err());
+    }
+
+    #[test]
+    fn custom_analysis_registration() {
+        let c = cluster("custom");
+        let mut svc = QueryService::new();
+        svc.register(
+            "node_count",
+            Box::new(|cluster, _| Ok(format!("nodes={}", cluster.nodes()))),
+        );
+        assert_eq!(svc.run(&c, "node_count", &params(&[])).unwrap(), "nodes=2");
+    }
+}

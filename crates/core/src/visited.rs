@@ -1,0 +1,274 @@
+//! Visited (level) structures for the search algorithms.
+//!
+//! The thesis runs most experiments with an in-memory visited structure
+//! ("the simplest way to obtain a fair comparison is to simply fix the
+//! visited data-structure") but measures Syn-2B with an **external-memory
+//! visited structure** as well (Figures 5.8/5.9), since at 10^12 vertices
+//! even one bit per vertex outgrows RAM. Both live here behind one trait.
+
+use kvdb::{KvOptions, KvStore};
+use mssg_types::{Gid, Result};
+use simio::IoStats;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Which visited structure a search uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum VisitedKind {
+    /// Hash map in memory (the thesis' default experimental setup).
+    #[default]
+    InMemory,
+    /// Dense `level[v]` array indexed by vertex id — the literal data
+    /// structure of Algorithm 1 (`level[v] = ∞ for v ∈ V`). Fastest, but
+    /// memory scales with the vertex-id space rather than the visited set.
+    Dense,
+    /// B-tree on disk (the Figure 5.8/5.9 configuration).
+    External,
+}
+
+/// A per-processor level array: remembers the BFS level at which each
+/// vertex was first seen.
+pub trait VisitedSet: Send {
+    /// Marks `v` visited at `level` if unseen. Returns `true` when `v` was
+    /// newly marked.
+    fn try_visit(&mut self, v: Gid, level: u32) -> Result<bool>;
+
+    /// The level `v` was first seen at, if any.
+    fn level(&mut self, v: Gid) -> Result<Option<u32>>;
+
+    /// Number of visited vertices.
+    fn len(&self) -> u64;
+
+    /// `true` when nothing is visited.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Hash-map visited structure.
+#[derive(Default)]
+pub struct InMemoryVisited {
+    map: HashMap<Gid, u32>,
+}
+
+impl InMemoryVisited {
+    /// An empty structure.
+    pub fn new() -> InMemoryVisited {
+        InMemoryVisited::default()
+    }
+}
+
+impl VisitedSet for InMemoryVisited {
+    fn try_visit(&mut self, v: Gid, level: u32) -> Result<bool> {
+        use std::collections::hash_map::Entry;
+        match self.map.entry(v) {
+            Entry::Occupied(_) => Ok(false),
+            Entry::Vacant(e) => {
+                e.insert(level);
+                Ok(true)
+            }
+        }
+    }
+
+    fn level(&mut self, v: Gid) -> Result<Option<u32>> {
+        Ok(self.map.get(&v).copied())
+    }
+
+    fn len(&self) -> u64 {
+        self.map.len() as u64
+    }
+}
+
+/// The dense level array of Algorithm 1: `levels[v]` holds the discovery
+/// level, `u32::MAX` meaning unvisited. Grows on demand to cover the
+/// highest vertex id touched.
+#[derive(Default)]
+pub struct DenseVisited {
+    levels: Vec<u32>,
+    visited: u64,
+}
+
+const DENSE_UNVISITED: u32 = u32::MAX;
+
+impl DenseVisited {
+    /// An empty array.
+    pub fn new() -> DenseVisited {
+        DenseVisited::default()
+    }
+
+    fn slot(&mut self, v: Gid) -> usize {
+        let idx = v.index();
+        if idx >= self.levels.len() {
+            self.levels.resize(idx + 1, DENSE_UNVISITED);
+        }
+        idx
+    }
+}
+
+impl VisitedSet for DenseVisited {
+    fn try_visit(&mut self, v: Gid, level: u32) -> Result<bool> {
+        assert!(level != DENSE_UNVISITED, "level u32::MAX is the unvisited sentinel");
+        let i = self.slot(v);
+        if self.levels[i] == DENSE_UNVISITED {
+            self.levels[i] = level;
+            self.visited += 1;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn level(&mut self, v: Gid) -> Result<Option<u32>> {
+        let i = self.slot(v);
+        Ok((self.levels[i] != DENSE_UNVISITED).then_some(self.levels[i]))
+    }
+
+    fn len(&self) -> u64 {
+        self.visited
+    }
+}
+
+/// Disk-backed visited structure over the `kvdb` B-tree.
+pub struct ExternalVisited {
+    store: KvStore,
+}
+
+impl ExternalVisited {
+    /// Creates a fresh structure backed by a file at `path` (any existing
+    /// file is replaced — a visited set is per-query state).
+    pub fn create(path: &Path, stats: Arc<IoStats>) -> Result<ExternalVisited> {
+        let _ = std::fs::remove_file(path);
+        Ok(ExternalVisited { store: KvStore::open(path, KvOptions::default(), stats)? })
+    }
+}
+
+impl VisitedSet for ExternalVisited {
+    fn try_visit(&mut self, v: Gid, level: u32) -> Result<bool> {
+        let key = v.raw().to_be_bytes();
+        if self.store.get(&key)?.is_some() {
+            return Ok(false);
+        }
+        self.store.put(&key, &level.to_le_bytes())?;
+        Ok(true)
+    }
+
+    fn level(&mut self, v: Gid) -> Result<Option<u32>> {
+        Ok(self.store.get(&v.raw().to_be_bytes())?.map(|b| {
+            u32::from_le_bytes(b.as_slice().try_into().unwrap_or([0; 4]))
+        }))
+    }
+
+    fn len(&self) -> u64 {
+        self.store.len()
+    }
+}
+
+impl VisitedKind {
+    /// Opens a visited structure for one processor of a search.
+    pub fn open(
+        self,
+        scratch_dir: &Path,
+        processor: usize,
+        stats: Arc<IoStats>,
+    ) -> Result<Box<dyn VisitedSet>> {
+        Ok(match self {
+            VisitedKind::InMemory => Box::new(InMemoryVisited::new()),
+            VisitedKind::Dense => Box::new(DenseVisited::new()),
+            VisitedKind::External => {
+                std::fs::create_dir_all(scratch_dir)?;
+                Box::new(ExternalVisited::create(
+                    &scratch_dir.join(format!("visited-{processor}.db")),
+                    stats,
+                )?)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(v: u64) -> Gid {
+        Gid::new(v)
+    }
+
+    fn check_contract(vs: &mut dyn VisitedSet) {
+        assert!(vs.is_empty());
+        assert!(vs.try_visit(g(5), 1).unwrap());
+        assert!(!vs.try_visit(g(5), 2).unwrap(), "second visit rejected");
+        assert_eq!(vs.level(g(5)).unwrap(), Some(1), "first level wins");
+        assert_eq!(vs.level(g(6)).unwrap(), None);
+        assert!(vs.try_visit(g(0), 0).unwrap(), "level 0 and vertex 0 are valid");
+        assert_eq!(vs.len(), 2);
+    }
+
+    #[test]
+    fn in_memory_contract() {
+        let mut vs = InMemoryVisited::new();
+        check_contract(&mut vs);
+    }
+
+    #[test]
+    fn external_contract() {
+        let dir = std::env::temp_dir().join(format!("core-visited-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut vs =
+            ExternalVisited::create(&dir.join("contract.db"), IoStats::new()).unwrap();
+        check_contract(&mut vs);
+    }
+
+    #[test]
+    fn external_is_fresh_per_query() {
+        let dir = std::env::temp_dir().join(format!("core-visited-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fresh.db");
+        {
+            let mut vs = ExternalVisited::create(&path, IoStats::new()).unwrap();
+            vs.try_visit(g(1), 1).unwrap();
+        }
+        let vs = ExternalVisited::create(&path, IoStats::new()).unwrap();
+        assert!(vs.is_empty(), "create() must start a fresh query state");
+    }
+
+    #[test]
+    fn dense_contract() {
+        let mut vs = DenseVisited::new();
+        check_contract(&mut vs);
+    }
+
+    #[test]
+    fn dense_grows_sparsely_addressed() {
+        let mut vs = DenseVisited::new();
+        assert!(vs.try_visit(g(1_000_000), 2).unwrap());
+        assert_eq!(vs.level(g(1_000_000)).unwrap(), Some(2));
+        assert_eq!(vs.level(g(999_999)).unwrap(), None);
+        assert_eq!(vs.len(), 1);
+    }
+
+    #[test]
+    fn kind_factory() {
+        let dir = std::env::temp_dir().join(format!("core-visited-{}-f", std::process::id()));
+        for kind in [VisitedKind::InMemory, VisitedKind::Dense, VisitedKind::External] {
+            let mut vs = kind.open(&dir, 3, IoStats::new()).unwrap();
+            assert!(vs.try_visit(g(9), 4).unwrap());
+            assert_eq!(vs.level(g(9)).unwrap(), Some(4));
+        }
+    }
+
+    #[test]
+    fn external_scales_past_memory_shape() {
+        // Not a memory test per se, just bulk-correctness on many keys.
+        let dir = std::env::temp_dir().join(format!("core-visited-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut vs = ExternalVisited::create(&dir.join("bulk.db"), IoStats::new()).unwrap();
+        for i in 0..5000u64 {
+            assert!(vs.try_visit(g(i), (i % 7) as u32).unwrap());
+        }
+        assert_eq!(vs.len(), 5000);
+        for i in 0..5000u64 {
+            assert_eq!(vs.level(g(i)).unwrap(), Some((i % 7) as u32));
+        }
+    }
+}

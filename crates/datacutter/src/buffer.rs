@@ -1,0 +1,123 @@
+//! Data buffers — the unit of exchange on logical streams.
+
+use bytes::Bytes;
+use mssg_types::Edge;
+
+/// A tagged byte buffer.
+///
+/// The `tag` is application-defined; MSSG uses it for the message kind and
+/// the sender's copy index. Payloads are cheaply cloneable (`Bytes`) so
+/// broadcast does not copy the body per consumer — matching DataCutter,
+/// where a broadcast shares one buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DataBuffer {
+    /// Application-defined tag.
+    pub tag: u64,
+    /// Payload bytes.
+    pub data: Bytes,
+}
+
+impl DataBuffer {
+    /// Creates a buffer from raw bytes.
+    pub fn new(tag: u64, data: Vec<u8>) -> DataBuffer {
+        DataBuffer { tag, data: Bytes::from(data) }
+    }
+
+    /// An empty (control) message.
+    pub fn control(tag: u64) -> DataBuffer {
+        DataBuffer { tag, data: Bytes::new() }
+    }
+
+    /// Encodes a slice of 64-bit words (little-endian).
+    pub fn from_words(tag: u64, words: &[u64]) -> DataBuffer {
+        let mut data = Vec::with_capacity(words.len() * 8);
+        for w in words {
+            data.extend_from_slice(&w.to_le_bytes());
+        }
+        DataBuffer::new(tag, data)
+    }
+
+    /// Decodes the payload as 64-bit words.
+    ///
+    /// # Panics
+    /// Panics if the payload length is not a multiple of 8.
+    pub fn words(&self) -> Vec<u64> {
+        assert!(self.data.len() % 8 == 0, "payload is not a word vector");
+        self.data
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    /// Encodes a slice of edges (16 bytes each).
+    pub fn from_edges(tag: u64, edges: &[Edge]) -> DataBuffer {
+        let mut data = Vec::with_capacity(edges.len() * 16);
+        for e in edges {
+            data.extend_from_slice(&e.to_bytes());
+        }
+        DataBuffer::new(tag, data)
+    }
+
+    /// Decodes the payload as edges.
+    ///
+    /// # Panics
+    /// Panics if the payload length is not a multiple of 16.
+    pub fn edges(&self) -> Vec<Edge> {
+        assert!(self.data.len() % 16 == 0, "payload is not an edge vector");
+        self.data
+            .chunks_exact(16)
+            .map(|c| Edge::from_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` for an empty payload.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_roundtrip() {
+        let b = DataBuffer::from_words(7, &[1, 2, u64::MAX]);
+        assert_eq!(b.tag, 7);
+        assert_eq!(b.words(), vec![1, 2, u64::MAX]);
+        assert_eq!(b.len(), 24);
+    }
+
+    #[test]
+    fn edge_roundtrip() {
+        let edges = vec![Edge::of(1, 2), Edge::of(3, 4)];
+        let b = DataBuffer::from_edges(0, &edges);
+        assert_eq!(b.edges(), edges);
+    }
+
+    #[test]
+    fn control_is_empty() {
+        let c = DataBuffer::control(9);
+        assert!(c.is_empty());
+        assert_eq!(c.words(), Vec::<u64>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a word vector")]
+    fn misaligned_words_panic() {
+        DataBuffer::new(0, vec![1, 2, 3]).words();
+    }
+
+    #[test]
+    fn clone_shares_payload() {
+        let b = DataBuffer::from_words(0, &(0..1000).collect::<Vec<_>>());
+        let c = b.clone();
+        // Bytes clones share the allocation: identical pointers.
+        assert_eq!(b.data.as_ptr(), c.data.as_ptr());
+    }
+}

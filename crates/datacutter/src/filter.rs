@@ -1,0 +1,223 @@
+//! The filter interface and its stream ports.
+
+use crate::buffer::DataBuffer;
+use crate::netstats::NetStats;
+use crate::NodeId;
+use crossbeam::channel::{Receiver, Sender};
+use mssg_types::{GraphStorageError, Result};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A processing component. The runtime calls `init`, then `process`, then
+/// `finalize`, on the filter's own thread. `process` typically loops on an
+/// input port until it drains (`recv` returns `None` once every producer
+/// has finished).
+pub trait Filter: Send {
+    /// One-time setup before any data flows.
+    fn init(&mut self, _ctx: &mut FilterContext) -> Result<()> {
+        Ok(())
+    }
+
+    /// The filter's main loop.
+    fn process(&mut self, ctx: &mut FilterContext) -> Result<()>;
+
+    /// Cleanup after `process` returns; output ports are still open.
+    fn finalize(&mut self, _ctx: &mut FilterContext) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Receiving end of a logical stream (all producer copies merged).
+pub struct InPort {
+    pub(crate) rx: Receiver<DataBuffer>,
+}
+
+impl InPort {
+    /// Blocks for the next buffer; `None` when every producer has closed.
+    pub fn recv(&self) -> Option<DataBuffer> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<DataBuffer> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Drains everything currently queued without blocking.
+    pub fn drain(&self) -> Vec<DataBuffer> {
+        let mut out = Vec::new();
+        while let Some(b) = self.try_recv() {
+            out.push(b);
+        }
+        out
+    }
+}
+
+/// Sending end of a logical stream: one channel per consumer copy.
+pub struct OutPort {
+    pub(crate) senders: Vec<Sender<DataBuffer>>,
+    pub(crate) consumer_nodes: Vec<NodeId>,
+    pub(crate) my_node: NodeId,
+    pub(crate) rr: usize,
+    pub(crate) stats: Arc<NetStats>,
+}
+
+impl OutPort {
+    /// Number of consumer copies reachable from this port.
+    pub fn consumers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Sends to a specific consumer copy — the addressing mode the
+    /// declustering strategies and the vertex-owner fringe exchange use.
+    pub fn send_to(&mut self, copy: usize, buf: DataBuffer) -> Result<()> {
+        let sender = self.senders.get(copy).ok_or_else(|| {
+            GraphStorageError::Unsupported(format!(
+                "port has {} consumers, copy {copy} addressed",
+                self.senders.len()
+            ))
+        })?;
+        self.stats.record(self.my_node, self.consumer_nodes[copy], buf.len() as u64);
+        sender
+            .send(buf)
+            .map_err(|_| GraphStorageError::Unsupported("consumer hung up".into()))
+    }
+
+    /// Sends to the next consumer in round-robin order.
+    pub fn send_rr(&mut self, buf: DataBuffer) -> Result<()> {
+        let copy = self.rr % self.senders.len();
+        self.rr += 1;
+        self.send_to(copy, buf)
+    }
+
+    /// Sends a clone to every consumer copy (payload shared, not copied).
+    pub fn broadcast(&mut self, buf: DataBuffer) -> Result<()> {
+        for copy in 0..self.senders.len() {
+            self.send_to(copy, buf.clone())?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-instance execution context handed to every [`Filter`] callback.
+pub struct FilterContext {
+    /// This instance's index among the filter's transparent copies.
+    pub copy_index: usize,
+    /// Total transparent copies of this filter.
+    pub copies: usize,
+    /// The logical node this instance is placed on.
+    pub node: NodeId,
+    pub(crate) inputs: HashMap<String, InPort>,
+    pub(crate) outputs: HashMap<String, OutPort>,
+}
+
+impl FilterContext {
+    /// Looks up an input port by name.
+    pub fn input(&mut self, name: &str) -> Result<&mut InPort> {
+        self.inputs.get_mut(name).ok_or_else(|| {
+            GraphStorageError::Unsupported(format!("no input port {name:?} connected"))
+        })
+    }
+
+    /// Looks up an output port by name.
+    pub fn output(&mut self, name: &str) -> Result<&mut OutPort> {
+        self.outputs.get_mut(name).ok_or_else(|| {
+            GraphStorageError::Unsupported(format!("no output port {name:?} connected"))
+        })
+    }
+
+    /// Closes an output port early (drops its senders), letting downstream
+    /// filters drain before this one finishes.
+    pub fn close_output(&mut self, name: &str) {
+        self.outputs.remove(name);
+    }
+
+    /// `true` if an input port with this name is connected.
+    pub fn has_input(&self, name: &str) -> bool {
+        self.inputs.contains_key(name)
+    }
+
+    /// `true` if an output port with this name is connected.
+    pub fn has_output(&self, name: &str) -> bool {
+        self.outputs.contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::bounded;
+
+    fn out_port(n: usize) -> (OutPort, Vec<Receiver<DataBuffer>>) {
+        let mut senders = Vec::new();
+        let mut receivers = Vec::new();
+        for _ in 0..n {
+            let (tx, rx) = bounded(16);
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        (
+            OutPort {
+                senders,
+                consumer_nodes: (0..n).collect(),
+                my_node: 0,
+                rr: 0,
+                stats: NetStats::new(),
+            },
+            receivers,
+        )
+    }
+
+    #[test]
+    fn send_to_targets_one_copy() {
+        let (mut port, rxs) = out_port(3);
+        port.send_to(1, DataBuffer::control(42)).unwrap();
+        assert!(rxs[0].try_recv().is_err());
+        assert_eq!(rxs[1].try_recv().unwrap().tag, 42);
+        assert!(port.send_to(9, DataBuffer::control(0)).is_err());
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let (mut port, rxs) = out_port(2);
+        for i in 0..4 {
+            port.send_rr(DataBuffer::control(i)).unwrap();
+        }
+        assert_eq!(rxs[0].try_recv().unwrap().tag, 0);
+        assert_eq!(rxs[1].try_recv().unwrap().tag, 1);
+        assert_eq!(rxs[0].try_recv().unwrap().tag, 2);
+        assert_eq!(rxs[1].try_recv().unwrap().tag, 3);
+    }
+
+    #[test]
+    fn broadcast_reaches_all() {
+        let (mut port, rxs) = out_port(3);
+        port.broadcast(DataBuffer::from_words(5, &[1])).unwrap();
+        for rx in &rxs {
+            assert_eq!(rx.try_recv().unwrap().tag, 5);
+        }
+    }
+
+    #[test]
+    fn local_vs_remote_accounting() {
+        let (mut port, _rxs) = out_port(2); // consumer nodes 0 and 1; we are node 0
+        port.send_to(0, DataBuffer::from_words(0, &[1])).unwrap();
+        port.send_to(1, DataBuffer::from_words(0, &[1])).unwrap();
+        let snap = port.stats.snapshot();
+        assert_eq!(snap.local_msgs, 1);
+        assert_eq!(snap.remote_msgs, 1);
+        assert_eq!(snap.remote_bytes, 8);
+    }
+
+    #[test]
+    fn inport_drains() {
+        let (tx, rx) = bounded(8);
+        tx.send(DataBuffer::control(1)).unwrap();
+        tx.send(DataBuffer::control(2)).unwrap();
+        let port = InPort { rx };
+        let drained = port.drain();
+        assert_eq!(drained.len(), 2);
+        drop(tx);
+        assert!(port.recv().is_none());
+    }
+}

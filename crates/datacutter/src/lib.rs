@@ -1,0 +1,70 @@
+#![warn(missing_docs)]
+//! A filter/stream component middleware — the DataCutter substrate
+//! (thesis §3.1) that MSSG is built on.
+//!
+//! DataCutter's model: an application is a graph of *filters* that exchange
+//! [`DataBuffer`]s over unidirectional *logical streams*. The runtime
+//! places filter instances ("transparent copies") on cluster nodes,
+//! connects the logical endpoints, and drives each filter's
+//! `init` / `process` / `finalize` interface. Data exchange between filters
+//! on the same host is a memory copy; between hosts it crosses the network.
+//!
+//! ## The cluster substitution
+//!
+//! The original runs over MPI on a physical cluster. Here a *node* is an OS
+//! thread and a stream is a bounded crossbeam channel — preserving message
+//! ordering, backpressure, and the communication structure, which is what
+//! the algorithms actually observe. What a thread pool cannot preserve is
+//! the *cost* of remote messages, so every send is classified local/remote
+//! and counted in [`NetStats`]; [`NetworkCostModel`] converts the counts
+//! into modeled network time (per-message latency + bandwidth), mirroring
+//! how `simio` treats disk I/O. See DESIGN.md §2.
+//!
+//! ## Shape of an application
+//!
+//! ```
+//! use datacutter::{DataBuffer, Filter, FilterContext, GraphBuilder};
+//! use mssg_types::Result;
+//!
+//! struct Producer;
+//! impl Filter for Producer {
+//!     fn process(&mut self, ctx: &mut FilterContext) -> Result<()> {
+//!         for i in 0..10u64 {
+//!             ctx.output("out")?.send_rr(DataBuffer::from_words(0, &[i]))?;
+//!         }
+//!         Ok(())
+//!     }
+//! }
+//!
+//! struct Summer(u64);
+//! impl Filter for Summer {
+//!     fn process(&mut self, ctx: &mut FilterContext) -> Result<()> {
+//!         while let Some(buf) = ctx.input("in")?.recv() {
+//!             self.0 += buf.words()[0];
+//!         }
+//!         Ok(())
+//!     }
+//! }
+//!
+//! let mut g = GraphBuilder::new();
+//! let p = g.add_filter("producer", vec![0], |_| Box::new(Producer));
+//! let s = g.add_filter("summer", vec![1, 2], |_| Box::new(Summer(0)));
+//! g.connect(p, "out", s, "in");
+//! let report = g.run().unwrap();
+//! assert_eq!(report.net.remote_msgs + report.net.local_msgs, 10);
+//! ```
+
+pub mod buffer;
+pub mod filter;
+pub mod graph;
+pub mod netstats;
+pub mod runtime;
+
+pub use buffer::DataBuffer;
+pub use filter::{Filter, FilterContext, InPort, OutPort};
+pub use graph::{FilterHandle, GraphBuilder};
+pub use netstats::{NetSnapshot, NetStats, NetworkCostModel};
+pub use runtime::RunReport;
+
+/// Identifies a logical cluster node (a thread in this substrate).
+pub type NodeId = usize;

@@ -1,0 +1,146 @@
+//! Network accounting and cost model — the communication-side counterpart
+//! of `simio`'s disk accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Shared message counters, split by locality. Sends between filter
+/// instances placed on the same node are memory copies (DataCutter
+/// semantics); everything else would have crossed the cluster network.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    local_msgs: AtomicU64,
+    local_bytes: AtomicU64,
+    remote_msgs: AtomicU64,
+    remote_bytes: AtomicU64,
+}
+
+impl NetStats {
+    /// Fresh counters behind an `Arc`.
+    pub fn new() -> Arc<NetStats> {
+        Arc::new(NetStats::default())
+    }
+
+    /// Records one message from `src` to `dst`.
+    #[inline]
+    pub fn record(&self, src: usize, dst: usize, bytes: u64) {
+        if src == dst {
+            self.local_msgs.fetch_add(1, Ordering::Relaxed);
+            self.local_bytes.fetch_add(bytes, Ordering::Relaxed);
+        } else {
+            self.remote_msgs.fetch_add(1, Ordering::Relaxed);
+            self.remote_bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot of the counters.
+    pub fn snapshot(&self) -> NetSnapshot {
+        NetSnapshot {
+            local_msgs: self.local_msgs.load(Ordering::Relaxed),
+            local_bytes: self.local_bytes.load(Ordering::Relaxed),
+            remote_msgs: self.remote_msgs.load(Ordering::Relaxed),
+            remote_bytes: self.remote_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of [`NetStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetSnapshot {
+    /// Messages between co-located instances.
+    pub local_msgs: u64,
+    /// Bytes between co-located instances.
+    pub local_bytes: u64,
+    /// Messages that crossed nodes.
+    pub remote_msgs: u64,
+    /// Bytes that crossed nodes.
+    pub remote_bytes: u64,
+}
+
+impl NetSnapshot {
+    /// Counter deltas since `earlier`.
+    pub fn since(&self, earlier: &NetSnapshot) -> NetSnapshot {
+        NetSnapshot {
+            local_msgs: self.local_msgs - earlier.local_msgs,
+            local_bytes: self.local_bytes - earlier.local_bytes,
+            remote_msgs: self.remote_msgs - earlier.remote_msgs,
+            remote_bytes: self.remote_bytes - earlier.remote_bytes,
+        }
+    }
+}
+
+/// Latency/bandwidth network model for converting [`NetSnapshot`]s into
+/// modeled communication time. Local messages are free.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkCostModel {
+    /// Per-message latency (the MPI/TCP round-trip setup cost).
+    pub latency: Duration,
+    /// Link bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: f64,
+}
+
+impl NetworkCostModel {
+    /// Switched gigabit Ethernet as on the thesis' evaluation cluster:
+    /// ~80 µs message latency, ~110 MB/s sustained.
+    pub fn gigabit_2006() -> NetworkCostModel {
+        NetworkCostModel {
+            latency: Duration::from_micros(80),
+            bandwidth_bytes_per_sec: 110.0 * 1024.0 * 1024.0,
+        }
+    }
+
+    /// Modeled time for the remote traffic in a snapshot.
+    pub fn modeled_time(&self, net: &NetSnapshot) -> Duration {
+        let transfer = if self.bandwidth_bytes_per_sec.is_finite() {
+            Duration::from_secs_f64(net.remote_bytes as f64 / self.bandwidth_bytes_per_sec)
+        } else {
+            Duration::ZERO
+        };
+        self.latency * (net.remote_msgs as u32) + transfer
+    }
+}
+
+impl Default for NetworkCostModel {
+    fn default() -> Self {
+        NetworkCostModel::gigabit_2006()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locality_split() {
+        let s = NetStats::new();
+        s.record(0, 0, 100);
+        s.record(0, 1, 200);
+        s.record(2, 1, 50);
+        let snap = s.snapshot();
+        assert_eq!(snap.local_msgs, 1);
+        assert_eq!(snap.local_bytes, 100);
+        assert_eq!(snap.remote_msgs, 2);
+        assert_eq!(snap.remote_bytes, 250);
+    }
+
+    #[test]
+    fn model_charges_remote_only() {
+        let m = NetworkCostModel::gigabit_2006();
+        let local_only = NetSnapshot { local_msgs: 1000, local_bytes: 1 << 30, ..Default::default() };
+        assert_eq!(m.modeled_time(&local_only), Duration::ZERO);
+        let remote = NetSnapshot { remote_msgs: 1000, remote_bytes: 0, ..Default::default() };
+        assert_eq!(m.modeled_time(&remote), Duration::from_micros(80) * 1000);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let s = NetStats::new();
+        s.record(0, 1, 10);
+        let a = s.snapshot();
+        s.record(0, 1, 20);
+        let d = s.snapshot().since(&a);
+        assert_eq!(d.remote_msgs, 1);
+        assert_eq!(d.remote_bytes, 20);
+    }
+}

@@ -1,0 +1,459 @@
+//! The filtering service: instantiates filter copies on their nodes,
+//! connects logical endpoints, and drives the filter lifecycle — the role
+//! DataCutter's runtime plays on a real cluster.
+
+use crate::buffer::DataBuffer;
+use crate::filter::{FilterContext, InPort, OutPort};
+use crate::graph::GraphBuilder;
+use crate::netstats::{NetSnapshot, NetStats};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use mssg_types::{GraphStorageError, Result};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Outcome of a completed graph run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunReport {
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Message traffic, split local/remote.
+    pub net: NetSnapshot,
+}
+
+/// Runs a built graph to completion.
+pub fn run(mut graph: GraphBuilder) -> Result<RunReport> {
+    let stats = NetStats::new();
+    let cap = graph.channel_capacity;
+
+    // One merged channel set per (consumer filter, in_port): a sender
+    // vector (one per consumer copy) shared by all producers, and a
+    // receiver per copy.
+    type PortKey = (usize, String);
+    let mut senders: HashMap<PortKey, Vec<Sender<DataBuffer>>> = HashMap::new();
+    let mut receivers: HashMap<PortKey, Vec<Receiver<DataBuffer>>> = HashMap::new();
+    let mut shared_ports: std::collections::HashSet<PortKey> = std::collections::HashSet::new();
+    for s in &graph.streams {
+        let key = (s.to, s.in_port.clone());
+        match senders.get(&key) {
+            Some(_) => {
+                // Mixed shared/addressed wiring of one input port would be
+                // ambiguous.
+                if shared_ports.contains(&key) != s.shared {
+                    return Err(GraphStorageError::Unsupported(format!(
+                        "input port {:?} of filter {:?} wired both shared and addressed",
+                        s.in_port, graph.filters[s.to].name
+                    )));
+                }
+            }
+            None => {
+                let copies = graph.filters[s.to].placement.len();
+                if s.shared {
+                    // One MPMC queue; every consumer copy holds a clone of
+                    // the same receiver (crossbeam channels are MPMC).
+                    let (tx, rx) = bounded(cap);
+                    senders.insert(key.clone(), vec![tx]);
+                    receivers.insert(key.clone(), (0..copies).map(|_| rx.clone()).collect());
+                    shared_ports.insert(key);
+                } else {
+                    let mut txs = Vec::with_capacity(copies);
+                    let mut rxs = Vec::with_capacity(copies);
+                    for _ in 0..copies {
+                        let (tx, rx) = bounded(cap);
+                        txs.push(tx);
+                        rxs.push(rx);
+                    }
+                    senders.insert(key.clone(), txs);
+                    receivers.insert(key, rxs);
+                }
+            }
+        }
+    }
+
+    // Reject one out_port feeding two different destinations (a logical
+    // stream is point-to-point in the DataCutter model).
+    {
+        let mut seen: HashMap<(usize, &str), (usize, &str)> = HashMap::new();
+        for s in &graph.streams {
+            if let Some(&(to, port)) =
+                seen.get(&(s.from, s.out_port.as_str()))
+            {
+                if (to, port) != (s.to, s.in_port.as_str()) {
+                    return Err(GraphStorageError::Unsupported(format!(
+                        "output port {:?} of filter {:?} connected twice",
+                        s.out_port, graph.filters[s.from].name
+                    )));
+                }
+            }
+            seen.insert((s.from, s.out_port.as_str()), (s.to, s.in_port.as_str()));
+        }
+    }
+
+    // Build per-copy contexts.
+    let nfilters = graph.filters.len();
+    let mut contexts: Vec<Vec<FilterContext>> = (0..nfilters)
+        .map(|fi| {
+            let placement = &graph.filters[fi].placement;
+            placement
+                .iter()
+                .enumerate()
+                .map(|(ci, &node)| FilterContext {
+                    copy_index: ci,
+                    copies: placement.len(),
+                    node,
+                    inputs: HashMap::new(),
+                    outputs: HashMap::new(),
+                })
+                .collect()
+        })
+        .collect();
+
+    // Attach receivers to consumer copies.
+    for ((fi, port), rxs) in receivers {
+        for (ci, rx) in rxs.into_iter().enumerate() {
+            contexts[fi][ci].inputs.insert(port.clone(), InPort { rx });
+        }
+    }
+
+    // Attach out ports to producer copies.
+    for s in &graph.streams {
+        let key = (s.to, s.in_port.clone());
+        let txs = &senders[&key];
+        // Shared queues are charged as remote traffic (a distributed
+        // queue crosses the network by design).
+        let consumer_nodes = if s.shared {
+            vec![usize::MAX]
+        } else {
+            graph.filters[s.to].placement.clone()
+        };
+        for ctx in contexts[s.from].iter_mut() {
+            // connect() allows listing the same stream only once per
+            // out_port, so insertion here cannot clobber a different
+            // destination.
+            ctx.outputs.insert(
+                s.out_port.clone(),
+                OutPort {
+                    senders: txs.clone(),
+                    consumer_nodes: consumer_nodes.clone(),
+                    my_node: ctx.node,
+                    rr: ctx.copy_index, // Stagger round-robin across copies.
+                    stats: Arc::clone(&stats),
+                },
+            );
+        }
+    }
+    // Drop the original senders so streams close once producers finish.
+    drop(senders);
+
+    // Spawn one thread per filter copy and drive the lifecycle.
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for (fi, def) in graph.filters.iter_mut().enumerate() {
+        for (ci, mut ctx) in std::mem::take(&mut contexts[fi]).into_iter().enumerate() {
+            let mut instance = (def.factory)(ci);
+            let name = format!("{}.{}", def.name, ci);
+            let handle = std::thread::Builder::new()
+                .name(name.clone())
+                .spawn(move || -> Result<()> {
+                    instance.init(&mut ctx)?;
+                    instance.process(&mut ctx)?;
+                    instance.finalize(&mut ctx)?;
+                    Ok(())
+                })
+                .map_err(|e| GraphStorageError::Io(e))?;
+            handles.push((name, handle));
+        }
+    }
+
+    let mut first_error: Option<GraphStorageError> = None;
+    for (name, handle) in handles {
+        match handle.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                if first_error.is_none() {
+                    first_error = Some(e);
+                }
+            }
+            Err(_) => {
+                if first_error.is_none() {
+                    first_error =
+                        Some(GraphStorageError::Unsupported(format!("filter {name} panicked")));
+                }
+            }
+        }
+    }
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    Ok(RunReport { elapsed: start.elapsed(), net: stats.snapshot() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::Filter;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct Producer {
+        count: u64,
+    }
+
+    impl Filter for Producer {
+        fn process(&mut self, ctx: &mut FilterContext) -> Result<()> {
+            for i in 0..self.count {
+                ctx.output("out")?.send_rr(DataBuffer::from_words(0, &[i]))?;
+            }
+            Ok(())
+        }
+    }
+
+    struct Collector {
+        sum: Arc<AtomicU64>,
+    }
+
+    impl Filter for Collector {
+        fn process(&mut self, ctx: &mut FilterContext) -> Result<()> {
+            while let Some(b) = ctx.input("in")?.recv() {
+                for w in b.words() {
+                    self.sum.fetch_add(w, Ordering::Relaxed);
+                }
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn pipeline_delivers_all_data() {
+        let sum = Arc::new(AtomicU64::new(0));
+        let mut g = GraphBuilder::new();
+        let p = g.add_filter("p", vec![0], |_| Box::new(Producer { count: 100 }));
+        let sum2 = Arc::clone(&sum);
+        let c = g.add_filter("c", vec![1, 2], move |_| {
+            Box::new(Collector { sum: Arc::clone(&sum2) })
+        });
+        g.connect(p, "out", c, "in");
+        let report = g.run().unwrap();
+        assert_eq!(sum.load(Ordering::Relaxed), (0..100).sum::<u64>());
+        assert_eq!(report.net.local_msgs + report.net.remote_msgs, 100);
+    }
+
+    #[test]
+    fn colocated_filters_count_as_local() {
+        let sum = Arc::new(AtomicU64::new(0));
+        let mut g = GraphBuilder::new();
+        let p = g.add_filter("p", vec![3], |_| Box::new(Producer { count: 10 }));
+        let sum2 = Arc::clone(&sum);
+        let c = g.add_filter("c", vec![3], move |_| {
+            Box::new(Collector { sum: Arc::clone(&sum2) })
+        });
+        g.connect(p, "out", c, "in");
+        let report = g.run().unwrap();
+        assert_eq!(report.net.local_msgs, 10);
+        assert_eq!(report.net.remote_msgs, 0);
+    }
+
+    struct Broadcaster;
+    impl Filter for Broadcaster {
+        fn process(&mut self, ctx: &mut FilterContext) -> Result<()> {
+            ctx.output("out")?.broadcast(DataBuffer::from_words(0, &[7]))?;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_every_copy() {
+        let sum = Arc::new(AtomicU64::new(0));
+        let mut g = GraphBuilder::new();
+        let b = g.add_filter("b", vec![0], |_| Box::new(Broadcaster));
+        let sum2 = Arc::clone(&sum);
+        let c = g.add_filter("c", vec![1, 2, 3, 4], move |_| {
+            Box::new(Collector { sum: Arc::clone(&sum2) })
+        });
+        g.connect(b, "out", c, "in");
+        g.run().unwrap();
+        assert_eq!(sum.load(Ordering::Relaxed), 28);
+    }
+
+    struct Failer;
+    impl Filter for Failer {
+        fn process(&mut self, _ctx: &mut FilterContext) -> Result<()> {
+            Err(GraphStorageError::Unsupported("deliberate".into()))
+        }
+    }
+
+    #[test]
+    fn filter_errors_propagate() {
+        let mut g = GraphBuilder::new();
+        g.add_filter("f", vec![0], |_| Box::new(Failer));
+        let err = g.run().unwrap_err();
+        assert!(err.to_string().contains("deliberate"));
+    }
+
+    struct Panicker;
+    impl Filter for Panicker {
+        fn process(&mut self, _ctx: &mut FilterContext) -> Result<()> {
+            panic!("boom");
+        }
+    }
+
+    #[test]
+    fn filter_panics_become_errors() {
+        let mut g = GraphBuilder::new();
+        g.add_filter("f", vec![0], |_| Box::new(Panicker));
+        let err = g.run().unwrap_err();
+        assert!(err.to_string().contains("panicked"));
+    }
+
+    #[test]
+    fn double_connected_out_port_rejected() {
+        let mut g = GraphBuilder::new();
+        let p = g.add_filter("p", vec![0], |_| Box::new(Producer { count: 1 }));
+        let c1 = g.add_filter("c1", vec![0], |_| {
+            Box::new(Collector { sum: Arc::new(AtomicU64::new(0)) })
+        });
+        let c2 = g.add_filter("c2", vec![0], |_| {
+            Box::new(Collector { sum: Arc::new(AtomicU64::new(0)) })
+        });
+        g.connect(p, "out", c1, "in");
+        g.connect(p, "out", c2, "in");
+        assert!(g.run().is_err());
+    }
+
+    /// All-to-all exchange among copies of one filter — the communication
+    /// pattern of the parallel BFS.
+    struct Exchanger {
+        got: Arc<AtomicU64>,
+    }
+
+    impl Filter for Exchanger {
+        fn process(&mut self, ctx: &mut FilterContext) -> Result<()> {
+            let me = ctx.copy_index as u64;
+            let copies = ctx.copies;
+            ctx.output("peers")?.broadcast(DataBuffer::from_words(me, &[me * 10]))?;
+            ctx.close_output("peers");
+            let mut received = 0;
+            while let Some(b) = ctx.input("peers")?.recv() {
+                self.got.fetch_add(b.words()[0], Ordering::Relaxed);
+                received += 1;
+            }
+            assert_eq!(received, copies, "each copy hears every copy (incl. itself)");
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn self_connected_all_to_all() {
+        let got = Arc::new(AtomicU64::new(0));
+        let mut g = GraphBuilder::new();
+        let got2 = Arc::clone(&got);
+        let e = g.add_filter("x", vec![0, 1, 2], move |_| {
+            Box::new(Exchanger { got: Arc::clone(&got2) })
+        });
+        g.connect(e, "peers", e, "peers");
+        g.run().unwrap();
+        // Each of 3 copies broadcasts its value to all 3: sum = 3*(0+10+20).
+        assert_eq!(got.load(Ordering::Relaxed), 90);
+    }
+
+    /// Consumer that sleeps per item, simulating a slow node.
+    struct SlowCollector {
+        delay_us: u64,
+        got: Arc<AtomicU64>,
+        total: Arc<AtomicU64>,
+    }
+
+    impl Filter for SlowCollector {
+        fn process(&mut self, ctx: &mut FilterContext) -> Result<()> {
+            while let Some(b) = ctx.input("in")?.recv() {
+                std::thread::sleep(std::time::Duration::from_micros(self.delay_us));
+                self.got.fetch_add(1, Ordering::Relaxed);
+                self.total.fetch_add(b.words()[0], Ordering::Relaxed);
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn shared_queue_delivers_everything_once() {
+        let total = Arc::new(AtomicU64::new(0));
+        let counts: Vec<Arc<AtomicU64>> =
+            (0..3).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let mut g = GraphBuilder::new();
+        let p = g.add_filter("p", vec![0], |_| Box::new(Producer { count: 300 }));
+        let total2 = Arc::clone(&total);
+        let counts2 = counts.clone();
+        let c = g.add_filter("c", vec![1, 2, 3], move |i| {
+            Box::new(SlowCollector {
+                delay_us: 0,
+                got: Arc::clone(&counts2[i]),
+                total: Arc::clone(&total2),
+            })
+        });
+        g.connect_shared(p, "out", c, "in");
+        let report = g.run().unwrap();
+        assert_eq!(total.load(Ordering::Relaxed), (0..300).sum::<u64>());
+        let per: Vec<u64> = counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        assert_eq!(per.iter().sum::<u64>(), 300, "each item consumed exactly once");
+        // Shared-queue traffic is charged as remote.
+        assert_eq!(report.net.remote_msgs, 300);
+    }
+
+    #[test]
+    fn shared_queue_balances_by_demand() {
+        // One consumer is 100× slower; the fast one must take the bulk of
+        // the work — River's adaptive allocation.
+        let total = Arc::new(AtomicU64::new(0));
+        let counts: Vec<Arc<AtomicU64>> =
+            (0..2).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let mut g = GraphBuilder::new();
+        // Small channel so the producer cannot just park everything in the
+        // queue ahead of the consumers.
+        g.channel_capacity(4);
+        let p = g.add_filter("p", vec![0], |_| Box::new(Producer { count: 200 }));
+        let total2 = Arc::clone(&total);
+        let counts2 = counts.clone();
+        let c = g.add_filter("c", vec![1, 2], move |i| {
+            Box::new(SlowCollector {
+                delay_us: if i == 0 { 500 } else { 5 },
+                got: Arc::clone(&counts2[i]),
+                total: Arc::clone(&total2),
+            })
+        });
+        g.connect_shared(p, "out", c, "in");
+        g.run().unwrap();
+        let slow = counts[0].load(Ordering::Relaxed);
+        let fast = counts[1].load(Ordering::Relaxed);
+        assert_eq!(slow + fast, 200);
+        assert!(
+            fast > 3 * slow,
+            "demand-driven queue should favour the fast consumer (fast={fast}, slow={slow})"
+        );
+    }
+
+    #[test]
+    fn mixed_shared_and_addressed_wiring_rejected() {
+        let mut g = GraphBuilder::new();
+        let p1 = g.add_filter("p1", vec![0], |_| Box::new(Producer { count: 1 }));
+        let p2 = g.add_filter("p2", vec![0], |_| Box::new(Producer { count: 1 }));
+        let c = g.add_filter("c", vec![1], |_| {
+            Box::new(Collector { sum: Arc::new(AtomicU64::new(0)) })
+        });
+        g.connect(p1, "out", c, "in");
+        g.connect_shared(p2, "out", c, "in");
+        assert!(g.run().is_err());
+    }
+
+    #[test]
+    fn missing_port_is_an_error() {
+        struct NeedsPort;
+        impl Filter for NeedsPort {
+            fn process(&mut self, ctx: &mut FilterContext) -> Result<()> {
+                ctx.output("ghost")?;
+                Ok(())
+            }
+        }
+        let mut g = GraphBuilder::new();
+        g.add_filter("n", vec![0], |_| Box::new(NeedsPort));
+        assert!(g.run().is_err());
+    }
+}

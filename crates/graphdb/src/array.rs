@@ -1,0 +1,265 @@
+//! The Array (compressed adjacency list / CSR) backend — thesis §4.1.1.
+//!
+//! The graph is stored in two arrays: `adj` concatenates every adjacency
+//! list; `xadj[v] .. xadj[v+1]` delimits vertex `v`'s slice. This is the
+//! fastest possible in-memory layout and serves as the lower bound every
+//! out-of-core engine is compared against (Figures 5.1, 5.4, 5.6).
+//!
+//! Faithful to the prototype:
+//! - ingestion stages edges in a hash map ("we have actually used the
+//!   HashMap implementation … as temporary storage. After flushing the
+//!   graph to disk, the Array GraphDB instance loads the graph into the
+//!   compressed adjacency list arrays"); here [`flush`](ArrayDb::flush)
+//!   performs the rebuild,
+//! - `xadj` is indexed directly by vertex id, so each node pays for the
+//!   whole id range — the thesis' third listed drawback of this format
+//!   ("each node has to store the full xadj array").
+
+use crate::meta_table::MetaTable;
+use crate::traits::GraphDb;
+use mssg_types::{AdjBuffer, Edge, Gid, Meta, MetaOp, Result};
+use std::collections::HashMap;
+
+/// CSR in-memory backend.
+#[derive(Default)]
+pub struct ArrayDb {
+    /// Ingestion staging, keyed by source vertex.
+    staging: HashMap<Gid, Vec<Gid>>,
+    /// Entries staged but not yet built into the CSR.
+    staged_entries: u64,
+    /// Built CSR, if up to date.
+    csr: Option<Csr>,
+    meta: MetaTable,
+}
+
+struct Csr {
+    /// `xadj[v] .. xadj[v+1]` bounds vertex v's adjacency slice. Indexed
+    /// directly by vertex id over `0..=max_gid`.
+    xadj: Vec<u64>,
+    adj: Vec<Gid>,
+}
+
+impl Csr {
+    fn neighbours(&self, v: Gid) -> &[Gid] {
+        let idx = v.index();
+        if idx + 1 >= self.xadj.len() {
+            return &[];
+        }
+        let (lo, hi) = (self.xadj[idx] as usize, self.xadj[idx + 1] as usize);
+        &self.adj[lo..hi]
+    }
+}
+
+impl ArrayDb {
+    /// Creates an empty backend.
+    pub fn new() -> ArrayDb {
+        ArrayDb::default()
+    }
+
+    /// Rebuilds the CSR arrays from staging. Incremental edges added after a
+    /// build are merged with the existing CSR contents.
+    fn build(&mut self) {
+        let mut lists = std::mem::take(&mut self.staging);
+        // Merge previously built data back in (dynamic growth is what this
+        // format is *bad* at — the rebuild cost is honest).
+        if let Some(old) = self.csr.take() {
+            for v in 0..old.xadj.len().saturating_sub(1) {
+                let slice = old.neighbours(Gid::new(v as u64));
+                if !slice.is_empty() {
+                    lists.entry(Gid::new(v as u64)).or_default().extend_from_slice(slice);
+                }
+            }
+        }
+        let max_gid = lists.keys().map(|g| g.raw()).max().map_or(0, |m| m + 1);
+        let mut xadj = vec![0u64; max_gid as usize + 1];
+        for (v, ns) in &lists {
+            xadj[v.index()] = ns.len() as u64;
+        }
+        // Exclusive prefix sum.
+        let mut running = 0u64;
+        for slot in xadj.iter_mut() {
+            let count = *slot;
+            *slot = running;
+            running += count;
+        }
+        xadj.push(running);
+        let mut adj = vec![Gid::new(0); running as usize];
+        let mut cursor = xadj.clone();
+        for (v, ns) in lists {
+            let c = &mut cursor[v.index()];
+            for u in ns {
+                adj[*c as usize] = u;
+                *c += 1;
+            }
+        }
+        self.staged_entries = 0;
+        self.csr = Some(Csr { xadj, adj });
+    }
+
+    fn ensure_built(&mut self) {
+        if self.csr.is_none() || !self.staging.is_empty() {
+            self.build();
+        }
+    }
+}
+
+impl GraphDb for ArrayDb {
+    fn store_edges(&mut self, edges: &[Edge]) -> Result<()> {
+        for e in edges {
+            self.staging.entry(e.src).or_default().push(e.dst);
+            self.staged_entries += 1;
+        }
+        Ok(())
+    }
+
+    fn get_metadata(&mut self, v: Gid) -> Result<Meta> {
+        Ok(self.meta.get(v))
+    }
+
+    fn set_metadata(&mut self, v: Gid, meta: Meta) -> Result<()> {
+        self.meta.set(v, meta);
+        Ok(())
+    }
+
+    fn adjacency(&mut self, v: Gid, out: &mut AdjBuffer, meta: Meta, op: MetaOp) -> Result<()> {
+        self.ensure_built();
+        let csr = self.csr.as_ref().expect("built above");
+        // Split borrows: read neighbours from csr, metadata from the table.
+        for &u in csr.neighbours(v) {
+            if op.admits(self.meta.get(u), meta) {
+                out.push(u);
+            }
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.ensure_built();
+        Ok(())
+    }
+
+    fn local_vertices(&mut self) -> Result<Vec<Gid>> {
+        self.ensure_built();
+        let csr = self.csr.as_ref().expect("built above");
+        let mut vs = Vec::new();
+        for v in 0..csr.xadj.len().saturating_sub(1) {
+            if csr.xadj[v + 1] > csr.xadj[v] {
+                vs.push(Gid::new(v as u64));
+            }
+        }
+        Ok(vs)
+    }
+
+    fn stored_entries(&self) -> u64 {
+        self.staged_entries + self.csr.as_ref().map_or(0, |c| c.adj.len() as u64)
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "Array"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::GraphDbExt;
+
+    fn g(v: u64) -> Gid {
+        Gid::new(v)
+    }
+
+    /// The worked example of thesis Figure 4.1: vertex 0 adjacent to
+    /// 1, 2, 3; vertex 1 adjacent to 0, 2.
+    #[test]
+    fn figure_4_1_layout() {
+        let mut db = ArrayDb::new();
+        db.store_edges(&[
+            Edge::of(0, 1),
+            Edge::of(0, 2),
+            Edge::of(0, 3),
+            Edge::of(1, 0),
+            Edge::of(1, 2),
+        ])
+        .unwrap();
+        db.flush().unwrap();
+        let mut n0 = db.neighbors(g(0)).unwrap();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![g(1), g(2), g(3)]);
+        let mut n1 = db.neighbors(g(1)).unwrap();
+        n1.sort_unstable();
+        assert_eq!(n1, vec![g(0), g(2)]);
+    }
+
+    #[test]
+    fn unknown_vertex_empty() {
+        let mut db = ArrayDb::new();
+        db.store_edges(&[Edge::of(0, 1)]).unwrap();
+        assert!(db.neighbors(g(50)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn metadata_filtering() {
+        let mut db = ArrayDb::new();
+        db.store_edges(&[Edge::of(0, 1), Edge::of(0, 2), Edge::of(0, 3)]).unwrap();
+        db.set_metadata(g(1), 5).unwrap();
+        db.set_metadata(g(2), 7).unwrap();
+        // g(3) stays UNVISITED.
+        let mut out = AdjBuffer::new();
+        db.adjacency(g(0), &mut out, 5, MetaOp::Equal).unwrap();
+        assert_eq!(out.as_slice(), &[g(1)]);
+        out.clear();
+        db.adjacency(g(0), &mut out, 5, MetaOp::NotEqual).unwrap();
+        assert_eq!(out.len(), 2);
+        out.clear();
+        db.adjacency(g(0), &mut out, 6, MetaOp::Greater).unwrap();
+        let mut got = out.take();
+        got.sort_unstable();
+        assert_eq!(got, vec![g(2), g(3)]); // 7 > 6 and UNVISITED > 6
+    }
+
+    #[test]
+    fn incremental_store_after_build() {
+        let mut db = ArrayDb::new();
+        db.store_edges(&[Edge::of(0, 1)]).unwrap();
+        db.flush().unwrap();
+        assert_eq!(db.degree(g(0)).unwrap(), 1);
+        // Dynamic growth forces a rebuild — the format's known weakness,
+        // but correctness must hold.
+        db.store_edges(&[Edge::of(0, 2), Edge::of(5, 0)]).unwrap();
+        let mut n0 = db.neighbors(g(0)).unwrap();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![g(1), g(2)]);
+        assert_eq!(db.neighbors(g(5)).unwrap(), vec![g(0)]);
+    }
+
+    #[test]
+    fn stored_entries_counts_both_phases() {
+        let mut db = ArrayDb::new();
+        db.store_edges(&[Edge::of(0, 1), Edge::of(1, 0)]).unwrap();
+        assert_eq!(db.stored_entries(), 2);
+        db.flush().unwrap();
+        assert_eq!(db.stored_entries(), 2);
+        db.store_edges(&[Edge::of(2, 3)]).unwrap();
+        assert_eq!(db.stored_entries(), 3);
+    }
+
+    #[test]
+    fn parallel_edges_preserved() {
+        let mut db = ArrayDb::new();
+        db.store_edges(&[Edge::of(0, 1), Edge::of(0, 1)]).unwrap();
+        assert_eq!(db.degree(g(0)).unwrap(), 2);
+    }
+
+    #[test]
+    fn sparse_high_ids() {
+        let mut db = ArrayDb::new();
+        db.store_edges(&[Edge::of(1_000_000, 2)]).unwrap();
+        assert_eq!(db.neighbors(g(1_000_000)).unwrap(), vec![g(2)]);
+        assert!(db.neighbors(g(999_999)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn backend_name() {
+        assert_eq!(ArrayDb::new().backend_name(), "Array");
+    }
+}

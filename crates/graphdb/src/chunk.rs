@@ -1,0 +1,174 @@
+//! Adjacency-list chunking for record stores — thesis §4.1.3, Figure 4.3.
+//!
+//! MySQL and BerkeleyDB both store a vertex's adjacency list serialised into
+//! fixed-size binary blobs: "we chose to chunk the adjacency list into
+//! standard-sized blocks (8 KB) … if the adjacency list of a vertex is too
+//! large to fit into one row, it is split over multiple rows" keyed by
+//! `(vertex, chunk_no)`. This module is the shared codec.
+//!
+//! Chunk wire format: `u32` count, then `count` little-endian `u64` vertex
+//! words. A chunk of `CHUNK_BYTES` holds up to
+//! `(CHUNK_BYTES - 4) / 8` entries.
+
+use mssg_types::{Gid, GraphStorageError, Result};
+
+/// The thesis' standard chunk size.
+pub const CHUNK_BYTES: usize = 8 * 1024;
+
+/// Entries that fit in one chunk of `chunk_bytes`.
+pub const fn capacity(chunk_bytes: usize) -> usize {
+    (chunk_bytes - 4) / 8
+}
+
+/// Serialises `neighbours` into chunks of at most `chunk_bytes` bytes.
+/// Every chunk except possibly the last is full.
+pub fn encode(neighbours: &[Gid], chunk_bytes: usize) -> Vec<Vec<u8>> {
+    assert!(chunk_bytes >= 12, "chunk too small to hold a count and one entry");
+    let cap = capacity(chunk_bytes);
+    let mut chunks = Vec::with_capacity(neighbours.len().div_ceil(cap).max(1));
+    if neighbours.is_empty() {
+        return chunks;
+    }
+    for group in neighbours.chunks(cap) {
+        let mut buf = Vec::with_capacity(4 + group.len() * 8);
+        buf.extend_from_slice(&(group.len() as u32).to_le_bytes());
+        for g in group {
+            buf.extend_from_slice(&g.raw().to_le_bytes());
+        }
+        chunks.push(buf);
+    }
+    chunks
+}
+
+/// Appends the contents of one chunk to `out`.
+pub fn decode_into(chunk: &[u8], out: &mut Vec<Gid>) -> Result<()> {
+    if chunk.len() < 4 {
+        return Err(GraphStorageError::corrupt("chunk shorter than its header"));
+    }
+    let count = u32::from_le_bytes(chunk[..4].try_into().unwrap()) as usize;
+    let need = 4 + count * 8;
+    if chunk.len() < need {
+        return Err(GraphStorageError::corrupt(format!(
+            "chunk claims {count} entries but holds only {} bytes",
+            chunk.len()
+        )));
+    }
+    out.reserve(count);
+    for i in 0..count {
+        let off = 4 + i * 8;
+        let word = u64::from_le_bytes(chunk[off..off + 8].try_into().unwrap());
+        out.push(Gid::from_raw(word));
+    }
+    Ok(())
+}
+
+/// Decodes a full sequence of chunks into one adjacency list.
+pub fn decode_all<'a>(chunks: impl Iterator<Item = &'a [u8]>) -> Result<Vec<Gid>> {
+    let mut out = Vec::new();
+    for c in chunks {
+        decode_into(c, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Number of entries a chunk holds, without fully decoding it.
+pub fn chunk_len(chunk: &[u8]) -> Result<usize> {
+    if chunk.len() < 4 {
+        return Err(GraphStorageError::corrupt("chunk shorter than its header"));
+    }
+    Ok(u32::from_le_bytes(chunk[..4].try_into().unwrap()) as usize)
+}
+
+/// `true` if one more entry still fits in a chunk of `chunk_bytes`.
+pub fn has_room(chunk: &[u8], chunk_bytes: usize) -> Result<bool> {
+    Ok(chunk_len(chunk)? < capacity(chunk_bytes))
+}
+
+/// Appends one entry to an existing (non-full) chunk in place.
+pub fn append_entry(chunk: &mut Vec<u8>, g: Gid, chunk_bytes: usize) -> Result<()> {
+    let len = chunk_len(chunk)?;
+    if len >= capacity(chunk_bytes) {
+        return Err(GraphStorageError::CapacityExceeded(format!(
+            "chunk already holds {len} entries"
+        )));
+    }
+    chunk[..4].copy_from_slice(&((len + 1) as u32).to_le_bytes());
+    chunk.extend_from_slice(&g.raw().to_le_bytes());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gs(n: u64) -> Vec<Gid> {
+        (0..n).map(Gid::new).collect()
+    }
+
+    #[test]
+    fn empty_list_no_chunks() {
+        assert!(encode(&[], CHUNK_BYTES).is_empty());
+    }
+
+    #[test]
+    fn single_chunk_roundtrip() {
+        let ns = gs(100);
+        let chunks = encode(&ns, CHUNK_BYTES);
+        assert_eq!(chunks.len(), 1);
+        let back = decode_all(chunks.iter().map(|c| c.as_slice())).unwrap();
+        assert_eq!(back, ns);
+    }
+
+    #[test]
+    fn multi_chunk_roundtrip() {
+        // 8 KB chunks hold (8192-4)/8 = 1023 entries.
+        assert_eq!(capacity(CHUNK_BYTES), 1023);
+        let ns = gs(3000);
+        let chunks = encode(&ns, CHUNK_BYTES);
+        assert_eq!(chunks.len(), 3); // 1023 + 1023 + 954
+        assert_eq!(chunk_len(&chunks[0]).unwrap(), 1023);
+        assert_eq!(chunk_len(&chunks[2]).unwrap(), 3000 - 2 * 1023);
+        let back = decode_all(chunks.iter().map(|c| c.as_slice())).unwrap();
+        assert_eq!(back, ns);
+    }
+
+    #[test]
+    fn small_chunk_size() {
+        let ns = gs(10);
+        let chunks = encode(&ns, 28); // capacity 3
+        assert_eq!(chunks.len(), 4);
+        let back = decode_all(chunks.iter().map(|c| c.as_slice())).unwrap();
+        assert_eq!(back, ns);
+    }
+
+    #[test]
+    fn truncated_chunk_detected() {
+        let mut c = encode(&gs(5), CHUNK_BYTES).remove(0);
+        c.truncate(c.len() - 3);
+        let mut out = Vec::new();
+        assert!(decode_into(&c, &mut out).is_err());
+        assert!(decode_into(&[1, 2], &mut out).is_err());
+    }
+
+    #[test]
+    fn append_until_full() {
+        let bytes = 28; // capacity 3
+        let mut chunk = encode(&gs(1), bytes).remove(0);
+        assert!(has_room(&chunk, bytes).unwrap());
+        append_entry(&mut chunk, Gid::new(50), bytes).unwrap();
+        append_entry(&mut chunk, Gid::new(51), bytes).unwrap();
+        assert!(!has_room(&chunk, bytes).unwrap());
+        assert!(append_entry(&mut chunk, Gid::new(52), bytes).is_err());
+        let mut out = Vec::new();
+        decode_into(&chunk, &mut out).unwrap();
+        assert_eq!(out, vec![Gid::new(0), Gid::new(50), Gid::new(51)]);
+    }
+
+    #[test]
+    fn tagged_words_pass_through() {
+        let ns = vec![Gid::new(1), Gid::tagged(2, 99)];
+        let chunks = encode(&ns, CHUNK_BYTES);
+        let back = decode_all(chunks.iter().map(|c| c.as_slice())).unwrap();
+        assert_eq!(back, ns);
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! The GraphDB service interface and in-memory backends.
+//!
+//! The thesis' single most load-bearing abstraction is the tiny `Graph`
+//! interface of Listing 3.1: *store edges*, *get/set per-vertex metadata*,
+//! and *retrieve an adjacency list filtered by metadata*. Every storage
+//! engine — in-memory or out-of-core — implements it, and every analysis
+//! (the out-of-core BFS in `mssg-core`) is written against it. None of the
+//! methods communicate: they operate purely on data local to one back-end
+//! node, and return the **empty set** for vertices stored elsewhere, which
+//! is exactly what lets Algorithm 1 handle all distribution cases uniformly.
+//!
+//! This crate provides:
+//! - [`GraphDb`] — the trait (Listing 3.1, plus the batch
+//!   [`expand_fringe`](GraphDb::expand_fringe) entry point that StreamDB
+//!   needs, per thesis §4.1.5),
+//! - [`ArrayDb`] — the compressed-adjacency-list (CSR) backend (§4.1.1),
+//! - [`HashMapDb`] — the hash-table-of-adjacency-lists backend (§4.1.2),
+//! - [`MetaTable`] — the shared in-memory per-vertex metadata store,
+//! - [`chunk`] — the 8 KB adjacency-list chunking shared by the MySQL and
+//!   BerkeleyDB adapters (§4.1.3, Figure 4.3).
+
+pub mod array;
+pub mod chunk;
+pub mod hashmap;
+pub mod meta_table;
+pub mod traits;
+
+pub use array::ArrayDb;
+pub use hashmap::HashMapDb;
+pub use meta_table::MetaTable;
+pub use traits::{GraphDb, GraphDbExt};

@@ -1,0 +1,213 @@
+//! The `GraphDb` trait — Rust rendering of thesis Listing 3.1.
+
+use mssg_types::{AdjBuffer, Edge, Gid, Meta, MetaOp, Result};
+
+/// The GraphDB service interface.
+///
+/// Semantics carried over from the thesis:
+///
+/// - All operations are **local**: no method communicates with other nodes.
+/// - [`adjacency`](GraphDb::adjacency) **appends** the (filtered) neighbours
+///   of `v` to `out` and returns the empty set for vertices this node does
+///   not store — Algorithm 1 depends on that to handle every distribution
+///   case without special-casing.
+/// - The metadata filter compares each *neighbour's* metadata word against
+///   the `meta` argument under `op` (so a BFS fringe expansion can ask the
+///   engine for "neighbours not yet at this level" while the block is hot).
+/// - Metadata of a vertex never seen defaults to
+///   [`UNVISITED`](mssg_types::UNVISITED).
+pub trait GraphDb {
+    /// Stores a batch of directed adjacency entries. (The ingestion service
+    /// materialises each undirected edge as two directed entries before
+    /// calling this.)
+    fn store_edges(&mut self, edges: &[Edge]) -> Result<()>;
+
+    /// Reads the metadata word of `v`.
+    fn get_metadata(&mut self, v: Gid) -> Result<Meta>;
+
+    /// Writes the metadata word of `v`.
+    fn set_metadata(&mut self, v: Gid, meta: Meta) -> Result<()>;
+
+    /// Appends to `out` every neighbour `u` of `v` whose metadata satisfies
+    /// `op` against `meta`. Unknown vertices contribute nothing.
+    fn adjacency(&mut self, v: Gid, out: &mut AdjBuffer, meta: Meta, op: MetaOp) -> Result<()>;
+
+    /// Expands a whole fringe at once: appends the filtered neighbours of
+    /// every vertex in `fringe` to `out`.
+    ///
+    /// The default implementation loops over point lookups. StreamDB
+    /// overrides it with a single scan of its edge log — the thesis'
+    /// Active-Disk-style design requires search algorithms to "post a
+    /// request for all of the fringe vertices at once".
+    fn expand_fringe(
+        &mut self,
+        fringe: &[Gid],
+        out: &mut AdjBuffer,
+        meta: Meta,
+        op: MetaOp,
+    ) -> Result<()> {
+        for &v in fringe {
+            self.adjacency(v, out, meta, op)?;
+        }
+        Ok(())
+    }
+
+    /// `true` if per-vertex point lookups are efficient. StreamDB returns
+    /// `false`: callers should batch through
+    /// [`expand_fringe`](GraphDb::expand_fringe).
+    fn supports_point_queries(&self) -> bool {
+        true
+    }
+
+    /// Flushes buffered state to its final home (disk for out-of-core
+    /// engines, the CSR arrays for `ArrayDb`). Called by the ingestion
+    /// service when a stream ends.
+    fn flush(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    /// Idle-time maintenance (e.g. grDB's background defragmentation).
+    /// Default: nothing to do.
+    fn maintenance(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    /// The distinct source vertices stored locally (vertices whose
+    /// adjacency list — or part of it, under edge granularity — lives on
+    /// this node). Whole-graph analyses such as connected components use
+    /// this to seed their per-node state.
+    fn local_vertices(&mut self) -> Result<Vec<Gid>>;
+
+    /// Number of directed adjacency entries stored locally.
+    fn stored_entries(&self) -> u64;
+
+    /// Short engine name for reports ("Array", "grDB", …).
+    fn backend_name(&self) -> &'static str;
+}
+
+/// Convenience helpers layered on [`GraphDb`].
+pub trait GraphDbExt: GraphDb {
+    /// All neighbours of `v`, unfiltered, as a fresh vector.
+    fn neighbors(&mut self, v: Gid) -> Result<Vec<Gid>> {
+        let mut buf = AdjBuffer::new();
+        self.adjacency(v, &mut buf, 0, MetaOp::Ignore)?;
+        Ok(buf.take())
+    }
+
+    /// Degree of `v` in this node's partition.
+    fn degree(&mut self, v: Gid) -> Result<usize> {
+        Ok(self.neighbors(v)?.len())
+    }
+
+    /// Stores one undirected edge as two directed entries.
+    fn store_undirected(&mut self, e: Edge) -> Result<()> {
+        self.store_edges(&[e, e.reversed()])
+    }
+}
+
+impl<T: GraphDb + ?Sized> GraphDbExt for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Minimal reference implementation used to pin the default-method
+    /// behaviour of the trait itself.
+    #[derive(Default)]
+    struct ToyDb {
+        adj: HashMap<Gid, Vec<Gid>>,
+        meta: HashMap<Gid, Meta>,
+        entries: u64,
+    }
+
+    impl GraphDb for ToyDb {
+        fn store_edges(&mut self, edges: &[Edge]) -> Result<()> {
+            for e in edges {
+                self.adj.entry(e.src).or_default().push(e.dst);
+                self.entries += 1;
+            }
+            Ok(())
+        }
+
+        fn get_metadata(&mut self, v: Gid) -> Result<Meta> {
+            Ok(self.meta.get(&v).copied().unwrap_or(mssg_types::UNVISITED))
+        }
+
+        fn set_metadata(&mut self, v: Gid, meta: Meta) -> Result<()> {
+            self.meta.insert(v, meta);
+            Ok(())
+        }
+
+        fn adjacency(
+            &mut self,
+            v: Gid,
+            out: &mut AdjBuffer,
+            meta: Meta,
+            op: MetaOp,
+        ) -> Result<()> {
+            let neighbours = match self.adj.get(&v) {
+                Some(ns) => ns.clone(),
+                None => return Ok(()),
+            };
+            for u in neighbours {
+                let m = self.meta.get(&u).copied().unwrap_or(mssg_types::UNVISITED);
+                if op.admits(m, meta) {
+                    out.push(u);
+                }
+            }
+            Ok(())
+        }
+
+        fn local_vertices(&mut self) -> Result<Vec<Gid>> {
+            let mut vs: Vec<Gid> = self.adj.keys().copied().collect();
+            vs.sort_unstable();
+            Ok(vs)
+        }
+
+        fn stored_entries(&self) -> u64 {
+            self.entries
+        }
+
+        fn backend_name(&self) -> &'static str {
+            "Toy"
+        }
+    }
+
+    #[test]
+    fn default_expand_fringe_loops_point_queries() {
+        let mut db = ToyDb::default();
+        db.store_edges(&[Edge::of(0, 1), Edge::of(0, 2), Edge::of(3, 4)]).unwrap();
+        let mut out = AdjBuffer::new();
+        db.expand_fringe(&[Gid::new(0), Gid::new(3)], &mut out, 0, MetaOp::Ignore).unwrap();
+        let mut got = out.take();
+        got.sort_unstable();
+        assert_eq!(got, vec![Gid::new(1), Gid::new(2), Gid::new(4)]);
+    }
+
+    #[test]
+    fn ext_neighbors_and_degree() {
+        let mut db = ToyDb::default();
+        db.store_undirected(Edge::of(7, 8)).unwrap();
+        assert_eq!(db.neighbors(Gid::new(7)).unwrap(), vec![Gid::new(8)]);
+        assert_eq!(db.degree(Gid::new(8)).unwrap(), 1);
+        assert_eq!(db.degree(Gid::new(9)).unwrap(), 0);
+    }
+
+    #[test]
+    fn unknown_vertex_is_empty_not_error() {
+        let mut db = ToyDb::default();
+        let mut out = AdjBuffer::new();
+        db.adjacency(Gid::new(99), &mut out, 0, MetaOp::Ignore).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn works_as_trait_object() {
+        let mut db: Box<dyn GraphDb> = Box::new(ToyDb::default());
+        db.store_edges(&[Edge::of(1, 2)]).unwrap();
+        assert_eq!(db.stored_entries(), 1);
+        // Ext methods resolve through the blanket impl for ?Sized.
+        assert_eq!(db.neighbors(Gid::new(1)).unwrap(), vec![Gid::new(2)]);
+    }
+}

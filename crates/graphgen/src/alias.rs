@@ -1,0 +1,180 @@
+//! Walker alias method for O(1) sampling from a discrete distribution.
+//!
+//! The Chung–Lu generator draws both endpoints of every edge from the
+//! vertex-weight distribution; with hundreds of millions of edges that draw
+//! must be constant-time. The alias method precomputes, for each of `n`
+//! equal-probability columns, a threshold and an alias index; a sample is
+//! one uniform draw plus one comparison.
+
+use crate::rng::Xoshiro256;
+
+/// A prepared alias table over indices `0..n`.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds a table from non-negative weights. Weights need not be
+    /// normalised.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, sums to zero, or has more than `u32::MAX` entries.
+    pub fn new(weights: &[f64]) -> AliasTable {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        assert!(weights.len() <= u32::MAX as usize, "too many weights");
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total.is_finite() && total > 0.0,
+            "weights must be finite, non-negative, and not all zero"
+        );
+        let n = weights.len();
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights
+            .iter()
+            .map(|&w| {
+                assert!(w >= 0.0 && w.is_finite(), "negative or non-finite weight {w}");
+                w * scale
+            })
+            .collect();
+        let mut alias = vec![0u32; n];
+        // Partition columns into under- and over-full.
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            // Donate the overfull column's mass to fill column s.
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers: any column still queued is exactly full.
+        for i in small.into_iter().chain(large) {
+            prob[i as usize] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// `true` if the table has no outcomes (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one index according to the weight distribution.
+    #[inline]
+    pub fn sample(&self, rng: &mut Xoshiro256) -> usize {
+        let col = rng.next_below(self.prob.len() as u64) as usize;
+        if rng.next_f64() < self.prob[col] {
+            col
+        } else {
+            self.alias[col] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_outcome() {
+        let t = AliasTable::new(&[3.0]);
+        let mut r = Xoshiro256::seeded(1);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut r), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_never_sampled() {
+        let t = AliasTable::new(&[1.0, 0.0, 1.0]);
+        let mut r = Xoshiro256::seeded(2);
+        for _ in 0..10_000 {
+            assert_ne!(t.sample(&mut r), 1);
+        }
+    }
+
+    #[test]
+    fn frequencies_match_weights() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let t = AliasTable::new(&weights);
+        let mut r = Xoshiro256::seeded(3);
+        let mut counts = [0u64; 4];
+        let n = 400_000;
+        for _ in 0..n {
+            counts[t.sample(&mut r)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = n as f64 * w / total;
+            let got = counts[i] as f64;
+            assert!(
+                (got - expected).abs() < expected * 0.03,
+                "outcome {i}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn heavily_skewed_distribution() {
+        // Power-law-ish: one huge hub plus a tail, the regime the graph
+        // generator uses the table in.
+        let mut weights = vec![1000.0];
+        weights.extend(std::iter::repeat(1.0).take(999));
+        let t = AliasTable::new(&weights);
+        let mut r = Xoshiro256::seeded(4);
+        let n = 200_000;
+        let hub_hits = (0..n).filter(|_| t.sample(&mut r) == 0).count();
+        let expected = n as f64 * 1000.0 / 1999.0;
+        assert!(
+            (hub_hits as f64 - expected).abs() < expected * 0.05,
+            "hub sampled {hub_hits} times, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn empty_rejected() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all zero")]
+    fn all_zero_rejected() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative or non-finite")]
+    fn negative_rejected() {
+        let _ = AliasTable::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    fn uniform_weights_cover_all() {
+        let t = AliasTable::new(&vec![1.0; 64]);
+        let mut r = Xoshiro256::seeded(5);
+        let mut seen = vec![false; 64];
+        for _ in 0..20_000 {
+            seen[t.sample(&mut r)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,240 @@
+//! Edge-list file formats.
+//!
+//! The thesis' ingestion experiments stream ASCII edge lists in and note
+//! that the back-end output format is binary ("the output format is more
+//! efficient than the ingestion node format … the output format is binary,
+//! while the input data is ASCII", Figure 5.5 discussion). Both formats are
+//! implemented so the harness can reproduce that asymmetry:
+//!
+//! - **ASCII**: one `src dst\n` pair per line, `#`-prefixed comment lines
+//!   ignored.
+//! - **Binary**: 16-byte little-endian records (see [`Edge::to_bytes`]).
+
+use mssg_types::{Edge, Gid, GraphStorageError, Result};
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Writes an edge stream as ASCII, returning the number of edges written.
+pub fn write_ascii(path: &Path, edges: impl Iterator<Item = Edge>) -> Result<u64> {
+    let mut w = BufWriter::new(File::create(path)?);
+    let mut count = 0u64;
+    for e in edges {
+        writeln!(w, "{} {}", e.src.raw(), e.dst.raw())?;
+        count += 1;
+    }
+    w.flush()?;
+    Ok(count)
+}
+
+/// Streaming reader for ASCII edge lists.
+pub struct AsciiEdgeReader<R: BufRead> {
+    lines: std::io::Lines<R>,
+    line_no: u64,
+}
+
+impl AsciiEdgeReader<BufReader<File>> {
+    /// Opens an ASCII edge-list file.
+    pub fn open(path: &Path) -> Result<Self> {
+        Ok(AsciiEdgeReader { lines: BufReader::new(File::open(path)?).lines(), line_no: 0 })
+    }
+}
+
+impl<R: BufRead> AsciiEdgeReader<R> {
+    /// Wraps any buffered reader.
+    pub fn new(reader: R) -> Self {
+        AsciiEdgeReader { lines: reader.lines(), line_no: 0 }
+    }
+
+    fn parse(&self, line: &str) -> Result<Option<Edge>> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(None);
+        }
+        let mut it = line.split_ascii_whitespace();
+        let bad = |what: &str| {
+            GraphStorageError::corrupt(format!(
+                "ASCII edge list line {}: {what}: {line:?}",
+                self.line_no
+            ))
+        };
+        let src: u64 = it.next().ok_or_else(|| bad("missing src"))?.parse().map_err(|_| bad("bad src"))?;
+        let dst: u64 = it.next().ok_or_else(|| bad("missing dst"))?.parse().map_err(|_| bad("bad dst"))?;
+        if it.next().is_some() {
+            return Err(bad("trailing tokens"));
+        }
+        let src = Gid::try_new(src).ok_or_else(|| bad("src overflows 61 bits"))?;
+        let dst = Gid::try_new(dst).ok_or_else(|| bad("dst overflows 61 bits"))?;
+        Ok(Some(Edge::new(src, dst)))
+    }
+}
+
+impl<R: BufRead> Iterator for AsciiEdgeReader<R> {
+    type Item = Result<Edge>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let line = match self.lines.next()? {
+                Ok(l) => l,
+                Err(e) => return Some(Err(e.into())),
+            };
+            self.line_no += 1;
+            match self.parse(&line) {
+                Ok(Some(edge)) => return Some(Ok(edge)),
+                Ok(None) => continue,
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+/// Writes an edge stream as 16-byte binary records.
+pub fn write_binary(path: &Path, edges: impl Iterator<Item = Edge>) -> Result<u64> {
+    let mut w = BufWriter::new(File::create(path)?);
+    let mut count = 0u64;
+    for e in edges {
+        w.write_all(&e.to_bytes())?;
+        count += 1;
+    }
+    w.flush()?;
+    Ok(count)
+}
+
+/// Streaming reader for binary edge lists.
+pub struct BinaryEdgeReader<R: Read> {
+    reader: R,
+}
+
+impl BinaryEdgeReader<BufReader<File>> {
+    /// Opens a binary edge-list file.
+    pub fn open(path: &Path) -> Result<Self> {
+        Ok(BinaryEdgeReader { reader: BufReader::new(File::open(path)?) })
+    }
+}
+
+impl<R: Read> BinaryEdgeReader<R> {
+    /// Wraps any reader.
+    pub fn new(reader: R) -> Self {
+        BinaryEdgeReader { reader }
+    }
+}
+
+impl<R: Read> Iterator for BinaryEdgeReader<R> {
+    type Item = Result<Edge>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let mut buf = [0u8; 16];
+        let mut filled = 0;
+        while filled < 16 {
+            match self.reader.read(&mut buf[filled..]) {
+                Ok(0) if filled == 0 => return None,
+                Ok(0) => {
+                    return Some(Err(GraphStorageError::corrupt(
+                        "binary edge file truncated mid-record",
+                    )))
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Some(Err(e.into())),
+            }
+        }
+        Some(Ok(Edge::from_bytes(&buf)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn tmpfile(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("graphgen-io-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d.join(tag)
+    }
+
+    fn sample_edges() -> Vec<Edge> {
+        vec![Edge::of(0, 1), Edge::of(1, 2), Edge::of(1_000_000, 7)]
+    }
+
+    #[test]
+    fn ascii_roundtrip() {
+        let p = tmpfile("a.txt");
+        let edges = sample_edges();
+        let n = write_ascii(&p, edges.iter().copied()).unwrap();
+        assert_eq!(n, 3);
+        let back: Vec<Edge> =
+            AsciiEdgeReader::open(&p).unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(back, edges);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let p = tmpfile("b.bin");
+        let edges = sample_edges();
+        write_binary(&p, edges.iter().copied()).unwrap();
+        let back: Vec<Edge> =
+            BinaryEdgeReader::open(&p).unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(back, edges);
+        // Binary is exactly 16 bytes per edge — the efficiency the thesis
+        // credits StreamDB's output format with.
+        assert_eq!(std::fs::metadata(&p).unwrap().len(), 48);
+    }
+
+    #[test]
+    fn ascii_skips_comments_and_blanks() {
+        let text = "# comment\n\n0 1\n  # indented comment\n2 3\n";
+        let edges: Vec<Edge> = AsciiEdgeReader::new(Cursor::new(text))
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(edges, vec![Edge::of(0, 1), Edge::of(2, 3)]);
+    }
+
+    #[test]
+    fn ascii_rejects_garbage() {
+        let cases = ["0\n", "a b\n", "1 2 3\n", "99999999999999999999 1\n"];
+        for c in cases {
+            let r: Result<Vec<Edge>> = AsciiEdgeReader::new(Cursor::new(c)).collect();
+            assert!(r.is_err(), "{c:?} should fail");
+        }
+    }
+
+    #[test]
+    fn ascii_error_mentions_line_number() {
+        let text = "0 1\nbroken\n";
+        let err = AsciiEdgeReader::new(Cursor::new(text))
+            .collect::<Result<Vec<_>>>()
+            .unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn binary_detects_truncation() {
+        let mut bytes = Edge::of(1, 2).to_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 7]); // half a record
+        let r: Result<Vec<Edge>> = BinaryEdgeReader::new(Cursor::new(bytes)).collect();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn empty_files() {
+        let p = tmpfile("empty.txt");
+        write_ascii(&p, std::iter::empty()).unwrap();
+        assert_eq!(AsciiEdgeReader::open(&p).unwrap().count(), 0);
+        let q = tmpfile("empty.bin");
+        write_binary(&q, std::iter::empty()).unwrap();
+        assert_eq!(BinaryEdgeReader::open(&q).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn ascii_larger_than_binary() {
+        // Sanity check of the format-size asymmetry the thesis mentions.
+        let edges: Vec<Edge> =
+            (0..1000).map(|i| Edge::of(i + 1_000_000_000, i + 2_000_000_000)).collect();
+        let pa = tmpfile("size.txt");
+        let pb = tmpfile("size.bin");
+        write_ascii(&pa, edges.iter().copied()).unwrap();
+        write_binary(&pb, edges.iter().copied()).unwrap();
+        assert!(std::fs::metadata(&pa).unwrap().len() > std::fs::metadata(&pb).unwrap().len());
+    }
+}

@@ -1,0 +1,191 @@
+//! Workload presets calibrated to the thesis' Table 5.1.
+//!
+//! | Graph    | Vertices    | Und. edges  | Min | Max       | Avg   |
+//! |----------|-------------|-------------|-----|-----------|-------|
+//! | PubMed-S | 3,751,921   | 27,841,339  | 1   | 722,692   | 14.84 |
+//! | PubMed-L | 26,676,177  | 259,815,339 | 1   | 6,114,328 | 19.48 |
+//! | Syn-2B   | 100,000,000 | 999,999,820 | 1   | 42,964    | 20.00 |
+//!
+//! The real PubMed graphs are unavailable, so each preset is a Chung–Lu
+//! configuration whose vertex count, edge count, and *expected* hub degree
+//! scale down from the published numbers by a common factor. Scaling keeps
+//! the hub-to-graph-size ratio — PubMed-S's biggest hub touches ~19 % of
+//! all vertices, Syn-2B's only ~0.04 % — which is what differentiates the
+//! experiments' behaviour across the three graphs.
+
+use crate::generate::{solve_exponent, ChungLu, ChungLuConfig};
+use mssg_types::Edge;
+
+/// One of the paper's three experimental graphs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum GraphPreset {
+    /// The small PubMed extraction.
+    PubMedS,
+    /// The large PubMed extraction.
+    PubMedL,
+    /// The 2-billion-endpoint synthetic graph.
+    Syn2B,
+}
+
+impl GraphPreset {
+    /// Published full-size statistics: `(vertices, edges, max_degree)`.
+    pub fn paper_size(self) -> (u64, u64, u64) {
+        match self {
+            GraphPreset::PubMedS => (3_751_921, 27_841_339, 722_692),
+            GraphPreset::PubMedL => (26_676_177, 259_815_339, 6_114_328),
+            GraphPreset::Syn2B => (100_000_000, 999_999_820, 42_964),
+        }
+    }
+
+    /// Published average degree, for reporting alongside measurements.
+    pub fn paper_avg_degree(self) -> f64 {
+        match self {
+            GraphPreset::PubMedS => 14.84,
+            GraphPreset::PubMedL => 19.48,
+            GraphPreset::Syn2B => 20.00,
+        }
+    }
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            GraphPreset::PubMedS => "PubMed-S",
+            GraphPreset::PubMedL => "PubMed-L",
+            GraphPreset::Syn2B => "Syn-2B",
+        }
+    }
+
+    /// Builds a workload scaled down by `1/scale_div` (1 = full size).
+    pub fn workload(self, scale_div: u64, seed: u64) -> Workload {
+        assert!(scale_div >= 1, "scale divisor must be at least 1");
+        let (v, e, max_d) = self.paper_size();
+        let vertices = (v / scale_div).max(64);
+        let edges = (e / scale_div).max(vertices);
+        // Keep the hub fraction: hub touches the same share of vertices.
+        let hub_fraction = max_d as f64 / v as f64;
+        let target_max = (hub_fraction * vertices as f64).max(8.0);
+        let exponent = solve_exponent(vertices, edges, target_max);
+        Workload {
+            preset: self,
+            config: ChungLuConfig { vertices, edges, exponent, seed },
+        }
+    }
+}
+
+/// A concrete, scaled workload: preset identity plus generator parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Workload {
+    /// Which paper graph this stands in for.
+    pub preset: GraphPreset,
+    /// The calibrated generator configuration.
+    pub config: ChungLuConfig,
+}
+
+impl Workload {
+    /// Number of vertices in the scaled graph.
+    pub fn vertices(&self) -> u64 {
+        self.config.vertices
+    }
+
+    /// Number of undirected edges the stream will carry.
+    pub fn edges(&self) -> u64 {
+        self.config.edges
+    }
+
+    /// Instantiates the edge stream.
+    pub fn edge_stream(&self) -> ChungLu {
+        ChungLu::new(&self.config)
+    }
+
+    /// Materialises all edges (for in-memory experiment phases).
+    pub fn collect_edges(&self) -> Vec<Edge> {
+        self.edge_stream().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::degree_stats;
+
+    #[test]
+    fn presets_have_paper_sizes() {
+        let (v, e, _) = GraphPreset::PubMedS.paper_size();
+        assert_eq!(v, 3_751_921);
+        assert_eq!(e, 27_841_339);
+        assert!((GraphPreset::Syn2B.paper_avg_degree() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_workload_preserves_avg_degree() {
+        for preset in [GraphPreset::PubMedS, GraphPreset::PubMedL, GraphPreset::Syn2B] {
+            let w = preset.workload(1024, 1);
+            let got = w.config.avg_degree();
+            let want = preset.paper_avg_degree();
+            assert!(
+                (got - want).abs() < want * 0.15,
+                "{}: avg degree {got} vs paper {want}",
+                preset.name()
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_workload_preserves_hub_fraction() {
+        let w = GraphPreset::PubMedS.workload(256, 2);
+        let (v_full, _, max_full) = GraphPreset::PubMedS.paper_size();
+        let paper_fraction = max_full as f64 / v_full as f64;
+        let expected_hub = w.config.expected_max_degree();
+        let got_fraction = expected_hub / w.vertices() as f64;
+        assert!(
+            (got_fraction - paper_fraction).abs() < paper_fraction * 0.2,
+            "hub fraction {got_fraction} vs paper {paper_fraction}"
+        );
+    }
+
+    #[test]
+    fn pubmed_hubbier_than_syn() {
+        // PubMed's hub fraction (~19 %) dwarfs Syn-2B's (~0.04 %); scaled
+        // workloads must keep that ordering — it drives Figures 5.8/5.9.
+        let pm = GraphPreset::PubMedS.workload(512, 3);
+        let syn = GraphPreset::Syn2B.workload(8192, 3);
+        let pm_frac = pm.config.expected_max_degree() / pm.vertices() as f64;
+        let syn_frac = syn.config.expected_max_degree() / syn.vertices() as f64;
+        assert!(
+            pm_frac > 10.0 * syn_frac,
+            "PubMed-S hub fraction {pm_frac} not ≫ Syn-2B {syn_frac}"
+        );
+    }
+
+    #[test]
+    fn workload_stream_matches_stats() {
+        let w = GraphPreset::PubMedS.workload(2048, 4);
+        let stats = degree_stats(w.edge_stream(), w.vertices());
+        assert_eq!(stats.und_edges, w.edges());
+        assert!(stats.min_degree >= 1);
+        assert!(
+            (stats.avg_degree - w.config.avg_degree()).abs() < w.config.avg_degree() * 0.5,
+            "avg {} vs configured {}",
+            stats.avg_degree,
+            w.config.avg_degree()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = GraphPreset::Syn2B.workload(16384, 5).collect_edges();
+        let b = GraphPreset::Syn2B.workload(16384, 5).collect_edges();
+        assert_eq!(a, b);
+        let c = GraphPreset::Syn2B.workload(16384, 6).collect_edges();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn scale_one_keeps_paper_counts() {
+        // Full-size workloads must report the paper's exact V and E without
+        // actually generating anything.
+        let w = GraphPreset::PubMedL.workload(1, 0);
+        assert_eq!(w.vertices(), 26_676_177);
+        assert_eq!(w.edges(), 259_815_339);
+    }
+}

@@ -1,0 +1,195 @@
+//! Degree statistics — the columns of the thesis' Table 5.1, plus a
+//! power-law exponent fit used to verify that generated graphs are in fact
+//! scale-free.
+
+use mssg_types::Edge;
+
+/// Statistics over an undirected edge stream, matching Table 5.1.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Vertices with at least one incident edge.
+    pub vertices: u64,
+    /// Number of undirected edges consumed (parallel edges counted as
+    /// given, exactly as an ingestion stream would deliver them).
+    pub und_edges: u64,
+    /// Minimum degree among non-isolated vertices.
+    pub min_degree: u64,
+    /// Maximum degree.
+    pub max_degree: u64,
+    /// Average degree among non-isolated vertices (`2E / V`).
+    pub avg_degree: f64,
+}
+
+/// Computes [`DegreeStats`] over an edge stream. `n` bounds the vertex id
+/// space (ids must be `< n`).
+pub fn degree_stats(edges: impl Iterator<Item = Edge>, n: u64) -> DegreeStats {
+    let mut deg = vec![0u64; n as usize];
+    let mut und_edges = 0u64;
+    for e in edges {
+        deg[e.src.index()] += 1;
+        deg[e.dst.index()] += 1;
+        und_edges += 1;
+    }
+    let mut vertices = 0u64;
+    let mut min_degree = u64::MAX;
+    let mut max_degree = 0u64;
+    let mut total = 0u64;
+    for &d in &deg {
+        if d > 0 {
+            vertices += 1;
+            min_degree = min_degree.min(d);
+            max_degree = max_degree.max(d);
+            total += d;
+        }
+    }
+    if vertices == 0 {
+        min_degree = 0;
+    }
+    DegreeStats {
+        vertices,
+        und_edges,
+        min_degree,
+        max_degree,
+        avg_degree: if vertices == 0 { 0.0 } else { total as f64 / vertices as f64 },
+    }
+}
+
+/// A degree histogram: `hist[d]` = number of vertices with degree `d`.
+pub fn degree_histogram(edges: impl Iterator<Item = Edge>, n: u64) -> Vec<u64> {
+    let mut deg = vec![0u64; n as usize];
+    for e in edges {
+        deg[e.src.index()] += 1;
+        deg[e.dst.index()] += 1;
+    }
+    let max = deg.iter().copied().max().unwrap_or(0) as usize;
+    let mut hist = vec![0u64; max + 1];
+    for &d in &deg {
+        hist[d as usize] += 1;
+    }
+    hist
+}
+
+/// Fits `count(degree) ∝ degree^{-β}` by least squares on the log-log
+/// histogram (degrees ≥ 1 with non-zero counts). Returns the estimated `β`,
+/// or `None` if fewer than three histogram points exist.
+///
+/// Scale-free graphs give `β` roughly in `[1.5, 3.5]`; ER graphs produce
+/// poor fits with much steeper tails, which tests exploit.
+pub fn powerlaw_exponent(hist: &[u64]) -> Option<f64> {
+    let pts: Vec<(f64, f64)> = hist
+        .iter()
+        .enumerate()
+        .skip(1)
+        .filter(|&(_, &c)| c > 0)
+        .map(|(d, &c)| ((d as f64).ln(), (c as f64).ln()))
+        .collect();
+    if pts.len() < 3 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    Some(-slope)
+}
+
+impl std::fmt::Display for DegreeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "V={} E={} deg[min={} max={} avg={:.2}]",
+            self.vertices, self.und_edges, self.min_degree, self.max_degree, self.avg_degree
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: u64) -> Vec<Edge> {
+        (0..n - 1).map(|i| Edge::of(i, i + 1)).collect()
+    }
+
+    #[test]
+    fn path_stats() {
+        let s = degree_stats(path_graph(5).into_iter(), 5);
+        assert_eq!(s.vertices, 5);
+        assert_eq!(s.und_edges, 4);
+        assert_eq!(s.min_degree, 1);
+        assert_eq!(s.max_degree, 2);
+        assert!((s.avg_degree - 8.0 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn star_stats() {
+        let edges: Vec<Edge> = (1..=6).map(|i| Edge::of(0, i)).collect();
+        let s = degree_stats(edges.into_iter(), 7);
+        assert_eq!(s.max_degree, 6);
+        assert_eq!(s.min_degree, 1);
+        assert_eq!(s.vertices, 7);
+    }
+
+    #[test]
+    fn isolated_vertices_excluded() {
+        let s = degree_stats(vec![Edge::of(0, 1)].into_iter(), 100);
+        assert_eq!(s.vertices, 2);
+        assert_eq!(s.min_degree, 1);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let s = degree_stats(std::iter::empty(), 10);
+        assert_eq!(s.vertices, 0);
+        assert_eq!(s.und_edges, 0);
+        assert_eq!(s.min_degree, 0);
+        assert_eq!(s.avg_degree, 0.0);
+    }
+
+    #[test]
+    fn parallel_edges_counted() {
+        let edges = vec![Edge::of(0, 1), Edge::of(0, 1)];
+        let s = degree_stats(edges.into_iter(), 2);
+        assert_eq!(s.und_edges, 2);
+        assert_eq!(s.max_degree, 2);
+    }
+
+    #[test]
+    fn histogram_shape() {
+        let h = degree_histogram(path_graph(4).into_iter(), 4);
+        // Degrees: 1,2,2,1 → hist[1]=2, hist[2]=2.
+        assert_eq!(h[1], 2);
+        assert_eq!(h[2], 2);
+    }
+
+    #[test]
+    fn powerlaw_fit_on_exact_powerlaw() {
+        // Build a histogram that is exactly count(d) = 1000 * d^-2.
+        let hist: Vec<u64> =
+            (0..50).map(|d| if d == 0 { 0 } else { (1000.0 / (d * d) as f64) as u64 }).collect();
+        let beta = powerlaw_exponent(&hist).unwrap();
+        assert!((beta - 2.0).abs() < 0.2, "fit {beta}");
+    }
+
+    #[test]
+    fn powerlaw_fit_needs_points() {
+        assert_eq!(powerlaw_exponent(&[0, 5]), None);
+        assert_eq!(powerlaw_exponent(&[]), None);
+    }
+
+    #[test]
+    fn generated_scale_free_fits_powerlaw() {
+        use crate::generate::{ChungLu, ChungLuConfig};
+        let cfg = ChungLuConfig { vertices: 5000, edges: 50_000, exponent: 0.75, seed: 2 };
+        let edges: Vec<Edge> = ChungLu::new(&cfg).collect();
+        let hist = degree_histogram(edges.into_iter(), 5000);
+        let beta = powerlaw_exponent(&hist).unwrap();
+        assert!(beta > 0.8 && beta < 4.0, "implausible power-law exponent {beta}");
+    }
+}

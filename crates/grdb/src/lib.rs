@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+//! grDB — the MSSG multi-level out-of-core graph database (thesis §3.4.1,
+//! §4.1.6). This is the paper's primary storage contribution.
+//!
+//! # Layout
+//!
+//! A grDB instance keeps one *storage file space* per level ℓ. Level-ℓ
+//! sub-blocks hold up to `d_ℓ` 8-byte words, with `d_ℓ ≥ 2·d_{ℓ−1}` — an
+//! exponential schedule matched to the power-law degree distribution of
+//! scale-free graphs: almost every vertex fits entirely in its level-0
+//! sub-block, and only the rare hubs cascade into the big sub-blocks of the
+//! high levels.
+//!
+//! - The beginning of vertex `v`'s adjacency list is the `v`-th sub-block of
+//!   level 0 (direct addressing, no index).
+//! - Sub-blocks are packed `k_ℓ = B_ℓ / (8·d_ℓ)` to a block (`B_ℓ` = block
+//!   size, the unit of I/O and of caching) and blocks are packed
+//!   `N_ℓ = M / B_ℓ` to a file of at most `M` bytes; sub-block `s` lives in
+//!   file `s/k_ℓ/N_ℓ` at the offset the thesis gives by modulo arithmetic
+//!   (realised by [`simio::MultiFile`]).
+//! - When a sub-block fills, its **last slot** is replaced by a pointer —
+//!   a word with a non-zero tag in its top 3 bits (§4.1.6) — to a sub-block
+//!   at the next level, where the displaced entry and all later ones live.
+//!
+//! # Growth policies
+//!
+//! The thesis describes two ways to grow past a full sub-block: *move* the
+//! full sub-block's contents up a level (extra copies, compact chains) or
+//! *link* to a fresh sub-block (no copies, fragmented chains), optionally
+//! compacted later by a background [`GrdbStore::defragment`]. Both are
+//! implemented and selectable via [`GrowthPolicy`]; a bench ablates them.
+//!
+//! # Block cache
+//!
+//! All block I/O goes through the instance's block cache
+//! ([`simio::BlockCache`]) — the "block cache component". Capacity 0
+//! reproduces the Figure 5.2 cache-off configuration.
+
+pub mod config;
+pub mod graph;
+pub mod layout;
+pub mod store;
+
+pub use config::{GrdbConfig, GrowthPolicy, LevelConfig};
+pub use graph::GrdbGraphDb;
+pub use store::GrdbStore;

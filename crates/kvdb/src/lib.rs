@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! `kvdb` — a disk-backed B-tree key-value store.
+//!
+//! This crate is the workspace's substitute for BerkeleyDB (thesis §4.1.4):
+//! a transactional-database-free, SQL-free, embeddable record store whose
+//! access path is a B-tree of fixed-size pages behind a block cache. The
+//! MSSG prototype stores each vertex's adjacency list in 8 KB chunks keyed
+//! by `(vertex, chunk_no)`; [`BdbGraphDb`] reproduces that adapter on top of
+//! the generic [`KvStore`].
+//!
+//! Layout:
+//! - [`page`] — on-disk page format (leaf / internal / overflow / meta),
+//! - [`pager`] — page allocation, free list, block cache integration,
+//! - [`tree`] — B-tree search / insert / split / delete / scan,
+//! - [`store`] — the public [`KvStore`] API,
+//! - [`graph`] — the [`BdbGraphDb`] GraphDB adapter with the thesis' 8 KB
+//!   chunking.
+//!
+//! The `minisql` crate reuses [`KvStore`] as its secondary-index engine, so
+//! the MySQL-substitute's index path and the BerkeleyDB-substitute share
+//! one B-tree implementation — mirroring how both real systems are built on
+//! B-trees.
+
+pub mod graph;
+pub mod page;
+pub mod pager;
+pub mod store;
+pub mod tree;
+
+pub use graph::BdbGraphDb;
+pub use store::{KvOptions, KvStore};

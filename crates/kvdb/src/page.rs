@@ -1,0 +1,418 @@
+//! On-disk page format.
+//!
+//! Every page is exactly `page_size` bytes. The first byte is a type tag;
+//! the rest is type-specific. Values too large to inline into a leaf
+//! (> `page_size / 4`) are spilled into a chain of overflow pages and the
+//! leaf stores a reference — how record stores of BerkeleyDB's lineage
+//! handle large records.
+//!
+//! Encodings (all integers little-endian):
+//!
+//! ```text
+//! meta:     [3][magic u32]["page_size" u32][root u64][pages u64][free_head u64][len u64]
+//! leaf:     [0][count u16] entries*
+//!           entry: [klen u16][key][kind u8]
+//!                  kind 0: [vlen u32][value]
+//!                  kind 1: [first_overflow u64][total_len u64]
+//! internal: [1][nkeys u16][children (nkeys+1) × u64] keys*  (key: [klen u16][key])
+//! overflow: [2][next u64][chunk_len u32][bytes]
+//! free:     [4][next_free u64]
+//! ```
+
+use mssg_types::{GraphStorageError, Result};
+
+/// Magic number identifying a kvdb file.
+pub const MAGIC: u32 = 0x6b76_4231; // "kvB1"
+
+/// Page type tags.
+pub const TAG_LEAF: u8 = 0;
+/// Internal node tag.
+pub const TAG_INTERNAL: u8 = 1;
+/// Overflow chain page tag.
+pub const TAG_OVERFLOW: u8 = 2;
+/// Metadata page tag (page 0 only).
+pub const TAG_META: u8 = 3;
+/// Free-list page tag.
+pub const TAG_FREE: u8 = 4;
+
+/// A value stored in a leaf: inline bytes or a reference to an overflow
+/// chain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LeafValue {
+    /// Value bytes stored directly in the leaf.
+    Inline(Vec<u8>),
+    /// Value spilled to overflow pages.
+    Overflow {
+        /// First page of the chain.
+        first_page: u64,
+        /// Total value length in bytes.
+        total_len: u64,
+    },
+}
+
+impl LeafValue {
+    /// Encoded size of this value inside a leaf entry.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            LeafValue::Inline(v) => 1 + 4 + v.len(),
+            LeafValue::Overflow { .. } => 1 + 8 + 8,
+        }
+    }
+}
+
+/// Decoded page contents.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Page {
+    /// Sorted `(key, value)` entries.
+    Leaf {
+        /// Entries sorted by key, no duplicates.
+        entries: Vec<(Vec<u8>, LeafValue)>,
+    },
+    /// Sorted separator keys with `keys.len() + 1` children. `children[i]`
+    /// covers keys `< keys[i]`; the last child covers the rest.
+    Internal {
+        /// Separator keys.
+        keys: Vec<Vec<u8>>,
+        /// Child page ids.
+        children: Vec<u64>,
+    },
+    /// One link of an overflow chain. `next == 0` terminates (page 0 is the
+    /// meta page, never an overflow).
+    Overflow {
+        /// Next chain page, or 0.
+        next: u64,
+        /// This link's bytes.
+        data: Vec<u8>,
+    },
+    /// The store header, always page 0.
+    Meta {
+        /// Root page of the B-tree.
+        root: u64,
+        /// Total pages allocated (including this one).
+        pages: u64,
+        /// Head of the free list, or 0.
+        free_head: u64,
+        /// Number of live keys in the store.
+        len: u64,
+    },
+    /// A recycled page awaiting reuse.
+    Free {
+        /// Next free page, or 0.
+        next: u64,
+    },
+}
+
+impl Page {
+    /// Serialises into exactly `page_size` bytes.
+    ///
+    /// # Errors
+    /// Returns `CapacityExceeded` if the encoding does not fit — callers
+    /// must split nodes before this happens.
+    pub fn encode(&self, page_size: usize) -> Result<Vec<u8>> {
+        let mut buf = Vec::with_capacity(page_size);
+        match self {
+            Page::Leaf { entries } => {
+                buf.push(TAG_LEAF);
+                buf.extend_from_slice(&(entries.len() as u16).to_le_bytes());
+                for (k, v) in entries {
+                    buf.extend_from_slice(&(k.len() as u16).to_le_bytes());
+                    buf.extend_from_slice(k);
+                    match v {
+                        LeafValue::Inline(bytes) => {
+                            buf.push(0);
+                            buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                            buf.extend_from_slice(bytes);
+                        }
+                        LeafValue::Overflow { first_page, total_len } => {
+                            buf.push(1);
+                            buf.extend_from_slice(&first_page.to_le_bytes());
+                            buf.extend_from_slice(&total_len.to_le_bytes());
+                        }
+                    }
+                }
+            }
+            Page::Internal { keys, children } => {
+                assert_eq!(children.len(), keys.len() + 1, "malformed internal node");
+                buf.push(TAG_INTERNAL);
+                buf.extend_from_slice(&(keys.len() as u16).to_le_bytes());
+                for c in children {
+                    buf.extend_from_slice(&c.to_le_bytes());
+                }
+                for k in keys {
+                    buf.extend_from_slice(&(k.len() as u16).to_le_bytes());
+                    buf.extend_from_slice(k);
+                }
+            }
+            Page::Overflow { next, data } => {
+                buf.push(TAG_OVERFLOW);
+                buf.extend_from_slice(&next.to_le_bytes());
+                buf.extend_from_slice(&(data.len() as u32).to_le_bytes());
+                buf.extend_from_slice(data);
+            }
+            Page::Meta { root, pages, free_head, len } => {
+                buf.push(TAG_META);
+                buf.extend_from_slice(&MAGIC.to_le_bytes());
+                buf.extend_from_slice(&(page_size as u32).to_le_bytes());
+                buf.extend_from_slice(&root.to_le_bytes());
+                buf.extend_from_slice(&pages.to_le_bytes());
+                buf.extend_from_slice(&free_head.to_le_bytes());
+                buf.extend_from_slice(&len.to_le_bytes());
+            }
+            Page::Free { next } => {
+                buf.push(TAG_FREE);
+                buf.extend_from_slice(&next.to_le_bytes());
+            }
+        }
+        if buf.len() > page_size {
+            return Err(GraphStorageError::CapacityExceeded(format!(
+                "page encoding needs {} bytes, page size is {page_size}",
+                buf.len()
+            )));
+        }
+        buf.resize(page_size, 0);
+        Ok(buf)
+    }
+
+    /// Deserialises a page.
+    pub fn decode(bytes: &[u8], page_size: usize) -> Result<Page> {
+        if bytes.len() != page_size {
+            return Err(GraphStorageError::corrupt("page buffer has wrong length"));
+        }
+        let mut r = Reader { buf: bytes, pos: 1 };
+        match bytes[0] {
+            TAG_LEAF => {
+                let count = r.u16()? as usize;
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let klen = r.u16()? as usize;
+                    let key = r.bytes(klen)?.to_vec();
+                    let kind = r.u8()?;
+                    let value = match kind {
+                        0 => {
+                            let vlen = r.u32()? as usize;
+                            LeafValue::Inline(r.bytes(vlen)?.to_vec())
+                        }
+                        1 => LeafValue::Overflow { first_page: r.u64()?, total_len: r.u64()? },
+                        k => {
+                            return Err(GraphStorageError::corrupt(format!(
+                                "unknown leaf value kind {k}"
+                            )))
+                        }
+                    };
+                    entries.push((key, value));
+                }
+                Ok(Page::Leaf { entries })
+            }
+            TAG_INTERNAL => {
+                let nkeys = r.u16()? as usize;
+                let mut children = Vec::with_capacity(nkeys + 1);
+                for _ in 0..=nkeys {
+                    children.push(r.u64()?);
+                }
+                let mut keys = Vec::with_capacity(nkeys);
+                for _ in 0..nkeys {
+                    let klen = r.u16()? as usize;
+                    keys.push(r.bytes(klen)?.to_vec());
+                }
+                Ok(Page::Internal { keys, children })
+            }
+            TAG_OVERFLOW => {
+                let next = r.u64()?;
+                let len = r.u32()? as usize;
+                Ok(Page::Overflow { next, data: r.bytes(len)?.to_vec() })
+            }
+            TAG_META => {
+                let magic = r.u32()?;
+                if magic != MAGIC {
+                    return Err(GraphStorageError::corrupt(format!(
+                        "bad magic {magic:#x}, not a kvdb file"
+                    )));
+                }
+                let stored_ps = r.u32()? as usize;
+                if stored_ps != page_size {
+                    return Err(GraphStorageError::corrupt(format!(
+                        "file built with page size {stored_ps}, opened with {page_size}"
+                    )));
+                }
+                Ok(Page::Meta {
+                    root: r.u64()?,
+                    pages: r.u64()?,
+                    free_head: r.u64()?,
+                    len: r.u64()?,
+                })
+            }
+            TAG_FREE => Ok(Page::Free { next: r.u64()? }),
+            t => Err(GraphStorageError::corrupt(format!("unknown page tag {t}"))),
+        }
+    }
+
+    /// Current encoded size in bytes (without padding).
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Page::Leaf { entries } => {
+                3 + entries.iter().map(|(k, v)| 2 + k.len() + v.encoded_len()).sum::<usize>()
+            }
+            Page::Internal { keys, children } => {
+                3 + children.len() * 8 + keys.iter().map(|k| 2 + k.len()).sum::<usize>()
+            }
+            Page::Overflow { data, .. } => 1 + 8 + 4 + data.len(),
+            Page::Meta { .. } => 1 + 4 + 4 + 8 * 4,
+            Page::Free { .. } => 9,
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(GraphStorageError::corrupt("page decode ran off the end"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PS: usize = 256;
+
+    #[test]
+    fn leaf_roundtrip() {
+        let p = Page::Leaf {
+            entries: vec![
+                (b"alpha".to_vec(), LeafValue::Inline(b"1".to_vec())),
+                (b"beta".to_vec(), LeafValue::Overflow { first_page: 9, total_len: 5000 }),
+            ],
+        };
+        let enc = p.encode(PS).unwrap();
+        assert_eq!(enc.len(), PS);
+        assert_eq!(Page::decode(&enc, PS).unwrap(), p);
+    }
+
+    #[test]
+    fn internal_roundtrip() {
+        let p = Page::Internal {
+            keys: vec![b"m".to_vec(), b"t".to_vec()],
+            children: vec![3, 4, 5],
+        };
+        let enc = p.encode(PS).unwrap();
+        assert_eq!(Page::decode(&enc, PS).unwrap(), p);
+    }
+
+    #[test]
+    fn overflow_roundtrip() {
+        let p = Page::Overflow { next: 11, data: vec![0xabu8; 100] };
+        let enc = p.encode(PS).unwrap();
+        assert_eq!(Page::decode(&enc, PS).unwrap(), p);
+    }
+
+    #[test]
+    fn meta_roundtrip() {
+        let p = Page::Meta { root: 1, pages: 42, free_head: 7, len: 1000 };
+        let enc = p.encode(PS).unwrap();
+        assert_eq!(Page::decode(&enc, PS).unwrap(), p);
+    }
+
+    #[test]
+    fn free_roundtrip() {
+        let p = Page::Free { next: 3 };
+        let enc = p.encode(PS).unwrap();
+        assert_eq!(Page::decode(&enc, PS).unwrap(), p);
+    }
+
+    #[test]
+    fn meta_rejects_wrong_magic() {
+        let p = Page::Meta { root: 1, pages: 1, free_head: 0, len: 0 };
+        let mut enc = p.encode(PS).unwrap();
+        enc[1] ^= 0xff;
+        assert!(Page::decode(&enc, PS).is_err());
+    }
+
+    #[test]
+    fn meta_rejects_wrong_page_size() {
+        let p = Page::Meta { root: 1, pages: 1, free_head: 0, len: 0 };
+        let enc = p.encode(PS).unwrap();
+        let mut other = enc.clone();
+        other.resize(512, 0);
+        assert!(Page::decode(&other, 512).is_err());
+    }
+
+    #[test]
+    fn oversized_page_rejected() {
+        let p = Page::Leaf {
+            entries: vec![(vec![1u8; 100], LeafValue::Inline(vec![2u8; 200]))],
+        };
+        assert!(p.encode(PS).is_err());
+        assert!(p.encode(1024).is_ok());
+    }
+
+    #[test]
+    fn encoded_len_matches_encoding() {
+        let pages = [
+            Page::Leaf {
+                entries: vec![
+                    (b"k1".to_vec(), LeafValue::Inline(vec![0u8; 30])),
+                    (b"key2".to_vec(), LeafValue::Overflow { first_page: 2, total_len: 99 }),
+                ],
+            },
+            Page::Internal { keys: vec![b"abc".to_vec()], children: vec![1, 2] },
+            Page::Overflow { next: 0, data: vec![1u8; 64] },
+            Page::Free { next: 0 },
+        ];
+        for p in pages {
+            // Strip zero padding to compare with the declared length.
+            let enc = p.encode(1024).unwrap();
+            let logical = p.encoded_len();
+            assert!(
+                enc[..logical].iter().any(|&b| b != 0) || logical <= 3,
+                "logical prefix should hold the data"
+            );
+            assert_eq!(Page::decode(&enc, 1024).unwrap().encoded_len(), logical);
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut buf = vec![0u8; PS];
+        buf[0] = 99;
+        assert!(Page::decode(&buf, PS).is_err());
+    }
+
+    #[test]
+    fn empty_leaf_roundtrip() {
+        let p = Page::Leaf { entries: vec![] };
+        let enc = p.encode(PS).unwrap();
+        assert_eq!(Page::decode(&enc, PS).unwrap(), p);
+    }
+
+    #[test]
+    fn truncated_buffer_rejected() {
+        let p = Page::Leaf { entries: vec![(b"k".to_vec(), LeafValue::Inline(vec![1]))] };
+        let enc = p.encode(PS).unwrap();
+        assert!(Page::decode(&enc[..PS - 1], PS).is_err());
+    }
+}

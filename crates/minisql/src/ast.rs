@@ -1,0 +1,156 @@
+//! Abstract syntax for the supported SQL subset.
+
+use crate::value::{ColType, Value};
+
+/// A parsed statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE name (col type, ..., PRIMARY KEY (col, ...))`
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions in declaration order.
+        columns: Vec<ColumnDef>,
+        /// Primary-key column names (may be empty).
+        primary_key: Vec<String>,
+    },
+    /// `CREATE INDEX name ON table (col, ...)`
+    CreateIndex {
+        /// Index name.
+        name: String,
+        /// Table the index covers.
+        table: String,
+        /// Indexed column names.
+        columns: Vec<String>,
+    },
+    /// `INSERT INTO table VALUES (expr, ...), (expr, ...), ...`
+    Insert {
+        /// Target table.
+        table: String,
+        /// Rows of literal/placeholder expressions.
+        rows: Vec<Vec<Scalar>>,
+    },
+    /// `SELECT cols | COUNT(*) FROM table [WHERE conj] [ORDER BY col]
+    /// [LIMIT n]`
+    Select {
+        /// Projected column names, or empty for `*`.
+        columns: Vec<String>,
+        /// `COUNT(*)` instead of a column projection.
+        count_star: bool,
+        /// Source table.
+        table: String,
+        /// Conjunction of simple predicates.
+        predicates: Vec<Predicate>,
+        /// Optional ordering column (ascending).
+        order_by: Option<String>,
+        /// Optional row-count cap.
+        limit: Option<u64>,
+    },
+    /// `UPDATE table SET col = expr, ... [WHERE conj]`
+    Update {
+        /// Target table.
+        table: String,
+        /// Assignments.
+        sets: Vec<(String, Scalar)>,
+        /// Conjunction of simple predicates.
+        predicates: Vec<Predicate>,
+    },
+    /// `DELETE FROM table [WHERE conj]`
+    Delete {
+        /// Target table.
+        table: String,
+        /// Conjunction of simple predicates.
+        predicates: Vec<Predicate>,
+    },
+}
+
+/// A column definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub col_type: ColType,
+}
+
+/// A scalar expression: a literal or a `?` placeholder.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Scalar {
+    /// Literal value.
+    Literal(Value),
+    /// `?` placeholder, resolved from the parameter list at execution.
+    Param(usize),
+}
+
+/// Comparison operators in predicates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluates the operator over an ordering (SQL three-valued logic:
+    /// `None` ordering means the predicate is unknown → false).
+    pub fn eval(self, ord: Option<std::cmp::Ordering>) -> bool {
+        use std::cmp::Ordering::*;
+        match ord {
+            None => false,
+            Some(o) => match self {
+                CmpOp::Eq => o == Equal,
+                CmpOp::Ne => o != Equal,
+                CmpOp::Lt => o == Less,
+                CmpOp::Le => o != Greater,
+                CmpOp::Gt => o == Greater,
+                CmpOp::Ge => o != Less,
+            },
+        }
+    }
+}
+
+/// A simple predicate `column op scalar`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Predicate {
+    /// Column name on the left.
+    pub column: String,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand scalar.
+    pub rhs: Scalar,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn cmp_op_truth_table() {
+        let lt = Some(Ordering::Less);
+        let eq = Some(Ordering::Equal);
+        let gt = Some(Ordering::Greater);
+        assert!(CmpOp::Eq.eval(eq) && !CmpOp::Eq.eval(lt));
+        assert!(CmpOp::Ne.eval(lt) && !CmpOp::Ne.eval(eq));
+        assert!(CmpOp::Lt.eval(lt) && !CmpOp::Lt.eval(eq));
+        assert!(CmpOp::Le.eval(lt) && CmpOp::Le.eval(eq) && !CmpOp::Le.eval(gt));
+        assert!(CmpOp::Gt.eval(gt) && !CmpOp::Gt.eval(eq));
+        assert!(CmpOp::Ge.eval(gt) && CmpOp::Ge.eval(eq) && !CmpOp::Ge.eval(lt));
+    }
+
+    #[test]
+    fn null_comparison_is_false() {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert!(!op.eval(None), "{op:?} on NULL must be false");
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! Persistent table and index metadata.
+//!
+//! The catalog is a small binary file in the database directory, rewritten
+//! after every DDL statement. Format (little-endian):
+//!
+//! ```text
+//! [magic u32][table_count u32] tables*
+//! table: [name][col_count u32] cols* [pk_count u32] pk_col_idx*
+//!        [index_count u32] indexes*
+//! col:   [name][type u8]
+//! index: [name][col_count u32] col_idx*
+//! name:  [len u32][utf8 bytes]
+//! ```
+
+use crate::ast::ColumnDef;
+use crate::value::ColType;
+use mssg_types::{GraphStorageError, Result};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+const MAGIC: u32 = 0x6d73_7131; // "msq1"
+
+/// A secondary (or primary) index definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IndexDef {
+    /// Index name (unique per table).
+    pub name: String,
+    /// Indexed columns, as indices into the table's column list.
+    pub columns: Vec<usize>,
+}
+
+/// A table definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableDef {
+    /// Table name.
+    pub name: String,
+    /// Columns in declaration order.
+    pub columns: Vec<ColumnDef>,
+    /// Primary-key columns as column indices (empty = no PK).
+    pub primary_key: Vec<usize>,
+    /// Secondary indexes.
+    pub indexes: Vec<IndexDef>,
+}
+
+impl TableDef {
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| {
+                GraphStorageError::Query(format!(
+                    "no column {name:?} in table {:?}",
+                    self.name
+                ))
+            })
+    }
+
+    /// `true` if the table declares a primary key.
+    pub fn has_primary_key(&self) -> bool {
+        !self.primary_key.is_empty()
+    }
+}
+
+/// The database catalog: every table, persisted to `catalog.bin`.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, TableDef>,
+    path: PathBuf,
+}
+
+impl Catalog {
+    /// Loads the catalog from `dir`, or starts empty if absent.
+    pub fn open(dir: &Path) -> Result<Catalog> {
+        let path = dir.join("catalog.bin");
+        if !path.exists() {
+            return Ok(Catalog { tables: BTreeMap::new(), path });
+        }
+        let bytes = std::fs::read(&path)?;
+        let mut c = Catalog { tables: BTreeMap::new(), path };
+        c.decode(&bytes)?;
+        Ok(c)
+    }
+
+    /// Looks a table up (case-insensitive, like MySQL on most platforms).
+    pub fn table(&self, name: &str) -> Result<&TableDef> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| GraphStorageError::Query(format!("no such table {name:?}")))
+    }
+
+    /// Mutable lookup.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut TableDef> {
+        self.tables
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| GraphStorageError::Query(format!("no such table {name:?}")))
+    }
+
+    /// All table definitions.
+    pub fn tables(&self) -> impl Iterator<Item = &TableDef> {
+        self.tables.values()
+    }
+
+    /// Registers a new table and persists.
+    pub fn create_table(&mut self, def: TableDef) -> Result<()> {
+        let key = def.name.to_ascii_lowercase();
+        if self.tables.contains_key(&key) {
+            return Err(GraphStorageError::Query(format!(
+                "table {:?} already exists",
+                def.name
+            )));
+        }
+        self.tables.insert(key, def);
+        self.save()
+    }
+
+    /// Adds a secondary index to a table and persists.
+    pub fn create_index(&mut self, table: &str, index: IndexDef) -> Result<()> {
+        let t = self.table_mut(table)?;
+        if t.indexes.iter().any(|i| i.name.eq_ignore_ascii_case(&index.name)) {
+            return Err(GraphStorageError::Query(format!(
+                "index {:?} already exists on {table:?}",
+                index.name
+            )));
+        }
+        t.indexes.push(index);
+        self.save()
+    }
+
+    fn save(&self) -> Result<()> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&(self.tables.len() as u32).to_le_bytes());
+        for t in self.tables.values() {
+            write_name(&mut out, &t.name);
+            out.extend_from_slice(&(t.columns.len() as u32).to_le_bytes());
+            for c in &t.columns {
+                write_name(&mut out, &c.name);
+                out.push(match c.col_type {
+                    ColType::BigInt => 0,
+                    ColType::Blob => 1,
+                });
+            }
+            out.extend_from_slice(&(t.primary_key.len() as u32).to_le_bytes());
+            for &i in &t.primary_key {
+                out.extend_from_slice(&(i as u32).to_le_bytes());
+            }
+            out.extend_from_slice(&(t.indexes.len() as u32).to_le_bytes());
+            for idx in &t.indexes {
+                write_name(&mut out, &idx.name);
+                out.extend_from_slice(&(idx.columns.len() as u32).to_le_bytes());
+                for &i in &idx.columns {
+                    out.extend_from_slice(&(i as u32).to_le_bytes());
+                }
+            }
+        }
+        // Write-then-rename for crash consistency.
+        let tmp = self.path.with_extension("tmp");
+        std::fs::write(&tmp, &out)?;
+        std::fs::rename(&tmp, &self.path)?;
+        Ok(())
+    }
+
+    fn decode(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut pos = 0usize;
+        let magic = read_u32(bytes, &mut pos)?;
+        if magic != MAGIC {
+            return Err(GraphStorageError::corrupt("catalog has bad magic"));
+        }
+        let ntables = read_u32(bytes, &mut pos)?;
+        for _ in 0..ntables {
+            let name = read_name(bytes, &mut pos)?;
+            let ncols = read_u32(bytes, &mut pos)?;
+            let mut columns = Vec::with_capacity(ncols as usize);
+            for _ in 0..ncols {
+                let cname = read_name(bytes, &mut pos)?;
+                let ty = match read_u8(bytes, &mut pos)? {
+                    0 => ColType::BigInt,
+                    1 => ColType::Blob,
+                    t => {
+                        return Err(GraphStorageError::corrupt(format!(
+                            "catalog column type {t}"
+                        )))
+                    }
+                };
+                columns.push(ColumnDef { name: cname, col_type: ty });
+            }
+            let npk = read_u32(bytes, &mut pos)?;
+            let mut primary_key = Vec::with_capacity(npk as usize);
+            for _ in 0..npk {
+                primary_key.push(read_u32(bytes, &mut pos)? as usize);
+            }
+            let nidx = read_u32(bytes, &mut pos)?;
+            let mut indexes = Vec::with_capacity(nidx as usize);
+            for _ in 0..nidx {
+                let iname = read_name(bytes, &mut pos)?;
+                let nic = read_u32(bytes, &mut pos)?;
+                let mut cols = Vec::with_capacity(nic as usize);
+                for _ in 0..nic {
+                    cols.push(read_u32(bytes, &mut pos)? as usize);
+                }
+                indexes.push(IndexDef { name: iname, columns: cols });
+            }
+            self.tables.insert(
+                name.to_ascii_lowercase(),
+                TableDef { name, columns, primary_key, indexes },
+            );
+        }
+        Ok(())
+    }
+}
+
+fn write_name(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn read_u8(b: &[u8], pos: &mut usize) -> Result<u8> {
+    let v = *b.get(*pos).ok_or_else(|| GraphStorageError::corrupt("catalog truncated"))?;
+    *pos += 1;
+    Ok(v)
+}
+
+fn read_u32(b: &[u8], pos: &mut usize) -> Result<u32> {
+    let end = *pos + 4;
+    let s = b.get(*pos..end).ok_or_else(|| GraphStorageError::corrupt("catalog truncated"))?;
+    *pos = end;
+    Ok(u32::from_le_bytes(s.try_into().unwrap()))
+}
+
+fn read_name(b: &[u8], pos: &mut usize) -> Result<String> {
+    let len = read_u32(b, pos)? as usize;
+    let end = *pos + len;
+    let s = b.get(*pos..end).ok_or_else(|| GraphStorageError::corrupt("catalog truncated"))?;
+    *pos = end;
+    String::from_utf8(s.to_vec())
+        .map_err(|_| GraphStorageError::corrupt("catalog name not UTF-8"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir()
+            .join(format!("minisql-cat-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn adj_table() -> TableDef {
+        TableDef {
+            name: "adj".into(),
+            columns: vec![
+                ColumnDef { name: "vertex".into(), col_type: ColType::BigInt },
+                ColumnDef { name: "chunk".into(), col_type: ColType::BigInt },
+                ColumnDef { name: "data".into(), col_type: ColType::Blob },
+            ],
+            primary_key: vec![0, 1],
+            indexes: vec![],
+        }
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let dir = tmpdir("lookup");
+        let mut c = Catalog::open(&dir).unwrap();
+        c.create_table(adj_table()).unwrap();
+        let t = c.table("ADJ").unwrap(); // case-insensitive
+        assert_eq!(t.columns.len(), 3);
+        assert_eq!(t.column_index("Chunk").unwrap(), 1);
+        assert!(t.column_index("nope").is_err());
+        assert!(t.has_primary_key());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let dir = tmpdir("dup");
+        let mut c = Catalog::open(&dir).unwrap();
+        c.create_table(adj_table()).unwrap();
+        assert!(c.create_table(adj_table()).is_err());
+    }
+
+    #[test]
+    fn persistence_roundtrip() {
+        let dir = tmpdir("persist");
+        {
+            let mut c = Catalog::open(&dir).unwrap();
+            c.create_table(adj_table()).unwrap();
+            c.create_index("adj", IndexDef { name: "iv".into(), columns: vec![0] }).unwrap();
+        }
+        let c = Catalog::open(&dir).unwrap();
+        let t = c.table("adj").unwrap();
+        assert_eq!(t.primary_key, vec![0, 1]);
+        assert_eq!(t.indexes.len(), 1);
+        assert_eq!(t.indexes[0].columns, vec![0]);
+        assert_eq!(t.columns[2].col_type, ColType::Blob);
+    }
+
+    #[test]
+    fn duplicate_index_rejected() {
+        let dir = tmpdir("dupidx");
+        let mut c = Catalog::open(&dir).unwrap();
+        c.create_table(adj_table()).unwrap();
+        let idx = IndexDef { name: "iv".into(), columns: vec![0] };
+        c.create_index("adj", idx.clone()).unwrap();
+        assert!(c.create_index("adj", idx).is_err());
+    }
+
+    #[test]
+    fn missing_table_errors() {
+        let dir = tmpdir("missing");
+        let c = Catalog::open(&dir).unwrap();
+        assert!(c.table("ghost").is_err());
+    }
+
+    #[test]
+    fn corrupt_catalog_detected() {
+        let dir = tmpdir("corrupt");
+        std::fs::write(dir.join("catalog.bin"), b"garbage!").unwrap();
+        assert!(Catalog::open(&dir).is_err());
+    }
+}

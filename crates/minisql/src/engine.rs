@@ -1,0 +1,720 @@
+//! Planner and executor — the [`Database`] façade.
+//!
+//! Every call to [`Database::execute`] runs the full relational path the
+//! thesis charges MySQL for: lex → parse → plan → execute. The planner is
+//! deliberately simple but honest:
+//!
+//! - If the statement's equality predicates cover a *prefix* of the primary
+//!   key or of a secondary index, the executor does an index prefix scan
+//!   (B-tree range over the encoded key prefix), then fetches each row from
+//!   the heap — the classic "index then bookmark lookup" double hop.
+//! - Otherwise it falls back to a full heap scan.
+//!
+//! Residual predicates are evaluated on each fetched row.
+
+use crate::ast::{Predicate, Scalar, Statement};
+use crate::catalog::{Catalog, IndexDef, TableDef};
+use crate::heap::{HeapFile, RowId, DEFAULT_PAGE_SIZE};
+use crate::parser::parse;
+use crate::value::{decode_row, encode_row, Value};
+use kvdb::{KvOptions, KvStore};
+use mssg_types::{GraphStorageError, Result};
+use simio::IoStats;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Result of a statement: projected rows and/or an affected-row count.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ResultSet {
+    /// Column names of the projection (empty for DML).
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+    /// Rows inserted / updated / deleted.
+    pub rows_affected: u64,
+}
+
+/// Name reserved for the primary-key index.
+const PK_INDEX: &str = "__pk";
+
+/// A mini-SQL database rooted in a directory.
+///
+/// ```
+/// use minisql::{Database, Value};
+/// use simio::IoStats;
+/// let dir = std::env::temp_dir().join("minisql-doc");
+/// let _ = std::fs::remove_dir_all(&dir);
+///
+/// let mut db = Database::open(&dir, IoStats::new()).unwrap();
+/// db.execute("CREATE TABLE t (a BIGINT, b BLOB, PRIMARY KEY (a))", &[]).unwrap();
+/// db.execute("INSERT INTO t VALUES (1, 'one'), (2, ?)", &[Value::Blob(b"two".to_vec())])
+///     .unwrap();
+/// let rs = db.execute("SELECT b FROM t WHERE a = 2", &[]).unwrap();
+/// assert_eq!(rs.rows[0][0], Value::Blob(b"two".to_vec()));
+/// let rs = db.execute("SELECT COUNT(*) FROM t", &[]).unwrap();
+/// assert_eq!(rs.rows[0][0], Value::Int(2));
+/// ```
+pub struct Database {
+    dir: PathBuf,
+    catalog: Catalog,
+    heaps: HashMap<String, HeapFile>,
+    indexes: HashMap<(String, String), KvStore>,
+    stats: Arc<IoStats>,
+    /// Statements executed (the SQL-overhead counter).
+    statements: u64,
+}
+
+impl Database {
+    /// Opens (creating if needed) a database in `dir`.
+    pub fn open(dir: &Path, stats: Arc<IoStats>) -> Result<Database> {
+        std::fs::create_dir_all(dir)?;
+        Ok(Database {
+            dir: dir.to_path_buf(),
+            catalog: Catalog::open(dir)?,
+            heaps: HashMap::new(),
+            indexes: HashMap::new(),
+            stats,
+            statements: 0,
+        })
+    }
+
+    /// Number of statements executed so far.
+    pub fn statements_executed(&self) -> u64 {
+        self.statements
+    }
+
+    /// Shared I/O statistics handle.
+    pub fn io_stats(&self) -> &Arc<IoStats> {
+        &self.stats
+    }
+
+    /// Parses and executes one statement with positional parameters.
+    pub fn execute(&mut self, sql: &str, params: &[Value]) -> Result<ResultSet> {
+        self.statements += 1;
+        let stmt = parse(sql)?;
+        match stmt {
+            Statement::CreateTable { name, columns, primary_key } => {
+                let pk: Vec<usize> = primary_key
+                    .iter()
+                    .map(|n| {
+                        columns
+                            .iter()
+                            .position(|c| c.name.eq_ignore_ascii_case(n))
+                            .expect("parser validated PK columns")
+                    })
+                    .collect();
+                self.catalog.create_table(TableDef {
+                    name,
+                    columns,
+                    primary_key: pk,
+                    indexes: vec![],
+                })?;
+                Ok(ResultSet::default())
+            }
+            Statement::CreateIndex { name, table, columns } => {
+                let cols: Vec<usize> = {
+                    let t = self.catalog.table(&table)?;
+                    columns.iter().map(|c| t.column_index(c)).collect::<Result<_>>()?
+                };
+                self.catalog.create_index(&table, IndexDef { name: name.clone(), columns: cols })?;
+                self.backfill_index(&table, &name)?;
+                Ok(ResultSet::default())
+            }
+            Statement::Insert { table, rows } => self.exec_insert(&table, rows, params),
+            Statement::Select { columns, count_star, table, predicates, order_by, limit } => {
+                self.exec_select(
+                    &table,
+                    &columns,
+                    count_star,
+                    &predicates,
+                    order_by.as_deref(),
+                    limit,
+                    params,
+                )
+            }
+            Statement::Update { table, sets, predicates } => {
+                self.exec_update(&table, &sets, &predicates, params)
+            }
+            Statement::Delete { table, predicates } => {
+                self.exec_delete(&table, &predicates, params)
+            }
+        }
+    }
+
+    /// Flushes every open heap and index to disk.
+    pub fn flush(&mut self) -> Result<()> {
+        for h in self.heaps.values_mut() {
+            h.flush()?;
+        }
+        for s in self.indexes.values_mut() {
+            s.flush()?;
+        }
+        Ok(())
+    }
+
+    // ---- storage handles ----
+
+    fn heap(&mut self, table: &str) -> Result<&mut HeapFile> {
+        let key = table.to_ascii_lowercase();
+        if !self.heaps.contains_key(&key) {
+            let path = self.dir.join(format!("{key}.heap"));
+            let h = HeapFile::open(&path, DEFAULT_PAGE_SIZE, 256, Arc::clone(&self.stats))?;
+            self.heaps.insert(key.clone(), h);
+        }
+        Ok(self.heaps.get_mut(&key).unwrap())
+    }
+
+    fn index_store(&mut self, table: &str, index: &str) -> Result<&mut KvStore> {
+        let key = (table.to_ascii_lowercase(), index.to_string());
+        if !self.indexes.contains_key(&key) {
+            let path = self.dir.join(format!("{}.{}.idx", key.0, key.1));
+            let s = KvStore::open(&path, KvOptions::default(), Arc::clone(&self.stats))?;
+            self.indexes.insert(key.clone(), s);
+        }
+        Ok(self.indexes.get_mut(&key).unwrap())
+    }
+
+    // ---- DML ----
+
+    fn exec_insert(
+        &mut self,
+        table: &str,
+        rows: Vec<Vec<Scalar>>,
+        params: &[Value],
+    ) -> Result<ResultSet> {
+        let def = self.catalog.table(table)?.clone();
+        let mut affected = 0u64;
+        for scalars in rows {
+            if scalars.len() != def.columns.len() {
+                return Err(GraphStorageError::Query(format!(
+                    "INSERT supplies {} values for {} columns",
+                    scalars.len(),
+                    def.columns.len()
+                )));
+            }
+            let row: Vec<Value> =
+                scalars.iter().map(|s| resolve(s, params)).collect::<Result<_>>()?;
+            for (v, c) in row.iter().zip(&def.columns) {
+                if !v.fits(c.col_type) {
+                    return Err(GraphStorageError::Query(format!(
+                        "value {v} does not fit column {} ({:?})",
+                        c.name, c.col_type
+                    )));
+                }
+            }
+            // Primary-key uniqueness.
+            if def.has_primary_key() {
+                let key = index_key(&row, &def.primary_key, None)?;
+                if self.index_store(table, PK_INDEX)?.get(&key)?.is_some() {
+                    return Err(GraphStorageError::Query(format!(
+                        "duplicate primary key in table {table:?}"
+                    )));
+                }
+            }
+            let rid = self.heap(table)?.insert(&encode_row(&row))?;
+            self.index_insert(&def, &row, rid)?;
+            affected += 1;
+        }
+        Ok(ResultSet { rows_affected: affected, ..Default::default() })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_select(
+        &mut self,
+        table: &str,
+        proj: &[String],
+        count_star: bool,
+        predicates: &[Predicate],
+        order_by: Option<&str>,
+        limit: Option<u64>,
+        params: &[Value],
+    ) -> Result<ResultSet> {
+        let def = self.catalog.table(table)?.clone();
+        let matches = self.find_matches(&def, predicates, params)?;
+        if count_star {
+            return Ok(ResultSet {
+                columns: vec!["COUNT(*)".to_string()],
+                rows: vec![vec![Value::Int(matches.len() as i64)]],
+                rows_affected: 0,
+            });
+        }
+        let proj_idx: Vec<usize> = if proj.is_empty() {
+            (0..def.columns.len()).collect()
+        } else {
+            proj.iter().map(|c| def.column_index(c)).collect::<Result<_>>()?
+        };
+        let columns: Vec<String> =
+            proj_idx.iter().map(|&i| def.columns[i].name.clone()).collect();
+        let mut full_rows: Vec<Vec<Value>> = matches.into_iter().map(|(_, r)| r).collect();
+        if let Some(ob) = order_by {
+            let oi = def.column_index(ob)?;
+            full_rows.sort_by(|a, b| {
+                a[oi].sql_cmp(&b[oi]).unwrap_or(std::cmp::Ordering::Equal)
+            });
+        }
+        if let Some(n) = limit {
+            full_rows.truncate(n as usize);
+        }
+        let rows = full_rows
+            .into_iter()
+            .map(|r| proj_idx.iter().map(|&i| r[i].clone()).collect())
+            .collect();
+        Ok(ResultSet { columns, rows, rows_affected: 0 })
+    }
+
+    fn exec_update(
+        &mut self,
+        table: &str,
+        sets: &[(String, Scalar)],
+        predicates: &[Predicate],
+        params: &[Value],
+    ) -> Result<ResultSet> {
+        let def = self.catalog.table(table)?.clone();
+        let set_idx: Vec<(usize, Value)> = sets
+            .iter()
+            .map(|(c, s)| Ok((def.column_index(c)?, resolve(s, params)?)))
+            .collect::<Result<_>>()?;
+        let matches = self.find_matches(&def, predicates, params)?;
+        let mut affected = 0u64;
+        for (rid, old_row) in matches {
+            let mut new_row = old_row.clone();
+            for (i, v) in &set_idx {
+                if !v.fits(def.columns[*i].col_type) {
+                    return Err(GraphStorageError::Query(format!(
+                        "value {v} does not fit column {}",
+                        def.columns[*i].name
+                    )));
+                }
+                new_row[*i] = v.clone();
+            }
+            self.index_delete(&def, &old_row, rid)?;
+            let new_rid = self
+                .heap(table)?
+                .update(rid, &encode_row(&new_row))?
+                .ok_or_else(|| GraphStorageError::corrupt("row vanished during update"))?;
+            self.index_insert(&def, &new_row, new_rid)?;
+            affected += 1;
+        }
+        Ok(ResultSet { rows_affected: affected, ..Default::default() })
+    }
+
+    fn exec_delete(
+        &mut self,
+        table: &str,
+        predicates: &[Predicate],
+        params: &[Value],
+    ) -> Result<ResultSet> {
+        let def = self.catalog.table(table)?.clone();
+        let matches = self.find_matches(&def, predicates, params)?;
+        let mut affected = 0u64;
+        for (rid, row) in matches {
+            self.index_delete(&def, &row, rid)?;
+            self.heap(table)?.delete(rid)?;
+            affected += 1;
+        }
+        Ok(ResultSet { rows_affected: affected, ..Default::default() })
+    }
+
+    // ---- planning ----
+
+    /// Finds `(rowid, row)` pairs matching the predicate conjunction, using
+    /// an index prefix when one applies.
+    fn find_matches(
+        &mut self,
+        def: &TableDef,
+        predicates: &[Predicate],
+        params: &[Value],
+    ) -> Result<Vec<(RowId, Vec<Value>)>> {
+        // Equality predicates by column index.
+        let mut eq: HashMap<usize, Value> = HashMap::new();
+        for p in predicates {
+            if p.op == crate::ast::CmpOp::Eq {
+                let idx = def.column_index(&p.column)?;
+                eq.entry(idx).or_insert(resolve(&p.rhs, params)?);
+            }
+        }
+        let plan = self.choose_index(def, &eq);
+        let candidate_rids: Vec<RowId> = match plan {
+            Some((index_name, key_cols, prefix_len)) => {
+                let prefix_vals: Vec<Value> =
+                    key_cols[..prefix_len].iter().map(|c| eq[c].clone()).collect();
+                let mut prefix = Vec::new();
+                for v in &prefix_vals {
+                    v.encode_key(&mut prefix)?;
+                }
+                let store = self.index_store(&def.name, &index_name)?;
+                let mut rids = Vec::new();
+                store.for_each_prefix(&prefix, &mut |_, v| {
+                    let arr: [u8; 8] = v.as_slice().try_into().unwrap_or([0; 8]);
+                    rids.push(RowId::unpack(u64::from_le_bytes(arr)));
+                    true
+                })?;
+                rids
+            }
+            None => {
+                let mut rids = Vec::new();
+                self.heap(&def.name)?.scan(&mut |rid, _| {
+                    rids.push(rid);
+                    true
+                })?;
+                rids
+            }
+        };
+        // Fetch and filter.
+        let ncols = def.columns.len();
+        let mut out = Vec::new();
+        for rid in candidate_rids {
+            let Some(bytes) = self.heap(&def.name)?.get(rid)? else { continue };
+            let row = decode_row(&bytes, ncols)?;
+            if row_matches(def, &row, predicates, params)? {
+                out.push((rid, row));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Picks the index with the longest equality-covered prefix. Returns
+    /// `(index_name, index_columns, usable_prefix_len)`.
+    fn choose_index(
+        &self,
+        def: &TableDef,
+        eq: &HashMap<usize, Value>,
+    ) -> Option<(String, Vec<usize>, usize)> {
+        let mut best: Option<(String, Vec<usize>, usize)> = None;
+        let mut consider = |name: String, cols: &[usize]| {
+            let prefix = cols.iter().take_while(|c| eq.contains_key(c)).count();
+            if prefix > 0 && best.as_ref().is_none_or(|b| prefix > b.2) {
+                best = Some((name, cols.to_vec(), prefix));
+            }
+        };
+        if def.has_primary_key() {
+            consider(PK_INDEX.to_string(), &def.primary_key);
+        }
+        for idx in &def.indexes {
+            consider(idx.name.clone(), &idx.columns);
+        }
+        best
+    }
+
+    // ---- index maintenance ----
+
+    fn index_insert(&mut self, def: &TableDef, row: &[Value], rid: RowId) -> Result<()> {
+        let payload = rid.pack().to_le_bytes();
+        if def.has_primary_key() {
+            let key = index_key(row, &def.primary_key, None)?;
+            self.index_store(&def.name, PK_INDEX)?.put(&key, &payload)?;
+        }
+        for idx in def.indexes.clone() {
+            let key = index_key(row, &idx.columns, Some(rid))?;
+            self.index_store(&def.name, &idx.name)?.put(&key, &payload)?;
+        }
+        Ok(())
+    }
+
+    fn index_delete(&mut self, def: &TableDef, row: &[Value], rid: RowId) -> Result<()> {
+        if def.has_primary_key() {
+            let key = index_key(row, &def.primary_key, None)?;
+            self.index_store(&def.name, PK_INDEX)?.delete(&key)?;
+        }
+        for idx in def.indexes.clone() {
+            let key = index_key(row, &idx.columns, Some(rid))?;
+            self.index_store(&def.name, &idx.name)?.delete(&key)?;
+        }
+        Ok(())
+    }
+
+    fn backfill_index(&mut self, table: &str, index: &str) -> Result<()> {
+        let def = self.catalog.table(table)?.clone();
+        let idx = def
+            .indexes
+            .iter()
+            .find(|i| i.name == index)
+            .expect("just created")
+            .clone();
+        let ncols = def.columns.len();
+        let mut entries: Vec<(Vec<u8>, RowId)> = Vec::new();
+        self.heap(table)?.scan(&mut |rid, bytes| {
+            if let Ok(row) = decode_row(bytes, ncols) {
+                if let Ok(key) = index_key(&row, &idx.columns, Some(rid)) {
+                    entries.push((key, rid));
+                }
+            }
+            true
+        })?;
+        let store = self.index_store(table, index)?;
+        for (key, rid) in entries {
+            store.put(&key, &rid.pack().to_le_bytes())?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds an index key from row values. Secondary indexes append the rowid
+/// so duplicate column values coexist; the PK index omits it (unique).
+fn index_key(row: &[Value], cols: &[usize], rid: Option<RowId>) -> Result<Vec<u8>> {
+    let mut key = Vec::with_capacity(cols.len() * 8 + 8);
+    for &c in cols {
+        row[c].encode_key(&mut key)?;
+    }
+    if let Some(rid) = rid {
+        key.extend_from_slice(&rid.pack().to_be_bytes());
+    }
+    Ok(key)
+}
+
+fn resolve(s: &Scalar, params: &[Value]) -> Result<Value> {
+    match s {
+        Scalar::Literal(v) => Ok(v.clone()),
+        Scalar::Param(i) => params.get(*i).cloned().ok_or_else(|| {
+            GraphStorageError::Query(format!(
+                "statement uses parameter ?{i} but only {} supplied",
+                params.len()
+            ))
+        }),
+    }
+}
+
+fn row_matches(
+    def: &TableDef,
+    row: &[Value],
+    predicates: &[Predicate],
+    params: &[Value],
+) -> Result<bool> {
+    for p in predicates {
+        let idx = def.column_index(&p.column)?;
+        let rhs = resolve(&p.rhs, params)?;
+        if !p.op.eval(row[idx].sql_cmp(&rhs)) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db(tag: &str) -> Database {
+        let d = std::env::temp_dir()
+            .join(format!("minisql-db-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        Database::open(&d, IoStats::new()).unwrap()
+    }
+
+    fn setup_adj(db: &mut Database) {
+        db.execute(
+            "CREATE TABLE adj (vertex BIGINT, chunk BIGINT, data BLOB, \
+             PRIMARY KEY (vertex, chunk))",
+            &[],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn create_insert_select() {
+        let mut d = db("cis");
+        setup_adj(&mut d);
+        d.execute(
+            "INSERT INTO adj VALUES (1, 0, ?)",
+            &[Value::Blob(vec![9, 9])],
+        )
+        .unwrap();
+        let rs = d.execute("SELECT * FROM adj WHERE vertex = 1", &[]).unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::Int(1));
+        assert_eq!(rs.rows[0][2], Value::Blob(vec![9, 9]));
+        assert_eq!(rs.columns, vec!["vertex", "chunk", "data"]);
+    }
+
+    #[test]
+    fn pk_uniqueness_enforced() {
+        let mut d = db("pk");
+        setup_adj(&mut d);
+        d.execute("INSERT INTO adj VALUES (1, 0, x'00')", &[]).unwrap();
+        assert!(d.execute("INSERT INTO adj VALUES (1, 0, x'01')", &[]).is_err());
+        // Different chunk is fine.
+        d.execute("INSERT INTO adj VALUES (1, 1, x'01')", &[]).unwrap();
+    }
+
+    #[test]
+    fn pk_prefix_scan() {
+        let mut d = db("prefix");
+        setup_adj(&mut d);
+        for v in 0..5i64 {
+            for c in 0..3i64 {
+                d.execute(
+                    "INSERT INTO adj VALUES (?, ?, x'aa')",
+                    &[Value::Int(v), Value::Int(c)],
+                )
+                .unwrap();
+            }
+        }
+        let rs = d
+            .execute(
+                "SELECT chunk FROM adj WHERE vertex = ? ORDER BY chunk",
+                &[Value::Int(3)],
+            )
+            .unwrap();
+        let chunks: Vec<i64> = rs.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(chunks, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn range_predicates() {
+        let mut d = db("range");
+        d.execute("CREATE TABLE t (a BIGINT, b BIGINT)", &[]).unwrap();
+        for i in 0..10i64 {
+            d.execute("INSERT INTO t VALUES (?, ?)", &[Value::Int(i), Value::Int(i * 10)])
+                .unwrap();
+        }
+        let rs = d.execute("SELECT a FROM t WHERE a >= 3 AND a < 6 ORDER BY a", &[]).unwrap();
+        let got: Vec<i64> = rs.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(got, vec![3, 4, 5]);
+        let rs = d.execute("SELECT a FROM t WHERE b <> 30", &[]).unwrap();
+        assert_eq!(rs.rows.len(), 9);
+    }
+
+    #[test]
+    fn update_changes_rows() {
+        let mut d = db("update");
+        setup_adj(&mut d);
+        d.execute("INSERT INTO adj VALUES (1, 0, x'aa')", &[]).unwrap();
+        let rs = d
+            .execute(
+                "UPDATE adj SET data = ? WHERE vertex = 1 AND chunk = 0",
+                &[Value::Blob(vec![0xbb, 0xcc])],
+            )
+            .unwrap();
+        assert_eq!(rs.rows_affected, 1);
+        let rs = d.execute("SELECT data FROM adj WHERE vertex = 1 AND chunk = 0", &[]).unwrap();
+        assert_eq!(rs.rows[0][0], Value::Blob(vec![0xbb, 0xcc]));
+    }
+
+    #[test]
+    fn update_pk_column_keeps_index_consistent() {
+        let mut d = db("updpk");
+        setup_adj(&mut d);
+        d.execute("INSERT INTO adj VALUES (1, 0, x'aa')", &[]).unwrap();
+        d.execute("UPDATE adj SET vertex = 2 WHERE vertex = 1", &[]).unwrap();
+        assert!(d.execute("SELECT * FROM adj WHERE vertex = 1", &[]).unwrap().rows.is_empty());
+        assert_eq!(
+            d.execute("SELECT * FROM adj WHERE vertex = 2", &[]).unwrap().rows.len(),
+            1
+        );
+    }
+
+    #[test]
+    fn delete_removes_rows_and_index_entries() {
+        let mut d = db("delete");
+        setup_adj(&mut d);
+        for c in 0..3i64 {
+            d.execute("INSERT INTO adj VALUES (7, ?, x'aa')", &[Value::Int(c)]).unwrap();
+        }
+        let rs = d.execute("DELETE FROM adj WHERE vertex = 7 AND chunk = 1", &[]).unwrap();
+        assert_eq!(rs.rows_affected, 1);
+        let rs = d.execute("SELECT chunk FROM adj WHERE vertex = 7 ORDER BY chunk", &[]).unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        // Re-insert the deleted PK must now succeed.
+        d.execute("INSERT INTO adj VALUES (7, 1, x'bb')", &[]).unwrap();
+    }
+
+    #[test]
+    fn secondary_index_backfill_and_use() {
+        let mut d = db("secidx");
+        d.execute("CREATE TABLE t (a BIGINT, b BIGINT)", &[]).unwrap();
+        for i in 0..20i64 {
+            d.execute("INSERT INTO t VALUES (?, ?)", &[Value::Int(i % 4), Value::Int(i)])
+                .unwrap();
+        }
+        d.execute("CREATE INDEX ia ON t (a)", &[]).unwrap();
+        let rs = d.execute("SELECT b FROM t WHERE a = 2 ORDER BY b", &[]).unwrap();
+        let got: Vec<i64> = rs.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(got, vec![2, 6, 10, 14, 18]);
+    }
+
+    #[test]
+    fn full_scan_without_index() {
+        let mut d = db("fullscan");
+        d.execute("CREATE TABLE t (a BIGINT, b BLOB)", &[]).unwrap();
+        d.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z')", &[]).unwrap();
+        let rs = d.execute("SELECT a FROM t WHERE b = 'y'", &[]).unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::Int(2));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut d = db("types");
+        d.execute("CREATE TABLE t (a BIGINT)", &[]).unwrap();
+        assert!(d.execute("INSERT INTO t VALUES ('text')", &[]).is_err());
+        assert!(d.execute("INSERT INTO t VALUES (?)", &[Value::Blob(vec![])]).is_err());
+        assert!(d.execute("INSERT INTO t VALUES (1, 2)", &[]).is_err());
+    }
+
+    #[test]
+    fn missing_param_rejected() {
+        let mut d = db("params");
+        d.execute("CREATE TABLE t (a BIGINT)", &[]).unwrap();
+        assert!(d.execute("INSERT INTO t VALUES (?)", &[]).is_err());
+    }
+
+    #[test]
+    fn persistence_across_reopen() {
+        let dir = std::env::temp_dir()
+            .join(format!("minisql-db-{}-reopen", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut d = Database::open(&dir, IoStats::new()).unwrap();
+            d.execute(
+                "CREATE TABLE adj (vertex BIGINT, chunk BIGINT, data BLOB, \
+                 PRIMARY KEY (vertex, chunk))",
+                &[],
+            )
+            .unwrap();
+            d.execute("INSERT INTO adj VALUES (5, 0, x'dead')", &[]).unwrap();
+            d.flush().unwrap();
+        }
+        let mut d = Database::open(&dir, IoStats::new()).unwrap();
+        let rs = d.execute("SELECT data FROM adj WHERE vertex = 5", &[]).unwrap();
+        assert_eq!(rs.rows[0][0], Value::Blob(vec![0xde, 0xad]));
+    }
+
+    #[test]
+    fn statement_counter() {
+        let mut d = db("counter");
+        d.execute("CREATE TABLE t (a BIGINT)", &[]).unwrap();
+        let _ = d.execute("bad sql", &[]);
+        assert_eq!(d.statements_executed(), 2, "failed statements still count as parsed");
+    }
+
+    #[test]
+    fn count_star_and_limit() {
+        let mut d = db("countlimit");
+        d.execute("CREATE TABLE t (a BIGINT)", &[]).unwrap();
+        for i in 0..10i64 {
+            d.execute("INSERT INTO t VALUES (?)", &[Value::Int(i)]).unwrap();
+        }
+        let rs = d.execute("SELECT COUNT(*) FROM t", &[]).unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Int(10)]]);
+        assert_eq!(rs.columns, vec!["COUNT(*)"]);
+        let rs = d.execute("SELECT COUNT(*) FROM t WHERE a >= 7", &[]).unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Int(3)]]);
+        let rs = d.execute("SELECT a FROM t ORDER BY a LIMIT 3", &[]).unwrap();
+        let got: Vec<i64> = rs.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(got, vec![0, 1, 2]);
+        let rs = d.execute("SELECT a FROM t LIMIT 0", &[]).unwrap();
+        assert!(rs.rows.is_empty());
+    }
+
+    #[test]
+    fn null_handling() {
+        let mut d = db("null");
+        d.execute("CREATE TABLE t (a BIGINT, b BIGINT)", &[]).unwrap();
+        d.execute("INSERT INTO t VALUES (1, NULL)", &[]).unwrap();
+        // NULL never matches comparisons.
+        assert!(d.execute("SELECT * FROM t WHERE b = 1", &[]).unwrap().rows.is_empty());
+        assert!(d.execute("SELECT * FROM t WHERE b <> 1", &[]).unwrap().rows.is_empty());
+        assert_eq!(d.execute("SELECT * FROM t WHERE a = 1", &[]).unwrap().rows.len(), 1);
+    }
+}

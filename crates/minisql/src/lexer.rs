@@ -1,0 +1,280 @@
+//! SQL tokenizer.
+//!
+//! Handles the dialect subset the engine executes: identifiers, integer
+//! literals, single-quoted strings, `X'..'` hex blobs, `?` placeholders,
+//! punctuation, and comparison operators. Keywords are case-insensitive.
+
+use mssg_types::{GraphStorageError, Result};
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Token {
+    /// Keyword or identifier (keywords are resolved by the parser; the
+    /// lexer uppercases candidates via [`Token::keyword_eq`]).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal (single quotes, `''` escape).
+    Str(String),
+    /// Hex blob literal `X'0AFF'`.
+    HexBlob(Vec<u8>),
+    /// `?` placeholder, numbered in appearance order from 0.
+    Param(usize),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `<>` or `!=`
+    Ne,
+}
+
+impl Token {
+    /// Case-insensitive keyword comparison for identifiers.
+    pub fn keyword_eq(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenizes a statement.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    let mut params = 0usize;
+    let err = |msg: String| GraphStorageError::Query(msg);
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '?' => {
+                out.push(Token::Param(params));
+                params += 1;
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(err(format!("stray '!' at byte {i}")));
+                }
+            }
+            '\'' => {
+                let (s, next) = lex_string(input, i)?;
+                out.push(Token::Str(s));
+                i = next;
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                    if !bytes.get(i).is_some_and(|b| b.is_ascii_digit()) {
+                        return Err(err(format!("stray '-' at byte {start}")));
+                    }
+                }
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let n: i64 = text
+                    .parse()
+                    .map_err(|_| err(format!("integer literal {text:?} out of range")))?;
+                out.push(Token::Int(n));
+            }
+            'x' | 'X' if bytes.get(i + 1) == Some(&b'\'') => {
+                let (s, next) = lex_string(input, i + 1)?;
+                let blob = decode_hex(&s)
+                    .ok_or_else(|| err(format!("bad hex blob near byte {i}")))?;
+                out.push(Token::HexBlob(blob));
+                i = next;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => return Err(err(format!("unexpected character {other:?} at byte {i}"))),
+        }
+    }
+    Ok(out)
+}
+
+/// Lexes a single-quoted string starting at `start` (which must point at
+/// the opening quote). Returns the contents and the index after the
+/// closing quote. `''` escapes a quote.
+fn lex_string(input: &str, start: usize) -> Result<(String, usize)> {
+    let bytes = input.as_bytes();
+    debug_assert_eq!(bytes[start], b'\'');
+    let mut i = start + 1;
+    let mut s = String::new();
+    while i < bytes.len() {
+        if bytes[i] == b'\'' {
+            if bytes.get(i + 1) == Some(&b'\'') {
+                s.push('\'');
+                i += 2;
+            } else {
+                return Ok((s, i + 1));
+            }
+        } else {
+            s.push(bytes[i] as char);
+            i += 1;
+        }
+    }
+    Err(GraphStorageError::Query("unterminated string literal".into()))
+}
+
+fn decode_hex(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_statement() {
+        let toks = lex("SELECT * FROM adj WHERE vertex = 42;").unwrap();
+        assert_eq!(toks[0], Token::Ident("SELECT".into()));
+        assert!(toks[0].keyword_eq("select"));
+        assert_eq!(toks[1], Token::Star);
+        assert_eq!(toks[6], Token::Eq);
+        assert_eq!(toks[7], Token::Int(42));
+        assert_eq!(toks[8], Token::Semi);
+    }
+
+    #[test]
+    fn params_numbered_in_order() {
+        let toks = lex("INSERT INTO t VALUES (?, ?, ?)").unwrap();
+        let params: Vec<usize> = toks
+            .iter()
+            .filter_map(|t| if let Token::Param(i) = t { Some(*i) } else { None })
+            .collect();
+        assert_eq!(params, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = lex("a <= b >= c <> d != e < f > g").unwrap();
+        let ops: Vec<&Token> = toks
+            .iter()
+            .filter(|t| !matches!(t, Token::Ident(_)))
+            .collect();
+        assert_eq!(
+            ops,
+            vec![&Token::Le, &Token::Ge, &Token::Ne, &Token::Ne, &Token::Lt, &Token::Gt]
+        );
+    }
+
+    #[test]
+    fn string_with_escape() {
+        let toks = lex("SELECT 'it''s'").unwrap();
+        assert_eq!(toks[1], Token::Str("it's".into()));
+    }
+
+    #[test]
+    fn hex_blob() {
+        let toks = lex("INSERT INTO t VALUES (X'0aFF')").unwrap();
+        assert!(toks.contains(&Token::HexBlob(vec![0x0a, 0xff])));
+    }
+
+    #[test]
+    fn negative_numbers() {
+        let toks = lex("VALUES (-17)").unwrap();
+        assert!(toks.contains(&Token::Int(-17)));
+    }
+
+    #[test]
+    fn identifier_x_not_blob() {
+        // 'x' followed by something other than a quote is an identifier.
+        let toks = lex("SELECT x FROM t").unwrap();
+        assert_eq!(toks[1], Token::Ident("x".into()));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("SELECT 'unterminated").is_err());
+        assert!(lex("a @ b").is_err());
+        assert!(lex("x'zz'").is_err());
+        assert!(lex("- 5").is_err());
+        assert!(lex("99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let toks = lex("select From WHERE").unwrap();
+        assert!(toks[0].keyword_eq("SELECT"));
+        assert!(toks[1].keyword_eq("from"));
+        assert!(toks[2].keyword_eq("Where"));
+    }
+}

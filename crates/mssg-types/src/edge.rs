@@ -1,0 +1,175 @@
+//! Edges of a (semantic) graph.
+//!
+//! MSSG ingests graphs as streams of edges. The framework stores graphs
+//! undirected (each ingested edge is materialised in both directions by the
+//! ingestion service), but the [`Edge`] type itself is an ordered pair so the
+//! same type serves directed use as well.
+
+use crate::gid::Gid;
+use crate::ontology::{EdgeTypeId, VertexTypeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An untyped edge: an ordered pair of global vertex ids.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source vertex.
+    pub src: Gid,
+    /// Destination vertex.
+    pub dst: Gid,
+}
+
+impl Edge {
+    /// Creates an edge from two vertex ids.
+    #[inline]
+    pub fn new(src: Gid, dst: Gid) -> Edge {
+        Edge { src, dst }
+    }
+
+    /// Convenience constructor from raw `u64` ids.
+    ///
+    /// # Panics
+    /// Panics if either id overflows 61 bits.
+    #[inline]
+    pub fn of(src: u64, dst: u64) -> Edge {
+        Edge::new(Gid::new(src), Gid::new(dst))
+    }
+
+    /// The same edge with endpoints swapped.
+    #[inline]
+    pub fn reversed(self) -> Edge {
+        Edge { src: self.dst, dst: self.src }
+    }
+
+    /// Canonical undirected form: the endpoint with the smaller id first.
+    /// Two edges are the same undirected edge iff their canonical forms
+    /// are equal.
+    #[inline]
+    pub fn canonical(self) -> Edge {
+        if self.src <= self.dst {
+            self
+        } else {
+            self.reversed()
+        }
+    }
+
+    /// `true` for a self-loop.
+    #[inline]
+    pub fn is_loop(self) -> bool {
+        self.src == self.dst
+    }
+
+    /// Serialises the edge into 16 little-endian bytes (the on-disk and
+    /// on-wire format used throughout the workspace).
+    #[inline]
+    pub fn to_bytes(self) -> [u8; 16] {
+        let mut b = [0u8; 16];
+        b[..8].copy_from_slice(&self.src.raw().to_le_bytes());
+        b[8..].copy_from_slice(&self.dst.raw().to_le_bytes());
+        b
+    }
+
+    /// Deserialises an edge written by [`Edge::to_bytes`].
+    #[inline]
+    pub fn from_bytes(b: &[u8; 16]) -> Edge {
+        let src = u64::from_le_bytes(b[..8].try_into().unwrap());
+        let dst = u64::from_le_bytes(b[8..].try_into().unwrap());
+        Edge { src: Gid::from_raw(src), dst: Gid::from_raw(dst) }
+    }
+}
+
+impl fmt::Debug for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} -> {})", self.src, self.dst)
+    }
+}
+
+impl From<(u64, u64)> for Edge {
+    #[inline]
+    fn from((s, d): (u64, u64)) -> Edge {
+        Edge::of(s, d)
+    }
+}
+
+/// An ontology-typed edge of a semantic graph.
+///
+/// Semantic graphs attach types to both endpoints and to the relationship
+/// itself (thesis Figure 1.1: a `Person` *attends* a `Meeting`). The
+/// [`crate::Ontology`] validates that the triple
+/// `(src_type, edge_type, dst_type)` is allowed by the schema.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct TypedEdge {
+    /// The underlying vertex pair.
+    pub edge: Edge,
+    /// Type of the source vertex.
+    pub src_type: VertexTypeId,
+    /// Type of the relationship.
+    pub edge_type: EdgeTypeId,
+    /// Type of the destination vertex.
+    pub dst_type: VertexTypeId,
+}
+
+impl TypedEdge {
+    /// Creates a typed edge.
+    pub fn new(
+        edge: Edge,
+        src_type: VertexTypeId,
+        edge_type: EdgeTypeId,
+        dst_type: VertexTypeId,
+    ) -> TypedEdge {
+        TypedEdge { edge, src_type, edge_type, dst_type }
+    }
+
+    /// Drops the type annotations.
+    #[inline]
+    pub fn untyped(self) -> Edge {
+        self.edge
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_orders_endpoints() {
+        assert_eq!(Edge::of(5, 3).canonical(), Edge::of(3, 5));
+        assert_eq!(Edge::of(3, 5).canonical(), Edge::of(3, 5));
+        assert_eq!(Edge::of(4, 4).canonical(), Edge::of(4, 4));
+    }
+
+    #[test]
+    fn reversed_swaps() {
+        let e = Edge::of(1, 2);
+        assert_eq!(e.reversed(), Edge::of(2, 1));
+        assert_eq!(e.reversed().reversed(), e);
+    }
+
+    #[test]
+    fn loops_detected() {
+        assert!(Edge::of(9, 9).is_loop());
+        assert!(!Edge::of(9, 10).is_loop());
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let e = Edge::of(0x1234_5678_9abc, 0x0fed_cba9_8765);
+        assert_eq!(Edge::from_bytes(&e.to_bytes()), e);
+    }
+
+    #[test]
+    fn byte_roundtrip_preserves_tags() {
+        // On-disk words may be tagged; the codec must not normalise them.
+        let e = Edge {
+            src: Gid::tagged(2, 7),
+            dst: Gid::new(1),
+        };
+        assert_eq!(Edge::from_bytes(&e.to_bytes()), e);
+    }
+
+    #[test]
+    fn tuple_conversion() {
+        let e: Edge = (10, 20).into();
+        assert_eq!(e, Edge::of(10, 20));
+    }
+}

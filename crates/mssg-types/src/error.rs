@@ -1,0 +1,110 @@
+//! Error types for the GraphDB service layer.
+//!
+//! The prototype's Java interface (thesis Listing 3.1) throws a single
+//! `GraphStorageException` from every method; here we refine it into an enum
+//! so callers can distinguish I/O failures from logical misuse, while the
+//! blanket `From<io::Error>` keeps storage-engine code terse.
+
+use std::fmt;
+use std::io;
+
+/// Convenience alias used across the storage crates.
+pub type Result<T, E = GraphStorageError> = std::result::Result<T, E>;
+
+/// Errors raised by GraphDB service implementations.
+#[derive(Debug)]
+pub enum GraphStorageError {
+    /// An underlying I/O operation failed.
+    Io(io::Error),
+    /// The store's on-disk data failed a consistency check (bad magic,
+    /// truncated block, broken level pointer, …).
+    Corrupt(String),
+    /// The caller asked for a vertex the store cannot represent (e.g. a
+    /// tagged word where a plain vertex id was required).
+    InvalidVertex(String),
+    /// The store is full or an internal limit was exceeded.
+    CapacityExceeded(String),
+    /// The operation is not supported by this backend (e.g. point
+    /// adjacency lookups on StreamDB, which only answers batch scans).
+    Unsupported(String),
+    /// A (mini-)SQL statement failed to parse or execute.
+    Query(String),
+}
+
+impl fmt::Display for GraphStorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphStorageError::Io(e) => write!(f, "graph storage I/O error: {e}"),
+            GraphStorageError::Corrupt(m) => write!(f, "graph storage corrupt: {m}"),
+            GraphStorageError::InvalidVertex(m) => write!(f, "invalid vertex: {m}"),
+            GraphStorageError::CapacityExceeded(m) => write!(f, "capacity exceeded: {m}"),
+            GraphStorageError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
+            GraphStorageError::Query(m) => write!(f, "query error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphStorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphStorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphStorageError {
+    fn from(e: io::Error) -> Self {
+        GraphStorageError::Io(e)
+    }
+}
+
+impl From<crate::ontology::OntologyError> for GraphStorageError {
+    fn from(e: crate::ontology::OntologyError) -> Self {
+        GraphStorageError::InvalidVertex(e.to_string())
+    }
+}
+
+impl GraphStorageError {
+    /// Builds a [`GraphStorageError::Corrupt`] with a formatted message.
+    pub fn corrupt(msg: impl Into<String>) -> Self {
+        GraphStorageError::Corrupt(msg.into())
+    }
+
+    /// `true` if retrying the operation could plausibly succeed
+    /// (transient I/O), `false` for logical errors.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, GraphStorageError::Io(e)
+            if matches!(e.kind(), io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = GraphStorageError::Corrupt("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+        let e = GraphStorageError::from(io::Error::new(io::ErrorKind::Other, "boom"));
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn io_errors_keep_source() {
+        use std::error::Error as _;
+        let e = GraphStorageError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(e.source().is_some());
+        assert!(GraphStorageError::corrupt("x").source().is_none());
+    }
+
+    #[test]
+    fn transient_classification() {
+        let t = GraphStorageError::from(io::Error::from(io::ErrorKind::Interrupted));
+        assert!(t.is_transient());
+        let p = GraphStorageError::from(io::Error::from(io::ErrorKind::NotFound));
+        assert!(!p.is_transient());
+        assert!(!GraphStorageError::corrupt("x").is_transient());
+    }
+}

@@ -1,0 +1,239 @@
+//! Global vertex identifiers.
+//!
+//! The thesis (§4.1.6) reserves the three most significant bits of every
+//! 64-bit vertex word for the storage engine: grDB overloads the last slot
+//! of a sub-block with a *tagged pointer* into a higher storage level. A
+//! plain vertex id therefore has 61 usable bits, "sufficient for graphs with
+//! up to 2 quintillion vertices".
+//!
+//! [`Gid`] is the plain identifier. The tagging machinery itself
+//! ([`Gid::tagged`], [`Gid::tag`], …) lives here so that every storage
+//! engine shares one definition of the bit layout.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of tag bits reserved at the top of the 64-bit word.
+pub const TAG_BITS: u32 = 3;
+
+/// Number of bits available for the vertex number proper.
+pub const ID_BITS: u32 = 64 - TAG_BITS;
+
+/// Mask selecting the 61 id bits.
+pub const ID_MASK: u64 = (1u64 << ID_BITS) - 1;
+
+/// Mask selecting the 3 tag bits.
+pub const TAG_MASK: u64 = !ID_MASK;
+
+/// A 61-bit global vertex identifier.
+///
+/// `Gid` is a transparent wrapper over `u64` whose top three bits are
+/// guaranteed to be zero for ordinary vertices. Storage engines may encode
+/// tagged values (pointers into higher storage levels, sentinels, …) in the
+/// same word; such values compare unequal to every plain vertex id.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(transparent)]
+pub struct Gid(u64);
+
+impl Gid {
+    /// The largest representable plain vertex id (2^61 − 1).
+    pub const MAX: Gid = Gid(ID_MASK);
+
+    /// Sentinel used by storage engines for "empty slot". Tag value 7 with a
+    /// zero payload; never a valid vertex or pointer.
+    pub const NIL: Gid = Gid(TAG_MASK);
+
+    /// Creates a plain vertex id.
+    ///
+    /// # Panics
+    /// Panics if `raw` uses any of the three reserved tag bits.
+    #[inline]
+    #[track_caller]
+    pub fn new(raw: u64) -> Gid {
+        assert!(
+            raw & TAG_MASK == 0,
+            "vertex id {raw:#x} overflows the 61-bit id space"
+        );
+        Gid(raw)
+    }
+
+    /// Creates a plain vertex id, returning `None` if it overflows 61 bits.
+    #[inline]
+    pub fn try_new(raw: u64) -> Option<Gid> {
+        (raw & TAG_MASK == 0).then_some(Gid(raw))
+    }
+
+    /// Reinterprets a raw 64-bit word that may carry a tag. No validation:
+    /// used when reading storage engine words back from disk.
+    #[inline]
+    pub const fn from_raw(word: u64) -> Gid {
+        Gid(word)
+    }
+
+    /// The raw 64-bit word, including any tag bits.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The 61-bit payload with tag bits stripped.
+    #[inline]
+    pub const fn payload(self) -> u64 {
+        self.0 & ID_MASK
+    }
+
+    /// The 3-bit tag in the range `0..8`. Plain vertices have tag 0.
+    #[inline]
+    pub const fn tag(self) -> u8 {
+        (self.0 >> ID_BITS) as u8
+    }
+
+    /// `true` for a plain (untagged) vertex id.
+    #[inline]
+    pub const fn is_vertex(self) -> bool {
+        self.0 & TAG_MASK == 0
+    }
+
+    /// `true` when any tag bit is set.
+    #[inline]
+    pub const fn is_tagged(self) -> bool {
+        !self.is_vertex()
+    }
+
+    /// Builds a tagged word from a non-zero tag and a 61-bit payload.
+    ///
+    /// # Panics
+    /// Panics if `tag` is 0 (that would forge a plain vertex) or ≥ 8, or if
+    /// the payload overflows 61 bits.
+    #[inline]
+    #[track_caller]
+    pub fn tagged(tag: u8, payload: u64) -> Gid {
+        assert!(tag > 0 && tag < 8, "tag {tag} out of range 1..8");
+        assert!(
+            payload & TAG_MASK == 0,
+            "payload {payload:#x} overflows the 61-bit payload space"
+        );
+        Gid(((tag as u64) << ID_BITS) | payload)
+    }
+
+    /// The plain-vertex index as `usize`, for indexing host data structures.
+    ///
+    /// # Panics
+    /// Panics if the word is tagged — callers must branch on
+    /// [`Gid::is_vertex`] first.
+    #[inline]
+    #[track_caller]
+    pub fn index(self) -> usize {
+        assert!(self.is_vertex(), "Gid {:#x} is tagged, not a vertex", self.0);
+        self.0 as usize
+    }
+}
+
+impl From<u32> for Gid {
+    #[inline]
+    fn from(v: u32) -> Gid {
+        Gid(v as u64)
+    }
+}
+
+impl fmt::Debug for Gid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_vertex() {
+            write!(f, "Gid({})", self.0)
+        } else if *self == Gid::NIL {
+            write!(f, "Gid(NIL)")
+        } else {
+            write!(f, "Gid(tag={}, payload={})", self.tag(), self.payload())
+        }
+    }
+}
+
+impl fmt::Display for Gid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_vertex_roundtrip() {
+        let g = Gid::new(42);
+        assert_eq!(g.raw(), 42);
+        assert_eq!(g.payload(), 42);
+        assert_eq!(g.tag(), 0);
+        assert!(g.is_vertex());
+        assert!(!g.is_tagged());
+        assert_eq!(g.index(), 42);
+    }
+
+    #[test]
+    fn max_vertex_fits() {
+        let g = Gid::new(ID_MASK);
+        assert_eq!(g, Gid::MAX);
+        assert!(g.is_vertex());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the 61-bit id space")]
+    fn overflowing_vertex_panics() {
+        let _ = Gid::new(1u64 << 61);
+    }
+
+    #[test]
+    fn try_new_rejects_tagged_words() {
+        assert!(Gid::try_new(ID_MASK).is_some());
+        assert!(Gid::try_new(ID_MASK + 1).is_none());
+        assert!(Gid::try_new(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn tagged_words_carry_tag_and_payload() {
+        for tag in 1..8u8 {
+            let g = Gid::tagged(tag, 12345);
+            assert_eq!(g.tag(), tag);
+            assert_eq!(g.payload(), 12345);
+            assert!(g.is_tagged());
+            assert!(!g.is_vertex());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tag 0 out of range")]
+    fn tag_zero_rejected() {
+        let _ = Gid::tagged(0, 1);
+    }
+
+    #[test]
+    fn nil_is_tagged_and_distinct() {
+        assert!(Gid::NIL.is_tagged());
+        assert_eq!(Gid::NIL.tag(), 7);
+        assert_eq!(Gid::NIL.payload(), 0);
+        assert_ne!(Gid::NIL, Gid::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "is tagged, not a vertex")]
+    fn index_of_tagged_panics() {
+        let _ = Gid::tagged(1, 7).index();
+    }
+
+    #[test]
+    fn from_raw_preserves_bits() {
+        let w = (3u64 << ID_BITS) | 99;
+        let g = Gid::from_raw(w);
+        assert_eq!(g.raw(), w);
+        assert_eq!(g.tag(), 3);
+        assert_eq!(g.payload(), 99);
+    }
+
+    #[test]
+    fn ordering_follows_raw_word() {
+        assert!(Gid::new(1) < Gid::new(2));
+        // Tagged words sort above all plain vertices — storage engines rely
+        // on this to keep sentinel values out of vertex ranges.
+        assert!(Gid::MAX < Gid::tagged(1, 0));
+    }
+}

@@ -1,0 +1,103 @@
+//! Per-vertex metadata and the metadata-filtered adjacency operation.
+//!
+//! The GraphDB interface (thesis Listing 3.1) attaches one 32-bit metadata
+//! word to each vertex and exposes a fused operation that returns only those
+//! neighbours whose metadata compares a chosen way against an input value.
+//! The out-of-core BFS uses the metadata word as the `level` array: a fringe
+//! expansion asks for "neighbours whose level ≠ current level", letting the
+//! storage engine filter while the data is still hot in its cache.
+
+use serde::{Deserialize, Serialize};
+
+/// The per-vertex metadata word.
+pub type Meta = i32;
+
+/// Sentinel for "never visited" (the algorithm's `level[v] = ∞`).
+pub const UNVISITED: Meta = Meta::MAX;
+
+/// Comparison selector for `get_adjacency_list_using_metadata`.
+///
+/// The discriminants match the integer protocol documented in the thesis
+/// listing (−2 … 2) so traces can be compared against the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+#[repr(i8)]
+pub enum MetaOp {
+    /// `-2`: ignore metadata, return all neighbours.
+    Ignore = -2,
+    /// `-1`: return a neighbour iff its metadata ≠ the input value.
+    NotEqual = -1,
+    /// `0`: return a neighbour iff its metadata = the input value.
+    Equal = 0,
+    /// `1`: return a neighbour iff its metadata > the input value.
+    Greater = 1,
+    /// `2`: return a neighbour iff its metadata < the input value.
+    Less = 2,
+}
+
+impl MetaOp {
+    /// Evaluates the comparison for a neighbour's metadata word.
+    #[inline]
+    pub fn admits(self, neighbour_meta: Meta, input: Meta) -> bool {
+        match self {
+            MetaOp::Ignore => true,
+            MetaOp::NotEqual => neighbour_meta != input,
+            MetaOp::Equal => neighbour_meta == input,
+            MetaOp::Greater => neighbour_meta > input,
+            MetaOp::Less => neighbour_meta < input,
+        }
+    }
+
+    /// Decodes the thesis' integer protocol.
+    pub fn from_code(code: i8) -> Option<MetaOp> {
+        Some(match code {
+            -2 => MetaOp::Ignore,
+            -1 => MetaOp::NotEqual,
+            0 => MetaOp::Equal,
+            1 => MetaOp::Greater,
+            2 => MetaOp::Less,
+            _ => return None,
+        })
+    }
+
+    /// The thesis' integer code for this operation.
+    #[inline]
+    pub fn code(self) -> i8 {
+        self as i8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip() {
+        for op in [MetaOp::Ignore, MetaOp::NotEqual, MetaOp::Equal, MetaOp::Greater, MetaOp::Less]
+        {
+            assert_eq!(MetaOp::from_code(op.code()), Some(op));
+        }
+        assert_eq!(MetaOp::from_code(3), None);
+        assert_eq!(MetaOp::from_code(-3), None);
+    }
+
+    #[test]
+    fn admits_matches_semantics() {
+        assert!(MetaOp::Ignore.admits(5, 99));
+        assert!(MetaOp::NotEqual.admits(5, 4));
+        assert!(!MetaOp::NotEqual.admits(5, 5));
+        assert!(MetaOp::Equal.admits(5, 5));
+        assert!(!MetaOp::Equal.admits(5, 6));
+        assert!(MetaOp::Greater.admits(6, 5));
+        assert!(!MetaOp::Greater.admits(5, 5));
+        assert!(MetaOp::Less.admits(4, 5));
+        assert!(!MetaOp::Less.admits(5, 5));
+    }
+
+    #[test]
+    fn unvisited_interacts_with_notequal() {
+        // BFS asks for neighbours whose level != visited-sentinel inverse:
+        // an unvisited vertex must be admitted by NotEqual(current_level).
+        assert!(MetaOp::NotEqual.admits(UNVISITED, 3));
+        assert!(MetaOp::Equal.admits(UNVISITED, UNVISITED));
+    }
+}

@@ -1,0 +1,321 @@
+//! Ontologies for semantic graphs.
+//!
+//! An ontology is itself a small semantic graph whose vertices are *types*
+//! and whose edges say which relationships are allowed between which types
+//! (thesis Figure 1.1: a `Person` may *attend* a `Meeting`; a `Date` may not
+//! connect directly to a `Person`). When used as a blueprint, the ontology's
+//! topology restricts the topology of every instance graph.
+//!
+//! [`Ontology`] stores the schema and validates [`TypedEdge`]s against it.
+//! The ingestion service can run in *validating* mode, rejecting edges whose
+//! `(src_type, edge_type, dst_type)` triple the schema does not allow.
+
+use crate::edge::TypedEdge;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Identifier of a vertex type within an ontology.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VertexTypeId(pub u32);
+
+/// Identifier of an edge (relationship) type within an ontology.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeTypeId(pub u32);
+
+/// Errors produced while building or validating against an ontology.
+#[derive(Debug, PartialEq, Eq)]
+pub enum OntologyError {
+    /// A type name was registered twice.
+    DuplicateType(String),
+    /// A rule referenced an unknown vertex or edge type.
+    UnknownType(String),
+    /// An instance edge's type triple is not allowed by the schema.
+    Violation {
+        /// Human-readable description of the offending triple.
+        triple: String,
+    },
+}
+
+impl fmt::Display for OntologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OntologyError::DuplicateType(n) => write!(f, "duplicate type name {n:?}"),
+            OntologyError::UnknownType(n) => write!(f, "unknown type {n:?}"),
+            OntologyError::Violation { triple } => {
+                write!(f, "edge violates ontology: {triple}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OntologyError {}
+
+/// An ontology: named vertex/edge types plus the set of allowed
+/// `(src_type, edge_type, dst_type)` triples.
+///
+/// Rules are stored symmetrically — semantic graphs in MSSG are undirected,
+/// so allowing `Person --attends--> Meeting` also allows
+/// `Meeting --attends--> Person`.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Ontology {
+    vertex_types: Vec<String>,
+    edge_types: Vec<String>,
+    vertex_index: HashMap<String, VertexTypeId>,
+    edge_index: HashMap<String, EdgeTypeId>,
+    /// Allowed triples, canonicalised with src_type ≤ dst_type.
+    rules: HashSet<(VertexTypeId, EdgeTypeId, VertexTypeId)>,
+}
+
+impl Ontology {
+    /// Creates an empty ontology.
+    pub fn new() -> Ontology {
+        Ontology::default()
+    }
+
+    /// Registers a vertex type, returning its id.
+    pub fn add_vertex_type(&mut self, name: &str) -> Result<VertexTypeId, OntologyError> {
+        if self.vertex_index.contains_key(name) {
+            return Err(OntologyError::DuplicateType(name.to_string()));
+        }
+        let id = VertexTypeId(self.vertex_types.len() as u32);
+        self.vertex_types.push(name.to_string());
+        self.vertex_index.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Registers an edge type, returning its id.
+    pub fn add_edge_type(&mut self, name: &str) -> Result<EdgeTypeId, OntologyError> {
+        if self.edge_index.contains_key(name) {
+            return Err(OntologyError::DuplicateType(name.to_string()));
+        }
+        let id = EdgeTypeId(self.edge_types.len() as u32);
+        self.edge_types.push(name.to_string());
+        self.edge_index.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    fn check_vertex(&self, id: VertexTypeId) -> Result<(), OntologyError> {
+        if (id.0 as usize) < self.vertex_types.len() {
+            Ok(())
+        } else {
+            Err(OntologyError::UnknownType(format!("vertex type #{}", id.0)))
+        }
+    }
+
+    fn check_edge(&self, id: EdgeTypeId) -> Result<(), OntologyError> {
+        if (id.0 as usize) < self.edge_types.len() {
+            Ok(())
+        } else {
+            Err(OntologyError::UnknownType(format!("edge type #{}", id.0)))
+        }
+    }
+
+    /// Allows the triple `(src, etype, dst)` (and its mirror image).
+    pub fn allow(
+        &mut self,
+        src: VertexTypeId,
+        etype: EdgeTypeId,
+        dst: VertexTypeId,
+    ) -> Result<(), OntologyError> {
+        self.check_vertex(src)?;
+        self.check_vertex(dst)?;
+        self.check_edge(etype)?;
+        let (a, b) = if src <= dst { (src, dst) } else { (dst, src) };
+        self.rules.insert((a, etype, b));
+        Ok(())
+    }
+
+    /// Allows a triple by type names; convenience for schema construction.
+    pub fn allow_named(&mut self, src: &str, etype: &str, dst: &str) -> Result<(), OntologyError> {
+        let s = self.vertex_type(src)?;
+        let d = self.vertex_type(dst)?;
+        let e = self.edge_type(etype)?;
+        self.allow(s, e, d)
+    }
+
+    /// Looks up a vertex type by name.
+    pub fn vertex_type(&self, name: &str) -> Result<VertexTypeId, OntologyError> {
+        self.vertex_index
+            .get(name)
+            .copied()
+            .ok_or_else(|| OntologyError::UnknownType(name.to_string()))
+    }
+
+    /// Looks up an edge type by name.
+    pub fn edge_type(&self, name: &str) -> Result<EdgeTypeId, OntologyError> {
+        self.edge_index
+            .get(name)
+            .copied()
+            .ok_or_else(|| OntologyError::UnknownType(name.to_string()))
+    }
+
+    /// Name of a vertex type id.
+    pub fn vertex_type_name(&self, id: VertexTypeId) -> Option<&str> {
+        self.vertex_types.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Name of an edge type id.
+    pub fn edge_type_name(&self, id: EdgeTypeId) -> Option<&str> {
+        self.edge_types.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// `true` if the triple is allowed (in either direction).
+    pub fn permits(&self, src: VertexTypeId, etype: EdgeTypeId, dst: VertexTypeId) -> bool {
+        let (a, b) = if src <= dst { (src, dst) } else { (dst, src) };
+        self.rules.contains(&(a, etype, b))
+    }
+
+    /// Validates an instance edge against the schema.
+    pub fn validate(&self, e: &TypedEdge) -> Result<(), OntologyError> {
+        if self.permits(e.src_type, e.edge_type, e.dst_type) {
+            Ok(())
+        } else {
+            let name = |v: VertexTypeId| {
+                self.vertex_type_name(v).unwrap_or("<unknown>").to_string()
+            };
+            let ename = self.edge_type_name(e.edge_type).unwrap_or("<unknown>");
+            Err(OntologyError::Violation {
+                triple: format!(
+                    "{} --{}--> {}",
+                    name(e.src_type),
+                    ename,
+                    name(e.dst_type)
+                ),
+            })
+        }
+    }
+
+    /// Number of registered vertex types.
+    pub fn vertex_type_count(&self) -> usize {
+        self.vertex_types.len()
+    }
+
+    /// Number of registered edge types.
+    pub fn edge_type_count(&self) -> usize {
+        self.edge_types.len()
+    }
+
+    /// Number of allowed triples.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Builds the example ontology of thesis Figure 1.1: Person, Meeting,
+    /// Date, Travel vertices; attends / occurred-on / departs-on edges.
+    /// `Date` never connects directly to `Person`.
+    pub fn example_meetings() -> Ontology {
+        let mut o = Ontology::new();
+        let person = o.add_vertex_type("Person").unwrap();
+        let meeting = o.add_vertex_type("Meeting").unwrap();
+        let date = o.add_vertex_type("Date").unwrap();
+        let travel = o.add_vertex_type("Travel").unwrap();
+        let attends = o.add_edge_type("attends").unwrap();
+        let occurred_on = o.add_edge_type("occurred on").unwrap();
+        let departs_on = o.add_edge_type("departs on").unwrap();
+        let takes = o.add_edge_type("takes").unwrap();
+        o.allow(person, attends, meeting).unwrap();
+        o.allow(meeting, occurred_on, date).unwrap();
+        o.allow(person, takes, travel).unwrap();
+        o.allow(travel, departs_on, date).unwrap();
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::Edge;
+
+    #[test]
+    fn example_schema_shape() {
+        let o = Ontology::example_meetings();
+        assert_eq!(o.vertex_type_count(), 4);
+        assert_eq!(o.edge_type_count(), 4);
+        assert_eq!(o.rule_count(), 4);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut o = Ontology::new();
+        o.add_vertex_type("A").unwrap();
+        assert_eq!(
+            o.add_vertex_type("A"),
+            Err(OntologyError::DuplicateType("A".into()))
+        );
+    }
+
+    #[test]
+    fn permits_is_symmetric() {
+        let o = Ontology::example_meetings();
+        let person = o.vertex_type("Person").unwrap();
+        let meeting = o.vertex_type("Meeting").unwrap();
+        let attends = o.edge_type("attends").unwrap();
+        assert!(o.permits(person, attends, meeting));
+        assert!(o.permits(meeting, attends, person));
+    }
+
+    #[test]
+    fn date_person_forbidden() {
+        // The thesis calls this out explicitly: Date vertices may not be
+        // directly connected to Person vertices.
+        let o = Ontology::example_meetings();
+        let person = o.vertex_type("Person").unwrap();
+        let date = o.vertex_type("Date").unwrap();
+        for ename in ["attends", "occurred on", "departs on", "takes"] {
+            let e = o.edge_type(ename).unwrap();
+            assert!(!o.permits(person, e, date), "{ename} must not link Person-Date");
+        }
+    }
+
+    #[test]
+    fn validate_reports_triple() {
+        let o = Ontology::example_meetings();
+        let person = o.vertex_type("Person").unwrap();
+        let date = o.vertex_type("Date").unwrap();
+        let attends = o.edge_type("attends").unwrap();
+        let bad = TypedEdge::new(Edge::of(1, 2), person, attends, date);
+        let err = o.validate(&bad).unwrap_err();
+        match err {
+            OntologyError::Violation { triple } => {
+                assert!(triple.contains("Person"));
+                assert!(triple.contains("Date"));
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_accepts_allowed_edge() {
+        let o = Ontology::example_meetings();
+        let person = o.vertex_type("Person").unwrap();
+        let meeting = o.vertex_type("Meeting").unwrap();
+        let attends = o.edge_type("attends").unwrap();
+        let good = TypedEdge::new(Edge::of(1, 2), person, attends, meeting);
+        assert!(o.validate(&good).is_ok());
+        // And the mirrored direction.
+        let mirrored = TypedEdge::new(Edge::of(2, 1), meeting, attends, person);
+        assert!(o.validate(&mirrored).is_ok());
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let o = Ontology::example_meetings();
+        assert!(matches!(o.vertex_type("Alien"), Err(OntologyError::UnknownType(_))));
+        assert!(matches!(o.edge_type("zaps"), Err(OntologyError::UnknownType(_))));
+    }
+
+    #[test]
+    fn allow_named_roundtrip() {
+        let mut o = Ontology::new();
+        o.add_vertex_type("Gene").unwrap();
+        o.add_vertex_type("Protein").unwrap();
+        o.add_edge_type("encodes").unwrap();
+        o.allow_named("Gene", "encodes", "Protein").unwrap();
+        let g = o.vertex_type("Gene").unwrap();
+        let p = o.vertex_type("Protein").unwrap();
+        let e = o.edge_type("encodes").unwrap();
+        assert!(o.permits(g, e, p));
+        assert!(!o.permits(g, e, g));
+    }
+}

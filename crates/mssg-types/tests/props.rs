@@ -1,0 +1,73 @@
+//! Property tests for the core types: GID tagging, edge codecs, metadata
+//! comparison semantics, and ontology symmetry.
+
+use mssg_types::gid::{ID_MASK, TAG_MASK};
+use mssg_types::{Edge, Gid, MetaOp};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn gid_payload_tag_roundtrip(tag in 1u8..8, payload in 0u64..=ID_MASK) {
+        let g = Gid::tagged(tag, payload);
+        prop_assert_eq!(g.tag(), tag);
+        prop_assert_eq!(g.payload(), payload);
+        prop_assert!(g.is_tagged());
+        prop_assert!(!g.is_vertex());
+        // Raw word reassembles bit-exactly.
+        prop_assert_eq!(Gid::from_raw(g.raw()), g);
+    }
+
+    #[test]
+    fn plain_gids_never_collide_with_tagged(v in 0u64..=ID_MASK, tag in 1u8..8, p in 0u64..=ID_MASK) {
+        let plain = Gid::new(v);
+        let tagged = Gid::tagged(tag, p);
+        prop_assert_ne!(plain, tagged);
+        prop_assert_eq!(plain.raw() & TAG_MASK, 0);
+        prop_assert_ne!(tagged.raw() & TAG_MASK, 0);
+    }
+
+    #[test]
+    fn try_new_matches_mask(raw in any::<u64>()) {
+        prop_assert_eq!(Gid::try_new(raw).is_some(), raw & TAG_MASK == 0);
+    }
+
+    #[test]
+    fn edge_byte_codec_roundtrip(s in any::<u64>(), d in any::<u64>()) {
+        let e = Edge { src: Gid::from_raw(s), dst: Gid::from_raw(d) };
+        prop_assert_eq!(Edge::from_bytes(&e.to_bytes()), e);
+    }
+
+    #[test]
+    fn canonical_is_idempotent_and_unordered(a in 0u64..=ID_MASK, b in 0u64..=ID_MASK) {
+        let e = Edge::of(a, b);
+        let c = e.canonical();
+        prop_assert_eq!(c, c.canonical());
+        prop_assert_eq!(c, e.reversed().canonical());
+        prop_assert!(c.src <= c.dst);
+    }
+
+    #[test]
+    fn metaop_codes_total(code in -10i8..10) {
+        match MetaOp::from_code(code) {
+            Some(op) => prop_assert_eq!(op.code(), code),
+            None => prop_assert!(!(-2..=2).contains(&code)),
+        }
+    }
+
+    #[test]
+    fn metaop_partition(neighbour in any::<i32>(), input in any::<i32>()) {
+        // Exactly one of Equal/NotEqual admits; Less/Greater/Equal
+        // partition the non-equal space.
+        prop_assert_ne!(
+            MetaOp::Equal.admits(neighbour, input),
+            MetaOp::NotEqual.admits(neighbour, input)
+        );
+        let truths = [
+            MetaOp::Less.admits(neighbour, input),
+            MetaOp::Equal.admits(neighbour, input),
+            MetaOp::Greater.admits(neighbour, input),
+        ];
+        prop_assert_eq!(truths.iter().filter(|&&t| t).count(), 1);
+        prop_assert!(MetaOp::Ignore.admits(neighbour, input));
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+//! MSSG — a framework for massive-scale semantic graphs.
+//!
+//! This umbrella crate re-exports the whole workspace under one name so
+//! examples and downstream users can write `use mssg::...` instead of
+//! depending on every member crate. See the README for an architecture
+//! overview and DESIGN.md for the paper-to-module mapping.
+
+pub use datacutter;
+pub use graphdb;
+pub use graphgen;
+pub use grdb;
+pub use kvdb;
+pub use minisql;
+pub use mssg_core as core;
+pub use mssg_types as types;
+pub use simio;
+pub use streamdb;
+
+/// Commonly used items, importable in one line.
+pub mod prelude {
+    pub use graphdb::{GraphDb, GraphDbExt};
+    pub use mssg_types::{AdjBuffer, Edge, Gid, Meta, MetaOp, Ontology, UNVISITED};
+}

@@ -1,0 +1,206 @@
+//! End-to-end pipeline tests spanning every crate: generate → write to an
+//! edge-list file → stream back in → decluster over a cluster → search —
+//! the full life of a graph in MSSG.
+
+use mssg::core::bfs::{bfs, BfsOptions};
+use mssg::core::ingest::{ingest, DeclusterKind, IngestOptions};
+use mssg::core::{BackendKind, BackendOptions, MssgCluster};
+use mssg::graphgen::edgeio::{write_ascii, AsciiEdgeReader};
+use mssg::graphgen::GraphPreset;
+use mssg::prelude::*;
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mssg-e2e-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Sequential in-memory BFS used as the ground-truth oracle.
+fn oracle_bfs(edges: &[Edge], source: Gid, dest: Gid) -> Option<u32> {
+    if source == dest {
+        return Some(0);
+    }
+    let mut adj: HashMap<Gid, Vec<Gid>> = HashMap::new();
+    for e in edges {
+        adj.entry(e.src).or_default().push(e.dst);
+        adj.entry(e.dst).or_default().push(e.src);
+    }
+    let mut dist: HashMap<Gid, u32> = HashMap::new();
+    dist.insert(source, 0);
+    let mut q = VecDeque::from([source]);
+    while let Some(v) = q.pop_front() {
+        let d = dist[&v];
+        for &u in adj.get(&v).into_iter().flatten() {
+            if u == dest {
+                return Some(d + 1);
+            }
+            if !dist.contains_key(&u) {
+                dist.insert(u, d + 1);
+                q.push_back(u);
+            }
+        }
+    }
+    None
+}
+
+#[test]
+fn file_roundtrip_ingest_and_search() {
+    let dir = tmpdir("file");
+    // Generate a scaled PubMed-like graph and write it as ASCII — the
+    // ingestion-side format of the thesis' experiments.
+    let workload = GraphPreset::PubMedS.workload(8192, 11);
+    let file = dir.join("pubmed.txt");
+    let written = write_ascii(&file, workload.edge_stream()).unwrap();
+    assert_eq!(written, workload.edges());
+
+    // Stream the file into a 4-node grDB cluster.
+    let mut cluster =
+        MssgCluster::new(&dir.join("cluster"), 4, BackendKind::Grdb, &BackendOptions::default())
+            .unwrap();
+    let reader = AsciiEdgeReader::open(&file).unwrap().map(|r| r.expect("valid edge"));
+    let report = ingest(&mut cluster, reader, &IngestOptions::default()).unwrap();
+    assert_eq!(report.edges, workload.edges());
+    assert_eq!(cluster.total_entries(), 2 * workload.edges());
+
+    // Search results agree with a sequential oracle.
+    let edges = workload.collect_edges();
+    for (s, d) in [(0u64, 7), (1, 99), (3, 500)] {
+        let got = bfs(&cluster, Gid::new(s), Gid::new(d), &BfsOptions::default())
+            .unwrap()
+            .path_length;
+        let want = oracle_bfs(&edges, Gid::new(s), Gid::new(d));
+        assert_eq!(got, want, "query {s}->{d}");
+    }
+}
+
+#[test]
+fn all_backends_match_oracle_on_scale_free_graph() {
+    let workload = GraphPreset::Syn2B.workload(65536, 5);
+    let edges = workload.collect_edges();
+    let queries: Vec<(u64, u64)> = vec![(0, 11), (1, 500), (2, 1000), (7, 3)];
+    let expected: Vec<Option<u32>> = queries
+        .iter()
+        .map(|&(s, d)| oracle_bfs(&edges, Gid::new(s), Gid::new(d)))
+        .collect();
+    for kind in BackendKind::ALL {
+        let dir = tmpdir(&format!("oracle-{}", kind.name()));
+        let mut cluster =
+            MssgCluster::new(&dir, 3, kind, &BackendOptions::default()).unwrap();
+        ingest(&mut cluster, edges.clone().into_iter(), &IngestOptions::default()).unwrap();
+        for (&(s, d), &want) in queries.iter().zip(&expected) {
+            let got = bfs(&cluster, Gid::new(s), Gid::new(d), &BfsOptions::default())
+                .unwrap()
+                .path_length;
+            assert_eq!(got, want, "{}: query {s}->{d}", kind.name());
+        }
+    }
+}
+
+#[test]
+fn results_invariant_to_cluster_size_and_declustering() {
+    let workload = GraphPreset::PubMedS.workload(16384, 9);
+    let edges = workload.collect_edges();
+    let queries = [(0u64, 50u64), (2, 900), (10, 11)];
+    let mut reference: Option<Vec<Option<u32>>> = None;
+    for nodes in [1usize, 2, 5, 8] {
+        for decl in [
+            DeclusterKind::VertexHash,
+            DeclusterKind::VertexRoundRobin,
+            DeclusterKind::EdgeRoundRobin,
+        ] {
+            let dir = tmpdir(&format!("inv-{nodes}-{decl:?}"));
+            let mut cluster =
+                MssgCluster::new(&dir, nodes, BackendKind::HashMap, &BackendOptions::default())
+                    .unwrap();
+            ingest(
+                &mut cluster,
+                edges.clone().into_iter(),
+                &IngestOptions { declustering: decl, ..Default::default() },
+            )
+            .unwrap();
+            let got: Vec<Option<u32>> = queries
+                .iter()
+                .map(|&(s, d)| {
+                    bfs(&cluster, Gid::new(s), Gid::new(d), &BfsOptions::default())
+                        .unwrap()
+                        .path_length
+                })
+                .collect();
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => {
+                    assert_eq!(&got, want, "nodes={nodes} declustering={decl:?}")
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn search_metrics_scale_with_path_length() {
+    // Longer paths touch more of a scale-free graph — the effect that
+    // motivates the whole thesis (some queries touch >80 % of edges).
+    let workload = GraphPreset::PubMedS.workload(8192, 21);
+    let dir = tmpdir("metrics");
+    let mut cluster =
+        MssgCluster::new(&dir, 4, BackendKind::HashMap, &BackendOptions::default()).unwrap();
+    ingest(&mut cluster, workload.edge_stream(), &IngestOptions::default()).unwrap();
+    let edges = workload.collect_edges();
+    // Find a short and a long query pair via the oracle. Source from the
+    // low-degree tail (high ids under Chung-Lu weights), where the
+    // eccentricity is largest.
+    let source = workload.vertices() - 1;
+    let mut short = None;
+    let mut long = None;
+    for d in 0..workload.vertices() {
+        match oracle_bfs(&edges, Gid::new(source), Gid::new(d)) {
+            Some(1) if short.is_none() => short = Some(d),
+            Some(l) if l >= 3 && long.is_none() => long = Some(d),
+            _ => {}
+        }
+        if short.is_some() && long.is_some() {
+            break;
+        }
+    }
+    let (short, long) = (short.expect("1-hop target"), long.expect("3-hop target"));
+    let m_short =
+        bfs(&cluster, Gid::new(source), Gid::new(short), &BfsOptions::default()).unwrap();
+    let m_long =
+        bfs(&cluster, Gid::new(source), Gid::new(long), &BfsOptions::default()).unwrap();
+    assert!(
+        m_long.edges_scanned > m_short.edges_scanned,
+        "long path must scan more: {} vs {}",
+        m_long.edges_scanned,
+        m_short.edges_scanned
+    );
+    assert!(m_long.rounds > m_short.rounds);
+}
+
+#[test]
+fn reingest_into_reopened_cluster_accumulates() {
+    // Streaming updates: a second ingestion adds edges to the same stores.
+    let dir = tmpdir("accumulate");
+    let mut cluster =
+        MssgCluster::new(&dir, 2, BackendKind::Grdb, &BackendOptions::default()).unwrap();
+    let first: Vec<Edge> = (0..10).map(|i| Edge::of(i, i + 1)).collect();
+    ingest(&mut cluster, first.into_iter(), &IngestOptions::default()).unwrap();
+    assert_eq!(
+        bfs(&cluster, Gid::new(0), Gid::new(10), &BfsOptions::default())
+            .unwrap()
+            .path_length,
+        Some(10)
+    );
+    // A shortcut arrives in a later stream window.
+    let second = vec![Edge::of(0, 9)];
+    ingest(&mut cluster, second.into_iter(), &IngestOptions::default()).unwrap();
+    assert_eq!(
+        bfs(&cluster, Gid::new(0), Gid::new(10), &BfsOptions::default())
+            .unwrap()
+            .path_length,
+        Some(2),
+        "new edge must shorten the path"
+    );
+}
