@@ -49,13 +49,17 @@ fn bench_ingest(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_ingest_5k_edges");
     group.sample_size(10);
     for kind in BackendKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| {
-                let mut db = open(kind, "ingest");
-                db.store_edges(&edges).unwrap();
-                db.flush().unwrap();
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut db = open(kind, "ingest");
+                    db.store_edges(&edges).unwrap();
+                    db.flush().unwrap();
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -87,14 +91,22 @@ fn bench_hub_append(c: &mut Criterion) {
     // tail chunk, the SQL engine's UPDATE path.
     let mut group = c.benchmark_group("engine_hub_append_1k");
     group.sample_size(10);
-    for kind in [BackendKind::Grdb, BackendKind::BerkeleyDb, BackendKind::MySql] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| {
-                let mut db = open(kind, "hub");
-                let batch: Vec<Edge> = (0..1000).map(|i| Edge::of(0, i + 1)).collect();
-                db.store_edges(&batch).unwrap();
-            });
-        });
+    for kind in [
+        BackendKind::Grdb,
+        BackendKind::BerkeleyDb,
+        BackendKind::MySql,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut db = open(kind, "hub");
+                    let batch: Vec<Edge> = (0..1000).map(|i| Edge::of(0, i + 1)).collect();
+                    db.store_edges(&batch).unwrap();
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -32,14 +32,22 @@ figure_bench!(bench_fig5_2, experiments::fig5_2, "fig5_2_cache_effect");
 figure_bench!(bench_fig5_3, experiments::fig5_3, "fig5_3_ingest_pubmed_s");
 figure_bench!(bench_fig5_4, experiments::fig5_4, "fig5_4_search_pubmed_s");
 figure_bench!(bench_fig5_5, experiments::fig5_5, "fig5_5_ingest_pubmed_l");
-figure_bench!(bench_fig5_6_7, experiments::fig5_6_7, "fig5_6_7_search_pubmed_l");
+figure_bench!(
+    bench_fig5_6_7,
+    experiments::fig5_6_7,
+    "fig5_6_7_search_pubmed_l"
+);
 figure_bench!(bench_fig5_8_9, experiments::fig5_8_9, "fig5_8_9_syn_grdb");
 figure_bench!(
     bench_ablation_growth,
     experiments::ablation_grdb_growth,
     "ablation_grdb_growth_policy"
 );
-figure_bench!(bench_ablation_pipeline, experiments::ablation_pipeline, "ablation_bfs_pipeline");
+figure_bench!(
+    bench_ablation_pipeline,
+    experiments::ablation_pipeline,
+    "ablation_bfs_pipeline"
+);
 figure_bench!(
     bench_ablation_decluster,
     experiments::ablation_decluster,
@@ -55,13 +63,21 @@ figure_bench!(
     experiments::ablation_grdb_prefetch,
     "ablation_grdb_prefetch"
 );
-figure_bench!(bench_ablation_visited, experiments::ablation_visited, "ablation_visited");
+figure_bench!(
+    bench_ablation_visited,
+    experiments::ablation_visited,
+    "ablation_visited"
+);
 figure_bench!(
     bench_ablation_db_filter,
     experiments::ablation_db_filter,
     "ablation_db_filter"
 );
-figure_bench!(bench_ablation_bulk, experiments::ablation_bulk_load, "ablation_bulk_load");
+figure_bench!(
+    bench_ablation_bulk,
+    experiments::ablation_bulk_load,
+    "ablation_bulk_load"
+);
 figure_bench!(
     bench_ablation_geometry,
     experiments::ablation_grdb_geometry,

@@ -6,6 +6,7 @@
 //! figures fig5_4 --scale 512 --queries 10 --nodes 8 --seed 1
 //! figures list                     # available experiment ids
 //! figures all --markdown out.md    # also write Markdown (for EXPERIMENTS.md)
+//! figures fig5_4 --trace-out t.json  # Chrome trace (chrome://tracing, Perfetto)
 //! ```
 
 use mssg_bench::experiments::{self, ExpConfig};
@@ -14,7 +15,7 @@ use std::io::Write;
 fn usage() -> ! {
     eprintln!(
         "usage: figures <experiment|all|list> [--scale N] [--queries N] \
-         [--nodes N] [--seed N] [--markdown FILE]"
+         [--nodes N] [--seed N] [--markdown FILE] [--trace-out FILE]"
     );
     std::process::exit(2);
 }
@@ -27,10 +28,13 @@ fn main() {
     let which = args[0].clone();
     let mut cfg = ExpConfig::default();
     let mut markdown: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         let need_val = |i: usize| -> &str {
-            args.get(i + 1).map(String::as_str).unwrap_or_else(|| usage())
+            args.get(i + 1)
+                .map(String::as_str)
+                .unwrap_or_else(|| usage())
         };
         match args[i].as_str() {
             "--scale" => cfg.scale = need_val(i).parse().unwrap_or_else(|_| usage()),
@@ -38,9 +42,13 @@ fn main() {
             "--nodes" => cfg.nodes = need_val(i).parse().unwrap_or_else(|_| usage()),
             "--seed" => cfg.seed = need_val(i).parse().unwrap_or_else(|_| usage()),
             "--markdown" => markdown = Some(need_val(i).to_string()),
+            "--trace-out" => trace_out = Some(need_val(i).to_string()),
             _ => usage(),
         }
         i += 2;
+    }
+    if trace_out.is_some() {
+        cfg.telemetry = mssg_obs::Telemetry::enabled();
     }
 
     let experiments = experiments::all_experiments();
@@ -54,8 +62,10 @@ fn main() {
     let selected: Vec<_> = if which == "all" {
         experiments
     } else {
-        let found: Vec<_> =
-            experiments.into_iter().filter(|(n, _)| *n == which).collect();
+        let found: Vec<_> = experiments
+            .into_iter()
+            .filter(|(n, _)| *n == which)
+            .collect();
         if found.is_empty() {
             eprintln!("unknown experiment {which:?}; try `figures list`");
             std::process::exit(2);
@@ -65,7 +75,10 @@ fn main() {
 
     let mut md = String::new();
     for (name, f) in selected {
-        eprintln!(">> running {name} (scale 1/{}, {} queries)...", cfg.scale, cfg.queries);
+        eprintln!(
+            ">> running {name} (scale 1/{}, {} queries)...",
+            cfg.scale, cfg.queries
+        );
         let started = std::time::Instant::now();
         match f(&cfg) {
             Ok(table) => {
@@ -84,5 +97,14 @@ fn main() {
         let mut f = std::fs::File::create(&path).expect("create markdown file");
         f.write_all(md.as_bytes()).expect("write markdown");
         eprintln!("markdown written to {path}");
+    }
+    if let Some(path) = trace_out {
+        let json = cfg.telemetry.tracer.chrome_trace_json();
+        std::fs::write(&path, &json).expect("write Chrome trace");
+        eprintln!(
+            "Chrome trace ({} spans) written to {path} — open in chrome://tracing \
+             or https://ui.perfetto.dev",
+            cfg.telemetry.tracer.span_count()
+        );
     }
 }

@@ -7,7 +7,7 @@
 
 use crate::report::{fmt_count, fmt_duration, fmt_rate, Table};
 use crate::workloads::{
-    build_and_ingest, bucket_by_path_length, fresh_dir, preset, run_queries, sample_queries,
+    bucket_by_path_length, build_and_ingest, fresh_dir, preset, run_queries, sample_queries,
 };
 use graphgen::{degree_stats, GraphPreset};
 use mssg_core::ingest::DeclusterKind;
@@ -28,6 +28,10 @@ pub struct ExpConfig {
     pub seed: u64,
     /// Directory experiments build their clusters under.
     pub root: PathBuf,
+    /// Telemetry bundle attached to every cluster the experiments build.
+    /// Disabled by default; `figures --trace-out` enables it and exports
+    /// the collected spans as a Chrome trace.
+    pub telemetry: mssg_obs::Telemetry,
 }
 
 impl Default for ExpConfig {
@@ -38,6 +42,7 @@ impl Default for ExpConfig {
             nodes: 16,
             seed: 42,
             root: std::env::temp_dir().join("mssg-bench"),
+            telemetry: mssg_obs::Telemetry::disabled(),
         }
     }
 }
@@ -51,6 +56,7 @@ impl ExpConfig {
             nodes: 4,
             seed: 42,
             root: std::env::temp_dir().join("mssg-bench-tiny"),
+            telemetry: mssg_obs::Telemetry::disabled(),
         }
     }
 
@@ -67,10 +73,26 @@ impl ExpConfig {
 pub fn table5_1(cfg: &ExpConfig) -> Result<Table> {
     let mut t = Table::new(
         format!("Table 5.1 — graph statistics (scale 1/{})", cfg.scale),
-        &["Graph", "Vertices", "Und. Edges", "Min. Deg.", "Max. Deg.", "Avg. Deg.", "Paper Avg."],
+        &[
+            "Graph",
+            "Vertices",
+            "Und. Edges",
+            "Min. Deg.",
+            "Max. Deg.",
+            "Avg. Deg.",
+            "Paper Avg.",
+        ],
     );
-    for p in [GraphPreset::PubMedS, GraphPreset::PubMedL, GraphPreset::Syn2B] {
-        let scale = if p == GraphPreset::PubMedS { cfg.scale } else { cfg.large_scale() };
+    for p in [
+        GraphPreset::PubMedS,
+        GraphPreset::PubMedL,
+        GraphPreset::Syn2B,
+    ] {
+        let scale = if p == GraphPreset::PubMedS {
+            cfg.scale
+        } else {
+            cfg.large_scale()
+        };
         let w = preset(p, scale, cfg.seed);
         let stats = degree_stats(w.edge_stream(), w.vertices());
         t.row(vec![
@@ -104,7 +126,13 @@ fn search_figure(
     let mut t = Table::new(
         title,
         &[
-            "Backend", "Nodes", "Path len", "Queries", "Avg time", "Edges/s", "Blk reads",
+            "Backend",
+            "Nodes",
+            "Path len",
+            "Queries",
+            "Avg time",
+            "Edges/s",
+            "Blk reads",
             "Modeled I/O",
         ],
     );
@@ -123,6 +151,7 @@ fn search_figure(
                     declustering: DeclusterKind::VertexHash,
                     ..Default::default()
                 },
+                &cfg.telemetry,
             )?;
             let results = run_queries(&cluster, &queries, &bfs_opts(kind))?;
             for (len, b) in bucket_by_path_length(&results) {
@@ -170,13 +199,22 @@ pub fn fig5_2(cfg: &ExpConfig) -> Result<Table> {
             cfg.scale, cfg.nodes
         ),
         &[
-            "Backend", "Nodes", "Path len", "Queries", "Avg time", "Edges/s", "Blk reads",
+            "Backend",
+            "Nodes",
+            "Path len",
+            "Queries",
+            "Avg time",
+            "Edges/s",
+            "Blk reads",
             "Modeled I/O",
         ],
     );
     for cached in [true, false] {
-        let opts =
-            if cached { BackendOptions::default() } else { BackendOptions::uncached() };
+        let opts = if cached {
+            BackendOptions::default()
+        } else {
+            BackendOptions::uncached()
+        };
         let suffix = if cached { "cache" } else { "no cache" };
         let sub = search_figure(
             cfg,
@@ -223,8 +261,7 @@ fn ingest_figure(
     for &kind in backends {
         for &f in front_ends {
             for &n in node_counts {
-                let dir =
-                    fresh_dir(&cfg.root, &format!("ingest-{}-{f}-{n}", kind.name()));
+                let dir = fresh_dir(&cfg.root, &format!("ingest-{}-{f}-{n}", kind.name()));
                 let (cluster, report) = build_and_ingest(
                     &dir,
                     &w,
@@ -236,18 +273,18 @@ fn ingest_figure(
                         declustering: DeclusterKind::VertexHash,
                         ..Default::default()
                     },
+                    &cfg.telemetry,
                 )?;
-                let rate = report.edges as f64 / report.elapsed.as_secs_f64().max(1e-9);
-                let modeled =
-                    simio::DiskCostModel::sata_2006().modeled_time(&report.io);
+                let rate = report.edges as f64 / report.telemetry.elapsed.as_secs_f64().max(1e-9);
+                let modeled = simio::DiskCostModel::sata_2006().modeled_time(&report.telemetry.io);
                 t.row(vec![
                     kind.name().to_string(),
                     f.to_string(),
                     n.to_string(),
                     fmt_count(report.edges),
-                    fmt_duration(report.elapsed),
+                    fmt_duration(report.telemetry.elapsed),
                     fmt_rate(rate),
-                    fmt_count(report.io.block_writes),
+                    fmt_count(report.telemetry.io.block_writes),
                     fmt_duration(modeled),
                 ]);
                 drop(cluster);
@@ -310,7 +347,10 @@ pub fn fig5_5(cfg: &ExpConfig) -> Result<Table> {
 pub fn fig5_6_7(cfg: &ExpConfig) -> Result<Table> {
     search_figure(
         cfg,
-        format!("Figures 5.6/5.7 — search, PubMed-L (1/{})", cfg.large_scale()),
+        format!(
+            "Figures 5.6/5.7 — search, PubMed-L (1/{})",
+            cfg.large_scale()
+        ),
         GraphPreset::PubMedL,
         cfg.large_scale(),
         &BackendKind::FIGURE_LARGE,
@@ -325,9 +365,18 @@ pub fn fig5_6_7(cfg: &ExpConfig) -> Result<Table> {
 /// external-memory visited structure, 4/8/16 nodes.
 pub fn fig5_8_9(cfg: &ExpConfig) -> Result<Table> {
     let mut t = Table::new(
-        format!("Figures 5.8/5.9 — search, Syn-2B (1/{}), grDB", cfg.large_scale()),
+        format!(
+            "Figures 5.8/5.9 — search, Syn-2B (1/{}), grDB",
+            cfg.large_scale()
+        ),
         &[
-            "Backend", "Nodes", "Path len", "Queries", "Avg time", "Edges/s", "Blk reads",
+            "Backend",
+            "Nodes",
+            "Path len",
+            "Queries",
+            "Avg time",
+            "Edges/s",
+            "Blk reads",
             "Modeled I/O",
         ],
     );
@@ -345,7 +394,10 @@ pub fn fig5_8_9(cfg: &ExpConfig) -> Result<Table> {
             &[BackendKind::Grdb],
             &[4, 8, 16],
             &|_| BackendOptions::default(),
-            &|_| BfsOptions { visited, ..Default::default() },
+            &|_| BfsOptions {
+                visited,
+                ..Default::default()
+            },
             &|_| label.to_string(),
         )?;
         for row in sub.rows {
@@ -362,7 +414,13 @@ pub fn ablation_grdb_growth(cfg: &ExpConfig) -> Result<Table> {
     let mut t = Table::new(
         format!("Ablation — grDB growth policy, PubMed-S (1/{})", cfg.scale),
         &[
-            "Backend", "Nodes", "Path len", "Queries", "Avg time", "Edges/s", "Blk reads",
+            "Backend",
+            "Nodes",
+            "Path len",
+            "Queries",
+            "Avg time",
+            "Edges/s",
+            "Blk reads",
             "Modeled I/O",
         ],
     );
@@ -376,7 +434,10 @@ pub fn ablation_grdb_growth(cfg: &ExpConfig) -> Result<Table> {
         let dir = fresh_dir(&cfg.root, &format!("ablation-growth-{label}"));
         let mut grdb_cfg = GrdbConfig::thesis_defaults();
         grdb_cfg.growth = growth;
-        let opts = BackendOptions { grdb: Some(grdb_cfg), ..Default::default() };
+        let opts = BackendOptions {
+            grdb: Some(grdb_cfg),
+            ..Default::default()
+        };
         let (cluster, _) = build_and_ingest(
             &dir,
             &w,
@@ -384,6 +445,7 @@ pub fn ablation_grdb_growth(cfg: &ExpConfig) -> Result<Table> {
             cfg.nodes,
             &opts,
             &IngestOptions::default(),
+            &cfg.telemetry,
         )?;
         if defrag {
             // "During idle time, the grDB service can defragment these
@@ -418,16 +480,23 @@ pub fn ablation_pipeline(cfg: &ExpConfig) -> Result<Table> {
     let mut t = Table::new(
         format!("Ablation — BFS pipelining, PubMed-S (1/{})", cfg.scale),
         &[
-            "Backend", "Nodes", "Path len", "Queries", "Avg time", "Edges/s", "Blk reads",
+            "Backend",
+            "Nodes",
+            "Path len",
+            "Queries",
+            "Avg time",
+            "Edges/s",
+            "Blk reads",
             "Modeled I/O",
         ],
     );
     let modes: Vec<(String, BfsMode)> = std::iter::once(("Alg 1".to_string(), BfsMode::Standard))
-        .chain(
-            [64usize, 512, 4096]
-                .into_iter()
-                .map(|th| (format!("Alg 2 (thr {th})"), BfsMode::Pipelined { threshold: th })),
-        )
+        .chain([64usize, 512, 4096].into_iter().map(|th| {
+            (
+                format!("Alg 2 (thr {th})"),
+                BfsMode::Pipelined { threshold: th },
+            )
+        }))
         .collect();
     for (label, mode) in modes {
         let sub = search_figure(
@@ -438,7 +507,10 @@ pub fn ablation_pipeline(cfg: &ExpConfig) -> Result<Table> {
             &[BackendKind::Grdb],
             &[cfg.nodes],
             &|_| BackendOptions::default(),
-            &|_| BfsOptions { mode, ..Default::default() },
+            &|_| BfsOptions {
+                mode,
+                ..Default::default()
+            },
             &|_| label.clone(),
         )?;
         for row in sub.rows {
@@ -454,7 +526,13 @@ pub fn ablation_decluster(cfg: &ExpConfig) -> Result<Table> {
     let mut t = Table::new(
         format!("Ablation — declustering, PubMed-S (1/{})", cfg.scale),
         &[
-            "Backend", "Nodes", "Path len", "Queries", "Avg time", "Edges/s", "Blk reads",
+            "Backend",
+            "Nodes",
+            "Path len",
+            "Queries",
+            "Avg time",
+            "Edges/s",
+            "Blk reads",
             "Modeled I/O",
         ],
     );
@@ -472,7 +550,11 @@ pub fn ablation_decluster(cfg: &ExpConfig) -> Result<Table> {
             BackendKind::HashMap,
             cfg.nodes,
             &BackendOptions::default(),
-            &IngestOptions { declustering: kind, ..Default::default() },
+            &IngestOptions {
+                declustering: kind,
+                ..Default::default()
+            },
+            &cfg.telemetry,
         )?;
         let results = run_queries(&cluster, &queries, &BfsOptions::default())?;
         for (len, b) in bucket_by_path_length(&results) {
@@ -498,9 +580,18 @@ pub fn ablation_decluster(cfg: &ExpConfig) -> Result<Table> {
 pub fn ablation_cache_policy(cfg: &ExpConfig) -> Result<Table> {
     use simio::CachePolicy;
     let mut t = Table::new(
-        format!("Ablation — grDB cache policy/size, PubMed-S (1/{})", cfg.scale),
+        format!(
+            "Ablation — grDB cache policy/size, PubMed-S (1/{})",
+            cfg.scale
+        ),
         &[
-            "Backend", "Nodes", "Path len", "Queries", "Avg time", "Edges/s", "Blk reads",
+            "Backend",
+            "Nodes",
+            "Path len",
+            "Queries",
+            "Avg time",
+            "Edges/s",
+            "Blk reads",
             "Modeled I/O",
         ],
     );
@@ -537,16 +628,31 @@ pub fn ablation_cache_policy(cfg: &ExpConfig) -> Result<Table> {
 pub fn ablation_grdb_prefetch(cfg: &ExpConfig) -> Result<Table> {
     use grdb::GrdbConfig;
     let mut t = Table::new(
-        format!("Ablation — grDB fringe ordering, PubMed-S (1/{})", cfg.scale),
+        format!(
+            "Ablation — grDB fringe ordering, PubMed-S (1/{})",
+            cfg.scale
+        ),
         &[
-            "Backend", "Nodes", "Path len", "Queries", "Avg time", "Edges/s", "Blk reads",
+            "Backend",
+            "Nodes",
+            "Path len",
+            "Queries",
+            "Avg time",
+            "Edges/s",
+            "Blk reads",
             "Modeled I/O",
         ],
     );
-    for (label, prefetch) in [("grDB (discovery order)", false), ("grDB (file order)", true)] {
+    for (label, prefetch) in [
+        ("grDB (discovery order)", false),
+        ("grDB (file order)", true),
+    ] {
         let mut grdb_cfg = GrdbConfig::thesis_defaults();
         grdb_cfg.prefetch_sort = prefetch;
-        let opts = BackendOptions { grdb: Some(grdb_cfg), ..Default::default() };
+        let opts = BackendOptions {
+            grdb: Some(grdb_cfg),
+            ..Default::default()
+        };
         let sub = search_figure(
             cfg,
             String::new(),
@@ -571,7 +677,13 @@ pub fn ablation_visited(cfg: &ExpConfig) -> Result<Table> {
     let mut t = Table::new(
         format!("Ablation — visited structures, PubMed-S (1/{})", cfg.scale),
         &[
-            "Backend", "Nodes", "Path len", "Queries", "Avg time", "Edges/s", "Blk reads",
+            "Backend",
+            "Nodes",
+            "Path len",
+            "Queries",
+            "Avg time",
+            "Edges/s",
+            "Blk reads",
             "Modeled I/O",
         ],
     );
@@ -588,7 +700,10 @@ pub fn ablation_visited(cfg: &ExpConfig) -> Result<Table> {
             &[BackendKind::Grdb],
             &[cfg.nodes],
             &|_| BackendOptions::default(),
-            &|_| BfsOptions { visited: kind, ..Default::default() },
+            &|_| BfsOptions {
+                visited: kind,
+                ..Default::default()
+            },
             &|_| label.to_string(),
         )?;
         for row in sub.rows {
@@ -603,15 +718,22 @@ pub fn ablation_visited(cfg: &ExpConfig) -> Result<Table> {
 /// the search algorithm.
 pub fn ablation_db_filter(cfg: &ExpConfig) -> Result<Table> {
     let mut t = Table::new(
-        format!("Ablation — DB-side metadata filter, PubMed-S (1/{})", cfg.scale),
+        format!(
+            "Ablation — DB-side metadata filter, PubMed-S (1/{})",
+            cfg.scale
+        ),
         &[
-            "Backend", "Nodes", "Path len", "Queries", "Avg time", "Edges/s", "Blk reads",
+            "Backend",
+            "Nodes",
+            "Path len",
+            "Queries",
+            "Avg time",
+            "Edges/s",
+            "Blk reads",
             "Modeled I/O",
         ],
     );
-    for (label, db_filter) in
-        [("grDB (algo filter)", false), ("grDB (DB filter)", true)]
-    {
+    for (label, db_filter) in [("grDB (algo filter)", false), ("grDB (DB filter)", true)] {
         let sub = search_figure(
             cfg,
             String::new(),
@@ -620,7 +742,10 @@ pub fn ablation_db_filter(cfg: &ExpConfig) -> Result<Table> {
             &[BackendKind::Grdb],
             &[cfg.nodes],
             &|_| BackendOptions::default(),
-            &|_| BfsOptions { db_filter, ..Default::default() },
+            &|_| BfsOptions {
+                db_filter,
+                ..Default::default()
+            },
             &|_| label.to_string(),
         )?;
         for row in sub.rows {
@@ -636,7 +761,10 @@ pub fn ablation_db_filter(cfg: &ExpConfig) -> Result<Table> {
 /// sort-by-file-offset proposal).
 pub fn ablation_bulk_load(cfg: &ExpConfig) -> Result<Table> {
     let mut t = Table::new(
-        format!("Ablation — grDB bulk load via external sort, PubMed-S (1/{})", cfg.scale),
+        format!(
+            "Ablation — grDB bulk load via external sort, PubMed-S (1/{})",
+            cfg.scale
+        ),
         &[
             "Backend",
             "Front-ends",
@@ -654,13 +782,13 @@ pub fn ablation_bulk_load(cfg: &ExpConfig) -> Result<Table> {
         // A deliberately small block cache: the effect under test is the
         // access *pattern*, which a big write-back cache would absorb at
         // bench scale.
-        let opts_small_cache = BackendOptions { cache_capacity: 8, ..Default::default() };
-        let mut cluster = mssg_core::MssgCluster::new(
-            &dir,
-            cfg.nodes,
-            BackendKind::Grdb,
-            &opts_small_cache,
-        )?;
+        let opts_small_cache = BackendOptions {
+            cache_capacity: 8,
+            ..Default::default()
+        };
+        let mut cluster =
+            mssg_core::MssgCluster::new(&dir, cfg.nodes, BackendKind::Grdb, &opts_small_cache)?;
+        cluster.set_telemetry(cfg.telemetry.clone());
         let opts = IngestOptions::default();
         let report = if sorted {
             let scratch = dir.join("sort-scratch");
@@ -670,16 +798,16 @@ pub fn ablation_bulk_load(cfg: &ExpConfig) -> Result<Table> {
         } else {
             mssg_core::ingest::ingest(&mut cluster, w.edge_stream(), &opts)?
         };
-        let rate = report.edges as f64 / report.elapsed.as_secs_f64().max(1e-9);
-        let modeled = simio::DiskCostModel::sata_2006().modeled_time(&report.io);
+        let rate = report.edges as f64 / report.telemetry.elapsed.as_secs_f64().max(1e-9);
+        let modeled = simio::DiskCostModel::sata_2006().modeled_time(&report.telemetry.io);
         t.row(vec![
             label.to_string(),
             "1".to_string(),
             cfg.nodes.to_string(),
             fmt_count(report.edges),
-            fmt_duration(report.elapsed),
+            fmt_duration(report.telemetry.elapsed),
             fmt_rate(rate),
-            fmt_count(report.io.block_writes),
+            fmt_count(report.telemetry.io.block_writes),
             fmt_duration(modeled),
         ]);
         drop(cluster);
@@ -696,35 +824,71 @@ pub fn ablation_grdb_geometry(cfg: &ExpConfig) -> Result<Table> {
     let mut t = Table::new(
         format!("Ablation — grDB level geometry, PubMed-S (1/{})", cfg.scale),
         &[
-            "Backend", "Nodes", "Path len", "Queries", "Avg time", "Edges/s", "Blk reads",
+            "Backend",
+            "Nodes",
+            "Path len",
+            "Queries",
+            "Avg time",
+            "Edges/s",
+            "Blk reads",
             "Modeled I/O",
         ],
     );
     let schedules: Vec<(&str, Vec<LevelConfig>)> = vec![
-        ("thesis 2,4,16,256,4K,16K", GrdbConfig::thesis_defaults().levels),
+        (
+            "thesis 2,4,16,256,4K,16K",
+            GrdbConfig::thesis_defaults().levels,
+        ),
         (
             "shallow 2,4K",
             vec![
-                LevelConfig { d: 2, block_bytes: 4096 },
-                LevelConfig { d: 4096, block_bytes: 32 * 1024 },
+                LevelConfig {
+                    d: 2,
+                    block_bytes: 4096,
+                },
+                LevelConfig {
+                    d: 4096,
+                    block_bytes: 32 * 1024,
+                },
             ],
         ),
         (
             "doubling 2,4,8,...,64",
             vec![
-                LevelConfig { d: 2, block_bytes: 4096 },
-                LevelConfig { d: 4, block_bytes: 4096 },
-                LevelConfig { d: 8, block_bytes: 4096 },
-                LevelConfig { d: 16, block_bytes: 4096 },
-                LevelConfig { d: 32, block_bytes: 4096 },
-                LevelConfig { d: 64, block_bytes: 4096 },
+                LevelConfig {
+                    d: 2,
+                    block_bytes: 4096,
+                },
+                LevelConfig {
+                    d: 4,
+                    block_bytes: 4096,
+                },
+                LevelConfig {
+                    d: 8,
+                    block_bytes: 4096,
+                },
+                LevelConfig {
+                    d: 16,
+                    block_bytes: 4096,
+                },
+                LevelConfig {
+                    d: 32,
+                    block_bytes: 4096,
+                },
+                LevelConfig {
+                    d: 64,
+                    block_bytes: 4096,
+                },
             ],
         ),
     ];
     for (label, levels) in schedules {
         let mut grdb_cfg = GrdbConfig::thesis_defaults();
         grdb_cfg.levels = levels;
-        let opts = BackendOptions { grdb: Some(grdb_cfg), ..Default::default() };
+        let opts = BackendOptions {
+            grdb: Some(grdb_cfg),
+            ..Default::default()
+        };
         let name = format!("grDB ({label})");
         let sub = search_figure(
             cfg,
@@ -744,8 +908,11 @@ pub fn ablation_grdb_geometry(cfg: &ExpConfig) -> Result<Table> {
     Ok(t)
 }
 
+/// An experiment harness: takes a config, produces one figure's table.
+pub type Experiment = fn(&ExpConfig) -> Result<Table>;
+
 /// Every experiment in order, for `figures all`.
-pub fn all_experiments() -> Vec<(&'static str, fn(&ExpConfig) -> Result<Table>)> {
+pub fn all_experiments() -> Vec<(&'static str, Experiment)> {
     vec![
         ("table5_1", table5_1),
         ("fig5_1", fig5_1),
@@ -773,8 +940,7 @@ mod tests {
 
     fn cfg(tag: &str) -> ExpConfig {
         let mut c = ExpConfig::tiny();
-        c.root = std::env::temp_dir()
-            .join(format!("bench-exp-{}-{tag}", std::process::id()));
+        c.root = std::env::temp_dir().join(format!("bench-exp-{}-{tag}", std::process::id()));
         c
     }
 
@@ -800,9 +966,12 @@ mod tests {
         let t = fig5_2(&cfg("f52")).unwrap();
         let labels: std::collections::HashSet<&str> =
             t.rows.iter().map(|r| r[0].as_str()).collect();
-        for want in
-            ["grDB (cache)", "grDB (no cache)", "BerkeleyDB (cache)", "BerkeleyDB (no cache)"]
-        {
+        for want in [
+            "grDB (cache)",
+            "grDB (no cache)",
+            "BerkeleyDB (cache)",
+            "BerkeleyDB (no cache)",
+        ] {
             assert!(labels.contains(want), "missing {want}: {labels:?}");
         }
     }
@@ -816,5 +985,29 @@ mod tests {
         assert_eq!(t.rows.len(), 10);
         assert!(t.rows.iter().any(|r| r[1] == "1"));
         assert!(t.rows.iter().any(|r| r[1] == "4"));
+    }
+
+    #[test]
+    fn trace_round_trip_covers_pipeline_spans() {
+        // The acceptance criterion for `figures --trace-out`: an enabled
+        // telemetry bundle yields a parseable Chrome trace containing the
+        // ingest-window, per-filter-copy, and BFS-level spans.
+        let mut c = cfg("trace");
+        c.queries = 2;
+        c.telemetry = mssg_obs::Telemetry::enabled();
+        fig5_1(&c).unwrap();
+        let json = c.telemetry.tracer.chrome_trace_json();
+        let doc = mssg_obs::json::parse(&json).expect("trace must be valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let names: std::collections::HashSet<&str> = events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+            .collect();
+        for want in ["ingest.window", "filter.run", "bfs.level"] {
+            assert!(
+                names.contains(want),
+                "trace missing {want} spans: {names:?}"
+            );
+        }
     }
 }

@@ -26,7 +26,12 @@ impl Table {
 
     /// Appends a row; panics if the width disagrees with the headers.
     pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "row width mismatch in {}", self.title);
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width mismatch in {}",
+            self.title
+        );
         self.rows.push(cells);
     }
 
@@ -104,7 +109,7 @@ pub fn fmt_count(v: u64) -> String {
     let s = v.to_string();
     let mut out = String::new();
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);

@@ -7,6 +7,7 @@ use mssg_core::{
     BackendKind, BackendOptions, BfsOptions, IngestOptions, IngestReport, MssgCluster,
     SearchMetrics,
 };
+use mssg_obs::Telemetry;
 use mssg_types::{Gid, Result};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -20,7 +21,9 @@ pub fn fresh_dir(root: &Path, tag: &str) -> PathBuf {
     d
 }
 
-/// Builds a cluster and ingests the workload's edge stream into it.
+/// Builds a cluster and ingests the workload's edge stream into it. The
+/// telemetry bundle is attached before ingestion so the ingest windows are
+/// traced too; pass [`Telemetry::disabled`] when not tracing.
 pub fn build_and_ingest(
     dir: &Path,
     workload: &Workload,
@@ -28,8 +31,10 @@ pub fn build_and_ingest(
     nodes: usize,
     backend: &BackendOptions,
     ingest_opts: &IngestOptions,
+    telemetry: &Telemetry,
 ) -> Result<(MssgCluster, IngestReport)> {
     let mut cluster = MssgCluster::new(dir, nodes, kind, backend)?;
+    cluster.set_telemetry(telemetry.clone());
     let report = mssg_core::ingest::ingest(&mut cluster, workload.edge_stream(), ingest_opts)?;
     Ok((cluster, report))
 }
@@ -92,16 +97,20 @@ pub fn bucket_by_path_length(results: &[SearchMetrics]) -> BTreeMap<u32, Bucket>
     acc.into_iter()
         .map(|(len, ms)| {
             let n = ms.len() as f64;
-            let total_time: Duration = ms.iter().map(|m| m.elapsed).sum();
+            let total_time: Duration = ms.iter().map(|m| m.telemetry.elapsed).sum();
             let bucket = Bucket {
                 count: ms.len(),
                 avg_time: total_time / ms.len() as u32,
                 avg_edges: ms.iter().map(|m| m.edges_scanned as f64).sum::<f64>() / n,
                 avg_edges_per_sec: ms.iter().map(|m| m.edges_per_sec()).sum::<f64>() / n,
-                avg_block_reads: ms.iter().map(|m| m.io.block_reads as f64).sum::<f64>() / n,
+                avg_block_reads: ms
+                    .iter()
+                    .map(|m| m.telemetry.io.block_reads as f64)
+                    .sum::<f64>()
+                    / n,
                 avg_modeled_io: ms
                     .iter()
-                    .map(|m| simio::DiskCostModel::sata_2006().modeled_time(&m.io))
+                    .map(|m| simio::DiskCostModel::sata_2006().modeled_time(&m.telemetry.io))
                     .sum::<Duration>()
                     / ms.len() as u32,
             };
@@ -121,8 +130,7 @@ mod tests {
     use mssg_core::ingest::DeclusterKind;
 
     fn root() -> PathBuf {
-        let d = std::env::temp_dir()
-            .join(format!("bench-workloads-{}", std::process::id()));
+        let d = std::env::temp_dir().join(format!("bench-workloads-{}", std::process::id()));
         std::fs::create_dir_all(&d).unwrap();
         d
     }
@@ -148,7 +156,11 @@ mod tests {
             BackendKind::HashMap,
             4,
             &BackendOptions::default(),
-            &IngestOptions { declustering: DeclusterKind::VertexHash, ..Default::default() },
+            &IngestOptions {
+                declustering: DeclusterKind::VertexHash,
+                ..Default::default()
+            },
+            &Telemetry::disabled(),
         )
         .unwrap();
         assert_eq!(report.edges, w.edges());

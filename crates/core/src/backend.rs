@@ -107,7 +107,10 @@ impl Default for BackendOptions {
 impl BackendOptions {
     /// Options with caches disabled.
     pub fn uncached() -> BackendOptions {
-        BackendOptions { cache_enabled: false, ..Default::default() }
+        BackendOptions {
+            cache_enabled: false,
+            ..Default::default()
+        }
     }
 }
 
@@ -120,7 +123,11 @@ pub fn open_backend(
     stats: Arc<IoStats>,
 ) -> Result<Box<dyn GraphDb + Send>> {
     std::fs::create_dir_all(dir)?;
-    let cache = if options.cache_enabled { options.cache_capacity } else { 0 };
+    let cache = if options.cache_enabled {
+        options.cache_capacity
+    } else {
+        0
+    };
     Ok(match kind {
         BackendKind::Array => Box::new(ArrayDb::new()),
         BackendKind::HashMap => Box::new(HashMapDb::new()),
@@ -150,8 +157,7 @@ mod tests {
     use mssg_types::{Edge, Gid};
 
     fn tmpdir(tag: &str) -> std::path::PathBuf {
-        let d = std::env::temp_dir()
-            .join(format!("core-backend-{}-{tag}", std::process::id()));
+        let d = std::env::temp_dir().join(format!("core-backend-{}-{tag}", std::process::id()));
         let _ = std::fs::remove_dir_all(&d);
         d
     }

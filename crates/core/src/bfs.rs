@@ -22,15 +22,15 @@
 //! opportunistically during expansion (lines 16–27 of the listing).
 
 use crate::cluster::{MssgCluster, SharedBackend};
+use crate::telemetry::TelemetryReport;
 use crate::visited::{VisitedKind, VisitedSet};
-use datacutter::{DataBuffer, Filter, FilterContext, GraphBuilder, NetSnapshot, OutPort};
+use datacutter::{DataBuffer, Filter, FilterContext, GraphBuilder, OutPort};
 use mssg_types::{AdjBuffer, Gid, GraphStorageError, MetaOp, Result};
 use parking_lot::Mutex;
-use simio::{IoSnapshot, IoStats};
+use simio::IoStats;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Duration;
 
 /// Which algorithm variant to run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -101,21 +101,17 @@ pub struct SearchMetrics {
     pub edges_scanned: u64,
     /// Vertices marked visited across all processors.
     pub vertices_visited: u64,
-    /// Wall-clock time.
-    pub elapsed: Duration,
-    /// Message traffic.
-    pub net: NetSnapshot,
-    /// Disk traffic (all nodes merged).
-    pub io: IoSnapshot,
+    /// Time, traffic, and per-filter breakdown of the run.
+    pub telemetry: TelemetryReport,
 }
 
 impl SearchMetrics {
     /// Aggregate edges scanned per second.
     pub fn edges_per_sec(&self) -> f64 {
-        if self.elapsed.is_zero() {
+        if self.telemetry.elapsed.is_zero() {
             0.0
         } else {
-            self.edges_scanned as f64 / self.elapsed.as_secs_f64()
+            self.edges_scanned as f64 / self.telemetry.elapsed.as_secs_f64()
         }
     }
 }
@@ -201,9 +197,7 @@ pub fn bfs(
             rounds: 0,
             edges_scanned: 0,
             vertices_visited: 1,
-            elapsed: Duration::ZERO,
-            net: NetSnapshot::default(),
-            io: IoSnapshot::default(),
+            telemetry: TelemetryReport::default(),
         });
     }
     let routing = if cluster.broadcast_fringe() {
@@ -221,6 +215,7 @@ pub fn bfs(
 
     let mut g = GraphBuilder::new();
     g.channel_capacity(8192);
+    g.telemetry(cluster.telemetry().clone());
     let backends: Vec<SharedBackend> = (0..p).map(|i| cluster.backend(i)).collect();
     let io_stats: Vec<Arc<IoStats>> = (0..p).map(|i| cluster.io_stats(i)).collect();
     let routing2 = routing.clone();
@@ -256,9 +251,7 @@ pub fn bfs(
         rounds: out.rounds,
         edges_scanned: out.edges_scanned,
         vertices_visited: out.vertices_visited,
-        elapsed: report.elapsed,
-        net: report.net,
-        io: cluster.io_snapshot().since(&io_before),
+        telemetry: cluster.telemetry_report(report, &io_before),
     })
 }
 
@@ -416,7 +409,7 @@ fn handle_message(
             match parents {
                 Some(parents) => {
                     // record_parents wire format: (vertex, parent) pairs.
-                    if words.len() % 2 != 0 {
+                    if !words.len().is_multiple_of(2) {
                         return Err(GraphStorageError::corrupt(
                             "fringe pair payload has odd length",
                         ));
@@ -458,7 +451,9 @@ fn handle_message(
             *emitted_sum += msg.words()[0];
             Ok(Handled::Consumed)
         }
-        k => Err(GraphStorageError::corrupt(format!("unknown BFS message kind {k}"))),
+        k => Err(GraphStorageError::corrupt(format!(
+            "unknown BFS message kind {k}"
+        ))),
     }
 }
 
@@ -466,11 +461,9 @@ impl Filter for BfsFilter {
     fn process(&mut self, ctx: &mut FilterContext) -> Result<()> {
         let me = ctx.copy_index;
         let p = ctx.copies;
-        let mut visited = self.visited_kind.open(
-            &self.scratch,
-            me,
-            Arc::clone(&self.io_stats),
-        )?;
+        let mut visited = self
+            .visited_kind
+            .open(&self.scratch, me, Arc::clone(&self.io_stats))?;
         let mut frontier: Vec<Gid> = Vec::new();
         let mut edges_scanned = 0u64;
         let mut visited_count = 0u64;
@@ -505,8 +498,18 @@ impl Filter for BfsFilter {
         }
 
         'rounds: while round <= self.max_rounds {
+            let visited_at_level_start = visited_count;
+            let mut level_span = ctx
+                .telemetry()
+                .tracer
+                .span("bfs.level")
+                .with("level", round as u64)
+                .with("frontier", frontier.len() as u64);
             // ---- expansion ----
-            let mut state = SendState { batches: vec![Vec::new(); p + 1], emitted: 0 };
+            let mut state = SendState {
+                batches: vec![Vec::new(); p + 1],
+                emitted: 0,
+            };
             // (neighbour, parent) pairs; parent is NIL when not recorded.
             let mut expanded: Vec<(Gid, Gid)> = Vec::new();
             if !frontier.is_empty() {
@@ -648,6 +651,8 @@ impl Filter for BfsFilter {
                     }
                 }
             }
+            // Visited hits this level (local marks from any peer's fringe).
+            level_span.record("visited", visited_count - visited_at_level_start);
             if emitted_sum == 0 {
                 break 'rounds; // Graph exhausted without reaching dest.
             }
@@ -707,9 +712,11 @@ mod tests {
         decluster: DeclusterKind,
     ) -> MssgCluster {
         let dir = tmpdir(tag);
-        let mut cluster =
-            MssgCluster::new(&dir, nodes, kind, &BackendOptions::default()).unwrap();
-        let opts = IngestOptions { declustering: decluster, ..Default::default() };
+        let mut cluster = MssgCluster::new(&dir, nodes, kind, &BackendOptions::default()).unwrap();
+        let opts = IngestOptions {
+            declustering: decluster,
+            ..Default::default()
+        };
         ingest(&mut cluster, edges.into_iter(), &opts).unwrap();
         cluster
     }
@@ -747,8 +754,13 @@ mod tests {
         // Two disconnected components.
         let mut edges = path_edges(3);
         edges.push(Edge::of(100, 101));
-        let cluster =
-            build_cluster("unreach", 3, BackendKind::HashMap, edges, DeclusterKind::VertexHash);
+        let cluster = build_cluster(
+            "unreach",
+            3,
+            BackendKind::HashMap,
+            edges,
+            DeclusterKind::VertexHash,
+        );
         let m = bfs(&cluster, g(0), g(101), &BfsOptions::default()).unwrap();
         assert_eq!(m.path_length, None);
         assert!(m.rounds >= 1);
@@ -778,8 +790,13 @@ mod tests {
             Edge::of(3, 4),
             Edge::of(4, 5),
         ];
-        let cluster =
-            build_cluster("short", 3, BackendKind::HashMap, edges, DeclusterKind::VertexHash);
+        let cluster = build_cluster(
+            "short",
+            3,
+            BackendKind::HashMap,
+            edges,
+            DeclusterKind::VertexHash,
+        );
         let m = bfs(&cluster, g(0), g(5), &BfsOptions::default()).unwrap();
         assert_eq!(m.path_length, Some(2));
     }
@@ -810,7 +827,9 @@ mod tests {
                 edges.clone(),
                 DeclusterKind::VertexHash,
             );
-            bfs(&cluster, g(0), g(47), &BfsOptions::default()).unwrap().path_length
+            bfs(&cluster, g(0), g(47), &BfsOptions::default())
+                .unwrap()
+                .path_length
         };
         for kind in BackendKind::ALL {
             let cluster = build_cluster(
@@ -913,7 +932,10 @@ mod tests {
             &cluster,
             g(0),
             g(12),
-            &BfsOptions { visited: VisitedKind::External, ..Default::default() },
+            &BfsOptions {
+                visited: VisitedKind::External,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(a.path_length, b.path_length);
@@ -976,7 +998,10 @@ mod tests {
                 &filtered,
                 g(0),
                 g(dest),
-                &BfsOptions { db_filter: true, ..Default::default() },
+                &BfsOptions {
+                    db_filter: true,
+                    ..Default::default()
+                },
             )
             .unwrap();
             assert_eq!(a.path_length, b.path_length, "dest {dest}");
@@ -994,14 +1019,15 @@ mod tests {
             &filtered,
             g(0),
             g(23),
-            &BfsOptions { db_filter: true, ..Default::default() },
+            &BfsOptions {
+                db_filter: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         let reference = bfs(&plain, g(0), g(23), &BfsOptions::default()).unwrap();
         assert_eq!(again.path_length, reference.path_length);
     }
-
-
 
     #[test]
     fn path_reconstruction_on_path_graph() {
@@ -1016,7 +1042,10 @@ mod tests {
             &cluster,
             g(0),
             g(8),
-            &BfsOptions { record_parents: true, ..Default::default() },
+            &BfsOptions {
+                record_parents: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(m.path_length, Some(8));
@@ -1056,7 +1085,10 @@ mod tests {
                 &cluster,
                 g(0),
                 g(dest),
-                &BfsOptions { record_parents: true, ..Default::default() },
+                &BfsOptions {
+                    record_parents: true,
+                    ..Default::default()
+                },
             )
             .unwrap();
             let Some(len) = m.path_length else { continue };
@@ -1093,7 +1125,10 @@ mod tests {
             &cluster,
             g(0),
             g(999),
-            &BfsOptions { record_parents: true, ..Default::default() },
+            &BfsOptions {
+                record_parents: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(m.path_length, None);
@@ -1103,10 +1138,45 @@ mod tests {
             &cluster,
             g(2),
             g(2),
-            &BfsOptions { record_parents: true, ..Default::default() },
+            &BfsOptions {
+                record_parents: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(m.path, Some(vec![g(2)]));
+    }
+
+    #[test]
+    fn level_spans_cover_every_round() {
+        let dir = tmpdir("spans");
+        let mut cluster =
+            MssgCluster::new(&dir, 2, BackendKind::HashMap, &BackendOptions::default()).unwrap();
+        ingest(
+            &mut cluster,
+            path_edges(6).into_iter(),
+            &IngestOptions::default(),
+        )
+        .unwrap();
+        let telemetry = mssg_obs::Telemetry::enabled();
+        cluster.set_telemetry(telemetry.clone());
+        let m = bfs(&cluster, g(0), g(6), &BfsOptions::default()).unwrap();
+        assert_eq!(m.path_length, Some(6));
+
+        let spans = telemetry.tracer.finished_spans();
+        let levels: Vec<_> = spans.iter().filter(|s| s.name == "bfs.level").collect();
+        for level in 1..=6u64 {
+            assert!(
+                levels.iter().any(|s| s.field_u64("level") == Some(level)),
+                "no bfs.level span for level {level}"
+            );
+        }
+        // Every level span carries its frontier size and nests under the
+        // runtime's per-copy span.
+        assert!(levels.iter().all(|s| s.field_u64("frontier").is_some()));
+        assert!(levels.iter().all(|s| s.path == "filter.run;bfs.level"));
+        // The unified report has the per-copy breakdown too.
+        assert_eq!(m.telemetry.filter("bfs").len(), 2);
     }
 
     #[test]
@@ -1127,8 +1197,13 @@ mod tests {
         // Star: 0 connected to 1..=50, dest 50 reachable via hub in 2 hops
         // from any leaf.
         let edges: Vec<Edge> = (1..=50).map(|i| Edge::of(0, i)).collect();
-        let cluster =
-            build_cluster("hub", 4, BackendKind::Grdb, edges, DeclusterKind::VertexHash);
+        let cluster = build_cluster(
+            "hub",
+            4,
+            BackendKind::Grdb,
+            edges,
+            DeclusterKind::VertexHash,
+        );
         let m = bfs(&cluster, g(3), g(42), &BfsOptions::default()).unwrap();
         assert_eq!(m.path_length, Some(2));
         assert!(m.rounds <= 3);

@@ -7,7 +7,10 @@
 //! (DESIGN.md §2).
 
 use crate::backend::{open_backend, BackendKind, BackendOptions};
+use crate::telemetry::TelemetryReport;
+use datacutter::RunReport;
 use graphdb::GraphDb;
+use mssg_obs::Telemetry;
 use mssg_types::{Gid, Result};
 use parking_lot::Mutex;
 use simio::{IoSnapshot, IoStats};
@@ -32,6 +35,8 @@ pub struct MssgCluster {
     /// Set by an edge-granularity ingestion: ownership is unknowable, so
     /// searches must broadcast their fringes (Algorithm 1's third case).
     pub(crate) broadcast_fringe: bool,
+    /// Telemetry bundle handed to every service run over this cluster.
+    telemetry: Telemetry,
 }
 
 impl MssgCluster {
@@ -64,7 +69,34 @@ impl MssgCluster {
             dir: dir.to_path_buf(),
             owner_map: None,
             broadcast_fringe: false,
+            telemetry: Telemetry::disabled(),
         })
+    }
+
+    /// Attaches a telemetry bundle: every subsequent service run (ingest,
+    /// BFS, components, …) emits spans into its tracer and records metrics
+    /// into its registry. Disabled by default.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The cluster's telemetry bundle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Folds a substrate run report with the cluster's disk-I/O delta
+    /// since `io_before` and the current metrics snapshot.
+    pub(crate) fn telemetry_report(
+        &self,
+        run: RunReport,
+        io_before: &simio::IoSnapshot,
+    ) -> TelemetryReport {
+        TelemetryReport::from_run(
+            run,
+            self.io_snapshot().since(io_before),
+            self.telemetry.metrics.snapshot(),
+        )
     }
 
     /// Number of back-end nodes.
@@ -88,11 +120,7 @@ impl MssgCluster {
     }
 
     /// Runs a closure against node `i`'s backend.
-    pub fn with_backend<T>(
-        &self,
-        i: usize,
-        f: impl FnOnce(&mut (dyn GraphDb + Send)) -> T,
-    ) -> T {
+    pub fn with_backend<T>(&self, i: usize, f: impl FnOnce(&mut (dyn GraphDb + Send)) -> T) -> T {
         let mut guard = self.backends[i].lock();
         f(guard.as_mut())
     }
@@ -127,7 +155,10 @@ impl MssgCluster {
 
     /// Total directed adjacency entries stored across the cluster.
     pub fn total_entries(&self) -> u64 {
-        self.backends.iter().map(|b| b.lock().stored_entries()).sum()
+        self.backends
+            .iter()
+            .map(|b| b.lock().stored_entries())
+            .sum()
     }
 
     /// The owner map published by a vertex-round-robin ingestion, if any.
@@ -147,8 +178,7 @@ mod tests {
     use mssg_types::Edge;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir()
-            .join(format!("core-cluster-{}-{tag}", std::process::id()));
+        let d = std::env::temp_dir().join(format!("core-cluster-{}-{tag}", std::process::id()));
         let _ = std::fs::remove_dir_all(&d);
         d
     }
@@ -157,8 +187,7 @@ mod tests {
     fn nodes_have_independent_storage() {
         let dir = tmpdir("indep");
         let cluster =
-            MssgCluster::new(&dir, 3, BackendKind::HashMap, &BackendOptions::default())
-                .unwrap();
+            MssgCluster::new(&dir, 3, BackendKind::HashMap, &BackendOptions::default()).unwrap();
         cluster.with_backend(0, |db| db.store_edges(&[Edge::of(1, 2)]).unwrap());
         cluster.with_backend(1, |db| db.store_edges(&[Edge::of(1, 3)]).unwrap());
         // Node 2 knows nothing about vertex 1.
@@ -183,8 +212,7 @@ mod tests {
     fn io_snapshot_aggregates() {
         let dir = tmpdir("io");
         let cluster =
-            MssgCluster::new(&dir, 2, BackendKind::StreamDb, &BackendOptions::default())
-                .unwrap();
+            MssgCluster::new(&dir, 2, BackendKind::StreamDb, &BackendOptions::default()).unwrap();
         cluster.with_backend(0, |db| {
             db.store_edges(&[Edge::of(0, 1)]).unwrap();
             db.flush().unwrap();

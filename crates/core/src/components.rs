@@ -25,13 +25,12 @@
 //! stashed and replayed.
 
 use crate::cluster::{MssgCluster, SharedBackend};
-use datacutter::{DataBuffer, Filter, FilterContext, GraphBuilder, NetSnapshot, OutPort};
+use crate::telemetry::TelemetryReport;
+use datacutter::{DataBuffer, Filter, FilterContext, GraphBuilder, OutPort};
 use mssg_types::{AdjBuffer, Gid, GraphStorageError, MetaOp, Result};
 use parking_lot::Mutex;
-use simio::IoSnapshot;
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Duration;
 
 /// Configuration for a components run.
 #[derive(Clone, Debug)]
@@ -57,12 +56,8 @@ pub struct ComponentsResult {
     pub vertices: u64,
     /// Propagation rounds until convergence.
     pub rounds: u32,
-    /// Wall-clock time.
-    pub elapsed: Duration,
-    /// Message traffic.
-    pub net: NetSnapshot,
-    /// Disk traffic.
-    pub io: IoSnapshot,
+    /// Time, traffic, and per-filter breakdown of the run.
+    pub telemetry: TelemetryReport,
     /// Component sizes keyed by the component's minimum vertex id.
     pub sizes: HashMap<u64, u64>,
 }
@@ -108,6 +103,7 @@ pub fn connected_components(
 
     let mut g = GraphBuilder::new();
     g.channel_capacity(8192);
+    g.telemetry(cluster.telemetry().clone());
     let backends: Vec<SharedBackend> = (0..p).map(|i| cluster.backend(i)).collect();
     let outcome2 = Arc::clone(&outcome);
     let max_rounds = options.max_rounds;
@@ -131,9 +127,7 @@ pub fn connected_components(
         largest,
         vertices,
         rounds: out.rounds,
-        elapsed: report.elapsed,
-        net: report.net,
-        io: cluster.io_snapshot().since(&io_before),
+        telemetry: cluster.telemetry_report(report, &io_before),
         sizes: out.sizes.clone(),
     })
 }
@@ -157,10 +151,13 @@ fn encode_pairs(pairs: &[(Gid, u64)]) -> Vec<u64> {
 
 fn decode_pairs(buf: &DataBuffer) -> Result<Vec<(Gid, u64)>> {
     let words = buf.words();
-    if words.len() % 2 != 0 {
+    if !words.len().is_multiple_of(2) {
         return Err(GraphStorageError::corrupt("odd pair payload"));
     }
-    Ok(words.chunks_exact(2).map(|c| (Gid::from_raw(c[0]), c[1])).collect())
+    Ok(words
+        .chunks_exact(2)
+        .map(|c| (Gid::from_raw(c[0]), c[1]))
+        .collect())
 }
 
 fn send_pairs(
@@ -268,16 +265,23 @@ impl Filter for CcFilter {
         }
         // Labels of the vertices this processor owns (hash placement).
         let mut labels: HashMap<Gid, u64> = HashMap::new();
-        await_phase(ctx, &mut stash, p, K_REGISTER, K_REGISTER_DONE, 0, &mut |msg| {
-            for (v, _) in decode_pairs(msg)? {
-                labels.entry(v).or_insert(v.raw());
-            }
-            Ok(())
-        })?;
+        await_phase(
+            ctx,
+            &mut stash,
+            p,
+            K_REGISTER,
+            K_REGISTER_DONE,
+            0,
+            &mut |msg| {
+                for (v, _) in decode_pairs(msg)? {
+                    labels.entry(v).or_insert(v.raw());
+                }
+                Ok(())
+            },
+        )?;
 
         // ---- propagation rounds ----
-        let mut frontier: Vec<(Gid, u64)> =
-            labels.iter().map(|(&v, &l)| (v, l)).collect();
+        let mut frontier: Vec<(Gid, u64)> = labels.iter().map(|(&v, &l)| (v, l)).collect();
         let mut rounds = 0u32;
         let mut adj = AdjBuffer::new();
         for round in 1..=self.max_rounds {
@@ -302,10 +306,18 @@ impl Filter for CcFilter {
                     &[0],
                 )))?;
             }
-            await_phase(ctx, &mut stash, p, K_FRONTIER, K_FRONTIER_DONE, round, &mut |msg| {
-                to_expand.extend(decode_pairs(msg)?);
-                Ok(())
-            })?;
+            await_phase(
+                ctx,
+                &mut stash,
+                p,
+                K_FRONTIER,
+                K_FRONTIER_DONE,
+                round,
+                &mut |msg| {
+                    to_expand.extend(decode_pairs(msg)?);
+                    Ok(())
+                },
+            )?;
 
             // Phase B: expand against local storage and propose labels.
             let mut proposals: Vec<Vec<(Gid, u64)>> = vec![Vec::new(); p];
@@ -338,16 +350,24 @@ impl Filter for CcFilter {
                 )))?;
             }
             let mut changed: HashMap<Gid, u64> = HashMap::new();
-            await_phase(ctx, &mut stash, p, K_PROPOSE, K_PROPOSE_DONE, round, &mut |msg| {
-                for (u, lbl) in decode_pairs(msg)? {
-                    let entry = labels.entry(u).or_insert(u.raw());
-                    if lbl < *entry {
-                        *entry = lbl;
-                        changed.insert(u, lbl);
+            await_phase(
+                ctx,
+                &mut stash,
+                p,
+                K_PROPOSE,
+                K_PROPOSE_DONE,
+                round,
+                &mut |msg| {
+                    for (u, lbl) in decode_pairs(msg)? {
+                        let entry = labels.entry(u).or_insert(u.raw());
+                        if lbl < *entry {
+                            *entry = lbl;
+                            changed.insert(u, lbl);
+                        }
                     }
-                }
-                Ok(())
-            })?;
+                    Ok(())
+                },
+            )?;
 
             // Phase C: agree on global progress.
             let my_changed = changed.len() as u64;
@@ -405,12 +425,14 @@ mod tests {
         decl: DeclusterKind,
     ) -> ComponentsResult {
         let dir = tmpdir(tag);
-        let mut cluster =
-            MssgCluster::new(&dir, nodes, kind, &BackendOptions::default()).unwrap();
+        let mut cluster = MssgCluster::new(&dir, nodes, kind, &BackendOptions::default()).unwrap();
         ingest(
             &mut cluster,
             edges.into_iter(),
-            &IngestOptions { declustering: decl, ..Default::default() },
+            &IngestOptions {
+                declustering: decl,
+                ..Default::default()
+            },
         )
         .unwrap();
         connected_components(&cluster, &ComponentsOptions::default()).unwrap()
@@ -419,7 +441,13 @@ mod tests {
     #[test]
     fn single_path_is_one_component() {
         let edges: Vec<Edge> = (0..10).map(|i| Edge::of(i, i + 1)).collect();
-        let r = run_cc("path", 3, BackendKind::HashMap, edges, DeclusterKind::VertexHash);
+        let r = run_cc(
+            "path",
+            3,
+            BackendKind::HashMap,
+            edges,
+            DeclusterKind::VertexHash,
+        );
         assert_eq!(r.components, 1);
         assert_eq!(r.vertices, 11);
         assert_eq!(r.largest, 11);
@@ -432,7 +460,13 @@ mod tests {
         let mut edges = vec![Edge::of(0, 1), Edge::of(1, 2), Edge::of(2, 3)];
         edges.push(Edge::of(10, 11));
         edges.extend([Edge::of(20, 21), Edge::of(21, 22)]);
-        let r = run_cc("disjoint", 4, BackendKind::HashMap, edges, DeclusterKind::VertexHash);
+        let r = run_cc(
+            "disjoint",
+            4,
+            BackendKind::HashMap,
+            edges,
+            DeclusterKind::VertexHash,
+        );
         assert_eq!(r.components, 3);
         assert_eq!(r.vertices, 9);
         assert_eq!(r.largest, 4);
@@ -506,7 +540,13 @@ mod tests {
         let roots: std::collections::HashSet<usize> =
             seen.iter().map(|&v| find(&mut parent, v)).collect();
 
-        let r = run_cc("oracle", 4, BackendKind::Grdb, edges, DeclusterKind::VertexHash);
+        let r = run_cc(
+            "oracle",
+            4,
+            BackendKind::Grdb,
+            edges,
+            DeclusterKind::VertexHash,
+        );
         assert_eq!(r.components as usize, roots.len());
         assert_eq!(r.vertices as usize, seen.len());
     }
@@ -530,7 +570,13 @@ mod tests {
     #[test]
     fn single_node_cluster() {
         let edges: Vec<Edge> = (0..6).map(|i| Edge::of(i, (i + 1) % 6)).collect();
-        let r = run_cc("single", 1, BackendKind::HashMap, edges, DeclusterKind::VertexHash);
+        let r = run_cc(
+            "single",
+            1,
+            BackendKind::HashMap,
+            edges,
+            DeclusterKind::VertexHash,
+        );
         assert_eq!(r.components, 1);
         assert_eq!(r.vertices, 6);
     }

@@ -52,7 +52,11 @@ impl Declustering {
     /// Creates the vertex round-robin strategy.
     pub fn vertex_round_robin(nodes: usize) -> Declustering {
         assert!(nodes > 0);
-        Declustering::VertexRoundRobin { nodes, owners: HashMap::new(), next: 0 }
+        Declustering::VertexRoundRobin {
+            nodes,
+            owners: HashMap::new(),
+            next: 0,
+        }
     }
 
     /// Creates the edge round-robin strategy.
@@ -99,7 +103,11 @@ impl Declustering {
                     ((bwd.src.raw() % p) as usize, bwd),
                 ]
             }
-            Declustering::VertexRoundRobin { nodes, owners, next } => {
+            Declustering::VertexRoundRobin {
+                nodes,
+                owners,
+                next,
+            } => {
                 let mut own = |v: Gid| -> usize {
                     *owners.entry(v).or_insert_with(|| {
                         let n = *next;
@@ -157,7 +165,10 @@ mod tests {
     #[test]
     fn vertex_strategies_keep_adjacency_together() {
         // All directed entries with the same source land on one node.
-        for mut d in [Declustering::vertex_hash(4), Declustering::vertex_round_robin(4)] {
+        for mut d in [
+            Declustering::vertex_hash(4),
+            Declustering::vertex_round_robin(4),
+        ] {
             let mut seen: HashMap<Gid, usize> = HashMap::new();
             let mut x = 5u64;
             for _ in 0..500 {
@@ -187,7 +198,10 @@ mod tests {
                 }
             }
         }
-        assert!(nodes_for_1.len() > 1, "edge granularity must spread the list");
+        assert!(
+            nodes_for_1.len() > 1,
+            "edge granularity must spread the list"
+        );
     }
 
     #[test]

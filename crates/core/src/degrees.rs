@@ -9,12 +9,12 @@
 //! many nodes) and fold the totals into a histogram.
 
 use crate::cluster::{MssgCluster, SharedBackend};
+use crate::telemetry::TelemetryReport;
 use datacutter::{DataBuffer, Filter, FilterContext, GraphBuilder, OutPort};
 use mssg_types::{GraphStorageError, Result};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Duration;
 
 /// Result of a degree-distribution run.
 #[derive(Clone, Debug)]
@@ -34,8 +34,8 @@ pub struct DegreeReport {
     /// Least-squares power-law exponent fit of the histogram tail, when
     /// enough points exist.
     pub powerlaw_exponent: Option<f64>,
-    /// Wall-clock time.
-    pub elapsed: Duration,
+    /// Time, traffic, and per-filter breakdown of the run.
+    pub telemetry: TelemetryReport,
 }
 
 const K_PARTIAL: u64 = 0;
@@ -48,13 +48,18 @@ fn tag(kind: u64, sender: usize) -> u64 {
 /// Computes the degree distribution of the stored graph.
 pub fn degree_distribution(cluster: &MssgCluster) -> Result<DegreeReport> {
     let p = cluster.nodes();
+    let io_before = cluster.io_snapshot();
     let totals: Arc<Mutex<HashMap<u64, u64>>> = Arc::new(Mutex::new(HashMap::new()));
     let mut g = GraphBuilder::new();
     g.channel_capacity(8192);
+    g.telemetry(cluster.telemetry().clone());
     let backends: Vec<SharedBackend> = (0..p).map(|i| cluster.backend(i)).collect();
     let totals2 = Arc::clone(&totals);
     let filter = g.add_filter("degrees", (0..p).collect(), move |i| {
-        Box::new(DegreeFilter { backend: backends[i].clone(), totals: Arc::clone(&totals2) })
+        Box::new(DegreeFilter {
+            backend: backends[i].clone(),
+            totals: Arc::clone(&totals2),
+        })
     });
     g.connect(filter, "peers", filter, "peers");
     let report = g.run()?;
@@ -73,9 +78,13 @@ pub fn degree_distribution(cluster: &MssgCluster) -> Result<DegreeReport> {
         vertices,
         degree_sum,
         max_degree,
-        avg_degree: if vertices == 0 { 0.0 } else { degree_sum as f64 / vertices as f64 },
+        avg_degree: if vertices == 0 {
+            0.0
+        } else {
+            degree_sum as f64 / vertices as f64
+        },
         powerlaw_exponent,
-        elapsed: report.elapsed,
+        telemetry: cluster.telemetry_report(report, &io_before),
     })
 }
 
@@ -161,7 +170,10 @@ mod tests {
         ingest(
             &mut cluster,
             edges.into_iter(),
-            &IngestOptions { declustering: decl, ..Default::default() },
+            &IngestOptions {
+                declustering: decl,
+                ..Default::default()
+            },
         )
         .unwrap();
         degree_distribution(&cluster).unwrap()
@@ -170,7 +182,13 @@ mod tests {
     #[test]
     fn star_graph_histogram() {
         let edges: Vec<Edge> = (1..=6).map(|i| Edge::of(0, i)).collect();
-        let r = run("star", 3, BackendKind::HashMap, edges, DeclusterKind::VertexHash);
+        let r = run(
+            "star",
+            3,
+            BackendKind::HashMap,
+            edges,
+            DeclusterKind::VertexHash,
+        );
         assert_eq!(r.vertices, 7);
         assert_eq!(r.max_degree, 6);
         assert_eq!(r.degree_sum, 12);
@@ -184,7 +202,13 @@ mod tests {
         // Under edge round-robin a vertex's adjacency is spread over many
         // nodes; the analysis must sum the partial degrees.
         let edges: Vec<Edge> = (1..=8).map(|i| Edge::of(0, i)).collect();
-        let r = run("edgerr", 4, BackendKind::HashMap, edges, DeclusterKind::EdgeRoundRobin);
+        let r = run(
+            "edgerr",
+            4,
+            BackendKind::HashMap,
+            edges,
+            DeclusterKind::EdgeRoundRobin,
+        );
         assert_eq!(r.max_degree, 8);
         assert_eq!(r.vertices, 9);
         assert_eq!(r.histogram[8], 1);

@@ -18,12 +18,11 @@
 
 use crate::cluster::MssgCluster;
 use crate::decluster::Declustering;
-use datacutter::{DataBuffer, Filter, FilterContext, GraphBuilder, NetSnapshot};
+use crate::telemetry::TelemetryReport;
+use datacutter::{DataBuffer, Filter, FilterContext, GraphBuilder};
 use mssg_types::{Edge, Gid, Ontology, Result, TypedEdge};
 use parking_lot::Mutex;
-use simio::IoSnapshot;
 use std::sync::Arc;
-use std::time::Duration;
 
 /// Which declustering strategy the ingestion runs.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -66,16 +65,12 @@ impl Default for IngestOptions {
 }
 
 /// Outcome of an ingestion run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct IngestReport {
     /// Undirected edges ingested.
     pub edges: u64,
-    /// Wall-clock time.
-    pub elapsed: Duration,
-    /// Message traffic during the run.
-    pub net: NetSnapshot,
-    /// Disk traffic during the run (all nodes merged).
-    pub io: IoSnapshot,
+    /// Time, traffic, and per-filter breakdown of the run.
+    pub telemetry: TelemetryReport,
 }
 
 /// Streams `edges` into the cluster. Returns when every back-end has
@@ -86,7 +81,10 @@ pub fn ingest(
     options: &IngestOptions,
 ) -> Result<IngestReport> {
     assert!(options.front_ends > 0, "need at least one ingestion node");
-    assert!(options.window_edges > 0, "window must hold at least one edge");
+    assert!(
+        options.window_edges > 0,
+        "window must hold at least one edge"
+    );
     let p = cluster.nodes();
     let f = options.front_ends;
     let io_before = cluster.io_snapshot();
@@ -98,6 +96,7 @@ pub fn ingest(
     }));
 
     let mut g = GraphBuilder::new();
+    g.telemetry(cluster.telemetry().clone());
     // Node layout: back-ends 0..p, front-ends p..p+f, source at p+f.
     let mut source_holder = Some(SourceFilter {
         edges: Box::new(edges),
@@ -119,7 +118,9 @@ pub fn ingest(
     });
     let backends: Vec<_> = (0..p).map(|i| cluster.backend(i)).collect();
     let store = g.add_filter("store", (0..p).collect(), move |i| {
-        Box::new(StoreFilter { backend: backends[i].clone() })
+        Box::new(StoreFilter {
+            backend: backends[i].clone(),
+        })
     });
     if options.demand_driven {
         g.connect_shared(src, "windows", ing, "windows");
@@ -142,9 +143,7 @@ pub fn ingest(
     let edges = *edge_count.lock();
     Ok(IngestReport {
         edges,
-        elapsed: report.elapsed,
-        net: report.net,
-        io: cluster.io_snapshot().since(&io_before),
+        telemetry: cluster.telemetry_report(report, &io_before),
     })
 }
 
@@ -165,7 +164,8 @@ impl Filter for SourceFilter {
                 break;
             }
             total += buf.len() as u64;
-            ctx.output("windows")?.send_rr(DataBuffer::from_edges(0, &buf))?;
+            ctx.output("windows")?
+                .send_rr(DataBuffer::from_edges(0, &buf))?;
         }
         *self.count.lock() = total;
         Ok(())
@@ -185,7 +185,8 @@ impl IngestFilter {
             return Ok(());
         }
         let batch = std::mem::take(&mut self.batches[node]);
-        ctx.output("batches")?.send_to(node, DataBuffer::from_edges(0, &batch))?;
+        ctx.output("batches")?
+            .send_to(node, DataBuffer::from_edges(0, &batch))?;
         Ok(())
     }
 }
@@ -199,6 +200,12 @@ impl Filter for IngestFilter {
 
     fn process(&mut self, ctx: &mut FilterContext) -> Result<()> {
         while let Some(window) = ctx.input("windows")?.recv() {
+            let _span = ctx
+                .telemetry()
+                .tracer
+                .span("ingest.window")
+                .with("edges", window.edges().len() as u64)
+                .with("bytes", window.len() as u64);
             for e in window.edges() {
                 let assignments = self.strategy.lock().assign(e);
                 for (node, entry) in assignments {
@@ -231,7 +238,7 @@ impl Filter for StoreFilter {
 }
 
 /// Outcome of a typed (ontology-validated) ingestion.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct TypedIngestReport {
     /// The underlying ingestion report for the accepted edges.
     pub report: IngestReport,
@@ -279,8 +286,7 @@ mod tests {
     use graphdb::GraphDbExt;
 
     fn tmpdir(tag: &str) -> std::path::PathBuf {
-        let d = std::env::temp_dir()
-            .join(format!("core-ingest-{}-{tag}", std::process::id()));
+        let d = std::env::temp_dir().join(format!("core-ingest-{}-{tag}", std::process::id()));
         let _ = std::fs::remove_dir_all(&d);
         d
     }
@@ -293,10 +299,13 @@ mod tests {
     fn vertex_hash_places_adjacency_at_owner() {
         let dir = tmpdir("hash");
         let mut cluster =
-            MssgCluster::new(&dir, 3, BackendKind::HashMap, &BackendOptions::default())
-                .unwrap();
-        let report =
-            ingest(&mut cluster, ring(30).into_iter(), &IngestOptions::default()).unwrap();
+            MssgCluster::new(&dir, 3, BackendKind::HashMap, &BackendOptions::default()).unwrap();
+        let report = ingest(
+            &mut cluster,
+            ring(30).into_iter(),
+            &IngestOptions::default(),
+        )
+        .unwrap();
         assert_eq!(report.edges, 30);
         // Each undirected edge became two directed entries.
         assert_eq!(cluster.total_entries(), 60);
@@ -306,8 +315,7 @@ mod tests {
             assert_eq!(n.len(), 2, "ring vertex {v} has two neighbours");
             for other in 0..3 {
                 if other != owner {
-                    let n = cluster
-                        .with_backend(other, |db| db.neighbors(Gid::new(v)).unwrap());
+                    let n = cluster.with_backend(other, |db| db.neighbors(Gid::new(v)).unwrap());
                     assert!(n.is_empty(), "vertex {v} leaked to node {other}");
                 }
             }
@@ -318,9 +326,12 @@ mod tests {
     fn multiple_front_ends_store_everything() {
         let dir = tmpdir("fe4");
         let mut cluster =
-            MssgCluster::new(&dir, 2, BackendKind::HashMap, &BackendOptions::default())
-                .unwrap();
-        let opts = IngestOptions { front_ends: 4, window_edges: 7, ..Default::default() };
+            MssgCluster::new(&dir, 2, BackendKind::HashMap, &BackendOptions::default()).unwrap();
+        let opts = IngestOptions {
+            front_ends: 4,
+            window_edges: 7,
+            ..Default::default()
+        };
         let report = ingest(&mut cluster, ring(100).into_iter(), &opts).unwrap();
         assert_eq!(report.edges, 100);
         assert_eq!(cluster.total_entries(), 200);
@@ -330,12 +341,15 @@ mod tests {
     fn vertex_rr_publishes_owner_map() {
         let dir = tmpdir("rr");
         let mut cluster =
-            MssgCluster::new(&dir, 4, BackendKind::HashMap, &BackendOptions::default())
-                .unwrap();
-        let opts =
-            IngestOptions { declustering: DeclusterKind::VertexRoundRobin, ..Default::default() };
+            MssgCluster::new(&dir, 4, BackendKind::HashMap, &BackendOptions::default()).unwrap();
+        let opts = IngestOptions {
+            declustering: DeclusterKind::VertexRoundRobin,
+            ..Default::default()
+        };
         ingest(&mut cluster, ring(20).into_iter(), &opts).unwrap();
-        let owners = cluster.owner_map().expect("RR ingestion publishes ownership");
+        let owners = cluster
+            .owner_map()
+            .expect("RR ingestion publishes ownership");
         assert_eq!(owners.len(), 20);
         // The published map is truthful: the owner really holds the list.
         for (v, &node) in owners.iter() {
@@ -348,10 +362,11 @@ mod tests {
     fn edge_rr_spreads_and_keeps_everything() {
         let dir = tmpdir("edge");
         let mut cluster =
-            MssgCluster::new(&dir, 4, BackendKind::HashMap, &BackendOptions::default())
-                .unwrap();
-        let opts =
-            IngestOptions { declustering: DeclusterKind::EdgeRoundRobin, ..Default::default() };
+            MssgCluster::new(&dir, 4, BackendKind::HashMap, &BackendOptions::default()).unwrap();
+        let opts = IngestOptions {
+            declustering: DeclusterKind::EdgeRoundRobin,
+            ..Default::default()
+        };
         ingest(&mut cluster, ring(40).into_iter(), &opts).unwrap();
         assert_eq!(cluster.total_entries(), 80);
         // Union of all nodes' views of vertex 0 is its full neighbourhood.
@@ -368,7 +383,12 @@ mod tests {
         let dir = tmpdir("grdb");
         let mut cluster =
             MssgCluster::new(&dir, 2, BackendKind::Grdb, &BackendOptions::default()).unwrap();
-        ingest(&mut cluster, ring(16).into_iter(), &IngestOptions::default()).unwrap();
+        ingest(
+            &mut cluster,
+            ring(16).into_iter(),
+            &IngestOptions::default(),
+        )
+        .unwrap();
         let report_io = cluster.io_snapshot();
         assert!(report_io.block_writes > 0, "grDB must have hit the disk");
         for v in 0..16u64 {
@@ -382,8 +402,7 @@ mod tests {
     fn demand_driven_ingestion_stores_everything() {
         let dir = tmpdir("demand");
         let mut cluster =
-            MssgCluster::new(&dir, 3, BackendKind::HashMap, &BackendOptions::default())
-                .unwrap();
+            MssgCluster::new(&dir, 3, BackendKind::HashMap, &BackendOptions::default()).unwrap();
         let opts = IngestOptions {
             front_ends: 4,
             window_edges: 5,
@@ -409,8 +428,7 @@ mod tests {
         use mssg_types::TypedEdge;
         let dir = tmpdir("typed");
         let mut cluster =
-            MssgCluster::new(&dir, 2, BackendKind::HashMap, &BackendOptions::default())
-                .unwrap();
+            MssgCluster::new(&dir, 2, BackendKind::HashMap, &BackendOptions::default()).unwrap();
         let ont = mssg_types::Ontology::example_meetings();
         let person = ont.vertex_type("Person").unwrap();
         let meeting = ont.vertex_type("Meeting").unwrap();
@@ -424,21 +442,60 @@ mod tests {
             TypedEdge::new(Edge::of(0, 200), person, attends, date),
             TypedEdge::new(Edge::of(1, 200), person, occurred, date),
         ];
-        let out = ingest_typed(&mut cluster, feed.into_iter(), &ont, &IngestOptions::default())
-            .unwrap();
+        let out = ingest_typed(
+            &mut cluster,
+            feed.into_iter(),
+            &ont,
+            &IngestOptions::default(),
+        )
+        .unwrap();
         assert_eq!(out.rejected, 2);
         assert_eq!(out.report.edges, 2);
         assert_eq!(cluster.total_entries(), 4);
     }
 
     #[test]
+    fn window_spans_and_queue_metrics_when_telemetry_enabled() {
+        let dir = tmpdir("spans");
+        let mut cluster =
+            MssgCluster::new(&dir, 2, BackendKind::HashMap, &BackendOptions::default()).unwrap();
+        let telemetry = mssg_obs::Telemetry::enabled();
+        cluster.set_telemetry(telemetry.clone());
+        let opts = IngestOptions {
+            window_edges: 10,
+            ..Default::default()
+        };
+        let report = ingest(&mut cluster, ring(95).into_iter(), &opts).unwrap();
+
+        // ceil(95 / 10) windows, each annotated with its edge count.
+        let spans = telemetry.tracer.finished_spans();
+        let windows: Vec<_> = spans.iter().filter(|s| s.name == "ingest.window").collect();
+        assert_eq!(windows.len(), 10);
+        let edges: u64 = windows.iter().map(|s| s.field_u64("edges").unwrap()).sum();
+        assert_eq!(edges, 95);
+        assert!(windows.iter().all(|s| s.field_u64("bytes").unwrap() > 0));
+
+        // The unified report carries the per-filter breakdown and the
+        // substrate's queue-occupancy histograms.
+        assert_eq!(
+            report.telemetry.filters.len(),
+            4,
+            "source + 1 ingest + 2 store copies"
+        );
+        assert!(report
+            .telemetry
+            .metrics
+            .histograms
+            .keys()
+            .any(|k| k.starts_with("dc.queue_depth.")));
+    }
+
+    #[test]
     fn empty_stream_is_fine() {
         let dir = tmpdir("empty");
         let mut cluster =
-            MssgCluster::new(&dir, 2, BackendKind::HashMap, &BackendOptions::default())
-                .unwrap();
-        let report =
-            ingest(&mut cluster, std::iter::empty(), &IngestOptions::default()).unwrap();
+            MssgCluster::new(&dir, 2, BackendKind::HashMap, &BackendOptions::default()).unwrap();
+        let report = ingest(&mut cluster, std::iter::empty(), &IngestOptions::default()).unwrap();
         assert_eq!(report.edges, 0);
         assert_eq!(cluster.total_entries(), 0);
     }

@@ -18,7 +18,10 @@
 //! - [`bfs`] — parallel out-of-core BFS (Algorithm 1) and its pipelined
 //!   variant (Algorithm 2), implemented as DataCutter filter graphs,
 //! - [`query`] — the Query service: a registry of analyses executable by
-//!   name.
+//!   name,
+//! - [`telemetry`] — [`TelemetryReport`], the unified per-run observation
+//!   record every service returns (wall time, disk and message traffic,
+//!   per-filter breakdowns, metrics snapshot).
 
 pub mod backend;
 pub mod bfs;
@@ -29,6 +32,7 @@ pub mod degrees;
 pub mod ingest;
 pub mod msf;
 pub mod query;
+pub mod telemetry;
 pub mod visited;
 
 pub use backend::{BackendKind, BackendOptions};
@@ -40,4 +44,5 @@ pub use degrees::{degree_distribution, DegreeReport};
 pub use ingest::{ingest_typed, IngestOptions, IngestReport, TypedIngestReport};
 pub use msf::{minimum_spanning_forest, MsfResult};
 pub use query::QueryService;
+pub use telemetry::TelemetryReport;
 pub use visited::VisitedKind;

@@ -22,17 +22,21 @@
 //! forest unique and testable against a sequential Kruskal oracle.
 
 use crate::cluster::{MssgCluster, SharedBackend};
-use datacutter::{DataBuffer, Filter, FilterContext, GraphBuilder, NetSnapshot, OutPort};
+use crate::telemetry::TelemetryReport;
+use datacutter::{DataBuffer, Filter, FilterContext, GraphBuilder, OutPort};
 use mssg_types::{AdjBuffer, Edge, Gid, GraphStorageError, MetaOp, Result};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Duration;
 
 /// Deterministic symmetric edge weight: a 64-bit mix of the unordered
 /// endpoint pair (SplitMix64 finalizer).
 pub fn edge_weight(a: Gid, b: Gid) -> u64 {
-    let (lo, hi) = if a <= b { (a.raw(), b.raw()) } else { (b.raw(), a.raw()) };
+    let (lo, hi) = if a <= b {
+        (a.raw(), b.raw())
+    } else {
+        (b.raw(), a.raw())
+    };
     let mut z = lo
         .wrapping_mul(0x9e37_79b9_7f4a_7c15)
         .wrapping_add(hi.rotate_left(31))
@@ -55,10 +59,8 @@ pub struct MsfResult {
     pub vertices: u64,
     /// Borůvka rounds executed.
     pub rounds: u32,
-    /// Wall-clock time.
-    pub elapsed: Duration,
-    /// Message traffic.
-    pub net: NetSnapshot,
+    /// Time, traffic, and per-filter breakdown of the run.
+    pub telemetry: TelemetryReport,
 }
 
 // Message kinds: [kind:8][round:32][sender:24], as in the other analyses.
@@ -131,13 +133,18 @@ struct Outcome {
 /// Computes the minimum spanning forest of the stored graph.
 pub fn minimum_spanning_forest(cluster: &MssgCluster) -> Result<MsfResult> {
     let p = cluster.nodes();
+    let io_before = cluster.io_snapshot();
     let outcome = Arc::new(Mutex::new(Outcome::default()));
     let mut g = GraphBuilder::new();
     g.channel_capacity(8192);
+    g.telemetry(cluster.telemetry().clone());
     let backends: Vec<SharedBackend> = (0..p).map(|i| cluster.backend(i)).collect();
     let outcome2 = Arc::clone(&outcome);
     let filter = g.add_filter("msf", (0..p).collect(), move |i| {
-        Box::new(MsfFilter { backend: backends[i].clone(), outcome: Arc::clone(&outcome2) })
+        Box::new(MsfFilter {
+            backend: backends[i].clone(),
+            outcome: Arc::clone(&outcome2),
+        })
     });
     g.connect(filter, "peers", filter, "peers");
     let report = g.run()?;
@@ -148,8 +155,7 @@ pub fn minimum_spanning_forest(cluster: &MssgCluster) -> Result<MsfResult> {
         components: out.components,
         vertices: out.vertices,
         rounds: out.rounds,
-        elapsed: report.elapsed,
-        net: report.net,
+        telemetry: cluster.telemetry_report(report, &io_before),
     })
 }
 
@@ -169,7 +175,7 @@ fn encode_records(records: &[(u64, u64, Gid, Gid)]) -> Vec<u64> {
 
 fn decode_records(buf: &DataBuffer) -> Result<Vec<(u64, u64, Gid, Gid)>> {
     let words = buf.words();
-    if words.len() % 4 != 0 {
+    if !words.len().is_multiple_of(4) {
         return Err(GraphStorageError::corrupt("MSF record payload misaligned"));
     }
     Ok(words
@@ -208,7 +214,9 @@ fn await_phase(
     }
     while done < p {
         let Some(msg) = ctx.input("peers")?.recv() else {
-            return Err(GraphStorageError::Unsupported("peer exited during MSF".into()));
+            return Err(GraphStorageError::Unsupported(
+                "peer exited during MSF".into(),
+            ));
         };
         let (k, r) = (tag_kind(msg.tag), tag_round(msg.tag));
         if r == round && k == data_kind {
@@ -242,12 +250,20 @@ impl Filter for MsfFilter {
             port.broadcast(DataBuffer::from_words(tag(K_REGISTER_DONE, 0, me), &[0]))?;
         }
         let mut uf = MinUnionFind::default();
-        await_phase(ctx, &mut stash, p, K_REGISTER, K_REGISTER_DONE, 0, &mut |msg| {
-            for w in msg.words() {
-                uf.insert(w);
-            }
-            Ok(())
-        })?;
+        await_phase(
+            ctx,
+            &mut stash,
+            p,
+            K_REGISTER,
+            K_REGISTER_DONE,
+            0,
+            &mut |msg| {
+                for w in msg.words() {
+                    uf.insert(w);
+                }
+                Ok(())
+            },
+        )?;
         let all_vertices: Vec<u64> = uf.parent.keys().copied().collect();
 
         // Cache the local adjacency once: Borůvka re-scans edges each round.
@@ -305,25 +321,38 @@ impl Filter for MsfFilter {
                         )?;
                     }
                 }
-                port.broadcast(DataBuffer::from_words(tag(K_CANDIDATE_DONE, round, me), &[0]))?;
+                port.broadcast(DataBuffer::from_words(
+                    tag(K_CANDIDATE_DONE, round, me),
+                    &[0],
+                ))?;
             }
             // Phase B: owners pick global winners per component.
             let mut winners: HashMap<u64, (u64, Gid, Gid)> = HashMap::new();
-            await_phase(ctx, &mut stash, p, K_CANDIDATE, K_CANDIDATE_DONE, round, &mut |msg| {
-                for (c, w, a, b) in decode_records(msg)? {
-                    let cand = (w, a, b);
-                    let better = match winners.get(&c) {
-                        Some(&existing) => cand < existing,
-                        None => true,
-                    };
-                    if better {
-                        winners.insert(c, cand);
+            await_phase(
+                ctx,
+                &mut stash,
+                p,
+                K_CANDIDATE,
+                K_CANDIDATE_DONE,
+                round,
+                &mut |msg| {
+                    for (c, w, a, b) in decode_records(msg)? {
+                        let cand = (w, a, b);
+                        let better = match winners.get(&c) {
+                            Some(&existing) => cand < existing,
+                            None => true,
+                        };
+                        if better {
+                            winners.insert(c, cand);
+                        }
                     }
-                }
-                Ok(())
-            })?;
-            let winner_records: Vec<(u64, u64, Gid, Gid)> =
-                winners.into_iter().map(|(c, (w, a, b))| (c, w, a, b)).collect();
+                    Ok(())
+                },
+            )?;
+            let winner_records: Vec<(u64, u64, Gid, Gid)> = winners
+                .into_iter()
+                .map(|(c, (w, a, b))| (c, w, a, b))
+                .collect();
             {
                 let port: &mut OutPort = ctx.output("peers")?;
                 port.broadcast(DataBuffer::from_words(
@@ -406,7 +435,10 @@ mod tests {
         ingest(
             &mut cluster,
             edges.into_iter(),
-            &IngestOptions { declustering: decl, ..Default::default() },
+            &IngestOptions {
+                declustering: decl,
+                ..Default::default()
+            },
         )
         .unwrap();
         minimum_spanning_forest(&cluster).unwrap()
@@ -421,7 +453,11 @@ mod tests {
             .map(|e| {
                 vertices.insert(e.src.raw());
                 vertices.insert(e.dst.raw());
-                let (a, b) = if e.src <= e.dst { (e.src, e.dst) } else { (e.dst, e.src) };
+                let (a, b) = if e.src <= e.dst {
+                    (e.src, e.dst)
+                } else {
+                    (e.dst, e.src)
+                };
                 (edge_weight(a, b), a, b)
             })
             .collect();
@@ -435,8 +471,7 @@ mod tests {
                 count += 1;
             }
         }
-        let roots: std::collections::HashSet<u64> =
-            vertices.iter().map(|&v| uf.find(v)).collect();
+        let roots: std::collections::HashSet<u64> = vertices.iter().map(|&v| uf.find(v)).collect();
         (total, count, roots.len())
     }
 
@@ -459,7 +494,13 @@ mod tests {
     #[test]
     fn path_graph_forest_is_the_path() {
         let edges: Vec<Edge> = (0..9).map(|i| Edge::of(i, i + 1)).collect();
-        let r = run_msf("path", 3, BackendKind::HashMap, edges.clone(), DeclusterKind::VertexHash);
+        let r = run_msf(
+            "path",
+            3,
+            BackendKind::HashMap,
+            edges.clone(),
+            DeclusterKind::VertexHash,
+        );
         assert_eq!(r.vertices, 10);
         assert_eq!(r.components, 1);
         assert_eq!(r.edges.len(), 9, "a tree needs V-1 edges");
@@ -491,10 +532,18 @@ mod tests {
     #[test]
     fn forest_with_multiple_components() {
         let mut edges = random_edges(50, 20, 5);
-        edges.extend(random_edges(50, 20, 7).iter().map(|e| {
-            Edge::of(e.src.raw() + 1000, e.dst.raw() + 1000)
-        }));
-        let r = run_msf("multi", 3, BackendKind::HashMap, edges.clone(), DeclusterKind::VertexHash);
+        edges.extend(
+            random_edges(50, 20, 7)
+                .iter()
+                .map(|e| Edge::of(e.src.raw() + 1000, e.dst.raw() + 1000)),
+        );
+        let r = run_msf(
+            "multi",
+            3,
+            BackendKind::HashMap,
+            edges.clone(),
+            DeclusterKind::VertexHash,
+        );
         let (want_w, _, want_c) = kruskal(&edges);
         assert!(want_c >= 2);
         assert_eq!(r.components as usize, want_c);
@@ -504,7 +553,13 @@ mod tests {
     #[test]
     fn works_under_edge_granularity_and_grdb() {
         let edges = random_edges(200, 40, 9);
-        let a = run_msf("gran-a", 3, BackendKind::Grdb, edges.clone(), DeclusterKind::VertexHash);
+        let a = run_msf(
+            "gran-a",
+            3,
+            BackendKind::Grdb,
+            edges.clone(),
+            DeclusterKind::VertexHash,
+        );
         let b = run_msf(
             "gran-b",
             3,

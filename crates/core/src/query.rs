@@ -7,10 +7,10 @@
 //! applications add their own with [`QueryService::register`].
 
 use crate::bfs::{bfs, BfsOptions, SearchMetrics};
+use crate::cluster::MssgCluster;
 use crate::components::{connected_components, ComponentsOptions};
 use crate::degrees::degree_distribution;
 use crate::msf::minimum_spanning_forest;
-use crate::cluster::MssgCluster;
 use mssg_types::{Gid, GraphStorageError, Result};
 use std::collections::BTreeMap;
 
@@ -30,7 +30,9 @@ impl QueryService {
     /// A service with the built-in analyses registered: `bfs` (path search)
     /// and `degree` (local degree lookup).
     pub fn new() -> QueryService {
-        let mut svc = QueryService { analyses: BTreeMap::new() };
+        let mut svc = QueryService {
+            analyses: BTreeMap::new(),
+        };
         svc.register("bfs", Box::new(run_bfs_analysis));
         svc.register("components", Box::new(run_components_analysis));
         svc.register("degree", Box::new(run_degree_analysis));
@@ -50,12 +52,7 @@ impl QueryService {
     }
 
     /// Runs the analysis `name` with `params` against `cluster`.
-    pub fn run(
-        &self,
-        cluster: &MssgCluster,
-        name: &str,
-        params: &QueryParams,
-    ) -> Result<String> {
+    pub fn run(&self, cluster: &MssgCluster, name: &str, params: &QueryParams) -> Result<String> {
         let analysis = self.analyses.get(name).ok_or_else(|| {
             GraphStorageError::Query(format!(
                 "no analysis {name:?} registered (have: {:?})",
@@ -119,7 +116,8 @@ fn run_degree_distribution(cluster: &MssgCluster, _params: &QueryParams) -> Resu
         r.vertices,
         r.max_degree,
         r.avg_degree,
-        r.powerlaw_exponent.map_or("n/a".to_string(), |b| format!("{b:.2}"))
+        r.powerlaw_exponent
+            .map_or("n/a".to_string(), |b| format!("{b:.2}"))
     ))
 }
 
@@ -152,19 +150,20 @@ mod tests {
     use mssg_types::Edge;
 
     fn cluster(tag: &str) -> MssgCluster {
-        let dir = std::env::temp_dir()
-            .join(format!("core-query-{}-{tag}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("core-query-{}-{tag}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let mut c =
-            MssgCluster::new(&dir, 2, BackendKind::HashMap, &BackendOptions::default())
-                .unwrap();
+            MssgCluster::new(&dir, 2, BackendKind::HashMap, &BackendOptions::default()).unwrap();
         let edges: Vec<Edge> = (0..10).map(|i| Edge::of(i, i + 1)).collect();
         ingest(&mut c, edges.into_iter(), &IngestOptions::default()).unwrap();
         c
     }
 
     fn params(pairs: &[(&str, &str)]) -> QueryParams {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
     }
 
     #[test]
@@ -237,7 +236,9 @@ mod tests {
         let svc = QueryService::new();
         assert!(svc.run(&c, "pagerank", &params(&[])).is_err());
         assert!(svc.run(&c, "bfs", &params(&[("source", "0")])).is_err());
-        assert!(svc.run(&c, "bfs", &params(&[("source", "x"), ("dest", "1")])).is_err());
+        assert!(svc
+            .run(&c, "bfs", &params(&[("source", "x"), ("dest", "1")]))
+            .is_err());
     }
 
     #[test]

@@ -108,7 +108,10 @@ impl DenseVisited {
 
 impl VisitedSet for DenseVisited {
     fn try_visit(&mut self, v: Gid, level: u32) -> Result<bool> {
-        assert!(level != DENSE_UNVISITED, "level u32::MAX is the unvisited sentinel");
+        assert!(
+            level != DENSE_UNVISITED,
+            "level u32::MAX is the unvisited sentinel"
+        );
         let i = self.slot(v);
         if self.levels[i] == DENSE_UNVISITED {
             self.levels[i] = level;
@@ -139,7 +142,9 @@ impl ExternalVisited {
     /// file is replaced — a visited set is per-query state).
     pub fn create(path: &Path, stats: Arc<IoStats>) -> Result<ExternalVisited> {
         let _ = std::fs::remove_file(path);
-        Ok(ExternalVisited { store: KvStore::open(path, KvOptions::default(), stats)? })
+        Ok(ExternalVisited {
+            store: KvStore::open(path, KvOptions::default(), stats)?,
+        })
     }
 }
 
@@ -154,9 +159,10 @@ impl VisitedSet for ExternalVisited {
     }
 
     fn level(&mut self, v: Gid) -> Result<Option<u32>> {
-        Ok(self.store.get(&v.raw().to_be_bytes())?.map(|b| {
-            u32::from_le_bytes(b.as_slice().try_into().unwrap_or([0; 4]))
-        }))
+        Ok(self
+            .store
+            .get(&v.raw().to_be_bytes())?
+            .map(|b| u32::from_le_bytes(b.as_slice().try_into().unwrap_or([0; 4]))))
     }
 
     fn len(&self) -> u64 {
@@ -200,7 +206,10 @@ mod tests {
         assert!(!vs.try_visit(g(5), 2).unwrap(), "second visit rejected");
         assert_eq!(vs.level(g(5)).unwrap(), Some(1), "first level wins");
         assert_eq!(vs.level(g(6)).unwrap(), None);
-        assert!(vs.try_visit(g(0), 0).unwrap(), "level 0 and vertex 0 are valid");
+        assert!(
+            vs.try_visit(g(0), 0).unwrap(),
+            "level 0 and vertex 0 are valid"
+        );
         assert_eq!(vs.len(), 2);
     }
 
@@ -214,8 +223,7 @@ mod tests {
     fn external_contract() {
         let dir = std::env::temp_dir().join(format!("core-visited-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        let mut vs =
-            ExternalVisited::create(&dir.join("contract.db"), IoStats::new()).unwrap();
+        let mut vs = ExternalVisited::create(&dir.join("contract.db"), IoStats::new()).unwrap();
         check_contract(&mut vs);
     }
 
@@ -250,7 +258,11 @@ mod tests {
     #[test]
     fn kind_factory() {
         let dir = std::env::temp_dir().join(format!("core-visited-{}-f", std::process::id()));
-        for kind in [VisitedKind::InMemory, VisitedKind::Dense, VisitedKind::External] {
+        for kind in [
+            VisitedKind::InMemory,
+            VisitedKind::Dense,
+            VisitedKind::External,
+        ] {
             let mut vs = kind.open(&dir, 3, IoStats::new()).unwrap();
             assert!(vs.try_visit(g(9), 4).unwrap());
             assert_eq!(vs.level(g(9)).unwrap(), Some(4));

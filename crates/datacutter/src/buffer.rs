@@ -20,12 +20,18 @@ pub struct DataBuffer {
 impl DataBuffer {
     /// Creates a buffer from raw bytes.
     pub fn new(tag: u64, data: Vec<u8>) -> DataBuffer {
-        DataBuffer { tag, data: Bytes::from(data) }
+        DataBuffer {
+            tag,
+            data: Bytes::from(data),
+        }
     }
 
     /// An empty (control) message.
     pub fn control(tag: u64) -> DataBuffer {
-        DataBuffer { tag, data: Bytes::new() }
+        DataBuffer {
+            tag,
+            data: Bytes::new(),
+        }
     }
 
     /// Encodes a slice of 64-bit words (little-endian).
@@ -42,7 +48,10 @@ impl DataBuffer {
     /// # Panics
     /// Panics if the payload length is not a multiple of 8.
     pub fn words(&self) -> Vec<u64> {
-        assert!(self.data.len() % 8 == 0, "payload is not a word vector");
+        assert!(
+            self.data.len().is_multiple_of(8),
+            "payload is not a word vector"
+        );
         self.data
             .chunks_exact(8)
             .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
@@ -63,7 +72,10 @@ impl DataBuffer {
     /// # Panics
     /// Panics if the payload length is not a multiple of 16.
     pub fn edges(&self) -> Vec<Edge> {
-        assert!(self.data.len() % 16 == 0, "payload is not an edge vector");
+        assert!(
+            self.data.len().is_multiple_of(16),
+            "payload is not an edge vector"
+        );
         self.data
             .chunks_exact(16)
             .map(|c| Edge::from_bytes(c.try_into().unwrap()))

@@ -4,9 +4,25 @@ use crate::buffer::DataBuffer;
 use crate::netstats::NetStats;
 use crate::NodeId;
 use crossbeam::channel::{Receiver, Sender};
+use mssg_obs::{Histogram, Telemetry};
 use mssg_types::{GraphStorageError, Result};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-copy blocked-time accounting, shared between a copy's ports and
+/// the runtime. Nanoseconds spent parked on channel operations; the
+/// runtime subtracts them from the copy's wall time to get busy time.
+#[derive(Debug, Default)]
+pub(crate) struct PortClocks {
+    /// Time blocked inside `InPort::recv`.
+    pub(crate) blocked_recv_ns: AtomicU64,
+    /// Time blocked inside `OutPort` sends.
+    pub(crate) blocked_send_ns: AtomicU64,
+    /// Wall time of the whole filter lifecycle, set once by the runtime.
+    pub(crate) total_ns: AtomicU64,
+}
 
 /// A processing component. The runtime calls `init`, then `process`, then
 /// `finalize`, on the filter's own thread. `process` typically loops on an
@@ -30,12 +46,24 @@ pub trait Filter: Send {
 /// Receiving end of a logical stream (all producer copies merged).
 pub struct InPort {
     pub(crate) rx: Receiver<DataBuffer>,
+    /// Blocked-time clocks of the owning copy (absent in bare test ports).
+    pub(crate) clocks: Option<Arc<PortClocks>>,
 }
 
 impl InPort {
     /// Blocks for the next buffer; `None` when every producer has closed.
     pub fn recv(&self) -> Option<DataBuffer> {
-        self.rx.recv().ok()
+        match &self.clocks {
+            None => self.rx.recv().ok(),
+            Some(clocks) => {
+                let start = Instant::now();
+                let got = self.rx.recv().ok();
+                clocks
+                    .blocked_recv_ns
+                    .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                got
+            }
+        }
     }
 
     /// Non-blocking receive.
@@ -60,6 +88,10 @@ pub struct OutPort {
     pub(crate) my_node: NodeId,
     pub(crate) rr: usize,
     pub(crate) stats: Arc<NetStats>,
+    /// Blocked-time clocks of the owning copy (absent in bare test ports).
+    pub(crate) clocks: Option<Arc<PortClocks>>,
+    /// Queue occupancy sampled after each send — backpressure visibility.
+    pub(crate) queue_depth: Option<Histogram>,
 }
 
 impl OutPort {
@@ -77,10 +109,23 @@ impl OutPort {
                 self.senders.len()
             ))
         })?;
-        self.stats.record(self.my_node, self.consumer_nodes[copy], buf.len() as u64);
-        sender
-            .send(buf)
-            .map_err(|_| GraphStorageError::Unsupported("consumer hung up".into()))
+        self.stats
+            .record(self.my_node, self.consumer_nodes[copy], buf.len() as u64);
+        let sent = match &self.clocks {
+            None => sender.send(buf),
+            Some(clocks) => {
+                let start = Instant::now();
+                let sent = sender.send(buf);
+                clocks
+                    .blocked_send_ns
+                    .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                sent
+            }
+        };
+        if let Some(depth) = &self.queue_depth {
+            depth.record(sender.len() as u64);
+        }
+        sent.map_err(|_| GraphStorageError::Unsupported("consumer hung up".into()))
     }
 
     /// Sends to the next consumer in round-robin order.
@@ -109,9 +154,17 @@ pub struct FilterContext {
     pub node: NodeId,
     pub(crate) inputs: HashMap<String, InPort>,
     pub(crate) outputs: HashMap<String, OutPort>,
+    pub(crate) telemetry: Telemetry,
 }
 
 impl FilterContext {
+    /// The run's telemetry bundle: open spans and record metrics from
+    /// inside a filter. Disabled (free) unless the graph was built with an
+    /// enabled [`Telemetry`].
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
     /// Looks up an input port by name.
     pub fn input(&mut self, name: &str) -> Result<&mut InPort> {
         self.inputs.get_mut(name).ok_or_else(|| {
@@ -163,6 +216,8 @@ mod tests {
                 my_node: 0,
                 rr: 0,
                 stats: NetStats::new(),
+                clocks: None,
+                queue_depth: None,
             },
             receivers,
         )
@@ -214,10 +269,52 @@ mod tests {
         let (tx, rx) = bounded(8);
         tx.send(DataBuffer::control(1)).unwrap();
         tx.send(DataBuffer::control(2)).unwrap();
-        let port = InPort { rx };
+        let port = InPort { rx, clocks: None };
         let drained = port.drain();
         assert_eq!(drained.len(), 2);
         drop(tx);
         assert!(port.recv().is_none());
+    }
+
+    #[test]
+    fn blocked_recv_time_is_accounted() {
+        let (tx, rx) = bounded(1);
+        let clocks = Arc::new(PortClocks::default());
+        let port = InPort {
+            rx,
+            clocks: Some(Arc::clone(&clocks)),
+        };
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            tx.send(DataBuffer::control(1)).unwrap();
+        });
+        assert!(port.recv().is_some());
+        t.join().unwrap();
+        assert!(
+            clocks.blocked_recv_ns.load(Ordering::Relaxed) >= 10_000_000,
+            "a recv parked ~20ms must show up in the blocked clock"
+        );
+    }
+
+    #[test]
+    fn queue_depth_sampled_per_send() {
+        let depth = Histogram::default();
+        let (tx, _rx) = bounded(8);
+        let mut port = OutPort {
+            senders: vec![tx],
+            consumer_nodes: vec![1],
+            my_node: 0,
+            rr: 0,
+            stats: NetStats::new(),
+            clocks: Some(Arc::new(PortClocks::default())),
+            queue_depth: Some(depth.clone()),
+        };
+        port.send_to(0, DataBuffer::control(1)).unwrap();
+        port.send_to(0, DataBuffer::control(2)).unwrap();
+        port.send_to(0, DataBuffer::control(3)).unwrap();
+        let snap = depth.snapshot();
+        assert_eq!(snap.count, 3, "one occupancy sample per send");
+        // Depths observed were 1, 2, 3.
+        assert_eq!(snap.sum, 6);
     }
 }

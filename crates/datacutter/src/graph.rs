@@ -2,6 +2,7 @@
 
 use crate::filter::Filter;
 use crate::NodeId;
+use mssg_obs::Telemetry;
 
 /// Factory producing one filter instance per transparent copy. Receives
 /// the copy index.
@@ -33,18 +34,33 @@ pub struct GraphBuilder {
     pub(crate) filters: Vec<FilterDef>,
     pub(crate) streams: Vec<StreamDef>,
     pub(crate) channel_capacity: usize,
+    pub(crate) telemetry: Telemetry,
 }
 
 impl GraphBuilder {
-    /// An empty graph with the default stream capacity (1024 buffers).
+    /// An empty graph with the default stream capacity (1024 buffers) and
+    /// disabled telemetry.
     pub fn new() -> GraphBuilder {
-        GraphBuilder { filters: Vec::new(), streams: Vec::new(), channel_capacity: 1024 }
+        GraphBuilder {
+            filters: Vec::new(),
+            streams: Vec::new(),
+            channel_capacity: 1024,
+            telemetry: Telemetry::disabled(),
+        }
     }
 
     /// Sets the bounded capacity of every stream (backpressure depth).
     pub fn channel_capacity(&mut self, cap: usize) -> &mut Self {
         assert!(cap > 0, "capacity must be positive");
         self.channel_capacity = cap;
+        self
+    }
+
+    /// Attaches a telemetry bundle: the runtime then emits per-filter-copy
+    /// spans, samples queue occupancy into the metrics registry, and
+    /// filters can reach it via `FilterContext::telemetry`.
+    pub fn telemetry(&mut self, telemetry: Telemetry) -> &mut Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -56,7 +72,10 @@ impl GraphBuilder {
         placement: Vec<NodeId>,
         factory: impl FnMut(usize) -> Box<dyn Filter> + Send + 'static,
     ) -> FilterHandle {
-        assert!(!placement.is_empty(), "filter {name:?} needs at least one placement");
+        assert!(
+            !placement.is_empty(),
+            "filter {name:?} needs at least one placement"
+        );
         self.filters.push(FilterDef {
             name: name.to_string(),
             placement,

@@ -64,7 +64,7 @@ pub use buffer::DataBuffer;
 pub use filter::{Filter, FilterContext, InPort, OutPort};
 pub use graph::{FilterHandle, GraphBuilder};
 pub use netstats::{NetSnapshot, NetStats, NetworkCostModel};
-pub use runtime::RunReport;
+pub use runtime::{FilterTiming, RunReport};
 
 /// Identifies a logical cluster node (a thread in this substrate).
 pub type NodeId = usize;

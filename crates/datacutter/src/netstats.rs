@@ -1,6 +1,7 @@
 //! Network accounting and cost model — the communication-side counterpart
 //! of `simio`'s disk accounting.
 
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -59,14 +60,47 @@ pub struct NetSnapshot {
 }
 
 impl NetSnapshot {
-    /// Counter deltas since `earlier`.
+    /// Counter deltas since `earlier`. Saturating, like `IoSnapshot::since`:
+    /// if counters were reset between snapshots the delta clamps to zero
+    /// instead of panicking in debug builds.
     pub fn since(&self, earlier: &NetSnapshot) -> NetSnapshot {
         NetSnapshot {
-            local_msgs: self.local_msgs - earlier.local_msgs,
-            local_bytes: self.local_bytes - earlier.local_bytes,
-            remote_msgs: self.remote_msgs - earlier.remote_msgs,
-            remote_bytes: self.remote_bytes - earlier.remote_bytes,
+            local_msgs: self.local_msgs.saturating_sub(earlier.local_msgs),
+            local_bytes: self.local_bytes.saturating_sub(earlier.local_bytes),
+            remote_msgs: self.remote_msgs.saturating_sub(earlier.remote_msgs),
+            remote_bytes: self.remote_bytes.saturating_sub(earlier.remote_bytes),
         }
+    }
+
+    /// Sum of two snapshots — aggregate traffic across simulated nodes,
+    /// mirroring `IoSnapshot::merged`.
+    pub fn merged(&self, other: &NetSnapshot) -> NetSnapshot {
+        NetSnapshot {
+            local_msgs: self.local_msgs + other.local_msgs,
+            local_bytes: self.local_bytes + other.local_bytes,
+            remote_msgs: self.remote_msgs + other.remote_msgs,
+            remote_bytes: self.remote_bytes + other.remote_bytes,
+        }
+    }
+
+    /// Total messages, regardless of locality.
+    pub fn total_msgs(&self) -> u64 {
+        self.local_msgs + self.remote_msgs
+    }
+
+    /// Total bytes, regardless of locality.
+    pub fn total_bytes(&self) -> u64 {
+        self.local_bytes + self.remote_bytes
+    }
+}
+
+impl fmt::Display for NetSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "local_msgs={} local_bytes={} remote_msgs={} remote_bytes={}",
+            self.local_msgs, self.local_bytes, self.remote_msgs, self.remote_bytes
+        )
     }
 }
 
@@ -127,9 +161,17 @@ mod tests {
     #[test]
     fn model_charges_remote_only() {
         let m = NetworkCostModel::gigabit_2006();
-        let local_only = NetSnapshot { local_msgs: 1000, local_bytes: 1 << 30, ..Default::default() };
+        let local_only = NetSnapshot {
+            local_msgs: 1000,
+            local_bytes: 1 << 30,
+            ..Default::default()
+        };
         assert_eq!(m.modeled_time(&local_only), Duration::ZERO);
-        let remote = NetSnapshot { remote_msgs: 1000, remote_bytes: 0, ..Default::default() };
+        let remote = NetSnapshot {
+            remote_msgs: 1000,
+            remote_bytes: 0,
+            ..Default::default()
+        };
         assert_eq!(m.modeled_time(&remote), Duration::from_micros(80) * 1000);
     }
 
@@ -142,5 +184,57 @@ mod tests {
         let d = s.snapshot().since(&a);
         assert_eq!(d.remote_msgs, 1);
         assert_eq!(d.remote_bytes, 20);
+    }
+
+    #[test]
+    fn since_saturates_instead_of_panicking() {
+        // A later snapshot from reset counters must clamp to zero, not
+        // underflow.
+        let high = NetSnapshot {
+            local_msgs: 5,
+            local_bytes: 50,
+            remote_msgs: 7,
+            remote_bytes: 70,
+        };
+        let fresh = NetSnapshot::default();
+        let d = fresh.since(&high);
+        assert_eq!(d, NetSnapshot::default());
+    }
+
+    #[test]
+    fn merged_sums_all_fields() {
+        let a = NetSnapshot {
+            local_msgs: 1,
+            local_bytes: 10,
+            remote_msgs: 2,
+            remote_bytes: 20,
+        };
+        let b = NetSnapshot {
+            local_msgs: 3,
+            local_bytes: 30,
+            remote_msgs: 4,
+            remote_bytes: 40,
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.local_msgs, 4);
+        assert_eq!(m.local_bytes, 40);
+        assert_eq!(m.remote_msgs, 6);
+        assert_eq!(m.remote_bytes, 60);
+        assert_eq!(m.total_msgs(), 10);
+        assert_eq!(m.total_bytes(), 100);
+    }
+
+    #[test]
+    fn display_mirrors_io_snapshot_style() {
+        let s = NetSnapshot {
+            local_msgs: 1,
+            local_bytes: 2,
+            remote_msgs: 3,
+            remote_bytes: 4,
+        };
+        assert_eq!(
+            s.to_string(),
+            "local_msgs=1 local_bytes=2 remote_msgs=3 remote_bytes=4"
+        );
     }
 }

@@ -3,28 +3,59 @@
 //! DataCutter's runtime plays on a real cluster.
 
 use crate::buffer::DataBuffer;
-use crate::filter::{FilterContext, InPort, OutPort};
+use crate::filter::{FilterContext, InPort, OutPort, PortClocks};
 use crate::graph::GraphBuilder;
 use crate::netstats::{NetSnapshot, NetStats};
+use crate::NodeId;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use mssg_types::{GraphStorageError, Result};
 use std::collections::HashMap;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Where one filter copy spent its run: busy computing, parked on a
+/// `recv`, or parked on a full downstream channel.
+#[derive(Clone, Debug)]
+pub struct FilterTiming {
+    /// Filter name (as given to `add_filter`).
+    pub filter: String,
+    /// Transparent-copy index.
+    pub copy: usize,
+    /// Node the copy ran on.
+    pub node: NodeId,
+    /// Wall time from `init` through `finalize`.
+    pub total: Duration,
+    /// Time parked inside `InPort::recv` (starved for input).
+    pub blocked_recv: Duration,
+    /// Time parked inside sends (downstream backpressure).
+    pub blocked_send: Duration,
+}
+
+impl FilterTiming {
+    /// Time neither starved nor backpressured: `total − blocked`.
+    pub fn busy(&self) -> Duration {
+        self.total
+            .saturating_sub(self.blocked_recv + self.blocked_send)
+    }
+}
+
 /// Outcome of a completed graph run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct RunReport {
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
     /// Message traffic, split local/remote.
     pub net: NetSnapshot,
+    /// Per-filter-copy time breakdown (busy vs. blocked on recv/send).
+    pub filters: Vec<FilterTiming>,
 }
 
 /// Runs a built graph to completion.
 pub fn run(mut graph: GraphBuilder) -> Result<RunReport> {
     let stats = NetStats::new();
     let cap = graph.channel_capacity;
+    let telemetry = graph.telemetry.clone();
 
     // One merged channel set per (consumer filter, in_port): a sender
     // vector (one per consumer copy) shared by all producers, and a
@@ -75,9 +106,7 @@ pub fn run(mut graph: GraphBuilder) -> Result<RunReport> {
     {
         let mut seen: HashMap<(usize, &str), (usize, &str)> = HashMap::new();
         for s in &graph.streams {
-            if let Some(&(to, port)) =
-                seen.get(&(s.from, s.out_port.as_str()))
-            {
+            if let Some(&(to, port)) = seen.get(&(s.from, s.out_port.as_str())) {
                 if (to, port) != (s.to, s.in_port.as_str()) {
                     return Err(GraphStorageError::Unsupported(format!(
                         "output port {:?} of filter {:?} connected twice",
@@ -89,7 +118,7 @@ pub fn run(mut graph: GraphBuilder) -> Result<RunReport> {
         }
     }
 
-    // Build per-copy contexts.
+    // Build per-copy contexts, each with its own blocked-time clocks.
     let nfilters = graph.filters.len();
     let mut contexts: Vec<Vec<FilterContext>> = (0..nfilters)
         .map(|fi| {
@@ -103,7 +132,15 @@ pub fn run(mut graph: GraphBuilder) -> Result<RunReport> {
                     node,
                     inputs: HashMap::new(),
                     outputs: HashMap::new(),
+                    telemetry: telemetry.clone(),
                 })
+                .collect()
+        })
+        .collect();
+    let clocks: Vec<Vec<Arc<PortClocks>>> = (0..nfilters)
+        .map(|fi| {
+            (0..graph.filters[fi].placement.len())
+                .map(|_| Arc::new(PortClocks::default()))
                 .collect()
         })
         .collect();
@@ -111,7 +148,11 @@ pub fn run(mut graph: GraphBuilder) -> Result<RunReport> {
     // Attach receivers to consumer copies.
     for ((fi, port), rxs) in receivers {
         for (ci, rx) in rxs.into_iter().enumerate() {
-            contexts[fi][ci].inputs.insert(port.clone(), InPort { rx });
+            let in_port = InPort {
+                rx,
+                clocks: Some(Arc::clone(&clocks[fi][ci])),
+            };
+            contexts[fi][ci].inputs.insert(port.clone(), in_port);
         }
     }
 
@@ -126,6 +167,16 @@ pub fn run(mut graph: GraphBuilder) -> Result<RunReport> {
         } else {
             graph.filters[s.to].placement.clone()
         };
+        // One occupancy histogram per logical stream, sampled after each
+        // send — the backpressure picture per consumer port.
+        let queue_depth = if telemetry.is_enabled() {
+            Some(telemetry.metrics.histogram(&format!(
+                "dc.queue_depth.{}.{}",
+                graph.filters[s.to].name, s.in_port
+            )))
+        } else {
+            None
+        };
         for ctx in contexts[s.from].iter_mut() {
             // connect() allows listing the same stream only once per
             // out_port, so insertion here cannot clobber a different
@@ -138,6 +189,8 @@ pub fn run(mut graph: GraphBuilder) -> Result<RunReport> {
                     my_node: ctx.node,
                     rr: ctx.copy_index, // Stagger round-robin across copies.
                     stats: Arc::clone(&stats),
+                    clocks: Some(Arc::clone(&clocks[s.from][ctx.copy_index])),
+                    queue_depth: queue_depth.clone(),
                 },
             );
         }
@@ -152,15 +205,29 @@ pub fn run(mut graph: GraphBuilder) -> Result<RunReport> {
         for (ci, mut ctx) in std::mem::take(&mut contexts[fi]).into_iter().enumerate() {
             let mut instance = (def.factory)(ci);
             let name = format!("{}.{}", def.name, ci);
+            let copy_clocks = Arc::clone(&clocks[fi][ci]);
+            let tracer = telemetry.tracer.clone();
+            let filter_name = def.name.clone();
             let handle = std::thread::Builder::new()
                 .name(name.clone())
                 .spawn(move || -> Result<()> {
-                    instance.init(&mut ctx)?;
-                    instance.process(&mut ctx)?;
-                    instance.finalize(&mut ctx)?;
-                    Ok(())
+                    let started = Instant::now();
+                    let _span = tracer
+                        .span("filter.run")
+                        .with_str("filter", &filter_name)
+                        .with("copy", ci as u64)
+                        .with("node", ctx.node as u64);
+                    let outcome = (|| {
+                        instance.init(&mut ctx)?;
+                        instance.process(&mut ctx)?;
+                        instance.finalize(&mut ctx)
+                    })();
+                    copy_clocks
+                        .total_ns
+                        .store(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    outcome
                 })
-                .map_err(|e| GraphStorageError::Io(e))?;
+                .map_err(GraphStorageError::Io)?;
             handles.push((name, handle));
         }
     }
@@ -176,8 +243,9 @@ pub fn run(mut graph: GraphBuilder) -> Result<RunReport> {
             }
             Err(_) => {
                 if first_error.is_none() {
-                    first_error =
-                        Some(GraphStorageError::Unsupported(format!("filter {name} panicked")));
+                    first_error = Some(GraphStorageError::Unsupported(format!(
+                        "filter {name} panicked"
+                    )));
                 }
             }
         }
@@ -185,7 +253,25 @@ pub fn run(mut graph: GraphBuilder) -> Result<RunReport> {
     if let Some(e) = first_error {
         return Err(e);
     }
-    Ok(RunReport { elapsed: start.elapsed(), net: stats.snapshot() })
+    let mut filters = Vec::new();
+    for (fi, def) in graph.filters.iter().enumerate() {
+        for (ci, &node) in def.placement.iter().enumerate() {
+            let c = &clocks[fi][ci];
+            filters.push(FilterTiming {
+                filter: def.name.clone(),
+                copy: ci,
+                node,
+                total: Duration::from_nanos(c.total_ns.load(Ordering::Relaxed)),
+                blocked_recv: Duration::from_nanos(c.blocked_recv_ns.load(Ordering::Relaxed)),
+                blocked_send: Duration::from_nanos(c.blocked_send_ns.load(Ordering::Relaxed)),
+            });
+        }
+    }
+    Ok(RunReport {
+        elapsed: start.elapsed(),
+        net: stats.snapshot(),
+        filters,
+    })
 }
 
 #[cfg(test)]
@@ -201,7 +287,8 @@ mod tests {
     impl Filter for Producer {
         fn process(&mut self, ctx: &mut FilterContext) -> Result<()> {
             for i in 0..self.count {
-                ctx.output("out")?.send_rr(DataBuffer::from_words(0, &[i]))?;
+                ctx.output("out")?
+                    .send_rr(DataBuffer::from_words(0, &[i]))?;
             }
             Ok(())
         }
@@ -229,7 +316,9 @@ mod tests {
         let p = g.add_filter("p", vec![0], |_| Box::new(Producer { count: 100 }));
         let sum2 = Arc::clone(&sum);
         let c = g.add_filter("c", vec![1, 2], move |_| {
-            Box::new(Collector { sum: Arc::clone(&sum2) })
+            Box::new(Collector {
+                sum: Arc::clone(&sum2),
+            })
         });
         g.connect(p, "out", c, "in");
         let report = g.run().unwrap();
@@ -244,7 +333,9 @@ mod tests {
         let p = g.add_filter("p", vec![3], |_| Box::new(Producer { count: 10 }));
         let sum2 = Arc::clone(&sum);
         let c = g.add_filter("c", vec![3], move |_| {
-            Box::new(Collector { sum: Arc::clone(&sum2) })
+            Box::new(Collector {
+                sum: Arc::clone(&sum2),
+            })
         });
         g.connect(p, "out", c, "in");
         let report = g.run().unwrap();
@@ -255,7 +346,8 @@ mod tests {
     struct Broadcaster;
     impl Filter for Broadcaster {
         fn process(&mut self, ctx: &mut FilterContext) -> Result<()> {
-            ctx.output("out")?.broadcast(DataBuffer::from_words(0, &[7]))?;
+            ctx.output("out")?
+                .broadcast(DataBuffer::from_words(0, &[7]))?;
             Ok(())
         }
     }
@@ -267,7 +359,9 @@ mod tests {
         let b = g.add_filter("b", vec![0], |_| Box::new(Broadcaster));
         let sum2 = Arc::clone(&sum);
         let c = g.add_filter("c", vec![1, 2, 3, 4], move |_| {
-            Box::new(Collector { sum: Arc::clone(&sum2) })
+            Box::new(Collector {
+                sum: Arc::clone(&sum2),
+            })
         });
         g.connect(b, "out", c, "in");
         g.run().unwrap();
@@ -309,10 +403,14 @@ mod tests {
         let mut g = GraphBuilder::new();
         let p = g.add_filter("p", vec![0], |_| Box::new(Producer { count: 1 }));
         let c1 = g.add_filter("c1", vec![0], |_| {
-            Box::new(Collector { sum: Arc::new(AtomicU64::new(0)) })
+            Box::new(Collector {
+                sum: Arc::new(AtomicU64::new(0)),
+            })
         });
         let c2 = g.add_filter("c2", vec![0], |_| {
-            Box::new(Collector { sum: Arc::new(AtomicU64::new(0)) })
+            Box::new(Collector {
+                sum: Arc::new(AtomicU64::new(0)),
+            })
         });
         g.connect(p, "out", c1, "in");
         g.connect(p, "out", c2, "in");
@@ -329,14 +427,18 @@ mod tests {
         fn process(&mut self, ctx: &mut FilterContext) -> Result<()> {
             let me = ctx.copy_index as u64;
             let copies = ctx.copies;
-            ctx.output("peers")?.broadcast(DataBuffer::from_words(me, &[me * 10]))?;
+            ctx.output("peers")?
+                .broadcast(DataBuffer::from_words(me, &[me * 10]))?;
             ctx.close_output("peers");
             let mut received = 0;
             while let Some(b) = ctx.input("peers")?.recv() {
                 self.got.fetch_add(b.words()[0], Ordering::Relaxed);
                 received += 1;
             }
-            assert_eq!(received, copies, "each copy hears every copy (incl. itself)");
+            assert_eq!(
+                received, copies,
+                "each copy hears every copy (incl. itself)"
+            );
             Ok(())
         }
     }
@@ -347,7 +449,9 @@ mod tests {
         let mut g = GraphBuilder::new();
         let got2 = Arc::clone(&got);
         let e = g.add_filter("x", vec![0, 1, 2], move |_| {
-            Box::new(Exchanger { got: Arc::clone(&got2) })
+            Box::new(Exchanger {
+                got: Arc::clone(&got2),
+            })
         });
         g.connect(e, "peers", e, "peers");
         g.run().unwrap();
@@ -376,8 +480,7 @@ mod tests {
     #[test]
     fn shared_queue_delivers_everything_once() {
         let total = Arc::new(AtomicU64::new(0));
-        let counts: Vec<Arc<AtomicU64>> =
-            (0..3).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let counts: Vec<Arc<AtomicU64>> = (0..3).map(|_| Arc::new(AtomicU64::new(0))).collect();
         let mut g = GraphBuilder::new();
         let p = g.add_filter("p", vec![0], |_| Box::new(Producer { count: 300 }));
         let total2 = Arc::clone(&total);
@@ -393,7 +496,11 @@ mod tests {
         let report = g.run().unwrap();
         assert_eq!(total.load(Ordering::Relaxed), (0..300).sum::<u64>());
         let per: Vec<u64> = counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
-        assert_eq!(per.iter().sum::<u64>(), 300, "each item consumed exactly once");
+        assert_eq!(
+            per.iter().sum::<u64>(),
+            300,
+            "each item consumed exactly once"
+        );
         // Shared-queue traffic is charged as remote.
         assert_eq!(report.net.remote_msgs, 300);
     }
@@ -403,8 +510,7 @@ mod tests {
         // One consumer is 100× slower; the fast one must take the bulk of
         // the work — River's adaptive allocation.
         let total = Arc::new(AtomicU64::new(0));
-        let counts: Vec<Arc<AtomicU64>> =
-            (0..2).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let counts: Vec<Arc<AtomicU64>> = (0..2).map(|_| Arc::new(AtomicU64::new(0))).collect();
         let mut g = GraphBuilder::new();
         // Small channel so the producer cannot just park everything in the
         // queue ahead of the consumers.
@@ -436,11 +542,105 @@ mod tests {
         let p1 = g.add_filter("p1", vec![0], |_| Box::new(Producer { count: 1 }));
         let p2 = g.add_filter("p2", vec![0], |_| Box::new(Producer { count: 1 }));
         let c = g.add_filter("c", vec![1], |_| {
-            Box::new(Collector { sum: Arc::new(AtomicU64::new(0)) })
+            Box::new(Collector {
+                sum: Arc::new(AtomicU64::new(0)),
+            })
         });
         g.connect(p1, "out", c, "in");
         g.connect_shared(p2, "out", c, "in");
         assert!(g.run().is_err());
+    }
+
+    #[test]
+    fn report_includes_per_filter_breakdown() {
+        let sum = Arc::new(AtomicU64::new(0));
+        let mut g = GraphBuilder::new();
+        // Tiny channel + slow consumer: the producer must spend most of
+        // its time blocked on send.
+        g.channel_capacity(2);
+        let p = g.add_filter("p", vec![0], |_| Box::new(Producer { count: 50 }));
+        let sum2 = Arc::clone(&sum);
+        let c = g.add_filter("c", vec![1], move |_| {
+            Box::new(SlowCollector {
+                delay_us: 500,
+                got: Arc::new(AtomicU64::new(0)),
+                total: Arc::clone(&sum2),
+            })
+        });
+        g.connect(p, "out", c, "in");
+        let report = g.run().unwrap();
+        assert_eq!(report.filters.len(), 2);
+        let timing = |name: &str| report.filters.iter().find(|t| t.filter == name).unwrap();
+        let producer = timing("p");
+        assert!(producer.total > Duration::ZERO);
+        assert!(
+            producer.blocked_send > producer.total / 2,
+            "producer should be mostly backpressured (blocked {:?} of {:?})",
+            producer.blocked_send,
+            producer.total
+        );
+        let consumer = timing("c");
+        assert!(consumer.busy() <= consumer.total);
+        assert_eq!(consumer.copy, 0);
+        assert_eq!(consumer.node, 1);
+    }
+
+    #[test]
+    fn telemetry_records_spans_and_queue_depth() {
+        let telemetry = mssg_obs::Telemetry::enabled();
+        let sum = Arc::new(AtomicU64::new(0));
+        let mut g = GraphBuilder::new();
+        g.telemetry(telemetry.clone());
+        let p = g.add_filter("p", vec![0], |_| Box::new(Producer { count: 100 }));
+        let sum2 = Arc::clone(&sum);
+        let c = g.add_filter("c", vec![1, 2], move |_| {
+            Box::new(Collector {
+                sum: Arc::clone(&sum2),
+            })
+        });
+        g.connect(p, "out", c, "in");
+        g.run().unwrap();
+
+        // One filter.run span per copy (1 producer + 2 consumers).
+        let spans = telemetry.tracer.finished_spans();
+        let runs: Vec<_> = spans.iter().filter(|s| s.name == "filter.run").collect();
+        assert_eq!(runs.len(), 3);
+
+        // Queue occupancy was sampled once per send into the stream's
+        // histogram.
+        let snap = telemetry.metrics.snapshot();
+        let depth = &snap.histograms["dc.queue_depth.c.in"];
+        assert_eq!(depth.count, 100);
+    }
+
+    #[test]
+    fn filters_reach_telemetry_through_context() {
+        struct Spanner;
+        impl Filter for Spanner {
+            fn process(&mut self, ctx: &mut FilterContext) -> Result<()> {
+                let _s = ctx.telemetry().tracer.span("inner.work").with("copy", 1);
+                ctx.telemetry().metrics.counter("spanner.calls").inc();
+                Ok(())
+            }
+        }
+        let telemetry = mssg_obs::Telemetry::enabled();
+        let mut g = GraphBuilder::new();
+        g.telemetry(telemetry.clone());
+        g.add_filter("s", vec![0], |_| Box::new(Spanner));
+        g.run().unwrap();
+        assert!(telemetry
+            .tracer
+            .finished_spans()
+            .iter()
+            .any(|s| s.name == "inner.work"));
+        assert_eq!(telemetry.metrics.snapshot().counters["spanner.calls"], 1);
+        // The inner span nests under the runtime's filter.run span.
+        let inner = telemetry
+            .tracer
+            .finished_spans()
+            .into_iter()
+            .find(|s| s.name == "inner.work");
+        assert_eq!(inner.unwrap().path, "filter.run;inner.work");
     }
 
     #[test]

@@ -66,7 +66,10 @@ impl ArrayDb {
             for v in 0..old.xadj.len().saturating_sub(1) {
                 let slice = old.neighbours(Gid::new(v as u64));
                 if !slice.is_empty() {
-                    lists.entry(Gid::new(v as u64)).or_default().extend_from_slice(slice);
+                    lists
+                        .entry(Gid::new(v as u64))
+                        .or_default()
+                        .extend_from_slice(slice);
                 }
             }
         }
@@ -200,7 +203,8 @@ mod tests {
     #[test]
     fn metadata_filtering() {
         let mut db = ArrayDb::new();
-        db.store_edges(&[Edge::of(0, 1), Edge::of(0, 2), Edge::of(0, 3)]).unwrap();
+        db.store_edges(&[Edge::of(0, 1), Edge::of(0, 2), Edge::of(0, 3)])
+            .unwrap();
         db.set_metadata(g(1), 5).unwrap();
         db.set_metadata(g(2), 7).unwrap();
         // g(3) stays UNVISITED.

@@ -23,7 +23,10 @@ pub const fn capacity(chunk_bytes: usize) -> usize {
 /// Serialises `neighbours` into chunks of at most `chunk_bytes` bytes.
 /// Every chunk except possibly the last is full.
 pub fn encode(neighbours: &[Gid], chunk_bytes: usize) -> Vec<Vec<u8>> {
-    assert!(chunk_bytes >= 12, "chunk too small to hold a count and one entry");
+    assert!(
+        chunk_bytes >= 12,
+        "chunk too small to hold a count and one entry"
+    );
     let cap = capacity(chunk_bytes);
     let mut chunks = Vec::with_capacity(neighbours.len().div_ceil(cap).max(1));
     if neighbours.is_empty() {

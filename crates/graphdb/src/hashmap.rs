@@ -52,7 +52,9 @@ impl GraphDb for HashMapDb {
     fn adjacency(&mut self, v: Gid, out: &mut AdjBuffer, meta: Meta, op: MetaOp) -> Result<()> {
         // Take the list out briefly so we can consult `self.meta` without
         // aliasing; lists are put back untouched.
-        let Some(ns) = self.adj.get(&v) else { return Ok(()) };
+        let Some(ns) = self.adj.get(&v) else {
+            return Ok(());
+        };
         if matches!(op, MetaOp::Ignore) {
             out.extend_from_slice(ns);
             return Ok(());
@@ -95,7 +97,8 @@ mod tests {
     #[test]
     fn store_and_retrieve() {
         let mut db = HashMapDb::new();
-        db.store_edges(&[Edge::of(0, 1), Edge::of(0, 2), Edge::of(9, 0)]).unwrap();
+        db.store_edges(&[Edge::of(0, 1), Edge::of(0, 2), Edge::of(9, 0)])
+            .unwrap();
         let mut n = db.neighbors(g(0)).unwrap();
         n.sort_unstable();
         assert_eq!(n, vec![g(1), g(2)]);

@@ -139,13 +139,7 @@ mod tests {
             Ok(())
         }
 
-        fn adjacency(
-            &mut self,
-            v: Gid,
-            out: &mut AdjBuffer,
-            meta: Meta,
-            op: MetaOp,
-        ) -> Result<()> {
+        fn adjacency(&mut self, v: Gid, out: &mut AdjBuffer, meta: Meta, op: MetaOp) -> Result<()> {
             let neighbours = match self.adj.get(&v) {
                 Some(ns) => ns.clone(),
                 None => return Ok(()),
@@ -177,9 +171,11 @@ mod tests {
     #[test]
     fn default_expand_fringe_loops_point_queries() {
         let mut db = ToyDb::default();
-        db.store_edges(&[Edge::of(0, 1), Edge::of(0, 2), Edge::of(3, 4)]).unwrap();
+        db.store_edges(&[Edge::of(0, 1), Edge::of(0, 2), Edge::of(3, 4)])
+            .unwrap();
         let mut out = AdjBuffer::new();
-        db.expand_fringe(&[Gid::new(0), Gid::new(3)], &mut out, 0, MetaOp::Ignore).unwrap();
+        db.expand_fringe(&[Gid::new(0), Gid::new(3)], &mut out, 0, MetaOp::Ignore)
+            .unwrap();
         let mut got = out.take();
         got.sort_unstable();
         assert_eq!(got, vec![Gid::new(1), Gid::new(2), Gid::new(4)]);
@@ -198,7 +194,8 @@ mod tests {
     fn unknown_vertex_is_empty_not_error() {
         let mut db = ToyDb::default();
         let mut out = AdjBuffer::new();
-        db.adjacency(Gid::new(99), &mut out, 0, MetaOp::Ignore).unwrap();
+        db.adjacency(Gid::new(99), &mut out, 0, MetaOp::Ignore)
+            .unwrap();
         assert!(out.is_empty());
     }
 

@@ -35,7 +35,10 @@ impl AliasTable {
         let mut prob: Vec<f64> = weights
             .iter()
             .map(|&w| {
-                assert!(w >= 0.0 && w.is_finite(), "negative or non-finite weight {w}");
+                assert!(
+                    w >= 0.0 && w.is_finite(),
+                    "negative or non-finite weight {w}"
+                );
                 w * scale
             })
             .collect();
@@ -137,7 +140,7 @@ mod tests {
         // Power-law-ish: one huge hub plus a tail, the regime the graph
         // generator uses the table in.
         let mut weights = vec![1000.0];
-        weights.extend(std::iter::repeat(1.0).take(999));
+        weights.extend(std::iter::repeat_n(1.0, 999));
         let t = AliasTable::new(&weights);
         let mut r = Xoshiro256::seeded(4);
         let n = 200_000;
@@ -169,9 +172,9 @@ mod tests {
 
     #[test]
     fn uniform_weights_cover_all() {
-        let t = AliasTable::new(&vec![1.0; 64]);
+        let t = AliasTable::new(&[1.0; 64]);
         let mut r = Xoshiro256::seeded(5);
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         for _ in 0..20_000 {
             seen[t.sample(&mut r)] = true;
         }

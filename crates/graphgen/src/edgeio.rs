@@ -36,14 +36,20 @@ pub struct AsciiEdgeReader<R: BufRead> {
 impl AsciiEdgeReader<BufReader<File>> {
     /// Opens an ASCII edge-list file.
     pub fn open(path: &Path) -> Result<Self> {
-        Ok(AsciiEdgeReader { lines: BufReader::new(File::open(path)?).lines(), line_no: 0 })
+        Ok(AsciiEdgeReader {
+            lines: BufReader::new(File::open(path)?).lines(),
+            line_no: 0,
+        })
     }
 }
 
 impl<R: BufRead> AsciiEdgeReader<R> {
     /// Wraps any buffered reader.
     pub fn new(reader: R) -> Self {
-        AsciiEdgeReader { lines: reader.lines(), line_no: 0 }
+        AsciiEdgeReader {
+            lines: reader.lines(),
+            line_no: 0,
+        }
     }
 
     fn parse(&self, line: &str) -> Result<Option<Edge>> {
@@ -58,8 +64,16 @@ impl<R: BufRead> AsciiEdgeReader<R> {
                 self.line_no
             ))
         };
-        let src: u64 = it.next().ok_or_else(|| bad("missing src"))?.parse().map_err(|_| bad("bad src"))?;
-        let dst: u64 = it.next().ok_or_else(|| bad("missing dst"))?.parse().map_err(|_| bad("bad dst"))?;
+        let src: u64 = it
+            .next()
+            .ok_or_else(|| bad("missing src"))?
+            .parse()
+            .map_err(|_| bad("bad src"))?;
+        let dst: u64 = it
+            .next()
+            .ok_or_else(|| bad("missing dst"))?
+            .parse()
+            .map_err(|_| bad("bad dst"))?;
         if it.next().is_some() {
             return Err(bad("trailing tokens"));
         }
@@ -108,7 +122,9 @@ pub struct BinaryEdgeReader<R: Read> {
 impl BinaryEdgeReader<BufReader<File>> {
     /// Opens a binary edge-list file.
     pub fn open(path: &Path) -> Result<Self> {
-        Ok(BinaryEdgeReader { reader: BufReader::new(File::open(path)?) })
+        Ok(BinaryEdgeReader {
+            reader: BufReader::new(File::open(path)?),
+        })
     }
 }
 
@@ -163,8 +179,10 @@ mod tests {
         let edges = sample_edges();
         let n = write_ascii(&p, edges.iter().copied()).unwrap();
         assert_eq!(n, 3);
-        let back: Vec<Edge> =
-            AsciiEdgeReader::open(&p).unwrap().map(|r| r.unwrap()).collect();
+        let back: Vec<Edge> = AsciiEdgeReader::open(&p)
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
         assert_eq!(back, edges);
     }
 
@@ -173,8 +191,10 @@ mod tests {
         let p = tmpfile("b.bin");
         let edges = sample_edges();
         write_binary(&p, edges.iter().copied()).unwrap();
-        let back: Vec<Edge> =
-            BinaryEdgeReader::open(&p).unwrap().map(|r| r.unwrap()).collect();
+        let back: Vec<Edge> = BinaryEdgeReader::open(&p)
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
         assert_eq!(back, edges);
         // Binary is exactly 16 bytes per edge — the efficiency the thesis
         // credits StreamDB's output format with.
@@ -229,8 +249,9 @@ mod tests {
     #[test]
     fn ascii_larger_than_binary() {
         // Sanity check of the format-size asymmetry the thesis mentions.
-        let edges: Vec<Edge> =
-            (0..1000).map(|i| Edge::of(i + 1_000_000_000, i + 2_000_000_000)).collect();
+        let edges: Vec<Edge> = (0..1000)
+            .map(|i| Edge::of(i + 1_000_000_000, i + 2_000_000_000))
+            .collect();
         let pa = tmpfile("size.txt");
         let pb = tmpfile("size.bin");
         write_ascii(&pa, edges.iter().copied()).unwrap();

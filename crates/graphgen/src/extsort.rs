@@ -58,13 +58,20 @@ pub fn external_sort_edges(
         }
         readers.push(r);
     }
-    Ok(SortedEdges { readers, heap, run_paths })
+    Ok(SortedEdges {
+        readers,
+        heap,
+        run_paths,
+    })
 }
+
+/// Heap entry for the k-way merge: sort key, run index, edge.
+type MergeEntry = Reverse<((u64, u64), usize, Edge)>;
 
 /// The merged, globally sorted edge stream.
 pub struct SortedEdges {
     readers: Vec<BinaryEdgeReader<BufReader<File>>>,
-    heap: BinaryHeap<Reverse<((u64, u64), usize, Edge)>>,
+    heap: BinaryHeap<MergeEntry>,
     run_paths: Vec<PathBuf>,
 }
 
@@ -103,10 +110,7 @@ mod tests {
     use crate::rng::Xoshiro256;
 
     fn scratch(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "graphgen-extsort-{}-{tag}",
-            std::process::id()
-        ));
+        let d = std::env::temp_dir().join(format!("graphgen-extsort-{}-{tag}", std::process::id()));
         let _ = std::fs::remove_dir_all(&d);
         d
     }
@@ -151,8 +155,7 @@ mod tests {
 
     #[test]
     fn empty_stream() {
-        let s =
-            external_sort_edges(std::iter::empty(), &scratch("empty"), 10).unwrap();
+        let s = external_sort_edges(std::iter::empty(), &scratch("empty"), 10).unwrap();
         assert_eq!(s.runs(), 0);
         assert_eq!(s.count(), 0);
     }
@@ -161,12 +164,7 @@ mod tests {
     fn run_files_cleaned_up_on_drop() {
         let dir = scratch("cleanup");
         {
-            let s = external_sort_edges(
-                random_edges(500, 3).into_iter(),
-                &dir,
-                50,
-            )
-            .unwrap();
+            let s = external_sort_edges(random_edges(500, 3).into_iter(), &dir, 50).unwrap();
             assert!(s.runs() > 1);
             // Drop half-consumed.
             let _partial: Vec<_> = s.take(100).collect();
@@ -179,14 +177,10 @@ mod tests {
     fn duplicates_and_stability_of_multiset() {
         let mut edges = random_edges(200, 4);
         edges.extend(edges.clone()); // heavy duplication
-        let sorted: Vec<Edge> = external_sort_edges(
-            edges.iter().copied(),
-            &scratch("dups"),
-            37,
-        )
-        .unwrap()
-        .map(|r| r.unwrap())
-        .collect();
+        let sorted: Vec<Edge> = external_sort_edges(edges.iter().copied(), &scratch("dups"), 37)
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
         let mut expected = edges;
         expected.sort_unstable_by_key(key);
         assert_eq!(sorted, expected);
@@ -197,16 +191,11 @@ mod tests {
         // The property bulk loading relies on: all entries of one source
         // are contiguous.
         let edges = random_edges(2000, 5);
-        let sorted: Vec<Edge> = external_sort_edges(
-            edges.into_iter(),
-            &scratch("grouped"),
-            128,
-        )
-        .unwrap()
-        .map(|r| r.unwrap())
-        .collect();
-        let mut seen_last: std::collections::HashMap<u64, usize> =
-            std::collections::HashMap::new();
+        let sorted: Vec<Edge> = external_sort_edges(edges.into_iter(), &scratch("grouped"), 128)
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        let mut seen_last: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
         for (i, e) in sorted.iter().enumerate() {
             if let Some(&last) = seen_last.get(&e.src.raw()) {
                 assert_eq!(last, i - 1, "source {} fragmented at {i}", e.src);

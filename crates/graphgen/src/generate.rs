@@ -109,8 +109,9 @@ impl ChungLu {
             "exponent must lie in (0, 1), got {}",
             cfg.exponent
         );
-        let weights: Vec<f64> =
-            (0..cfg.vertices).map(|i| ((i + 1) as f64).powf(-cfg.exponent)).collect();
+        let weights: Vec<f64> = (0..cfg.vertices)
+            .map(|i| ((i + 1) as f64).powf(-cfg.exponent))
+            .collect();
         ChungLu {
             table: AliasTable::new(&weights),
             rng: Xoshiro256::seeded(cfg.seed),
@@ -165,7 +166,10 @@ impl BarabasiAlbert {
     /// `n` total vertices, `m` edges per arriving vertex.
     pub fn new(n: u64, m: u64, seed: u64) -> BarabasiAlbert {
         assert!(m >= 1, "m must be at least 1");
-        assert!(n > m, "need more vertices ({n}) than attachment edges ({m})");
+        assert!(
+            n > m,
+            "need more vertices ({n}) than attachment edges ({m})"
+        );
         let mut gen = BarabasiAlbert {
             n,
             m,
@@ -249,7 +253,11 @@ impl ErdosRenyi {
     /// `n` vertices, `m` edges.
     pub fn new(n: u64, m: u64, seed: u64) -> ErdosRenyi {
         assert!(n >= 2, "need at least two vertices");
-        ErdosRenyi { n, remaining: m, rng: Xoshiro256::seeded(seed) }
+        ErdosRenyi {
+            n,
+            remaining: m,
+            rng: Xoshiro256::seeded(seed),
+        }
     }
 }
 
@@ -293,9 +301,19 @@ impl Rmat {
     /// # Panics
     /// Panics unless `0 < a, b, c` and `a + b + c < 1`.
     pub fn new(scale: u32, edges: u64, a: f64, b: f64, c: f64, seed: u64) -> Rmat {
-        assert!(scale >= 1 && scale < 61, "scale out of range");
-        assert!(a > 0.0 && b > 0.0 && c > 0.0 && a + b + c < 1.0, "bad quadrant probabilities");
-        Rmat { scale, remaining: edges, a, ab: a + b, abc: a + b + c, rng: Xoshiro256::seeded(seed) }
+        assert!((1..61).contains(&scale), "scale out of range");
+        assert!(
+            a > 0.0 && b > 0.0 && c > 0.0 && a + b + c < 1.0,
+            "bad quadrant probabilities"
+        );
+        Rmat {
+            scale,
+            remaining: edges,
+            a,
+            ab: a + b,
+            abc: a + b + c,
+            rng: Xoshiro256::seeded(seed),
+        }
     }
 
     /// The canonical skew used throughout the literature:
@@ -353,16 +371,28 @@ mod tests {
 
     #[test]
     fn chung_lu_emits_requested_edges() {
-        let cfg = ChungLuConfig { vertices: 1000, edges: 5000, exponent: 0.6, seed: 1 };
+        let cfg = ChungLuConfig {
+            vertices: 1000,
+            edges: 5000,
+            exponent: 0.6,
+            seed: 1,
+        };
         let edges: Vec<Edge> = ChungLu::new(&cfg).collect();
         assert_eq!(edges.len(), 5000);
         assert!(edges.iter().all(|e| !e.is_loop()));
-        assert!(edges.iter().all(|e| e.src.raw() < 1000 && e.dst.raw() < 1000));
+        assert!(edges
+            .iter()
+            .all(|e| e.src.raw() < 1000 && e.dst.raw() < 1000));
     }
 
     #[test]
     fn chung_lu_deterministic() {
-        let cfg = ChungLuConfig { vertices: 500, edges: 1000, exponent: 0.5, seed: 7 };
+        let cfg = ChungLuConfig {
+            vertices: 500,
+            edges: 1000,
+            exponent: 0.5,
+            seed: 7,
+        };
         let a: Vec<Edge> = ChungLu::new(&cfg).collect();
         let b: Vec<Edge> = ChungLu::new(&cfg).collect();
         assert_eq!(a, b);
@@ -370,7 +400,12 @@ mod tests {
 
     #[test]
     fn chung_lu_is_skewed() {
-        let cfg = ChungLuConfig { vertices: 2000, edges: 20_000, exponent: 0.8, seed: 3 };
+        let cfg = ChungLuConfig {
+            vertices: 2000,
+            edges: 20_000,
+            exponent: 0.8,
+            seed: 3,
+        };
         let stats = degree_stats(ChungLu::new(&cfg), 2000);
         // Hub must be far above average — the defining scale-free property.
         assert!(
@@ -383,7 +418,12 @@ mod tests {
 
     #[test]
     fn chung_lu_hub_matches_prediction() {
-        let cfg = ChungLuConfig { vertices: 5000, edges: 50_000, exponent: 0.7, seed: 11 };
+        let cfg = ChungLuConfig {
+            vertices: 5000,
+            edges: 50_000,
+            exponent: 0.7,
+            seed: 11,
+        };
         let predicted = cfg.expected_max_degree();
         let stats = degree_stats(ChungLu::new(&cfg), 5000);
         let got = stats.max_degree as f64;
@@ -398,7 +438,12 @@ mod tests {
         let (n, e) = (100_000u64, 1_000_000u64);
         for target in [500.0, 2000.0, 10_000.0] {
             let s = solve_exponent(n, e, target);
-            let cfg = ChungLuConfig { vertices: n, edges: e, exponent: s, seed: 0 };
+            let cfg = ChungLuConfig {
+                vertices: n,
+                edges: e,
+                exponent: s,
+                seed: 0,
+            };
             let hub = cfg.expected_max_degree();
             assert!(
                 (hub - target).abs() < target * 0.02,

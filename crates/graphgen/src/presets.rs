@@ -67,7 +67,12 @@ impl GraphPreset {
         let exponent = solve_exponent(vertices, edges, target_max);
         Workload {
             preset: self,
-            config: ChungLuConfig { vertices, edges, exponent, seed },
+            config: ChungLuConfig {
+                vertices,
+                edges,
+                exponent,
+                seed,
+            },
         }
     }
 }
@@ -118,7 +123,11 @@ mod tests {
 
     #[test]
     fn scaled_workload_preserves_avg_degree() {
-        for preset in [GraphPreset::PubMedS, GraphPreset::PubMedL, GraphPreset::Syn2B] {
+        for preset in [
+            GraphPreset::PubMedS,
+            GraphPreset::PubMedL,
+            GraphPreset::Syn2B,
+        ] {
             let w = preset.workload(1024, 1);
             let got = w.config.avg_degree();
             let want = preset.paper_avg_degree();

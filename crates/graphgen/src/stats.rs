@@ -50,7 +50,11 @@ pub fn degree_stats(edges: impl Iterator<Item = Edge>, n: u64) -> DegreeStats {
         und_edges,
         min_degree,
         max_degree,
-        avg_degree: if vertices == 0 { 0.0 } else { total as f64 / vertices as f64 },
+        avg_degree: if vertices == 0 {
+            0.0
+        } else {
+            total as f64 / vertices as f64
+        },
     }
 }
 
@@ -171,8 +175,15 @@ mod tests {
     #[test]
     fn powerlaw_fit_on_exact_powerlaw() {
         // Build a histogram that is exactly count(d) = 1000 * d^-2.
-        let hist: Vec<u64> =
-            (0..50).map(|d| if d == 0 { 0 } else { (1000.0 / (d * d) as f64) as u64 }).collect();
+        let hist: Vec<u64> = (0..50)
+            .map(|d| {
+                if d == 0 {
+                    0
+                } else {
+                    (1000.0 / (d * d) as f64) as u64
+                }
+            })
+            .collect();
         let beta = powerlaw_exponent(&hist).unwrap();
         assert!((beta - 2.0).abs() < 0.2, "fit {beta}");
     }
@@ -186,10 +197,18 @@ mod tests {
     #[test]
     fn generated_scale_free_fits_powerlaw() {
         use crate::generate::{ChungLu, ChungLuConfig};
-        let cfg = ChungLuConfig { vertices: 5000, edges: 50_000, exponent: 0.75, seed: 2 };
+        let cfg = ChungLuConfig {
+            vertices: 5000,
+            edges: 50_000,
+            exponent: 0.75,
+            seed: 2,
+        };
         let edges: Vec<Edge> = ChungLu::new(&cfg).collect();
         let hist = degree_histogram(edges.into_iter(), 5000);
         let beta = powerlaw_exponent(&hist).unwrap();
-        assert!(beta > 0.8 && beta < 4.0, "implausible power-law exponent {beta}");
+        assert!(
+            beta > 0.8 && beta < 4.0,
+            "implausible power-law exponent {beta}"
+        );
     }
 }

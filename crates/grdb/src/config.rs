@@ -68,12 +68,30 @@ impl GrdbConfig {
     pub fn thesis_defaults() -> GrdbConfig {
         GrdbConfig {
             levels: vec![
-                LevelConfig { d: 2, block_bytes: 4096 },
-                LevelConfig { d: 4, block_bytes: 4096 },
-                LevelConfig { d: 16, block_bytes: 4096 },
-                LevelConfig { d: 256, block_bytes: 4096 },
-                LevelConfig { d: 4096, block_bytes: 32 * 1024 },
-                LevelConfig { d: 16384, block_bytes: 256 * 1024 },
+                LevelConfig {
+                    d: 2,
+                    block_bytes: 4096,
+                },
+                LevelConfig {
+                    d: 4,
+                    block_bytes: 4096,
+                },
+                LevelConfig {
+                    d: 16,
+                    block_bytes: 4096,
+                },
+                LevelConfig {
+                    d: 256,
+                    block_bytes: 4096,
+                },
+                LevelConfig {
+                    d: 4096,
+                    block_bytes: 32 * 1024,
+                },
+                LevelConfig {
+                    d: 16384,
+                    block_bytes: 256 * 1024,
+                },
             ],
             max_file_bytes: 256 * 1024 * 1024,
             cache_blocks: 2048,
@@ -89,9 +107,18 @@ impl GrdbConfig {
     pub fn tiny() -> GrdbConfig {
         GrdbConfig {
             levels: vec![
-                LevelConfig { d: 2, block_bytes: 64 },
-                LevelConfig { d: 4, block_bytes: 64 },
-                LevelConfig { d: 8, block_bytes: 64 },
+                LevelConfig {
+                    d: 2,
+                    block_bytes: 64,
+                },
+                LevelConfig {
+                    d: 4,
+                    block_bytes: 64,
+                },
+                LevelConfig {
+                    d: 8,
+                    block_bytes: 64,
+                },
             ],
             max_file_bytes: 256,
             cache_blocks: 8,
@@ -151,7 +178,13 @@ impl GrdbConfig {
         self.levels
             .iter()
             .enumerate()
-            .map(|(i, l)| if i + 1 < n { (l.d - 1) as u64 } else { l.d as u64 })
+            .map(|(i, l)| {
+                if i + 1 < n {
+                    (l.d - 1) as u64
+                } else {
+                    l.d as u64
+                }
+            })
             .sum()
     }
 }
@@ -202,7 +235,10 @@ mod tests {
         let mut c = GrdbConfig::tiny();
         let mut d = 16;
         while c.levels.len() <= 6 {
-            c.levels.push(LevelConfig { d, block_bytes: (d as usize) * 8 });
+            c.levels.push(LevelConfig {
+                d,
+                block_bytes: (d as usize) * 8,
+            });
             d *= 2;
         }
         assert!(c.validate().is_err());

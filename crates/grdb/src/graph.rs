@@ -124,8 +124,7 @@ mod tests {
     }
 
     fn db(tag: &str) -> GrdbGraphDb {
-        let d = std::env::temp_dir()
-            .join(format!("grdb-graph-{}-{tag}", std::process::id()));
+        let d = std::env::temp_dir().join(format!("grdb-graph-{}-{tag}", std::process::id()));
         let _ = std::fs::remove_dir_all(&d);
         GrdbGraphDb::open(&d, GrdbConfig::tiny(), IoStats::new()).unwrap()
     }
@@ -133,7 +132,8 @@ mod tests {
     #[test]
     fn store_and_read() {
         let mut db = db("basic");
-        db.store_edges(&[Edge::of(1, 2), Edge::of(1, 3), Edge::of(4, 1)]).unwrap();
+        db.store_edges(&[Edge::of(1, 2), Edge::of(1, 3), Edge::of(4, 1)])
+            .unwrap();
         let mut n = db.neighbors(g(1)).unwrap();
         n.sort_unstable();
         assert_eq!(n, vec![g(2), g(3)]);
@@ -143,7 +143,8 @@ mod tests {
     #[test]
     fn metadata_filtering() {
         let mut db = db("meta");
-        db.store_edges(&[Edge::of(0, 1), Edge::of(0, 2), Edge::of(0, 3)]).unwrap();
+        db.store_edges(&[Edge::of(0, 1), Edge::of(0, 2), Edge::of(0, 3)])
+            .unwrap();
         db.set_metadata(g(2), 7).unwrap();
         let mut out = AdjBuffer::new();
         db.adjacency(g(0), &mut out, 7, MetaOp::NotEqual).unwrap();
@@ -212,8 +213,8 @@ mod tests {
             edges.push(Edge::of(v, (v + 1) % 60));
         }
         let build = |tag: &str, prefetch: bool| {
-            let d = std::env::temp_dir()
-                .join(format!("grdb-prefetch-{}-{tag}", std::process::id()));
+            let d =
+                std::env::temp_dir().join(format!("grdb-prefetch-{}-{tag}", std::process::id()));
             let _ = std::fs::remove_dir_all(&d);
             let stats = IoStats::new();
             let mut cfg = GrdbConfig::tiny();
@@ -238,8 +239,12 @@ mod tests {
         let before_s = stats_sorted.snapshot();
         let mut out_p = AdjBuffer::new();
         let mut out_s = AdjBuffer::new();
-        plain.expand_fringe(&fringe, &mut out_p, 0, MetaOp::Ignore).unwrap();
-        sorted.expand_fringe(&fringe, &mut out_s, 0, MetaOp::Ignore).unwrap();
+        plain
+            .expand_fringe(&fringe, &mut out_p, 0, MetaOp::Ignore)
+            .unwrap();
+        sorted
+            .expand_fringe(&fringe, &mut out_s, 0, MetaOp::Ignore)
+            .unwrap();
         // Same multiset of neighbours.
         let mut a = out_p.take();
         let mut b = out_s.take();

@@ -70,8 +70,13 @@ pub fn decode_slot(word: u64) -> Result<Slot> {
     let g = Gid::from_raw(word);
     match g.tag() {
         0 => Ok(Slot::Entry(Gid::new(word - 1))),
-        t @ 1..=6 => Ok(Slot::Pointer { level: t - 1, sub: g.payload() }),
-        _ => Err(GraphStorageError::corrupt(format!("reserved tag in slot word {word:#x}"))),
+        t @ 1..=6 => Ok(Slot::Pointer {
+            level: t - 1,
+            sub: g.payload(),
+        }),
+        _ => Err(GraphStorageError::corrupt(format!(
+            "reserved tag in slot word {word:#x}"
+        ))),
     }
 }
 
@@ -98,9 +103,7 @@ pub fn write_slot(sub: &mut [u8], i: usize, slot: Slot) -> Result<()> {
 /// the occupancy boundary is found by binary search — O(log d), which
 /// matters for the 16K-word top-level sub-blocks.
 pub fn occupancy(sub: &[u8], d: usize) -> usize {
-    let word_at = |i: usize| {
-        u64::from_le_bytes(sub[i * 8..i * 8 + 8].try_into().unwrap())
-    };
+    let word_at = |i: usize| u64::from_le_bytes(sub[i * 8..i * 8 + 8].try_into().unwrap());
     let (mut lo, mut hi) = (0usize, d);
     while lo < hi {
         let mid = (lo + hi) / 2;
@@ -131,7 +134,10 @@ mod tests {
             Slot::Entry(Gid::new(12345)),
             Slot::Entry(Gid::new(ID_MASK - 1)),
             Slot::Pointer { level: 0, sub: 0 },
-            Slot::Pointer { level: 5, sub: 999_999 },
+            Slot::Pointer {
+                level: 5,
+                sub: 999_999,
+            },
         ];
         for s in slots {
             assert_eq!(decode_slot(encode_slot(s).unwrap()).unwrap(), s, "{s:?}");

@@ -126,17 +126,13 @@ impl GrdbStore {
         let out = f(&mut buf);
         match self.cache.insert(key, buf, dirty) {
             // Capacity-0 cache bounces the block straight back.
-            Some(ev) if ev.key == key => {
-                if dirty {
-                    self.files[level].write_block(block, &ev.data)?;
-                }
+            Some(ev) if ev.key == key && dirty => {
+                self.files[level].write_block(block, &ev.data)?;
             }
-            Some(ev) => {
-                if ev.dirty {
-                    self.files[ev.key.space as usize].write_block(ev.key.block, &ev.data)?;
-                }
+            Some(ev) if ev.key != key && ev.dirty => {
+                self.files[ev.key.space as usize].write_block(ev.key.block, &ev.data)?;
             }
-            None => {}
+            _ => {}
         }
         Ok(out)
     }
@@ -269,10 +265,8 @@ impl GrdbStore {
     ) -> Result<()> {
         let top = self.top_level();
         let target = (level + 1).min(top);
-        let use_move = self.config.growth == GrowthPolicy::Move
-            && level >= 1
-            && level < top
-            && prev.is_some();
+        let use_move =
+            self.config.growth == GrowthPolicy::Move && level >= 1 && level < top && prev.is_some();
         if use_move {
             // Copy the whole sub-block up a level, plus the new entry; the
             // predecessor's pointer is redirected and the old sub-block
@@ -294,7 +288,10 @@ impl GrdbStore {
                 plevel,
                 psub,
                 pd - 1,
-                Slot::Pointer { level: target as u8, sub: new_sub },
+                Slot::Pointer {
+                    level: target as u8,
+                    sub: new_sub,
+                },
             )?;
             self.free_sub(level, sub);
         } else {
@@ -310,7 +307,10 @@ impl GrdbStore {
                 level,
                 sub,
                 d - 1,
-                Slot::Pointer { level: target as u8, sub: new_sub },
+                Slot::Pointer {
+                    level: target as u8,
+                    sub: new_sub,
+                },
             )?;
         }
         Ok(())
@@ -411,19 +411,17 @@ impl GrdbStore {
         let mut level = 0usize;
         let mut sub = v.raw();
         let mut old_chain: Vec<(usize, u64)> = Vec::new();
-        loop {
-            match self.sub_meta(level, sub)?.1 {
-                Slot::Pointer { level: nl, sub: ns } => {
-                    level = nl as usize;
-                    sub = ns;
-                    old_chain.push((level, sub));
-                }
-                _ => break,
-            }
+        while let Slot::Pointer { level: nl, sub: ns } = self.sub_meta(level, sub)?.1 {
+            level = nl as usize;
+            sub = ns;
+            old_chain.push((level, sub));
         }
         let compact = self.plan_compact_chain(entries.len());
         if old_chain.len() == compact.len()
-            && old_chain.iter().map(|(l, _)| *l).eq(compact.iter().copied())
+            && old_chain
+                .iter()
+                .map(|(l, _)| *l)
+                .eq(compact.iter().copied())
         {
             return Ok(false); // Already compact.
         }
@@ -458,9 +456,7 @@ impl GrdbStore {
         // Ideal: one hop into the smallest level that holds everything —
         // pointers carry an explicit target level, so levels may be
         // skipped. Oversized lists chain through top-level sub-blocks.
-        if let Some(l) =
-            (1..=top).find(|&l| remaining <= self.level(l).d as usize)
-        {
+        if let Some(l) = (1..=top).find(|&l| remaining <= self.level(l).d as usize) {
             return vec![l];
         }
         let d_top = self.level(top).d as usize;
@@ -485,12 +481,21 @@ impl GrdbStore {
             return Ok(());
         }
         // Allocate chain sub-blocks first so pointers can be written.
-        let subs: Vec<u64> =
-            chain.iter().map(|&l| self.alloc_sub(l)).collect::<Result<_>>()?;
+        let subs: Vec<u64> = chain
+            .iter()
+            .map(|&l| self.alloc_sub(l))
+            .collect::<Result<_>>()?;
         for (i, g) in entries[..d0 - 1].iter().enumerate() {
             write_slot(&mut l0, i, Slot::Entry(*g))?;
         }
-        write_slot(&mut l0, d0 - 1, Slot::Pointer { level: chain[0] as u8, sub: subs[0] })?;
+        write_slot(
+            &mut l0,
+            d0 - 1,
+            Slot::Pointer {
+                level: chain[0] as u8,
+                sub: subs[0],
+            },
+        )?;
         self.write_sub(0, v.raw(), &l0)?;
         let mut cursor = d0 - 1;
         for (hop, (&l, &s)) in chain.iter().zip(&subs).enumerate() {
@@ -511,7 +516,10 @@ impl GrdbStore {
                 write_slot(
                     &mut buf,
                     d - 1,
-                    Slot::Pointer { level: chain[hop + 1] as u8, sub: subs[hop + 1] },
+                    Slot::Pointer {
+                        level: chain[hop + 1] as u8,
+                        sub: subs[hop + 1],
+                    },
                 )?;
             }
             self.write_sub(l, s, &buf)?;
@@ -637,8 +645,7 @@ mod tests {
     }
 
     fn fresh_dir(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir()
-            .join(format!("grdb-store-{}-{tag}", std::process::id()));
+        let d = std::env::temp_dir().join(format!("grdb-store-{}-{tag}", std::process::id()));
         let _ = std::fs::remove_dir_all(&d);
         d
     }
@@ -669,7 +676,11 @@ mod tests {
         }
         let mut adj = Vec::new();
         s.read_adjacency(g(0), &mut adj).unwrap();
-        assert_eq!(adj, vec![g(10), g(11), g(12)], "order preserved across the spill");
+        assert_eq!(
+            adj,
+            vec![g(10), g(11), g(12)],
+            "order preserved across the spill"
+        );
         assert_eq!(s.chain_length(g(0)).unwrap(), 2);
     }
 
@@ -710,7 +721,11 @@ mod tests {
         assert_eq!(adj, (0..n).map(|u| g(100 + u)).collect::<Vec<_>>());
         // Chain must pass through levels 1 and 2 and keep chaining at the
         // top level.
-        assert!(s.chain_length(g(5)).unwrap() >= 4, "got {}", s.chain_length(g(5)).unwrap());
+        assert!(
+            s.chain_length(g(5)).unwrap() >= 4,
+            "got {}",
+            s.chain_length(g(5)).unwrap()
+        );
     }
 
     #[test]
@@ -802,12 +817,19 @@ mod tests {
         for u in 0..8u64 {
             s.append_neighbour(g(1), g(u)).unwrap();
         }
-        assert_eq!(s.free[1].len(), 1, "move must have freed the level-1 sub-block");
+        assert_eq!(
+            s.free[1].len(),
+            1,
+            "move must have freed the level-1 sub-block"
+        );
         let next1_before = s.next_sub[1];
         for u in 0..3u64 {
             s.append_neighbour(g(2), g(u)).unwrap();
         }
-        assert_eq!(s.next_sub[1], next1_before, "spill must reuse the freed sub-block");
+        assert_eq!(
+            s.next_sub[1], next1_before,
+            "spill must reuse the freed sub-block"
+        );
         assert!(s.free[1].is_empty());
         let mut adj = Vec::new();
         s.read_adjacency(g(2), &mut adj).unwrap();
@@ -818,8 +840,7 @@ mod tests {
     fn persistence_roundtrip() {
         let dir = fresh_dir("persist");
         {
-            let mut s =
-                GrdbStore::open(&dir, GrdbConfig::tiny(), IoStats::new()).unwrap();
+            let mut s = GrdbStore::open(&dir, GrdbConfig::tiny(), IoStats::new()).unwrap();
             for u in 0..20u64 {
                 s.append_neighbour(g(7), g(u)).unwrap();
             }
@@ -839,8 +860,7 @@ mod tests {
     fn geometry_mismatch_on_reopen_rejected() {
         let dir = fresh_dir("mismatch");
         {
-            let mut s =
-                GrdbStore::open(&dir, GrdbConfig::tiny(), IoStats::new()).unwrap();
+            let mut s = GrdbStore::open(&dir, GrdbConfig::tiny(), IoStats::new()).unwrap();
             s.append_neighbour(g(0), g(1)).unwrap();
             s.flush().unwrap();
         }

@@ -89,7 +89,7 @@ fn check_model(cfg: GrdbConfig, ops: Vec<Op>) -> Result<(), TestCaseError> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 16 })]
 
     #[test]
     fn tiny_geometry_link(ops in prop::collection::vec(arb_op(8), 1..250)) {
@@ -127,7 +127,9 @@ fn heavy_hub_through_all_levels_with_reopen() {
     let mut store = GrdbStore::open(&dir, cfg.clone(), IoStats::new()).unwrap();
     let mut expected = Vec::new();
     for i in 0..500u64 {
-        store.append_neighbour(Gid::new(3), Gid::new(1000 + i)).unwrap();
+        store
+            .append_neighbour(Gid::new(3), Gid::new(1000 + i))
+            .unwrap();
         expected.push(1000 + i);
         if i % 97 == 0 {
             store.flush().unwrap();

@@ -52,7 +52,12 @@ impl BdbGraphDb {
     ) -> Result<BdbGraphDb> {
         assert!(chunk_bytes >= 12, "chunk size too small");
         let store = KvStore::open(path, options, stats)?;
-        Ok(BdbGraphDb { store, chunk_bytes, meta: MetaTable::new(), entries: 0 })
+        Ok(BdbGraphDb {
+            store,
+            chunk_bytes,
+            meta: MetaTable::new(),
+            entries: 0,
+        })
     }
 
     /// Buffer-pool statistics of the underlying store.
@@ -74,7 +79,8 @@ impl BdbGraphDb {
     }
 
     fn set_chunk_count(&mut self, v: Gid, n: u32) -> Result<()> {
-        self.store.put(&record_key(v, DIR_CHUNK), &n.to_be_bytes())?;
+        self.store
+            .put(&record_key(v, DIR_CHUNK), &n.to_be_bytes())?;
         Ok(())
     }
 
@@ -84,9 +90,11 @@ impl BdbGraphDb {
     fn append_group(&mut self, v: Gid, neighbours: &[Gid]) -> Result<()> {
         let count = self.chunk_count(v)?;
         let mut tail: Option<Vec<u8>> = if count > 0 {
-            Some(self.store.get(&record_key(v, count - 1))?.ok_or_else(|| {
-                GraphStorageError::corrupt("missing tail chunk")
-            })?)
+            Some(
+                self.store
+                    .get(&record_key(v, count - 1))?
+                    .ok_or_else(|| GraphStorageError::corrupt("missing tail chunk"))?,
+            )
         } else {
             None
         };
@@ -121,14 +129,12 @@ impl BdbGraphDb {
         }
         Ok(())
     }
-
 }
 
 impl GraphDb for BdbGraphDb {
     fn store_edges(&mut self, edges: &[Edge]) -> Result<()> {
         // Group by source to amortise directory and tail-chunk lookups.
-        let mut groups: std::collections::HashMap<Gid, Vec<Gid>> =
-            std::collections::HashMap::new();
+        let mut groups: std::collections::HashMap<Gid, Vec<Gid>> = std::collections::HashMap::new();
         for e in edges {
             groups.entry(e.src).or_default().push(e.dst);
             self.entries += 1;
@@ -206,14 +212,14 @@ mod tests {
         std::fs::create_dir_all(&d).unwrap();
         let p = d.join(tag);
         let _ = std::fs::remove_file(&p);
-        BdbGraphDb::with_chunk_bytes(&p, KvOptions::default(), IoStats::new(), chunk_bytes)
-            .unwrap()
+        BdbGraphDb::with_chunk_bytes(&p, KvOptions::default(), IoStats::new(), chunk_bytes).unwrap()
     }
 
     #[test]
     fn store_and_read_small_list() {
         let mut b = db("small.db", 8192);
-        b.store_edges(&[Edge::of(1, 2), Edge::of(1, 3), Edge::of(4, 1)]).unwrap();
+        b.store_edges(&[Edge::of(1, 2), Edge::of(1, 3), Edge::of(4, 1)])
+            .unwrap();
         let mut n = b.neighbors(g(1)).unwrap();
         n.sort_unstable();
         assert_eq!(n, vec![g(2), g(3)]);
@@ -270,13 +276,8 @@ mod tests {
         let p = d.join("persist.db");
         let _ = std::fs::remove_file(&p);
         {
-            let mut b = BdbGraphDb::with_chunk_bytes(
-                &p,
-                KvOptions::default(),
-                IoStats::new(),
-                28,
-            )
-            .unwrap();
+            let mut b =
+                BdbGraphDb::with_chunk_bytes(&p, KvOptions::default(), IoStats::new(), 28).unwrap();
             let edges: Vec<Edge> = (0..20).map(|i| Edge::of(5, i)).collect();
             b.store_edges(&edges).unwrap();
             b.flush().unwrap();

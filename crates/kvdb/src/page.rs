@@ -123,7 +123,10 @@ impl Page {
                             buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
                             buf.extend_from_slice(bytes);
                         }
-                        LeafValue::Overflow { first_page, total_len } => {
+                        LeafValue::Overflow {
+                            first_page,
+                            total_len,
+                        } => {
                             buf.push(1);
                             buf.extend_from_slice(&first_page.to_le_bytes());
                             buf.extend_from_slice(&total_len.to_le_bytes());
@@ -149,7 +152,12 @@ impl Page {
                 buf.extend_from_slice(&(data.len() as u32).to_le_bytes());
                 buf.extend_from_slice(data);
             }
-            Page::Meta { root, pages, free_head, len } => {
+            Page::Meta {
+                root,
+                pages,
+                free_head,
+                len,
+            } => {
                 buf.push(TAG_META);
                 buf.extend_from_slice(&MAGIC.to_le_bytes());
                 buf.extend_from_slice(&(page_size as u32).to_le_bytes());
@@ -192,7 +200,10 @@ impl Page {
                             let vlen = r.u32()? as usize;
                             LeafValue::Inline(r.bytes(vlen)?.to_vec())
                         }
-                        1 => LeafValue::Overflow { first_page: r.u64()?, total_len: r.u64()? },
+                        1 => LeafValue::Overflow {
+                            first_page: r.u64()?,
+                            total_len: r.u64()?,
+                        },
                         k => {
                             return Err(GraphStorageError::corrupt(format!(
                                 "unknown leaf value kind {k}"
@@ -219,7 +230,10 @@ impl Page {
             TAG_OVERFLOW => {
                 let next = r.u64()?;
                 let len = r.u32()? as usize;
-                Ok(Page::Overflow { next, data: r.bytes(len)?.to_vec() })
+                Ok(Page::Overflow {
+                    next,
+                    data: r.bytes(len)?.to_vec(),
+                })
             }
             TAG_META => {
                 let magic = r.u32()?;
@@ -250,7 +264,10 @@ impl Page {
     pub fn encoded_len(&self) -> usize {
         match self {
             Page::Leaf { entries } => {
-                3 + entries.iter().map(|(k, v)| 2 + k.len() + v.encoded_len()).sum::<usize>()
+                3 + entries
+                    .iter()
+                    .map(|(k, v)| 2 + k.len() + v.encoded_len())
+                    .sum::<usize>()
             }
             Page::Internal { keys, children } => {
                 3 + children.len() * 8 + keys.iter().map(|k| 2 + k.len()).sum::<usize>()
@@ -305,7 +322,13 @@ mod tests {
         let p = Page::Leaf {
             entries: vec![
                 (b"alpha".to_vec(), LeafValue::Inline(b"1".to_vec())),
-                (b"beta".to_vec(), LeafValue::Overflow { first_page: 9, total_len: 5000 }),
+                (
+                    b"beta".to_vec(),
+                    LeafValue::Overflow {
+                        first_page: 9,
+                        total_len: 5000,
+                    },
+                ),
             ],
         };
         let enc = p.encode(PS).unwrap();
@@ -325,14 +348,22 @@ mod tests {
 
     #[test]
     fn overflow_roundtrip() {
-        let p = Page::Overflow { next: 11, data: vec![0xabu8; 100] };
+        let p = Page::Overflow {
+            next: 11,
+            data: vec![0xabu8; 100],
+        };
         let enc = p.encode(PS).unwrap();
         assert_eq!(Page::decode(&enc, PS).unwrap(), p);
     }
 
     #[test]
     fn meta_roundtrip() {
-        let p = Page::Meta { root: 1, pages: 42, free_head: 7, len: 1000 };
+        let p = Page::Meta {
+            root: 1,
+            pages: 42,
+            free_head: 7,
+            len: 1000,
+        };
         let enc = p.encode(PS).unwrap();
         assert_eq!(Page::decode(&enc, PS).unwrap(), p);
     }
@@ -346,7 +377,12 @@ mod tests {
 
     #[test]
     fn meta_rejects_wrong_magic() {
-        let p = Page::Meta { root: 1, pages: 1, free_head: 0, len: 0 };
+        let p = Page::Meta {
+            root: 1,
+            pages: 1,
+            free_head: 0,
+            len: 0,
+        };
         let mut enc = p.encode(PS).unwrap();
         enc[1] ^= 0xff;
         assert!(Page::decode(&enc, PS).is_err());
@@ -354,7 +390,12 @@ mod tests {
 
     #[test]
     fn meta_rejects_wrong_page_size() {
-        let p = Page::Meta { root: 1, pages: 1, free_head: 0, len: 0 };
+        let p = Page::Meta {
+            root: 1,
+            pages: 1,
+            free_head: 0,
+            len: 0,
+        };
         let enc = p.encode(PS).unwrap();
         let mut other = enc.clone();
         other.resize(512, 0);
@@ -376,11 +417,23 @@ mod tests {
             Page::Leaf {
                 entries: vec![
                     (b"k1".to_vec(), LeafValue::Inline(vec![0u8; 30])),
-                    (b"key2".to_vec(), LeafValue::Overflow { first_page: 2, total_len: 99 }),
+                    (
+                        b"key2".to_vec(),
+                        LeafValue::Overflow {
+                            first_page: 2,
+                            total_len: 99,
+                        },
+                    ),
                 ],
             },
-            Page::Internal { keys: vec![b"abc".to_vec()], children: vec![1, 2] },
-            Page::Overflow { next: 0, data: vec![1u8; 64] },
+            Page::Internal {
+                keys: vec![b"abc".to_vec()],
+                children: vec![1, 2],
+            },
+            Page::Overflow {
+                next: 0,
+                data: vec![1u8; 64],
+            },
             Page::Free { next: 0 },
         ];
         for p in pages {
@@ -411,7 +464,9 @@ mod tests {
 
     #[test]
     fn truncated_buffer_rejected() {
-        let p = Page::Leaf { entries: vec![(b"k".to_vec(), LeafValue::Inline(vec![1]))] };
+        let p = Page::Leaf {
+            entries: vec![(b"k".to_vec(), LeafValue::Inline(vec![1]))],
+        };
         let enc = p.encode(PS).unwrap();
         assert!(Page::decode(&enc[..PS - 1], PS).is_err());
     }

@@ -41,8 +41,22 @@ impl Pager {
         let cache = BlockCache::new(cache_pages, policy);
         if file.len_blocks() == 0 {
             // Fresh store: meta page + empty leaf root.
-            let mut pager = Pager { file, cache, page_size, root: 1, pages: 2, free_head: 0, len: 0 };
-            let meta = Page::Meta { root: 1, pages: 2, free_head: 0, len: 0 }.encode(page_size)?;
+            let mut pager = Pager {
+                file,
+                cache,
+                page_size,
+                root: 1,
+                pages: 2,
+                free_head: 0,
+                len: 0,
+            };
+            let meta = Page::Meta {
+                root: 1,
+                pages: 2,
+                free_head: 0,
+                len: 0,
+            }
+            .encode(page_size)?;
             pager.file.write_block(0, &meta)?;
             let leaf = Page::Leaf { entries: vec![] }.encode(page_size)?;
             pager.file.write_block(1, &leaf)?;
@@ -51,14 +65,27 @@ impl Pager {
             let mut buf = vec![0u8; page_size];
             file.read_block(0, &mut buf)?;
             match Page::decode(&buf, page_size)? {
-                Page::Meta { root, pages, free_head, len } => {
+                Page::Meta {
+                    root,
+                    pages,
+                    free_head,
+                    len,
+                } => {
                     if pages != file.len_blocks() {
                         return Err(GraphStorageError::corrupt(format!(
                             "meta page says {pages} pages, file has {}",
                             file.len_blocks()
                         )));
                     }
-                    Ok(Pager { file, cache, page_size, root, pages, free_head, len })
+                    Ok(Pager {
+                        file,
+                        cache,
+                        page_size,
+                        root,
+                        pages,
+                        free_head,
+                        len,
+                    })
                 }
                 _ => Err(GraphStorageError::corrupt("page 0 is not a meta page")),
             }
@@ -110,12 +137,8 @@ impl Pager {
         match self.cache.insert(CacheKey::new(SPACE, id), bytes, true) {
             // Capacity-0 cache hands the page straight back.
             Some(ev) if ev.key.block == id => self.file.write_block(id, &ev.data)?,
-            Some(ev) => {
-                if ev.dirty {
-                    self.file.write_block(ev.key.block, &ev.data)?;
-                }
-            }
-            None => {}
+            Some(ev) if ev.dirty => self.file.write_block(ev.key.block, &ev.data)?,
+            _ => {}
         }
         Ok(())
     }
@@ -146,7 +169,9 @@ impl Pager {
 
     /// Returns a page to the free list.
     pub fn free(&mut self, id: u64) -> Result<()> {
-        let page = Page::Free { next: self.free_head };
+        let page = Page::Free {
+            next: self.free_head,
+        };
         self.write_page(id, &page)?;
         self.free_head = id;
         Ok(())
@@ -219,12 +244,14 @@ mod tests {
     fn persistence_across_reopen() {
         let path = tmppath("persist.db");
         {
-            let mut p =
-                Pager::open(&path, 256, 8, CachePolicy::Lru, IoStats::new()).unwrap();
+            let mut p = Pager::open(&path, 256, 8, CachePolicy::Lru, IoStats::new()).unwrap();
             let id = p.allocate().unwrap();
             p.write_page(
                 id,
-                &Page::Overflow { next: 0, data: vec![5u8; 50] },
+                &Page::Overflow {
+                    next: 0,
+                    data: vec![5u8; 50],
+                },
             )
             .unwrap();
             p.root = id;
@@ -234,7 +261,13 @@ mod tests {
         let mut p = Pager::open(&path, 256, 8, CachePolicy::Lru, IoStats::new()).unwrap();
         assert_eq!(p.len, 123);
         let root = p.root;
-        assert_eq!(p.read_page(root).unwrap(), Page::Overflow { next: 0, data: vec![5u8; 50] });
+        assert_eq!(
+            p.read_page(root).unwrap(),
+            Page::Overflow {
+                next: 0,
+                data: vec![5u8; 50]
+            }
+        );
     }
 
     #[test]
@@ -268,7 +301,10 @@ mod tests {
     #[test]
     fn out_of_range_page_rejected() {
         let mut p = open("oob.db", 8);
-        assert!(p.read_page(0).is_err(), "meta page not readable as tree page");
+        assert!(
+            p.read_page(0).is_err(),
+            "meta page not readable as tree page"
+        );
         assert!(p.read_page(99).is_err());
         assert!(p.write_page(99, &Page::Free { next: 0 }).is_err());
     }
@@ -282,7 +318,10 @@ mod tests {
         }
         // Append a stray block so the page count disagrees with meta.
         use std::io::Write;
-        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
         f.write_all(&vec![0u8; 256]).unwrap();
         drop(f);
         assert!(Pager::open(&path, 256, 8, CachePolicy::Lru, IoStats::new()).is_err());

@@ -21,14 +21,21 @@ pub struct KvOptions {
 
 impl Default for KvOptions {
     fn default() -> Self {
-        KvOptions { page_size: 4096, cache_pages: 1024, cache_policy: CachePolicy::Lru }
+        KvOptions {
+            page_size: 4096,
+            cache_pages: 1024,
+            cache_policy: CachePolicy::Lru,
+        }
     }
 }
 
 impl KvOptions {
     /// Default options with the cache disabled.
     pub fn uncached() -> KvOptions {
-        KvOptions { cache_pages: 0, ..Default::default() }
+        KvOptions {
+            cache_pages: 0,
+            ..Default::default()
+        }
     }
 }
 
@@ -213,8 +220,10 @@ mod tests {
             s.put(&i.to_be_bytes(), b"x").unwrap();
         }
         let all = s.range_to_vec(None, None).unwrap();
-        let keys: Vec<u32> =
-            all.iter().map(|(k, _)| u32::from_be_bytes(k.as_slice().try_into().unwrap())).collect();
+        let keys: Vec<u32> = all
+            .iter()
+            .map(|(k, _)| u32::from_be_bytes(k.as_slice().try_into().unwrap()))
+            .collect();
         assert_eq!(keys, vec![1, 3, 5, 9]);
     }
 
@@ -229,7 +238,10 @@ mod tests {
             s.put(&i.to_be_bytes(), &i.to_le_bytes()).unwrap();
         }
         for i in 0..200u32 {
-            assert_eq!(s.get(&i.to_be_bytes()).unwrap(), Some(i.to_le_bytes().to_vec()));
+            assert_eq!(
+                s.get(&i.to_be_bytes()).unwrap(),
+                Some(i.to_le_bytes().to_vec())
+            );
         }
         assert_eq!(s.cache_stats().hits, 0, "disabled cache can never hit");
     }
@@ -240,9 +252,10 @@ mod tests {
         std::fs::create_dir_all(&d).unwrap();
         // Same workload with and without cache; cached must do fewer reads.
         let mut reads = Vec::new();
-        for (tag, opts) in
-            [("io-c.db", KvOptions::default()), ("io-u.db", KvOptions::uncached())]
-        {
+        for (tag, opts) in [
+            ("io-c.db", KvOptions::default()),
+            ("io-u.db", KvOptions::uncached()),
+        ] {
             let p = d.join(tag);
             let _ = std::fs::remove_file(&p);
             let stats = IoStats::new();

@@ -40,7 +40,11 @@ pub fn get(pager: &mut Pager, key: &[u8]) -> Result<Option<Vec<u8>>> {
                     Err(_) => Ok(None),
                 };
             }
-            _ => return Err(GraphStorageError::corrupt("tree descent hit a non-tree page")),
+            _ => {
+                return Err(GraphStorageError::corrupt(
+                    "tree descent hit a non-tree page",
+                ))
+            }
         }
     }
 }
@@ -57,7 +61,10 @@ pub fn put(pager: &mut Pager, key: &[u8], value: &[u8]) -> Result<bool> {
     }
     let leaf_value = if value.len() > inline_threshold(ps) {
         let (first_page, total_len) = write_overflow(pager, value)?;
-        LeafValue::Overflow { first_page, total_len }
+        LeafValue::Overflow {
+            first_page,
+            total_len,
+        }
     } else {
         LeafValue::Inline(value.to_vec())
     };
@@ -73,7 +80,11 @@ pub fn put(pager: &mut Pager, key: &[u8], value: &[u8]) -> Result<bool> {
                 page_id = children[idx];
             }
             Page::Leaf { entries } => break entries,
-            _ => return Err(GraphStorageError::corrupt("tree descent hit a non-tree page")),
+            _ => {
+                return Err(GraphStorageError::corrupt(
+                    "tree descent hit a non-tree page",
+                ))
+            }
         }
     };
 
@@ -114,7 +125,10 @@ pub fn put(pager: &mut Pager, key: &[u8], value: &[u8]) -> Result<bool> {
                 let new_root = pager.allocate()?;
                 pager.write_page(
                     new_root,
-                    &Page::Internal { keys: vec![sep], children: vec![old_root, right_id] },
+                    &Page::Internal {
+                        keys: vec![sep],
+                        children: vec![old_root, right_id],
+                    },
                 )?;
                 pager.root = new_root;
                 pending = None;
@@ -147,7 +161,11 @@ pub fn delete(pager: &mut Pager, key: &[u8]) -> Result<bool> {
                     Err(_) => Ok(false),
                 };
             }
-            _ => return Err(GraphStorageError::corrupt("tree descent hit a non-tree page")),
+            _ => {
+                return Err(GraphStorageError::corrupt(
+                    "tree descent hit a non-tree page",
+                ))
+            }
         }
     }
 }
@@ -183,7 +201,7 @@ fn visit(
                 Some(e) => keys.partition_point(|k| k.as_slice() < e),
                 None => keys.len(),
             };
-            for child in children[first..=last].to_vec() {
+            for child in children[first..=last].iter().copied() {
                 if !visit(pager, child, start, end, cb)? {
                     return Ok(false);
                 }
@@ -226,21 +244,36 @@ fn write_maybe_split_leaf(
         pager.write_page(page_id, &page)?;
         return Ok(None);
     }
-    let Page::Leaf { entries } = page else { unreachable!() };
+    let Page::Leaf { entries } = page else {
+        unreachable!()
+    };
     let mid = split_point_leaf(&entries, ps);
     let right_entries = entries[mid..].to_vec();
     let left_entries = entries[..mid].to_vec();
     let sep = right_entries[0].0.clone();
     let right_id = pager.allocate()?;
-    pager.write_page(page_id, &Page::Leaf { entries: left_entries })?;
-    pager.write_page(right_id, &Page::Leaf { entries: right_entries })?;
+    pager.write_page(
+        page_id,
+        &Page::Leaf {
+            entries: left_entries,
+        },
+    )?;
+    pager.write_page(
+        right_id,
+        &Page::Leaf {
+            entries: right_entries,
+        },
+    )?;
     Ok(Some((sep, right_id)))
 }
 
 /// Split point that keeps both halves under the page size (by encoded
 /// bytes, since entries vary in size).
 fn split_point_leaf(entries: &[(Vec<u8>, LeafValue)], _ps: usize) -> usize {
-    let total: usize = entries.iter().map(|(k, v)| 2 + k.len() + v.encoded_len()).sum();
+    let total: usize = entries
+        .iter()
+        .map(|(k, v)| 2 + k.len() + v.encoded_len())
+        .sum();
     let mut acc = 0usize;
     for (i, (k, v)) in entries.iter().enumerate() {
         acc += 2 + k.len() + v.encoded_len();
@@ -265,7 +298,13 @@ fn write_maybe_split_internal(
         pager.write_page(page_id, &page)?;
         return Ok(None);
     }
-    let Page::Internal { mut keys, mut children } = page else { unreachable!() };
+    let Page::Internal {
+        mut keys,
+        mut children,
+    } = page
+    else {
+        unreachable!()
+    };
     let mid = keys.len() / 2;
     let promoted = keys[mid].clone();
     let right_keys = keys.split_off(mid + 1);
@@ -273,7 +312,13 @@ fn write_maybe_split_internal(
     let right_children = children.split_off(mid + 1);
     let right_id = pager.allocate()?;
     pager.write_page(page_id, &Page::Internal { keys, children })?;
-    pager.write_page(right_id, &Page::Internal { keys: right_keys, children: right_children })?;
+    pager.write_page(
+        right_id,
+        &Page::Internal {
+            keys: right_keys,
+            children: right_children,
+        },
+    )?;
     Ok(Some((promoted, right_id)))
 }
 
@@ -281,7 +326,10 @@ fn write_maybe_split_internal(
 pub fn read_value(pager: &mut Pager, value: &LeafValue) -> Result<Vec<u8>> {
     match value {
         LeafValue::Inline(v) => Ok(v.clone()),
-        LeafValue::Overflow { first_page, total_len } => {
+        LeafValue::Overflow {
+            first_page,
+            total_len,
+        } => {
             let mut out = Vec::with_capacity(*total_len as usize);
             let mut page_id = *first_page;
             while page_id != 0 {
@@ -317,10 +365,19 @@ fn write_overflow(pager: &mut Pager, value: &[u8]) -> Result<(u64, u64)> {
         pieces.push(&[]);
     }
     // Allocate then link back-to-front so each page knows its successor.
-    let ids: Vec<u64> = pieces.iter().map(|_| pager.allocate()).collect::<Result<_>>()?;
+    let ids: Vec<u64> = pieces
+        .iter()
+        .map(|_| pager.allocate())
+        .collect::<Result<_>>()?;
     for (i, piece) in pieces.iter().enumerate() {
         let next = ids.get(i + 1).copied().unwrap_or(0);
-        pager.write_page(ids[i], &Page::Overflow { next, data: piece.to_vec() })?;
+        pager.write_page(
+            ids[i],
+            &Page::Overflow {
+                next,
+                data: piece.to_vec(),
+            },
+        )?;
     }
     Ok((ids[0], value.len() as u64))
 }
@@ -406,7 +463,10 @@ mod tests {
             put(&mut p, &k.to_be_bytes(), &k.to_le_bytes()).unwrap();
         }
         for k in 0..400u32 {
-            assert_eq!(get(&mut p, &k.to_be_bytes()).unwrap(), Some(k.to_le_bytes().to_vec()));
+            assert_eq!(
+                get(&mut p, &k.to_be_bytes()).unwrap(),
+                Some(k.to_le_bytes().to_vec())
+            );
         }
     }
 
@@ -428,7 +488,10 @@ mod tests {
             put(&mut p, b"big", &next).unwrap();
             assert_eq!(get(&mut p, b"big").unwrap(), Some(next));
         }
-        assert_eq!(p.pages, steady, "steady-state replacement must reuse freed pages");
+        assert_eq!(
+            p.pages, steady,
+            "steady-state replacement must reuse freed pages"
+        );
     }
 
     #[test]
@@ -442,7 +505,10 @@ mod tests {
         assert_eq!(get(&mut p, &7u32.to_be_bytes()).unwrap(), None);
         assert_eq!(p.len, 99);
         // Other keys untouched.
-        assert_eq!(get(&mut p, &8u32.to_be_bytes()).unwrap(), Some(b"x".to_vec()));
+        assert_eq!(
+            get(&mut p, &8u32.to_be_bytes()).unwrap(),
+            Some(b"x".to_vec())
+        );
     }
 
     #[test]
@@ -452,7 +518,10 @@ mod tests {
         let pages_after_insert = p.pages;
         delete(&mut p, b"big").unwrap();
         put(&mut p, b"big2", &vec![2u8; 4000]).unwrap();
-        assert!(p.pages <= pages_after_insert + 1, "chain pages must be recycled");
+        assert!(
+            p.pages <= pages_after_insert + 1,
+            "chain pages must be recycled"
+        );
     }
 
     #[test]
@@ -509,8 +578,7 @@ mod tests {
         let path = d.join("persist2.db");
         let _ = std::fs::remove_file(&path);
         {
-            let mut p =
-                Pager::open(&path, 256, 64, CachePolicy::Lru, IoStats::new()).unwrap();
+            let mut p = Pager::open(&path, 256, 64, CachePolicy::Lru, IoStats::new()).unwrap();
             for i in 0..300u32 {
                 put(&mut p, &i.to_be_bytes(), &i.to_le_bytes()).unwrap();
             }
@@ -519,7 +587,10 @@ mod tests {
         let mut p = Pager::open(&path, 256, 64, CachePolicy::Lru, IoStats::new()).unwrap();
         assert_eq!(p.len, 300);
         for i in 0..300u32 {
-            assert_eq!(get(&mut p, &i.to_be_bytes()).unwrap(), Some(i.to_le_bytes().to_vec()));
+            assert_eq!(
+                get(&mut p, &i.to_be_bytes()).unwrap(),
+                Some(i.to_le_bytes().to_vec())
+            );
         }
     }
 
@@ -527,8 +598,8 @@ mod tests {
     fn key_length_limits() {
         let mut p = pager("keylimit.db", 256);
         assert!(put(&mut p, &[], b"v").is_err());
-        assert!(put(&mut p, &vec![0u8; 33], b"v").is_err()); // > 256/8
-        assert!(put(&mut p, &vec![0u8; 32], b"v").is_ok());
+        assert!(put(&mut p, &[0u8; 33], b"v").is_err()); // > 256/8
+        assert!(put(&mut p, &[0u8; 32], b"v").is_ok());
     }
 
     #[test]

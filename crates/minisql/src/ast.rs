@@ -149,7 +149,14 @@ mod tests {
 
     #[test]
     fn null_comparison_is_false() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert!(!op.eval(None), "{op:?} on NULL must be false");
         }
     }

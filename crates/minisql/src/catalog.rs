@@ -49,10 +49,7 @@ impl TableDef {
             .iter()
             .position(|c| c.name.eq_ignore_ascii_case(name))
             .ok_or_else(|| {
-                GraphStorageError::Query(format!(
-                    "no column {name:?} in table {:?}",
-                    self.name
-                ))
+                GraphStorageError::Query(format!("no column {name:?} in table {:?}", self.name))
             })
     }
 
@@ -74,10 +71,16 @@ impl Catalog {
     pub fn open(dir: &Path) -> Result<Catalog> {
         let path = dir.join("catalog.bin");
         if !path.exists() {
-            return Ok(Catalog { tables: BTreeMap::new(), path });
+            return Ok(Catalog {
+                tables: BTreeMap::new(),
+                path,
+            });
         }
         let bytes = std::fs::read(&path)?;
-        let mut c = Catalog { tables: BTreeMap::new(), path };
+        let mut c = Catalog {
+            tables: BTreeMap::new(),
+            path,
+        };
         c.decode(&bytes)?;
         Ok(c)
     }
@@ -117,7 +120,10 @@ impl Catalog {
     /// Adds a secondary index to a table and persists.
     pub fn create_index(&mut self, table: &str, index: IndexDef) -> Result<()> {
         let t = self.table_mut(table)?;
-        if t.indexes.iter().any(|i| i.name.eq_ignore_ascii_case(&index.name)) {
+        if t.indexes
+            .iter()
+            .any(|i| i.name.eq_ignore_ascii_case(&index.name))
+        {
             return Err(GraphStorageError::Query(format!(
                 "index {:?} already exists on {table:?}",
                 index.name
@@ -183,7 +189,10 @@ impl Catalog {
                         )))
                     }
                 };
-                columns.push(ColumnDef { name: cname, col_type: ty });
+                columns.push(ColumnDef {
+                    name: cname,
+                    col_type: ty,
+                });
             }
             let npk = read_u32(bytes, &mut pos)?;
             let mut primary_key = Vec::with_capacity(npk as usize);
@@ -199,11 +208,19 @@ impl Catalog {
                 for _ in 0..nic {
                     cols.push(read_u32(bytes, &mut pos)? as usize);
                 }
-                indexes.push(IndexDef { name: iname, columns: cols });
+                indexes.push(IndexDef {
+                    name: iname,
+                    columns: cols,
+                });
             }
             self.tables.insert(
                 name.to_ascii_lowercase(),
-                TableDef { name, columns, primary_key, indexes },
+                TableDef {
+                    name,
+                    columns,
+                    primary_key,
+                    indexes,
+                },
             );
         }
         Ok(())
@@ -216,14 +233,18 @@ fn write_name(out: &mut Vec<u8>, s: &str) {
 }
 
 fn read_u8(b: &[u8], pos: &mut usize) -> Result<u8> {
-    let v = *b.get(*pos).ok_or_else(|| GraphStorageError::corrupt("catalog truncated"))?;
+    let v = *b
+        .get(*pos)
+        .ok_or_else(|| GraphStorageError::corrupt("catalog truncated"))?;
     *pos += 1;
     Ok(v)
 }
 
 fn read_u32(b: &[u8], pos: &mut usize) -> Result<u32> {
     let end = *pos + 4;
-    let s = b.get(*pos..end).ok_or_else(|| GraphStorageError::corrupt("catalog truncated"))?;
+    let s = b
+        .get(*pos..end)
+        .ok_or_else(|| GraphStorageError::corrupt("catalog truncated"))?;
     *pos = end;
     Ok(u32::from_le_bytes(s.try_into().unwrap()))
 }
@@ -231,10 +252,11 @@ fn read_u32(b: &[u8], pos: &mut usize) -> Result<u32> {
 fn read_name(b: &[u8], pos: &mut usize) -> Result<String> {
     let len = read_u32(b, pos)? as usize;
     let end = *pos + len;
-    let s = b.get(*pos..end).ok_or_else(|| GraphStorageError::corrupt("catalog truncated"))?;
+    let s = b
+        .get(*pos..end)
+        .ok_or_else(|| GraphStorageError::corrupt("catalog truncated"))?;
     *pos = end;
-    String::from_utf8(s.to_vec())
-        .map_err(|_| GraphStorageError::corrupt("catalog name not UTF-8"))
+    String::from_utf8(s.to_vec()).map_err(|_| GraphStorageError::corrupt("catalog name not UTF-8"))
 }
 
 #[cfg(test)]
@@ -242,8 +264,7 @@ mod tests {
     use super::*;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir()
-            .join(format!("minisql-cat-{}-{tag}", std::process::id()));
+        let d = std::env::temp_dir().join(format!("minisql-cat-{}-{tag}", std::process::id()));
         let _ = std::fs::remove_dir_all(&d);
         std::fs::create_dir_all(&d).unwrap();
         d
@@ -253,9 +274,18 @@ mod tests {
         TableDef {
             name: "adj".into(),
             columns: vec![
-                ColumnDef { name: "vertex".into(), col_type: ColType::BigInt },
-                ColumnDef { name: "chunk".into(), col_type: ColType::BigInt },
-                ColumnDef { name: "data".into(), col_type: ColType::Blob },
+                ColumnDef {
+                    name: "vertex".into(),
+                    col_type: ColType::BigInt,
+                },
+                ColumnDef {
+                    name: "chunk".into(),
+                    col_type: ColType::BigInt,
+                },
+                ColumnDef {
+                    name: "data".into(),
+                    col_type: ColType::Blob,
+                },
             ],
             primary_key: vec![0, 1],
             indexes: vec![],
@@ -288,7 +318,14 @@ mod tests {
         {
             let mut c = Catalog::open(&dir).unwrap();
             c.create_table(adj_table()).unwrap();
-            c.create_index("adj", IndexDef { name: "iv".into(), columns: vec![0] }).unwrap();
+            c.create_index(
+                "adj",
+                IndexDef {
+                    name: "iv".into(),
+                    columns: vec![0],
+                },
+            )
+            .unwrap();
         }
         let c = Catalog::open(&dir).unwrap();
         let t = c.table("adj").unwrap();
@@ -303,7 +340,10 @@ mod tests {
         let dir = tmpdir("dupidx");
         let mut c = Catalog::open(&dir).unwrap();
         c.create_table(adj_table()).unwrap();
-        let idx = IndexDef { name: "iv".into(), columns: vec![0] };
+        let idx = IndexDef {
+            name: "iv".into(),
+            columns: vec![0],
+        };
         c.create_index("adj", idx.clone()).unwrap();
         assert!(c.create_index("adj", idx).is_err());
     }

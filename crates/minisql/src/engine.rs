@@ -94,7 +94,11 @@ impl Database {
         self.statements += 1;
         let stmt = parse(sql)?;
         match stmt {
-            Statement::CreateTable { name, columns, primary_key } => {
+            Statement::CreateTable {
+                name,
+                columns,
+                primary_key,
+            } => {
                 let pk: Vec<usize> = primary_key
                     .iter()
                     .map(|n| {
@@ -112,30 +116,50 @@ impl Database {
                 })?;
                 Ok(ResultSet::default())
             }
-            Statement::CreateIndex { name, table, columns } => {
+            Statement::CreateIndex {
+                name,
+                table,
+                columns,
+            } => {
                 let cols: Vec<usize> = {
                     let t = self.catalog.table(&table)?;
-                    columns.iter().map(|c| t.column_index(c)).collect::<Result<_>>()?
+                    columns
+                        .iter()
+                        .map(|c| t.column_index(c))
+                        .collect::<Result<_>>()?
                 };
-                self.catalog.create_index(&table, IndexDef { name: name.clone(), columns: cols })?;
+                self.catalog.create_index(
+                    &table,
+                    IndexDef {
+                        name: name.clone(),
+                        columns: cols,
+                    },
+                )?;
                 self.backfill_index(&table, &name)?;
                 Ok(ResultSet::default())
             }
             Statement::Insert { table, rows } => self.exec_insert(&table, rows, params),
-            Statement::Select { columns, count_star, table, predicates, order_by, limit } => {
-                self.exec_select(
-                    &table,
-                    &columns,
-                    count_star,
-                    &predicates,
-                    order_by.as_deref(),
-                    limit,
-                    params,
-                )
-            }
-            Statement::Update { table, sets, predicates } => {
-                self.exec_update(&table, &sets, &predicates, params)
-            }
+            Statement::Select {
+                columns,
+                count_star,
+                table,
+                predicates,
+                order_by,
+                limit,
+            } => self.exec_select(
+                &table,
+                &columns,
+                count_star,
+                &predicates,
+                order_by.as_deref(),
+                limit,
+                params,
+            ),
+            Statement::Update {
+                table,
+                sets,
+                predicates,
+            } => self.exec_update(&table, &sets, &predicates, params),
             Statement::Delete { table, predicates } => {
                 self.exec_delete(&table, &predicates, params)
             }
@@ -193,8 +217,10 @@ impl Database {
                     def.columns.len()
                 )));
             }
-            let row: Vec<Value> =
-                scalars.iter().map(|s| resolve(s, params)).collect::<Result<_>>()?;
+            let row: Vec<Value> = scalars
+                .iter()
+                .map(|s| resolve(s, params))
+                .collect::<Result<_>>()?;
             for (v, c) in row.iter().zip(&def.columns) {
                 if !v.fits(c.col_type) {
                     return Err(GraphStorageError::Query(format!(
@@ -216,7 +242,10 @@ impl Database {
             self.index_insert(&def, &row, rid)?;
             affected += 1;
         }
-        Ok(ResultSet { rows_affected: affected, ..Default::default() })
+        Ok(ResultSet {
+            rows_affected: affected,
+            ..Default::default()
+        })
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -242,16 +271,18 @@ impl Database {
         let proj_idx: Vec<usize> = if proj.is_empty() {
             (0..def.columns.len()).collect()
         } else {
-            proj.iter().map(|c| def.column_index(c)).collect::<Result<_>>()?
+            proj.iter()
+                .map(|c| def.column_index(c))
+                .collect::<Result<_>>()?
         };
-        let columns: Vec<String> =
-            proj_idx.iter().map(|&i| def.columns[i].name.clone()).collect();
+        let columns: Vec<String> = proj_idx
+            .iter()
+            .map(|&i| def.columns[i].name.clone())
+            .collect();
         let mut full_rows: Vec<Vec<Value>> = matches.into_iter().map(|(_, r)| r).collect();
         if let Some(ob) = order_by {
             let oi = def.column_index(ob)?;
-            full_rows.sort_by(|a, b| {
-                a[oi].sql_cmp(&b[oi]).unwrap_or(std::cmp::Ordering::Equal)
-            });
+            full_rows.sort_by(|a, b| a[oi].sql_cmp(&b[oi]).unwrap_or(std::cmp::Ordering::Equal));
         }
         if let Some(n) = limit {
             full_rows.truncate(n as usize);
@@ -260,7 +291,11 @@ impl Database {
             .into_iter()
             .map(|r| proj_idx.iter().map(|&i| r[i].clone()).collect())
             .collect();
-        Ok(ResultSet { columns, rows, rows_affected: 0 })
+        Ok(ResultSet {
+            columns,
+            rows,
+            rows_affected: 0,
+        })
     }
 
     fn exec_update(
@@ -296,7 +331,10 @@ impl Database {
             self.index_insert(&def, &new_row, new_rid)?;
             affected += 1;
         }
-        Ok(ResultSet { rows_affected: affected, ..Default::default() })
+        Ok(ResultSet {
+            rows_affected: affected,
+            ..Default::default()
+        })
     }
 
     fn exec_delete(
@@ -313,7 +351,10 @@ impl Database {
             self.heap(table)?.delete(rid)?;
             affected += 1;
         }
-        Ok(ResultSet { rows_affected: affected, ..Default::default() })
+        Ok(ResultSet {
+            rows_affected: affected,
+            ..Default::default()
+        })
     }
 
     // ---- planning ----
@@ -337,8 +378,10 @@ impl Database {
         let plan = self.choose_index(def, &eq);
         let candidate_rids: Vec<RowId> = match plan {
             Some((index_name, key_cols, prefix_len)) => {
-                let prefix_vals: Vec<Value> =
-                    key_cols[..prefix_len].iter().map(|c| eq[c].clone()).collect();
+                let prefix_vals: Vec<Value> = key_cols[..prefix_len]
+                    .iter()
+                    .map(|c| eq[c].clone())
+                    .collect();
                 let mut prefix = Vec::new();
                 for v in &prefix_vals {
                     v.encode_key(&mut prefix)?;
@@ -365,7 +408,9 @@ impl Database {
         let ncols = def.columns.len();
         let mut out = Vec::new();
         for rid in candidate_rids {
-            let Some(bytes) = self.heap(&def.name)?.get(rid)? else { continue };
+            let Some(bytes) = self.heap(&def.name)?.get(rid)? else {
+                continue;
+            };
             let row = decode_row(&bytes, ncols)?;
             if row_matches(def, &row, predicates, params)? {
                 out.push((rid, row));
@@ -407,7 +452,8 @@ impl Database {
         }
         for idx in def.indexes.clone() {
             let key = index_key(row, &idx.columns, Some(rid))?;
-            self.index_store(&def.name, &idx.name)?.put(&key, &payload)?;
+            self.index_store(&def.name, &idx.name)?
+                .put(&key, &payload)?;
         }
         Ok(())
     }
@@ -496,8 +542,7 @@ mod tests {
     use super::*;
 
     fn db(tag: &str) -> Database {
-        let d = std::env::temp_dir()
-            .join(format!("minisql-db-{}-{tag}", std::process::id()));
+        let d = std::env::temp_dir().join(format!("minisql-db-{}-{tag}", std::process::id()));
         let _ = std::fs::remove_dir_all(&d);
         Database::open(&d, IoStats::new()).unwrap()
     }
@@ -520,7 +565,9 @@ mod tests {
             &[Value::Blob(vec![9, 9])],
         )
         .unwrap();
-        let rs = d.execute("SELECT * FROM adj WHERE vertex = 1", &[]).unwrap();
+        let rs = d
+            .execute("SELECT * FROM adj WHERE vertex = 1", &[])
+            .unwrap();
         assert_eq!(rs.rows.len(), 1);
         assert_eq!(rs.rows[0][0], Value::Int(1));
         assert_eq!(rs.rows[0][2], Value::Blob(vec![9, 9]));
@@ -531,10 +578,14 @@ mod tests {
     fn pk_uniqueness_enforced() {
         let mut d = db("pk");
         setup_adj(&mut d);
-        d.execute("INSERT INTO adj VALUES (1, 0, x'00')", &[]).unwrap();
-        assert!(d.execute("INSERT INTO adj VALUES (1, 0, x'01')", &[]).is_err());
+        d.execute("INSERT INTO adj VALUES (1, 0, x'00')", &[])
+            .unwrap();
+        assert!(d
+            .execute("INSERT INTO adj VALUES (1, 0, x'01')", &[])
+            .is_err());
         // Different chunk is fine.
-        d.execute("INSERT INTO adj VALUES (1, 1, x'01')", &[]).unwrap();
+        d.execute("INSERT INTO adj VALUES (1, 1, x'01')", &[])
+            .unwrap();
     }
 
     #[test]
@@ -563,12 +614,18 @@ mod tests {
     #[test]
     fn range_predicates() {
         let mut d = db("range");
-        d.execute("CREATE TABLE t (a BIGINT, b BIGINT)", &[]).unwrap();
+        d.execute("CREATE TABLE t (a BIGINT, b BIGINT)", &[])
+            .unwrap();
         for i in 0..10i64 {
-            d.execute("INSERT INTO t VALUES (?, ?)", &[Value::Int(i), Value::Int(i * 10)])
-                .unwrap();
+            d.execute(
+                "INSERT INTO t VALUES (?, ?)",
+                &[Value::Int(i), Value::Int(i * 10)],
+            )
+            .unwrap();
         }
-        let rs = d.execute("SELECT a FROM t WHERE a >= 3 AND a < 6 ORDER BY a", &[]).unwrap();
+        let rs = d
+            .execute("SELECT a FROM t WHERE a >= 3 AND a < 6 ORDER BY a", &[])
+            .unwrap();
         let got: Vec<i64> = rs.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
         assert_eq!(got, vec![3, 4, 5]);
         let rs = d.execute("SELECT a FROM t WHERE b <> 30", &[]).unwrap();
@@ -579,7 +636,8 @@ mod tests {
     fn update_changes_rows() {
         let mut d = db("update");
         setup_adj(&mut d);
-        d.execute("INSERT INTO adj VALUES (1, 0, x'aa')", &[]).unwrap();
+        d.execute("INSERT INTO adj VALUES (1, 0, x'aa')", &[])
+            .unwrap();
         let rs = d
             .execute(
                 "UPDATE adj SET data = ? WHERE vertex = 1 AND chunk = 0",
@@ -587,7 +645,9 @@ mod tests {
             )
             .unwrap();
         assert_eq!(rs.rows_affected, 1);
-        let rs = d.execute("SELECT data FROM adj WHERE vertex = 1 AND chunk = 0", &[]).unwrap();
+        let rs = d
+            .execute("SELECT data FROM adj WHERE vertex = 1 AND chunk = 0", &[])
+            .unwrap();
         assert_eq!(rs.rows[0][0], Value::Blob(vec![0xbb, 0xcc]));
     }
 
@@ -595,11 +655,20 @@ mod tests {
     fn update_pk_column_keeps_index_consistent() {
         let mut d = db("updpk");
         setup_adj(&mut d);
-        d.execute("INSERT INTO adj VALUES (1, 0, x'aa')", &[]).unwrap();
-        d.execute("UPDATE adj SET vertex = 2 WHERE vertex = 1", &[]).unwrap();
-        assert!(d.execute("SELECT * FROM adj WHERE vertex = 1", &[]).unwrap().rows.is_empty());
+        d.execute("INSERT INTO adj VALUES (1, 0, x'aa')", &[])
+            .unwrap();
+        d.execute("UPDATE adj SET vertex = 2 WHERE vertex = 1", &[])
+            .unwrap();
+        assert!(d
+            .execute("SELECT * FROM adj WHERE vertex = 1", &[])
+            .unwrap()
+            .rows
+            .is_empty());
         assert_eq!(
-            d.execute("SELECT * FROM adj WHERE vertex = 2", &[]).unwrap().rows.len(),
+            d.execute("SELECT * FROM adj WHERE vertex = 2", &[])
+                .unwrap()
+                .rows
+                .len(),
             1
         );
     }
@@ -609,26 +678,38 @@ mod tests {
         let mut d = db("delete");
         setup_adj(&mut d);
         for c in 0..3i64 {
-            d.execute("INSERT INTO adj VALUES (7, ?, x'aa')", &[Value::Int(c)]).unwrap();
+            d.execute("INSERT INTO adj VALUES (7, ?, x'aa')", &[Value::Int(c)])
+                .unwrap();
         }
-        let rs = d.execute("DELETE FROM adj WHERE vertex = 7 AND chunk = 1", &[]).unwrap();
+        let rs = d
+            .execute("DELETE FROM adj WHERE vertex = 7 AND chunk = 1", &[])
+            .unwrap();
         assert_eq!(rs.rows_affected, 1);
-        let rs = d.execute("SELECT chunk FROM adj WHERE vertex = 7 ORDER BY chunk", &[]).unwrap();
+        let rs = d
+            .execute("SELECT chunk FROM adj WHERE vertex = 7 ORDER BY chunk", &[])
+            .unwrap();
         assert_eq!(rs.rows.len(), 2);
         // Re-insert the deleted PK must now succeed.
-        d.execute("INSERT INTO adj VALUES (7, 1, x'bb')", &[]).unwrap();
+        d.execute("INSERT INTO adj VALUES (7, 1, x'bb')", &[])
+            .unwrap();
     }
 
     #[test]
     fn secondary_index_backfill_and_use() {
         let mut d = db("secidx");
-        d.execute("CREATE TABLE t (a BIGINT, b BIGINT)", &[]).unwrap();
+        d.execute("CREATE TABLE t (a BIGINT, b BIGINT)", &[])
+            .unwrap();
         for i in 0..20i64 {
-            d.execute("INSERT INTO t VALUES (?, ?)", &[Value::Int(i % 4), Value::Int(i)])
-                .unwrap();
+            d.execute(
+                "INSERT INTO t VALUES (?, ?)",
+                &[Value::Int(i % 4), Value::Int(i)],
+            )
+            .unwrap();
         }
         d.execute("CREATE INDEX ia ON t (a)", &[]).unwrap();
-        let rs = d.execute("SELECT b FROM t WHERE a = 2 ORDER BY b", &[]).unwrap();
+        let rs = d
+            .execute("SELECT b FROM t WHERE a = 2 ORDER BY b", &[])
+            .unwrap();
         let got: Vec<i64> = rs.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
         assert_eq!(got, vec![2, 6, 10, 14, 18]);
     }
@@ -637,7 +718,8 @@ mod tests {
     fn full_scan_without_index() {
         let mut d = db("fullscan");
         d.execute("CREATE TABLE t (a BIGINT, b BLOB)", &[]).unwrap();
-        d.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z')", &[]).unwrap();
+        d.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z')", &[])
+            .unwrap();
         let rs = d.execute("SELECT a FROM t WHERE b = 'y'", &[]).unwrap();
         assert_eq!(rs.rows.len(), 1);
         assert_eq!(rs.rows[0][0], Value::Int(2));
@@ -648,7 +730,9 @@ mod tests {
         let mut d = db("types");
         d.execute("CREATE TABLE t (a BIGINT)", &[]).unwrap();
         assert!(d.execute("INSERT INTO t VALUES ('text')", &[]).is_err());
-        assert!(d.execute("INSERT INTO t VALUES (?)", &[Value::Blob(vec![])]).is_err());
+        assert!(d
+            .execute("INSERT INTO t VALUES (?)", &[Value::Blob(vec![])])
+            .is_err());
         assert!(d.execute("INSERT INTO t VALUES (1, 2)", &[]).is_err());
     }
 
@@ -661,8 +745,7 @@ mod tests {
 
     #[test]
     fn persistence_across_reopen() {
-        let dir = std::env::temp_dir()
-            .join(format!("minisql-db-{}-reopen", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("minisql-db-{}-reopen", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         {
             let mut d = Database::open(&dir, IoStats::new()).unwrap();
@@ -672,11 +755,14 @@ mod tests {
                 &[],
             )
             .unwrap();
-            d.execute("INSERT INTO adj VALUES (5, 0, x'dead')", &[]).unwrap();
+            d.execute("INSERT INTO adj VALUES (5, 0, x'dead')", &[])
+                .unwrap();
             d.flush().unwrap();
         }
         let mut d = Database::open(&dir, IoStats::new()).unwrap();
-        let rs = d.execute("SELECT data FROM adj WHERE vertex = 5", &[]).unwrap();
+        let rs = d
+            .execute("SELECT data FROM adj WHERE vertex = 5", &[])
+            .unwrap();
         assert_eq!(rs.rows[0][0], Value::Blob(vec![0xde, 0xad]));
     }
 
@@ -685,7 +771,11 @@ mod tests {
         let mut d = db("counter");
         d.execute("CREATE TABLE t (a BIGINT)", &[]).unwrap();
         let _ = d.execute("bad sql", &[]);
-        assert_eq!(d.statements_executed(), 2, "failed statements still count as parsed");
+        assert_eq!(
+            d.statements_executed(),
+            2,
+            "failed statements still count as parsed"
+        );
     }
 
     #[test]
@@ -693,14 +783,19 @@ mod tests {
         let mut d = db("countlimit");
         d.execute("CREATE TABLE t (a BIGINT)", &[]).unwrap();
         for i in 0..10i64 {
-            d.execute("INSERT INTO t VALUES (?)", &[Value::Int(i)]).unwrap();
+            d.execute("INSERT INTO t VALUES (?)", &[Value::Int(i)])
+                .unwrap();
         }
         let rs = d.execute("SELECT COUNT(*) FROM t", &[]).unwrap();
         assert_eq!(rs.rows, vec![vec![Value::Int(10)]]);
         assert_eq!(rs.columns, vec!["COUNT(*)"]);
-        let rs = d.execute("SELECT COUNT(*) FROM t WHERE a >= 7", &[]).unwrap();
+        let rs = d
+            .execute("SELECT COUNT(*) FROM t WHERE a >= 7", &[])
+            .unwrap();
         assert_eq!(rs.rows, vec![vec![Value::Int(3)]]);
-        let rs = d.execute("SELECT a FROM t ORDER BY a LIMIT 3", &[]).unwrap();
+        let rs = d
+            .execute("SELECT a FROM t ORDER BY a LIMIT 3", &[])
+            .unwrap();
         let got: Vec<i64> = rs.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
         assert_eq!(got, vec![0, 1, 2]);
         let rs = d.execute("SELECT a FROM t LIMIT 0", &[]).unwrap();
@@ -710,11 +805,26 @@ mod tests {
     #[test]
     fn null_handling() {
         let mut d = db("null");
-        d.execute("CREATE TABLE t (a BIGINT, b BIGINT)", &[]).unwrap();
+        d.execute("CREATE TABLE t (a BIGINT, b BIGINT)", &[])
+            .unwrap();
         d.execute("INSERT INTO t VALUES (1, NULL)", &[]).unwrap();
         // NULL never matches comparisons.
-        assert!(d.execute("SELECT * FROM t WHERE b = 1", &[]).unwrap().rows.is_empty());
-        assert!(d.execute("SELECT * FROM t WHERE b <> 1", &[]).unwrap().rows.is_empty());
-        assert_eq!(d.execute("SELECT * FROM t WHERE a = 1", &[]).unwrap().rows.len(), 1);
+        assert!(d
+            .execute("SELECT * FROM t WHERE b = 1", &[])
+            .unwrap()
+            .rows
+            .is_empty());
+        assert!(d
+            .execute("SELECT * FROM t WHERE b <> 1", &[])
+            .unwrap()
+            .rows
+            .is_empty());
+        assert_eq!(
+            d.execute("SELECT * FROM t WHERE a = 1", &[])
+                .unwrap()
+                .rows
+                .len(),
+            1
+        );
     }
 }

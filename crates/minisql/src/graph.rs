@@ -61,7 +61,12 @@ impl MySqlGraphDb {
             Err(GraphStorageError::Query(m)) if m.contains("already exists") => {}
             Err(e) => return Err(e),
         }
-        Ok(MySqlGraphDb { db, chunk_bytes, meta: MetaTable::new(), entries: 0 })
+        Ok(MySqlGraphDb {
+            db,
+            chunk_bytes,
+            meta: MetaTable::new(),
+            entries: 0,
+        })
     }
 
     /// SQL statements issued so far (the relational-overhead counter).
@@ -87,7 +92,10 @@ impl MySqlGraphDb {
     }
 
     fn set_chunk_count(&mut self, v: Gid, n: i64, existed: bool) -> Result<()> {
-        let params = [Value::Blob(n.to_le_bytes().to_vec()), Value::Int(v.raw() as i64)];
+        let params = [
+            Value::Blob(n.to_le_bytes().to_vec()),
+            Value::Int(v.raw() as i64),
+        ];
         if existed {
             self.db.execute(
                 "UPDATE adj SET data = ? WHERE vertex = ? AND chunk = -1",
@@ -162,12 +170,20 @@ impl MySqlGraphDb {
         if update {
             self.db.execute(
                 "UPDATE adj SET data = ? WHERE vertex = ? AND chunk = ?",
-                &[Value::Blob(data.to_vec()), Value::Int(v.raw() as i64), Value::Int(c)],
+                &[
+                    Value::Blob(data.to_vec()),
+                    Value::Int(v.raw() as i64),
+                    Value::Int(c),
+                ],
             )?;
         } else {
             self.db.execute(
                 "INSERT INTO adj VALUES (?, ?, ?)",
-                &[Value::Int(v.raw() as i64), Value::Int(c), Value::Blob(data.to_vec())],
+                &[
+                    Value::Int(v.raw() as i64),
+                    Value::Int(c),
+                    Value::Blob(data.to_vec()),
+                ],
             )?;
         }
         Ok(())
@@ -248,8 +264,7 @@ mod tests {
     }
 
     fn db(tag: &str, chunk_bytes: usize) -> MySqlGraphDb {
-        let d = std::env::temp_dir()
-            .join(format!("minisql-graph-{}-{tag}", std::process::id()));
+        let d = std::env::temp_dir().join(format!("minisql-graph-{}-{tag}", std::process::id()));
         let _ = std::fs::remove_dir_all(&d);
         MySqlGraphDb::with_chunk_bytes(&d, IoStats::new(), chunk_bytes).unwrap()
     }
@@ -257,7 +272,8 @@ mod tests {
     #[test]
     fn store_and_read() {
         let mut m = db("basic", 8192);
-        m.store_edges(&[Edge::of(1, 2), Edge::of(1, 3), Edge::of(4, 1)]).unwrap();
+        m.store_edges(&[Edge::of(1, 2), Edge::of(1, 3), Edge::of(4, 1)])
+            .unwrap();
         let mut n = m.neighbors(g(1)).unwrap();
         n.sort_unstable();
         assert_eq!(n, vec![g(2), g(3)]);
@@ -280,10 +296,7 @@ mod tests {
         m.store_edges(&[Edge::of(5, 1)]).unwrap();
         m.store_edges(&[Edge::of(5, 2)]).unwrap();
         m.store_edges(&[Edge::of(5, 3), Edge::of(5, 4)]).unwrap();
-        assert_eq!(
-            m.neighbors(g(5)).unwrap(),
-            vec![g(1), g(2), g(3), g(4)]
-        );
+        assert_eq!(m.neighbors(g(5)).unwrap(), vec![g(1), g(2), g(3), g(4)]);
         assert_eq!(m.chunk_count(g(5)).unwrap(), 2);
     }
 
@@ -315,13 +328,12 @@ mod tests {
 
     #[test]
     fn persistence() {
-        let d = std::env::temp_dir()
-            .join(format!("minisql-graph-{}-persist", std::process::id()));
+        let d = std::env::temp_dir().join(format!("minisql-graph-{}-persist", std::process::id()));
         let _ = std::fs::remove_dir_all(&d);
         {
-            let mut m =
-                MySqlGraphDb::with_chunk_bytes(&d, IoStats::new(), 28).unwrap();
-            m.store_edges(&(0..9).map(|i| Edge::of(3, i)).collect::<Vec<_>>()).unwrap();
+            let mut m = MySqlGraphDb::with_chunk_bytes(&d, IoStats::new(), 28).unwrap();
+            m.store_edges(&(0..9).map(|i| Edge::of(3, i)).collect::<Vec<_>>())
+                .unwrap();
             m.flush().unwrap();
         }
         let mut m = MySqlGraphDb::with_chunk_bytes(&d, IoStats::new(), 28).unwrap();

@@ -43,7 +43,10 @@ impl RowId {
 
     /// Unpacks from [`RowId::pack`].
     pub fn unpack(word: u64) -> RowId {
-        RowId { page: word >> 16, slot: (word & 0xffff) as u16 }
+        RowId {
+            page: word >> 16,
+            slot: (word & 0xffff) as u16,
+        }
     }
 }
 
@@ -103,12 +106,8 @@ impl HeapFile {
     fn store(&mut self, page: u64, bytes: Vec<u8>) -> Result<()> {
         match self.cache.insert(CacheKey::new(0, page), bytes, true) {
             Some(ev) if ev.key.block == page => self.file.write_block(page, &ev.data)?,
-            Some(ev) => {
-                if ev.dirty {
-                    self.file.write_block(ev.key.block, &ev.data)?;
-                }
-            }
-            None => {}
+            Some(ev) if ev.dirty => self.file.write_block(ev.key.block, &ev.data)?,
+            _ => {}
         }
         Ok(())
     }
@@ -136,11 +135,18 @@ impl HeapFile {
         }
         // Try the hint page, then a fresh one.
         for attempt in 0..2 {
-            let page_id = if attempt == 0 { self.last_page } else { self.new_page()? };
+            let page_id = if attempt == 0 {
+                self.last_page
+            } else {
+                self.new_page()?
+            };
             let mut page = self.load(page_id)?;
             if let Some(slot) = page_insert(&mut page, row) {
                 self.store(page_id, page)?;
-                return Ok(RowId { page: page_id, slot });
+                return Ok(RowId {
+                    page: page_id,
+                    slot,
+                });
             }
         }
         unreachable!("a fresh page always fits a size-checked row")
@@ -196,7 +202,13 @@ impl HeapFile {
             let slots = slot_count(&page);
             for slot in 0..slots {
                 if let Some(row) = page_get(&page, slot) {
-                    if !cb(RowId { page: page_id, slot }, row) {
+                    if !cb(
+                        RowId {
+                            page: page_id,
+                            slot,
+                        },
+                        row,
+                    ) {
                         return Ok(());
                     }
                 }
@@ -228,7 +240,11 @@ fn slot_count(page: &[u8]) -> u16 {
 fn data_start(page: &[u8]) -> usize {
     // data_start == 0 encodes "page_size" (fresh page of max size 65536).
     let raw = u16::from_le_bytes(page[2..4].try_into().unwrap()) as usize;
-    if raw == 0 { page.len() } else { raw }
+    if raw == 0 {
+        page.len()
+    } else {
+        raw
+    }
 }
 
 fn slot_at(page: &[u8], slot: u16) -> (u16, u16) {
@@ -338,7 +354,10 @@ mod tests {
 
     #[test]
     fn rowid_pack_roundtrip() {
-        let rid = RowId { page: 123456, slot: 42 };
+        let rid = RowId {
+            page: 123456,
+            slot: 42,
+        };
         assert_eq!(RowId::unpack(rid.pack()), rid);
     }
 
@@ -351,7 +370,10 @@ mod tests {
         }
         assert!(h.pages() > 1, "256-byte pages must overflow");
         for (i, rid) in rids.iter().enumerate() {
-            assert_eq!(h.get(*rid).unwrap(), Some((i as u32).to_le_bytes().repeat(4)));
+            assert_eq!(
+                h.get(*rid).unwrap(),
+                Some((i as u32).to_le_bytes().repeat(4))
+            );
         }
     }
 
@@ -390,7 +412,11 @@ mod tests {
         let new_rid = h.update(rid, &grown).unwrap().unwrap();
         assert_eq!(h.get(new_rid).unwrap(), Some(grown));
         if new_rid != rid {
-            assert_eq!(h.get(rid).unwrap(), None, "old slot must be dead after a move");
+            assert_eq!(
+                h.get(rid).unwrap(),
+                None,
+                "old slot must be dead after a move"
+            );
         }
     }
 

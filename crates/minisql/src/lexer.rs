@@ -144,16 +144,14 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
             }
             'x' | 'X' if bytes.get(i + 1) == Some(&b'\'') => {
                 let (s, next) = lex_string(input, i + 1)?;
-                let blob = decode_hex(&s)
-                    .ok_or_else(|| err(format!("bad hex blob near byte {i}")))?;
+                let blob =
+                    decode_hex(&s).ok_or_else(|| err(format!("bad hex blob near byte {i}")))?;
                 out.push(Token::HexBlob(blob));
                 i = next;
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 out.push(Token::Ident(input[start..i].to_string()));
@@ -185,11 +183,13 @@ fn lex_string(input: &str, start: usize) -> Result<(String, usize)> {
             i += 1;
         }
     }
-    Err(GraphStorageError::Query("unterminated string literal".into()))
+    Err(GraphStorageError::Query(
+        "unterminated string literal".into(),
+    ))
 }
 
 fn decode_hex(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     (0..s.len())
@@ -218,7 +218,13 @@ mod tests {
         let toks = lex("INSERT INTO t VALUES (?, ?, ?)").unwrap();
         let params: Vec<usize> = toks
             .iter()
-            .filter_map(|t| if let Token::Param(i) = t { Some(*i) } else { None })
+            .filter_map(|t| {
+                if let Token::Param(i) = t {
+                    Some(*i)
+                } else {
+                    None
+                }
+            })
             .collect();
         assert_eq!(params, vec![0, 1, 2]);
     }
@@ -232,7 +238,14 @@ mod tests {
             .collect();
         assert_eq!(
             ops,
-            vec![&Token::Le, &Token::Ge, &Token::Ne, &Token::Ne, &Token::Lt, &Token::Gt]
+            vec![
+                &Token::Le,
+                &Token::Ge,
+                &Token::Ne,
+                &Token::Ne,
+                &Token::Lt,
+                &Token::Gt
+            ]
         );
     }
 

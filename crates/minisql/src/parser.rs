@@ -82,7 +82,10 @@ impl Parser {
     }
 
     fn statement(&mut self) -> Result<Statement> {
-        let head = self.peek().cloned().ok_or_else(|| self.error("empty statement"))?;
+        let head = self
+            .peek()
+            .cloned()
+            .ok_or_else(|| self.error("empty statement"))?;
         if head.keyword_eq("CREATE") {
             self.pos += 1;
             if self.try_keyword("TABLE") {
@@ -129,7 +132,10 @@ impl Parser {
             } else {
                 let col = self.ident()?;
                 let ty = self.col_type()?;
-                columns.push(ColumnDef { name: col, col_type: ty });
+                columns.push(ColumnDef {
+                    name: col,
+                    col_type: ty,
+                });
             }
             match self.next()? {
                 Token::Comma => continue,
@@ -145,7 +151,11 @@ impl Parser {
                 return Err(self.error(&format!("PRIMARY KEY column {pk} not declared")));
             }
         }
-        Ok(Statement::CreateTable { name, columns, primary_key })
+        Ok(Statement::CreateTable {
+            name,
+            columns,
+            primary_key,
+        })
     }
 
     fn col_type(&mut self) -> Result<ColType> {
@@ -173,7 +183,11 @@ impl Parser {
                 other => return Err(self.error(&format!("in index columns: {other:?}"))),
             }
         }
-        Ok(Statement::CreateIndex { name, table, columns })
+        Ok(Statement::CreateIndex {
+            name,
+            table,
+            columns,
+        })
     }
 
     fn insert(&mut self) -> Result<Statement> {
@@ -242,7 +256,14 @@ impl Parser {
         } else {
             None
         };
-        Ok(Statement::Select { columns, count_star, table, predicates, order_by, limit })
+        Ok(Statement::Select {
+            columns,
+            count_star,
+            table,
+            predicates,
+            order_by,
+            limit,
+        })
     }
 
     fn update(&mut self) -> Result<Statement> {
@@ -260,7 +281,11 @@ impl Parser {
             }
         }
         let predicates = self.where_clause()?;
-        Ok(Statement::Update { table, sets, predicates })
+        Ok(Statement::Update {
+            table,
+            sets,
+            predicates,
+        })
     }
 
     fn delete(&mut self) -> Result<Statement> {
@@ -320,7 +345,11 @@ mod tests {
         )
         .unwrap();
         match s {
-            Statement::CreateTable { name, columns, primary_key } => {
+            Statement::CreateTable {
+                name,
+                columns,
+                primary_key,
+            } => {
                 assert_eq!(name, "adj");
                 assert_eq!(columns.len(), 3);
                 assert_eq!(columns[2].col_type, ColType::Blob);
@@ -366,10 +395,16 @@ mod tests {
 
     #[test]
     fn select_star_where_and() {
-        let s = parse("SELECT * FROM adj WHERE vertex = ? AND chunk >= 2 ORDER BY chunk")
-            .unwrap();
+        let s = parse("SELECT * FROM adj WHERE vertex = ? AND chunk >= 2 ORDER BY chunk").unwrap();
         match s {
-            Statement::Select { columns, count_star, table, predicates, order_by, limit } => {
+            Statement::Select {
+                columns,
+                count_star,
+                table,
+                predicates,
+                order_by,
+                limit,
+            } => {
                 assert!(columns.is_empty());
                 assert!(!count_star);
                 assert_eq!(table, "adj");
@@ -396,7 +431,9 @@ mod tests {
     fn update_and_delete() {
         let s = parse("UPDATE adj SET data = ? WHERE vertex = 3 AND chunk = 0").unwrap();
         match s {
-            Statement::Update { sets, predicates, .. } => {
+            Statement::Update {
+                sets, predicates, ..
+            } => {
                 assert_eq!(sets.len(), 1);
                 assert_eq!(predicates.len(), 2);
             }
@@ -419,7 +456,11 @@ mod tests {
     fn count_star_and_limit() {
         let s = parse("SELECT COUNT(*) FROM t WHERE a = 1").unwrap();
         match s {
-            Statement::Select { count_star, columns, .. } => {
+            Statement::Select {
+                count_star,
+                columns,
+                ..
+            } => {
                 assert!(count_star);
                 assert!(columns.is_empty());
             }
@@ -435,7 +476,11 @@ mod tests {
         // COUNT not followed by a paren is a plain column name.
         let s = parse("SELECT count FROM t").unwrap();
         match s {
-            Statement::Select { columns, count_star, .. } => {
+            Statement::Select {
+                columns,
+                count_star,
+                ..
+            } => {
                 assert_eq!(columns, vec!["count"]);
                 assert!(!count_star);
             }

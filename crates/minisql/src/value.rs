@@ -42,7 +42,9 @@ impl Value {
     pub fn as_int(&self) -> Result<i64> {
         match self {
             Value::Int(i) => Ok(*i),
-            other => Err(GraphStorageError::Query(format!("expected integer, got {other}"))),
+            other => Err(GraphStorageError::Query(format!(
+                "expected integer, got {other}"
+            ))),
         }
     }
 
@@ -50,7 +52,9 @@ impl Value {
     pub fn as_blob(&self) -> Result<&[u8]> {
         match self {
             Value::Blob(b) => Ok(b),
-            other => Err(GraphStorageError::Query(format!("expected blob, got {other}"))),
+            other => Err(GraphStorageError::Query(format!(
+                "expected blob, got {other}"
+            ))),
         }
     }
 

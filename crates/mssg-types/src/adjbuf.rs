@@ -21,7 +21,9 @@ impl AdjBuffer {
 
     /// Creates a buffer with pre-reserved capacity.
     pub fn with_capacity(cap: usize) -> AdjBuffer {
-        AdjBuffer { items: Vec::with_capacity(cap) }
+        AdjBuffer {
+            items: Vec::with_capacity(cap),
+        }
     }
 
     /// Appends one vertex.
@@ -107,7 +109,9 @@ impl Extend<Gid> for AdjBuffer {
 
 impl FromIterator<Gid> for AdjBuffer {
     fn from_iter<T: IntoIterator<Item = Gid>>(iter: T) -> AdjBuffer {
-        AdjBuffer { items: Vec::from_iter(iter) }
+        AdjBuffer {
+            items: Vec::from_iter(iter),
+        }
     }
 }
 

@@ -38,7 +38,10 @@ impl Edge {
     /// The same edge with endpoints swapped.
     #[inline]
     pub fn reversed(self) -> Edge {
-        Edge { src: self.dst, dst: self.src }
+        Edge {
+            src: self.dst,
+            dst: self.src,
+        }
     }
 
     /// Canonical undirected form: the endpoint with the smaller id first.
@@ -74,7 +77,10 @@ impl Edge {
     pub fn from_bytes(b: &[u8; 16]) -> Edge {
         let src = u64::from_le_bytes(b[..8].try_into().unwrap());
         let dst = u64::from_le_bytes(b[8..].try_into().unwrap());
-        Edge { src: Gid::from_raw(src), dst: Gid::from_raw(dst) }
+        Edge {
+            src: Gid::from_raw(src),
+            dst: Gid::from_raw(dst),
+        }
     }
 }
 
@@ -117,7 +123,12 @@ impl TypedEdge {
         edge_type: EdgeTypeId,
         dst_type: VertexTypeId,
     ) -> TypedEdge {
-        TypedEdge { edge, src_type, edge_type, dst_type }
+        TypedEdge {
+            edge,
+            src_type,
+            edge_type,
+            dst_type,
+        }
     }
 
     /// Drops the type annotations.

@@ -87,7 +87,7 @@ mod tests {
     fn display_includes_context() {
         let e = GraphStorageError::Corrupt("bad magic".into());
         assert!(e.to_string().contains("bad magic"));
-        let e = GraphStorageError::from(io::Error::new(io::ErrorKind::Other, "boom"));
+        let e = GraphStorageError::from(io::Error::other("boom"));
         assert!(e.to_string().contains("boom"));
     }
 

@@ -124,7 +124,11 @@ impl Gid {
     #[inline]
     #[track_caller]
     pub fn index(self) -> usize {
-        assert!(self.is_vertex(), "Gid {:#x} is tagged, not a vertex", self.0);
+        assert!(
+            self.is_vertex(),
+            "Gid {:#x} is tagged, not a vertex",
+            self.0
+        );
         self.0 as usize
     }
 }

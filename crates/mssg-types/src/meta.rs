@@ -72,8 +72,13 @@ mod tests {
 
     #[test]
     fn codes_roundtrip() {
-        for op in [MetaOp::Ignore, MetaOp::NotEqual, MetaOp::Equal, MetaOp::Greater, MetaOp::Less]
-        {
+        for op in [
+            MetaOp::Ignore,
+            MetaOp::NotEqual,
+            MetaOp::Equal,
+            MetaOp::Greater,
+            MetaOp::Less,
+        ] {
             assert_eq!(MetaOp::from_code(op.code()), Some(op));
         }
         assert_eq!(MetaOp::from_code(3), None);

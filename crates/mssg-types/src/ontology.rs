@@ -171,17 +171,11 @@ impl Ontology {
         if self.permits(e.src_type, e.edge_type, e.dst_type) {
             Ok(())
         } else {
-            let name = |v: VertexTypeId| {
-                self.vertex_type_name(v).unwrap_or("<unknown>").to_string()
-            };
+            let name =
+                |v: VertexTypeId| self.vertex_type_name(v).unwrap_or("<unknown>").to_string();
             let ename = self.edge_type_name(e.edge_type).unwrap_or("<unknown>");
             Err(OntologyError::Violation {
-                triple: format!(
-                    "{} --{}--> {}",
-                    name(e.src_type),
-                    ename,
-                    name(e.dst_type)
-                ),
+                triple: format!("{} --{}--> {}", name(e.src_type), ename, name(e.dst_type)),
             })
         }
     }
@@ -264,7 +258,10 @@ mod tests {
         let date = o.vertex_type("Date").unwrap();
         for ename in ["attends", "occurred on", "departs on", "takes"] {
             let e = o.edge_type(ename).unwrap();
-            assert!(!o.permits(person, e, date), "{ename} must not link Person-Date");
+            assert!(
+                !o.permits(person, e, date),
+                "{ename} must not link Person-Date"
+            );
         }
     }
 
@@ -301,8 +298,14 @@ mod tests {
     #[test]
     fn unknown_names_error() {
         let o = Ontology::example_meetings();
-        assert!(matches!(o.vertex_type("Alien"), Err(OntologyError::UnknownType(_))));
-        assert!(matches!(o.edge_type("zaps"), Err(OntologyError::UnknownType(_))));
+        assert!(matches!(
+            o.vertex_type("Alien"),
+            Err(OntologyError::UnknownType(_))
+        ));
+        assert!(matches!(
+            o.edge_type("zaps"),
+            Err(OntologyError::UnknownType(_))
+        ));
     }
 
     #[test]

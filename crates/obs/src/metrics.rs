@@ -1,0 +1,441 @@
+//! Metrics: named counters, gauges, and log2-bucketed histograms, with
+//! snapshotting and cross-node merging.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of histogram buckets: one per possible bit length of a `u64`
+/// (0..=64).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing counter handle. Cloning shares the counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle: a settable signed value. Cloning shares the gauge.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the value by `delta`.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistInner {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A log2-bucketed histogram handle. Bucket `0` holds the value `0`;
+/// bucket `b > 0` holds values in `[2^(b-1), 2^b)` — i.e. values of bit
+/// length `b`. Cloning shares the histogram.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+}
+
+impl Histogram {
+    /// Index of the bucket holding `value`: its bit length.
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive `(low, high)` bounds of bucket `index`.
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        match index {
+            0 => (0, 0),
+            64 => (1 << 63, u64::MAX),
+            b => (1 << (b - 1), (1 << b) - 1),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.0.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed)),
+            count: self.0.count.load(Ordering::Relaxed),
+            sum: self.0.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observation count per log2 bucket.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket where the cumulative count first reaches
+    /// `q` (0.0..=1.0) of all observations; 0 when empty. A coarse
+    /// (power-of-two) quantile.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut cum = 0;
+        for (i, n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= target.max(1) {
+                return Histogram::bucket_bounds(i).1;
+            }
+        }
+        Histogram::bucket_bounds(HISTOGRAM_BUCKETS - 1).1
+    }
+
+    /// Bucketwise sum of two snapshots.
+    pub fn merged(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i] + other.buckets[i]),
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+        }
+    }
+}
+
+impl fmt::Display for HistogramSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n={} mean={:.1}", self.count, self.mean())?;
+        for (i, n) in self.buckets.iter().enumerate() {
+            if *n > 0 {
+                let (lo, hi) = Histogram::bucket_bounds(i);
+                write!(f, " [{lo},{hi}]:{n}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Handle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    metrics: Mutex<BTreeMap<String, Handle>>,
+}
+
+/// A registry of named metrics. Cloning shares the registry; handles
+/// returned by the accessors are cheap `Arc` clones, so hot paths look a
+/// metric up once and keep the handle.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Returns the counter named `name`, registering it if absent.
+    ///
+    /// # Panics
+    /// Panics if `name` is registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.inner.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Handle::Counter(Counter::default()))
+        {
+            Handle::Counter(c) => c.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Returns the gauge named `name`, registering it if absent.
+    ///
+    /// # Panics
+    /// Panics if `name` is registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.inner.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Handle::Gauge(Gauge::default()))
+        {
+            Handle::Gauge(g) => g.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Returns the histogram named `name`, registering it if absent.
+    ///
+    /// # Panics
+    /// Panics if `name` is registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut m = self.inner.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Handle::Histogram(Histogram::default()))
+        {
+            Handle::Histogram(h) => h.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let m = self.inner.metrics.lock().unwrap();
+        let mut snap = MetricsSnapshot::default();
+        for (name, handle) in m.iter() {
+            match handle {
+                Handle::Counter(c) => {
+                    snap.counters.insert(name.clone(), c.get());
+                }
+                Handle::Gauge(g) => {
+                    snap.gauges.insert(name.clone(), g.get());
+                }
+                Handle::Histogram(h) => {
+                    snap.histograms.insert(name.clone(), h.snapshot());
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// Point-in-time copy of a [`MetricsRegistry`], mergeable across
+/// simulated cluster nodes like `IoSnapshot::merged`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Union of two snapshots: counters and gauges sum, histograms merge
+    /// bucketwise.
+    pub fn merged(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = self.clone();
+        for (name, v) in &other.counters {
+            *out.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            *out.gauges.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, h) in &other.histograms {
+            let entry = out.histograms.entry(name.clone()).or_default();
+            *entry = entry.merged(h);
+        }
+        out
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, v) in &self.counters {
+            writeln!(f, "counter {name} = {v}")?;
+        }
+        for (name, v) in &self.gauges {
+            writeln!(f, "gauge {name} = {v}")?;
+        }
+        for (name, h) in &self.histograms {
+            writeln!(f, "histogram {name}: {h}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        for b in 0..HISTOGRAM_BUCKETS {
+            let (lo, hi) = Histogram::bucket_bounds(b);
+            assert_eq!(Histogram::bucket_index(lo), b, "low bound of bucket {b}");
+            assert_eq!(Histogram::bucket_index(hi), b, "high bound of bucket {b}");
+            if b > 0 {
+                assert_eq!(Histogram::bucket_bounds(b - 1).1, lo.wrapping_sub(1));
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let h = Histogram::default();
+        for v in [0, 1, 1, 2, 3, 4, 7, 8, 1024] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 9);
+        assert_eq!(s.sum, 1050);
+        assert_eq!(s.buckets[0], 1); // {0}
+        assert_eq!(s.buckets[1], 2); // {1}
+        assert_eq!(s.buckets[2], 2); // {2,3}
+        assert_eq!(s.buckets[3], 2); // {4..7}
+        assert_eq!(s.buckets[4], 1); // {8..15}
+        assert_eq!(s.buckets[11], 1); // {1024..2047}
+        assert!((s.mean() - 1050.0 / 9.0).abs() < 1e-9);
+        assert_eq!(s.quantile_bound(0.5), 3);
+        assert_eq!(s.quantile_bound(1.0), 2047);
+    }
+
+    #[test]
+    fn registry_reuses_handles() {
+        let r = MetricsRegistry::new();
+        r.counter("x").inc();
+        r.counter("x").add(2);
+        assert_eq!(r.counter("x").get(), 3);
+        r.gauge("g").set(-5);
+        assert_eq!(r.gauge("g").get(), -5);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = MetricsRegistry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn merge_across_threads() {
+        let r = MetricsRegistry::new();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    let c = r.counter("work");
+                    let h = r.histogram("sizes");
+                    for j in 0..100 {
+                        c.inc();
+                        h.record(i * 100 + j);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["work"], 400);
+        assert_eq!(snap.histograms["sizes"].count, 400);
+
+        // Merging two disjoint node snapshots behaves like one registry
+        // that saw both loads.
+        let r2 = MetricsRegistry::new();
+        r2.counter("work").add(10);
+        r2.counter("other").inc();
+        r2.histogram("sizes").record(7);
+        let merged = snap.merged(&r2.snapshot());
+        assert_eq!(merged.counters["work"], 410);
+        assert_eq!(merged.counters["other"], 1);
+        assert_eq!(merged.histograms["sizes"].count, 401);
+        assert_eq!(
+            merged.histograms["sizes"].buckets[3],
+            snap.histograms["sizes"].buckets[3] + 1
+        );
+    }
+
+    #[test]
+    fn display_lists_everything() {
+        let r = MetricsRegistry::new();
+        r.counter("c").inc();
+        r.gauge("g").set(2);
+        r.histogram("h").record(5);
+        let text = r.snapshot().to_string();
+        assert!(text.contains("counter c = 1"));
+        assert!(text.contains("gauge g = 2"));
+        assert!(text.contains("histogram h: n=1"));
+    }
+}

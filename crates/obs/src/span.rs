@@ -1,0 +1,439 @@
+//! Span tracing: RAII-guarded timed regions with Chrome trace-event JSON
+//! and flamegraph-folded export.
+
+use crate::json;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A recorded field value on a span.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    /// Numeric field (counts, sizes, levels).
+    U64(u64),
+    /// Text field (names, kinds).
+    Str(String),
+}
+
+/// One completed span.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Span name (e.g. `"bfs.level"`).
+    pub name: String,
+    /// Semicolon-joined ancestry ending in this span's name — the
+    /// flamegraph-folded stack path.
+    pub path: String,
+    /// Start offset from the tracer's epoch, in nanoseconds.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Logical thread id (dense, per tracer-observing thread).
+    pub tid: u64,
+    /// Key/value annotations.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl SpanRecord {
+    /// The numeric field `key`, if recorded.
+    pub fn field_u64(&self, key: &str) -> Option<u64> {
+        self.fields.iter().find_map(|(k, v)| match v {
+            FieldValue::U64(n) if *k == key => Some(*n),
+            _ => None,
+        })
+    }
+}
+
+struct TracerInner {
+    epoch: Instant,
+    spans: Mutex<Vec<SpanRecord>>,
+    /// Thread names keyed by logical tid, for Chrome metadata events.
+    threads: Mutex<HashMap<u64, String>>,
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Dense per-thread id, assigned on first use.
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    /// Stack of active span names on this thread (for folded paths).
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A lightweight span tracer.
+///
+/// Cloning shares the underlying buffer. A tracer is either *enabled*
+/// (records spans) or *disabled* (every operation is a no-op that
+/// allocates nothing — verified by the `no_alloc` integration test), so
+/// instrumentation can stay in place permanently:
+///
+/// ```
+/// use mssg_obs::Tracer;
+/// let tracer = Tracer::enabled();
+/// {
+///     let _outer = tracer.span("query");
+///     let _inner = tracer.span("bfs.level").with("level", 0).with("frontier", 1);
+/// }
+/// assert_eq!(tracer.span_count(), 2);
+/// assert!(tracer.chrome_trace_json().contains("bfs.level"));
+/// ```
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.is_enabled())
+            .field("spans", &self.span_count())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A recording tracer.
+    pub fn enabled() -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                epoch: Instant::now(),
+                spans: Mutex::new(Vec::new()),
+                threads: Mutex::new(HashMap::new()),
+            })),
+        }
+    }
+
+    /// A no-op tracer (the default).
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// `true` if spans are being recorded. Callers building dynamic span
+    /// names or expensive field values should gate on this.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a span; the returned guard records the span when dropped.
+    /// On a disabled tracer this is a no-op and does not allocate.
+    #[inline]
+    pub fn span(&self, name: &str) -> SpanGuard {
+        match &self.inner {
+            None => SpanGuard { active: None },
+            Some(inner) => {
+                let tid = TID.with(|t| *t);
+                // Register the OS thread's name once per logical tid.
+                {
+                    let mut threads = inner.threads.lock().unwrap();
+                    threads.entry(tid).or_insert_with(|| {
+                        std::thread::current()
+                            .name()
+                            .unwrap_or("unnamed")
+                            .to_string()
+                    });
+                }
+                let path = STACK.with(|s| {
+                    let mut s = s.borrow_mut();
+                    let path = if s.is_empty() {
+                        name.to_string()
+                    } else {
+                        format!("{};{}", s.join(";"), name)
+                    };
+                    s.push(name.to_string());
+                    path
+                });
+                SpanGuard {
+                    active: Some(ActiveSpan {
+                        tracer: Arc::clone(inner),
+                        name: name.to_string(),
+                        path,
+                        start: Instant::now(),
+                        tid,
+                        fields: Vec::new(),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Number of completed spans so far.
+    pub fn span_count(&self) -> usize {
+        match &self.inner {
+            None => 0,
+            Some(inner) => inner.spans.lock().unwrap().len(),
+        }
+    }
+
+    /// Copies of all completed spans (test/report introspection).
+    pub fn finished_spans(&self) -> Vec<SpanRecord> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner.spans.lock().unwrap().clone(),
+        }
+    }
+
+    /// Serializes every completed span as Chrome trace-event JSON —
+    /// loadable in `chrome://tracing` or <https://ui.perfetto.dev>.
+    pub fn chrome_trace_json(&self) -> String {
+        let (spans, threads) = match &self.inner {
+            None => (Vec::new(), HashMap::new()),
+            Some(inner) => (
+                inner.spans.lock().unwrap().clone(),
+                inner.threads.lock().unwrap().clone(),
+            ),
+        };
+        let mut out = String::with_capacity(256 + spans.len() * 128);
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+        let mut threads: Vec<(u64, String)> = threads.into_iter().collect();
+        threads.sort();
+        for (tid, name) in &threads {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            write!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":{}}}}}",
+                json::escape(name)
+            )
+            .unwrap();
+        }
+        for s in &spans {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            // ts/dur are microseconds; keep nanosecond precision as
+            // fractional digits.
+            write!(
+                out,
+                "{{\"ph\":\"X\",\"pid\":0,\"tid\":{},\"name\":{},\
+                 \"ts\":{}.{:03},\"dur\":{}.{:03},\"args\":{{",
+                s.tid,
+                json::escape(&s.name),
+                s.start_ns / 1_000,
+                s.start_ns % 1_000,
+                s.dur_ns / 1_000,
+                s.dur_ns % 1_000,
+            )
+            .unwrap();
+            for (i, (k, v)) in s.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                match v {
+                    FieldValue::U64(n) => write!(out, "{}:{n}", json::escape(k)).unwrap(),
+                    FieldValue::Str(t) => {
+                        write!(out, "{}:{}", json::escape(k), json::escape(t)).unwrap()
+                    }
+                }
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Flamegraph-folded dump: one `path total_self_nanoseconds` line per
+    /// distinct stack path, suitable for `inferno`/`flamegraph.pl`.
+    pub fn folded(&self) -> String {
+        let spans = self.finished_spans();
+        // Total time per path, then subtract direct children to get self
+        // time.
+        let mut totals: std::collections::BTreeMap<String, u64> = Default::default();
+        for s in &spans {
+            *totals.entry(s.path.clone()).or_insert(0) += s.dur_ns;
+        }
+        let mut selfs = totals.clone();
+        for (path, total) in &totals {
+            if let Some((parent, _leaf)) = path.rsplit_once(';') {
+                if let Some(p) = selfs.get_mut(parent) {
+                    *p = p.saturating_sub(*total);
+                }
+            }
+        }
+        let mut out = String::new();
+        for (path, self_ns) in &selfs {
+            writeln!(out, "{path} {self_ns}").unwrap();
+        }
+        out
+    }
+}
+
+struct ActiveSpan {
+    tracer: Arc<TracerInner>,
+    name: String,
+    path: String,
+    start: Instant,
+    tid: u64,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// RAII guard for an open span; records the span on drop.
+#[must_use = "dropping the guard immediately closes the span"]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+impl SpanGuard {
+    /// Attaches a numeric field (builder style).
+    #[inline]
+    pub fn with(mut self, key: &'static str, value: u64) -> SpanGuard {
+        self.record(key, value);
+        self
+    }
+
+    /// Attaches a text field (builder style).
+    #[inline]
+    pub fn with_str(mut self, key: &'static str, value: &str) -> SpanGuard {
+        if let Some(a) = &mut self.active {
+            a.fields.push((key, FieldValue::Str(value.to_string())));
+        }
+        self
+    }
+
+    /// Attaches a numeric field to an already-open span (for values only
+    /// known while the span runs, e.g. items processed).
+    #[inline]
+    pub fn record(&mut self, key: &'static str, value: u64) {
+        if let Some(a) = &mut self.active {
+            a.fields.push((key, FieldValue::U64(value)));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(a) = self.active.take() else { return };
+        let dur_ns = a.start.elapsed().as_nanos() as u64;
+        let start_ns = a.start.duration_since(a.tracer.epoch).as_nanos() as u64;
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            debug_assert_eq!(s.last(), Some(&a.name), "span guards dropped out of order");
+            s.pop();
+        });
+        a.tracer.spans.lock().unwrap().push(SpanRecord {
+            name: a.name,
+            path: a.path,
+            start_ns,
+            dur_ns,
+            tid: a.tid,
+            fields: a.fields,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let t = Tracer::disabled();
+        {
+            let _g = t.span("x").with("k", 1);
+        }
+        assert_eq!(t.span_count(), 0);
+        assert!(!t.is_enabled());
+        assert_eq!(t.chrome_trace_json(), "{\"traceEvents\":[]}");
+        assert_eq!(t.folded(), "");
+    }
+
+    #[test]
+    fn nesting_builds_paths() {
+        let t = Tracer::enabled();
+        {
+            let _a = t.span("a");
+            {
+                let _b = t.span("b");
+                let _c = t.span("c");
+            }
+            let _d = t.span("d");
+        }
+        let spans = t.finished_spans();
+        let paths: Vec<&str> = spans.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(paths, vec!["a;b;c", "a;b", "a;d", "a"]);
+    }
+
+    #[test]
+    fn fields_survive_to_record() {
+        let t = Tracer::enabled();
+        {
+            let mut g = t.span("win").with("edges", 10).with_str("kind", "pubmed");
+            g.record("bytes", 160);
+        }
+        let s = &t.finished_spans()[0];
+        assert_eq!(
+            s.fields,
+            vec![
+                ("edges", FieldValue::U64(10)),
+                ("kind", FieldValue::Str("pubmed".into())),
+                ("bytes", FieldValue::U64(160)),
+            ]
+        );
+    }
+
+    #[test]
+    fn folded_subtracts_child_self_time() {
+        let t = Tracer::enabled();
+        {
+            let _a = t.span("a");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _b = t.span("b");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let folded = t.folded();
+        let mut lines: Vec<(&str, u64)> = folded
+            .lines()
+            .map(|l| {
+                let (p, n) = l.rsplit_once(' ').unwrap();
+                (p, n.parse().unwrap())
+            })
+            .collect();
+        lines.sort();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].0, "a");
+        assert_eq!(lines[1].0, "a;b");
+        let total_a: u64 = t
+            .finished_spans()
+            .iter()
+            .find(|s| s.path == "a")
+            .map(|s| s.dur_ns)
+            .unwrap();
+        // a's self time excludes b's time.
+        assert!(lines[0].1 < total_a);
+    }
+
+    #[test]
+    fn spans_across_threads_get_distinct_tids() {
+        let t = Tracer::enabled();
+        let t2 = t.clone();
+        let h = std::thread::Builder::new()
+            .name("worker".into())
+            .spawn(move || {
+                let _g = t2.span("remote");
+            })
+            .unwrap();
+        {
+            let _g = t.span("local");
+        }
+        h.join().unwrap();
+        let spans = t.finished_spans();
+        assert_eq!(spans.len(), 2);
+        let tid_of = |n: &str| spans.iter().find(|s| s.name == n).unwrap().tid;
+        assert_ne!(tid_of("remote"), tid_of("local"));
+        let json = t.chrome_trace_json();
+        assert!(
+            json.contains("\"worker\""),
+            "thread name metadata present: {json}"
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! A disabled tracer must be a true no-op: opening spans and attaching
+//! fields allocates nothing. Verified with a counting global allocator,
+//! which is why this lives in its own integration-test binary.
+
+use mssg_obs::Tracer;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: delegates directly to the system allocator; only bookkeeping is
+// added.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn disabled_tracer_does_not_allocate() {
+    let tracer = Tracer::disabled();
+
+    // Warm up thread-locals and anything lazy.
+    {
+        let _g = tracer.span("warmup").with("k", 0);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        let mut g = tracer
+            .span("bfs.level")
+            .with("level", i)
+            .with("frontier", i * 2);
+        g.record("visited", i);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "disabled spans must not allocate ({} allocations in 10k spans)",
+        after - before
+    );
+}
+
+#[test]
+fn enabled_tracer_records_here_too() {
+    // Sanity check that the allocator shim doesn't break recording.
+    let tracer = Tracer::enabled();
+    {
+        let _g = tracer.span("x");
+    }
+    assert_eq!(tracer.span_count(), 1);
+}

@@ -69,7 +69,11 @@ impl CacheStats {
     /// Hit ratio in `[0, 1]`; 0 when no lookups happened.
     pub fn hit_ratio(&self) -> f64 {
         let total = self.hits + self.misses;
-        if total == 0 { 0.0 } else { self.hits as f64 / total as f64 }
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
     }
 }
 
@@ -193,7 +197,11 @@ impl BlockCache {
             self.touch(idx);
             return None;
         }
-        let victim = if self.map.len() >= self.capacity { self.evict() } else { None };
+        let victim = if self.map.len() >= self.capacity {
+            self.evict()
+        } else {
+            None
+        };
         let idx = match self.free.pop() {
             Some(i) => {
                 self.frames[i] = Frame {
@@ -238,7 +246,11 @@ impl BlockCache {
             let f = &mut self.frames[idx];
             if f.dirty {
                 f.dirty = false;
-                out.push(Evicted { key, data: f.data.clone(), dirty: true });
+                out.push(Evicted {
+                    key,
+                    data: f.data.clone(),
+                    dirty: true,
+                });
             }
         }
         out
@@ -250,7 +262,11 @@ impl BlockCache {
         let mut out = Vec::new();
         for (key, idx) in self.map.drain() {
             let f = &mut self.frames[idx];
-            out.push(Evicted { key, data: std::mem::take(&mut f.data), dirty: f.dirty });
+            out.push(Evicted {
+                key,
+                data: std::mem::take(&mut f.data),
+                dirty: f.dirty,
+            });
         }
         self.frames.clear();
         self.free.clear();
@@ -501,10 +517,10 @@ mod tests {
             x ^= x >> 7;
             x ^= x << 17;
             let key = k(x % 32);
-            if x % 3 == 0 {
+            if x.is_multiple_of(3) {
                 let _ = c.get(key);
             } else {
-                let _ = c.insert(key, vec![(x % 256) as u8], x % 5 == 0);
+                let _ = c.insert(key, vec![(x % 256) as u8], x.is_multiple_of(5));
             }
             assert!(c.len() <= 8);
         }
@@ -519,7 +535,7 @@ mod tests {
             x ^= x >> 7;
             x ^= x << 17;
             let key = k(x % 32);
-            if x % 3 == 0 {
+            if x.is_multiple_of(3) {
                 let _ = c.get(key);
             } else {
                 let _ = c.insert(key, vec![(x % 256) as u8], false);

@@ -36,7 +36,10 @@ impl DiskCostModel {
     /// A model with zero costs; modeled time is always zero. Useful to turn
     /// the model off without changing harness code.
     pub fn free() -> DiskCostModel {
-        DiskCostModel { seek_latency: Duration::ZERO, bandwidth_bytes_per_sec: f64::INFINITY }
+        DiskCostModel {
+            seek_latency: Duration::ZERO,
+            bandwidth_bytes_per_sec: f64::INFINITY,
+        }
     }
 
     /// Cost of a single access: one optional seek plus a transfer.
@@ -46,7 +49,11 @@ impl DiskCostModel {
         } else {
             Duration::ZERO
         };
-        if seek { self.seek_latency + transfer } else { transfer }
+        if seek {
+            self.seek_latency + transfer
+        } else {
+            transfer
+        }
     }
 
     /// Total modeled time for an interval of I/O activity.
@@ -57,7 +64,7 @@ impl DiskCostModel {
         } else {
             Duration::ZERO
         };
-        self.seek_latency * (io.seeks as u32).min(u32::MAX) + transfer
+        self.seek_latency * u32::try_from(io.seeks).unwrap_or(u32::MAX) + transfer
     }
 }
 
@@ -74,7 +81,11 @@ mod tests {
     #[test]
     fn free_model_is_zero() {
         let m = DiskCostModel::free();
-        let io = IoSnapshot { bytes_read: 1 << 30, seeks: 1_000_000, ..Default::default() };
+        let io = IoSnapshot {
+            bytes_read: 1 << 30,
+            seeks: 1_000_000,
+            ..Default::default()
+        };
         assert_eq!(m.modeled_time(&io), Duration::ZERO);
         assert_eq!(m.access_cost(4096, true), Duration::ZERO);
     }

@@ -61,7 +61,11 @@ impl MultiFile {
                 break;
             }
             let f = BlockFile::open(&path, block_size, Arc::clone(&mf.stats))?;
-            if mf.files.last().is_some_and(|_| mf.len_blocks % blocks_per_file != 0) {
+            if mf
+                .files
+                .last()
+                .is_some_and(|_| !mf.len_blocks.is_multiple_of(blocks_per_file))
+            {
                 return Err(GraphStorageError::corrupt(format!(
                     "segment before {} is not full",
                     path.display()
@@ -116,7 +120,11 @@ impl MultiFile {
         let fi = (g / self.blocks_per_file) as usize;
         if fi == self.files.len() {
             let path = self.segment_path(fi as u64);
-            self.files.push(BlockFile::open(&path, self.block_size, Arc::clone(&self.stats))?);
+            self.files.push(BlockFile::open(
+                &path,
+                self.block_size,
+                Arc::clone(&self.stats),
+            )?);
         }
         let local = g % self.blocks_per_file;
         let zeroes = vec![0u8; self.block_size];
@@ -148,7 +156,10 @@ impl MultiFile {
                 self.len_blocks, self.base_name
             )));
         }
-        Ok(((g / self.blocks_per_file) as usize, g % self.blocks_per_file))
+        Ok((
+            (g / self.blocks_per_file) as usize,
+            g % self.blocks_per_file,
+        ))
     }
 }
 

@@ -200,8 +200,17 @@ mod tests {
 
     #[test]
     fn merged_sums() {
-        let a = IoSnapshot { block_reads: 1, bytes_read: 10, ..Default::default() };
-        let b = IoSnapshot { block_reads: 2, bytes_read: 20, seeks: 3, ..Default::default() };
+        let a = IoSnapshot {
+            block_reads: 1,
+            bytes_read: 10,
+            ..Default::default()
+        };
+        let b = IoSnapshot {
+            block_reads: 2,
+            bytes_read: 20,
+            seeks: 3,
+            ..Default::default()
+        };
         let m = a.merged(&b);
         assert_eq!(m.block_reads, 3);
         assert_eq!(m.bytes_read, 30);

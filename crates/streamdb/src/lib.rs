@@ -204,7 +204,8 @@ mod tests {
     #[test]
     fn store_and_point_query() {
         let mut s = db("point.log");
-        s.store_edges(&[Edge::of(1, 2), Edge::of(1, 3), Edge::of(2, 1)]).unwrap();
+        s.store_edges(&[Edge::of(1, 2), Edge::of(1, 3), Edge::of(2, 1)])
+            .unwrap();
         let mut n = s.neighbors(g(1)).unwrap();
         n.sort_unstable();
         assert_eq!(n, vec![g(2), g(3)]);
@@ -224,11 +225,15 @@ mod tests {
         s.flush().unwrap();
         let before = stats.snapshot();
         let mut out = AdjBuffer::new();
-        s.expand_fringe(&[g(0), g(1), g(2)], &mut out, 0, MetaOp::Ignore).unwrap();
+        s.expand_fringe(&[g(0), g(1), g(2)], &mut out, 0, MetaOp::Ignore)
+            .unwrap();
         assert_eq!(out.len(), 300);
         let delta = stats.snapshot().since(&before);
         // 10k records × 16 B = 160000 B -> ceil(160000/65536) = 3 buffered reads.
-        assert_eq!(delta.block_reads, 3, "one sequential pass regardless of fringe size");
+        assert_eq!(
+            delta.block_reads, 3,
+            "one sequential pass regardless of fringe size"
+        );
     }
 
     #[test]
@@ -237,7 +242,8 @@ mod tests {
         s.store_edges(&[Edge::of(0, 1), Edge::of(0, 2)]).unwrap();
         s.set_metadata(g(1), 5).unwrap();
         let mut out = AdjBuffer::new();
-        s.expand_fringe(&[g(0)], &mut out, 5, MetaOp::NotEqual).unwrap();
+        s.expand_fringe(&[g(0)], &mut out, 5, MetaOp::NotEqual)
+            .unwrap();
         assert_eq!(out.as_slice(), &[g(2)]);
     }
 
@@ -320,8 +326,10 @@ mod tests {
         let fringe: Vec<Gid> = (0..30).map(g).collect();
         let mut out_s = AdjBuffer::new();
         let mut out_h = AdjBuffer::new();
-        s.expand_fringe(&fringe, &mut out_s, 0, MetaOp::Ignore).unwrap();
-        h.expand_fringe(&fringe, &mut out_h, 0, MetaOp::Ignore).unwrap();
+        s.expand_fringe(&fringe, &mut out_s, 0, MetaOp::Ignore)
+            .unwrap();
+        h.expand_fringe(&fringe, &mut out_h, 0, MetaOp::Ignore)
+            .unwrap();
         let mut vs = out_s.take();
         let mut vh = out_h.take();
         vs.sort_unstable();

@@ -39,7 +39,11 @@ fn main() -> mssg::types::Result<()> {
         let dir = std::env::temp_dir().join(format!("mssg-shootout-{}", kind.name()));
         let _ = std::fs::remove_dir_all(&dir);
         let mut cluster = MssgCluster::new(&dir, 4, kind, &BackendOptions::default())?;
-        let report = ingest(&mut cluster, workload.edge_stream(), &IngestOptions::default())?;
+        let report = ingest(
+            &mut cluster,
+            workload.edge_stream(),
+            &IngestOptions::default(),
+        )?;
 
         let mut total = std::time::Duration::ZERO;
         let mut edges_per_sec = 0.0;
@@ -47,15 +51,15 @@ fn main() -> mssg::types::Result<()> {
         let start = Instant::now();
         for &(s, d) in &queries {
             let m = mssg::core::bfs::bfs(&cluster, s, d, &BfsOptions::default())?;
-            total += m.elapsed;
+            total += m.telemetry.elapsed;
             edges_per_sec += m.edges_per_sec();
-            block_reads += m.io.block_reads;
+            block_reads += m.telemetry.io.block_reads;
         }
         let _ = start;
         println!(
             "{:<12} {:>12} {:>12} {:>11.2} M/s {:>12}",
             kind.name(),
-            format!("{:.1?}", report.elapsed),
+            format!("{:.1?}", report.telemetry.elapsed),
             format!("{:.1?}", total / queries.len() as u32),
             edges_per_sec / queries.len() as f64 / 1e6,
             block_reads,

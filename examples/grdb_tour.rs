@@ -97,6 +97,9 @@ fn main() -> mssg::types::Result<()> {
     assert_eq!(adj.len(), 50_000);
     assert_eq!(adj[0], Gid::new(10_000));
     assert_eq!(adj[49_999], Gid::new(59_999));
-    println!("\nhub adjacency read back intact ({} entries, order preserved)", adj.len());
+    println!(
+        "\nhub adjacency read back intact ({} entries, order preserved)",
+        adj.len()
+    );
     Ok(())
 }

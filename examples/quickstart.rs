@@ -32,7 +32,7 @@ fn main() -> mssg::types::Result<()> {
     println!(
         "ingested {} edges in {:?} ({} stored entries across {} nodes)",
         report.edges,
-        report.elapsed,
+        report.telemetry.elapsed,
         cluster.total_entries(),
         cluster.nodes()
     );

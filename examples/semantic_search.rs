@@ -39,15 +39,15 @@ fn main() -> mssg::types::Result<()> {
     // Raw intelligence feed: (src, edge type, dst). Some assertions violate
     // the schema; the ingestion service validates and rejects them.
     let feed: Vec<(u64, &str, u64)> = vec![
-        (0, "attends", 100),     // person 0 attends meeting 100
-        (1, "attends", 100),     // person 1 attends the same meeting
+        (0, "attends", 100),       // person 0 attends meeting 100
+        (1, "attends", 100),       // person 1 attends the same meeting
         (100, "occurred on", 200), // which occurred on date 200
-        (2, "takes", 300),       // person 2 takes travel 300
-        (300, "departs on", 200), // departing on the same date
+        (2, "takes", 300),         // person 2 takes travel 300
+        (300, "departs on", 200),  // departing on the same date
         (3, "attends", 101),
         (101, "occurred on", 201),
-        (0, "attends", 200),     // INVALID: Person cannot link to Date
-        (1, "takes", 100),       // INVALID: "takes" cannot reach a Meeting
+        (0, "attends", 200), // INVALID: Person cannot link to Date
+        (1, "takes", 100),   // INVALID: "takes" cannot reach a Meeting
     ];
     let typed_feed: Vec<TypedEdge> = feed
         .into_iter()
@@ -65,10 +65,13 @@ fn main() -> mssg::types::Result<()> {
     // streams through the framework.
     let dir = std::env::temp_dir().join("mssg-semantic");
     let _ = std::fs::remove_dir_all(&dir);
-    let mut cluster =
-        MssgCluster::new(&dir, 3, BackendKind::Grdb, &BackendOptions::default())?;
-    let out =
-        ingest_typed(&mut cluster, typed_feed.into_iter(), &ontology, &IngestOptions::default())?;
+    let mut cluster = MssgCluster::new(&dir, 3, BackendKind::Grdb, &BackendOptions::default())?;
+    let out = ingest_typed(
+        &mut cluster,
+        typed_feed.into_iter(),
+        &ontology,
+        &IngestOptions::default(),
+    )?;
     println!(
         "{} assertions accepted, {} rejected by the ontology",
         out.report.edges, out.rejected
@@ -79,18 +82,27 @@ fn main() -> mssg::types::Result<()> {
     // "Are persons 0 and 2 indirectly associated?" In the schema, only
     // through shared dates: 0 -> meeting 100 -> date 200 <- travel 300 <- 2.
     let m = mssg::core::bfs::bfs(&cluster, Gid::new(0), Gid::new(2), &BfsOptions::default())?;
-    println!("person 0 to person 2: path of {:?} relationships", m.path_length);
+    println!(
+        "person 0 to person 2: path of {:?} relationships",
+        m.path_length
+    );
     assert_eq!(m.path_length, Some(4));
 
     // Persons 0 and 1 attended the same meeting: distance 2.
     let m = mssg::core::bfs::bfs(&cluster, Gid::new(0), Gid::new(1), &BfsOptions::default())?;
-    println!("person 0 to person 1: path of {:?} relationships", m.path_length);
+    println!(
+        "person 0 to person 1: path of {:?} relationships",
+        m.path_length
+    );
     assert_eq!(m.path_length, Some(2));
 
     // Person 3 shares no dates or meetings with person 0's component?
     // 3 -> 101 -> 201 is a separate component from {0,1,100,200,...}.
     let m = mssg::core::bfs::bfs(&cluster, Gid::new(0), Gid::new(3), &BfsOptions::default())?;
-    println!("person 0 to person 3: {:?} (disconnected components)", m.path_length);
+    println!(
+        "person 0 to person 3: {:?} (disconnected components)",
+        m.path_length
+    );
     assert_eq!(m.path_length, None);
     Ok(())
 }

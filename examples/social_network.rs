@@ -38,14 +38,13 @@ fn main() -> mssg::types::Result<()> {
     // Store it across a 8-node MSSG cluster.
     let dir = std::env::temp_dir().join("mssg-social");
     let _ = std::fs::remove_dir_all(&dir);
-    let mut cluster =
-        MssgCluster::new(&dir, 8, BackendKind::Grdb, &BackendOptions::default())?;
+    let mut cluster = MssgCluster::new(&dir, 8, BackendKind::Grdb, &BackendOptions::default())?;
     let report = ingest(&mut cluster, edges.into_iter(), &IngestOptions::default())?;
     println!(
         "ingested {} friendships in {:?} ({:.1} K edges/s)",
         report.edges,
-        report.elapsed,
-        report.edges as f64 / report.elapsed.as_secs_f64() / 1e3
+        report.telemetry.elapsed,
+        report.edges as f64 / report.telemetry.elapsed.as_secs_f64() / 1e3
     );
 
     // Degrees of separation: sample random pairs and measure path lengths —
@@ -79,10 +78,7 @@ fn main() -> mssg::types::Result<()> {
 
     // Whole-graph analysis through the same framework: connected
     // components (a BA graph is connected by construction).
-    let cc = mssg::core::connected_components(
-        &cluster,
-        &mssg::core::ComponentsOptions::default(),
-    )?;
+    let cc = mssg::core::connected_components(&cluster, &mssg::core::ComponentsOptions::default())?;
     println!(
         "components: {} ({} vertices, largest {}) in {} rounds",
         cc.components, cc.vertices, cc.largest, cc.rounds

@@ -13,6 +13,7 @@ pub use grdb;
 pub use kvdb;
 pub use minisql;
 pub use mssg_core as core;
+pub use mssg_obs as obs;
 pub use mssg_types as types;
 pub use simio;
 pub use streamdb;
@@ -20,5 +21,6 @@ pub use streamdb;
 /// Commonly used items, importable in one line.
 pub mod prelude {
     pub use graphdb::{GraphDb, GraphDbExt};
+    pub use mssg_obs::Telemetry;
     pub use mssg_types::{AdjBuffer, Edge, Gid, Meta, MetaOp, Ontology, UNVISITED};
 }

@@ -4,7 +4,9 @@
 
 use mssg::core::bfs::{bfs, BfsOptions};
 use mssg::core::ingest::{ingest, IngestOptions};
-use mssg::core::{connected_components, BackendKind, BackendOptions, ComponentsOptions, MssgCluster};
+use mssg::core::{
+    connected_components, BackendKind, BackendOptions, ComponentsOptions, MssgCluster,
+};
 use mssg::graphgen::generate::{BarabasiAlbert, Rmat};
 use mssg::graphgen::{degree_stats, GraphPreset, Xoshiro256};
 use mssg::prelude::*;
@@ -79,10 +81,13 @@ fn search_results_identical_across_repeated_runs() {
 fn components_identical_across_runs_and_backends() {
     let w = GraphPreset::PubMedS.workload(32768, 5);
     let mut results = Vec::new();
-    for kind in [BackendKind::HashMap, BackendKind::Grdb, BackendKind::BerkeleyDb] {
+    for kind in [
+        BackendKind::HashMap,
+        BackendKind::Grdb,
+        BackendKind::BerkeleyDb,
+    ] {
         let dir = tmpdir(&format!("cc-{}", kind.name()));
-        let mut cluster =
-            MssgCluster::new(&dir, 3, kind, &BackendOptions::default()).unwrap();
+        let mut cluster = MssgCluster::new(&dir, 3, kind, &BackendOptions::default()).unwrap();
         ingest(&mut cluster, w.edge_stream(), &IngestOptions::default()).unwrap();
         let r = connected_components(&cluster, &ComponentsOptions::default()).unwrap();
         results.push((kind.name(), r.components, r.vertices, r.largest, r.sizes));

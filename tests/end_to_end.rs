@@ -37,8 +37,8 @@ fn oracle_bfs(edges: &[Edge], source: Gid, dest: Gid) -> Option<u32> {
             if u == dest {
                 return Some(d + 1);
             }
-            if !dist.contains_key(&u) {
-                dist.insert(u, d + 1);
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(u) {
+                e.insert(d + 1);
                 q.push_back(u);
             }
         }
@@ -57,10 +57,16 @@ fn file_roundtrip_ingest_and_search() {
     assert_eq!(written, workload.edges());
 
     // Stream the file into a 4-node grDB cluster.
-    let mut cluster =
-        MssgCluster::new(&dir.join("cluster"), 4, BackendKind::Grdb, &BackendOptions::default())
-            .unwrap();
-    let reader = AsciiEdgeReader::open(&file).unwrap().map(|r| r.expect("valid edge"));
+    let mut cluster = MssgCluster::new(
+        &dir.join("cluster"),
+        4,
+        BackendKind::Grdb,
+        &BackendOptions::default(),
+    )
+    .unwrap();
+    let reader = AsciiEdgeReader::open(&file)
+        .unwrap()
+        .map(|r| r.expect("valid edge"));
     let report = ingest(&mut cluster, reader, &IngestOptions::default()).unwrap();
     assert_eq!(report.edges, workload.edges());
     assert_eq!(cluster.total_entries(), 2 * workload.edges());
@@ -87,9 +93,13 @@ fn all_backends_match_oracle_on_scale_free_graph() {
         .collect();
     for kind in BackendKind::ALL {
         let dir = tmpdir(&format!("oracle-{}", kind.name()));
-        let mut cluster =
-            MssgCluster::new(&dir, 3, kind, &BackendOptions::default()).unwrap();
-        ingest(&mut cluster, edges.clone().into_iter(), &IngestOptions::default()).unwrap();
+        let mut cluster = MssgCluster::new(&dir, 3, kind, &BackendOptions::default()).unwrap();
+        ingest(
+            &mut cluster,
+            edges.clone().into_iter(),
+            &IngestOptions::default(),
+        )
+        .unwrap();
         for (&(s, d), &want) in queries.iter().zip(&expected) {
             let got = bfs(&cluster, Gid::new(s), Gid::new(d), &BfsOptions::default())
                 .unwrap()
@@ -112,13 +122,20 @@ fn results_invariant_to_cluster_size_and_declustering() {
             DeclusterKind::EdgeRoundRobin,
         ] {
             let dir = tmpdir(&format!("inv-{nodes}-{decl:?}"));
-            let mut cluster =
-                MssgCluster::new(&dir, nodes, BackendKind::HashMap, &BackendOptions::default())
-                    .unwrap();
+            let mut cluster = MssgCluster::new(
+                &dir,
+                nodes,
+                BackendKind::HashMap,
+                &BackendOptions::default(),
+            )
+            .unwrap();
             ingest(
                 &mut cluster,
                 edges.clone().into_iter(),
-                &IngestOptions { declustering: decl, ..Default::default() },
+                &IngestOptions {
+                    declustering: decl,
+                    ..Default::default()
+                },
             )
             .unwrap();
             let got: Vec<Option<u32>> = queries
@@ -147,7 +164,12 @@ fn search_metrics_scale_with_path_length() {
     let dir = tmpdir("metrics");
     let mut cluster =
         MssgCluster::new(&dir, 4, BackendKind::HashMap, &BackendOptions::default()).unwrap();
-    ingest(&mut cluster, workload.edge_stream(), &IngestOptions::default()).unwrap();
+    ingest(
+        &mut cluster,
+        workload.edge_stream(),
+        &IngestOptions::default(),
+    )
+    .unwrap();
     let edges = workload.collect_edges();
     // Find a short and a long query pair via the oracle. Source from the
     // low-degree tail (high ids under Chung-Lu weights), where the
@@ -166,10 +188,20 @@ fn search_metrics_scale_with_path_length() {
         }
     }
     let (short, long) = (short.expect("1-hop target"), long.expect("3-hop target"));
-    let m_short =
-        bfs(&cluster, Gid::new(source), Gid::new(short), &BfsOptions::default()).unwrap();
-    let m_long =
-        bfs(&cluster, Gid::new(source), Gid::new(long), &BfsOptions::default()).unwrap();
+    let m_short = bfs(
+        &cluster,
+        Gid::new(source),
+        Gid::new(short),
+        &BfsOptions::default(),
+    )
+    .unwrap();
+    let m_long = bfs(
+        &cluster,
+        Gid::new(source),
+        Gid::new(long),
+        &BfsOptions::default(),
+    )
+    .unwrap();
     assert!(
         m_long.edges_scanned > m_short.edges_scanned,
         "long path must scan more: {} vs {}",

@@ -12,8 +12,8 @@ fn smoke_cfg() -> ExpConfig {
         queries: 3,
         nodes: 2,
         seed: 7,
-        root: std::env::temp_dir()
-            .join(format!("mssg-harness-smoke-{}", std::process::id())),
+        root: std::env::temp_dir().join(format!("mssg-harness-smoke-{}", std::process::id())),
+        telemetry: Default::default(),
     }
 }
 
@@ -37,12 +37,14 @@ fn every_experiment_runs_and_produces_rows() {
 
 #[test]
 fn experiment_registry_is_complete() {
-    let names: Vec<&str> =
-        experiments::all_experiments().iter().map(|(n, _)| *n).collect();
+    let names: Vec<&str> = experiments::all_experiments()
+        .iter()
+        .map(|(n, _)| *n)
+        .collect();
     // The paper's one table and eight figure harnesses...
-    for required in
-        ["table5_1", "fig5_1", "fig5_2", "fig5_3", "fig5_4", "fig5_5", "fig5_6_7", "fig5_8_9"]
-    {
+    for required in [
+        "table5_1", "fig5_1", "fig5_2", "fig5_3", "fig5_4", "fig5_5", "fig5_6_7", "fig5_8_9",
+    ] {
         assert!(names.contains(&required), "missing {required}");
     }
     // ...plus the ablations DESIGN.md commits to.

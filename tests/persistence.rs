@@ -33,10 +33,13 @@ fn cluster_data_survives_reopen() {
         let dir = tmpdir(&format!("reopen-{}", kind.name()));
         let degrees_before: Vec<usize>;
         {
-            let mut cluster =
-                MssgCluster::new(&dir, 3, kind, &BackendOptions::default()).unwrap();
-            ingest(&mut cluster, edges.clone().into_iter(), &IngestOptions::default())
-                .unwrap();
+            let mut cluster = MssgCluster::new(&dir, 3, kind, &BackendOptions::default()).unwrap();
+            ingest(
+                &mut cluster,
+                edges.clone().into_iter(),
+                &IngestOptions::default(),
+            )
+            .unwrap();
             cluster.flush_all().unwrap();
             degrees_before = (0..20u64)
                 .map(|v| {
@@ -53,7 +56,12 @@ fn cluster_data_survives_reopen() {
             let got: usize = (0..3)
                 .map(|n| cluster.with_backend(n, |db| db.degree(Gid::new(v as u64)).unwrap()))
                 .sum();
-            assert_eq!(got, want, "{}: degree of {v} changed across reopen", kind.name());
+            assert_eq!(
+                got,
+                want,
+                "{}: degree of {v} changed across reopen",
+                kind.name()
+            );
         }
     }
 }
@@ -68,8 +76,7 @@ fn searches_work_after_reopen() {
         ingest(&mut cluster, edges.into_iter(), &IngestOptions::default()).unwrap();
         cluster.flush_all().unwrap();
     }
-    let cluster =
-        MssgCluster::new(&dir, 2, BackendKind::Grdb, &BackendOptions::default()).unwrap();
+    let cluster = MssgCluster::new(&dir, 2, BackendKind::Grdb, &BackendOptions::default()).unwrap();
     let m = bfs(&cluster, Gid::new(0), Gid::new(30), &BfsOptions::default()).unwrap();
     assert_eq!(m.path_length, Some(30));
 }
@@ -80,8 +87,12 @@ fn corrupted_grdb_meta_detected_on_reopen() {
     {
         let mut cluster =
             MssgCluster::new(&dir, 1, BackendKind::Grdb, &BackendOptions::default()).unwrap();
-        ingest(&mut cluster, vec![Edge::of(0, 1)].into_iter(), &IngestOptions::default())
-            .unwrap();
+        ingest(
+            &mut cluster,
+            vec![Edge::of(0, 1)].into_iter(),
+            &IngestOptions::default(),
+        )
+        .unwrap();
         cluster.flush_all().unwrap();
     }
     // Scribble over the metadata file.
@@ -89,7 +100,10 @@ fn corrupted_grdb_meta_detected_on_reopen() {
     assert!(meta.exists());
     std::fs::write(&meta, b"not a grdb meta file").unwrap();
     let err = MssgCluster::new(&dir, 1, BackendKind::Grdb, &BackendOptions::default());
-    assert!(err.is_err(), "corrupt metadata must be rejected, not silently reset");
+    assert!(
+        err.is_err(),
+        "corrupt metadata must be rejected, not silently reset"
+    );
 }
 
 #[test]
@@ -97,8 +111,7 @@ fn stream_log_grows_across_sessions() {
     let dir = tmpdir("stream-sessions");
     for round in 0..3u64 {
         let mut cluster =
-            MssgCluster::new(&dir, 1, BackendKind::StreamDb, &BackendOptions::default())
-                .unwrap();
+            MssgCluster::new(&dir, 1, BackendKind::StreamDb, &BackendOptions::default()).unwrap();
         let edges = vec![Edge::of(round, round + 100)];
         ingest(&mut cluster, edges.into_iter(), &IngestOptions::default()).unwrap();
         cluster.flush_all().unwrap();
@@ -107,6 +120,10 @@ fn stream_log_grows_across_sessions() {
         // durable truth).
         let log = dir.join("node-0").join("stream.log");
         let len = std::fs::metadata(&log).unwrap().len();
-        assert_eq!(len, (round + 1) * 2 * 16, "log must accumulate across sessions");
+        assert_eq!(
+            len,
+            (round + 1) * 2 * 16,
+            "log must accumulate across sessions"
+        );
     }
 }

@@ -50,8 +50,8 @@ fn oracle_bfs(edges: &[Edge], source: Gid, dest: Gid) -> Option<u32> {
             if u == dest {
                 return Some(d + 1);
             }
-            if !dist.contains_key(&u) {
-                dist.insert(u, d + 1);
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(u) {
+                e.insert(d + 1);
                 q.push_back(u);
             }
         }
@@ -60,7 +60,7 @@ fn oracle_bfs(edges: &[Edge], source: Gid, dest: Gid) -> Option<u32> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 12 })]
 
     /// Every out-of-core engine returns exactly the adjacency lists the
     /// in-memory reference returns, for arbitrary edge batches.

@@ -1,0 +1,303 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides [`channel`]: bounded multi-producer multi-consumer channels
+//! with the `crossbeam-channel` semantics the DataCutter runtime relies
+//! on — blocking `send`/`recv`, cloneable senders *and* receivers (clones
+//! share one queue, so a cloned receiver set forms a demand-driven shared
+//! queue), and disconnection once all peers on the other side drop.
+
+pub mod channel {
+    //! Bounded MPMC channels (subset of `crossbeam-channel`).
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        buf: VecDeque<T>,
+        cap: usize,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Creates a bounded channel with space for `cap` messages.
+    ///
+    /// A capacity of zero is treated as one (true rendezvous channels are
+    /// not needed by this workspace).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                buf: VecDeque::new(),
+                cap: cap.max(1),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone;
+    /// carries the unsent message.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel is currently empty.
+        Empty,
+        /// Channel is empty and all senders have disconnected.
+        Disconnected,
+    }
+
+    /// The sending half; clone to add producers.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; clone to add consumers sharing one queue.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until there is room, then enqueues `msg`. Fails only if
+        /// every receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut st = self.shared.state.lock().unwrap();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                if st.buf.len() < st.cap {
+                    st.buf.push_back(msg);
+                    drop(st);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                st = self.shared.not_full.wait(st).unwrap();
+            }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.state.lock().unwrap().buf.len()
+        }
+
+        /// `true` if no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// The channel's capacity.
+        pub fn capacity(&self) -> Option<usize> {
+            Some(self.shared.state.lock().unwrap().cap)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next message. Fails once the channel is empty and
+        /// every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.shared.state.lock().unwrap();
+            loop {
+                if let Some(msg) = st.buf.pop_front() {
+                    drop(st);
+                    self.shared.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.shared.not_empty.wait(st).unwrap();
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.shared.state.lock().unwrap();
+            if let Some(msg) = st.buf.pop_front() {
+                drop(st);
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.state.lock().unwrap().buf.len()
+        }
+
+        /// `true` if no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().unwrap().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().unwrap().receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                // Wake receivers blocked on an empty channel so they can
+                // observe the disconnect.
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock().unwrap();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                // Wake senders blocked on a full channel so they can
+                // observe the disconnect.
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::thread;
+
+        #[test]
+        fn send_recv_fifo() {
+            let (tx, rx) = bounded(4);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn recv_fails_after_all_senders_drop() {
+            let (tx, rx) = bounded(2);
+            let tx2 = tx.clone();
+            tx.send(7).unwrap();
+            drop(tx);
+            drop(tx2);
+            assert_eq!(rx.recv(), Ok(7));
+            assert_eq!(rx.recv(), Err(RecvError));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn send_fails_after_all_receivers_drop() {
+            let (tx, rx) = bounded(2);
+            drop(rx);
+            assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_room() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            let t = thread::spawn(move || {
+                tx.send(2).unwrap(); // blocks until rx drains one
+                tx.len()
+            });
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            t.join().unwrap();
+        }
+
+        #[test]
+        fn cloned_receivers_share_one_queue() {
+            let (tx, rx) = bounded(64);
+            let rx2 = rx.clone();
+            for i in 0..50 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let a = thread::spawn(move || {
+                let mut n = 0;
+                while rx.recv().is_ok() {
+                    n += 1;
+                }
+                n
+            });
+            let b = thread::spawn(move || {
+                let mut n = 0;
+                while rx2.recv().is_ok() {
+                    n += 1;
+                }
+                n
+            });
+            assert_eq!(a.join().unwrap() + b.join().unwrap(), 50);
+        }
+
+        #[test]
+        fn queue_length_visible_to_sender() {
+            let (tx, _rx) = bounded(8);
+            tx.send(0).unwrap();
+            tx.send(1).unwrap();
+            assert_eq!(tx.len(), 2);
+            assert!(!tx.is_empty());
+            assert_eq!(tx.capacity(), Some(8));
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Test configuration, error type, and the deterministic RNG.
+
+use std::fmt;
+
+/// Configuration for a `proptest!` block (subset of the real crate's
+/// `Config`; only `cases` is consulted).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// A failed property case. `prop_assert*` macros construct this; `?` on a
+/// helper returning `Result<_, TestCaseError>` propagates it.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Fails the current case with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic RNG (splitmix64) seeded from the test name and case
+/// index, so every run generates the same case sequence.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for case `case` of the named test.
+    pub fn for_case(test_name: &str, case: u32) -> TestRng {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ ((case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn gen_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`. `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Modulo bias is acceptable for a testing stub.
+        self.gen_u64() % n
+    }
+
+    /// Uniform value in `[0, n)` for a u128 span (used by full-width
+    /// integer ranges).
+    pub fn below_u128(&mut self, n: u128) -> u128 {
+        debug_assert!(n > 0);
+        let wide = ((self.gen_u64() as u128) << 64) | self.gen_u64() as u128;
+        wide % n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_name_and_case() {
+        let a: Vec<u64> = {
+            let mut r = TestRng::for_case("t", 0);
+            (0..8).map(|_| r.gen_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::for_case("t", 0);
+            (0..8).map(|_| r.gen_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let mut other_case = TestRng::for_case("t", 1);
+        let mut other_name = TestRng::for_case("u", 0);
+        assert_ne!(a[0], other_case.gen_u64());
+        assert_ne!(a[0], other_name.gen_u64());
+    }
+
+    #[test]
+    fn below_in_range() {
+        let mut r = TestRng::for_case("below", 0);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as an
+//! interoperability marker; nothing serializes through serde at runtime.
+//! This stand-in provides the two trait names plus no-op derive macros so
+//! the annotations compile unchanged.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+// Re-export the no-op derives under the same names; `use
+// serde::{Serialize, Deserialize}` imports both the trait (type
+// namespace) and the derive macro (macro namespace).
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The workspace annotates value types with serde derives for downstream
+//! interoperability but never actually serializes through serde, so the
+//! offline stand-in expands the derives to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepted anywhere the real derive would be.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepted anywhere the real derive would be.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
