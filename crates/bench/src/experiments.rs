@@ -908,6 +908,169 @@ pub fn ablation_grdb_geometry(cfg: &ExpConfig) -> Result<Table> {
     Ok(t)
 }
 
+/// Chaos experiment — the Figure 5.1 workload (PubMed-S) ingested under
+/// deterministic fault injection (DESIGN.md §"Failure model"). Three
+/// scenarios against the same stream:
+///
+/// 1. **baseline** — fault-free, establishing the reference entry count;
+/// 2. **supervised** — ≥3 injected store-copy panics, each absorbed by a
+///    supervised restart;
+/// 3. **kill+resume** — an unsupervised crash kills the run mid-stream,
+///    then a checkpoint-resumed replay finishes the job.
+///
+/// The experiment *asserts* that every surviving scenario stores exactly
+/// the baseline entry count — restarts and skips are visible in the
+/// emitted rows (and in `dc.restarts` / `ingest.windows_skipped`).
+pub fn chaos_ingest(cfg: &ExpConfig) -> Result<Table> {
+    use datacutter::{FaultKind, FaultPlan};
+    use mssg_core::MssgCluster;
+
+    let mut t = Table::new(
+        format!(
+            "Chaos — PubMed-S (1/{}) ingestion under injected faults, {} back-ends",
+            cfg.scale, cfg.nodes
+        ),
+        &[
+            "Scenario", "Outcome", "Edges", "Entries", "Restarts", "Faults", "Skipped", "Time",
+        ],
+    );
+    let w = preset(GraphPreset::PubMedS, cfg.scale, cfg.seed);
+    // Size windows so the stream always spans ≥16 of them: faults are
+    // scheduled by port-operation count, so there must be enough store
+    // receives for every scheduled fault to actually fire.
+    let window_edges = (w.edges() / 16).max(1) as usize;
+    let skipped_before = |cfg: &ExpConfig| {
+        cfg.telemetry
+            .metrics
+            .snapshot()
+            .counters
+            .get("ingest.windows_skipped")
+            .copied()
+            .unwrap_or(0)
+    };
+
+    // 1. Fault-free baseline.
+    let dir = fresh_dir(&cfg.root, "chaos-baseline");
+    let (cluster, report) = build_and_ingest(
+        &dir,
+        &w,
+        BackendKind::HashMap,
+        cfg.nodes,
+        &BackendOptions::default(),
+        &IngestOptions {
+            front_ends: 2,
+            window_edges,
+            ..Default::default()
+        },
+        &cfg.telemetry,
+    )?;
+    let reference = cluster.total_entries();
+    t.row(vec![
+        "baseline".into(),
+        "ok".into(),
+        fmt_count(report.edges),
+        fmt_count(reference),
+        "0".into(),
+        "0".into(),
+        "0".into(),
+        fmt_duration(report.telemetry.elapsed),
+    ]);
+    drop(cluster);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // 2. Supervised: three store-copy panics, all absorbed by restarts.
+    let dir = fresh_dir(&cfg.root, "chaos-supervised");
+    let (cluster, report) = build_and_ingest(
+        &dir,
+        &w,
+        BackendKind::HashMap,
+        cfg.nodes,
+        &BackendOptions::default(),
+        &IngestOptions {
+            front_ends: 2,
+            window_edges,
+            max_restarts: 8,
+            stream_timeout: Some(std::time::Duration::from_secs(120)),
+            fault_plan: Some(FaultPlan::new().panics(cfg.seed, "store", cfg.nodes, 3, 8)),
+            ..Default::default()
+        },
+        &cfg.telemetry,
+    )?;
+    assert_eq!(
+        cluster.total_entries(),
+        reference,
+        "supervised chaos run must store exactly the fault-free entry count"
+    );
+    assert!(
+        report.telemetry.faults.len() >= 3,
+        "all three scheduled panics must fire, got {:?}",
+        report.telemetry.faults
+    );
+    t.row(vec![
+        "supervised".into(),
+        "ok".into(),
+        fmt_count(report.edges),
+        fmt_count(cluster.total_entries()),
+        report.telemetry.restarts.len().to_string(),
+        report.telemetry.faults.len().to_string(),
+        "0".into(),
+        fmt_duration(report.telemetry.elapsed),
+    ]);
+    drop(cluster);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // 3. Kill + resume: an unsupervised crash fails the run with a typed
+    // error; replaying the stream with `resume` converges.
+    let dir = fresh_dir(&cfg.root, "chaos-resume");
+    let mut cluster = MssgCluster::new(
+        &dir,
+        cfg.nodes,
+        BackendKind::HashMap,
+        &BackendOptions::default(),
+    )?;
+    cluster.set_telemetry(cfg.telemetry.clone());
+    let killed = mssg_core::ingest::ingest(
+        &mut cluster,
+        w.edge_stream(),
+        &IngestOptions {
+            front_ends: 2,
+            window_edges,
+            fault_plan: Some(FaultPlan::new().inject("store", Some(0), 3, FaultKind::Panic)),
+            ..Default::default()
+        },
+    );
+    let err = killed.expect_err("unsupervised injected panic must fail the run");
+    let skip0 = skipped_before(cfg);
+    let report = mssg_core::ingest::ingest(
+        &mut cluster,
+        w.edge_stream(),
+        &IngestOptions {
+            front_ends: 2,
+            window_edges,
+            resume: true,
+            ..Default::default()
+        },
+    )?;
+    assert_eq!(
+        cluster.total_entries(),
+        reference,
+        "checkpoint-resumed replay must converge on the fault-free entry count"
+    );
+    t.row(vec![
+        "kill+resume".into(),
+        format!("killed ({err}), resumed ok"),
+        fmt_count(report.edges),
+        fmt_count(cluster.total_entries()),
+        "0".into(),
+        "1".into(),
+        fmt_count(skipped_before(cfg) - skip0),
+        fmt_duration(report.telemetry.elapsed),
+    ]);
+    drop(cluster);
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(t)
+}
+
 /// An experiment harness: takes a config, produces one figure's table.
 pub type Experiment = fn(&ExpConfig) -> Result<Table>;
 
@@ -931,6 +1094,7 @@ pub fn all_experiments() -> Vec<(&'static str, Experiment)> {
         ("ablation_db_filter", ablation_db_filter),
         ("ablation_bulk_load", ablation_bulk_load),
         ("ablation_grdb_geometry", ablation_grdb_geometry),
+        ("chaos_ingest", chaos_ingest),
     ]
 }
 
@@ -959,6 +1123,24 @@ mod tests {
             t.rows.iter().map(|r| r[0].as_str()).collect();
         assert!(backends.contains("Array"));
         assert!(backends.contains("HashMap"));
+    }
+
+    #[test]
+    fn chaos_ingest_converges_across_all_scenarios() {
+        // The experiment itself asserts entry-count convergence; here we
+        // additionally pin the audit trail: faults fired, restarts
+        // happened, and the resumed run skipped checkpointed windows.
+        let t = chaos_ingest(&cfg("chaos")).unwrap();
+        assert_eq!(t.rows.len(), 3);
+        let entries: std::collections::HashSet<&str> =
+            t.rows.iter().map(|r| r[3].as_str()).collect();
+        assert_eq!(entries.len(), 1, "all scenarios stored the same count");
+        let supervised = &t.rows[1];
+        assert!(supervised[4].parse::<u64>().unwrap() >= 3, "restarts");
+        assert!(supervised[5].parse::<u64>().unwrap() >= 3, "faults fired");
+        let resumed = &t.rows[2];
+        assert!(resumed[1].contains("killed"), "{}", resumed[1]);
+        assert!(resumed[1].contains("resumed ok"), "{}", resumed[1]);
     }
 
     #[test]

@@ -68,6 +68,18 @@ pub struct BfsOptions {
     /// Scratch directory for external visited structures; defaults to
     /// `<cluster dir>/scratch`.
     pub scratch: Option<PathBuf>,
+    /// Per-stream send/recv deadline. BFS's all-to-all exchange blocks on
+    /// `ROUND_DONE` markers from every peer, so a dead storage filter
+    /// would otherwise hang the search forever; with the deadline it
+    /// surfaces as a typed `Timeout`/`FilterFailed` error instead.
+    /// Defaults to 120 s; `None` blocks indefinitely (classic semantics).
+    pub recv_timeout: Option<std::time::Duration>,
+    /// Deterministic fault plan for chaos testing the search pipeline.
+    /// Note BFS filters are deliberately *not* supervised: a restarted
+    /// peer would have lost its visited set, so mid-search crashes are
+    /// fail-stop and the caller retries the whole (idempotent, read-only)
+    /// search.
+    pub fault_plan: Option<datacutter::FaultPlan>,
 }
 
 impl Default for BfsOptions {
@@ -79,6 +91,8 @@ impl Default for BfsOptions {
             record_parents: false,
             max_rounds: 10_000,
             scratch: None,
+            recv_timeout: Some(std::time::Duration::from_secs(120)),
+            fault_plan: None,
         }
     }
 }
@@ -216,6 +230,12 @@ pub fn bfs(
     let mut g = GraphBuilder::new();
     g.channel_capacity(8192);
     g.telemetry(cluster.telemetry().clone());
+    if let Some(t) = options.recv_timeout {
+        g.stream_timeout(t);
+    }
+    if let Some(plan) = &options.fault_plan {
+        g.fault_plan(plan.clone());
+    }
     let backends: Vec<SharedBackend> = (0..p).map(|i| cluster.backend(i)).collect();
     let io_stats: Vec<Arc<IoStats>> = (0..p).map(|i| cluster.io_stats(i)).collect();
     let routing2 = routing.clone();
@@ -627,7 +647,7 @@ impl Filter for BfsFilter {
                 }
             }
             while done_from < p {
-                let Some(msg) = ctx.input("peers")?.recv() else {
+                let Some(msg) = ctx.input("peers")?.recv()? else {
                     // A peer exited (it found the target): terminate.
                     break 'rounds;
                 };
@@ -688,6 +708,7 @@ mod tests {
     use crate::backend::{BackendKind, BackendOptions};
     use crate::ingest::{ingest, DeclusterKind, IngestOptions};
     use mssg_types::Edge;
+    use std::time::Duration;
 
     fn tmpdir(tag: &str) -> PathBuf {
         let d = std::env::temp_dir().join(format!("core-bfs-{}-{tag}", std::process::id()));
@@ -940,6 +961,51 @@ mod tests {
         .unwrap();
         assert_eq!(a.path_length, b.path_length);
         assert_eq!(a.path_length, Some(12));
+    }
+
+    #[test]
+    fn dead_storage_filter_is_a_typed_error_not_a_hang() {
+        use datacutter::{FaultKind, FaultPlan};
+        use mssg_types::GraphStorageError;
+        let cluster = build_cluster(
+            "deadpeer",
+            2,
+            BackendKind::HashMap,
+            path_edges(12),
+            DeclusterKind::VertexHash,
+        );
+        // Kill one BFS storage filter on its first port operation. The
+        // surviving peer blocks waiting for that peer's ROUND_DONE, which
+        // would classically hang forever; the stream deadline turns it
+        // into a typed error instead.
+        let start = std::time::Instant::now();
+        let err = bfs(
+            &cluster,
+            g(0),
+            g(12),
+            &BfsOptions {
+                recv_timeout: Some(Duration::from_secs(2)),
+                fault_plan: Some(FaultPlan::new().inject("bfs", Some(1), 1, FaultKind::Panic)),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                GraphStorageError::FilterFailed(_) | GraphStorageError::Timeout(_)
+            ),
+            "got: {err}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "search must give up quickly, took {:?}",
+            start.elapsed()
+        );
+        // The search is read-only and idempotent: simply retrying without
+        // the fault succeeds.
+        let ok = bfs(&cluster, g(0), g(12), &BfsOptions::default()).unwrap();
+        assert_eq!(ok.path_length, Some(12));
     }
 
     #[test]

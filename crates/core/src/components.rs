@@ -219,7 +219,7 @@ fn await_phase(
         }
     }
     while done < p {
-        let Some(msg) = ctx.input("peers")?.recv() else {
+        let Some(msg) = ctx.input("peers")?.recv()? else {
             return Err(GraphStorageError::Unsupported(
                 "peer exited before components converged".into(),
             ));

@@ -122,7 +122,7 @@ impl Filter for DegreeFilter {
         let mut owned: HashMap<u64, u64> = HashMap::new();
         let mut done = 0usize;
         while done < p {
-            let Some(msg) = ctx.input("peers")?.recv() else {
+            let Some(msg) = ctx.input("peers")?.recv()? else {
                 return Err(GraphStorageError::Unsupported(
                     "peer exited during degree analysis".into(),
                 ));

@@ -19,10 +19,11 @@
 use crate::cluster::MssgCluster;
 use crate::decluster::Declustering;
 use crate::telemetry::TelemetryReport;
-use datacutter::{DataBuffer, Filter, FilterContext, GraphBuilder};
-use mssg_types::{Edge, Gid, Ontology, Result, TypedEdge};
+use datacutter::{DataBuffer, FaultPlan, Filter, FilterContext, GraphBuilder};
+use mssg_types::{Edge, Gid, Meta, Ontology, Result, TypedEdge, UNVISITED};
 use parking_lot::Mutex;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Which declustering strategy the ingestion runs.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -51,6 +52,24 @@ pub struct IngestOptions {
     /// more windows, adapting to load imbalance (thesis chapter 2's River
     /// discussion).
     pub demand_driven: bool,
+    /// Resume a killed-and-restarted ingestion: windows the checkpoint
+    /// shows as already durably stored are skipped instead of duplicated
+    /// (counted in the `ingest.windows_skipped` metric). Only meaningful
+    /// when the *same* edge stream (and `window_edges`) is replayed into
+    /// the same cluster; off by default.
+    pub resume: bool,
+    /// Restart a crashed (panicked) filter copy up to this many times
+    /// before the run fails — see `GraphBuilder::supervise`. 0 (default)
+    /// keeps the classic fail-stop behaviour.
+    pub max_restarts: u32,
+    /// Base backoff between supervised restarts (doubles per attempt).
+    pub restart_backoff: Duration,
+    /// Per-stream send/recv deadline; a dead filter then surfaces as a
+    /// typed timeout error instead of a hang. `None` (default) blocks
+    /// indefinitely.
+    pub stream_timeout: Option<Duration>,
+    /// Deterministic fault plan for chaos testing the pipeline.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for IngestOptions {
@@ -60,8 +79,39 @@ impl Default for IngestOptions {
             window_edges: 4096,
             declustering: DeclusterKind::VertexHash,
             demand_driven: false,
+            resume: false,
+            max_restarts: 0,
+            restart_backoff: Duration::from_millis(25),
+            stream_timeout: None,
+            fault_plan: None,
         }
     }
+}
+
+/// `Gid` tag reserved for ingestion-checkpoint metadata keys (tags 1–5
+/// belong to typed application payloads, 7 to `Gid::NIL`).
+const CKPT_TAG: u8 = 6;
+/// Metadata value marking a window as durably stored on a node.
+const CKPT_STORED: Meta = 1;
+
+/// Checkpoint key for window `w` (payload is `w + 1`; payload 0 is the
+/// watermark key).
+fn window_ckpt_gid(w: u64) -> Gid {
+    Gid::tagged(CKPT_TAG, w + 1)
+}
+
+/// Checkpoint key holding a node's watermark: the number of *contiguous*
+/// windows (from window 0) durably stored on that node.
+fn watermark_gid() -> Gid {
+    Gid::tagged(CKPT_TAG, 0)
+}
+
+/// Reads a node's ingestion watermark — how many contiguous windows (from
+/// the start of the stream) it has durably stored. The minimum across all
+/// nodes is the prefix a resumed ingestion can skip outright.
+pub fn ingest_watermark(db: &mut dyn graphdb::GraphDb) -> Result<u64> {
+    let m = db.get_metadata(watermark_gid())?;
+    Ok(if m == UNVISITED { 0 } else { m as u64 })
 }
 
 /// Outcome of an ingestion run.
@@ -95,12 +145,34 @@ pub fn ingest(
         DeclusterKind::EdgeRoundRobin => Declustering::edge_round_robin(p),
     }));
 
+    // A resumed run can skip outright every window below the *minimum*
+    // watermark — all nodes already hold those — and lets the per-window
+    // checkpoint sort out the ragged region above it.
+    let resume_from = if options.resume {
+        (0..p)
+            .map(|i| cluster.with_backend(i, |db| ingest_watermark(db)))
+            .collect::<Result<Vec<_>>>()?
+            .into_iter()
+            .min()
+            .unwrap_or(0)
+    } else {
+        0
+    };
+
     let mut g = GraphBuilder::new();
     g.telemetry(cluster.telemetry().clone());
+    if let Some(t) = options.stream_timeout {
+        g.stream_timeout(t);
+    }
+    if let Some(plan) = &options.fault_plan {
+        g.fault_plan(plan.clone());
+    }
+    g.supervise(options.max_restarts, options.restart_backoff);
     // Node layout: back-ends 0..p, front-ends p..p+f, source at p+f.
     let mut source_holder = Some(SourceFilter {
         edges: Box::new(edges),
         window: options.window_edges,
+        skip_before: resume_from,
         count: Arc::new(Mutex::new(0)),
     });
     let edge_count = Arc::clone(&source_holder.as_ref().unwrap().count);
@@ -108,18 +180,18 @@ pub fn ingest(
         Box::new(source_holder.take().expect("source filter built once"))
     });
     let strat = Arc::clone(&strategy);
-    let window = options.window_edges;
     let ing = g.add_filter("ingest", (p..p + f).collect(), move |_| {
         Box::new(IngestFilter {
             strategy: Arc::clone(&strat),
-            batch_edges: window,
-            batches: Vec::new(),
+            nodes: 0,
         })
     });
     let backends: Vec<_> = (0..p).map(|i| cluster.backend(i)).collect();
+    let resume = options.resume;
     let store = g.add_filter("store", (0..p).collect(), move |i| {
         Box::new(StoreFilter {
             backend: backends[i].clone(),
+            resume,
         })
     });
     if options.demand_driven {
@@ -150,12 +222,17 @@ pub fn ingest(
 struct SourceFilter {
     edges: Box<dyn Iterator<Item = Edge> + Send>,
     window: usize,
+    /// Windows below this id are not re-sent (resume fast path); their
+    /// edges still count toward the reported total.
+    skip_before: u64,
     count: Arc<Mutex<u64>>,
 }
 
 impl Filter for SourceFilter {
     fn process(&mut self, ctx: &mut FilterContext) -> Result<()> {
+        let skipped = ctx.telemetry().metrics.counter("ingest.windows_skipped");
         let mut total = 0u64;
+        let mut w = 0u64;
         let mut buf = Vec::with_capacity(self.window);
         loop {
             buf.clear();
@@ -164,8 +241,13 @@ impl Filter for SourceFilter {
                 break;
             }
             total += buf.len() as u64;
-            ctx.output("windows")?
-                .send_rr(DataBuffer::from_edges(0, &buf))?;
+            if w < self.skip_before {
+                skipped.inc();
+            } else {
+                ctx.output("windows")?
+                    .send_rr(DataBuffer::from_edges(w, &buf))?;
+            }
+            w += 1;
         }
         *self.count.lock() = total;
         Ok(())
@@ -174,50 +256,38 @@ impl Filter for SourceFilter {
 
 struct IngestFilter {
     strategy: Arc<Mutex<Declustering>>,
-    batch_edges: usize,
-    /// Per-back-end pending directed entries.
-    batches: Vec<Vec<Edge>>,
-}
-
-impl IngestFilter {
-    fn flush_batch(&mut self, ctx: &mut FilterContext, node: usize) -> Result<()> {
-        if self.batches[node].is_empty() {
-            return Ok(());
-        }
-        let batch = std::mem::take(&mut self.batches[node]);
-        ctx.output("batches")?
-            .send_to(node, DataBuffer::from_edges(0, &batch))?;
-        Ok(())
-    }
+    /// Back-end count, learned from the strategy at `init`.
+    nodes: usize,
 }
 
 impl Filter for IngestFilter {
     fn init(&mut self, _ctx: &mut FilterContext) -> Result<()> {
-        let nodes = self.strategy.lock().nodes();
-        self.batches = vec![Vec::new(); nodes];
+        self.nodes = self.strategy.lock().nodes();
         Ok(())
     }
 
     fn process(&mut self, ctx: &mut FilterContext) -> Result<()> {
-        while let Some(window) = ctx.input("windows")?.recv() {
+        while let Some(window) = ctx.input("windows")?.recv()? {
+            let w = window.tag;
             let _span = ctx
                 .telemetry()
                 .tracer
                 .span("ingest.window")
                 .with("edges", window.edges().len() as u64)
                 .with("bytes", window.len() as u64);
+            let mut batches = vec![Vec::new(); self.nodes];
             for e in window.edges() {
-                let assignments = self.strategy.lock().assign(e);
-                for (node, entry) in assignments {
-                    self.batches[node].push(entry);
-                    if self.batches[node].len() >= self.batch_edges {
-                        self.flush_batch(ctx, node)?;
-                    }
+                for (node, entry) in self.strategy.lock().assign(e) {
+                    batches[node].push(entry);
                 }
             }
-        }
-        for node in 0..self.batches.len() {
-            self.flush_batch(ctx, node)?;
+            // Every back-end hears every window id — including ones it got
+            // no edges from — so each node's checkpoint watermark advances
+            // over empty windows too.
+            for (node, batch) in batches.into_iter().enumerate() {
+                ctx.output("batches")?
+                    .send_to(node, DataBuffer::from_edges(w, &batch))?;
+            }
         }
         Ok(())
     }
@@ -225,15 +295,34 @@ impl Filter for IngestFilter {
 
 struct StoreFilter {
     backend: crate::cluster::SharedBackend,
+    resume: bool,
 }
 
 impl Filter for StoreFilter {
     fn process(&mut self, ctx: &mut FilterContext) -> Result<()> {
-        let mut db = self.backend.lock();
-        while let Some(batch) = ctx.input("batches")?.recv() {
-            db.store_edges(&batch.edges())?;
+        let skipped = ctx.telemetry().metrics.counter("ingest.windows_skipped");
+        while let Some(batch) = ctx.input("batches")?.recv()? {
+            let w = batch.tag;
+            let mut db = self.backend.lock();
+            // Idempotent skip: a resumed run drops windows this node has
+            // already durably stored, making re-delivery harmless.
+            if self.resume && db.get_metadata(window_ckpt_gid(w))? == CKPT_STORED {
+                skipped.inc();
+                continue;
+            }
+            let edges = batch.edges();
+            if !edges.is_empty() {
+                db.store_edges(&edges)?;
+            }
+            db.set_metadata(window_ckpt_gid(w), CKPT_STORED)?;
+            // Advance the contiguous watermark past every marked window.
+            let mut wm = ingest_watermark(db.as_mut())?;
+            while db.get_metadata(window_ckpt_gid(wm))? == CKPT_STORED {
+                wm += 1;
+            }
+            db.set_metadata(watermark_gid(), wm as Meta)?;
         }
-        db.flush()
+        self.backend.lock().flush()
     }
 }
 
@@ -488,6 +577,138 @@ mod tests {
             .histograms
             .keys()
             .any(|k| k.starts_with("dc.queue_depth.")));
+    }
+
+    #[test]
+    fn resume_skips_every_stored_window() {
+        let dir = tmpdir("resume-all");
+        let mut cluster =
+            MssgCluster::new(&dir, 2, BackendKind::HashMap, &BackendOptions::default()).unwrap();
+        let opts = IngestOptions {
+            window_edges: 10,
+            ..Default::default()
+        };
+        ingest(&mut cluster, ring(60).into_iter(), &opts).unwrap();
+        assert_eq!(cluster.total_entries(), 120);
+        for i in 0..2 {
+            let wm = cluster.with_backend(i, |db| ingest_watermark(db).unwrap());
+            assert_eq!(wm, 6, "node {i} stored all 6 windows contiguously");
+        }
+
+        // Replaying the identical stream with `resume` adds nothing: the
+        // source fast-skips the whole prefix below the minimum watermark.
+        let opts = IngestOptions {
+            resume: true,
+            ..opts
+        };
+        let report = ingest(&mut cluster, ring(60).into_iter(), &opts).unwrap();
+        assert_eq!(report.edges, 60, "skipped windows still count edges");
+        assert_eq!(cluster.total_entries(), 120, "no duplicated entries");
+        assert_eq!(
+            report.telemetry.metrics.counters["ingest.windows_skipped"],
+            6
+        );
+    }
+
+    #[test]
+    fn killed_ingestion_resumes_without_duplicates() {
+        use datacutter::{FaultKind, FaultPlan};
+        use mssg_types::GraphStorageError;
+        let dir = tmpdir("resume-kill");
+        let mut cluster =
+            MssgCluster::new(&dir, 2, BackendKind::HashMap, &BackendOptions::default()).unwrap();
+        // Unsupervised run, store copy 1 panics at its 4th port operation
+        // (so it durably stored exactly 3 windows before "the node died").
+        let opts = IngestOptions {
+            window_edges: 10,
+            fault_plan: Some(FaultPlan::new().inject("store", Some(1), 4, FaultKind::Panic)),
+            ..Default::default()
+        };
+        let err = ingest(&mut cluster, ring(100).into_iter(), &opts).unwrap_err();
+        assert!(
+            matches!(err, GraphStorageError::FilterFailed(_)),
+            "crash surfaces as the root-cause typed error, got: {err}"
+        );
+        let partial = cluster.total_entries();
+        assert!(partial < 200, "the killed run must be incomplete");
+        assert_eq!(
+            cluster.with_backend(1, |db| ingest_watermark(db).unwrap()),
+            3
+        );
+
+        // Replay the same stream with `resume`: stored windows are skipped
+        // (idempotent), missing ones are stored — converging on exactly
+        // the fault-free result.
+        let opts = IngestOptions {
+            window_edges: 10,
+            resume: true,
+            ..Default::default()
+        };
+        let report = ingest(&mut cluster, ring(100).into_iter(), &opts).unwrap();
+        assert_eq!(report.edges, 100);
+        assert_eq!(cluster.total_entries(), 200, "converged, no duplicates");
+        assert!(report.telemetry.metrics.counters["ingest.windows_skipped"] > 0);
+        for i in 0..2 {
+            let wm = cluster.with_backend(i, |db| ingest_watermark(db).unwrap());
+            assert_eq!(wm, 10);
+        }
+    }
+
+    #[test]
+    fn supervised_chaos_ingestion_converges() {
+        use datacutter::FaultPlan;
+        let dir = tmpdir("chaos");
+        let mut cluster =
+            MssgCluster::new(&dir, 2, BackendKind::HashMap, &BackendOptions::default()).unwrap();
+        // Three injected store-copy panics, each absorbed by a supervised
+        // restart. Panics fire at recv boundaries (before the buffer is
+        // popped), so the restarted incarnation re-receives the window and
+        // nothing is lost or duplicated.
+        let opts = IngestOptions {
+            window_edges: 8,
+            max_restarts: 5,
+            fault_plan: Some(FaultPlan::new().panics(42, "store", 2, 3, 12)),
+            stream_timeout: Some(Duration::from_secs(30)),
+            ..Default::default()
+        };
+        let report = ingest(&mut cluster, ring(120).into_iter(), &opts).unwrap();
+        assert_eq!(report.edges, 120);
+        assert_eq!(cluster.total_entries(), 240, "same result as fault-free");
+        assert_eq!(report.telemetry.faults.len(), 3, "all three faults fired");
+        assert_eq!(report.telemetry.restarts.len(), 3, "one restart each");
+        assert_eq!(report.telemetry.metrics.counters["dc.restarts"], 3);
+        assert_eq!(report.telemetry.metrics.counters["dc.faults_injected"], 3);
+    }
+
+    #[test]
+    fn exhausted_restarts_surface_as_typed_error_not_hang() {
+        use datacutter::{FaultKind, FaultPlan};
+        use mssg_types::GraphStorageError;
+        let dir = tmpdir("exhaust");
+        let mut cluster =
+            MssgCluster::new(&dir, 2, BackendKind::HashMap, &BackendOptions::default()).unwrap();
+        // Two panics against the same copy but only one restart allowed:
+        // the second crash exhausts the budget and must fail the run with
+        // a typed error well inside the stream timeout.
+        let opts = IngestOptions {
+            window_edges: 10,
+            max_restarts: 1,
+            fault_plan: Some(
+                FaultPlan::new()
+                    .inject("store", Some(0), 2, FaultKind::Panic)
+                    .inject("store", Some(0), 3, FaultKind::Panic),
+            ),
+            stream_timeout: Some(Duration::from_secs(30)),
+            ..Default::default()
+        };
+        let start = std::time::Instant::now();
+        let err = ingest(&mut cluster, ring(100).into_iter(), &opts).unwrap_err();
+        assert!(
+            matches!(err, GraphStorageError::FilterFailed(_)),
+            "got: {err}"
+        );
+        assert!(err.to_string().contains("after 1 restart"), "{err}");
+        assert!(start.elapsed() < Duration::from_secs(30), "no hang");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! one of these instead of an ad-hoc `(elapsed, net, io)` tuple, so
 //! experiment drivers can print, diff, and merge observations uniformly.
 
-use datacutter::{FilterTiming, NetSnapshot, RunReport};
+use datacutter::{FaultEvent, FilterTiming, NetSnapshot, RestartEvent, RunReport};
 use mssg_obs::MetricsSnapshot;
 use simio::IoSnapshot;
 use std::fmt;
@@ -27,6 +27,11 @@ pub struct TelemetryReport {
     /// Empty unless the run was handed an enabled
     /// [`Telemetry`](mssg_obs::Telemetry).
     pub metrics: MetricsSnapshot,
+    /// Supervised filter-copy restarts that occurred during the run
+    /// (empty in a healthy or unsupervised run).
+    pub restarts: Vec<RestartEvent>,
+    /// Injected faults that fired during the run (chaos testing only).
+    pub faults: Vec<FaultEvent>,
 }
 
 impl TelemetryReport {
@@ -39,6 +44,8 @@ impl TelemetryReport {
             net: run.net,
             filters: run.filters,
             metrics,
+            restarts: run.restarts,
+            faults: run.faults,
         }
     }
 
@@ -73,6 +80,20 @@ impl fmt::Display for TelemetryReport {
                 t.blocked_send
             )?;
         }
+        for r in &self.restarts {
+            writeln!(
+                f,
+                "restart {}[{}] attempt {}: {}",
+                r.filter, r.copy, r.attempt, r.cause
+            )?;
+        }
+        for e in &self.faults {
+            writeln!(
+                f,
+                "fault {}[{}] at op {}: {}",
+                e.filter, e.copy, e.at_op, e.kind
+            )?;
+        }
         if !self.metrics.is_empty() {
             write!(f, "{}", self.metrics)?;
         }
@@ -100,6 +121,13 @@ mod tests {
                 blocked_recv: Duration::from_millis(1),
                 blocked_send: Duration::from_millis(1),
             }],
+            restarts: vec![RestartEvent {
+                filter: "f".into(),
+                copy: 0,
+                attempt: 1,
+                cause: "injected".into(),
+            }],
+            faults: Vec::new(),
         };
         let report = TelemetryReport::from_run(
             run,
@@ -115,6 +143,8 @@ mod tests {
         assert_eq!(report.filter("f").len(), 1);
         assert_eq!(report.total_busy(), Duration::from_millis(2));
         assert!(report.filter("missing").is_empty());
+        assert_eq!(report.restarts.len(), 1);
+        assert!(report.to_string().contains("restart f[0] attempt 1"));
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! Property tests for the fault-tolerance layer: under *any* seeded chaos
+//! plan, a supervised ingestion either completes with exactly the
+//! fault-free edge count or fails with a typed error — never a deadlock,
+//! never a silently wrong graph — and a failed run always converges after
+//! a resumed retry.
+
+use datacutter::FaultPlan;
+use mssg_core::backend::{BackendKind, BackendOptions};
+use mssg_core::ingest::{ingest, IngestOptions};
+use mssg_core::MssgCluster;
+use mssg_types::Edge;
+use proptest::prelude::*;
+use std::time::{Duration, Instant};
+
+fn ring(n: u64) -> Vec<Edge> {
+    (0..n).map(|i| Edge::of(i, (i + 1) % n)).collect()
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("core-fault-props-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+proptest! {
+    // Each case spins up a real filter graph; keep the count modest.
+    #![proptest_config(ProptestConfig { cases: 16 })]
+
+    /// The headline guarantee: chaos in, either the exact fault-free
+    /// result or a typed error out — bounded by the stream timeout, so a
+    /// dead filter can never hang the run.
+    #[test]
+    fn chaos_completes_exactly_or_fails_typed(seed in any::<u64>()) {
+        const EDGES: u64 = 80;
+        const ENTRIES: u64 = 2 * EDGES; // each undirected edge stored twice
+        let dir = tmpdir(&format!("seed{seed:x}"));
+        let mut cluster =
+            MssgCluster::new(&dir, 2, BackendKind::HashMap, &BackendOptions::default()).unwrap();
+        let opts = IngestOptions {
+            front_ends: 2,
+            window_edges: 8,
+            max_restarts: 8,
+            stream_timeout: Some(Duration::from_secs(20)),
+            fault_plan: Some(FaultPlan::chaos(seed, &[("ingest", 2), ("store", 2)])),
+            ..Default::default()
+        };
+        let start = Instant::now();
+        let outcome = ingest(&mut cluster, ring(EDGES).into_iter(), &opts);
+        prop_assert!(
+            start.elapsed() < Duration::from_secs(60),
+            "run must terminate promptly, took {:?}", start.elapsed()
+        );
+        match outcome {
+            // Survived (faults absorbed by supervision or never
+            // applicable): the stored graph must be *exactly* right.
+            Ok(report) => {
+                prop_assert_eq!(report.edges, EDGES);
+                prop_assert_eq!(cluster.total_entries(), ENTRIES);
+            }
+            // Died: must be a typed error, and the checkpoint must make a
+            // resumed replay of the same stream converge bit-for-bit.
+            Err(err) => {
+                use mssg_types::GraphStorageError as E;
+                prop_assert!(
+                    matches!(err, E::FilterFailed(_) | E::Fault(_) | E::Timeout(_) | E::Unsupported(_)),
+                    "untyped failure: {}", err
+                );
+                let retry = IngestOptions {
+                    front_ends: 2,
+                    window_edges: 8,
+                    resume: true,
+                    ..Default::default()
+                };
+                let report = ingest(&mut cluster, ring(EDGES).into_iter(), &retry).unwrap();
+                prop_assert_eq!(report.edges, EDGES);
+                prop_assert_eq!(cluster.total_entries(), ENTRIES, "resume converged");
+            }
+        }
+    }
+
+    /// Plans are a pure function of the seed — the determinism every
+    /// "re-run the CI failure locally" workflow depends on.
+    #[test]
+    fn chaos_plans_are_deterministic(seed in any::<u64>()) {
+        let a = FaultPlan::chaos(seed, &[("ingest", 2), ("store", 3)]);
+        let b = FaultPlan::chaos(seed, &[("ingest", 2), ("store", 3)]);
+        prop_assert_eq!(format!("{:?}", a.specs()), format!("{:?}", b.specs()));
+        prop_assert!(!a.is_empty());
+    }
+}

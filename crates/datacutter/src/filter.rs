@@ -1,15 +1,16 @@
 //! The filter interface and its stream ports.
 
 use crate::buffer::DataBuffer;
+use crate::fault::CopyFaults;
 use crate::netstats::NetStats;
 use crate::NodeId;
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError, SendTimeoutError, Sender};
 use mssg_obs::{Histogram, Telemetry};
 use mssg_types::{GraphStorageError, Result};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Per-copy blocked-time accounting, shared between a copy's ports and
 /// the runtime. Nanoseconds spent parked on channel operations; the
@@ -26,8 +27,8 @@ pub(crate) struct PortClocks {
 
 /// A processing component. The runtime calls `init`, then `process`, then
 /// `finalize`, on the filter's own thread. `process` typically loops on an
-/// input port until it drains (`recv` returns `None` once every producer
-/// has finished).
+/// input port until it drains (`recv` returns `Ok(None)` once every
+/// producer has finished).
 pub trait Filter: Send {
     /// One-time setup before any data flows.
     fn init(&mut self, _ctx: &mut FilterContext) -> Result<()> {
@@ -45,25 +46,43 @@ pub trait Filter: Send {
 
 /// Receiving end of a logical stream (all producer copies merged).
 pub struct InPort {
+    pub(crate) name: String,
     pub(crate) rx: Receiver<DataBuffer>,
     /// Blocked-time clocks of the owning copy (absent in bare test ports).
     pub(crate) clocks: Option<Arc<PortClocks>>,
+    /// Give-up deadline per `recv` (from `GraphBuilder::stream_timeout`).
+    pub(crate) timeout: Option<Duration>,
+    /// Injection state when a `FaultPlan` targets the owning copy.
+    pub(crate) faults: Option<Arc<CopyFaults>>,
 }
 
 impl InPort {
-    /// Blocks for the next buffer; `None` when every producer has closed.
-    pub fn recv(&self) -> Option<DataBuffer> {
-        match &self.clocks {
-            None => self.rx.recv().ok(),
-            Some(clocks) => {
-                let start = Instant::now();
-                let got = self.rx.recv().ok();
-                clocks
-                    .blocked_recv_ns
-                    .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                got
-            }
+    /// Blocks for the next buffer. `Ok(None)` once every producer has
+    /// closed; [`GraphStorageError::Timeout`] if a stream timeout is
+    /// configured and elapses first (the guard against a dead peer that
+    /// never closes its end); an injected fault may panic or stall here.
+    pub fn recv(&self) -> Result<Option<DataBuffer>> {
+        if let Some(f) = &self.faults {
+            f.tick(false)?;
         }
+        let start = self.clocks.as_ref().map(|_| Instant::now());
+        let got = match self.timeout {
+            None => Ok(self.rx.recv().ok()),
+            Some(limit) => match self.rx.recv_timeout(limit) {
+                Ok(buf) => Ok(Some(buf)),
+                Err(RecvTimeoutError::Disconnected) => Ok(None),
+                Err(RecvTimeoutError::Timeout) => Err(GraphStorageError::Timeout(format!(
+                    "recv on input port {:?} gave up after {limit:?}",
+                    self.name
+                ))),
+            },
+        };
+        if let (Some(clocks), Some(start)) = (&self.clocks, start) {
+            clocks
+                .blocked_recv_ns
+                .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+        got
     }
 
     /// Non-blocking receive.
@@ -79,10 +98,22 @@ impl InPort {
         }
         out
     }
+
+    /// A fresh port on the same channel, for a restarted incarnation.
+    pub(crate) fn clone_port(&self) -> InPort {
+        InPort {
+            name: self.name.clone(),
+            rx: self.rx.clone(),
+            clocks: self.clocks.clone(),
+            timeout: self.timeout,
+            faults: self.faults.clone(),
+        }
+    }
 }
 
 /// Sending end of a logical stream: one channel per consumer copy.
 pub struct OutPort {
+    pub(crate) name: String,
     pub(crate) senders: Vec<Sender<DataBuffer>>,
     pub(crate) consumer_nodes: Vec<NodeId>,
     pub(crate) my_node: NodeId,
@@ -92,6 +123,10 @@ pub struct OutPort {
     pub(crate) clocks: Option<Arc<PortClocks>>,
     /// Queue occupancy sampled after each send — backpressure visibility.
     pub(crate) queue_depth: Option<Histogram>,
+    /// Give-up deadline per send (from `GraphBuilder::stream_timeout`).
+    pub(crate) timeout: Option<Duration>,
+    /// Injection state when a `FaultPlan` targets the owning copy.
+    pub(crate) faults: Option<Arc<CopyFaults>>,
 }
 
 impl OutPort {
@@ -102,7 +137,15 @@ impl OutPort {
 
     /// Sends to a specific consumer copy — the addressing mode the
     /// declustering strategies and the vertex-owner fringe exchange use.
+    ///
+    /// With a stream timeout configured, a send that stays backpressured
+    /// past the deadline fails with [`GraphStorageError::Timeout`]; an
+    /// injected [`FaultKind::SendError`](crate::FaultKind::SendError)
+    /// surfaces as [`GraphStorageError::Fault`] without delivering.
     pub fn send_to(&mut self, copy: usize, buf: DataBuffer) -> Result<()> {
+        if let Some(f) = &self.faults {
+            f.tick(true)?;
+        }
         let sender = self.senders.get(copy).ok_or_else(|| {
             GraphStorageError::Unsupported(format!(
                 "port has {} consumers, copy {copy} addressed",
@@ -111,21 +154,31 @@ impl OutPort {
         })?;
         self.stats
             .record(self.my_node, self.consumer_nodes[copy], buf.len() as u64);
-        let sent = match &self.clocks {
-            None => sender.send(buf),
-            Some(clocks) => {
-                let start = Instant::now();
-                let sent = sender.send(buf);
-                clocks
-                    .blocked_send_ns
-                    .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                sent
-            }
+        let start = self.clocks.as_ref().map(|_| Instant::now());
+        let sent: Result<()> = match self.timeout {
+            None => sender
+                .send(buf)
+                .map_err(|_| GraphStorageError::Unsupported("consumer hung up".into())),
+            Some(limit) => match sender.send_timeout(buf, limit) {
+                Ok(()) => Ok(()),
+                Err(SendTimeoutError::Disconnected(_)) => {
+                    Err(GraphStorageError::Unsupported("consumer hung up".into()))
+                }
+                Err(SendTimeoutError::Timeout(_)) => Err(GraphStorageError::Timeout(format!(
+                    "send on output port {:?} gave up after {limit:?}",
+                    self.name
+                ))),
+            },
         };
+        if let (Some(clocks), Some(start)) = (&self.clocks, start) {
+            clocks
+                .blocked_send_ns
+                .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
         if let Some(depth) = &self.queue_depth {
             depth.record(sender.len() as u64);
         }
-        sent.map_err(|_| GraphStorageError::Unsupported("consumer hung up".into()))
+        sent
     }
 
     /// Sends to the next consumer in round-robin order.
@@ -141,6 +194,22 @@ impl OutPort {
             self.send_to(copy, buf.clone())?;
         }
         Ok(())
+    }
+
+    /// A fresh port on the same channels, for a restarted incarnation.
+    pub(crate) fn clone_port(&self) -> OutPort {
+        OutPort {
+            name: self.name.clone(),
+            senders: self.senders.clone(),
+            consumer_nodes: self.consumer_nodes.clone(),
+            my_node: self.my_node,
+            rr: self.rr,
+            stats: Arc::clone(&self.stats),
+            clocks: self.clocks.clone(),
+            queue_depth: self.queue_depth.clone(),
+            timeout: self.timeout,
+            faults: self.faults.clone(),
+        }
     }
 }
 
@@ -194,6 +263,28 @@ impl FilterContext {
     pub fn has_output(&self, name: &str) -> bool {
         self.outputs.contains_key(name)
     }
+
+    /// A pristine context on the same channels — what the supervisor hands
+    /// a restarted incarnation (ports closed by the previous incarnation
+    /// via `close_output` come back open).
+    pub(crate) fn clone_ports(&self) -> FilterContext {
+        FilterContext {
+            copy_index: self.copy_index,
+            copies: self.copies,
+            node: self.node,
+            inputs: self
+                .inputs
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone_port()))
+                .collect(),
+            outputs: self
+                .outputs
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone_port()))
+                .collect(),
+            telemetry: self.telemetry.clone(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +302,7 @@ mod tests {
         }
         (
             OutPort {
+                name: "out".into(),
                 senders,
                 consumer_nodes: (0..n).collect(),
                 my_node: 0,
@@ -218,9 +310,21 @@ mod tests {
                 stats: NetStats::new(),
                 clocks: None,
                 queue_depth: None,
+                timeout: None,
+                faults: None,
             },
             receivers,
         )
+    }
+
+    fn in_port(rx: Receiver<DataBuffer>, clocks: Option<Arc<PortClocks>>) -> InPort {
+        InPort {
+            name: "in".into(),
+            rx,
+            clocks,
+            timeout: None,
+            faults: None,
+        }
     }
 
     #[test]
@@ -269,26 +373,23 @@ mod tests {
         let (tx, rx) = bounded(8);
         tx.send(DataBuffer::control(1)).unwrap();
         tx.send(DataBuffer::control(2)).unwrap();
-        let port = InPort { rx, clocks: None };
+        let port = in_port(rx, None);
         let drained = port.drain();
         assert_eq!(drained.len(), 2);
         drop(tx);
-        assert!(port.recv().is_none());
+        assert!(port.recv().unwrap().is_none());
     }
 
     #[test]
     fn blocked_recv_time_is_accounted() {
         let (tx, rx) = bounded(1);
         let clocks = Arc::new(PortClocks::default());
-        let port = InPort {
-            rx,
-            clocks: Some(Arc::clone(&clocks)),
-        };
+        let port = in_port(rx, Some(Arc::clone(&clocks)));
         let t = std::thread::spawn(move || {
             std::thread::sleep(std::time::Duration::from_millis(20));
             tx.send(DataBuffer::control(1)).unwrap();
         });
-        assert!(port.recv().is_some());
+        assert!(port.recv().unwrap().is_some());
         t.join().unwrap();
         assert!(
             clocks.blocked_recv_ns.load(Ordering::Relaxed) >= 10_000_000,
@@ -297,10 +398,41 @@ mod tests {
     }
 
     #[test]
+    fn port_timeouts_surface_as_typed_errors() {
+        let (tx, rx) = bounded(1);
+        let mut port = in_port(rx, None);
+        port.timeout = Some(Duration::from_millis(15));
+        match port.recv() {
+            Err(GraphStorageError::Timeout(m)) => assert!(m.contains("in")),
+            other => panic!("expected recv timeout, got {other:?}"),
+        }
+        tx.send(DataBuffer::control(1)).unwrap();
+        assert!(port.recv().unwrap().is_some());
+
+        let (mut out, rxs) = out_port(1);
+        out.timeout = Some(Duration::from_millis(15));
+        out.send_to(0, DataBuffer::control(1)).unwrap();
+        // Channel capacity is 16: fill it, then the next send must time out.
+        for i in 0..15 {
+            out.send_to(0, DataBuffer::control(i)).unwrap();
+        }
+        match out.send_to(0, DataBuffer::control(99)) {
+            Err(GraphStorageError::Timeout(_)) => {}
+            other => panic!("expected send timeout, got {other:?}"),
+        }
+        drop(rxs);
+        match out.send_to(0, DataBuffer::control(0)) {
+            Err(GraphStorageError::Unsupported(m)) => assert!(m.contains("hung up")),
+            other => panic!("expected disconnect, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn queue_depth_sampled_per_send() {
         let depth = Histogram::default();
         let (tx, _rx) = bounded(8);
         let mut port = OutPort {
+            name: "out".into(),
             senders: vec![tx],
             consumer_nodes: vec![1],
             my_node: 0,
@@ -308,6 +440,8 @@ mod tests {
             stats: NetStats::new(),
             clocks: Some(Arc::new(PortClocks::default())),
             queue_depth: Some(depth.clone()),
+            timeout: None,
+            faults: None,
         };
         port.send_to(0, DataBuffer::control(1)).unwrap();
         port.send_to(0, DataBuffer::control(2)).unwrap();

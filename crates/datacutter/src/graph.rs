@@ -1,8 +1,10 @@
 //! Filter-graph construction.
 
+use crate::fault::FaultPlan;
 use crate::filter::Filter;
 use crate::NodeId;
 use mssg_obs::Telemetry;
+use std::time::Duration;
 
 /// Factory producing one filter instance per transparent copy. Receives
 /// the copy index.
@@ -35,17 +37,26 @@ pub struct GraphBuilder {
     pub(crate) streams: Vec<StreamDef>,
     pub(crate) channel_capacity: usize,
     pub(crate) telemetry: Telemetry,
+    pub(crate) stream_timeout: Option<Duration>,
+    pub(crate) fault_plan: Option<FaultPlan>,
+    pub(crate) max_restarts: u32,
+    pub(crate) restart_backoff: Duration,
 }
 
 impl GraphBuilder {
-    /// An empty graph with the default stream capacity (1024 buffers) and
-    /// disabled telemetry.
+    /// An empty graph with the default stream capacity (1024 buffers),
+    /// disabled telemetry, no stream timeouts, no fault plan, and no
+    /// supervision (a failed copy fails the run, as DataCutter's did).
     pub fn new() -> GraphBuilder {
         GraphBuilder {
             filters: Vec::new(),
             streams: Vec::new(),
             channel_capacity: 1024,
             telemetry: Telemetry::disabled(),
+            stream_timeout: None,
+            fault_plan: None,
+            max_restarts: 0,
+            restart_backoff: Duration::from_millis(25),
         }
     }
 
@@ -61,6 +72,45 @@ impl GraphBuilder {
     /// filters can reach it via `FilterContext::telemetry`.
     pub fn telemetry(&mut self, telemetry: Telemetry) -> &mut Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Bounds every stream send and recv: an operation still blocked after
+    /// `timeout` fails with a typed
+    /// [`GraphStorageError::Timeout`](mssg_types::GraphStorageError::Timeout)
+    /// instead of hanging — the guard that turns a dead peer into a clean
+    /// error. Off by default (operations block indefinitely).
+    pub fn stream_timeout(&mut self, timeout: Duration) -> &mut Self {
+        self.stream_timeout = Some(timeout);
+        self
+    }
+
+    /// Attaches a [`FaultPlan`]: the scheduled panics, send errors, and
+    /// stalls are injected at the planned port operations, and every fault
+    /// that fires is recorded in
+    /// [`RunReport::faults`](crate::RunReport::faults) and the
+    /// `dc.faults_injected` counter.
+    pub fn fault_plan(&mut self, plan: FaultPlan) -> &mut Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Supervises filter copies: a copy that *panics* is rebuilt from its
+    /// factory and restarted — up to `max_restarts` times per copy, with
+    /// exponential backoff starting at `backoff` — before the run fails
+    /// with a typed
+    /// [`GraphStorageError::FilterFailed`](mssg_types::GraphStorageError::FilterFailed).
+    /// Restarts are recorded in
+    /// [`RunReport::restarts`](crate::RunReport::restarts) and the
+    /// `dc.restarts` counter.
+    ///
+    /// Restart re-delivers nothing the crashed incarnation had already
+    /// consumed, and errors *returned* by a filter are fail-stop (they
+    /// propagate immediately, like an unsupervised run) — see the crate's
+    /// "Fault tolerance" section for the exact guarantees.
+    pub fn supervise(&mut self, max_restarts: u32, backoff: Duration) -> &mut Self {
+        self.max_restarts = max_restarts;
+        self.restart_backoff = backoff;
         self
     }
 

@@ -39,7 +39,7 @@
 //! struct Summer(u64);
 //! impl Filter for Summer {
 //!     fn process(&mut self, ctx: &mut FilterContext) -> Result<()> {
-//!         while let Some(buf) = ctx.input("in")?.recv() {
+//!         while let Some(buf) = ctx.input("in")?.recv()? {
 //!             self.0 += buf.words()[0];
 //!         }
 //!         Ok(())
@@ -53,18 +53,50 @@
 //! let report = g.run().unwrap();
 //! assert_eq!(report.net.remote_msgs + report.net.local_msgs, 10);
 //! ```
+//!
+//! ## Fault tolerance
+//!
+//! The classic DataCutter runtime is fail-stop: one dead filter copy
+//! poisons the whole run. This substrate layers three opt-in mechanisms
+//! on top (all off by default, preserving the classic semantics):
+//!
+//! - **Supervision** ([`GraphBuilder::supervise`]): a copy that *panics*
+//!   is rebuilt from its factory and restarted, up to `max_restarts`
+//!   times per copy with exponential backoff. Because a supervised copy's
+//!   channel endpoints are kept open across the crash, a restarted
+//!   incarnation resumes the same streams; whatever the dead incarnation
+//!   had already consumed is *not* re-delivered (at-most-once within a
+//!   run — the ingestion checkpoint in `mssg-core` upgrades this to
+//!   at-least-once across runs). Errors a filter *returns* stay
+//!   fail-stop. Once the budget is spent, [`GraphBuilder::run`] fails
+//!   with a typed `FilterFailed` error naming the copy and its panic.
+//! - **Stream timeouts** ([`GraphBuilder::stream_timeout`]): every
+//!   blocking send/recv gains a deadline; exceeding it fails the
+//!   operation with a typed `Timeout` error instead of hanging — the
+//!   guard that turns "a peer died and will never send ROUND_DONE" into
+//!   a clean error.
+//! - **Fault injection** ([`FaultPlan`], [`GraphBuilder::fault_plan`]):
+//!   deterministic, seed-driven panics, send errors, and stalls at
+//!   chosen port operations, for chaos testing the two mechanisms above.
+//!   Fired faults and restarts are audited in [`RunReport::faults`] /
+//!   [`RunReport::restarts`] and the `dc.faults_injected` / `dc.restarts`
+//!   counters.
+//!
+//! See DESIGN.md §"Failure model" for what is and is not guaranteed.
 
 pub mod buffer;
+pub mod fault;
 pub mod filter;
 pub mod graph;
 pub mod netstats;
 pub mod runtime;
 
 pub use buffer::DataBuffer;
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec};
 pub use filter::{Filter, FilterContext, InPort, OutPort};
 pub use graph::{FilterHandle, GraphBuilder};
 pub use netstats::{NetSnapshot, NetStats, NetworkCostModel};
-pub use runtime::{FilterTiming, RunReport};
+pub use runtime::{FilterTiming, RestartEvent, RunReport};
 
 /// Identifies a logical cluster node (a thread in this substrate).
 pub type NodeId = usize;

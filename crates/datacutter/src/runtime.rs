@@ -3,15 +3,18 @@
 //! DataCutter's runtime plays on a real cluster.
 
 use crate::buffer::DataBuffer;
-use crate::filter::{FilterContext, InPort, OutPort, PortClocks};
-use crate::graph::GraphBuilder;
+use crate::fault::{panic_message, silence_injected_panics, CopyFaults, FaultEvent};
+use crate::filter::{Filter, FilterContext, InPort, OutPort, PortClocks};
+use crate::graph::{FilterFactory, GraphBuilder};
 use crate::netstats::{NetSnapshot, NetStats};
 use crate::NodeId;
 use crossbeam::channel::{bounded, Receiver, Sender};
+use mssg_obs::{Counter, Tracer};
 use mssg_types::{GraphStorageError, Result};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Where one filter copy spent its run: busy computing, parked on a
@@ -40,6 +43,20 @@ impl FilterTiming {
     }
 }
 
+/// An audit record of one supervised restart, collected into
+/// [`RunReport::restarts`].
+#[derive(Clone, Debug)]
+pub struct RestartEvent {
+    /// Filter name.
+    pub filter: String,
+    /// Copy index that crashed and was restarted.
+    pub copy: usize,
+    /// Restart number for this copy (1 = first restart).
+    pub attempt: u32,
+    /// The panic message of the crashed incarnation.
+    pub cause: String,
+}
+
 /// Outcome of a completed graph run.
 #[derive(Clone, Debug)]
 pub struct RunReport {
@@ -49,6 +66,12 @@ pub struct RunReport {
     pub net: NetSnapshot,
     /// Per-filter-copy time breakdown (busy vs. blocked on recv/send).
     pub filters: Vec<FilterTiming>,
+    /// Supervised restarts that happened during the run (empty without
+    /// [`GraphBuilder::supervise`] or without crashes).
+    pub restarts: Vec<RestartEvent>,
+    /// Injected faults that actually fired (empty without a
+    /// [`FaultPlan`](crate::FaultPlan)).
+    pub faults: Vec<FaultEvent>,
 }
 
 /// Runs a built graph to completion.
@@ -149,8 +172,11 @@ pub fn run(mut graph: GraphBuilder) -> Result<RunReport> {
     for ((fi, port), rxs) in receivers {
         for (ci, rx) in rxs.into_iter().enumerate() {
             let in_port = InPort {
+                name: port.clone(),
                 rx,
                 clocks: Some(Arc::clone(&clocks[fi][ci])),
+                timeout: graph.stream_timeout,
+                faults: None,
             };
             contexts[fi][ci].inputs.insert(port.clone(), in_port);
         }
@@ -184,6 +210,7 @@ pub fn run(mut graph: GraphBuilder) -> Result<RunReport> {
             ctx.outputs.insert(
                 s.out_port.clone(),
                 OutPort {
+                    name: s.out_port.clone(),
                     senders: txs.clone(),
                     consumer_nodes: consumer_nodes.clone(),
                     my_node: ctx.node,
@@ -191,6 +218,8 @@ pub fn run(mut graph: GraphBuilder) -> Result<RunReport> {
                     stats: Arc::clone(&stats),
                     clocks: Some(Arc::clone(&clocks[s.from][ctx.copy_index])),
                     queue_depth: queue_depth.clone(),
+                    timeout: graph.stream_timeout,
+                    faults: None,
                 },
             );
         }
@@ -198,60 +227,116 @@ pub fn run(mut graph: GraphBuilder) -> Result<RunReport> {
     // Drop the original senders so streams close once producers finish.
     drop(senders);
 
-    // Spawn one thread per filter copy and drive the lifecycle.
+    // Attach per-copy fault-injection state wherever the plan targets a
+    // copy (the state is shared by all of the copy's ports and survives
+    // supervised restarts, so fired faults stay fired).
+    let fault_log: Arc<Mutex<Vec<FaultEvent>>> = Arc::new(Mutex::new(Vec::new()));
+    if let Some(plan) = &graph.fault_plan {
+        silence_injected_panics();
+        let fault_counter = telemetry.metrics.counter("dc.faults_injected");
+        for (fi, def) in graph.filters.iter().enumerate() {
+            for (ci, ctx) in contexts[fi].iter_mut().enumerate() {
+                let specs = plan.for_copy(&def.name, ci);
+                if specs.is_empty() {
+                    continue;
+                }
+                let state = Arc::new(CopyFaults::new(
+                    def.name.clone(),
+                    ci,
+                    specs,
+                    Arc::clone(&fault_log),
+                    fault_counter.clone(),
+                ));
+                for p in ctx.inputs.values_mut() {
+                    p.faults = Some(Arc::clone(&state));
+                }
+                for p in ctx.outputs.values_mut() {
+                    p.faults = Some(Arc::clone(&state));
+                }
+            }
+        }
+    }
+
+    // Share each filter's factory so a supervised copy can be rebuilt
+    // from its own thread after a crash.
+    let factories: Vec<Arc<Mutex<FilterFactory>>> = graph
+        .filters
+        .iter_mut()
+        .map(|def| {
+            let dummy: FilterFactory =
+                Box::new(|_| -> Box<dyn Filter> { unreachable!("factory already taken") });
+            Arc::new(Mutex::new(std::mem::replace(&mut def.factory, dummy)))
+        })
+        .collect();
+
+    // Spawn one supervisor thread per filter copy; each drives the filter
+    // lifecycle, restarting crashed incarnations while budget remains.
+    let restart_log: Arc<Mutex<Vec<RestartEvent>>> = Arc::new(Mutex::new(Vec::new()));
+    let restart_counter = telemetry.metrics.counter("dc.restarts");
     let start = Instant::now();
     let mut handles = Vec::new();
-    for (fi, def) in graph.filters.iter_mut().enumerate() {
-        for (ci, mut ctx) in std::mem::take(&mut contexts[fi]).into_iter().enumerate() {
-            let mut instance = (def.factory)(ci);
+    for (fi, def) in graph.filters.iter().enumerate() {
+        for (ci, ctx) in std::mem::take(&mut contexts[fi]).into_iter().enumerate() {
             let name = format!("{}.{}", def.name, ci);
+            // Build the first incarnation on the caller's thread, like the
+            // unsupervised runtime did (a factory panic here propagates).
+            let first = {
+                let mut factory = factories[fi].lock().unwrap_or_else(|p| p.into_inner());
+                factory(ci)
+            };
+            let sup = Supervisor {
+                factory: Arc::clone(&factories[fi]),
+                filter: def.name.clone(),
+                copy: ci,
+                node: def.placement[ci],
+                max_restarts: graph.max_restarts,
+                backoff: graph.restart_backoff,
+                tracer: telemetry.tracer.clone(),
+                restart_log: Arc::clone(&restart_log),
+                restart_counter: restart_counter.clone(),
+            };
             let copy_clocks = Arc::clone(&clocks[fi][ci]);
-            let tracer = telemetry.tracer.clone();
-            let filter_name = def.name.clone();
             let handle = std::thread::Builder::new()
                 .name(name.clone())
                 .spawn(move || -> Result<()> {
                     let started = Instant::now();
-                    let _span = tracer
-                        .span("filter.run")
-                        .with_str("filter", &filter_name)
-                        .with("copy", ci as u64)
-                        .with("node", ctx.node as u64);
-                    let outcome = (|| {
-                        instance.init(&mut ctx)?;
-                        instance.process(&mut ctx)?;
-                        instance.finalize(&mut ctx)
-                    })();
+                    let result = sup.run(first, ctx);
                     copy_clocks
                         .total_ns
                         .store(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                    outcome
+                    result
                 })
                 .map_err(GraphStorageError::Io)?;
             handles.push((name, handle));
         }
     }
 
-    let mut first_error: Option<GraphStorageError> = None;
+    // Collect outcomes. When several copies fail, prefer a root-cause
+    // error (a crashed or faulted filter) over the secondary "hung up" /
+    // timeout errors its death cascades through the graph.
+    let mut errors: Vec<GraphStorageError> = Vec::new();
     for (name, handle) in handles {
         match handle.join() {
             Ok(Ok(())) => {}
-            Ok(Err(e)) => {
-                if first_error.is_none() {
-                    first_error = Some(e);
-                }
-            }
-            Err(_) => {
-                if first_error.is_none() {
-                    first_error = Some(GraphStorageError::Unsupported(format!(
-                        "filter {name} panicked"
-                    )));
-                }
-            }
+            Ok(Err(e)) => errors.push(e),
+            // Unreachable: the supervisor catches filter panics. Kept as a
+            // backstop so a runtime bug still surfaces as an error.
+            Err(_) => errors.push(GraphStorageError::FilterFailed(format!(
+                "filter {name} panicked"
+            ))),
         }
     }
-    if let Some(e) = first_error {
-        return Err(e);
+    if !errors.is_empty() {
+        let root = errors
+            .iter()
+            .position(|e| {
+                matches!(
+                    e,
+                    GraphStorageError::FilterFailed(_) | GraphStorageError::Fault(_)
+                )
+            })
+            .unwrap_or(0);
+        return Err(errors.swap_remove(root));
     }
     let mut filters = Vec::new();
     for (fi, def) in graph.filters.iter().enumerate() {
@@ -267,11 +352,134 @@ pub fn run(mut graph: GraphBuilder) -> Result<RunReport> {
             });
         }
     }
+    let restarts = restart_log.lock().unwrap().clone();
+    let faults = fault_log.lock().unwrap().clone();
     Ok(RunReport {
         elapsed: start.elapsed(),
         net: stats.snapshot(),
         filters,
+        restarts,
+        faults,
     })
+}
+
+/// Drives one filter copy's lifecycle, restarting crashed incarnations.
+struct Supervisor {
+    factory: Arc<Mutex<FilterFactory>>,
+    filter: String,
+    copy: usize,
+    node: NodeId,
+    max_restarts: u32,
+    backoff: Duration,
+    tracer: Tracer,
+    restart_log: Arc<Mutex<Vec<RestartEvent>>>,
+    restart_counter: Counter,
+}
+
+impl Supervisor {
+    /// Runs init → process → finalize, restarting on panic while budget
+    /// remains.
+    ///
+    /// Semantics, pinned for the failure-model doc:
+    /// - Only *panics* are retried: an error a filter returns is a
+    ///   deterministic, deliberate outcome and fails the run immediately
+    ///   (fail-stop), exactly like an unsupervised run.
+    /// - Every non-final attempt runs on cloned ports, so the copy's
+    ///   channel endpoints stay open across the crash and a restarted
+    ///   incarnation resumes the same streams; nothing the crashed
+    ///   incarnation already consumed is re-delivered.
+    /// - The final allowed attempt takes ownership of the ports, so once
+    ///   the budget is spent (or with no supervision at all) endpoint
+    ///   lifetimes match the classic runtime exactly — including
+    ///   `close_output`-then-drain protocols.
+    fn run(&self, first: Box<dyn Filter>, ctx: FilterContext) -> Result<()> {
+        let mut attempt: u32 = 0;
+        let mut template = Some(ctx);
+        let mut prebuilt = Some(first);
+        loop {
+            let last = attempt >= self.max_restarts;
+            let mut ctx = if last {
+                template.take().expect("context template present")
+            } else {
+                template
+                    .as_ref()
+                    .expect("context template present")
+                    .clone_ports()
+            };
+            let mut filter = match prebuilt.take() {
+                Some(f) => f,
+                None => {
+                    let factory = &self.factory;
+                    let copy = self.copy;
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        let mut f = factory.lock().unwrap_or_else(|p| p.into_inner());
+                        f(copy)
+                    })) {
+                        Ok(f) => f,
+                        // A factory that cannot rebuild the copy (e.g. a
+                        // one-shot source) ends supervision immediately.
+                        Err(payload) => {
+                            return Err(GraphStorageError::FilterFailed(format!(
+                                "filter {}.{}: factory panicked during restart: {}",
+                                self.filter,
+                                self.copy,
+                                panic_message(payload.as_ref())
+                            )));
+                        }
+                    }
+                }
+            };
+            let outcome = {
+                let _span = self
+                    .tracer
+                    .span("filter.run")
+                    .with_str("filter", &self.filter)
+                    .with("copy", self.copy as u64)
+                    .with("node", self.node as u64)
+                    .with("attempt", attempt as u64);
+                catch_unwind(AssertUnwindSafe(|| {
+                    filter.init(&mut ctx)?;
+                    filter.process(&mut ctx)?;
+                    filter.finalize(&mut ctx)
+                }))
+            };
+            match outcome {
+                Ok(Ok(())) => return Ok(()),
+                Ok(Err(e)) => return Err(e),
+                Err(payload) => {
+                    let cause = panic_message(payload.as_ref());
+                    if last {
+                        let after = if attempt > 0 {
+                            format!(" (after {attempt} restarts)")
+                        } else {
+                            String::new()
+                        };
+                        return Err(GraphStorageError::FilterFailed(format!(
+                            "filter {}.{} panicked{after}: {cause}",
+                            self.filter, self.copy
+                        )));
+                    }
+                    attempt += 1;
+                    self.restart_counter.inc();
+                    drop(
+                        self.tracer
+                            .span("filter.restart")
+                            .with_str("filter", &self.filter)
+                            .with("copy", self.copy as u64)
+                            .with("attempt", attempt as u64),
+                    );
+                    self.restart_log.lock().unwrap().push(RestartEvent {
+                        filter: self.filter.clone(),
+                        copy: self.copy,
+                        attempt,
+                        cause,
+                    });
+                    // Exponential backoff, capped at 64× the base.
+                    std::thread::sleep(self.backoff.saturating_mul(1 << (attempt - 1).min(6)));
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -300,7 +508,7 @@ mod tests {
 
     impl Filter for Collector {
         fn process(&mut self, ctx: &mut FilterContext) -> Result<()> {
-            while let Some(b) = ctx.input("in")?.recv() {
+            while let Some(b) = ctx.input("in")?.recv()? {
                 for w in b.words() {
                     self.sum.fetch_add(w, Ordering::Relaxed);
                 }
@@ -399,6 +607,136 @@ mod tests {
     }
 
     #[test]
+    fn supervised_copy_restarts_after_injected_panic() {
+        let sum = Arc::new(AtomicU64::new(0));
+        let mut g = GraphBuilder::new();
+        g.supervise(2, Duration::from_millis(1));
+        g.fault_plan(crate::FaultPlan::new().inject("c", Some(0), 3, crate::FaultKind::Panic));
+        let p = g.add_filter("p", vec![0], |_| Box::new(Producer { count: 50 }));
+        let sum2 = Arc::clone(&sum);
+        let c = g.add_filter("c", vec![1], move |_| {
+            Box::new(Collector {
+                sum: Arc::clone(&sum2),
+            })
+        });
+        g.connect(p, "out", c, "in");
+        let report = g.run().unwrap();
+        // The panic fires at a recv boundary, before the buffer is popped,
+        // so the restarted incarnation loses nothing.
+        assert_eq!(sum.load(Ordering::Relaxed), (0..50).sum::<u64>());
+        assert_eq!(report.restarts.len(), 1);
+        assert_eq!(report.restarts[0].filter, "c");
+        assert_eq!(report.restarts[0].attempt, 1);
+        assert!(report.restarts[0].cause.contains("injected"));
+        assert_eq!(report.faults.len(), 1);
+        assert_eq!(report.faults[0].kind, "panic");
+    }
+
+    #[test]
+    fn restarts_exhausted_surface_typed_error() {
+        let mut g = GraphBuilder::new();
+        g.supervise(1, Duration::from_millis(1));
+        g.fault_plan(
+            crate::FaultPlan::new()
+                .inject("c", Some(0), 1, crate::FaultKind::Panic)
+                .inject("c", Some(0), 2, crate::FaultKind::Panic),
+        );
+        let p = g.add_filter("p", vec![0], |_| Box::new(Producer { count: 5 }));
+        let c = g.add_filter("c", vec![1], |_| {
+            Box::new(Collector {
+                sum: Arc::new(AtomicU64::new(0)),
+            })
+        });
+        g.connect(p, "out", c, "in");
+        let err = g.run().unwrap_err();
+        match &err {
+            GraphStorageError::FilterFailed(m) => {
+                assert!(m.contains("panicked"), "got: {m}");
+                assert!(m.contains("after 1 restarts"), "got: {m}");
+            }
+            other => panic!("expected FilterFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_send_error_is_fail_stop() {
+        let mut g = GraphBuilder::new();
+        g.fault_plan(crate::FaultPlan::new().inject("p", Some(0), 3, crate::FaultKind::SendError));
+        let p = g.add_filter("p", vec![0], |_| Box::new(Producer { count: 50 }));
+        let c = g.add_filter("c", vec![1], |_| {
+            Box::new(Collector {
+                sum: Arc::new(AtomicU64::new(0)),
+            })
+        });
+        g.connect(p, "out", c, "in");
+        let err = g.run().unwrap_err();
+        assert!(
+            matches!(err, GraphStorageError::Fault(_)),
+            "expected injected fault to propagate, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn stalls_fire_and_are_audited() {
+        let mut g = GraphBuilder::new();
+        g.fault_plan(crate::FaultPlan::new().inject(
+            "p",
+            Some(0),
+            1,
+            crate::FaultKind::Stall(Duration::from_millis(5)),
+        ));
+        let p = g.add_filter("p", vec![0], |_| Box::new(Producer { count: 10 }));
+        let c = g.add_filter("c", vec![1], |_| {
+            Box::new(Collector {
+                sum: Arc::new(AtomicU64::new(0)),
+            })
+        });
+        g.connect(p, "out", c, "in");
+        let report = g.run().unwrap();
+        assert_eq!(report.faults.len(), 1);
+        assert!(report.faults[0].kind.starts_with("stall"));
+    }
+
+    /// Holds an output port open without ever sending, then exits.
+    struct Mute {
+        linger: Duration,
+    }
+    impl Filter for Mute {
+        fn process(&mut self, ctx: &mut FilterContext) -> Result<()> {
+            let _ = ctx.output("out")?;
+            std::thread::sleep(self.linger);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn stream_timeout_turns_starved_recv_into_typed_error() {
+        let mut g = GraphBuilder::new();
+        g.stream_timeout(Duration::from_millis(20));
+        let p = g.add_filter("p", vec![0], |_| {
+            Box::new(Mute {
+                linger: Duration::from_millis(300),
+            })
+        });
+        let c = g.add_filter("c", vec![1], |_| {
+            Box::new(Collector {
+                sum: Arc::new(AtomicU64::new(0)),
+            })
+        });
+        g.connect(p, "out", c, "in");
+        let start = Instant::now();
+        let err = g.run().unwrap_err();
+        assert!(
+            matches!(err, GraphStorageError::Timeout(_)),
+            "expected timeout, got {err:?}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "the run must not hang"
+        );
+    }
+
+    #[test]
     fn double_connected_out_port_rejected() {
         let mut g = GraphBuilder::new();
         let p = g.add_filter("p", vec![0], |_| Box::new(Producer { count: 1 }));
@@ -431,7 +769,7 @@ mod tests {
                 .broadcast(DataBuffer::from_words(me, &[me * 10]))?;
             ctx.close_output("peers");
             let mut received = 0;
-            while let Some(b) = ctx.input("peers")?.recv() {
+            while let Some(b) = ctx.input("peers")?.recv()? {
                 self.got.fetch_add(b.words()[0], Ordering::Relaxed);
                 received += 1;
             }
@@ -468,7 +806,7 @@ mod tests {
 
     impl Filter for SlowCollector {
         fn process(&mut self, ctx: &mut FilterContext) -> Result<()> {
-            while let Some(b) = ctx.input("in")?.recv() {
+            while let Some(b) = ctx.input("in")?.recv()? {
                 std::thread::sleep(std::time::Duration::from_micros(self.delay_us));
                 self.got.fetch_add(1, Ordering::Relaxed);
                 self.total.fetch_add(b.words()[0], Ordering::Relaxed);

@@ -29,6 +29,15 @@ pub enum GraphStorageError {
     Unsupported(String),
     /// A (mini-)SQL statement failed to parse or execute.
     Query(String),
+    /// A stream send/recv exceeded its configured timeout (the runtime's
+    /// guard against hangs when a peer filter dies).
+    Timeout(String),
+    /// A filter copy failed permanently: it panicked (or kept panicking
+    /// after its restart budget was spent), or its factory could not
+    /// rebuild it.
+    FilterFailed(String),
+    /// A fault deliberately injected by a `FaultPlan` (chaos testing).
+    Fault(String),
 }
 
 impl fmt::Display for GraphStorageError {
@@ -40,6 +49,9 @@ impl fmt::Display for GraphStorageError {
             GraphStorageError::CapacityExceeded(m) => write!(f, "capacity exceeded: {m}"),
             GraphStorageError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
             GraphStorageError::Query(m) => write!(f, "query error: {m}"),
+            GraphStorageError::Timeout(m) => write!(f, "timed out: {m}"),
+            GraphStorageError::FilterFailed(m) => write!(f, "filter failed: {m}"),
+            GraphStorageError::Fault(m) => write!(f, "injected fault: {m}"),
         }
     }
 }
@@ -74,8 +86,18 @@ impl GraphStorageError {
     /// `true` if retrying the operation could plausibly succeed
     /// (transient I/O), `false` for logical errors.
     pub fn is_transient(&self) -> bool {
-        matches!(self, GraphStorageError::Io(e)
-            if matches!(e.kind(), io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock))
+        match self {
+            GraphStorageError::Io(e) => {
+                matches!(
+                    e.kind(),
+                    io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock
+                )
+            }
+            // Injected faults and timeouts model transient infrastructure
+            // trouble: the same operation retried can succeed.
+            GraphStorageError::Fault(_) | GraphStorageError::Timeout(_) => true,
+            _ => false,
+        }
     }
 }
 
@@ -106,5 +128,18 @@ mod tests {
         let p = GraphStorageError::from(io::Error::from(io::ErrorKind::NotFound));
         assert!(!p.is_transient());
         assert!(!GraphStorageError::corrupt("x").is_transient());
+        assert!(GraphStorageError::Timeout("recv on peers".into()).is_transient());
+        assert!(GraphStorageError::Fault("injected send error".into()).is_transient());
+        assert!(!GraphStorageError::FilterFailed("store.1 panicked".into()).is_transient());
+    }
+
+    #[test]
+    fn fault_tolerance_variants_display() {
+        let t = GraphStorageError::Timeout("recv on \"peers\" after 2s".into());
+        assert!(t.to_string().contains("timed out"));
+        let f = GraphStorageError::FilterFailed("filter store.1 panicked".into());
+        assert!(f.to_string().contains("panicked"));
+        let i = GraphStorageError::Fault("send error on batches".into());
+        assert!(i.to_string().contains("injected fault"));
     }
 }

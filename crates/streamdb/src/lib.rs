@@ -73,6 +73,33 @@ impl StreamDb {
         &self.path
     }
 
+    /// Opens a log that may have a *torn tail* — a partial record left by
+    /// a crash mid-append (the failure [`open`](StreamDb::open) rejects as
+    /// corruption). The tail is truncated away and the database opens on
+    /// the surviving whole-record prefix; since the log is append-only,
+    /// everything before the tear is untouched. Returns the database and
+    /// the number of trailing bytes discarded.
+    ///
+    /// This is the backend half of the recovery story in DESIGN.md
+    /// §"Failure model": the ingestion checkpoint re-delivers whatever
+    /// windows the discarded tail contained, so a crashed node converges
+    /// on the full edge set after a resumed run. As with every StreamDB
+    /// read path, verifying the recovered content costs a scan of the
+    /// entire edge set (see the crate docs).
+    pub fn recover(path: &Path, stats: Arc<IoStats>) -> Result<(StreamDb, u64)> {
+        let torn = match std::fs::metadata(path) {
+            Ok(m) => m.len() % RECORD as u64,
+            Err(_) => 0, // no file yet: open will create it
+        };
+        if torn != 0 {
+            let file = OpenOptions::new().write(true).open(path)?;
+            let len = file.metadata()?.len();
+            file.set_len(len - torn)?;
+            file.sync_data()?;
+        }
+        Ok((StreamDb::open(path, stats)?, torn))
+    }
+
     fn write_pending(&mut self) -> Result<()> {
         if self.pending.is_empty() {
             return Ok(());
@@ -297,6 +324,39 @@ mod tests {
         let p = d.join("trunc.log");
         std::fs::write(&p, [0u8; 20]).unwrap();
         assert!(StreamDb::open(&p, IoStats::new()).is_err());
+    }
+
+    #[test]
+    fn recover_truncates_torn_tail_and_keeps_prefix() {
+        let d = std::env::temp_dir().join(format!("streamdb-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        let p = d.join("recover.log");
+        let _ = std::fs::remove_file(&p);
+        {
+            let mut s = StreamDb::open(&p, IoStats::new()).unwrap();
+            s.store_edges(&[Edge::of(1, 2), Edge::of(3, 4)]).unwrap();
+            s.flush().unwrap();
+        }
+        // Simulate a crash mid-append: 7 stray bytes of a third record.
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&p).unwrap();
+            f.write_all(&[0xAB; 7]).unwrap();
+        }
+        assert!(
+            StreamDb::open(&p, IoStats::new()).is_err(),
+            "plain open still rejects the torn log"
+        );
+        let (mut s, torn) = StreamDb::recover(&p, IoStats::new()).unwrap();
+        assert_eq!(torn, 7);
+        assert_eq!(s.stored_entries(), 2, "whole-record prefix survives");
+        assert_eq!(s.neighbors(g(1)).unwrap(), vec![g(2)]);
+        assert_eq!(s.neighbors(g(3)).unwrap(), vec![g(4)]);
+        // A clean log recovers with nothing to discard.
+        drop(s);
+        let (s, torn) = StreamDb::recover(&p, IoStats::new()).unwrap();
+        assert_eq!(torn, 0);
+        assert_eq!(s.stored_entries(), 2);
     }
 
     #[test]

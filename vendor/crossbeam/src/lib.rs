@@ -12,6 +12,7 @@ pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
     use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
     struct State<T> {
         buf: VecDeque<T>,
@@ -85,6 +86,56 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed before a message arrived.
+        Timeout,
+        /// Channel is empty and all senders have disconnected.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.write_str("timed out waiting on receive"),
+                RecvTimeoutError::Disconnected => {
+                    f.write_str("receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    /// Error returned by [`Sender::send_timeout`]; carries the unsent message.
+    pub enum SendTimeoutError<T> {
+        /// The timeout elapsed before room became available.
+        Timeout(T),
+        /// Every receiver has been dropped.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for SendTimeoutError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                SendTimeoutError::Timeout(_) => f.write_str("SendTimeoutError::Timeout(..)"),
+                SendTimeoutError::Disconnected(_) => {
+                    f.write_str("SendTimeoutError::Disconnected(..)")
+                }
+            }
+        }
+    }
+
+    impl<T> fmt::Display for SendTimeoutError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                SendTimeoutError::Timeout(_) => f.write_str("timed out waiting on send"),
+                SendTimeoutError::Disconnected(_) => {
+                    f.write_str("sending on a disconnected channel")
+                }
+            }
+        }
+    }
+
     /// The sending half; clone to add producers.
     pub struct Sender<T> {
         shared: Arc<Shared<T>>,
@@ -111,6 +162,32 @@ pub mod channel {
                     return Ok(());
                 }
                 st = self.shared.not_full.wait(st).unwrap();
+            }
+        }
+
+        /// Like [`send`](Sender::send), but gives up once `timeout` has
+        /// elapsed without room appearing, returning the message.
+        pub fn send_timeout(&self, msg: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.shared.state.lock().unwrap();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendTimeoutError::Disconnected(msg));
+                }
+                if st.buf.len() < st.cap {
+                    st.buf.push_back(msg);
+                    drop(st);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                let Some(left) = deadline
+                    .checked_duration_since(Instant::now())
+                    .filter(|d| !d.is_zero())
+                else {
+                    return Err(SendTimeoutError::Timeout(msg));
+                };
+                let (guard, _res) = self.shared.not_full.wait_timeout(st, left).unwrap();
+                st = guard;
             }
         }
 
@@ -145,6 +222,31 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 st = self.shared.not_empty.wait(st).unwrap();
+            }
+        }
+
+        /// Like [`recv`](Receiver::recv), but gives up once `timeout` has
+        /// elapsed with the channel still empty.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.shared.state.lock().unwrap();
+            loop {
+                if let Some(msg) = st.buf.pop_front() {
+                    drop(st);
+                    self.shared.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let Some(left) = deadline
+                    .checked_duration_since(Instant::now())
+                    .filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, _res) = self.shared.not_empty.wait_timeout(st, left).unwrap();
+                st = guard;
             }
         }
 
@@ -288,6 +390,39 @@ pub mod channel {
                 n
             });
             assert_eq!(a.join().unwrap() + b.join().unwrap(), 50);
+        }
+
+        #[test]
+        fn recv_timeout_expires_then_delivers() {
+            let (tx, rx) = bounded(2);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(20)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(5).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(20)), Ok(5));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(20)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn send_timeout_expires_on_full_channel() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            match tx.send_timeout(2, Duration::from_millis(20)) {
+                Err(SendTimeoutError::Timeout(v)) => assert_eq!(v, 2),
+                other => panic!("expected timeout, got {other:?}"),
+            }
+            assert_eq!(rx.recv(), Ok(1));
+            tx.send_timeout(3, Duration::from_millis(20)).unwrap();
+            drop(rx);
+            match tx.send_timeout(4, Duration::from_millis(20)) {
+                Err(SendTimeoutError::Disconnected(v)) => assert_eq!(v, 4),
+                other => panic!("expected disconnect, got {other:?}"),
+            }
         }
 
         #[test]
