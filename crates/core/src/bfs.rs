@@ -256,8 +256,15 @@ pub fn bfs(
             max_rounds: opts.max_rounds,
             outcome: Arc::clone(&outcome2),
         })
-    });
-    g.connect(filter, "peers", filter, "peers");
+    })?;
+    g.declare_ports(filter, &["peers"], &["peers"]);
+    g.expect_consumers(filter, "peers", p);
+    // Per round a copy drains opportunistically, but may burst up to one
+    // fringe batch per destination plus the ROUND_DONE marker before its
+    // first recv; 4 rounds of headroom keeps the declaration honest for
+    // the pipelined mode's chunked sends.
+    g.send_window(filter, "peers", 4 * (p as u64 + 1));
+    g.connect(filter, "peers", filter, "peers")?;
     let report = g.run()?;
 
     let out = outcome.lock();

@@ -37,11 +37,20 @@ use std::sync::Arc;
 pub struct ComponentsOptions {
     /// Safety bound on propagation rounds.
     pub max_rounds: u32,
+    /// Per-stream send/recv deadline. The label-propagation rounds block
+    /// on per-phase DONE markers from every peer, so a dead filter would
+    /// otherwise hang the run forever; with the deadline it surfaces as a
+    /// typed `Timeout` error instead. Defaults to 120 s; `None` blocks
+    /// indefinitely (classic semantics).
+    pub recv_timeout: Option<std::time::Duration>,
 }
 
 impl Default for ComponentsOptions {
     fn default() -> Self {
-        ComponentsOptions { max_rounds: 10_000 }
+        ComponentsOptions {
+            max_rounds: 10_000,
+            recv_timeout: Some(std::time::Duration::from_secs(120)),
+        }
     }
 }
 
@@ -104,6 +113,9 @@ pub fn connected_components(
     let mut g = GraphBuilder::new();
     g.channel_capacity(8192);
     g.telemetry(cluster.telemetry().clone());
+    if let Some(t) = options.recv_timeout {
+        g.stream_timeout(t);
+    }
     let backends: Vec<SharedBackend> = (0..p).map(|i| cluster.backend(i)).collect();
     let outcome2 = Arc::clone(&outcome);
     let max_rounds = options.max_rounds;
@@ -114,8 +126,13 @@ pub fn connected_components(
             max_rounds,
             outcome: Arc::clone(&outcome2),
         })
-    });
-    g.connect(filter, "peers", filter, "peers");
+    })?;
+    g.declare_ports(filter, &["peers"], &["peers"]);
+    g.expect_consumers(filter, "peers", p);
+    // Registration/propose phases burst at most one record batch per
+    // destination plus a DONE marker before draining.
+    g.send_window(filter, "peers", 4 * (p as u64 + 1));
+    g.connect(filter, "peers", filter, "peers")?;
     let report = g.run()?;
 
     let out = outcome.lock();

@@ -53,6 +53,9 @@ pub fn degree_distribution(cluster: &MssgCluster) -> Result<DegreeReport> {
     let mut g = GraphBuilder::new();
     g.channel_capacity(8192);
     g.telemetry(cluster.telemetry().clone());
+    // Each copy blocks on a DONE marker from every peer before folding
+    // totals; a dead filter must time out rather than hang the run.
+    g.stream_timeout(std::time::Duration::from_secs(120));
     let backends: Vec<SharedBackend> = (0..p).map(|i| cluster.backend(i)).collect();
     let totals2 = Arc::clone(&totals);
     let filter = g.add_filter("degrees", (0..p).collect(), move |i| {
@@ -60,8 +63,12 @@ pub fn degree_distribution(cluster: &MssgCluster) -> Result<DegreeReport> {
             backend: backends[i].clone(),
             totals: Arc::clone(&totals2),
         })
-    });
-    g.connect(filter, "peers", filter, "peers");
+    })?;
+    g.declare_ports(filter, &["peers"], &["peers"]);
+    g.expect_consumers(filter, "peers", p);
+    // One partial-degree batch per destination plus a DONE marker.
+    g.send_window(filter, "peers", 2 * (p as u64 + 1));
+    g.connect(filter, "peers", filter, "peers")?;
     let report = g.run()?;
 
     let totals = totals.lock();

@@ -178,14 +178,14 @@ pub fn ingest(
     let edge_count = Arc::clone(&source_holder.as_ref().unwrap().count);
     let src = g.add_filter("source", vec![p + f], move |_| {
         Box::new(source_holder.take().expect("source filter built once"))
-    });
+    })?;
     let strat = Arc::clone(&strategy);
     let ing = g.add_filter("ingest", (p..p + f).collect(), move |_| {
         Box::new(IngestFilter {
             strategy: Arc::clone(&strat),
             nodes: 0,
         })
-    });
+    })?;
     let backends: Vec<_> = (0..p).map(|i| cluster.backend(i)).collect();
     let resume = options.resume;
     let store = g.add_filter("store", (0..p).collect(), move |i| {
@@ -193,13 +193,17 @@ pub fn ingest(
             backend: backends[i].clone(),
             resume,
         })
-    });
+    })?;
+    g.declare_ports(src, &[], &["windows"]);
+    g.declare_ports(ing, &["windows"], &["batches"]);
+    g.declare_ports(store, &["batches"], &[]);
+    g.expect_consumers(ing, "batches", p);
     if options.demand_driven {
-        g.connect_shared(src, "windows", ing, "windows");
+        g.connect_shared(src, "windows", ing, "windows")?;
     } else {
-        g.connect(src, "windows", ing, "windows");
+        g.connect(src, "windows", ing, "windows")?;
     }
-    g.connect(ing, "batches", store, "batches");
+    g.connect(ing, "batches", store, "batches")?;
     let report = g.run()?;
 
     // Publish round-robin ownership for later queries.

@@ -138,6 +138,9 @@ pub fn minimum_spanning_forest(cluster: &MssgCluster) -> Result<MsfResult> {
     let mut g = GraphBuilder::new();
     g.channel_capacity(8192);
     g.telemetry(cluster.telemetry().clone());
+    // Borůvka rounds barrier on DONE markers from every peer; a dead
+    // filter must surface as a typed Timeout rather than a hang.
+    g.stream_timeout(std::time::Duration::from_secs(120));
     let backends: Vec<SharedBackend> = (0..p).map(|i| cluster.backend(i)).collect();
     let outcome2 = Arc::clone(&outcome);
     let filter = g.add_filter("msf", (0..p).collect(), move |i| {
@@ -145,8 +148,13 @@ pub fn minimum_spanning_forest(cluster: &MssgCluster) -> Result<MsfResult> {
             backend: backends[i].clone(),
             outcome: Arc::clone(&outcome2),
         })
-    });
-    g.connect(filter, "peers", filter, "peers");
+    })?;
+    g.declare_ports(filter, &["peers"], &["peers"]);
+    g.expect_consumers(filter, "peers", p);
+    // Candidate/winner phases burst at most one record batch per
+    // destination plus a DONE marker before draining.
+    g.send_window(filter, "peers", 4 * (p as u64 + 1));
+    g.connect(filter, "peers", filter, "peers")?;
     let report = g.run()?;
     let out = outcome.lock();
     Ok(MsfResult {

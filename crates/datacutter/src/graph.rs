@@ -4,6 +4,8 @@ use crate::fault::FaultPlan;
 use crate::filter::Filter;
 use crate::NodeId;
 use mssg_obs::Telemetry;
+use mssg_types::VerifyError;
+use std::collections::HashMap;
 use std::time::Duration;
 
 /// Factory producing one filter instance per transparent copy. Receives
@@ -30,6 +32,14 @@ pub(crate) struct StreamDef {
     pub shared: bool,
 }
 
+/// Opt-in port declarations for one filter, enabling the verifier's
+/// wiring checks (see [`GraphBuilder::declare_ports`]).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct PortDecls {
+    pub inputs: Vec<String>,
+    pub outputs: Vec<String>,
+}
+
 /// Builds a filter graph: filters with placements, connected by logical
 /// streams. Consumed by [`GraphBuilder::run`].
 pub struct GraphBuilder {
@@ -41,6 +51,16 @@ pub struct GraphBuilder {
     pub(crate) fault_plan: Option<FaultPlan>,
     pub(crate) max_restarts: u32,
     pub(crate) restart_backoff: Duration,
+    /// Opt-in port declarations, keyed by filter index.
+    pub(crate) decls: HashMap<usize, PortDecls>,
+    /// Declared per-copy send windows, keyed by (filter, out_port):
+    /// the most buffers one copy may emit on that port before it next
+    /// blocks on a receive. Default 1 (see the verifier docs).
+    pub(crate) windows: HashMap<(usize, String), u64>,
+    /// Declared consumer-copy contracts, keyed by (filter, out_port).
+    pub(crate) expected_consumers: HashMap<(usize, String), usize>,
+    /// When `true` (default), `run` rejects graphs that fail `verify`.
+    pub(crate) verify_gate: bool,
 }
 
 impl GraphBuilder {
@@ -57,6 +77,10 @@ impl GraphBuilder {
             fault_plan: None,
             max_restarts: 0,
             restart_backoff: Duration::from_millis(25),
+            decls: HashMap::new(),
+            windows: HashMap::new(),
+            expected_consumers: HashMap::new(),
+            verify_gate: true,
         }
     }
 
@@ -116,37 +140,101 @@ impl GraphBuilder {
 
     /// Adds a filter with one transparent copy per placement entry.
     /// `factory(i)` builds the `i`-th copy.
+    ///
+    /// Rejects duplicate filter names and empty placements with a typed
+    /// [`VerifyError`] — silently shadowing an existing filter was the
+    /// classic last-write-wins footgun.
     pub fn add_filter(
         &mut self,
         name: &str,
         placement: Vec<NodeId>,
         factory: impl FnMut(usize) -> Box<dyn Filter> + Send + 'static,
-    ) -> FilterHandle {
-        assert!(
-            !placement.is_empty(),
-            "filter {name:?} needs at least one placement"
-        );
+    ) -> Result<FilterHandle, VerifyError> {
+        if placement.is_empty() {
+            return Err(VerifyError::EmptyPlacement {
+                filter: name.to_string(),
+            });
+        }
+        if self.filters.iter().any(|f| f.name == name) {
+            return Err(VerifyError::DuplicateFilter {
+                filter: name.to_string(),
+            });
+        }
         self.filters.push(FilterDef {
             name: name.to_string(),
             placement,
             factory: Box::new(factory),
         });
-        FilterHandle(self.filters.len() - 1)
+        Ok(FilterHandle(self.filters.len() - 1))
+    }
+
+    /// Shared validation for `connect` / `connect_shared`.
+    fn push_stream(
+        &mut self,
+        from: FilterHandle,
+        out_port: &str,
+        to: FilterHandle,
+        in_port: &str,
+        shared: bool,
+    ) -> Result<(), VerifyError> {
+        assert!(from.0 < self.filters.len() && to.0 < self.filters.len());
+        for s in &self.streams {
+            let same_edge =
+                s.from == from.0 && s.out_port == out_port && s.to == to.0 && s.in_port == in_port;
+            if same_edge && s.shared == shared {
+                return Err(VerifyError::DuplicateStream {
+                    from: self.filters[from.0].name.clone(),
+                    out_port: out_port.to_string(),
+                    to: self.filters[to.0].name.clone(),
+                    in_port: in_port.to_string(),
+                });
+            }
+            // Mixing one shared and one addressed stream into a single
+            // input port would be ambiguous: which queue discipline wins?
+            if s.to == to.0 && s.in_port == in_port && s.shared != shared {
+                return Err(VerifyError::MixedWiring {
+                    filter: self.filters[to.0].name.clone(),
+                    in_port: in_port.to_string(),
+                });
+            }
+            // A logical stream is point-to-point in the DataCutter model:
+            // one out_port feeds exactly one (filter, in_port). Fan-out is
+            // expressed by consumer copies, not by re-connecting the port.
+            if s.from == from.0 && s.out_port == out_port {
+                return Err(VerifyError::OutPortConflict {
+                    filter: self.filters[from.0].name.clone(),
+                    out_port: out_port.to_string(),
+                    first: format!("{}.{}", self.filters[s.to].name, s.in_port),
+                    second: format!("{}.{}", self.filters[to.0].name, in_port),
+                });
+            }
+        }
+        self.streams.push(StreamDef {
+            from: from.0,
+            out_port: out_port.to_string(),
+            to: to.0,
+            in_port: in_port.to_string(),
+            shared,
+        });
+        Ok(())
     }
 
     /// Connects `from.out_port` to `to.in_port`. Every copy of `from` can
     /// address every copy of `to` (targeted, round-robin, or broadcast —
     /// chosen per send). Cycles, self-connections, and multiple streams
     /// into one input port are allowed; the input port merges producers.
-    pub fn connect(&mut self, from: FilterHandle, out_port: &str, to: FilterHandle, in_port: &str) {
-        assert!(from.0 < self.filters.len() && to.0 < self.filters.len());
-        self.streams.push(StreamDef {
-            from: from.0,
-            out_port: out_port.to_string(),
-            to: to.0,
-            in_port: in_port.to_string(),
-            shared: false,
-        });
+    ///
+    /// Rejects, with a typed [`VerifyError`]: the exact same edge
+    /// connected twice, an out port re-wired to a second destination,
+    /// and mixed shared/addressed wiring of one input port.
+    pub fn connect(
+        &mut self,
+        from: FilterHandle,
+        out_port: &str,
+        to: FilterHandle,
+        in_port: &str,
+    ) -> Result<(), VerifyError> {
+        self.push_stream(from, out_port, to, in_port, false)
     }
 
     /// Connects through a single **shared queue** that every copy of `to`
@@ -157,25 +245,89 @@ impl GraphBuilder {
     /// `broadcast` all enqueue once); whichever consumer is free first
     /// dequeues. Traffic is accounted as remote, as a distributed queue's
     /// would be.
+    ///
+    /// Rejects the same wiring defects as [`connect`](Self::connect).
     pub fn connect_shared(
         &mut self,
         from: FilterHandle,
         out_port: &str,
         to: FilterHandle,
         in_port: &str,
-    ) {
-        assert!(from.0 < self.filters.len() && to.0 < self.filters.len());
-        self.streams.push(StreamDef {
-            from: from.0,
-            out_port: out_port.to_string(),
-            to: to.0,
-            in_port: in_port.to_string(),
-            shared: true,
-        });
+    ) -> Result<(), VerifyError> {
+        self.push_stream(from, out_port, to, in_port, true)
+    }
+
+    /// Declares the complete port set of `filter`, opting it into the
+    /// verifier's wiring checks: every declared port must be connected,
+    /// and every stream touching the filter must use a declared port.
+    /// Filters without declarations only get the structural checks.
+    pub fn declare_ports(
+        &mut self,
+        filter: FilterHandle,
+        inputs: &[&str],
+        outputs: &[&str],
+    ) -> &mut Self {
+        self.decls.insert(
+            filter.0,
+            PortDecls {
+                inputs: inputs.iter().map(|s| s.to_string()).collect(),
+                outputs: outputs.iter().map(|s| s.to_string()).collect(),
+            },
+        );
+        self
+    }
+
+    /// Declares the per-copy **send window** of `filter.out_port`: the
+    /// most buffers one copy may emit on that port before it next blocks
+    /// on a receive (a broadcast counts as one send per consumer copy).
+    /// The verifier's credit-flow analysis uses it to bound the
+    /// in-flight demand of cycles through this port; the default is 1,
+    /// the weakest assumption that still accepts ordinary
+    /// recv-one-send-one pipelines.
+    pub fn send_window(&mut self, filter: FilterHandle, out_port: &str, window: u64) -> &mut Self {
+        self.windows
+            .insert((filter.0, out_port.to_string()), window.max(1));
+        self
+    }
+
+    /// Declares how many consumer copies `filter.out_port` addresses —
+    /// its decluster contract. The verifier then checks the wired
+    /// consumer's copy count against it, catching the classic mismatch
+    /// where a producer round-robins or targets by `copy_index` across a
+    /// different fan-out than the one actually deployed.
+    pub fn expect_consumers(
+        &mut self,
+        filter: FilterHandle,
+        out_port: &str,
+        copies: usize,
+    ) -> &mut Self {
+        self.expected_consumers
+            .insert((filter.0, out_port.to_string()), copies);
+        self
+    }
+
+    /// Disables the pre-launch verification gate in
+    /// [`run`](Self::run) — for experiments that deliberately launch a
+    /// rejected topology (e.g. to demonstrate the deadlock the verifier
+    /// predicted). Production callers should never need this.
+    pub fn allow_unverified(&mut self) -> &mut Self {
+        self.verify_gate = false;
+        self
+    }
+
+    /// Statically verifies the graph's topology: declared-port wiring,
+    /// consumer-copy contracts, and bounded-buffer deadlock freedom of
+    /// every cycle (credit-flow analysis). Returns *all* findings, not
+    /// just the first. See [`crate::verify`] for what the analysis
+    /// proves and what it cannot.
+    pub fn verify(&self) -> Result<(), Vec<VerifyError>> {
+        crate::verify::verify(self)
     }
 
     /// Instantiates and runs the graph to completion; see
-    /// [`crate::runtime`].
+    /// [`crate::runtime`]. Unless [`allow_unverified`](Self::allow_unverified)
+    /// was called, a graph that fails [`verify`](Self::verify) is
+    /// refused with `GraphStorageError::Verify` before any filter runs.
     pub fn run(self) -> mssg_types::Result<crate::runtime::RunReport> {
         crate::runtime::run(self)
     }

@@ -47,12 +47,25 @@
 //! }
 //!
 //! let mut g = GraphBuilder::new();
-//! let p = g.add_filter("producer", vec![0], |_| Box::new(Producer));
-//! let s = g.add_filter("summer", vec![1, 2], |_| Box::new(Summer(0)));
-//! g.connect(p, "out", s, "in");
+//! let p = g.add_filter("producer", vec![0], |_| Box::new(Producer)).unwrap();
+//! let s = g.add_filter("summer", vec![1, 2], |_| Box::new(Summer(0))).unwrap();
+//! g.connect(p, "out", s, "in").unwrap();
 //! let report = g.run().unwrap();
 //! assert_eq!(report.net.remote_msgs + report.net.local_msgs, 10);
 //! ```
+//!
+//! ## Static verification
+//!
+//! Misbuilt graphs fail *before* launch, not minutes into a run:
+//! [`GraphBuilder::add_filter`] and [`GraphBuilder::connect`] reject
+//! duplicate names and conflicting wiring with a typed
+//! [`VerifyError`](mssg_types::VerifyError), and [`GraphBuilder::run`]
+//! gates on [`GraphBuilder::verify`] — declared-port wiring, decluster
+//! contracts ([`GraphBuilder::expect_consumers`]), and a credit-flow
+//! analysis that rejects bounded-buffer cycles capable of deadlock,
+//! naming the starved cycle. See the [`verify`] module for the
+//! analysis and its limits, and [`GraphBuilder::allow_unverified`] for
+//! the experiment escape hatch.
 //!
 //! ## Fault tolerance
 //!
@@ -90,6 +103,7 @@ pub mod filter;
 pub mod graph;
 pub mod netstats;
 pub mod runtime;
+pub mod verify;
 
 pub use buffer::DataBuffer;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec};

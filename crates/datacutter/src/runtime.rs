@@ -76,6 +76,14 @@ pub struct RunReport {
 
 /// Runs a built graph to completion.
 pub fn run(mut graph: GraphBuilder) -> Result<RunReport> {
+    // Refuse unverified graphs: a topology the static analysis rejects
+    // would at best hang until a stream timeout. Experiments that *want*
+    // the pathological launch opt out via `allow_unverified`.
+    if graph.verify_gate {
+        if let Err(mut errs) = graph.verify() {
+            return Err(GraphStorageError::Verify(errs.remove(0)));
+        }
+    }
     let stats = NetStats::new();
     let cap = graph.channel_capacity;
     let telemetry = graph.telemetry.clone();
@@ -91,14 +99,10 @@ pub fn run(mut graph: GraphBuilder) -> Result<RunReport> {
         let key = (s.to, s.in_port.clone());
         match senders.get(&key) {
             Some(_) => {
-                // Mixed shared/addressed wiring of one input port would be
-                // ambiguous.
-                if shared_ports.contains(&key) != s.shared {
-                    return Err(GraphStorageError::Unsupported(format!(
-                        "input port {:?} of filter {:?} wired both shared and addressed",
-                        s.in_port, graph.filters[s.to].name
-                    )));
-                }
+                // Wiring conflicts (mixed shared/addressed, duplicate
+                // edges, re-connected out ports) are rejected by
+                // `GraphBuilder::connect` at build time.
+                debug_assert_eq!(shared_ports.contains(&key), s.shared);
             }
             None => {
                 let copies = graph.filters[s.to].placement.len();
@@ -121,23 +125,6 @@ pub fn run(mut graph: GraphBuilder) -> Result<RunReport> {
                     receivers.insert(key, rxs);
                 }
             }
-        }
-    }
-
-    // Reject one out_port feeding two different destinations (a logical
-    // stream is point-to-point in the DataCutter model).
-    {
-        let mut seen: HashMap<(usize, &str), (usize, &str)> = HashMap::new();
-        for s in &graph.streams {
-            if let Some(&(to, port)) = seen.get(&(s.from, s.out_port.as_str())) {
-                if (to, port) != (s.to, s.in_port.as_str()) {
-                    return Err(GraphStorageError::Unsupported(format!(
-                        "output port {:?} of filter {:?} connected twice",
-                        s.out_port, graph.filters[s.from].name
-                    )));
-                }
-            }
-            seen.insert((s.from, s.out_port.as_str()), (s.to, s.in_port.as_str()));
         }
     }
 
@@ -327,6 +314,9 @@ pub fn run(mut graph: GraphBuilder) -> Result<RunReport> {
         }
     }
     if !errors.is_empty() {
+        // A "hung up" error can only arise after a peer died, and a
+        // timeout is what kills the first filter of a wedged graph — so
+        // crash > timeout > disconnect-cascade as the reported cause.
         let root = errors
             .iter()
             .position(|e| {
@@ -334,6 +324,11 @@ pub fn run(mut graph: GraphBuilder) -> Result<RunReport> {
                     e,
                     GraphStorageError::FilterFailed(_) | GraphStorageError::Fault(_)
                 )
+            })
+            .or_else(|| {
+                errors
+                    .iter()
+                    .position(|e| matches!(e, GraphStorageError::Timeout(_)))
             })
             .unwrap_or(0);
         return Err(errors.swap_remove(root));
@@ -521,14 +516,18 @@ mod tests {
     fn pipeline_delivers_all_data() {
         let sum = Arc::new(AtomicU64::new(0));
         let mut g = GraphBuilder::new();
-        let p = g.add_filter("p", vec![0], |_| Box::new(Producer { count: 100 }));
+        let p = g
+            .add_filter("p", vec![0], |_| Box::new(Producer { count: 100 }))
+            .unwrap();
         let sum2 = Arc::clone(&sum);
-        let c = g.add_filter("c", vec![1, 2], move |_| {
-            Box::new(Collector {
-                sum: Arc::clone(&sum2),
+        let c = g
+            .add_filter("c", vec![1, 2], move |_| {
+                Box::new(Collector {
+                    sum: Arc::clone(&sum2),
+                })
             })
-        });
-        g.connect(p, "out", c, "in");
+            .unwrap();
+        g.connect(p, "out", c, "in").unwrap();
         let report = g.run().unwrap();
         assert_eq!(sum.load(Ordering::Relaxed), (0..100).sum::<u64>());
         assert_eq!(report.net.local_msgs + report.net.remote_msgs, 100);
@@ -538,14 +537,18 @@ mod tests {
     fn colocated_filters_count_as_local() {
         let sum = Arc::new(AtomicU64::new(0));
         let mut g = GraphBuilder::new();
-        let p = g.add_filter("p", vec![3], |_| Box::new(Producer { count: 10 }));
+        let p = g
+            .add_filter("p", vec![3], |_| Box::new(Producer { count: 10 }))
+            .unwrap();
         let sum2 = Arc::clone(&sum);
-        let c = g.add_filter("c", vec![3], move |_| {
-            Box::new(Collector {
-                sum: Arc::clone(&sum2),
+        let c = g
+            .add_filter("c", vec![3], move |_| {
+                Box::new(Collector {
+                    sum: Arc::clone(&sum2),
+                })
             })
-        });
-        g.connect(p, "out", c, "in");
+            .unwrap();
+        g.connect(p, "out", c, "in").unwrap();
         let report = g.run().unwrap();
         assert_eq!(report.net.local_msgs, 10);
         assert_eq!(report.net.remote_msgs, 0);
@@ -564,14 +567,18 @@ mod tests {
     fn broadcast_reaches_every_copy() {
         let sum = Arc::new(AtomicU64::new(0));
         let mut g = GraphBuilder::new();
-        let b = g.add_filter("b", vec![0], |_| Box::new(Broadcaster));
+        let b = g
+            .add_filter("b", vec![0], |_| Box::new(Broadcaster))
+            .unwrap();
         let sum2 = Arc::clone(&sum);
-        let c = g.add_filter("c", vec![1, 2, 3, 4], move |_| {
-            Box::new(Collector {
-                sum: Arc::clone(&sum2),
+        let c = g
+            .add_filter("c", vec![1, 2, 3, 4], move |_| {
+                Box::new(Collector {
+                    sum: Arc::clone(&sum2),
+                })
             })
-        });
-        g.connect(b, "out", c, "in");
+            .unwrap();
+        g.connect(b, "out", c, "in").unwrap();
         g.run().unwrap();
         assert_eq!(sum.load(Ordering::Relaxed), 28);
     }
@@ -586,7 +593,7 @@ mod tests {
     #[test]
     fn filter_errors_propagate() {
         let mut g = GraphBuilder::new();
-        g.add_filter("f", vec![0], |_| Box::new(Failer));
+        g.add_filter("f", vec![0], |_| Box::new(Failer)).unwrap();
         let err = g.run().unwrap_err();
         assert!(err.to_string().contains("deliberate"));
     }
@@ -601,7 +608,7 @@ mod tests {
     #[test]
     fn filter_panics_become_errors() {
         let mut g = GraphBuilder::new();
-        g.add_filter("f", vec![0], |_| Box::new(Panicker));
+        g.add_filter("f", vec![0], |_| Box::new(Panicker)).unwrap();
         let err = g.run().unwrap_err();
         assert!(err.to_string().contains("panicked"));
     }
@@ -612,14 +619,18 @@ mod tests {
         let mut g = GraphBuilder::new();
         g.supervise(2, Duration::from_millis(1));
         g.fault_plan(crate::FaultPlan::new().inject("c", Some(0), 3, crate::FaultKind::Panic));
-        let p = g.add_filter("p", vec![0], |_| Box::new(Producer { count: 50 }));
+        let p = g
+            .add_filter("p", vec![0], |_| Box::new(Producer { count: 50 }))
+            .unwrap();
         let sum2 = Arc::clone(&sum);
-        let c = g.add_filter("c", vec![1], move |_| {
-            Box::new(Collector {
-                sum: Arc::clone(&sum2),
+        let c = g
+            .add_filter("c", vec![1], move |_| {
+                Box::new(Collector {
+                    sum: Arc::clone(&sum2),
+                })
             })
-        });
-        g.connect(p, "out", c, "in");
+            .unwrap();
+        g.connect(p, "out", c, "in").unwrap();
         let report = g.run().unwrap();
         // The panic fires at a recv boundary, before the buffer is popped,
         // so the restarted incarnation loses nothing.
@@ -641,13 +652,17 @@ mod tests {
                 .inject("c", Some(0), 1, crate::FaultKind::Panic)
                 .inject("c", Some(0), 2, crate::FaultKind::Panic),
         );
-        let p = g.add_filter("p", vec![0], |_| Box::new(Producer { count: 5 }));
-        let c = g.add_filter("c", vec![1], |_| {
-            Box::new(Collector {
-                sum: Arc::new(AtomicU64::new(0)),
+        let p = g
+            .add_filter("p", vec![0], |_| Box::new(Producer { count: 5 }))
+            .unwrap();
+        let c = g
+            .add_filter("c", vec![1], |_| {
+                Box::new(Collector {
+                    sum: Arc::new(AtomicU64::new(0)),
+                })
             })
-        });
-        g.connect(p, "out", c, "in");
+            .unwrap();
+        g.connect(p, "out", c, "in").unwrap();
         let err = g.run().unwrap_err();
         match &err {
             GraphStorageError::FilterFailed(m) => {
@@ -662,13 +677,17 @@ mod tests {
     fn injected_send_error_is_fail_stop() {
         let mut g = GraphBuilder::new();
         g.fault_plan(crate::FaultPlan::new().inject("p", Some(0), 3, crate::FaultKind::SendError));
-        let p = g.add_filter("p", vec![0], |_| Box::new(Producer { count: 50 }));
-        let c = g.add_filter("c", vec![1], |_| {
-            Box::new(Collector {
-                sum: Arc::new(AtomicU64::new(0)),
+        let p = g
+            .add_filter("p", vec![0], |_| Box::new(Producer { count: 50 }))
+            .unwrap();
+        let c = g
+            .add_filter("c", vec![1], |_| {
+                Box::new(Collector {
+                    sum: Arc::new(AtomicU64::new(0)),
+                })
             })
-        });
-        g.connect(p, "out", c, "in");
+            .unwrap();
+        g.connect(p, "out", c, "in").unwrap();
         let err = g.run().unwrap_err();
         assert!(
             matches!(err, GraphStorageError::Fault(_)),
@@ -685,13 +704,17 @@ mod tests {
             1,
             crate::FaultKind::Stall(Duration::from_millis(5)),
         ));
-        let p = g.add_filter("p", vec![0], |_| Box::new(Producer { count: 10 }));
-        let c = g.add_filter("c", vec![1], |_| {
-            Box::new(Collector {
-                sum: Arc::new(AtomicU64::new(0)),
+        let p = g
+            .add_filter("p", vec![0], |_| Box::new(Producer { count: 10 }))
+            .unwrap();
+        let c = g
+            .add_filter("c", vec![1], |_| {
+                Box::new(Collector {
+                    sum: Arc::new(AtomicU64::new(0)),
+                })
             })
-        });
-        g.connect(p, "out", c, "in");
+            .unwrap();
+        g.connect(p, "out", c, "in").unwrap();
         let report = g.run().unwrap();
         assert_eq!(report.faults.len(), 1);
         assert!(report.faults[0].kind.starts_with("stall"));
@@ -713,17 +736,21 @@ mod tests {
     fn stream_timeout_turns_starved_recv_into_typed_error() {
         let mut g = GraphBuilder::new();
         g.stream_timeout(Duration::from_millis(20));
-        let p = g.add_filter("p", vec![0], |_| {
-            Box::new(Mute {
-                linger: Duration::from_millis(300),
+        let p = g
+            .add_filter("p", vec![0], |_| {
+                Box::new(Mute {
+                    linger: Duration::from_millis(300),
+                })
             })
-        });
-        let c = g.add_filter("c", vec![1], |_| {
-            Box::new(Collector {
-                sum: Arc::new(AtomicU64::new(0)),
+            .unwrap();
+        let c = g
+            .add_filter("c", vec![1], |_| {
+                Box::new(Collector {
+                    sum: Arc::new(AtomicU64::new(0)),
+                })
             })
-        });
-        g.connect(p, "out", c, "in");
+            .unwrap();
+        g.connect(p, "out", c, "in").unwrap();
         let start = Instant::now();
         let err = g.run().unwrap_err();
         assert!(
@@ -739,20 +766,31 @@ mod tests {
     #[test]
     fn double_connected_out_port_rejected() {
         let mut g = GraphBuilder::new();
-        let p = g.add_filter("p", vec![0], |_| Box::new(Producer { count: 1 }));
-        let c1 = g.add_filter("c1", vec![0], |_| {
-            Box::new(Collector {
-                sum: Arc::new(AtomicU64::new(0)),
+        let p = g
+            .add_filter("p", vec![0], |_| Box::new(Producer { count: 1 }))
+            .unwrap();
+        let c1 = g
+            .add_filter("c1", vec![0], |_| {
+                Box::new(Collector {
+                    sum: Arc::new(AtomicU64::new(0)),
+                })
             })
-        });
-        let c2 = g.add_filter("c2", vec![0], |_| {
-            Box::new(Collector {
-                sum: Arc::new(AtomicU64::new(0)),
+            .unwrap();
+        let c2 = g
+            .add_filter("c2", vec![0], |_| {
+                Box::new(Collector {
+                    sum: Arc::new(AtomicU64::new(0)),
+                })
             })
-        });
-        g.connect(p, "out", c1, "in");
-        g.connect(p, "out", c2, "in");
-        assert!(g.run().is_err());
+            .unwrap();
+        g.connect(p, "out", c1, "in").unwrap();
+        // Re-wiring the same out port is now rejected when the stream is
+        // declared, with a typed error naming both destinations.
+        let err = g.connect(p, "out", c2, "in").unwrap_err();
+        assert!(
+            matches!(err, mssg_types::VerifyError::OutPortConflict { .. }),
+            "got {err:?}"
+        );
     }
 
     /// All-to-all exchange among copies of one filter — the communication
@@ -786,12 +824,14 @@ mod tests {
         let got = Arc::new(AtomicU64::new(0));
         let mut g = GraphBuilder::new();
         let got2 = Arc::clone(&got);
-        let e = g.add_filter("x", vec![0, 1, 2], move |_| {
-            Box::new(Exchanger {
-                got: Arc::clone(&got2),
+        let e = g
+            .add_filter("x", vec![0, 1, 2], move |_| {
+                Box::new(Exchanger {
+                    got: Arc::clone(&got2),
+                })
             })
-        });
-        g.connect(e, "peers", e, "peers");
+            .unwrap();
+        g.connect(e, "peers", e, "peers").unwrap();
         g.run().unwrap();
         // Each of 3 copies broadcasts its value to all 3: sum = 3*(0+10+20).
         assert_eq!(got.load(Ordering::Relaxed), 90);
@@ -820,17 +860,21 @@ mod tests {
         let total = Arc::new(AtomicU64::new(0));
         let counts: Vec<Arc<AtomicU64>> = (0..3).map(|_| Arc::new(AtomicU64::new(0))).collect();
         let mut g = GraphBuilder::new();
-        let p = g.add_filter("p", vec![0], |_| Box::new(Producer { count: 300 }));
+        let p = g
+            .add_filter("p", vec![0], |_| Box::new(Producer { count: 300 }))
+            .unwrap();
         let total2 = Arc::clone(&total);
         let counts2 = counts.clone();
-        let c = g.add_filter("c", vec![1, 2, 3], move |i| {
-            Box::new(SlowCollector {
-                delay_us: 0,
-                got: Arc::clone(&counts2[i]),
-                total: Arc::clone(&total2),
+        let c = g
+            .add_filter("c", vec![1, 2, 3], move |i| {
+                Box::new(SlowCollector {
+                    delay_us: 0,
+                    got: Arc::clone(&counts2[i]),
+                    total: Arc::clone(&total2),
+                })
             })
-        });
-        g.connect_shared(p, "out", c, "in");
+            .unwrap();
+        g.connect_shared(p, "out", c, "in").unwrap();
         let report = g.run().unwrap();
         assert_eq!(total.load(Ordering::Relaxed), (0..300).sum::<u64>());
         let per: Vec<u64> = counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
@@ -853,17 +897,21 @@ mod tests {
         // Small channel so the producer cannot just park everything in the
         // queue ahead of the consumers.
         g.channel_capacity(4);
-        let p = g.add_filter("p", vec![0], |_| Box::new(Producer { count: 200 }));
+        let p = g
+            .add_filter("p", vec![0], |_| Box::new(Producer { count: 200 }))
+            .unwrap();
         let total2 = Arc::clone(&total);
         let counts2 = counts.clone();
-        let c = g.add_filter("c", vec![1, 2], move |i| {
-            Box::new(SlowCollector {
-                delay_us: if i == 0 { 500 } else { 5 },
-                got: Arc::clone(&counts2[i]),
-                total: Arc::clone(&total2),
+        let c = g
+            .add_filter("c", vec![1, 2], move |i| {
+                Box::new(SlowCollector {
+                    delay_us: if i == 0 { 500 } else { 5 },
+                    got: Arc::clone(&counts2[i]),
+                    total: Arc::clone(&total2),
+                })
             })
-        });
-        g.connect_shared(p, "out", c, "in");
+            .unwrap();
+        g.connect_shared(p, "out", c, "in").unwrap();
         g.run().unwrap();
         let slow = counts[0].load(Ordering::Relaxed);
         let fast = counts[1].load(Ordering::Relaxed);
@@ -877,16 +925,25 @@ mod tests {
     #[test]
     fn mixed_shared_and_addressed_wiring_rejected() {
         let mut g = GraphBuilder::new();
-        let p1 = g.add_filter("p1", vec![0], |_| Box::new(Producer { count: 1 }));
-        let p2 = g.add_filter("p2", vec![0], |_| Box::new(Producer { count: 1 }));
-        let c = g.add_filter("c", vec![1], |_| {
-            Box::new(Collector {
-                sum: Arc::new(AtomicU64::new(0)),
+        let p1 = g
+            .add_filter("p1", vec![0], |_| Box::new(Producer { count: 1 }))
+            .unwrap();
+        let p2 = g
+            .add_filter("p2", vec![0], |_| Box::new(Producer { count: 1 }))
+            .unwrap();
+        let c = g
+            .add_filter("c", vec![1], |_| {
+                Box::new(Collector {
+                    sum: Arc::new(AtomicU64::new(0)),
+                })
             })
-        });
-        g.connect(p1, "out", c, "in");
-        g.connect_shared(p2, "out", c, "in");
-        assert!(g.run().is_err());
+            .unwrap();
+        g.connect(p1, "out", c, "in").unwrap();
+        let err = g.connect_shared(p2, "out", c, "in").unwrap_err();
+        assert!(
+            matches!(err, mssg_types::VerifyError::MixedWiring { .. }),
+            "got {err:?}"
+        );
     }
 
     #[test]
@@ -896,16 +953,20 @@ mod tests {
         // Tiny channel + slow consumer: the producer must spend most of
         // its time blocked on send.
         g.channel_capacity(2);
-        let p = g.add_filter("p", vec![0], |_| Box::new(Producer { count: 50 }));
+        let p = g
+            .add_filter("p", vec![0], |_| Box::new(Producer { count: 50 }))
+            .unwrap();
         let sum2 = Arc::clone(&sum);
-        let c = g.add_filter("c", vec![1], move |_| {
-            Box::new(SlowCollector {
-                delay_us: 500,
-                got: Arc::new(AtomicU64::new(0)),
-                total: Arc::clone(&sum2),
+        let c = g
+            .add_filter("c", vec![1], move |_| {
+                Box::new(SlowCollector {
+                    delay_us: 500,
+                    got: Arc::new(AtomicU64::new(0)),
+                    total: Arc::clone(&sum2),
+                })
             })
-        });
-        g.connect(p, "out", c, "in");
+            .unwrap();
+        g.connect(p, "out", c, "in").unwrap();
         let report = g.run().unwrap();
         assert_eq!(report.filters.len(), 2);
         let timing = |name: &str| report.filters.iter().find(|t| t.filter == name).unwrap();
@@ -929,14 +990,18 @@ mod tests {
         let sum = Arc::new(AtomicU64::new(0));
         let mut g = GraphBuilder::new();
         g.telemetry(telemetry.clone());
-        let p = g.add_filter("p", vec![0], |_| Box::new(Producer { count: 100 }));
+        let p = g
+            .add_filter("p", vec![0], |_| Box::new(Producer { count: 100 }))
+            .unwrap();
         let sum2 = Arc::clone(&sum);
-        let c = g.add_filter("c", vec![1, 2], move |_| {
-            Box::new(Collector {
-                sum: Arc::clone(&sum2),
+        let c = g
+            .add_filter("c", vec![1, 2], move |_| {
+                Box::new(Collector {
+                    sum: Arc::clone(&sum2),
+                })
             })
-        });
-        g.connect(p, "out", c, "in");
+            .unwrap();
+        g.connect(p, "out", c, "in").unwrap();
         g.run().unwrap();
 
         // One filter.run span per copy (1 producer + 2 consumers).
@@ -964,7 +1029,7 @@ mod tests {
         let telemetry = mssg_obs::Telemetry::enabled();
         let mut g = GraphBuilder::new();
         g.telemetry(telemetry.clone());
-        g.add_filter("s", vec![0], |_| Box::new(Spanner));
+        g.add_filter("s", vec![0], |_| Box::new(Spanner)).unwrap();
         g.run().unwrap();
         assert!(telemetry
             .tracer
@@ -991,7 +1056,7 @@ mod tests {
             }
         }
         let mut g = GraphBuilder::new();
-        g.add_filter("n", vec![0], |_| Box::new(NeedsPort));
+        g.add_filter("n", vec![0], |_| Box::new(NeedsPort)).unwrap();
         assert!(g.run().is_err());
     }
 }

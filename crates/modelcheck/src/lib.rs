@@ -1,0 +1,58 @@
+//! Mini-loom: exhaustive interleaving exploration for small concurrent
+//! programs built on mutexes and condition variables.
+//!
+//! MSSG's runtime moves every buffer through the vendored bounded
+//! channel; a lost wakeup or a non-terminating `recv_timeout` there
+//! turns into a silent cluster-wide hang that chaos testing (PR 2) can
+//! only catch per-seed. This crate *proves* those properties for 2–3
+//! thread scenarios instead: [`check`] runs a closure under a
+//! deterministic scheduler, records every scheduling choice, and
+//! restarts the closure until the whole choice tree is explored. Any
+//! assertion failure or deadlock in *any* interleaving panics with the
+//! exact schedule that produced it.
+//!
+//! # How programs opt in
+//!
+//! Code under test uses [`shim::Mutex`], [`shim::Condvar`] and
+//! [`shim::Instant`] instead of the `std` types. Outside [`check`] these
+//! are the `std` primitives (one enum branch of overhead), so production
+//! code pays nothing; inside [`check`] they become scheduler-controlled.
+//! The vendored `crossbeam` channel is wired through the shim, which is
+//! what makes the channel corpus in `tests/` possible.
+//!
+//! # Soundness and limits
+//!
+//! - Threads only interact through shim mutexes, so context switches at
+//!   lock/wait/notify/join points cover all observable interleavings.
+//!   Code that shares state through atomics or `UnsafeCell` outside a
+//!   shim mutex is *not* modeled.
+//! - `notify_one` with no waiters is lost, and which waiter wakes is a
+//!   scheduler choice — lost-wakeup bugs are therefore findable.
+//! - Timeouts are virtual: a timed wait always has an "expire" branch,
+//!   and taking it advances the clock past the deadline. No test sleeps.
+//! - Spurious wakeups are not generated; a program that *requires* them
+//!   would pass here and misbehave on real hardware.
+//!
+//! # Example
+//!
+//! ```
+//! use mssg_modelcheck::{check, shim::Mutex, spawn};
+//! use std::sync::Arc;
+//!
+//! let report = check(|| {
+//!     let n = Arc::new(Mutex::new(0u32));
+//!     let n2 = Arc::clone(&n);
+//!     let t = spawn(move || *n2.lock().unwrap() += 1);
+//!     *n.lock().unwrap() += 1;
+//!     t.join();
+//!     assert_eq!(*n.lock().unwrap(), 2);
+//! });
+//! assert!(report.executions >= 2); // both acquisition orders explored
+//! ```
+
+#![warn(missing_docs)]
+
+mod sched;
+pub mod shim;
+
+pub use sched::{check, check_config, spawn, Config, JoinHandle, Report};

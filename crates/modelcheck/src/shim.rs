@@ -1,0 +1,389 @@
+//! Drop-in replacements for `std::sync::{Mutex, Condvar}` and
+//! `std::time::Instant` that dispatch at **construction time**: outside a
+//! model execution they are thin wrappers over the std primitives (zero
+//! behavioural change for production builds), while inside a
+//! [`check`](crate::check) closure they route every operation through the
+//! deterministic scheduler.
+//!
+//! Runtime dispatch — rather than a cargo feature — is deliberate:
+//! feature unification would silently flip *every* workspace build onto
+//! the model implementation the moment one test enabled it. With an enum
+//! the production path costs one branch per operation and the vendored
+//! channel needs no `cfg` at all: it just imports these types.
+//!
+//! The API mirrors the `std` signatures the vendored channel uses
+//! (`lock().unwrap()`, `wait(st).unwrap()`, `wait_timeout(st, d).unwrap()`
+//! returning `(guard, result)`, `Instant::now() + d`,
+//! `checked_duration_since`), so swapping the imports is the entire
+//! integration.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::ops::{Add, Deref, DerefMut};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::sched::{self, ExecShared, Wake};
+
+/// Result of a lock/wait operation, mirroring `std::sync::LockResult`.
+/// The model variants never poison, so the `Err` arm only ever carries
+/// std poisoning through.
+pub type LockResult<G> = Result<G, PoisonError<G>>;
+
+/// Mirror of `std::sync::PoisonError`: holds the guard so callers can
+/// `unwrap_or_else(|e| e.into_inner())`.
+pub struct PoisonError<G>(G);
+
+impl<G> PoisonError<G> {
+    /// Recovers the guard from a poisoned lock.
+    pub fn into_inner(self) -> G {
+        self.0
+    }
+}
+
+impl<G> fmt::Debug for PoisonError<G> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("PoisonError { .. }")
+    }
+}
+
+impl<G> fmt::Display for PoisonError<G> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("poisoned lock: another task failed inside")
+    }
+}
+
+enum MutexInner<T> {
+    Std(std::sync::Mutex<T>),
+    Model {
+        exec: Arc<ExecShared>,
+        id: usize,
+        cell: UnsafeCell<T>,
+    },
+}
+
+/// Mutex that is `std::sync::Mutex` outside model executions and a
+/// scheduler-controlled lock inside them.
+pub struct Mutex<T> {
+    inner: MutexInner<T>,
+}
+
+// Safety: the Model variant's UnsafeCell is only ever accessed by the
+// single thread holding the model lock — the scheduler grants the lock
+// to at most one thread at a time, exactly like a real mutex.
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex; model-backed iff called on a model thread.
+    pub fn new(value: T) -> Mutex<T> {
+        match sched::current() {
+            None => Mutex {
+                inner: MutexInner::Std(std::sync::Mutex::new(value)),
+            },
+            Some((exec, _)) => {
+                let id = sched::register_lock(&exec);
+                Mutex {
+                    inner: MutexInner::Model {
+                        exec,
+                        id,
+                        cell: UnsafeCell::new(value),
+                    },
+                }
+            }
+        }
+    }
+
+    /// Acquires the mutex, blocking (a scheduling point in model mode).
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match &self.inner {
+            MutexInner::Std(m) => match m.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    inner: GuardInner::Std(g),
+                }),
+                Err(p) => Err(PoisonError(MutexGuard {
+                    inner: GuardInner::Std(p.into_inner()),
+                })),
+            },
+            MutexInner::Model { exec, id, .. } => {
+                let (cur, me) =
+                    sched::current().expect("model-mode mutex locked outside a model execution");
+                debug_assert!(
+                    Arc::ptr_eq(&cur, exec),
+                    "model-mode mutex crossed into a different execution"
+                );
+                sched::acquire(exec, me, *id);
+                Ok(MutexGuard {
+                    inner: GuardInner::Model { mutex: self },
+                })
+            }
+        }
+    }
+}
+
+enum GuardInner<'a, T> {
+    Std(std::sync::MutexGuard<'a, T>),
+    Model { mutex: &'a Mutex<T> },
+}
+
+/// RAII guard for [`Mutex`]; releases on drop.
+pub struct MutexGuard<'a, T> {
+    inner: GuardInner<'a, T>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match &self.inner {
+            GuardInner::Std(g) => g,
+            GuardInner::Model { mutex } => match &mutex.inner {
+                // Safety: we hold the model lock (see Mutex safety note).
+                MutexInner::Model { cell, .. } => unsafe { &*cell.get() },
+                MutexInner::Std(_) => unreachable!("model guard over std mutex"),
+            },
+        }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.inner {
+            GuardInner::Std(g) => g,
+            GuardInner::Model { mutex } => match &mutex.inner {
+                // Safety: we hold the model lock (see Mutex safety note).
+                MutexInner::Model { cell, .. } => unsafe { &mut *cell.get() },
+                MutexInner::Std(_) => unreachable!("model guard over std mutex"),
+            },
+        }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let GuardInner::Model { mutex } = &self.inner {
+            if let MutexInner::Model { exec, id, .. } = &mutex.inner {
+                if let Some((_, me)) = sched::current() {
+                    sched::release(exec, me, *id);
+                }
+            }
+        }
+    }
+}
+
+enum CondInner {
+    Std(std::sync::Condvar),
+    Model { exec: Arc<ExecShared>, id: usize },
+}
+
+/// Condition variable pairing with [`Mutex`]; model-backed iff created
+/// on a model thread. Mixing a model condvar with a std mutex (or vice
+/// versa) panics — it would mean the program under test escaped the
+/// model.
+pub struct Condvar {
+    inner: CondInner,
+}
+
+/// Mirror of `std::sync::WaitTimeoutResult`.
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// `true` if the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+impl Condvar {
+    /// Creates a condvar; model-backed iff called on a model thread.
+    pub fn new() -> Condvar {
+        match sched::current() {
+            None => Condvar {
+                inner: CondInner::Std(std::sync::Condvar::new()),
+            },
+            Some((exec, _)) => {
+                let id = sched::register_cond(&exec);
+                Condvar {
+                    inner: CondInner::Model { exec, id },
+                }
+            }
+        }
+    }
+
+    /// Releases the guard's mutex and blocks until notified.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match &self.inner {
+            CondInner::Std(cv) => {
+                let GuardInner::Std(std_guard) = into_guard_inner(guard) else {
+                    panic!("std condvar waited on a model mutex guard")
+                };
+                match cv.wait(std_guard) {
+                    Ok(g) => Ok(MutexGuard {
+                        inner: GuardInner::Std(g),
+                    }),
+                    Err(p) => Err(PoisonError(MutexGuard {
+                        inner: GuardInner::Std(p.into_inner()),
+                    })),
+                }
+            }
+            CondInner::Model { exec, id } => {
+                let mutex = model_mutex_of(guard);
+                let (_, me) =
+                    sched::current().expect("model condvar waited outside a model execution");
+                let lock_id = model_lock_id(mutex);
+                sched::cond_wait(exec, me, *id, lock_id, None);
+                Ok(MutexGuard {
+                    inner: GuardInner::Model { mutex },
+                })
+            }
+        }
+    }
+
+    /// Releases the guard's mutex and blocks until notified or `timeout`
+    /// elapses (virtual time in model mode: the scheduler explores both
+    /// the notified and the expired branch).
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        match &self.inner {
+            CondInner::Std(cv) => {
+                let GuardInner::Std(std_guard) = into_guard_inner(guard) else {
+                    panic!("std condvar waited on a model mutex guard")
+                };
+                match cv.wait_timeout(std_guard, timeout) {
+                    Ok((g, r)) => Ok((
+                        MutexGuard {
+                            inner: GuardInner::Std(g),
+                        },
+                        WaitTimeoutResult(r.timed_out()),
+                    )),
+                    Err(p) => {
+                        let (g, r) = p.into_inner();
+                        Err(PoisonError((
+                            MutexGuard {
+                                inner: GuardInner::Std(g),
+                            },
+                            WaitTimeoutResult(r.timed_out()),
+                        )))
+                    }
+                }
+            }
+            CondInner::Model { exec, id } => {
+                let mutex = model_mutex_of(guard);
+                let (_, me) =
+                    sched::current().expect("model condvar waited outside a model execution");
+                let lock_id = model_lock_id(mutex);
+                let wake = sched::cond_wait(exec, me, *id, lock_id, Some(timeout));
+                Ok((
+                    MutexGuard {
+                        inner: GuardInner::Model { mutex },
+                    },
+                    WaitTimeoutResult(wake == Wake::TimedOut),
+                ))
+            }
+        }
+    }
+
+    /// Wakes one waiter (the scheduler chooses which, in model mode).
+    /// Lost if no thread is waiting — exactly like the real primitive.
+    pub fn notify_one(&self) {
+        match &self.inner {
+            CondInner::Std(cv) => cv.notify_one(),
+            CondInner::Model { exec, id } => {
+                let (_, me) =
+                    sched::current().expect("model condvar notified outside a model execution");
+                sched::notify_one(exec, me, *id);
+            }
+        }
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        match &self.inner {
+            CondInner::Std(cv) => cv.notify_all(),
+            CondInner::Model { exec, id } => {
+                let (_, me) =
+                    sched::current().expect("model condvar notified outside a model execution");
+                sched::notify_all(exec, me, *id);
+            }
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+/// Extracts the guard's inner enum without running its `Drop` (which
+/// would release the model lock we are about to hand to the scheduler).
+fn into_guard_inner<T>(guard: MutexGuard<'_, T>) -> GuardInner<'_, T> {
+    // Safety: `guard` is forgotten immediately after the read, so the
+    // inner value is moved exactly once and no Drop runs twice.
+    let inner = unsafe { std::ptr::read(&guard.inner) };
+    std::mem::forget(guard);
+    inner
+}
+
+fn model_mutex_of<T>(guard: MutexGuard<'_, T>) -> &Mutex<T> {
+    match into_guard_inner(guard) {
+        GuardInner::Model { mutex } => mutex,
+        GuardInner::Std(_) => panic!("model condvar waited on a std mutex guard"),
+    }
+}
+
+fn model_lock_id<T>(mutex: &Mutex<T>) -> usize {
+    match &mutex.inner {
+        MutexInner::Model { id, .. } => *id,
+        MutexInner::Std(_) => unreachable!("model guard over std mutex"),
+    }
+}
+
+/// Monotonic clock that is `std::time::Instant` outside model executions
+/// and a scheduler-driven virtual clock inside them. The virtual clock
+/// advances only when a timed wait's timeout fires — which is what lets
+/// the checker explore "the timeout expired" without sleeping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Instant {
+    /// Wall-clock instant (production path).
+    Real(std::time::Instant),
+    /// Virtual nanoseconds since the start of the model execution.
+    Virtual(u64),
+}
+
+impl Instant {
+    /// Current time on whichever clock governs this thread.
+    pub fn now() -> Instant {
+        match sched::current() {
+            None => Instant::Real(std::time::Instant::now()),
+            Some((exec, _)) => Instant::Virtual(sched::virtual_clock(&exec)),
+        }
+    }
+
+    /// `self - earlier`, or `None` if `self` is earlier. Mirrors
+    /// `std::time::Instant::checked_duration_since`.
+    pub fn checked_duration_since(&self, earlier: Instant) -> Option<Duration> {
+        match (self, earlier) {
+            (Instant::Real(a), Instant::Real(b)) => a.checked_duration_since(b),
+            (Instant::Virtual(a), Instant::Virtual(b)) => {
+                a.checked_sub(b).map(Duration::from_nanos)
+            }
+            _ => panic!("compared a virtual Instant with a real one"),
+        }
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+    fn add(self, rhs: Duration) -> Instant {
+        match self {
+            Instant::Real(t) => Instant::Real(t + rhs),
+            Instant::Virtual(n) => {
+                Instant::Virtual(n.saturating_add(rhs.as_nanos().min(u64::MAX as u128) as u64))
+            }
+        }
+    }
+}

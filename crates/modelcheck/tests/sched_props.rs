@@ -1,0 +1,173 @@
+//! Self-tests for the mini-loom scheduler itself: known-good programs
+//! must pass every interleaving, and known-bad programs (ABBA deadlock,
+//! lost wakeup) must be caught with a counterexample.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mssg_modelcheck::shim::{Condvar, Mutex};
+use mssg_modelcheck::{check, check_config, spawn, Config};
+
+#[test]
+fn counter_race_explores_multiple_schedules() {
+    let report = check(|| {
+        let n = Arc::new(Mutex::new(0u32));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let n2 = Arc::clone(&n);
+            handles.push(spawn(move || {
+                let mut g = n2.lock().unwrap();
+                *g += 1;
+            }));
+        }
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(*n.lock().unwrap(), 2);
+    });
+    assert!(
+        report.executions >= 2,
+        "two racing increments must yield at least two schedules, got {}",
+        report.executions
+    );
+    assert_eq!(report.deadlocks, 0);
+}
+
+#[test]
+fn abba_lock_order_deadlocks() {
+    let report = check_config(
+        Config {
+            fail_on_deadlock: false,
+            ..Config::default()
+        },
+        || {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = spawn(move || {
+                let _ga = a2.lock().unwrap();
+                let _gb = b2.lock().unwrap();
+            });
+            let _gb = b.lock().unwrap();
+            let _ga = a.lock().unwrap();
+            drop(_ga);
+            drop(_gb);
+            t.join();
+        },
+    );
+    assert!(
+        report.deadlocks > 0,
+        "ABBA ordering must deadlock in some schedule"
+    );
+}
+
+#[test]
+fn check_and_wait_without_lock_loses_wakeup() {
+    // Broken protocol: the waiter checks the flag, *releases the lock*,
+    // then re-locks and waits. If the signaler runs in the gap, the
+    // notify is lost and the waiter parks forever. The checker must find
+    // that schedule as a deadlock.
+    let report = check_config(
+        Config {
+            fail_on_deadlock: false,
+            ..Config::default()
+        },
+        || {
+            let state = Arc::new((Mutex::new(false), Condvar::new()));
+            let s2 = Arc::clone(&state);
+            let t = spawn(move || {
+                let (flag, cv) = &*s2;
+                let mut g = flag.lock().unwrap();
+                *g = true;
+                cv.notify_one();
+                drop(g);
+            });
+            let (flag, cv) = &*state;
+            let ready = *flag.lock().unwrap(); // check...
+            if !ready {
+                let g = flag.lock().unwrap(); // ...then re-lock: race window
+                let _g = cv.wait(g).unwrap();
+            }
+            t.join();
+        },
+    );
+    assert!(
+        report.deadlocks > 0,
+        "the check-then-wait race must lose a wakeup in some schedule"
+    );
+}
+
+#[test]
+fn correct_wait_loop_never_hangs() {
+    // The fixed protocol: check and wait under one continuous critical
+    // section, with a timed wait re-checked in a loop. No interleaving
+    // deadlocks or times out incorrectly.
+    let report = check(|| {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let s2 = Arc::clone(&state);
+        let t = spawn(move || {
+            let (flag, cv) = &*s2;
+            *flag.lock().unwrap() = true;
+            cv.notify_one();
+        });
+        let (flag, cv) = &*state;
+        let mut g = flag.lock().unwrap();
+        while !*g {
+            g = cv.wait(g).unwrap();
+        }
+        drop(g);
+        t.join();
+    });
+    assert_eq!(report.deadlocks, 0);
+    assert!(report.executions >= 2);
+}
+
+#[test]
+fn timed_wait_explores_both_branches() {
+    // A deadline-bounded wait racing a signaler: some schedules are
+    // notified, some expire. Like the vendored channel's `recv_timeout`,
+    // the loop recomputes the *remaining* time from an absolute
+    // deadline, so once the virtual timeout fires it cannot re-arm —
+    // every schedule terminates, notified or not.
+    use mssg_modelcheck::shim::Instant;
+    let report = check(|| {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let s2 = Arc::clone(&state);
+        let t = spawn(move || {
+            let (flag, cv) = &*s2;
+            *flag.lock().unwrap() = true;
+            cv.notify_one();
+        });
+        let (flag, cv) = &*state;
+        let deadline = Instant::now() + Duration::from_millis(10);
+        let mut g = flag.lock().unwrap();
+        while !*g {
+            let Some(left) = deadline
+                .checked_duration_since(Instant::now())
+                .filter(|d| !d.is_zero())
+            else {
+                break; // gave up: the signaler may not have run yet
+            };
+            let (g2, _res) = cv.wait_timeout(g, left).unwrap();
+            g = g2;
+        }
+        drop(g);
+        t.join();
+    });
+    assert_eq!(report.deadlocks, 0);
+    assert!(report.executions >= 2);
+}
+
+#[test]
+#[should_panic(expected = "counterexample")]
+fn assertion_failures_are_reported_with_a_schedule() {
+    check(|| {
+        let n = Arc::new(Mutex::new(0u32));
+        let n2 = Arc::clone(&n);
+        let t = spawn(move || *n2.lock().unwrap() += 1);
+        // Buggy: reads before the join, so some schedule sees 0.
+        let seen = *n.lock().unwrap();
+        t.join();
+        assert_eq!(seen, 1, "read raced the increment");
+    });
+}

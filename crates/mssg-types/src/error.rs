@@ -38,6 +38,10 @@ pub enum GraphStorageError {
     FilterFailed(String),
     /// A fault deliberately injected by a `FaultPlan` (chaos testing).
     Fault(String),
+    /// Static verification rejected the filter graph before launch
+    /// (bad wiring or a capacity-starved cycle — see
+    /// [`VerifyError`](crate::verify::VerifyError)).
+    Verify(crate::verify::VerifyError),
 }
 
 impl fmt::Display for GraphStorageError {
@@ -52,6 +56,7 @@ impl fmt::Display for GraphStorageError {
             GraphStorageError::Timeout(m) => write!(f, "timed out: {m}"),
             GraphStorageError::FilterFailed(m) => write!(f, "filter failed: {m}"),
             GraphStorageError::Fault(m) => write!(f, "injected fault: {m}"),
+            GraphStorageError::Verify(e) => write!(f, "graph verification failed: {e}"),
         }
     }
 }
@@ -60,6 +65,7 @@ impl std::error::Error for GraphStorageError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             GraphStorageError::Io(e) => Some(e),
+            GraphStorageError::Verify(e) => Some(e),
             _ => None,
         }
     }
@@ -77,6 +83,12 @@ impl From<crate::ontology::OntologyError> for GraphStorageError {
     }
 }
 
+impl From<crate::verify::VerifyError> for GraphStorageError {
+    fn from(e: crate::verify::VerifyError) -> Self {
+        GraphStorageError::Verify(e)
+    }
+}
+
 impl GraphStorageError {
     /// Builds a [`GraphStorageError::Corrupt`] with a formatted message.
     pub fn corrupt(msg: impl Into<String>) -> Self {
@@ -85,6 +97,11 @@ impl GraphStorageError {
 
     /// `true` if retrying the operation could plausibly succeed
     /// (transient I/O), `false` for logical errors.
+    ///
+    /// The match is deliberately exhaustive — no `_` arm — so that
+    /// adding a variant without deciding its retry class is a compile
+    /// error (and the `error-classification` lint in `xtask` enforces
+    /// that each variant is named here).
     pub fn is_transient(&self) -> bool {
         match self {
             GraphStorageError::Io(e) => {
@@ -96,7 +113,15 @@ impl GraphStorageError {
             // Injected faults and timeouts model transient infrastructure
             // trouble: the same operation retried can succeed.
             GraphStorageError::Fault(_) | GraphStorageError::Timeout(_) => true,
-            _ => false,
+            // Logical/permanent: retrying the same operation re-derives
+            // the same failure.
+            GraphStorageError::Corrupt(_)
+            | GraphStorageError::InvalidVertex(_)
+            | GraphStorageError::CapacityExceeded(_)
+            | GraphStorageError::Unsupported(_)
+            | GraphStorageError::Query(_)
+            | GraphStorageError::FilterFailed(_)
+            | GraphStorageError::Verify(_) => false,
         }
     }
 }
@@ -131,6 +156,19 @@ mod tests {
         assert!(GraphStorageError::Timeout("recv on peers".into()).is_transient());
         assert!(GraphStorageError::Fault("injected send error".into()).is_transient());
         assert!(!GraphStorageError::FilterFailed("store.1 panicked".into()).is_transient());
+    }
+
+    #[test]
+    fn verify_errors_are_permanent_and_keep_structure() {
+        use crate::verify::VerifyError;
+        let e = GraphStorageError::from(VerifyError::UnconnectedInPort {
+            filter: "bfs".into(),
+            port: "peers".into(),
+        });
+        assert!(!e.is_transient(), "a bad topology never fixes itself");
+        assert!(e.to_string().contains("bfs.peers"));
+        use std::error::Error as _;
+        assert!(e.source().is_some(), "structured cause is preserved");
     }
 
     #[test]

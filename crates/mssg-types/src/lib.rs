@@ -22,6 +22,7 @@ pub mod error;
 pub mod gid;
 pub mod meta;
 pub mod ontology;
+pub mod verify;
 
 pub use adjbuf::AdjBuffer;
 pub use edge::{Edge, TypedEdge};
@@ -29,3 +30,4 @@ pub use error::{GraphStorageError, Result};
 pub use gid::Gid;
 pub use meta::{Meta, MetaOp, UNVISITED};
 pub use ontology::{EdgeTypeId, Ontology, OntologyError, VertexTypeId};
+pub use verify::VerifyError;

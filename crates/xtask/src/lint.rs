@@ -1,0 +1,617 @@
+//! The MSSG project lint suite.
+//!
+//! Three rules, each a project-policy invariant that rustc/clippy cannot
+//! express:
+//!
+//! - **`filter-unwrap`** — no `.unwrap()` / `.expect(` inside an
+//!   `impl Filter for …` block (outside `#[cfg(test)]` regions). A panic
+//!   in a filter copy either kills the whole run (classic semantics) or
+//!   burns a supervised restart; filters must return errors through
+//!   their `Result` interface instead.
+//! - **`untimed-recv`** — a source file in `crates/core`, `crates/bench`,
+//!   or `examples/` that calls `.recv()` on a stream must also configure
+//!   `stream_timeout` somewhere in the same file. An untimed recv in a
+//!   graph whose peer can die (supervision, fault plans) hangs forever
+//!   instead of surfacing a typed `Timeout`.
+//! - **`error-classification`** — every `GraphStorageError` variant must
+//!   be named in the body of `is_transient`, and that match must not use
+//!   a `_` arm. Retry loops (supervised ingestion, bench harnesses) key
+//!   off this classification; an unclassified variant silently inherits
+//!   whatever the wildcard does.
+//!
+//! False positives are suppressed through the allowlist file
+//! `lint.allow` at the repo root (or `--allowlist <file>`), one entry
+//! per line: `rule path-substring [message-substring]`. Output is
+//! `path:line: [rule] message`, and the process exits non-zero if any
+//! violation survives the allowlist — suitable for CI.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One lint finding, pointing at a file and line.
+struct Violation {
+    rule: &'static str,
+    /// Repo-relative path, `/`-separated for stable output.
+    path: String,
+    line: usize,
+    message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// One `rule path-substring [message-substring]` allowlist entry.
+struct AllowEntry {
+    rule: String,
+    path_sub: String,
+    msg_sub: Option<String>,
+}
+
+impl AllowEntry {
+    fn matches(&self, v: &Violation) -> bool {
+        self.rule == v.rule
+            && v.path.contains(&self.path_sub)
+            && self
+                .msg_sub
+                .as_ref()
+                .is_none_or(|m| v.message.contains(m.as_str()))
+    }
+}
+
+/// Entry point for `cargo run -p xtask -- lint`.
+pub fn run(args: &[String]) -> ExitCode {
+    let root = match repo_root() {
+        Some(r) => r,
+        None => {
+            eprintln!("xtask lint: cannot locate the workspace root");
+            return ExitCode::from(2);
+        }
+    };
+    let mut allow_path = root.join("lint.allow");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--allowlist" => match it.next() {
+                Some(p) => allow_path = PathBuf::from(p),
+                None => {
+                    eprintln!("xtask lint: --allowlist needs a file argument");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("xtask lint: unknown flag `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let allow = load_allowlist(&allow_path);
+
+    let mut violations = Vec::new();
+    for file in rust_sources(&root) {
+        let Ok(text) = fs::read_to_string(&file) else {
+            continue;
+        };
+        let rel = rel_path(&root, &file);
+        check_filter_unwrap(&rel, &text, &mut violations);
+        check_untimed_recv(&rel, &text, &mut violations);
+    }
+    check_error_classification(&root, &mut violations);
+
+    let mut reported = 0usize;
+    let mut allowed = 0usize;
+    for v in &violations {
+        if allow.iter().any(|e| e.matches(v)) {
+            allowed += 1;
+        } else {
+            println!("{v}");
+            reported += 1;
+        }
+    }
+    if reported == 0 {
+        println!("lint: clean ({allowed} allowlisted)");
+        ExitCode::SUCCESS
+    } else {
+        println!("lint: {reported} violation(s) ({allowed} allowlisted)");
+        ExitCode::FAILURE
+    }
+}
+
+/// Walks up from this crate's manifest dir to the directory whose
+/// `Cargo.toml` declares `[workspace]`.
+fn repo_root() -> Option<PathBuf> {
+    let start = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    for dir in start.ancestors() {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir.to_path_buf());
+            }
+        }
+    }
+    None
+}
+
+fn load_allowlist(path: &Path) -> Vec<AllowEntry> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let mut parts = l.splitn(3, char::is_whitespace);
+            let rule = parts.next()?.to_string();
+            let path_sub = parts.next()?.to_string();
+            let msg_sub = parts.next().map(|s| s.trim().to_string());
+            Some(AllowEntry {
+                rule,
+                path_sub,
+                msg_sub,
+            })
+        })
+        .collect()
+}
+
+/// All first-party `.rs` files: `crates/**` (minus `xtask` itself — its
+/// rule tables quote the patterns it searches for), `examples/**`,
+/// `tests/**`, and `src/**`. Vendored stand-ins are third-party code and
+/// exempt from project policy.
+fn rust_sources(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for top in ["crates", "examples", "tests", "src"] {
+        walk(&root.join(top), &mut out);
+    }
+    out.sort();
+    out.retain(|p| !rel_path(root, p).starts_with("crates/xtask/"));
+    out
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name != "target" && name != ".git" {
+                walk(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn rel_path(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Strips line comments and the *contents* of string literals, so that
+/// brace counting and pattern matching see only code. Not a full lexer:
+/// raw strings and block comments spanning lines are not handled, which
+/// is fine for this codebase's style (and errs toward false positives,
+/// which the allowlist absorbs).
+fn strip_code(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_str = false;
+    let mut in_char = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => {
+                    in_str = false;
+                    out.push('"');
+                }
+                _ => {}
+            }
+            continue;
+        }
+        if in_char {
+            if c == '\\' {
+                chars.next();
+            } else if c == '\'' {
+                in_char = false;
+            }
+            continue;
+        }
+        match c {
+            '/' if chars.peek() == Some(&'/') => break,
+            '"' => {
+                in_str = true;
+                out.push('"');
+            }
+            // A lifetime tick (`&'a`) is not a char literal; only treat
+            // `'` as one when it closes within a couple of characters.
+            '\'' => {
+                let rest: String = chars.clone().take(3).collect();
+                if rest.starts_with('\\') || rest.chars().nth(1) == Some('\'') {
+                    in_char = true;
+                } else {
+                    out.push(c);
+                }
+            }
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// What kind of braced region we are inside of.
+#[derive(Clone, Copy, PartialEq)]
+enum Region {
+    Plain,
+    /// An `impl … Filter for …` block.
+    FilterImpl,
+    /// A region annotated `#[cfg(test)]`.
+    Test,
+}
+
+/// Flags `.unwrap()` / `.expect(` inside `impl Filter for` blocks,
+/// excluding `#[cfg(test)]` regions.
+fn check_filter_unwrap(rel: &str, text: &str, out: &mut Vec<Violation>) {
+    let mut stack: Vec<Region> = Vec::new();
+    let mut pending: Option<Region> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let code = strip_code(raw);
+        let trimmed = code.trim();
+        if trimmed.contains("#[cfg(test)]") {
+            pending = Some(Region::Test);
+        } else if trimmed.starts_with("impl") && trimmed.contains("Filter for") {
+            // Don't let a test region's helper impls escape the test tag.
+            if !stack.contains(&Region::Test) {
+                pending = Some(Region::FilterImpl);
+            }
+        }
+        let in_impl = stack.contains(&Region::FilterImpl);
+        let in_test = stack.contains(&Region::Test);
+        if in_impl && !in_test {
+            for pat in [".unwrap()", ".expect("] {
+                if let Some(col) = code.find(pat) {
+                    let _ = col;
+                    out.push(Violation {
+                        rule: "filter-unwrap",
+                        path: rel.to_string(),
+                        line: idx + 1,
+                        message: format!(
+                            "`{pat}…` inside a Filter impl — return the error \
+                             through the filter's Result instead of panicking \
+                             the copy"
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    stack.push(pending.take().unwrap_or(Region::Plain));
+                }
+                '}' => {
+                    stack.pop();
+                }
+                _ => {}
+            }
+        }
+        // An attribute or impl header whose `{` never arrives (e.g.
+        // `#[cfg(test)]` on a `use`) shouldn't leak onto the next block,
+        // but attributes legitimately sit one or more lines above the
+        // brace (`#[cfg(test)]\nmod tests {`), so only clear the marker
+        // once a line that is clearly a complete non-block item ends.
+        if pending.is_some() && trimmed.ends_with(';') {
+            pending = None;
+        }
+    }
+}
+
+/// Directories whose graphs run supervised / under fault plans, where a
+/// blocking `.recv()` with no stream deadline can hang forever.
+const TIMED_RECV_SCOPES: [&str; 3] = ["crates/core/", "crates/bench/", "examples/"];
+
+/// Flags files in supervised-graph territory that call `.recv()` without
+/// configuring `stream_timeout` anywhere in the same file.
+fn check_untimed_recv(rel: &str, text: &str, out: &mut Vec<Violation>) {
+    if !TIMED_RECV_SCOPES.iter().any(|s| rel.starts_with(s)) {
+        return;
+    }
+    let mut first_recv = None;
+    let mut has_timeout = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let code = strip_code(raw);
+        if code.contains(".recv()") && first_recv.is_none() {
+            first_recv = Some(idx + 1);
+        }
+        if code.contains("stream_timeout") || code.contains("recv_timeout") {
+            has_timeout = true;
+        }
+    }
+    if let Some(line) = first_recv {
+        if !has_timeout {
+            out.push(Violation {
+                rule: "untimed-recv",
+                path: rel.to_string(),
+                line,
+                message: "blocking recv() with no stream_timeout in scope — a dead \
+                          peer hangs this graph forever instead of raising Timeout"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Checks that `is_transient` names every `GraphStorageError` variant and
+/// has no `_` arm.
+fn check_error_classification(root: &Path, out: &mut Vec<Violation>) {
+    let rel = "crates/mssg-types/src/error.rs";
+    let path = root.join(rel);
+    let Ok(text) = fs::read_to_string(&path) else {
+        out.push(Violation {
+            rule: "error-classification",
+            path: rel.to_string(),
+            line: 1,
+            message: "cannot read the GraphStorageError definition".to_string(),
+        });
+        return;
+    };
+    let variants = enum_variants(&text, "enum GraphStorageError");
+    if variants.is_empty() {
+        out.push(Violation {
+            rule: "error-classification",
+            path: rel.to_string(),
+            line: 1,
+            message: "found no variants of enum GraphStorageError".to_string(),
+        });
+        return;
+    }
+    let Some((body, body_line)) = fn_body(&text, "fn is_transient") else {
+        out.push(Violation {
+            rule: "error-classification",
+            path: rel.to_string(),
+            line: 1,
+            message: "GraphStorageError::is_transient is missing".to_string(),
+        });
+        return;
+    };
+    for (name, line) in &variants {
+        if !body.contains(&format!("GraphStorageError::{name}")) {
+            out.push(Violation {
+                rule: "error-classification",
+                path: rel.to_string(),
+                line: *line,
+                message: format!(
+                    "variant `{name}` is not classified transient/permanent in \
+                     is_transient — name it explicitly"
+                ),
+            });
+        }
+    }
+    for (off, raw) in body.lines().enumerate() {
+        let code = strip_code(raw);
+        let t = code.trim_start();
+        if t.starts_with("_ =>") || t.starts_with("_ |") || t.contains("| _ ") {
+            out.push(Violation {
+                rule: "error-classification",
+                path: rel.to_string(),
+                line: body_line + off,
+                message: "wildcard arm in is_transient — it silently classifies \
+                          future variants; name each variant instead"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Top-level variant names of the enum whose declaration contains
+/// `marker`, with their 1-based line numbers.
+fn enum_variants(text: &str, marker: &str) -> Vec<(String, usize)> {
+    let mut variants = Vec::new();
+    let mut depth = 0usize;
+    let mut in_enum = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let code = strip_code(raw);
+        if !in_enum && code.contains(marker) {
+            in_enum = true;
+            depth = 0;
+        }
+        if in_enum {
+            // Variants sit at depth 1, as `Name`, `Name(..)`, or `Name {`.
+            if depth == 1 {
+                let t = code.trim();
+                let name: String = t.chars().take_while(|c| c.is_alphanumeric()).collect();
+                if !name.is_empty() && name.chars().next().is_some_and(|c| c.is_uppercase()) {
+                    variants.push((name, idx + 1));
+                }
+            }
+            for c in code.chars() {
+                match c {
+                    '{' | '(' => depth += 1,
+                    '}' | ')' => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            return variants;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    variants
+}
+
+/// The brace-balanced body of the function whose signature contains
+/// `marker`, plus the 1-based line number where the body starts.
+fn fn_body(text: &str, marker: &str) -> Option<(String, usize)> {
+    let lines: Vec<&str> = text.lines().collect();
+    let start = lines.iter().position(|l| strip_code(l).contains(marker))?;
+    let mut depth = 0i64;
+    let mut body = String::new();
+    let mut entered = false;
+    for (idx, raw) in lines.iter().enumerate().skip(start) {
+        let code = strip_code(raw);
+        if entered {
+            body.push_str(&code);
+            body.push('\n');
+        }
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    entered = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if entered && depth <= 0 {
+            return Some((body, start + 2));
+        }
+        let _ = idx;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_removes_comments_and_string_contents() {
+        assert_eq!(strip_code("let x = 1; // .unwrap()"), "let x = 1; ");
+        assert_eq!(strip_code(r#"let s = ".unwrap() {";"#), r#"let s = "";"#);
+        assert_eq!(strip_code("let c = '{';"), "let c = ;");
+        assert_eq!(
+            strip_code("fn f<'a>(x: &'a str) {}"),
+            "fn f<'a>(x: &'a str) {}"
+        );
+    }
+
+    #[test]
+    fn filter_unwrap_flags_only_filter_impls() {
+        let src = r#"
+impl Filter for Producer {
+    fn process(&mut self) {
+        self.x.lock().unwrap();
+    }
+}
+impl Other {
+    fn helper(&self) {
+        self.x.lock().unwrap();
+    }
+}
+"#;
+        let mut v = Vec::new();
+        check_filter_unwrap("crates/demo/src/lib.rs", src, &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 4);
+        assert_eq!(v[0].rule, "filter-unwrap");
+    }
+
+    #[test]
+    fn filter_unwrap_skips_cfg_test_regions() {
+        let src = r#"
+#[cfg(test)]
+mod tests {
+    impl Filter for TestFilter {
+        fn process(&mut self) {
+            self.x.lock().unwrap();
+        }
+    }
+}
+"#;
+        let mut v = Vec::new();
+        check_filter_unwrap("crates/demo/src/lib.rs", src, &mut v);
+        assert!(
+            v.is_empty(),
+            "{:?}",
+            v.iter().map(|v| v.line).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn untimed_recv_is_scoped_and_file_level() {
+        let bad = "fn f() { port.recv(); }\n";
+        let good = "fn f() { g.stream_timeout(t); port.recv(); }\n";
+        let mut v = Vec::new();
+        check_untimed_recv("crates/core/src/x.rs", bad, &mut v);
+        assert_eq!(v.len(), 1);
+        v.clear();
+        check_untimed_recv("crates/core/src/x.rs", good, &mut v);
+        assert!(v.is_empty());
+        // Outside the supervised scopes the rule does not apply.
+        check_untimed_recv("crates/datacutter/src/x.rs", bad, &mut v);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn enum_variants_and_wildcards_are_detected() {
+        let src = r#"
+pub enum GraphStorageError {
+    Io(io::Error),
+    Corrupt(String),
+    Timeout { after: u64 },
+}
+impl GraphStorageError {
+    pub fn is_transient(&self) -> bool {
+        match self {
+            GraphStorageError::Io(_) => true,
+            GraphStorageError::Timeout { .. } => true,
+            _ => false,
+        }
+    }
+}
+"#;
+        let vars = enum_variants(src, "enum GraphStorageError");
+        let names: Vec<_> = vars.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["Io", "Corrupt", "Timeout"]);
+        let (body, _) = fn_body(src, "fn is_transient").expect("body");
+        assert!(body.contains("GraphStorageError::Io"));
+        assert!(!body.contains("GraphStorageError::Corrupt"));
+        assert!(body.lines().any(|l| l.trim_start().starts_with("_ =>")));
+    }
+
+    #[test]
+    fn allowlist_entries_match_rule_path_and_message() {
+        let entries = load_allowlist_from(
+            "# comment\nfilter-unwrap crates/demo lock\nuntimed-recv crates/core\n",
+        );
+        let v = Violation {
+            rule: "filter-unwrap",
+            path: "crates/demo/src/lib.rs".into(),
+            line: 3,
+            message: "`.unwrap()…` lock poisoned".into(),
+        };
+        assert!(entries[0].matches(&v));
+        assert!(!entries[1].matches(&v));
+    }
+
+    fn load_allowlist_from(text: &str) -> Vec<AllowEntry> {
+        let dir = std::env::temp_dir().join(format!("xtask-allow-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lint.allow");
+        fs::write(&path, text).unwrap();
+        let entries = load_allowlist(&path);
+        let _ = fs::remove_dir_all(&dir);
+        entries
+    }
+}

@@ -1,0 +1,25 @@
+//! Project automation tasks, driven as `cargo run -p xtask -- <task>`.
+//!
+//! The only task today is `lint`, the MSSG project lint suite — checks
+//! that are project policy rather than language rules, so neither rustc
+//! nor clippy can enforce them. See [`lint`] for the rule catalogue.
+
+mod lint;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint::run(&args[1..]),
+        Some(other) => {
+            eprintln!("xtask: unknown task `{other}`");
+            eprintln!("usage: cargo run -p xtask -- lint [--allowlist <file>]");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("usage: cargo run -p xtask -- lint [--allowlist <file>]");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -11,8 +11,14 @@ pub mod channel {
 
     use std::collections::VecDeque;
     use std::fmt;
-    use std::sync::{Arc, Condvar, Mutex};
-    use std::time::{Duration, Instant};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    // Sync primitives come from the model-checking shim: identical to the
+    // `std` types outside `mssg_modelcheck::check`, scheduler-controlled
+    // inside it. This one import is what makes the channel exhaustively
+    // model-checkable (see `crates/modelcheck` and tests/modelcheck_channel.rs).
+    use mssg_modelcheck::shim::{Condvar, Instant, Mutex};
 
     struct State<T> {
         buf: VecDeque<T>,
