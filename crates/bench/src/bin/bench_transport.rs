@@ -1,0 +1,65 @@
+//! Writes `BENCH_transport.json`: ingest + BFS edges/sec on the
+//! in-process substrate vs TCP-localhost, plus the framed byte traffic
+//! of the TCP run.
+//!
+//! ```text
+//! bench-transport                          # BENCH_transport.json in cwd
+//! bench-transport --out path.json --nodes 3 --vertices 20000 --extra-edges 60000
+//! ```
+
+use mssg_bench::transport::run_transport_bench;
+use mssg_net::WorkloadConfig;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench-transport [--out FILE] [--nodes N] [--vertices N] \
+         [--extra-edges N] [--seed N] [--timeout-secs N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = WorkloadConfig {
+        vertices: 20_000,
+        extra_edges: 60_000,
+        stream_timeout: Duration::from_secs(60),
+        ..WorkloadConfig::default()
+    };
+    let mut out = "BENCH_transport.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        let val = |i: usize| -> &str {
+            args.get(i + 1)
+                .map(String::as_str)
+                .unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--out" => out = val(i).to_string(),
+            "--nodes" => cfg.nodes = val(i).parse().unwrap_or_else(|_| usage()),
+            "--vertices" => cfg.vertices = val(i).parse().unwrap_or_else(|_| usage()),
+            "--extra-edges" => cfg.extra_edges = val(i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.seed = val(i).parse().unwrap_or_else(|_| usage()),
+            "--timeout-secs" => {
+                cfg.stream_timeout = Duration::from_secs(val(i).parse().unwrap_or_else(|_| usage()))
+            }
+            _ => usage(),
+        }
+        i += 2;
+    }
+
+    let bench = match run_transport_bench(&cfg) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench-transport: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", bench.to_table().to_markdown());
+    if let Err(e) = std::fs::write(&out, bench.to_json()) {
+        eprintln!("bench-transport: write {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out}");
+}

@@ -22,6 +22,7 @@
 
 pub mod experiments;
 pub mod report;
+pub mod transport;
 pub mod workloads;
 
 pub use experiments::ExpConfig;

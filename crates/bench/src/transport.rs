@@ -1,0 +1,204 @@
+//! Transport benchmark — the perf trajectory for the distributed
+//! substrate (DESIGN.md §8).
+//!
+//! Runs the same generated ingest → BFS workload twice — once on the
+//! in-process channel substrate, once over TCP-localhost (one transport
+//! per node, socket framing and credit flow control fully engaged) —
+//! and reports edges/sec for both phases plus the framed byte traffic
+//! the TCP run actually put on the wire. The `bench-transport` binary
+//! serializes the result as `BENCH_transport.json` so successive
+//! commits can be compared mechanically.
+
+use crate::report::Table;
+use mssg_net::workload::{run_inproc, run_tcp_localhost, WorkloadConfig};
+use mssg_net::FRAME_OVERHEAD;
+use mssg_obs::Telemetry;
+use mssg_types::Result;
+
+/// One substrate's measurements.
+#[derive(Clone, Debug)]
+pub struct TransportRow {
+    /// Substrate label: `"inproc"` or `"tcp-localhost"`.
+    pub mode: String,
+    /// Directed edges ingested.
+    pub edges: u64,
+    /// BFS rounds to fixpoint.
+    pub rounds: u32,
+    /// Ingestion wall time, seconds.
+    pub ingest_secs: f64,
+    /// BFS wall time, seconds.
+    pub bfs_secs: f64,
+    /// Ingestion throughput, edges/sec.
+    pub ingest_eps: f64,
+    /// BFS traversal throughput, edges/sec.
+    pub bfs_eps: f64,
+    /// Frames sent on the wire (0 for in-proc).
+    pub frames: u64,
+    /// Framed bytes on the wire, headers included (0 for in-proc).
+    pub frame_bytes: u64,
+    /// Sends that stalled waiting for credit (0 for in-proc).
+    pub credit_stalls: u64,
+}
+
+/// The full benchmark result: config echo plus one row per substrate.
+#[derive(Clone, Debug)]
+pub struct TransportBench {
+    /// The workload that was measured.
+    pub config: WorkloadConfig,
+    /// BFS level digest — identical across rows by construction.
+    pub digest: u64,
+    /// Measurements, in-proc first.
+    pub rows: Vec<TransportRow>,
+}
+
+/// Runs the workload on both substrates and checks they agree
+/// byte-for-byte before reporting any numbers.
+pub fn run_transport_bench(cfg: &WorkloadConfig) -> Result<TransportBench> {
+    let inproc = run_inproc(cfg, Telemetry::disabled())?;
+
+    let telemetry = Telemetry::enabled();
+    let tcp = run_tcp_localhost(cfg, telemetry.clone())?;
+    if tcp.digest != inproc.digest || tcp.levels != inproc.levels {
+        return Err(mssg_types::GraphStorageError::Corrupt(format!(
+            "TCP run diverged from in-proc run: digest {:016x} vs {:016x}",
+            tcp.digest, inproc.digest
+        )));
+    }
+
+    let counters = telemetry.metrics.snapshot().counters;
+    let net = |name: &str| counters.get(name).copied().unwrap_or(0);
+    let frames = net("net.frames");
+    let frame_bytes = net("net.bytes");
+    debug_assert!(frame_bytes >= frames * FRAME_OVERHEAD as u64);
+
+    let row = |mode: &str, r: &mssg_net::WorkloadReport, f, b, stalls| TransportRow {
+        mode: mode.to_string(),
+        edges: r.edges,
+        rounds: r.rounds,
+        ingest_secs: r.ingest_secs,
+        bfs_secs: r.bfs_secs,
+        ingest_eps: r.ingest_edges_per_sec(),
+        bfs_eps: r.bfs_edges_per_sec(),
+        frames: f,
+        frame_bytes: b,
+        credit_stalls: stalls,
+    };
+    Ok(TransportBench {
+        config: cfg.clone(),
+        digest: inproc.digest,
+        rows: vec![
+            row("inproc", &inproc, 0, 0, 0),
+            row(
+                "tcp-localhost",
+                &tcp,
+                frames,
+                frame_bytes,
+                net("net.credit_stalls"),
+            ),
+        ],
+    })
+}
+
+impl TransportBench {
+    /// Machine-readable form, written to `BENCH_transport.json`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!(
+            "  \"bench\": \"transport\",\n  \"nodes\": {},\n  \"vertices\": {},\n  \
+             \"extra_edges\": {},\n  \"seed\": {},\n  \"digest\": \"{:016x}\",\n  \"runs\": [\n",
+            self.config.nodes,
+            self.config.vertices,
+            self.config.extra_edges,
+            self.config.seed,
+            self.digest
+        ));
+        for (i, r) in self.rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"mode\": {}, \"edges\": {}, \"rounds\": {}, \
+                 \"ingest_secs\": {:.6}, \"bfs_secs\": {:.6}, \
+                 \"ingest_edges_per_sec\": {:.0}, \"bfs_edges_per_sec\": {:.0}, \
+                 \"frames\": {}, \"frame_bytes\": {}, \"credit_stalls\": {}}}{}\n",
+                mssg_obs::json::escape(&r.mode),
+                r.edges,
+                r.rounds,
+                r.ingest_secs,
+                r.bfs_secs,
+                r.ingest_eps,
+                r.bfs_eps,
+                r.frames,
+                r.frame_bytes,
+                r.credit_stalls,
+                if i + 1 < self.rows.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Human-readable form for the console.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "Transport — {} nodes, {} vertices, {} extra edges (digest {:016x})",
+                self.config.nodes, self.config.vertices, self.config.extra_edges, self.digest
+            ),
+            &[
+                "Mode",
+                "Edges",
+                "Rounds",
+                "Ingest e/s",
+                "BFS e/s",
+                "Frames",
+                "Frame bytes",
+                "Credit stalls",
+            ],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.mode.clone(),
+                r.edges.to_string(),
+                r.rounds.to_string(),
+                format!("{:.0}", r.ingest_eps),
+                format!("{:.0}", r.bfs_eps),
+                r.frames.to_string(),
+                r.frame_bytes.to_string(),
+                r.credit_stalls.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn bench_rows_agree_and_tcp_counts_wire_traffic() {
+        let cfg = WorkloadConfig {
+            nodes: 2,
+            vertices: 200,
+            extra_edges: 300,
+            stream_timeout: Duration::from_secs(30),
+            ..WorkloadConfig::default()
+        };
+        let b = run_transport_bench(&cfg).unwrap();
+        assert_eq!(b.rows.len(), 2);
+        assert_eq!(b.rows[0].mode, "inproc");
+        assert_eq!(b.rows[1].mode, "tcp-localhost");
+        assert_eq!(b.rows[0].edges, b.rows[1].edges);
+        assert!(b.rows[1].frames > 0);
+        assert!(b.rows[1].frame_bytes >= b.rows[1].frames * FRAME_OVERHEAD as u64);
+
+        let json = b.to_json();
+        let doc = mssg_obs::json::parse(&json).expect("bench JSON parses");
+        let runs = doc.get("runs").unwrap().as_array().unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(
+            runs[1].get("mode").unwrap().as_str().unwrap(),
+            "tcp-localhost"
+        );
+        assert!(runs[1].get("frame_bytes").unwrap().as_f64().unwrap() > 0.0);
+    }
+}

@@ -3,8 +3,8 @@
 use crate::buffer::DataBuffer;
 use crate::fault::CopyFaults;
 use crate::netstats::NetStats;
+use crate::transport::{RecvOutcome, RxEndpoint, SendOutcome, TxEndpoint};
 use crate::NodeId;
-use crossbeam::channel::{Receiver, RecvTimeoutError, SendTimeoutError, Sender};
 use mssg_obs::{Histogram, Telemetry};
 use mssg_types::{GraphStorageError, Result};
 use std::collections::HashMap;
@@ -47,7 +47,7 @@ pub trait Filter: Send {
 /// Receiving end of a logical stream (all producer copies merged).
 pub struct InPort {
     pub(crate) name: String,
-    pub(crate) rx: Receiver<DataBuffer>,
+    pub(crate) rx: Box<dyn RxEndpoint>,
     /// Blocked-time clocks of the owning copy (absent in bare test ports).
     pub(crate) clocks: Option<Arc<PortClocks>>,
     /// Give-up deadline per `recv` (from `GraphBuilder::stream_timeout`).
@@ -60,22 +60,23 @@ impl InPort {
     /// Blocks for the next buffer. `Ok(None)` once every producer has
     /// closed; [`GraphStorageError::Timeout`] if a stream timeout is
     /// configured and elapses first (the guard against a dead peer that
-    /// never closes its end); an injected fault may panic or stall here.
+    /// never closes its end); [`GraphStorageError::Net`] if the transport
+    /// itself fails (a lost peer connection over sockets); an injected
+    /// fault may panic or stall here.
     pub fn recv(&self) -> Result<Option<DataBuffer>> {
         if let Some(f) = &self.faults {
             f.tick(false)?;
         }
         let start = self.clocks.as_ref().map(|_| Instant::now());
-        let got = match self.timeout {
-            None => Ok(self.rx.recv().ok()),
-            Some(limit) => match self.rx.recv_timeout(limit) {
-                Ok(buf) => Ok(Some(buf)),
-                Err(RecvTimeoutError::Disconnected) => Ok(None),
-                Err(RecvTimeoutError::Timeout) => Err(GraphStorageError::Timeout(format!(
-                    "recv on input port {:?} gave up after {limit:?}",
-                    self.name
-                ))),
-            },
+        let got = match self.rx.recv(self.timeout) {
+            RecvOutcome::Buf(buf) => Ok(Some(buf)),
+            RecvOutcome::Closed => Ok(None),
+            RecvOutcome::TimedOut => Err(GraphStorageError::Timeout(format!(
+                "recv on input port {:?} gave up after {:?}",
+                self.name,
+                self.timeout.unwrap_or_default()
+            ))),
+            RecvOutcome::Failed(e) => Err(e),
         };
         if let (Some(clocks), Some(start)) = (&self.clocks, start) {
             clocks
@@ -87,7 +88,7 @@ impl InPort {
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<DataBuffer> {
-        self.rx.try_recv().ok()
+        self.rx.try_recv()
     }
 
     /// Drains everything currently queued without blocking.
@@ -99,11 +100,11 @@ impl InPort {
         out
     }
 
-    /// A fresh port on the same channel, for a restarted incarnation.
+    /// A fresh port on the same endpoint, for a restarted incarnation.
     pub(crate) fn clone_port(&self) -> InPort {
         InPort {
             name: self.name.clone(),
-            rx: self.rx.clone(),
+            rx: self.rx.clone_endpoint(),
             clocks: self.clocks.clone(),
             timeout: self.timeout,
             faults: self.faults.clone(),
@@ -111,11 +112,10 @@ impl InPort {
     }
 }
 
-/// Sending end of a logical stream: one channel per consumer copy.
+/// Sending end of a logical stream: one endpoint per consumer copy.
 pub struct OutPort {
     pub(crate) name: String,
-    pub(crate) senders: Vec<Sender<DataBuffer>>,
-    pub(crate) consumer_nodes: Vec<NodeId>,
+    pub(crate) senders: Vec<Box<dyn TxEndpoint>>,
     pub(crate) my_node: NodeId,
     pub(crate) rr: usize,
     pub(crate) stats: Arc<NetStats>,
@@ -141,7 +141,9 @@ impl OutPort {
     /// With a stream timeout configured, a send that stays backpressured
     /// past the deadline fails with [`GraphStorageError::Timeout`]; an
     /// injected [`FaultKind::SendError`](crate::FaultKind::SendError)
-    /// surfaces as [`GraphStorageError::Fault`] without delivering.
+    /// surfaces as [`GraphStorageError::Fault`] without delivering; a
+    /// transport failure (lost peer connection) surfaces as
+    /// [`GraphStorageError::Net`].
     pub fn send_to(&mut self, copy: usize, buf: DataBuffer) -> Result<()> {
         if let Some(f) = &self.faults {
             f.tick(true)?;
@@ -152,23 +154,24 @@ impl OutPort {
                 self.senders.len()
             ))
         })?;
-        self.stats
-            .record(self.my_node, self.consumer_nodes[copy], buf.len() as u64);
+        // The endpoint reports what this payload costs on *its* wire —
+        // payload-only for a memory copy, payload + frame header over a
+        // socket — so NetStats reflects real framing overhead.
+        self.stats.record(
+            self.my_node,
+            sender.dst_node(),
+            sender.wire_bytes(buf.len()),
+        );
         let start = self.clocks.as_ref().map(|_| Instant::now());
-        let sent: Result<()> = match self.timeout {
-            None => sender
-                .send(buf)
-                .map_err(|_| GraphStorageError::Unsupported("consumer hung up".into())),
-            Some(limit) => match sender.send_timeout(buf, limit) {
-                Ok(()) => Ok(()),
-                Err(SendTimeoutError::Disconnected(_)) => {
-                    Err(GraphStorageError::Unsupported("consumer hung up".into()))
-                }
-                Err(SendTimeoutError::Timeout(_)) => Err(GraphStorageError::Timeout(format!(
-                    "send on output port {:?} gave up after {limit:?}",
-                    self.name
-                ))),
-            },
+        let sent: Result<()> = match sender.send(buf, self.timeout) {
+            SendOutcome::Sent => Ok(()),
+            SendOutcome::Closed => Err(GraphStorageError::Unsupported("consumer hung up".into())),
+            SendOutcome::TimedOut => Err(GraphStorageError::Timeout(format!(
+                "send on output port {:?} gave up after {:?}",
+                self.name,
+                self.timeout.unwrap_or_default()
+            ))),
+            SendOutcome::Failed(e) => Err(e),
         };
         if let (Some(clocks), Some(start)) = (&self.clocks, start) {
             clocks
@@ -176,7 +179,7 @@ impl OutPort {
                 .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
         if let Some(depth) = &self.queue_depth {
-            depth.record(sender.len() as u64);
+            depth.record(sender.queue_len() as u64);
         }
         sent
     }
@@ -196,12 +199,13 @@ impl OutPort {
         Ok(())
     }
 
-    /// A fresh port on the same channels, for a restarted incarnation.
+    /// A fresh port on the same endpoints, for a restarted incarnation.
+    /// Endpoint clones share close identity, so a restart never closes a
+    /// stream the original still holds.
     pub(crate) fn clone_port(&self) -> OutPort {
         OutPort {
             name: self.name.clone(),
-            senders: self.senders.clone(),
-            consumer_nodes: self.consumer_nodes.clone(),
+            senders: self.senders.iter().map(|s| s.clone_endpoint()).collect(),
             my_node: self.my_node,
             rr: self.rr,
             stats: Arc::clone(&self.stats),
@@ -290,21 +294,21 @@ impl FilterContext {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crossbeam::channel::bounded;
+    use crate::transport::{ChannelRx, ChannelTx};
+    use crossbeam::channel::{bounded, Receiver};
 
     fn out_port(n: usize) -> (OutPort, Vec<Receiver<DataBuffer>>) {
-        let mut senders = Vec::new();
+        let mut senders: Vec<Box<dyn TxEndpoint>> = Vec::new();
         let mut receivers = Vec::new();
-        for _ in 0..n {
+        for dst in 0..n {
             let (tx, rx) = bounded(16);
-            senders.push(tx);
+            senders.push(Box::new(ChannelTx { tx, dst }));
             receivers.push(rx);
         }
         (
             OutPort {
                 name: "out".into(),
                 senders,
-                consumer_nodes: (0..n).collect(),
                 my_node: 0,
                 rr: 0,
                 stats: NetStats::new(),
@@ -320,7 +324,7 @@ mod tests {
     fn in_port(rx: Receiver<DataBuffer>, clocks: Option<Arc<PortClocks>>) -> InPort {
         InPort {
             name: "in".into(),
-            rx,
+            rx: Box::new(ChannelRx { rx }),
             clocks,
             timeout: None,
             faults: None,
@@ -433,8 +437,7 @@ mod tests {
         let (tx, _rx) = bounded(8);
         let mut port = OutPort {
             name: "out".into(),
-            senders: vec![tx],
-            consumer_nodes: vec![1],
+            senders: vec![Box::new(ChannelTx { tx, dst: 1 })],
             my_node: 0,
             rr: 0,
             stats: NetStats::new(),

@@ -331,6 +331,53 @@ impl GraphBuilder {
     pub fn run(self) -> mssg_types::Result<crate::runtime::RunReport> {
         crate::runtime::run(self)
     }
+
+    /// Runs only the copies placed on `node`, carrying cross-node
+    /// streams over `transport` — see [`crate::runtime::run_node`].
+    pub fn run_node(
+        self,
+        node: NodeId,
+        transport: &mut dyn crate::transport::Transport,
+    ) -> mssg_types::Result<crate::runtime::RunReport> {
+        crate::runtime::run_node(self, node, transport)
+    }
+
+    /// A stable hash of the graph's wiring-relevant shape: filter names
+    /// and placements, stream edges (with queue discipline), and the
+    /// channel capacity. Two processes can cooperate on one distributed
+    /// run only if their descriptions hash identically — the transport's
+    /// handshake compares this value and refuses mismatched peers.
+    /// Factories, telemetry, timeouts, and fault plans are process-local
+    /// and deliberately excluded.
+    pub fn topology_signature(&self) -> u64 {
+        // FNV-1a over a canonical rendering; stable across processes and
+        // platforms (no pointer- or hashmap-order-dependent input).
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(&(self.channel_capacity as u64).to_le_bytes());
+        for f in &self.filters {
+            eat(f.name.as_bytes());
+            eat(&[0]);
+            for &n in &f.placement {
+                eat(&(n as u64).to_le_bytes());
+            }
+            eat(&[1]);
+        }
+        for s in &self.streams {
+            eat(&(s.from as u64).to_le_bytes());
+            eat(s.out_port.as_bytes());
+            eat(&[0]);
+            eat(&(s.to as u64).to_le_bytes());
+            eat(s.in_port.as_bytes());
+            eat(&[if s.shared { 2 } else { 3 }]);
+        }
+        h
+    }
 }
 
 impl Default for GraphBuilder {

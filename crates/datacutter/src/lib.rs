@@ -103,6 +103,7 @@ pub mod filter;
 pub mod graph;
 pub mod netstats;
 pub mod runtime;
+pub mod transport;
 pub mod verify;
 
 pub use buffer::DataBuffer;
@@ -110,7 +111,11 @@ pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec};
 pub use filter::{Filter, FilterContext, InPort, OutPort};
 pub use graph::{FilterHandle, GraphBuilder};
 pub use netstats::{NetSnapshot, NetStats, NetworkCostModel};
-pub use runtime::{FilterTiming, RestartEvent, RunReport};
+pub use runtime::{run_node, FilterTiming, RestartEvent, RunReport};
+pub use transport::{
+    ChannelRx, ChannelTx, EndpointSpec, InProc, RecvOutcome, RxEndpoint, SendOutcome, Transport,
+    TxEndpoint, SHARED_NODE,
+};
 
 /// Identifies a logical cluster node (a thread in this substrate).
 pub type NodeId = usize;

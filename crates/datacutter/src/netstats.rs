@@ -1,6 +1,7 @@
 //! Network accounting and cost model — the communication-side counterpart
 //! of `simio`'s disk accounting.
 
+use crate::NodeId;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -23,9 +24,12 @@ impl NetStats {
         Arc::new(NetStats::default())
     }
 
-    /// Records one message from `src` to `dst`.
+    /// Records one message from node `src` to node `dst`. `bytes` is what
+    /// the message costs on the wire as reported by the transport
+    /// endpoint — the payload for an in-process copy, payload plus frame
+    /// header over a socket.
     #[inline]
-    pub fn record(&self, src: usize, dst: usize, bytes: u64) {
+    pub fn record(&self, src: NodeId, dst: NodeId, bytes: u64) {
         if src == dst {
             self.local_msgs.fetch_add(1, Ordering::Relaxed);
             self.local_bytes.fetch_add(bytes, Ordering::Relaxed);

@@ -2,13 +2,12 @@
 //! connects logical endpoints, and drives the filter lifecycle — the role
 //! DataCutter's runtime plays on a real cluster.
 
-use crate::buffer::DataBuffer;
 use crate::fault::{panic_message, silence_injected_panics, CopyFaults, FaultEvent};
 use crate::filter::{Filter, FilterContext, InPort, OutPort, PortClocks};
 use crate::graph::{FilterFactory, GraphBuilder};
 use crate::netstats::{NetSnapshot, NetStats};
+use crate::transport::{EndpointSpec, InProc, Transport};
 use crate::NodeId;
-use crossbeam::channel::{bounded, Receiver, Sender};
 use mssg_obs::{Counter, Tracer};
 use mssg_types::{GraphStorageError, Result};
 use std::collections::HashMap;
@@ -74,75 +73,171 @@ pub struct RunReport {
     pub faults: Vec<FaultEvent>,
 }
 
-/// Runs a built graph to completion.
-pub fn run(mut graph: GraphBuilder) -> Result<RunReport> {
+/// One input port's endpoint layout, planned identically by every
+/// process from the shared graph description.
+struct PortPlan {
+    shared: bool,
+    /// Addressed: one spec per consumer copy (indexed by copy). Shared:
+    /// a single spec every copy pulls from.
+    specs: Vec<EndpointSpec>,
+}
+
+/// Derives the deterministic endpoint table: iterate streams in
+/// declaration order, assign dense ids to each (consumer, in_port) key
+/// on first sight, and split each endpoint's producers into co-located
+/// vs. remote relative to `only_node` semantics (in single-process mode
+/// everything is co-located).
+fn plan_endpoints(
+    graph: &GraphBuilder,
+    only_node: Option<NodeId>,
+) -> Result<HashMap<(usize, String), PortPlan>> {
+    // Group producer streams by consumer port, preserving first-seen
+    // order for id assignment.
+    let mut order: Vec<(usize, String)> = Vec::new();
+    let mut producers: HashMap<(usize, String), Vec<NodeId>> = HashMap::new();
+    let mut shared_ports: std::collections::HashSet<(usize, String)> =
+        std::collections::HashSet::new();
+    for s in &graph.streams {
+        let key = (s.to, s.in_port.clone());
+        let entry = producers.entry(key.clone()).or_insert_with(|| {
+            order.push(key.clone());
+            Vec::new()
+        });
+        entry.extend(graph.filters[s.from].placement.iter().copied());
+        if s.shared {
+            shared_ports.insert(key);
+        }
+    }
+
+    // In single-process mode every node lives in this process, so all
+    // producers are "local" to every endpoint.
+    let distributed = only_node.is_some();
+    let mut plans = HashMap::new();
+    let mut next_id: u64 = 0;
+    for key in order {
+        let prods = &producers[&key];
+        let (fi, port) = (key.0, key.1.clone());
+        let name = graph.filters[fi].name.clone();
+        let consumer_nodes = graph.filters[fi].placement.clone();
+        let shared = shared_ports.contains(&key);
+        let mut specs = Vec::new();
+        if shared {
+            // A demand-driven queue has no per-copy address, so v1 cannot
+            // stripe it across processes: require the whole group on one
+            // node when running distributed.
+            let mut nodes: Vec<NodeId> =
+                consumer_nodes.iter().chain(prods.iter()).copied().collect();
+            nodes.sort_unstable();
+            nodes.dedup();
+            if distributed && nodes.len() > 1 {
+                return Err(GraphStorageError::Unsupported(format!(
+                    "shared stream into {name}.{port} spans nodes {nodes:?}: \
+                     demand-driven queues cannot cross process boundaries \
+                     (place the producer and every consumer copy on one node)"
+                )));
+            }
+            specs.push(EndpointSpec {
+                id: next_id,
+                filter: name,
+                in_port: port.clone(),
+                copy: 0,
+                node: nodes[0],
+                shared: true,
+                capacity: graph.channel_capacity,
+                local_producers: prods.len(),
+                remote_producers: Vec::new(),
+            });
+            next_id += 1;
+        } else {
+            for (ci, &node) in consumer_nodes.iter().enumerate() {
+                let (mut local, mut remote) = (0usize, HashMap::<NodeId, usize>::new());
+                for &p in prods {
+                    if !distributed || p == node {
+                        local += 1;
+                    } else {
+                        *remote.entry(p).or_insert(0) += 1;
+                    }
+                }
+                let mut remote_producers: Vec<(NodeId, usize)> = remote.into_iter().collect();
+                remote_producers.sort_unstable();
+                specs.push(EndpointSpec {
+                    id: next_id,
+                    filter: name.clone(),
+                    in_port: port.clone(),
+                    copy: ci,
+                    node,
+                    shared: false,
+                    capacity: graph.channel_capacity,
+                    local_producers: local,
+                    remote_producers,
+                });
+                next_id += 1;
+            }
+        }
+        plans.insert(key, PortPlan { shared, specs });
+    }
+    Ok(plans)
+}
+
+/// Runs a built graph to completion with every node as a thread in this
+/// process — the classic substrate.
+pub fn run(graph: GraphBuilder) -> Result<RunReport> {
+    run_with(graph, &mut InProc::new(), None)
+}
+
+/// Runs only the filter copies placed on `node`, wiring cross-node
+/// streams through `transport` — one call per OS process in a
+/// distributed launch. Every process must build the *same* graph
+/// description (the transport's handshake checks
+/// [`GraphBuilder::topology_signature`]) so all processes derive the
+/// same endpoint ids. The returned report covers this node's copies and
+/// this node's send-side traffic only.
+pub fn run_node(
+    graph: GraphBuilder,
+    node: NodeId,
+    transport: &mut dyn Transport,
+) -> Result<RunReport> {
+    run_with(graph, transport, Some(node))
+}
+
+fn run_with(
+    mut graph: GraphBuilder,
+    transport: &mut dyn Transport,
+    only_node: Option<NodeId>,
+) -> Result<RunReport> {
     // Refuse unverified graphs: a topology the static analysis rejects
     // would at best hang until a stream timeout. Experiments that *want*
-    // the pathological launch opt out via `allow_unverified`.
+    // the pathological launch opt out via `allow_unverified`. Every
+    // process of a distributed run verifies the same full graph.
     if graph.verify_gate {
         if let Err(mut errs) = graph.verify() {
             return Err(GraphStorageError::Verify(errs.remove(0)));
         }
     }
     let stats = NetStats::new();
-    let cap = graph.channel_capacity;
     let telemetry = graph.telemetry.clone();
+    let is_local = |node: NodeId| only_node.is_none_or(|n| n == node);
 
-    // One merged channel set per (consumer filter, in_port): a sender
-    // vector (one per consumer copy) shared by all producers, and a
-    // receiver per copy.
-    type PortKey = (usize, String);
-    let mut senders: HashMap<PortKey, Vec<Sender<DataBuffer>>> = HashMap::new();
-    let mut receivers: HashMap<PortKey, Vec<Receiver<DataBuffer>>> = HashMap::new();
-    let mut shared_ports: std::collections::HashSet<PortKey> = std::collections::HashSet::new();
-    for s in &graph.streams {
-        let key = (s.to, s.in_port.clone());
-        match senders.get(&key) {
-            Some(_) => {
-                // Wiring conflicts (mixed shared/addressed, duplicate
-                // edges, re-connected out ports) are rejected by
-                // `GraphBuilder::connect` at build time.
-                debug_assert_eq!(shared_ports.contains(&key), s.shared);
-            }
-            None => {
-                let copies = graph.filters[s.to].placement.len();
-                if s.shared {
-                    // One MPMC queue; every consumer copy holds a clone of
-                    // the same receiver (crossbeam channels are MPMC).
-                    let (tx, rx) = bounded(cap);
-                    senders.insert(key.clone(), vec![tx]);
-                    receivers.insert(key.clone(), (0..copies).map(|_| rx.clone()).collect());
-                    shared_ports.insert(key);
-                } else {
-                    let mut txs = Vec::with_capacity(copies);
-                    let mut rxs = Vec::with_capacity(copies);
-                    for _ in 0..copies {
-                        let (tx, rx) = bounded(cap);
-                        txs.push(tx);
-                        rxs.push(rx);
-                    }
-                    senders.insert(key.clone(), txs);
-                    receivers.insert(key, rxs);
-                }
-            }
-        }
-    }
+    let plans = plan_endpoints(&graph, only_node)?;
 
-    // Build per-copy contexts, each with its own blocked-time clocks.
+    // Build per-copy contexts (local copies only), each with its own
+    // blocked-time clocks.
     let nfilters = graph.filters.len();
-    let mut contexts: Vec<Vec<FilterContext>> = (0..nfilters)
+    let mut contexts: Vec<Vec<Option<FilterContext>>> = (0..nfilters)
         .map(|fi| {
             let placement = &graph.filters[fi].placement;
             placement
                 .iter()
                 .enumerate()
-                .map(|(ci, &node)| FilterContext {
-                    copy_index: ci,
-                    copies: placement.len(),
-                    node,
-                    inputs: HashMap::new(),
-                    outputs: HashMap::new(),
-                    telemetry: telemetry.clone(),
+                .map(|(ci, &node)| {
+                    is_local(node).then(|| FilterContext {
+                        copy_index: ci,
+                        copies: placement.len(),
+                        node,
+                        inputs: HashMap::new(),
+                        outputs: HashMap::new(),
+                        telemetry: telemetry.clone(),
+                    })
                 })
                 .collect()
         })
@@ -155,31 +250,61 @@ pub fn run(mut graph: GraphBuilder) -> Result<RunReport> {
         })
         .collect();
 
-    // Attach receivers to consumer copies.
-    for ((fi, port), rxs) in receivers {
-        for (ci, rx) in rxs.into_iter().enumerate() {
-            let in_port = InPort {
-                name: port.clone(),
-                rx,
-                clocks: Some(Arc::clone(&clocks[fi][ci])),
-                timeout: graph.stream_timeout,
-                faults: None,
-            };
-            contexts[fi][ci].inputs.insert(port.clone(), in_port);
+    // Open receive endpoints and attach them to local consumer copies —
+    // all endpoints before any sender, so the transport can route local
+    // senders to already-registered queues.
+    let mut keys: Vec<&(usize, String)> = plans.keys().collect();
+    keys.sort();
+    for key in keys {
+        let plan = &plans[key];
+        let (fi, port) = (key.0, key.1.as_str());
+        if plan.shared {
+            let spec = &plan.specs[0];
+            if !is_local(spec.node) {
+                continue;
+            }
+            let master = transport.open_endpoint(spec)?;
+            for (ci, slot) in contexts[fi].iter_mut().enumerate() {
+                let Some(ctx) = slot else { continue };
+                ctx.inputs.insert(
+                    port.to_string(),
+                    InPort {
+                        name: port.to_string(),
+                        rx: master.clone_endpoint(),
+                        clocks: Some(Arc::clone(&clocks[fi][ci])),
+                        timeout: graph.stream_timeout,
+                        faults: None,
+                    },
+                );
+            }
+        } else {
+            for spec in &plan.specs {
+                if !is_local(spec.node) {
+                    continue;
+                }
+                let rx = transport.open_endpoint(spec)?;
+                let ci = spec.copy;
+                if let Some(ctx) = contexts[fi][ci].as_mut() {
+                    ctx.inputs.insert(
+                        port.to_string(),
+                        InPort {
+                            name: port.to_string(),
+                            rx,
+                            clocks: Some(Arc::clone(&clocks[fi][ci])),
+                            timeout: graph.stream_timeout,
+                            faults: None,
+                        },
+                    );
+                }
+            }
         }
     }
 
-    // Attach out ports to producer copies.
+    // Attach out ports to local producer copies: one send endpoint per
+    // (producer copy, consumer endpoint).
     for s in &graph.streams {
         let key = (s.to, s.in_port.clone());
-        let txs = &senders[&key];
-        // Shared queues are charged as remote traffic (a distributed
-        // queue crosses the network by design).
-        let consumer_nodes = if s.shared {
-            vec![usize::MAX]
-        } else {
-            graph.filters[s.to].placement.clone()
-        };
+        let plan = &plans[&key];
         // One occupancy histogram per logical stream, sampled after each
         // send — the backpressure picture per consumer port.
         let queue_depth = if telemetry.is_enabled() {
@@ -190,7 +315,12 @@ pub fn run(mut graph: GraphBuilder) -> Result<RunReport> {
         } else {
             None
         };
-        for ctx in contexts[s.from].iter_mut() {
+        for (ci, slot) in contexts[s.from].iter_mut().enumerate() {
+            let Some(ctx) = slot else { continue };
+            let mut senders = Vec::new();
+            for spec in &plan.specs {
+                senders.push(transport.open_sender(spec)?);
+            }
             // connect() allows listing the same stream only once per
             // out_port, so insertion here cannot clobber a different
             // destination.
@@ -198,12 +328,11 @@ pub fn run(mut graph: GraphBuilder) -> Result<RunReport> {
                 s.out_port.clone(),
                 OutPort {
                     name: s.out_port.clone(),
-                    senders: txs.clone(),
-                    consumer_nodes: consumer_nodes.clone(),
+                    senders,
                     my_node: ctx.node,
                     rr: ctx.copy_index, // Stagger round-robin across copies.
                     stats: Arc::clone(&stats),
-                    clocks: Some(Arc::clone(&clocks[s.from][ctx.copy_index])),
+                    clocks: Some(Arc::clone(&clocks[s.from][ci])),
                     queue_depth: queue_depth.clone(),
                     timeout: graph.stream_timeout,
                     faults: None,
@@ -211,8 +340,10 @@ pub fn run(mut graph: GraphBuilder) -> Result<RunReport> {
             );
         }
     }
-    // Drop the original senders so streams close once producers finish.
-    drop(senders);
+    // Wiring is done: the transport releases its own endpoint handles
+    // (streams then close once producers finish) and synchronizes with
+    // peer processes before any filter runs.
+    transport.start()?;
 
     // Attach per-copy fault-injection state wherever the plan targets a
     // copy (the state is shared by all of the copy's ports and survives
@@ -222,7 +353,8 @@ pub fn run(mut graph: GraphBuilder) -> Result<RunReport> {
         silence_injected_panics();
         let fault_counter = telemetry.metrics.counter("dc.faults_injected");
         for (fi, def) in graph.filters.iter().enumerate() {
-            for (ci, ctx) in contexts[fi].iter_mut().enumerate() {
+            for (ci, slot) in contexts[fi].iter_mut().enumerate() {
+                let Some(ctx) = slot else { continue };
                 let specs = plan.for_copy(&def.name, ci);
                 if specs.is_empty() {
                     continue;
@@ -263,7 +395,8 @@ pub fn run(mut graph: GraphBuilder) -> Result<RunReport> {
     let start = Instant::now();
     let mut handles = Vec::new();
     for (fi, def) in graph.filters.iter().enumerate() {
-        for (ci, ctx) in std::mem::take(&mut contexts[fi]).into_iter().enumerate() {
+        for (ci, slot) in std::mem::take(&mut contexts[fi]).into_iter().enumerate() {
+            let Some(ctx) = slot else { continue };
             let name = format!("{}.{}", def.name, ci);
             // Build the first incarnation on the caller's thread, like the
             // unsupervised runtime did (a factory panic here propagates).
@@ -313,10 +446,18 @@ pub fn run(mut graph: GraphBuilder) -> Result<RunReport> {
             ))),
         }
     }
+    // All local filters joined: flush close notifications to peer
+    // processes and wait for theirs (no-op in-process). Best-effort when
+    // the run already failed.
+    let finish = transport.finish();
+    if errors.is_empty() {
+        finish?;
+    }
     if !errors.is_empty() {
-        // A "hung up" error can only arise after a peer died, and a
-        // timeout is what kills the first filter of a wedged graph — so
-        // crash > timeout > disconnect-cascade as the reported cause.
+        // A "hung up" error can only arise after a peer died, a lost
+        // connection is itself a root cause, and a timeout is what kills
+        // the first filter of a wedged graph — so crash > transport
+        // failure > timeout > disconnect-cascade as the reported cause.
         let root = errors
             .iter()
             .position(|e| {
@@ -324,6 +465,11 @@ pub fn run(mut graph: GraphBuilder) -> Result<RunReport> {
                     e,
                     GraphStorageError::FilterFailed(_) | GraphStorageError::Fault(_)
                 )
+            })
+            .or_else(|| {
+                errors
+                    .iter()
+                    .position(|e| matches!(e, GraphStorageError::Net(_)))
             })
             .or_else(|| {
                 errors
@@ -336,6 +482,9 @@ pub fn run(mut graph: GraphBuilder) -> Result<RunReport> {
     let mut filters = Vec::new();
     for (fi, def) in graph.filters.iter().enumerate() {
         for (ci, &node) in def.placement.iter().enumerate() {
+            if !is_local(node) {
+                continue;
+            }
             let c = &clocks[fi][ci];
             filters.push(FilterTiming {
                 filter: def.name.clone(),
@@ -480,6 +629,7 @@ impl Supervisor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::buffer::DataBuffer;
     use crate::filter::Filter;
     use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -38,6 +38,10 @@ pub enum GraphStorageError {
     FilterFailed(String),
     /// A fault deliberately injected by a `FaultPlan` (chaos testing).
     Fault(String),
+    /// The network transport failed: a peer connection was lost, a frame
+    /// arrived torn, or a handshake was refused. Raised by `mssg-net`
+    /// when logical streams run over real sockets.
+    Net(String),
     /// Static verification rejected the filter graph before launch
     /// (bad wiring or a capacity-starved cycle — see
     /// [`VerifyError`](crate::verify::VerifyError)).
@@ -56,6 +60,7 @@ impl fmt::Display for GraphStorageError {
             GraphStorageError::Timeout(m) => write!(f, "timed out: {m}"),
             GraphStorageError::FilterFailed(m) => write!(f, "filter failed: {m}"),
             GraphStorageError::Fault(m) => write!(f, "injected fault: {m}"),
+            GraphStorageError::Net(m) => write!(f, "network transport: {m}"),
             GraphStorageError::Verify(e) => write!(f, "graph verification failed: {e}"),
         }
     }
@@ -110,9 +115,12 @@ impl GraphStorageError {
                     io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock
                 )
             }
-            // Injected faults and timeouts model transient infrastructure
-            // trouble: the same operation retried can succeed.
-            GraphStorageError::Fault(_) | GraphStorageError::Timeout(_) => true,
+            // Injected faults, timeouts, and lost peer connections model
+            // transient infrastructure trouble: the same operation
+            // retried (or the run re-launched) can succeed.
+            GraphStorageError::Fault(_)
+            | GraphStorageError::Timeout(_)
+            | GraphStorageError::Net(_) => true,
             // Logical/permanent: retrying the same operation re-derives
             // the same failure.
             GraphStorageError::Corrupt(_)
@@ -155,6 +163,7 @@ mod tests {
         assert!(!GraphStorageError::corrupt("x").is_transient());
         assert!(GraphStorageError::Timeout("recv on peers".into()).is_transient());
         assert!(GraphStorageError::Fault("injected send error".into()).is_transient());
+        assert!(GraphStorageError::Net("connection to node 2 lost".into()).is_transient());
         assert!(!GraphStorageError::FilterFailed("store.1 panicked".into()).is_transient());
     }
 
@@ -179,5 +188,7 @@ mod tests {
         assert!(f.to_string().contains("panicked"));
         let i = GraphStorageError::Fault("send error on batches".into());
         assert!(i.to_string().contains("injected fault"));
+        let n = GraphStorageError::Net("connection to node 1 lost".into());
+        assert!(n.to_string().contains("network transport"));
     }
 }

@@ -1,0 +1,203 @@
+//! `mssg-node` — run the distributed ingest→BFS workload as real OS
+//! processes over TCP (or in-process, for comparison).
+//!
+//! ```text
+//! mssg-node launch [workload flags] [--deadline-secs N]
+//!     Parent: spawns one `mssg-node worker` per node on localhost,
+//!     brokers the address exchange, re-prints the workers' result and
+//!     stat lines, and enforces an overall deadline.
+//!
+//! mssg-node worker --node I [workload flags]
+//!     Child: binds 127.0.0.1:0, speaks the launcher stdio protocol,
+//!     runs its share of the graph over TCP.
+//!
+//! mssg-node inproc [workload flags]
+//!     Runs the identical workload on in-process threads and prints the
+//!     same result lines — `diff` its digest against a launch to check
+//!     transport fidelity.
+//! ```
+//!
+//! Workload flags: `--nodes N --vertices V --extra-edges E --seed S
+//! --block B --timeout-secs T --die-at COPY:BLOCKS`.
+
+use mssg_net::launcher::{self, run_cluster};
+use mssg_net::tcp::{TcpOptions, TcpTransport};
+use mssg_net::workload::{self, WorkloadConfig, WorkloadReport};
+use mssg_types::{GraphStorageError, Result};
+use std::net::TcpListener;
+use std::process::{Command, ExitCode};
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(mode) = args.first().map(String::as_str) else {
+        eprintln!("usage: mssg-node <launch|worker|inproc> [flags] (see --help)");
+        return ExitCode::FAILURE;
+    };
+    if mode == "--help" || mode == "-h" || mode == "help" {
+        eprintln!("modes: launch | worker --node I | inproc");
+        eprintln!(
+            "workload flags: --nodes N --vertices V --extra-edges E --seed S \
+             --block B --timeout-secs T --die-at COPY:BLOCKS; launch adds --deadline-secs N"
+        );
+        return ExitCode::SUCCESS;
+    }
+    let result = match mode {
+        "launch" => launch(&args[1..]),
+        "worker" => worker(&args[1..]),
+        "inproc" => inproc(&args[1..]),
+        other => Err(GraphStorageError::Unsupported(format!(
+            "unknown mode {other:?} (want launch, worker, or inproc)"
+        ))),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            if mode == "worker" {
+                // Parent reads this off our stdout; stderr is pass-through.
+                launcher::report_error(&e.to_string());
+            }
+            eprintln!("mssg-node {mode}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// One `--flag value` pair out of `args`, parsed.
+fn flag<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>> {
+    let Some(pos) = args.iter().position(|a| a == name) else {
+        return Ok(None);
+    };
+    let value = args
+        .get(pos + 1)
+        .ok_or_else(|| GraphStorageError::Unsupported(format!("flag {name} needs a value")))?;
+    value
+        .parse::<T>()
+        .map(Some)
+        .map_err(|_| GraphStorageError::Unsupported(format!("flag {name}: cannot parse {value:?}")))
+}
+
+fn workload_config(args: &[String]) -> Result<WorkloadConfig> {
+    let mut cfg = WorkloadConfig::default();
+    if let Some(n) = flag(args, "--nodes")? {
+        cfg.nodes = n;
+    }
+    if let Some(v) = flag(args, "--vertices")? {
+        cfg.vertices = v;
+    }
+    if let Some(e) = flag(args, "--extra-edges")? {
+        cfg.extra_edges = e;
+    }
+    if let Some(s) = flag(args, "--seed")? {
+        cfg.seed = s;
+    }
+    if let Some(b) = flag(args, "--block")? {
+        cfg.block = b;
+    }
+    if let Some(t) = flag(args, "--timeout-secs")? {
+        cfg.stream_timeout = Duration::from_secs(t);
+    }
+    if let Some(spec) = flag::<String>(args, "--die-at")? {
+        let (copy, blocks) = spec.split_once(':').ok_or_else(|| {
+            GraphStorageError::Unsupported(format!("--die-at wants COPY:BLOCKS, got {spec:?}"))
+        })?;
+        cfg.die_at = Some((
+            copy.parse().map_err(|_| {
+                GraphStorageError::Unsupported(format!("--die-at copy: cannot parse {copy:?}"))
+            })?,
+            blocks.parse().map_err(|_| {
+                GraphStorageError::Unsupported(format!("--die-at blocks: cannot parse {blocks:?}"))
+            })?,
+        ));
+    }
+    Ok(cfg)
+}
+
+fn print_report(report: &WorkloadReport) {
+    println!(
+        "MSSG-NODE-RESULT digest={:016x} visited={} rounds={}",
+        report.digest,
+        report.levels.len(),
+        report.rounds
+    );
+    println!(
+        "MSSG-NODE-STAT edges={} ingest_secs={:.6} bfs_secs={:.6} ingest_eps={:.0} bfs_eps={:.0}",
+        report.edges,
+        report.ingest_secs,
+        report.bfs_secs,
+        report.ingest_edges_per_sec(),
+        report.bfs_edges_per_sec(),
+    );
+}
+
+fn launch(args: &[String]) -> Result<()> {
+    let cfg = workload_config(args)?;
+    let deadline = Duration::from_secs(flag(args, "--deadline-secs")?.unwrap_or(120));
+    let exe = std::env::current_exe().map_err(GraphStorageError::Io)?;
+    let commands: Vec<Command> = (0..cfg.nodes)
+        .map(|node| {
+            let mut cmd = Command::new(&exe);
+            cmd.arg("worker").arg("--node").arg(node.to_string());
+            for carry in [
+                "--nodes",
+                "--vertices",
+                "--extra-edges",
+                "--seed",
+                "--block",
+                "--timeout-secs",
+                "--die-at",
+            ] {
+                if let Some(pos) = args.iter().position(|a| a == carry) {
+                    if let Some(value) = args.get(pos + 1) {
+                        cmd.arg(carry).arg(value);
+                    }
+                }
+            }
+            cmd
+        })
+        .collect();
+    let out = run_cluster(commands, deadline)?;
+    // Surface the workers' reports as our own output.
+    for line in out.lines.iter().flatten() {
+        println!("{line}");
+    }
+    Ok(())
+}
+
+fn worker(args: &[String]) -> Result<()> {
+    let cfg = workload_config(args)?;
+    let node: usize = flag(args, "--node")?
+        .ok_or_else(|| GraphStorageError::Unsupported("worker mode needs --node I".into()))?;
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(GraphStorageError::Io)?;
+    let addr = listener
+        .local_addr()
+        .map_err(GraphStorageError::Io)?
+        .to_string();
+    let peers = launcher::announce_and_gather(&addr)?;
+    if peers.len() != cfg.nodes {
+        return Err(GraphStorageError::Net(format!(
+            "launcher sent {} peer addresses for a {}-node workload",
+            peers.len(),
+            cfg.nodes
+        )));
+    }
+    let (graph, _) = workload::build(&cfg, mssg_obs::Telemetry::disabled())?;
+    let topology = graph.topology_signature();
+    let opts = TcpOptions {
+        io_timeout: cfg.stream_timeout,
+        dial_timeout: cfg.stream_timeout,
+        ..TcpOptions::default()
+    };
+    let mut transport = TcpTransport::establish(node, listener, &peers, topology, opts)?;
+    if let Some(report) = workload::run_node(&cfg, node, &mut transport)? {
+        print_report(&report);
+    }
+    Ok(())
+}
+
+fn inproc(args: &[String]) -> Result<()> {
+    let cfg = workload_config(args)?;
+    let report = workload::run_inproc(&cfg, mssg_obs::Telemetry::disabled())?;
+    print_report(&report);
+    Ok(())
+}

@@ -1,0 +1,1172 @@
+//! [`TcpTransport`]: DataCutter logical streams over real sockets.
+//!
+//! One TCP connection per node pair (node *i* dials every *j < i* and
+//! accepts from every *j > i*), with all logical streams multiplexed
+//! over it as [`Frame`]s. Each connection opens with a HELLO exchange
+//! validating the wire version and the graph *topology signature*, so
+//! two processes running different graph descriptions refuse to talk
+//! instead of misrouting frames.
+//!
+//! ## Credit-based flow control
+//!
+//! The in-process substrate gets backpressure for free from bounded
+//! channels, and the verifier's deadlock analysis *assumes* those
+//! bounds. Sockets would break that: a fast producer could buffer
+//! unboundedly in the kernel. So every remote stream carries explicit
+//! credit — the sending process holds `capacity` credits per stream,
+//! spends one per DATA frame, and gets them back as the consumer pops
+//! buffers. A producer out of credit blocks exactly like a producer
+//! facing a full channel (`net.credit_stalls` counts these). The
+//! receive-side demux queue is sized `capacity × producer-nodes`, so a
+//! conforming peer can never block the connection's reader thread —
+//! a full demux queue is a protocol violation, not backpressure.
+//!
+//! ## Close accounting
+//!
+//! Every producer copy's send handle has one close identity (clones for
+//! supervised restarts share it, so a restart never double-closes); its
+//! last drop sends CLOSE. The consumer counts expected closes per
+//! producer node and hangs up the merged stream when all arrive —
+//! mirroring how dropping every in-process sender disconnects a
+//! channel. A consumer that quits early broadcasts EP_CLOSED so remote
+//! producers observe "consumer hung up" just like a dropped receiver.
+//!
+//! ## Failure mapping
+//!
+//! EOF without a BYE frame, a torn frame, or any socket error marks the
+//! transport *dead*: every blocked send and recv wakes and returns a
+//! typed [`GraphStorageError::Net`] — a killed peer becomes an error,
+//! never a hang.
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender};
+use datacutter::{
+    ChannelRx, ChannelTx, DataBuffer, EndpointSpec, NodeId, RecvOutcome, RxEndpoint, SendOutcome,
+    Transport, TxEndpoint, SHARED_NODE,
+};
+use mssg_obs::{Counter, Telemetry};
+use mssg_types::{GraphStorageError, Result};
+use std::collections::{HashMap, HashSet};
+use std::io::ErrorKind;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::wire::{read_frame, write_frame, Frame, FrameKind, FRAME_OVERHEAD};
+
+/// Tuning for [`TcpTransport::establish`].
+#[derive(Clone)]
+pub struct TcpOptions {
+    /// Deadline for the handshake, the READY barrier in `start`, and the
+    /// BYE drain in `finish`. A peer that stays silent past this long at
+    /// a synchronization point is reported dead.
+    pub io_timeout: Duration,
+    /// Retry window for dialing peers (and accepting their dials) while
+    /// the cluster boots.
+    pub dial_timeout: Duration,
+    /// Telemetry sink for `net.*` counters and connect/handshake spans.
+    pub telemetry: Telemetry,
+}
+
+impl Default for TcpOptions {
+    fn default() -> TcpOptions {
+        TcpOptions {
+            io_timeout: Duration::from_secs(10),
+            dial_timeout: Duration::from_secs(10),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+}
+
+/// Sender-side flow-control window for one remote stream: starts at the
+/// stream's channel capacity, spends one per DATA frame, refills on
+/// CREDIT frames.
+struct CreditCell {
+    state: Mutex<CreditState>,
+    cv: Condvar,
+    capacity: u64,
+}
+
+struct CreditState {
+    avail: u64,
+    /// Consumer endpoint is gone (EP_CLOSED): sends return `Closed`.
+    closed: bool,
+    /// Transport failed: sends return `Failed`.
+    dead: bool,
+}
+
+enum Acquire {
+    Got,
+    TimedOut,
+    Closed,
+    Dead,
+}
+
+impl CreditCell {
+    fn new(capacity: u64) -> CreditCell {
+        CreditCell {
+            state: Mutex::new(CreditState {
+                avail: capacity,
+                closed: false,
+                dead: false,
+            }),
+            cv: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn acquire(&self, timeout: Option<Duration>, stalls: &Counter) -> Acquire {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut st = self.state.lock().unwrap();
+        let mut stalled = false;
+        loop {
+            if st.dead {
+                return Acquire::Dead;
+            }
+            if st.closed {
+                return Acquire::Closed;
+            }
+            if st.avail > 0 {
+                st.avail -= 1;
+                return Acquire::Got;
+            }
+            if !stalled {
+                stalls.inc();
+                stalled = true;
+            }
+            match deadline {
+                None => st = self.cv.wait(st).unwrap(),
+                Some(d) => {
+                    let Some(left) = d
+                        .checked_duration_since(Instant::now())
+                        .filter(|x| !x.is_zero())
+                    else {
+                        return Acquire::TimedOut;
+                    };
+                    st = self.cv.wait_timeout(st, left).unwrap().0;
+                }
+            }
+        }
+    }
+
+    fn grant(&self, n: u64) {
+        self.state.lock().unwrap().avail += n;
+        self.cv.notify_all();
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.cv.notify_all();
+    }
+
+    fn poison(&self) {
+        self.state.lock().unwrap().dead = true;
+        self.cv.notify_all();
+    }
+
+    /// Buffers currently in flight to the consumer (spent credit).
+    fn in_flight(&self) -> usize {
+        let st = self.state.lock().unwrap();
+        (self.capacity - st.avail.min(self.capacity)) as usize
+    }
+}
+
+/// Receive-side state for one local endpoint fed by remote producers.
+struct Route {
+    /// Demux sender into the endpoint's remote queue; dropped once every
+    /// expected CLOSE has arrived, which disconnects the merged stream.
+    tx: Option<Sender<(DataBuffer, NodeId)>>,
+    /// CLOSE frames still expected, per producer node.
+    pending_closes: HashMap<NodeId, usize>,
+    /// The consumer endpoint was dropped early: drop frames, refund
+    /// credit.
+    consumers_gone: bool,
+}
+
+struct Ctrl {
+    ready_from: HashSet<NodeId>,
+    bye_from: HashSet<NodeId>,
+    /// First fatal transport error; set once, observed everywhere.
+    dead: Option<String>,
+}
+
+/// State shared between the transport handle, its endpoints, and the
+/// per-connection reader threads.
+struct Shared {
+    my_node: NodeId,
+    /// Write half of the connection to each node (`None` at `my_node`).
+    writers: Vec<Option<Mutex<TcpStream>>>,
+    routes: Mutex<HashMap<u32, Route>>,
+    credits: Mutex<HashMap<u32, Arc<CreditCell>>>,
+    ctrl: Mutex<Ctrl>,
+    ctrl_cv: Condvar,
+    frames: Counter,
+    bytes: Counter,
+    credit_stalls: Counter,
+}
+
+impl Shared {
+    fn send_frame(&self, node: NodeId, frame: &Frame) -> Result<()> {
+        let writer = self
+            .writers
+            .get(node)
+            .and_then(|w| w.as_ref())
+            .ok_or_else(|| {
+                GraphStorageError::Net(format!(
+                    "node {} has no connection to node {node}",
+                    self.my_node
+                ))
+            })?;
+        let mut stream = writer.lock().unwrap();
+        write_frame(&mut *stream, frame)
+            .map_err(|e| GraphStorageError::Net(format!("writing to node {node} failed: {e}")))?;
+        self.frames.inc();
+        self.bytes.add(frame.wire_len() as u64);
+        Ok(())
+    }
+
+    /// Marks the transport dead and wakes everything blocked on it.
+    fn fail(&self, msg: String) {
+        {
+            let mut ctrl = self.ctrl.lock().unwrap();
+            if ctrl.dead.is_none() {
+                ctrl.dead = Some(msg);
+            }
+        }
+        self.ctrl_cv.notify_all();
+        for cell in self.credits.lock().unwrap().values() {
+            cell.poison();
+        }
+        // Dropping the demux senders wakes receivers blocked on remote
+        // queues; they observe `dead` before reporting the close.
+        for route in self.routes.lock().unwrap().values_mut() {
+            route.tx = None;
+        }
+    }
+
+    fn dead(&self) -> Option<GraphStorageError> {
+        self.ctrl
+            .lock()
+            .unwrap()
+            .dead
+            .clone()
+            .map(GraphStorageError::Net)
+    }
+}
+
+/// [`Transport`] carrying streams between one OS process per node over
+/// TCP. Build with [`TcpTransport::establish`], then hand to
+/// [`datacutter::run_node`].
+pub struct TcpTransport {
+    shared: Arc<Shared>,
+    my_node: NodeId,
+    n_nodes: usize,
+    io_timeout: Duration,
+    /// Master senders of purely/partially local endpoints, dropped at
+    /// `start` exactly like `InProc`.
+    masters: HashMap<u64, (Sender<DataBuffer>, NodeId)>,
+}
+
+impl TcpTransport {
+    /// Connects this node to every peer and runs the HELLO handshake.
+    ///
+    /// `listener` is this node's own accept socket (its address is what
+    /// the launcher advertised to peers); `peer_addrs[j]` is node `j`'s
+    /// address (the entry at `my_node` is ignored). `topology` must be
+    /// the [`GraphBuilder::topology_signature`] of the graph every
+    /// process is about to run.
+    ///
+    /// [`GraphBuilder::topology_signature`]: datacutter::GraphBuilder::topology_signature
+    pub fn establish(
+        my_node: NodeId,
+        listener: TcpListener,
+        peer_addrs: &[String],
+        topology: u64,
+        opts: TcpOptions,
+    ) -> Result<TcpTransport> {
+        let n = peer_addrs.len();
+        if my_node >= n {
+            return Err(GraphStorageError::Unsupported(format!(
+                "node {my_node} outside the {n}-address peer list"
+            )));
+        }
+        let telemetry = &opts.telemetry;
+        let hello = Frame::hello(my_node as u32, topology);
+        let mut conns: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+
+        // Dial every lower-numbered peer (they accept from us). Retry
+        // while the cluster boots: our peer may not be listening yet.
+        for (j, addr) in peer_addrs.iter().enumerate().take(my_node) {
+            let _span = telemetry
+                .tracer
+                .span("net.connect")
+                .with("peer", j as u64)
+                .with_str("addr", addr);
+            let mut stream = dial(addr, j, opts.dial_timeout)?;
+            handshake(&mut stream, &hello, Some(j), topology, &opts)?;
+            conns[j] = Some(stream);
+        }
+
+        // Accept every higher-numbered peer, bounded so a peer that died
+        // before dialing cannot hang us.
+        let mut need = n - 1 - my_node;
+        if need > 0 {
+            listener.set_nonblocking(true).map_err(net_io)?;
+            let deadline = Instant::now() + opts.dial_timeout;
+            while need > 0 {
+                match listener.accept() {
+                    Ok((mut stream, _)) => {
+                        stream.set_nonblocking(false).map_err(net_io)?;
+                        let peer = handshake(&mut stream, &hello, None, topology, &opts)?;
+                        if peer <= my_node || peer >= n {
+                            return Err(GraphStorageError::Net(format!(
+                                "node {peer} dialed node {my_node}, which only accepts from nodes {}..{}",
+                                my_node + 1,
+                                n
+                            )));
+                        }
+                        if conns[peer].is_some() {
+                            return Err(GraphStorageError::Net(format!(
+                                "node {peer} connected twice"
+                            )));
+                        }
+                        conns[peer] = Some(stream);
+                        need -= 1;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        if Instant::now() >= deadline {
+                            return Err(GraphStorageError::Net(format!(
+                                "{need} peer(s) never dialed node {my_node} within {:?}",
+                                opts.dial_timeout
+                            )));
+                        }
+                        thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) => return Err(net_io(e)),
+                }
+            }
+        }
+
+        let shared = Arc::new(Shared {
+            my_node,
+            writers: conns
+                .iter()
+                .map(|c| {
+                    c.as_ref()
+                        .map(|s| s.try_clone().map(Mutex::new))
+                        .transpose()
+                })
+                .collect::<std::io::Result<_>>()
+                .map_err(net_io)?,
+            routes: Mutex::new(HashMap::new()),
+            credits: Mutex::new(HashMap::new()),
+            ctrl: Mutex::new(Ctrl {
+                ready_from: HashSet::new(),
+                bye_from: HashSet::new(),
+                dead: None,
+            }),
+            ctrl_cv: Condvar::new(),
+            frames: telemetry.metrics.counter("net.frames"),
+            bytes: telemetry.metrics.counter("net.bytes"),
+            credit_stalls: telemetry.metrics.counter("net.credit_stalls"),
+        });
+        // The handshake already put one HELLO per peer on the wire.
+        shared.frames.add((n - 1) as u64);
+        shared.bytes.add((n - 1) as u64 * hello.wire_len() as u64);
+
+        // One reader thread per connection demultiplexes frames into
+        // routes, credit cells, and the control barrier.
+        for (peer, conn) in conns.into_iter().enumerate() {
+            let Some(stream) = conn else { continue };
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name(format!("net-rx-{my_node}-{peer}"))
+                .spawn(move || reader_loop(&shared, peer, stream))
+                .map_err(GraphStorageError::Io)?;
+        }
+
+        Ok(TcpTransport {
+            shared,
+            my_node,
+            n_nodes: n,
+            io_timeout: opts.io_timeout,
+            masters: HashMap::new(),
+        })
+    }
+
+    fn peers(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n_nodes).filter(move |&j| j != self.my_node)
+    }
+
+    /// Waits until `pick` is satisfied on the control state or the
+    /// deadline passes; `what` names the wait in the timeout error.
+    fn await_ctrl(&self, what: &str, pick: impl Fn(&Ctrl) -> bool, timeout_ok: bool) -> Result<()> {
+        let deadline = Instant::now() + self.io_timeout;
+        let mut ctrl = self.shared.ctrl.lock().unwrap();
+        loop {
+            if let Some(msg) = &ctrl.dead {
+                return Err(GraphStorageError::Net(msg.clone()));
+            }
+            if pick(&ctrl) {
+                return Ok(());
+            }
+            let Some(left) = deadline
+                .checked_duration_since(Instant::now())
+                .filter(|d| !d.is_zero())
+            else {
+                if timeout_ok {
+                    return Ok(());
+                }
+                return Err(GraphStorageError::Net(format!(
+                    "peers never reached {what} within {:?}",
+                    self.io_timeout
+                )));
+            };
+            ctrl = self.shared.ctrl_cv.wait_timeout(ctrl, left).unwrap().0;
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn open_endpoint(&mut self, spec: &EndpointSpec) -> Result<Box<dyn RxEndpoint>> {
+        if spec.node != self.my_node {
+            return Err(GraphStorageError::Unsupported(format!(
+                "endpoint {}.{} belongs to node {}, not node {}",
+                spec.filter, spec.in_port, spec.node, self.my_node
+            )));
+        }
+        if spec.remote_producers.is_empty() {
+            // Purely local (all shared queues land here: the planner
+            // restricts distributed shared streams to one node). Exact
+            // InProc behavior.
+            let (tx, rx) = bounded(spec.capacity);
+            let dst = if spec.shared { SHARED_NODE } else { spec.node };
+            self.masters.insert(spec.id, (tx, dst));
+            return Ok(Box::new(ChannelRx::new(rx)));
+        }
+        let stream = stream_id(spec)?;
+        let local_rx = if spec.local_producers > 0 {
+            let (tx, rx) = bounded(spec.capacity);
+            self.masters.insert(spec.id, (tx, spec.node));
+            Some(rx)
+        } else {
+            None
+        };
+        let peers: Vec<NodeId> = spec
+            .remote_producers
+            .iter()
+            .map(|&(node, _)| node)
+            .collect();
+        // Sized so that conforming producers (≤ capacity outstanding
+        // frames per node) can never fill it: the reader thread's
+        // non-blocking demux push must always succeed.
+        let (demux_tx, demux_rx) = bounded(spec.capacity * peers.len());
+        self.shared.routes.lock().unwrap().insert(
+            stream,
+            Route {
+                tx: Some(demux_tx),
+                pending_closes: spec.remote_producers.iter().copied().collect(),
+                consumers_gone: false,
+            },
+        );
+        Ok(Box::new(NetRx {
+            inner: Arc::new(RxInner {
+                stream,
+                local_rx,
+                remote_rx: demux_rx,
+                peers,
+                shared: Arc::clone(&self.shared),
+                local_done: AtomicBool::new(false),
+                remote_done: AtomicBool::new(false),
+            }),
+        }))
+    }
+
+    fn open_sender(&mut self, spec: &EndpointSpec) -> Result<Box<dyn TxEndpoint>> {
+        if spec.node == self.my_node {
+            // Consumer co-located: a plain channel clone, as in-process.
+            let (tx, dst) = self.masters.get(&spec.id).ok_or_else(|| {
+                GraphStorageError::Unsupported(format!(
+                    "no endpoint {} ({}.{}) opened before its sender",
+                    spec.id, spec.filter, spec.in_port
+                ))
+            })?;
+            return Ok(Box::new(ChannelTx::new(tx.clone(), *dst)));
+        }
+        let stream = stream_id(spec)?;
+        let cell = Arc::clone(
+            self.shared
+                .credits
+                .lock()
+                .unwrap()
+                .entry(stream)
+                .or_insert_with(|| Arc::new(CreditCell::new(spec.capacity as u64))),
+        );
+        Ok(Box::new(TcpTx {
+            inner: Arc::new(TxInner {
+                stream,
+                dst: spec.node,
+                cell,
+                shared: Arc::clone(&self.shared),
+            }),
+        }))
+    }
+
+    fn start(&mut self) -> Result<()> {
+        // Release the master senders (streams close once producer-held
+        // clones drop), then barrier: no DATA may reach a peer before it
+        // has registered every route, which it signals with READY.
+        self.masters.clear();
+        let ready = Frame::control(FrameKind::Ready, 0);
+        for peer in self.peers().collect::<Vec<_>>() {
+            self.shared.send_frame(peer, &ready)?;
+        }
+        let want = self.n_nodes - 1;
+        self.await_ctrl("the READY barrier", |c| c.ready_from.len() == want, false)
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        // Tell every peer our run is complete — after this, our EOF is a
+        // clean close — then give them a bounded window to say the same.
+        // Missing BYEs after the window are forgiven (best-effort), but a
+        // transport death is not: a peer that died mid-run must surface
+        // even when every local filter finished first.
+        let bye = Frame::control(FrameKind::Bye, 0);
+        for peer in self.peers().collect::<Vec<_>>() {
+            let _ = self.shared.send_frame(peer, &bye);
+        }
+        let want = self.n_nodes - 1;
+        let outcome = self.await_ctrl("BYE exchange", |c| c.bye_from.len() == want, true);
+        // Half-close every connection so peer reader threads see EOF (a
+        // clean one — our BYE precedes it) instead of blocking forever.
+        for writer in self.shared.writers.iter().flatten() {
+            let _ = writer.lock().unwrap().shutdown(std::net::Shutdown::Write);
+        }
+        outcome
+    }
+}
+
+fn stream_id(spec: &EndpointSpec) -> Result<u32> {
+    u32::try_from(spec.id).map_err(|_| {
+        GraphStorageError::Unsupported(format!("stream id {} exceeds the wire format", spec.id))
+    })
+}
+
+fn net_io(e: std::io::Error) -> GraphStorageError {
+    GraphStorageError::Net(e.to_string())
+}
+
+fn dial(addr: &str, peer: NodeId, window: Duration) -> Result<TcpStream> {
+    let deadline = Instant::now() + window;
+    let mut pause = Duration::from_millis(2);
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(GraphStorageError::Net(format!(
+                        "dialing node {peer} at {addr} failed for {window:?}: {e}"
+                    )));
+                }
+                thread::sleep(pause);
+                pause = (pause * 2).min(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+/// Sends our HELLO, reads and validates the peer's. Returns the peer's
+/// node id.
+fn handshake(
+    stream: &mut TcpStream,
+    hello: &Frame,
+    expect: Option<NodeId>,
+    topology: u64,
+    opts: &TcpOptions,
+) -> Result<NodeId> {
+    let _span = opts.telemetry.tracer.span("net.handshake");
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(opts.io_timeout))
+        .map_err(net_io)?;
+    write_frame(stream, hello).map_err(net_io)?;
+    let frame = read_frame(stream)?.ok_or_else(|| {
+        GraphStorageError::Net("peer closed the connection during the handshake".into())
+    })?;
+    let (peer, their_topology) = frame.parse_hello()?;
+    let peer = peer as NodeId;
+    if their_topology != topology {
+        return Err(GraphStorageError::Net(format!(
+            "graph topology mismatch: node {peer} runs signature {their_topology:#x}, \
+             this node runs {topology:#x} — all processes must be launched from the \
+             same graph description"
+        )));
+    }
+    if expect.is_some_and(|want| want != peer) {
+        return Err(GraphStorageError::Net(format!(
+            "dialed node {} but node {peer} answered",
+            expect.unwrap()
+        )));
+    }
+    stream.set_read_timeout(None).map_err(net_io)?;
+    Ok(peer)
+}
+
+fn reader_loop(shared: &Shared, peer: NodeId, mut stream: TcpStream) {
+    loop {
+        match read_frame(&mut stream) {
+            Ok(Some(frame)) => {
+                if let Err(msg) = dispatch(shared, peer, frame) {
+                    shared.fail(msg);
+                    return;
+                }
+            }
+            Ok(None) => {
+                let clean = shared.ctrl.lock().unwrap().bye_from.contains(&peer);
+                if !clean {
+                    shared.fail(format!(
+                        "connection to node {peer} closed without BYE (peer process died?)"
+                    ));
+                }
+                return;
+            }
+            Err(e) => {
+                // A reset after the peer's BYE (or once the transport is
+                // already dead) is teardown noise, not a new failure.
+                let quiet = {
+                    let ctrl = shared.ctrl.lock().unwrap();
+                    ctrl.bye_from.contains(&peer) || ctrl.dead.is_some()
+                };
+                if !quiet {
+                    shared.fail(format!("reading from node {peer}: {e}"));
+                }
+                return;
+            }
+        }
+    }
+}
+
+fn dispatch(shared: &Shared, peer: NodeId, frame: Frame) -> std::result::Result<(), String> {
+    match frame.kind {
+        FrameKind::Data => {
+            let buf = DataBuffer::new(frame.tag, frame.payload);
+            let mut routes = shared.routes.lock().unwrap();
+            let Some(route) = routes.get_mut(&frame.stream) else {
+                return Err(format!(
+                    "DATA on unknown stream {} from node {peer}",
+                    frame.stream
+                ));
+            };
+            let refund = match &route.tx {
+                _ if route.consumers_gone => true,
+                None => true,
+                Some(tx) => match tx.send_timeout((buf, peer), Duration::ZERO) {
+                    Ok(()) => false,
+                    Err(SendTimeoutError::Timeout(_)) => {
+                        return Err(format!(
+                            "credit protocol violation: node {peer} overran stream {}",
+                            frame.stream
+                        ));
+                    }
+                    Err(SendTimeoutError::Disconnected(_)) => {
+                        route.consumers_gone = true;
+                        true
+                    }
+                },
+            };
+            drop(routes);
+            if refund {
+                // Consumer is gone: hand the credit straight back and make
+                // sure the producer knows to stop.
+                let _ = shared.send_frame(peer, &Frame::credit(frame.stream, 1));
+                let _ = shared.send_frame(peer, &Frame::control(FrameKind::EpClosed, frame.stream));
+            }
+            Ok(())
+        }
+        FrameKind::Credit => {
+            let amount = frame.parse_credit().map_err(|e| e.to_string())?;
+            if let Some(cell) = shared.credits.lock().unwrap().get(&frame.stream) {
+                cell.grant(amount as u64);
+            }
+            Ok(())
+        }
+        FrameKind::Close => {
+            let mut routes = shared.routes.lock().unwrap();
+            let Some(route) = routes.get_mut(&frame.stream) else {
+                return Err(format!(
+                    "CLOSE on unknown stream {} from node {peer}",
+                    frame.stream
+                ));
+            };
+            match route.pending_closes.get_mut(&peer) {
+                Some(left) if *left > 0 => *left -= 1,
+                _ => {
+                    return Err(format!(
+                        "unexpected CLOSE on stream {} from node {peer}",
+                        frame.stream
+                    ));
+                }
+            }
+            if route.pending_closes.values().all(|&left| left == 0) {
+                // Last producer copy is done: drop the demux sender so the
+                // merged stream disconnects once drained.
+                route.tx = None;
+            }
+            Ok(())
+        }
+        FrameKind::EpClosed => {
+            if let Some(cell) = shared.credits.lock().unwrap().get(&frame.stream) {
+                cell.close();
+            }
+            Ok(())
+        }
+        FrameKind::Ready => {
+            shared.ctrl.lock().unwrap().ready_from.insert(peer);
+            shared.ctrl_cv.notify_all();
+            Ok(())
+        }
+        FrameKind::Bye => {
+            shared.ctrl.lock().unwrap().bye_from.insert(peer);
+            shared.ctrl_cv.notify_all();
+            Ok(())
+        }
+        FrameKind::Hello => Err(format!("unexpected HELLO from node {peer} after handshake")),
+    }
+}
+
+/// Receive endpoint merging a local channel (co-located producers) with
+/// the credit-bounded demux queue (remote producers).
+struct RxInner {
+    stream: u32,
+    local_rx: Option<Receiver<DataBuffer>>,
+    remote_rx: Receiver<(DataBuffer, NodeId)>,
+    /// Remote producer nodes, told EP_CLOSED when this endpoint drops.
+    peers: Vec<NodeId>,
+    shared: Arc<Shared>,
+    local_done: AtomicBool,
+    remote_done: AtomicBool,
+}
+
+struct NetRx {
+    inner: Arc<RxInner>,
+}
+
+impl RxInner {
+    /// Pops the next buffer without blocking, returning the credit for
+    /// remote buffers to their origin node.
+    fn poll(&self) -> std::result::Result<DataBuffer, (bool, bool)> {
+        use crossbeam::channel::TryRecvError;
+        let mut local_open = false;
+        if let Some(rx) = &self.local_rx {
+            if !self.local_done.load(Ordering::Relaxed) {
+                match rx.try_recv() {
+                    Ok(buf) => return Ok(buf),
+                    Err(TryRecvError::Empty) => local_open = true,
+                    Err(TryRecvError::Disconnected) => {
+                        self.local_done.store(true, Ordering::Relaxed)
+                    }
+                }
+            }
+        }
+        let mut remote_open = false;
+        if !self.remote_done.load(Ordering::Relaxed) {
+            match self.remote_rx.try_recv() {
+                Ok((buf, origin)) => {
+                    let _ = self
+                        .shared
+                        .send_frame(origin, &Frame::credit(self.stream, 1));
+                    return Ok(buf);
+                }
+                Err(TryRecvError::Empty) => remote_open = true,
+                Err(TryRecvError::Disconnected) => self.remote_done.store(true, Ordering::Relaxed),
+            }
+        }
+        Err((local_open, remote_open))
+    }
+}
+
+impl RxEndpoint for NetRx {
+    fn recv(&self, timeout: Option<Duration>) -> RecvOutcome {
+        let inner = &self.inner;
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut idle = 0u32;
+        loop {
+            if let Some(e) = inner.shared.dead() {
+                return RecvOutcome::Failed(e);
+            }
+            let (local_open, remote_open) = match inner.poll() {
+                Ok(buf) => return RecvOutcome::Buf(buf),
+                Err(open) => open,
+            };
+            if !local_open && !remote_open {
+                return RecvOutcome::Closed;
+            }
+            let slice = match deadline {
+                Some(d) => {
+                    let Some(left) = d
+                        .checked_duration_since(Instant::now())
+                        .filter(|x| !x.is_zero())
+                    else {
+                        return RecvOutcome::TimedOut;
+                    };
+                    left.min(Duration::from_millis(25))
+                }
+                None => Duration::from_millis(25),
+            };
+            if local_open && remote_open {
+                // Two live sources: poll with a short backoff so neither
+                // starves the other.
+                idle += 1;
+                thread::sleep(
+                    Duration::from_micros(200)
+                        .saturating_mul(idle)
+                        .min(Duration::from_millis(2)),
+                );
+                continue;
+            }
+            idle = 0;
+            // One live source: block on it in slices, re-checking `dead`
+            // between slices so a transport failure wakes us promptly.
+            if local_open {
+                let rx = inner
+                    .local_rx
+                    .as_ref()
+                    .expect("local_open implies local_rx");
+                match rx.recv_timeout(slice) {
+                    Ok(buf) => return RecvOutcome::Buf(buf),
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => {
+                        inner.local_done.store(true, Ordering::Relaxed)
+                    }
+                }
+            } else {
+                match inner.remote_rx.recv_timeout(slice) {
+                    Ok((buf, origin)) => {
+                        let _ = inner
+                            .shared
+                            .send_frame(origin, &Frame::credit(inner.stream, 1));
+                        return RecvOutcome::Buf(buf);
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => {
+                        inner.remote_done.store(true, Ordering::Relaxed)
+                    }
+                }
+            }
+        }
+    }
+
+    fn try_recv(&self) -> Option<DataBuffer> {
+        self.inner.poll().ok()
+    }
+
+    fn clone_endpoint(&self) -> Box<dyn RxEndpoint> {
+        Box::new(NetRx {
+            inner: Arc::clone(&self.inner),
+        })
+    }
+}
+
+impl Drop for RxInner {
+    fn drop(&mut self) {
+        // The consumer endpoint is gone (normally at end of run, possibly
+        // early). Stop routing to it and tell remote producers, so their
+        // sends observe "consumer hung up" like a dropped channel.
+        {
+            let mut routes = self.shared.routes.lock().unwrap();
+            if let Some(route) = routes.get_mut(&self.stream) {
+                route.consumers_gone = true;
+                route.tx = None;
+            }
+        }
+        for &peer in &self.peers {
+            let _ = self
+                .shared
+                .send_frame(peer, &Frame::control(FrameKind::EpClosed, self.stream));
+        }
+    }
+}
+
+/// One producer copy's handle onto a remote stream. Clones share the
+/// close identity: CLOSE goes on the wire when the last clone drops.
+struct TxInner {
+    stream: u32,
+    dst: NodeId,
+    cell: Arc<CreditCell>,
+    shared: Arc<Shared>,
+}
+
+struct TcpTx {
+    inner: Arc<TxInner>,
+}
+
+impl Drop for TxInner {
+    fn drop(&mut self) {
+        let _ = self
+            .shared
+            .send_frame(self.dst, &Frame::control(FrameKind::Close, self.stream));
+    }
+}
+
+impl TxEndpoint for TcpTx {
+    fn send(&self, buf: DataBuffer, timeout: Option<Duration>) -> SendOutcome {
+        let inner = &self.inner;
+        match inner.cell.acquire(timeout, &inner.shared.credit_stalls) {
+            Acquire::Got => {}
+            Acquire::TimedOut => return SendOutcome::TimedOut,
+            Acquire::Closed => return SendOutcome::Closed,
+            Acquire::Dead => {
+                return SendOutcome::Failed(
+                    inner
+                        .shared
+                        .dead()
+                        .unwrap_or_else(|| GraphStorageError::Net("transport failed".into())),
+                );
+            }
+        }
+        let frame = Frame::data(inner.stream, buf.tag, &buf.data);
+        match inner.shared.send_frame(inner.dst, &frame) {
+            Ok(()) => SendOutcome::Sent,
+            Err(e) => {
+                inner.shared.fail(e.to_string());
+                SendOutcome::Failed(e)
+            }
+        }
+    }
+
+    fn dst_node(&self) -> NodeId {
+        self.inner.dst
+    }
+
+    fn wire_bytes(&self, payload_len: usize) -> u64 {
+        (FRAME_OVERHEAD + payload_len) as u64
+    }
+
+    fn queue_len(&self) -> usize {
+        self.inner.cell.in_flight()
+    }
+
+    fn clone_endpoint(&self) -> Box<dyn TxEndpoint> {
+        Box::new(TcpTx {
+            inner: Arc::clone(&self.inner),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Establishes a fully-connected `n`-node transport set over
+    /// localhost, each node on its own thread.
+    fn mesh(n: usize, topology: u64) -> Vec<TcpTransport> {
+        let listeners: Vec<TcpListener> = (0..n)
+            .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+            .collect();
+        let addrs: Vec<String> = listeners
+            .iter()
+            .map(|l| l.local_addr().unwrap().to_string())
+            .collect();
+        let mut handles = Vec::new();
+        for (i, listener) in listeners.into_iter().enumerate() {
+            let addrs = addrs.clone();
+            handles.push(thread::spawn(move || {
+                TcpTransport::establish(i, listener, &addrs, topology, TcpOptions::default())
+                    .unwrap()
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    fn spec(id: u64, node: NodeId, capacity: usize, remote: Vec<(NodeId, usize)>) -> EndpointSpec {
+        EndpointSpec {
+            id,
+            filter: "consumer".into(),
+            in_port: "in".into(),
+            copy: 0,
+            node,
+            shared: false,
+            capacity,
+            local_producers: 0,
+            remote_producers: remote,
+        }
+    }
+
+    #[test]
+    fn two_nodes_round_trip_and_close() {
+        let mut nodes = mesh(2, 1);
+        let mut n1 = nodes.pop().unwrap();
+        let mut n0 = nodes.pop().unwrap();
+        // Capacity must cover the 10 buffers sent before the first recv:
+        // a sender out of credit blocks exactly like a full channel.
+        let s = spec(0, 1, 16, vec![(0, 1)]);
+        let rx = n1.open_endpoint(&s).unwrap();
+        let tx = n0.open_sender(&s).unwrap();
+        let (a, b) = thread::scope(|scope| {
+            let a = scope.spawn(|| n0.start());
+            let b = scope.spawn(|| n1.start());
+            (a.join().unwrap(), b.join().unwrap())
+        });
+        a.unwrap();
+        b.unwrap();
+
+        assert_eq!(tx.dst_node(), 1);
+        assert_eq!(tx.wire_bytes(10), (FRAME_OVERHEAD + 10) as u64);
+        for i in 0..10u64 {
+            assert!(matches!(
+                tx.send(DataBuffer::from_words(i, &[i * 7]), None),
+                SendOutcome::Sent
+            ));
+        }
+        for i in 0..10u64 {
+            match rx.recv(Some(Duration::from_secs(5))) {
+                RecvOutcome::Buf(buf) => {
+                    assert_eq!(buf.tag, i);
+                    assert_eq!(buf.words(), vec![i * 7]);
+                }
+                other => panic!("expected buffer {i}, got {other:?}"),
+            }
+        }
+        drop(tx); // CLOSE goes on the wire
+        assert!(matches!(
+            rx.recv(Some(Duration::from_secs(5))),
+            RecvOutcome::Closed
+        ));
+        drop(rx);
+        // Finish on both sides concurrently: each waits for the other's
+        // BYE, so sequential calls would stall for the io timeout.
+        thread::scope(|scope| {
+            let a = scope.spawn(|| n0.finish());
+            let b = scope.spawn(|| n1.finish());
+            assert!(a.join().unwrap().is_ok());
+            assert!(b.join().unwrap().is_ok());
+        });
+    }
+
+    #[test]
+    fn credit_bounds_inflight_and_unblocks() {
+        let mut nodes = mesh(2, 2);
+        let mut n1 = nodes.pop().unwrap();
+        let mut n0 = nodes.pop().unwrap();
+        let s = spec(0, 1, 2, vec![(0, 1)]);
+        let rx = n1.open_endpoint(&s).unwrap();
+        let tx = n0.open_sender(&s).unwrap();
+        thread::scope(|scope| {
+            let a = scope.spawn(|| n0.start());
+            n1.start().unwrap();
+            a.join().unwrap().unwrap();
+        });
+
+        // Capacity 2: the third send must block until the consumer pops.
+        assert!(matches!(
+            tx.send(DataBuffer::control(0), None),
+            SendOutcome::Sent
+        ));
+        assert!(matches!(
+            tx.send(DataBuffer::control(1), None),
+            SendOutcome::Sent
+        ));
+        assert!(matches!(
+            tx.send(DataBuffer::control(2), Some(Duration::from_millis(50))),
+            SendOutcome::TimedOut
+        ));
+        assert_eq!(tx.queue_len(), 2);
+        match rx.recv(Some(Duration::from_secs(5))) {
+            RecvOutcome::Buf(buf) => assert_eq!(buf.tag, 0),
+            other => panic!("expected tag 0, got {other:?}"),
+        }
+        // The returned credit lets the blocked send through.
+        assert!(matches!(
+            tx.send(DataBuffer::control(2), Some(Duration::from_secs(5))),
+            SendOutcome::Sent
+        ));
+    }
+
+    #[test]
+    fn early_consumer_drop_reports_closed_to_producer() {
+        let mut nodes = mesh(2, 3);
+        let mut n1 = nodes.pop().unwrap();
+        let mut n0 = nodes.pop().unwrap();
+        let s = spec(0, 1, 4, vec![(0, 1)]);
+        let rx = n1.open_endpoint(&s).unwrap();
+        let tx = n0.open_sender(&s).unwrap();
+        thread::scope(|scope| {
+            let a = scope.spawn(|| n0.start());
+            n1.start().unwrap();
+            a.join().unwrap().unwrap();
+        });
+        drop(rx); // consumer hangs up before any data
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match tx.send(DataBuffer::control(0), Some(Duration::from_millis(100))) {
+                SendOutcome::Closed => break,
+                SendOutcome::Sent if Instant::now() < deadline => continue,
+                other => panic!("expected Closed before the deadline, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn topology_mismatch_refuses_handshake() {
+        let listeners: Vec<TcpListener> = (0..2)
+            .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+            .collect();
+        let addrs: Vec<String> = listeners
+            .iter()
+            .map(|l| l.local_addr().unwrap().to_string())
+            .collect();
+        let opts = TcpOptions {
+            io_timeout: Duration::from_secs(2),
+            dial_timeout: Duration::from_secs(2),
+            ..TcpOptions::default()
+        };
+        let mut it = listeners.into_iter();
+        let (l0, l1) = (it.next().unwrap(), it.next().unwrap());
+        let a0 = addrs.clone();
+        let o0 = opts.clone();
+        let h = thread::spawn(move || TcpTransport::establish(0, l0, &a0, 7, o0));
+        let r1 = TcpTransport::establish(1, l1, &addrs, 8, opts);
+        let r0 = h.join().unwrap();
+        let msg = match (r0, r1) {
+            (Err(e), _) | (_, Err(e)) => e.to_string(),
+            _ => panic!("expected at least one side to refuse the handshake"),
+        };
+        assert!(msg.contains("topology"), "got: {msg}");
+    }
+
+    #[test]
+    fn peer_death_fails_blocked_recv_with_net_error() {
+        let mut nodes = mesh(2, 4);
+        let mut n1 = nodes.pop().unwrap();
+        let mut n0 = nodes.pop().unwrap();
+        let s = spec(0, 1, 4, vec![(0, 1)]);
+        let rx = n1.open_endpoint(&s).unwrap();
+        let tx = n0.open_sender(&s).unwrap();
+        thread::scope(|scope| {
+            let a = scope.spawn(|| n0.start());
+            n1.start().unwrap();
+            a.join().unwrap().unwrap();
+        });
+        // Node 0 "dies": its sockets close without BYE.
+        drop(tx);
+        let shared0 = Arc::clone(&n0.shared);
+        drop(n0);
+        for w in shared0.writers.iter().flatten() {
+            let _ = w.lock().unwrap().shutdown(std::net::Shutdown::Both);
+        }
+        // ...makes node 1's blocked recv fail, not hang. (The CLOSE from
+        // dropping tx may race the shutdown, so Closed is also possible,
+        // but a hang is not.)
+        match rx.recv(Some(Duration::from_secs(10))) {
+            RecvOutcome::Failed(GraphStorageError::Net(msg)) => {
+                assert!(
+                    msg.contains("without BYE") || msg.contains("reading"),
+                    "got: {msg}"
+                )
+            }
+            RecvOutcome::Closed => {}
+            other => panic!("expected Failed(Net) or Closed, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Length-prefixed wire format for DataCutter streams over sockets.
+//!
+//! Every frame is
+//!
+//! ```text
+//! [len: u32 LE] [kind: u8] [stream: u32 LE] [tag: u64 LE] [payload: len-13 bytes]
+//! ```
+//!
+//! where `len` counts everything after the length word itself. `stream`
+//! is the deterministic endpoint id both sides derived from the shared
+//! graph description ([`EndpointSpec::id`]), and `tag` carries the
+//! `DataBuffer` tag so a data frame round-trips without re-encoding.
+//!
+//! Frame lengths are **bounded**: a length prefix above
+//! [`MAX_PAYLOAD`] + 13 is rejected as corrupt *before* any allocation,
+//! so a hostile or scrambled peer cannot make the reader allocate
+//! gigabytes from a 4-byte header (the `wire-alloc` lint in `xtask`
+//! keeps it that way). A clean EOF at a frame boundary is a normal
+//! close; EOF inside a frame ("torn frame") is a typed
+//! [`GraphStorageError::Net`].
+//!
+//! [`EndpointSpec::id`]: datacutter::EndpointSpec
+
+use mssg_types::{GraphStorageError, Result};
+use std::io::{ErrorKind, Read, Write};
+
+/// Protocol magic in the HELLO payload ("MSSG").
+pub const MAGIC: u32 = 0x4D53_5347;
+
+/// Wire protocol version; bumped on any incompatible format change.
+pub const VERSION: u16 = 1;
+
+/// Hard ceiling on a frame's payload (64 MiB) — far above any
+/// `DataBuffer` the services emit, far below an allocation bomb.
+pub const MAX_PAYLOAD: usize = 1 << 26;
+
+/// Fixed bytes after the length word: kind (1) + stream (4) + tag (8).
+const FIXED: usize = 13;
+
+/// Total header bytes a frame adds on the wire beyond its payload:
+/// the length word plus the fixed fields.
+pub const FRAME_OVERHEAD: usize = 4 + FIXED;
+
+/// Frame discriminator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Connection handshake: magic, version, sender node, topology hash.
+    Hello = 1,
+    /// One `DataBuffer` on a logical stream.
+    Data = 2,
+    /// Returns flow-control credit for a stream to its producer node.
+    Credit = 3,
+    /// One producer copy finished with a stream (close accounting).
+    Close = 4,
+    /// The consumer endpoint of a stream is gone ("consumer hung up").
+    EpClosed = 5,
+    /// Wiring-complete barrier: no Data flows until all peers are ready.
+    Ready = 6,
+    /// This node's run is complete; a following EOF is a clean close.
+    Bye = 7,
+}
+
+impl FrameKind {
+    fn from_u8(b: u8) -> Option<FrameKind> {
+        match b {
+            1 => Some(FrameKind::Hello),
+            2 => Some(FrameKind::Data),
+            3 => Some(FrameKind::Credit),
+            4 => Some(FrameKind::Close),
+            5 => Some(FrameKind::EpClosed),
+            6 => Some(FrameKind::Ready),
+            7 => Some(FrameKind::Bye),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Frame discriminator.
+    pub kind: FrameKind,
+    /// Logical stream (endpoint) id; 0 for connection-level frames.
+    pub stream: u32,
+    /// `DataBuffer` tag for data frames; 0 otherwise.
+    pub tag: u64,
+    /// Frame payload.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A payload-free control frame.
+    pub fn control(kind: FrameKind, stream: u32) -> Frame {
+        Frame {
+            kind,
+            stream,
+            tag: 0,
+            payload: Vec::new(),
+        }
+    }
+
+    /// A data frame carrying `payload` on `stream` with the buffer tag.
+    pub fn data(stream: u32, tag: u64, payload: &[u8]) -> Frame {
+        Frame {
+            kind: FrameKind::Data,
+            stream,
+            tag,
+            payload: payload.to_vec(),
+        }
+    }
+
+    /// A credit-return frame granting `amount` slots on `stream`.
+    pub fn credit(stream: u32, amount: u32) -> Frame {
+        Frame {
+            kind: FrameKind::Credit,
+            stream,
+            tag: 0,
+            payload: amount.to_le_bytes().to_vec(),
+        }
+    }
+
+    /// The handshake frame: magic, version, sender node, topology hash.
+    pub fn hello(node: u32, topology: u64) -> Frame {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&MAGIC.to_le_bytes());
+        payload.extend_from_slice(&VERSION.to_le_bytes());
+        payload.extend_from_slice(&[0, 0]);
+        payload.extend_from_slice(&node.to_le_bytes());
+        payload.extend_from_slice(&topology.to_le_bytes());
+        Frame {
+            kind: FrameKind::Hello,
+            stream: 0,
+            tag: 0,
+            payload,
+        }
+    }
+
+    /// Decodes a HELLO payload into `(node, topology)`, validating magic
+    /// and version.
+    pub fn parse_hello(&self) -> Result<(u32, u64)> {
+        if self.kind != FrameKind::Hello || self.payload.len() != 20 {
+            return Err(GraphStorageError::Net(format!(
+                "expected a 20-byte HELLO, got {:?} with {} bytes",
+                self.kind,
+                self.payload.len()
+            )));
+        }
+        let p = &self.payload;
+        let magic = u32::from_le_bytes(p[0..4].try_into().unwrap());
+        let version = u16::from_le_bytes(p[4..6].try_into().unwrap());
+        if magic != MAGIC {
+            return Err(GraphStorageError::Net(format!(
+                "bad handshake magic {magic:#x} (not an mssg-net peer?)"
+            )));
+        }
+        if version != VERSION {
+            return Err(GraphStorageError::Net(format!(
+                "wire protocol version mismatch: peer speaks v{version}, we speak v{VERSION}"
+            )));
+        }
+        let node = u32::from_le_bytes(p[8..12].try_into().unwrap());
+        let topology = u64::from_le_bytes(p[12..20].try_into().unwrap());
+        Ok((node, topology))
+    }
+
+    /// Decodes a CREDIT payload.
+    pub fn parse_credit(&self) -> Result<u32> {
+        let bytes: [u8; 4] = self.payload.as_slice().try_into().map_err(|_| {
+            GraphStorageError::Corrupt(format!(
+                "CREDIT frame with {}-byte payload (want 4)",
+                self.payload.len()
+            ))
+        })?;
+        Ok(u32::from_le_bytes(bytes))
+    }
+
+    /// Bytes this frame occupies on the wire.
+    pub fn wire_len(&self) -> usize {
+        FRAME_OVERHEAD + self.payload.len()
+    }
+
+    /// Appends the encoded frame to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let len = (FIXED + self.payload.len()) as u32;
+        out.extend_from_slice(&len.to_le_bytes());
+        out.push(self.kind as u8);
+        out.extend_from_slice(&self.stream.to_le_bytes());
+        out.extend_from_slice(&self.tag.to_le_bytes());
+        out.extend_from_slice(&self.payload);
+    }
+
+    /// The encoded frame as a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+}
+
+/// Writes one frame.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<()> {
+    w.write_all(&frame.encode())
+}
+
+/// Reads one frame. `Ok(None)` on a clean EOF at a frame boundary;
+/// [`GraphStorageError::Net`] on a torn frame or truncated stream;
+/// [`GraphStorageError::Corrupt`] on an oversized length prefix or an
+/// unknown frame kind.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>> {
+    let mut len_bytes = [0u8; 4];
+    match read_exact_or_eof(r, &mut len_bytes)? {
+        Eof::Clean => return Ok(None),
+        Eof::Torn => {
+            return Err(GraphStorageError::Net(
+                "torn frame: EOF inside a length prefix".into(),
+            ))
+        }
+        Eof::No => {}
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    // Clamp the wire-provided length BEFORE allocating: an oversized
+    // prefix is corruption (or hostility), not an allocation request.
+    if len < FIXED || len - FIXED > MAX_PAYLOAD {
+        return Err(GraphStorageError::Corrupt(format!(
+            "frame length {len} outside [{FIXED}, {}]",
+            FIXED + MAX_PAYLOAD
+        )));
+    }
+    // `len` was bounds-checked against MAX_PAYLOAD above.
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body).map_err(|e| {
+        GraphStorageError::Net(format!("truncated stream: EOF inside a frame body: {e}"))
+    })?;
+    let kind = FrameKind::from_u8(body[0])
+        .ok_or_else(|| GraphStorageError::Corrupt(format!("unknown frame kind {:#x}", body[0])))?;
+    let stream = u32::from_le_bytes(body[1..5].try_into().unwrap());
+    let tag = u64::from_le_bytes(body[5..13].try_into().unwrap());
+    Ok(Some(Frame {
+        kind,
+        stream,
+        tag,
+        payload: body[FIXED..].to_vec(),
+    }))
+}
+
+enum Eof {
+    No,
+    Clean,
+    Torn,
+}
+
+/// `read_exact` that distinguishes EOF-before-any-byte (clean close)
+/// from EOF-mid-buffer (torn frame).
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<Eof> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 { Eof::Clean } else { Eof::Torn });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => {
+                return Err(GraphStorageError::Net(format!("socket read failed: {e}")));
+            }
+        }
+    }
+    Ok(Eof::No)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn data_frame_round_trips() {
+        let f = Frame::data(7, 0xDEAD_BEEF, b"hello");
+        let mut cur = Cursor::new(f.encode());
+        let back = read_frame(&mut cur).unwrap().unwrap();
+        assert_eq!(back, f);
+        assert_eq!(f.wire_len(), 4 + 13 + 5);
+        assert!(read_frame(&mut cur).unwrap().is_none(), "clean EOF after");
+    }
+
+    #[test]
+    fn hello_round_trips_and_validates() {
+        let f = Frame::hello(3, 0x1234_5678_9ABC_DEF0);
+        let back = read_frame(&mut Cursor::new(f.encode())).unwrap().unwrap();
+        assert_eq!(back.parse_hello().unwrap(), (3, 0x1234_5678_9ABC_DEF0));
+
+        let mut wrong = f.clone();
+        wrong.payload[0] ^= 0xFF; // break the magic
+        assert!(matches!(
+            wrong.parse_hello(),
+            Err(GraphStorageError::Net(_))
+        ));
+        let mut newer = f.clone();
+        newer.payload[4] = 99; // future version
+        let msg = newer.parse_hello().unwrap_err().to_string();
+        assert!(msg.contains("version"), "got: {msg}");
+    }
+
+    #[test]
+    fn credit_round_trips() {
+        let f = Frame::credit(9, 42);
+        let back = read_frame(&mut Cursor::new(f.encode())).unwrap().unwrap();
+        assert_eq!(back.parse_credit().unwrap(), 42);
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_before_allocation() {
+        let mut bytes = ((FIXED + MAX_PAYLOAD + 1) as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 32]);
+        match read_frame(&mut Cursor::new(bytes)) {
+            Err(GraphStorageError::Corrupt(m)) => assert!(m.contains("length"), "got: {m}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undersized_length_prefix_rejected() {
+        let bytes = 5u32.to_le_bytes().to_vec();
+        assert!(matches!(
+            read_frame(&mut Cursor::new(bytes)),
+            Err(GraphStorageError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn torn_and_truncated_frames_are_net_errors() {
+        // EOF inside the length prefix.
+        let enc = Frame::data(1, 2, b"abc").encode();
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&enc[..2])),
+            Err(GraphStorageError::Net(_))
+        ));
+        // EOF inside the body.
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&enc[..10])),
+            Err(GraphStorageError::Net(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let mut enc = Frame::data(1, 2, b"x").encode();
+        enc[4] = 0xEE;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(enc)),
+            Err(GraphStorageError::Corrupt(_))
+        ));
+    }
+}

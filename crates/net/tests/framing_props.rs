@@ -1,0 +1,119 @@
+//! Property tests for the wire framing: arbitrary `DataBuffer`s and
+//! `Edge` blocks must round-trip bit-exactly through the frame codec,
+//! and every way a byte stream can lie about itself — torn frames,
+//! truncated streams, oversized length prefixes — must be rejected with
+//! a typed error, never an allocation bomb or a silent misparse.
+
+use datacutter::DataBuffer;
+use mssg_net::wire::{read_frame, write_frame, Frame, FrameKind, FRAME_OVERHEAD, MAX_PAYLOAD};
+use mssg_types::{Edge, GraphStorageError};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+proptest! {
+    #[test]
+    fn random_data_buffers_roundtrip(
+        stream in any::<u32>(),
+        tag in any::<u64>(),
+        payload in prop::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let buf = DataBuffer::new(tag, payload.clone());
+        let frame = Frame::data(stream, buf.tag, &buf.data);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).unwrap();
+        prop_assert_eq!(wire.len(), FRAME_OVERHEAD + payload.len());
+
+        let mut cur = Cursor::new(wire);
+        let back = read_frame(&mut cur).unwrap().expect("one frame");
+        prop_assert_eq!(back.kind, FrameKind::Data);
+        prop_assert_eq!(back.stream, stream);
+        prop_assert_eq!(back.tag, tag);
+        prop_assert_eq!(&back.payload, &payload);
+        // The stream ends exactly at the frame boundary: clean EOF.
+        prop_assert!(read_frame(&mut cur).unwrap().is_none());
+    }
+
+    #[test]
+    fn edge_blocks_roundtrip(
+        stream in any::<u32>(),
+        raw in prop::collection::vec((0u64..(1 << 61), 0u64..(1 << 61)), 0..256),
+    ) {
+        let edges: Vec<Edge> = raw.iter().map(|&(s, d)| Edge::of(s, d)).collect();
+        let buf = DataBuffer::from_edges(7, &edges);
+        let frame = Frame::data(stream, buf.tag, &buf.data);
+        let back = read_frame(&mut Cursor::new(frame.encode())).unwrap().unwrap();
+        let decoded = DataBuffer::new(back.tag, back.payload).edges();
+        prop_assert_eq!(decoded, edges);
+    }
+
+    #[test]
+    fn back_to_back_frames_keep_their_boundaries(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..128), 1..16),
+    ) {
+        let mut wire = Vec::new();
+        for (i, p) in payloads.iter().enumerate() {
+            Frame::data(i as u32, i as u64, p).encode_into(&mut wire);
+        }
+        let mut cur = Cursor::new(wire);
+        for (i, p) in payloads.iter().enumerate() {
+            let f = read_frame(&mut cur).unwrap().expect("frame");
+            prop_assert_eq!(f.stream, i as u32);
+            prop_assert_eq!(&f.payload, p);
+        }
+        prop_assert!(read_frame(&mut cur).unwrap().is_none());
+    }
+
+    #[test]
+    fn torn_frames_are_typed_net_errors(
+        payload in prop::collection::vec(any::<u8>(), 1..512),
+        cut_pick in any::<u64>(),
+    ) {
+        // Cut anywhere strictly inside the encoded frame.
+        let enc = Frame::data(3, 9, &payload).encode();
+        let cut = 1 + (cut_pick % (enc.len() as u64 - 1)) as usize;
+        match read_frame(&mut Cursor::new(&enc[..cut])) {
+            Err(GraphStorageError::Net(_)) => {}
+            other => prop_assert!(false, "cut at {} gave {:?}", cut, other),
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefixes_rejected_without_allocating(
+        excess in 1u64..(u32::MAX as u64 >> 8),
+        noise in any::<u64>(),
+    ) {
+        // A 4-byte header claiming a body beyond MAX_PAYLOAD must fail
+        // before the reader trusts it with an allocation.
+        let len = (13 + MAX_PAYLOAD) as u64 + excess;
+        let mut wire = ((len.min(u32::MAX as u64)) as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(&noise.to_le_bytes());
+        match read_frame(&mut Cursor::new(wire)) {
+            Err(GraphStorageError::Corrupt(m)) => prop_assert!(m.contains("length"), "msg: {}", m),
+            other => prop_assert!(false, "got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn corrupted_kind_bytes_never_misparse(
+        payload in prop::collection::vec(any::<u8>(), 0..64),
+        bad_kind in 8u8..=255,
+    ) {
+        let mut enc = Frame::data(1, 2, &payload).encode();
+        enc[4] = bad_kind; // kind byte lives right after the length word
+        match read_frame(&mut Cursor::new(enc)) {
+            Err(GraphStorageError::Corrupt(m)) => prop_assert!(m.contains("kind"), "msg: {}", m),
+            other => prop_assert!(false, "got {:?}", other),
+        }
+    }
+}
+
+#[test]
+fn truncated_stream_mid_length_prefix_is_torn() {
+    let enc = Frame::data(1, 1, b"abcd").encode();
+    for cut in 1..4 {
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&enc[..cut])),
+            Err(GraphStorageError::Net(_))
+        ));
+    }
+}

@@ -18,6 +18,13 @@
 //!   a `_` arm. Retry loops (supervised ingestion, bench harnesses) key
 //!   off this classification; an unclassified variant silently inherits
 //!   whatever the wildcard does.
+//! - **`wire-alloc`** — in `crates/net/`, an allocation
+//!   (`Vec::with_capacity(n)`, `vec![x; n]`) whose size involves an
+//!   integer decoded off the wire (`from_le_bytes`) must be preceded by
+//!   a visible clamp (`MAX_PAYLOAD`/`MAX_…` comparison, `.min(`,
+//!   `.clamp(`) within a few lines. A length prefix is attacker-
+//!   controlled input; allocating it unclamped turns a corrupt frame
+//!   into an allocation bomb.
 //!
 //! False positives are suppressed through the allowlist file
 //! `lint.allow` at the repo root (or `--allowlist <file>`), one entry
@@ -103,6 +110,7 @@ pub fn run(args: &[String]) -> ExitCode {
         let rel = rel_path(&root, &file);
         check_filter_unwrap(&rel, &text, &mut violations);
         check_untimed_recv(&rel, &text, &mut violations);
+        check_wire_alloc(&rel, &text, &mut violations);
     }
     check_error_classification(&root, &mut violations);
 
@@ -359,6 +367,111 @@ fn check_untimed_recv(rel: &str, text: &str, out: &mut Vec<Violation>) {
     }
 }
 
+/// Directories that parse untrusted network bytes.
+const WIRE_ALLOC_SCOPES: [&str; 1] = ["crates/net/"];
+
+/// How many preceding lines may hold the clamp that justifies an
+/// allocation from a wire-decoded length.
+const WIRE_ALLOC_LOOKBACK: usize = 8;
+
+/// Flags allocations sized by a wire-decoded integer with no clamp in
+/// sight. "Wire-decoded" is tracked by taint: any `let` binding whose
+/// initializer calls `from_le_bytes` names a length the peer controls;
+/// using that name to size `Vec::with_capacity` / `vec![x; n]` requires
+/// a bound (`MAX_…` comparison, `.min(`, `.clamp(`) within
+/// [`WIRE_ALLOC_LOOKBACK`] lines above the allocation.
+fn check_wire_alloc(rel: &str, text: &str, out: &mut Vec<Violation>) {
+    if !WIRE_ALLOC_SCOPES.iter().any(|s| rel.starts_with(s)) {
+        return;
+    }
+    let stripped: Vec<String> = text.lines().map(strip_code).collect();
+
+    let mut tainted: Vec<String> = Vec::new();
+    for code in &stripped {
+        if !code.contains("from_le_bytes") {
+            continue;
+        }
+        let t = code.trim_start();
+        if let Some(rest) = t.strip_prefix("let ") {
+            let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                tainted.push(name);
+            }
+        }
+    }
+    if tainted.is_empty() {
+        return;
+    }
+
+    for (idx, code) in stripped.iter().enumerate() {
+        let Some(size_expr) = alloc_size_expr(code) else {
+            continue;
+        };
+        let uses_taint = size_expr
+            .split(|c: char| !c.is_alphanumeric() && c != '_')
+            .any(|tok| tainted.iter().any(|t| t == tok));
+        if !uses_taint {
+            continue;
+        }
+        let from = idx.saturating_sub(WIRE_ALLOC_LOOKBACK);
+        let clamped = stripped[from..=idx]
+            .iter()
+            .any(|l| l.contains("MAX_") || l.contains(".min(") || l.contains(".clamp("));
+        if !clamped {
+            out.push(Violation {
+                rule: "wire-alloc",
+                path: rel.to_string(),
+                line: idx + 1,
+                message: format!(
+                    "allocation sized by wire-decoded `{}` with no clamp in the \
+                     preceding {WIRE_ALLOC_LOOKBACK} lines — bound the length \
+                     (MAX_PAYLOAD check, .min/.clamp) before trusting it",
+                    size_expr.trim()
+                ),
+            });
+        }
+    }
+}
+
+/// The size expression of an allocation on this line, if any:
+/// the argument of `Vec::with_capacity(…)` or the repeat count of
+/// `vec![elem; n]`. Returns `None` for allocation-free lines.
+fn alloc_size_expr(code: &str) -> Option<String> {
+    if let Some(pos) = code.find("with_capacity(") {
+        let rest = &code[pos + "with_capacity(".len()..];
+        return Some(balanced_prefix(rest, '(', ')'));
+    }
+    if let Some(pos) = code.find("vec![") {
+        let rest = &code[pos + "vec![".len()..];
+        let inner = balanced_prefix(rest, '[', ']');
+        if let Some((_, count)) = inner.rsplit_once(';') {
+            return Some(count.to_string());
+        }
+    }
+    None
+}
+
+/// The prefix of `rest` up to the close delimiter that balances an
+/// already-consumed open delimiter (whole string if unbalanced).
+fn balanced_prefix(rest: &str, open: char, close: char) -> String {
+    let mut depth = 1usize;
+    for (i, c) in rest.char_indices() {
+        if c == open {
+            depth += 1;
+        } else if c == close {
+            depth -= 1;
+            if depth == 0 {
+                return rest[..i].to_string();
+            }
+        }
+    }
+    rest.to_string()
+}
+
 /// Checks that `is_transient` names every `GraphStorageError` variant and
 /// has no `_` arm.
 fn check_error_classification(root: &Path, out: &mut Vec<Violation>) {
@@ -588,6 +701,52 @@ impl GraphStorageError {
         assert!(body.contains("GraphStorageError::Io"));
         assert!(!body.contains("GraphStorageError::Corrupt"));
         assert!(body.lines().any(|l| l.trim_start().starts_with("_ =>")));
+    }
+
+    #[test]
+    fn wire_alloc_flags_unclamped_wire_lengths() {
+        let bad = r#"
+fn read(r: &mut impl Read) {
+    let len = u32::from_le_bytes(hdr) as usize;
+    let mut body = vec![0u8; len];
+}
+"#;
+        let mut v = Vec::new();
+        check_wire_alloc("crates/net/src/wire.rs", bad, &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "wire-alloc");
+        assert!(v[0].message.contains("len"));
+        // The same file outside the network scope is not checked.
+        v.clear();
+        check_wire_alloc("crates/core/src/bfs.rs", bad, &mut v);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn wire_alloc_accepts_clamped_lengths_and_untainted_sizes() {
+        let clamped = r#"
+fn read(r: &mut impl Read) {
+    let len = u32::from_le_bytes(hdr) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(too_big());
+    }
+    let mut body = Vec::with_capacity(len);
+}
+"#;
+        let mut v = Vec::new();
+        check_wire_alloc("crates/net/src/wire.rs", clamped, &mut v);
+        assert!(v.is_empty(), "clamped length still flagged");
+
+        // A size that never came off the wire is not the rule's business,
+        // even in a file that decodes wire integers elsewhere.
+        let local = r#"
+fn setup(n: usize) {
+    let tag = u64::from_le_bytes(hdr);
+    let routes = vec![None; n];
+}
+"#;
+        check_wire_alloc("crates/net/src/tcp.rs", local, &mut v);
+        assert!(v.is_empty(), "untainted size flagged");
     }
 
     #[test]
