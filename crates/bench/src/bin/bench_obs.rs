@@ -1,0 +1,77 @@
+//! Writes `BENCH_obs.json`: ingest throughput with telemetry enabled vs
+//! `Telemetry::disabled()`, asserting the enabled run costs less than
+//! the overhead bound (5% by default). Exits non-zero when the bound is
+//! blown, so a regression in the hot instrumentation paths fails loudly.
+//!
+//! ```text
+//! bench-obs                                # BENCH_obs.json in cwd
+//! bench-obs --out path.json --vertices 30000 --iterations 5
+//! ```
+
+use mssg_bench::obs::run_obs_bench;
+use mssg_net::WorkloadConfig;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench-obs [--out FILE] [--nodes N] [--vertices N] [--extra-edges N] \
+         [--seed N] [--iterations N] [--max-overhead-pct F] [--timeout-secs N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = WorkloadConfig {
+        vertices: 30_000,
+        extra_edges: 90_000,
+        stream_timeout: Duration::from_secs(60),
+        ..WorkloadConfig::default()
+    };
+    let mut out = "BENCH_obs.json".to_string();
+    let mut iterations = 5usize;
+    let mut max_overhead_pct = 5.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        let val = |i: usize| -> &str {
+            args.get(i + 1)
+                .map(String::as_str)
+                .unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--out" => out = val(i).to_string(),
+            "--nodes" => cfg.nodes = val(i).parse().unwrap_or_else(|_| usage()),
+            "--vertices" => cfg.vertices = val(i).parse().unwrap_or_else(|_| usage()),
+            "--extra-edges" => cfg.extra_edges = val(i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.seed = val(i).parse().unwrap_or_else(|_| usage()),
+            "--iterations" => iterations = val(i).parse().unwrap_or_else(|_| usage()),
+            "--max-overhead-pct" => max_overhead_pct = val(i).parse().unwrap_or_else(|_| usage()),
+            "--timeout-secs" => {
+                cfg.stream_timeout = Duration::from_secs(val(i).parse().unwrap_or_else(|_| usage()))
+            }
+            _ => usage(),
+        }
+        i += 2;
+    }
+
+    let bench = match run_obs_bench(&cfg, iterations, max_overhead_pct) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench-obs: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", bench.to_table().to_markdown());
+    if let Err(e) = std::fs::write(&out, bench.to_json()) {
+        eprintln!("bench-obs: write {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out}");
+    if !bench.within_bound() {
+        eprintln!(
+            "bench-obs: telemetry ingest overhead {:.2}% exceeds the {:.1}% bound",
+            bench.overhead_pct, bench.max_overhead_pct
+        );
+        std::process::exit(1);
+    }
+}

@@ -21,6 +21,7 @@
 //! smaller scales.
 
 pub mod experiments;
+pub mod obs;
 pub mod report;
 pub mod transport;
 pub mod workloads;

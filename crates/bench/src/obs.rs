@@ -1,0 +1,208 @@
+//! Telemetry-overhead benchmark — the cost of observability itself.
+//!
+//! Runs the same in-process ingest → BFS workload with
+//! `Telemetry::disabled()` and `Telemetry::enabled()` back to back for a
+//! few iterations and compares median ingest throughput. The enabled run
+//! pays for a span per ingest shard and BFS round, a counter increment
+//! per window, and the runtime's queue-depth histograms — the point of
+//! the measurement is that this stays a rounding error (the committed
+//! `BENCH_obs.json` asserts < 5%), so telemetry can be left on for every
+//! cluster run without distorting the numbers it reports.
+
+use crate::report::Table;
+use mssg_net::workload::{run_inproc, WorkloadConfig};
+use mssg_obs::Telemetry;
+use mssg_types::Result;
+
+/// One telemetry mode's measurements, medians over the iterations.
+#[derive(Clone, Debug)]
+pub struct ObsRow {
+    /// `"disabled"` or `"enabled"`.
+    pub mode: String,
+    /// Median slowest-shard ingest wall time, seconds.
+    pub ingest_secs: f64,
+    /// Ingest throughput at the median, edges/sec.
+    pub ingest_eps: f64,
+    /// Median BFS wall time, seconds.
+    pub bfs_secs: f64,
+    /// Spans recorded in the last run of this mode (0 when disabled).
+    pub spans: u64,
+}
+
+/// The full benchmark result, serialized to `BENCH_obs.json`.
+#[derive(Clone, Debug)]
+pub struct ObsBench {
+    /// The workload that was measured.
+    pub config: WorkloadConfig,
+    /// Interleaved iterations per mode.
+    pub iterations: usize,
+    /// Measurements, disabled first.
+    pub rows: Vec<ObsRow>,
+    /// Ingest-throughput loss of enabled vs disabled, percent (negative
+    /// when enabled happened to run faster).
+    pub overhead_pct: f64,
+    /// The bound the committed result asserts.
+    pub max_overhead_pct: f64,
+}
+
+impl ObsBench {
+    /// `true` if the measured overhead honors the asserted bound.
+    pub fn within_bound(&self) -> bool {
+        self.overhead_pct < self.max_overhead_pct
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Runs the workload `iterations` times per mode, interleaved so drift
+/// (thermal, cache warmth) hits both modes alike.
+pub fn run_obs_bench(
+    cfg: &WorkloadConfig,
+    iterations: usize,
+    max_overhead_pct: f64,
+) -> Result<ObsBench> {
+    let iterations = iterations.max(1);
+    let mut disabled_ingest = Vec::with_capacity(iterations);
+    let mut disabled_bfs = Vec::with_capacity(iterations);
+    let mut enabled_ingest = Vec::with_capacity(iterations);
+    let mut enabled_bfs = Vec::with_capacity(iterations);
+    let mut edges = 0u64;
+    let mut spans = 0u64;
+    for _ in 0..iterations {
+        let off = run_inproc(cfg, Telemetry::disabled())?;
+        disabled_ingest.push(off.ingest_secs);
+        disabled_bfs.push(off.bfs_secs);
+        edges = off.edges;
+
+        let telemetry = Telemetry::enabled();
+        let on = run_inproc(cfg, telemetry.clone())?;
+        enabled_ingest.push(on.ingest_secs);
+        enabled_bfs.push(on.bfs_secs);
+        spans = telemetry.tracer.span_count() as u64;
+    }
+
+    let eps = |secs: f64| if secs > 0.0 { edges as f64 / secs } else { 0.0 };
+    let d_ingest = median(&mut disabled_ingest);
+    let e_ingest = median(&mut enabled_ingest);
+    let d_eps = eps(d_ingest);
+    let e_eps = eps(e_ingest);
+    let overhead_pct = if d_eps > 0.0 {
+        (d_eps - e_eps) / d_eps * 100.0
+    } else {
+        0.0
+    };
+    Ok(ObsBench {
+        config: cfg.clone(),
+        iterations,
+        rows: vec![
+            ObsRow {
+                mode: "disabled".into(),
+                ingest_secs: d_ingest,
+                ingest_eps: d_eps,
+                bfs_secs: median(&mut disabled_bfs),
+                spans: 0,
+            },
+            ObsRow {
+                mode: "enabled".into(),
+                ingest_secs: e_ingest,
+                ingest_eps: e_eps,
+                bfs_secs: median(&mut enabled_bfs),
+                spans,
+            },
+        ],
+        overhead_pct,
+        max_overhead_pct,
+    })
+}
+
+impl ObsBench {
+    /// Machine-readable form, written to `BENCH_obs.json`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!(
+            "  \"bench\": \"obs\",\n  \"nodes\": {},\n  \"vertices\": {},\n  \
+             \"extra_edges\": {},\n  \"iterations\": {},\n  \
+             \"ingest_overhead_pct\": {:.3},\n  \"max_overhead_pct\": {:.1},\n  \
+             \"within_bound\": {},\n  \"runs\": [\n",
+            self.config.nodes,
+            self.config.vertices,
+            self.config.extra_edges,
+            self.iterations,
+            self.overhead_pct,
+            self.max_overhead_pct,
+            self.within_bound(),
+        ));
+        for (i, r) in self.rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"mode\": {}, \"ingest_secs\": {:.6}, \
+                 \"ingest_edges_per_sec\": {:.0}, \"bfs_secs\": {:.6}, \"spans\": {}}}{}\n",
+                mssg_obs::json::escape(&r.mode),
+                r.ingest_secs,
+                r.ingest_eps,
+                r.bfs_secs,
+                r.spans,
+                if i + 1 < self.rows.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Human-readable form for the console.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "Telemetry overhead — {} vertices, {} extra edges, median of {} \
+                 (ingest overhead {:.2}%, bound {:.0}%)",
+                self.config.vertices,
+                self.config.extra_edges,
+                self.iterations,
+                self.overhead_pct,
+                self.max_overhead_pct,
+            ),
+            &["Mode", "Ingest s", "Ingest e/s", "BFS s", "Spans"],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.mode.clone(),
+                format!("{:.4}", r.ingest_secs),
+                format!("{:.0}", r.ingest_eps),
+                format!("{:.4}", r.bfs_secs),
+                r.spans.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn obs_bench_measures_both_modes_and_serializes() {
+        let cfg = WorkloadConfig {
+            nodes: 2,
+            vertices: 300,
+            extra_edges: 400,
+            stream_timeout: Duration::from_secs(30),
+            ..WorkloadConfig::default()
+        };
+        let b = run_obs_bench(&cfg, 1, 5.0).unwrap();
+        assert_eq!(b.rows.len(), 2);
+        assert_eq!(b.rows[0].mode, "disabled");
+        assert_eq!(b.rows[0].spans, 0);
+        assert!(b.rows[1].spans > 0, "enabled run recorded no spans");
+
+        let json = b.to_json();
+        let doc = mssg_obs::json::parse(&json).expect("bench JSON parses");
+        assert_eq!(doc.get("bench").unwrap().as_str().unwrap(), "obs");
+        let runs = doc.get("runs").unwrap().as_array().unwrap();
+        assert_eq!(runs.len(), 2);
+        assert!(runs[1].get("spans").unwrap().as_f64().unwrap() > 0.0);
+    }
+}

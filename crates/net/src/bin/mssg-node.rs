@@ -18,11 +18,21 @@
 //! ```
 //!
 //! Workload flags: `--nodes N --vertices V --extra-edges E --seed S
-//! --block B --timeout-secs T --die-at COPY:BLOCKS`.
+//! --block B --timeout-secs T --die-at COPY:BLOCKS --stall-at COPY:MS`.
+//!
+//! Cluster-telemetry flags (launch mode): `--cluster-trace PATH` writes
+//! one merged Chrome trace with a process lane per node, with remote
+//! timestamps rebased onto node 0's clock; `--heartbeat-millis N` turns
+//! on periodic progress heartbeats (echoed live as `MSSG-NODE-HB`
+//! lines); `--straggler-fraction F` flags nodes whose ingest rate falls
+//! below `F ×` the cluster median (default 0.5).
 
-use mssg_net::launcher::{self, run_cluster};
+use mssg_net::launcher::{self, run_cluster_with};
 use mssg_net::tcp::{TcpOptions, TcpTransport};
 use mssg_net::workload::{self, WorkloadConfig, WorkloadReport};
+use mssg_obs::{
+    detect_stragglers, ClusterTelemetryReport, NodeTelemetry, StragglerConfig, Telemetry,
+};
 use mssg_types::{GraphStorageError, Result};
 use std::net::TcpListener;
 use std::process::{Command, ExitCode};
@@ -38,7 +48,9 @@ fn main() -> ExitCode {
         eprintln!("modes: launch | worker --node I | inproc");
         eprintln!(
             "workload flags: --nodes N --vertices V --extra-edges E --seed S \
-             --block B --timeout-secs T --die-at COPY:BLOCKS; launch adds --deadline-secs N"
+             --block B --timeout-secs T --die-at COPY:BLOCKS --stall-at COPY:MS; \
+             launch adds --deadline-secs N --cluster-trace PATH --heartbeat-millis N \
+             --straggler-fraction F"
         );
         return ExitCode::SUCCESS;
     }
@@ -98,19 +110,27 @@ fn workload_config(args: &[String]) -> Result<WorkloadConfig> {
         cfg.stream_timeout = Duration::from_secs(t);
     }
     if let Some(spec) = flag::<String>(args, "--die-at")? {
-        let (copy, blocks) = spec.split_once(':').ok_or_else(|| {
-            GraphStorageError::Unsupported(format!("--die-at wants COPY:BLOCKS, got {spec:?}"))
-        })?;
-        cfg.die_at = Some((
-            copy.parse().map_err(|_| {
-                GraphStorageError::Unsupported(format!("--die-at copy: cannot parse {copy:?}"))
-            })?,
-            blocks.parse().map_err(|_| {
-                GraphStorageError::Unsupported(format!("--die-at blocks: cannot parse {blocks:?}"))
-            })?,
-        ));
+        cfg.die_at = Some(copy_pair(&spec, "--die-at", "COPY:BLOCKS")?);
+    }
+    if let Some(spec) = flag::<String>(args, "--stall-at")? {
+        cfg.stall = Some(copy_pair(&spec, "--stall-at", "COPY:MS")?);
     }
     Ok(cfg)
+}
+
+/// Parses a `COPY:NUMBER` chaos-knob spec.
+fn copy_pair(spec: &str, name: &str, shape: &str) -> Result<(usize, u64)> {
+    let (copy, num) = spec.split_once(':').ok_or_else(|| {
+        GraphStorageError::Unsupported(format!("{name} wants {shape}, got {spec:?}"))
+    })?;
+    Ok((
+        copy.parse().map_err(|_| {
+            GraphStorageError::Unsupported(format!("{name} copy: cannot parse {copy:?}"))
+        })?,
+        num.parse().map_err(|_| {
+            GraphStorageError::Unsupported(format!("{name} value: cannot parse {num:?}"))
+        })?,
+    ))
 }
 
 fn print_report(report: &WorkloadReport) {
@@ -133,11 +153,33 @@ fn print_report(report: &WorkloadReport) {
 fn launch(args: &[String]) -> Result<()> {
     let cfg = workload_config(args)?;
     let deadline = Duration::from_secs(flag(args, "--deadline-secs")?.unwrap_or(120));
+    let cluster_trace: Option<String> = flag(args, "--cluster-trace")?;
+    let telemetry_on =
+        cluster_trace.is_some() || flag::<u64>(args, "--heartbeat-millis")?.is_some();
+    // One run-wide trace id, checked by every handshake: a stale worker
+    // from a previous launch cannot join (and corrupt) this run's trace.
+    let trace_id = if telemetry_on {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(1);
+        (nanos ^ (std::process::id() as u64) << 32).max(1)
+    } else {
+        0
+    };
     let exe = std::env::current_exe().map_err(GraphStorageError::Io)?;
     let commands: Vec<Command> = (0..cfg.nodes)
         .map(|node| {
             let mut cmd = Command::new(&exe);
             cmd.arg("worker").arg("--node").arg(node.to_string());
+            if trace_id != 0 {
+                cmd.arg("--trace-id").arg(trace_id.to_string());
+            }
+            if node == 0 {
+                if let Some(path) = &cluster_trace {
+                    cmd.arg("--cluster-trace").arg(path);
+                }
+            }
             for carry in [
                 "--nodes",
                 "--vertices",
@@ -146,6 +188,9 @@ fn launch(args: &[String]) -> Result<()> {
                 "--block",
                 "--timeout-secs",
                 "--die-at",
+                "--stall-at",
+                "--heartbeat-millis",
+                "--straggler-fraction",
             ] {
                 if let Some(pos) = args.iter().position(|a| a == carry) {
                     if let Some(value) = args.get(pos + 1) {
@@ -156,10 +201,19 @@ fn launch(args: &[String]) -> Result<()> {
             cmd
         })
         .collect();
-    let out = run_cluster(commands, deadline)?;
+    // Echo heartbeat progress live; everything else prints at the end in
+    // per-node order.
+    let out = run_cluster_with(commands, deadline, &mut |_, line| {
+        if line.starts_with("MSSG-NODE-HB") {
+            println!("{line}");
+            let _ = std::io::Write::flush(&mut std::io::stdout());
+        }
+    })?;
     // Surface the workers' reports as our own output.
     for line in out.lines.iter().flatten() {
-        println!("{line}");
+        if !line.starts_with("MSSG-NODE-HB") {
+            println!("{line}");
+        }
     }
     Ok(())
 }
@@ -181,23 +235,102 @@ fn worker(args: &[String]) -> Result<()> {
             cfg.nodes
         )));
     }
-    let (graph, _) = workload::build(&cfg, mssg_obs::Telemetry::disabled())?;
+    let trace_id: u64 = flag(args, "--trace-id")?.unwrap_or(0);
+    let heartbeat_millis: Option<u64> = flag(args, "--heartbeat-millis")?;
+    let straggler_fraction: f64 = flag(args, "--straggler-fraction")?.unwrap_or(0.5);
+    let cluster_trace: Option<String> = flag(args, "--cluster-trace")?;
+    let telemetry = if trace_id != 0 {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    let (graph, _) = workload::build(&cfg, Telemetry::disabled())?;
     let topology = graph.topology_signature();
     let opts = TcpOptions {
         io_timeout: cfg.stream_timeout,
         dial_timeout: cfg.stream_timeout,
-        ..TcpOptions::default()
+        telemetry: telemetry.clone(),
+        trace_id,
+        heartbeat_period: heartbeat_millis.map(Duration::from_millis),
+        ship_telemetry: trace_id != 0,
+        print_heartbeats: node == 0,
     };
     let mut transport = TcpTransport::establish(node, listener, &peers, topology, opts)?;
-    if let Some(report) = workload::run_node(&cfg, node, &mut transport)? {
+    let report = workload::run_node(&cfg, node, &mut transport, telemetry.clone())?;
+    if node == 0 && trace_id != 0 {
+        print_cluster_telemetry(
+            &transport,
+            &telemetry,
+            straggler_fraction,
+            cluster_trace.as_deref(),
+        )?;
+    }
+    if let Some(report) = report {
         print_report(&report);
+    }
+    Ok(())
+}
+
+/// Node 0's end-of-run duty: merge its own telemetry with every shipped
+/// peer report, print per-node and cluster summary lines, flag
+/// stragglers, and (when asked) write the merged Chrome trace.
+fn print_cluster_telemetry(
+    transport: &TcpTransport,
+    telemetry: &Telemetry,
+    straggler_fraction: f64,
+    cluster_trace: Option<&str>,
+) -> Result<()> {
+    let mut reports = vec![NodeTelemetry::capture(0, telemetry)];
+    reports.extend(transport.collected_reports()?);
+    reports.sort_by_key(|r| r.node);
+    let offsets = transport.clock_offsets();
+    let mut cluster = ClusterTelemetryReport::new();
+    for report in reports {
+        let offset = offsets.get(&(report.node as usize)).copied().unwrap_or(0);
+        let counter = |name: &str| report.metrics.counters.get(name).copied().unwrap_or(0);
+        println!(
+            "MSSG-NODE-TELEM node={} spans={} windows={} bytes={} offset_ns={}",
+            report.node,
+            report.spans.len(),
+            counter("ingest.windows"),
+            counter("net.bytes"),
+            offset,
+        );
+        cluster.add_node(report, offset);
+    }
+    let merged = cluster.merged_metrics();
+    let merged_counter = |name: &str| merged.counters.get(name).copied().unwrap_or(0);
+    println!(
+        "MSSG-NODE-CLUSTER nodes={} spans={} windows={} bytes={} heartbeats={}",
+        cluster.node_count(),
+        cluster.span_count(),
+        merged_counter("ingest.windows"),
+        merged_counter("net.bytes"),
+        merged_counter("net.heartbeats"),
+    );
+    let stragglers = detect_stragglers(
+        &transport.heartbeats(),
+        &StragglerConfig {
+            min_fraction: straggler_fraction,
+        },
+    );
+    for progress in &stragglers.nodes {
+        if progress.straggler {
+            println!(
+                "MSSG-NODE-STRAGGLER node={} rate={:.1} median={:.1}",
+                progress.node, progress.rate_per_sec, stragglers.median_rate,
+            );
+        }
+    }
+    if let Some(path) = cluster_trace {
+        std::fs::write(path, cluster.chrome_trace_json()).map_err(GraphStorageError::Io)?;
     }
     Ok(())
 }
 
 fn inproc(args: &[String]) -> Result<()> {
     let cfg = workload_config(args)?;
-    let report = workload::run_inproc(&cfg, mssg_obs::Telemetry::disabled())?;
+    let report = workload::run_inproc(&cfg, Telemetry::disabled())?;
     print_report(&report);
     Ok(())
 }

@@ -43,7 +43,7 @@ use datacutter::{
     ChannelRx, ChannelTx, DataBuffer, EndpointSpec, NodeId, RecvOutcome, RxEndpoint, SendOutcome,
     Transport, TxEndpoint, SHARED_NODE,
 };
-use mssg_obs::{Counter, Telemetry};
+use mssg_obs::{Counter, Heartbeat, NodeTelemetry, Telemetry};
 use mssg_types::{GraphStorageError, Result};
 use std::collections::{HashMap, HashSet};
 use std::io::ErrorKind;
@@ -66,7 +66,23 @@ pub struct TcpOptions {
     /// the cluster boots.
     pub dial_timeout: Duration,
     /// Telemetry sink for `net.*` counters and connect/handshake spans.
+    /// When the tracer is enabled, data and credit frames carry the
+    /// sender's current span id and handshakes exchange tracer clocks
+    /// for per-peer offset estimation.
     pub telemetry: Telemetry,
+    /// Run-wide trace id, carried in the HELLO; every process of a run
+    /// must agree (0 = tracing off, also validated).
+    pub trace_id: u64,
+    /// When set, a background thread pushes a heartbeat frame to node 0
+    /// this often while the run is in flight.
+    pub heartbeat_period: Option<Duration>,
+    /// Ship this node's [`NodeTelemetry`] to node 0 during `finish`
+    /// (before BYE, so FIFO ordering guarantees arrival). Node 0 itself
+    /// collects reports; see [`TcpTransport::collected_reports`].
+    pub ship_telemetry: bool,
+    /// On node 0, print one `MSSG-NODE-HB …` line per heartbeat (local
+    /// and remote) so the launcher can surface live progress.
+    pub print_heartbeats: bool,
 }
 
 impl Default for TcpOptions {
@@ -75,6 +91,10 @@ impl Default for TcpOptions {
             io_timeout: Duration::from_secs(10),
             dial_timeout: Duration::from_secs(10),
             telemetry: Telemetry::disabled(),
+            trace_id: 0,
+            heartbeat_period: None,
+            ship_telemetry: false,
+            print_heartbeats: false,
         }
     }
 }
@@ -173,10 +193,11 @@ impl CreditCell {
 }
 
 /// Receive-side state for one local endpoint fed by remote producers.
+/// The demux queue carries `(buffer, origin node, sender span id)`.
 struct Route {
     /// Demux sender into the endpoint's remote queue; dropped once every
     /// expected CLOSE has arrived, which disconnects the merged stream.
-    tx: Option<Sender<(DataBuffer, NodeId)>>,
+    tx: Option<Sender<(DataBuffer, NodeId, u64)>>,
     /// CLOSE frames still expected, per producer node.
     pending_closes: HashMap<NodeId, usize>,
     /// The consumer endpoint was dropped early: drop frames, refund
@@ -201,9 +222,21 @@ struct Shared {
     credits: Mutex<HashMap<u32, Arc<CreditCell>>>,
     ctrl: Mutex<Ctrl>,
     ctrl_cv: Condvar,
+    /// The node's telemetry bundle: frame spans, heartbeat sampling,
+    /// and the report captured at `finish` all read from here.
+    telemetry: Telemetry,
     frames: Counter,
     bytes: Counter,
     credit_stalls: Counter,
+    /// Serialized `NodeTelemetry` payloads received from peers (node 0).
+    reports_from: Mutex<Vec<(NodeId, Vec<u8>)>>,
+    /// Heartbeats observed so far: remote ones on node 0, plus this
+    /// node's own samples.
+    heartbeats: Mutex<Vec<Heartbeat>>,
+    /// Stops the heartbeat thread at `finish`/drop.
+    hb_stop: AtomicBool,
+    /// Print `MSSG-NODE-HB` lines as heartbeats arrive (node 0 only).
+    print_heartbeats: bool,
 }
 
 impl Shared {
@@ -253,6 +286,21 @@ impl Shared {
             .clone()
             .map(GraphStorageError::Net)
     }
+
+    fn record_heartbeat(&self, hb: Heartbeat) {
+        if self.print_heartbeats {
+            println!(
+                "MSSG-NODE-HB node={} windows={} bytes={} stalls={} qd={} at_ms={}",
+                hb.node,
+                hb.windows,
+                hb.bytes,
+                hb.credit_stalls,
+                hb.queue_depth,
+                hb.at_ns / 1_000_000
+            );
+        }
+        self.heartbeats.lock().unwrap().push(hb);
+    }
 }
 
 /// [`Transport`] carrying streams between one OS process per node over
@@ -263,6 +311,11 @@ pub struct TcpTransport {
     my_node: NodeId,
     n_nodes: usize,
     io_timeout: Duration,
+    /// Estimated `peer_clock − our_clock` per peer, from handshake RTT
+    /// midpoints (tracer-epoch nanoseconds; 0 when tracing is off).
+    clock_offsets: HashMap<NodeId, i64>,
+    heartbeat_period: Option<Duration>,
+    ship_telemetry: bool,
     /// Master senders of purely/partially local endpoints, dropped at
     /// `start` exactly like `InProc`.
     masters: HashMap<u64, (Sender<DataBuffer>, NodeId)>,
@@ -292,8 +345,8 @@ impl TcpTransport {
             )));
         }
         let telemetry = &opts.telemetry;
-        let hello = Frame::hello(my_node as u32, topology);
         let mut conns: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+        let mut clock_offsets: HashMap<NodeId, i64> = HashMap::new();
 
         // Dial every lower-numbered peer (they accept from us). Retry
         // while the cluster boots: our peer may not be listening yet.
@@ -304,7 +357,8 @@ impl TcpTransport {
                 .with("peer", j as u64)
                 .with_str("addr", addr);
             let mut stream = dial(addr, j, opts.dial_timeout)?;
-            handshake(&mut stream, &hello, Some(j), topology, &opts)?;
+            let (_, offset) = handshake(&mut stream, my_node, Some(j), topology, &opts)?;
+            clock_offsets.insert(j, offset);
             conns[j] = Some(stream);
         }
 
@@ -318,7 +372,8 @@ impl TcpTransport {
                 match listener.accept() {
                     Ok((mut stream, _)) => {
                         stream.set_nonblocking(false).map_err(net_io)?;
-                        let peer = handshake(&mut stream, &hello, None, topology, &opts)?;
+                        let (peer, offset) =
+                            handshake(&mut stream, my_node, None, topology, &opts)?;
                         if peer <= my_node || peer >= n {
                             return Err(GraphStorageError::Net(format!(
                                 "node {peer} dialed node {my_node}, which only accepts from nodes {}..{}",
@@ -331,6 +386,7 @@ impl TcpTransport {
                                 "node {peer} connected twice"
                             )));
                         }
+                        clock_offsets.insert(peer, offset);
                         conns[peer] = Some(stream);
                         need -= 1;
                     }
@@ -367,13 +423,19 @@ impl TcpTransport {
                 dead: None,
             }),
             ctrl_cv: Condvar::new(),
+            telemetry: telemetry.clone(),
             frames: telemetry.metrics.counter("net.frames"),
             bytes: telemetry.metrics.counter("net.bytes"),
             credit_stalls: telemetry.metrics.counter("net.credit_stalls"),
+            reports_from: Mutex::new(Vec::new()),
+            heartbeats: Mutex::new(Vec::new()),
+            hb_stop: AtomicBool::new(false),
+            print_heartbeats: opts.print_heartbeats,
         });
         // The handshake already put one HELLO per peer on the wire.
+        let hello_len = Frame::hello(0, 0, 0, 0).wire_len() as u64;
         shared.frames.add((n - 1) as u64);
-        shared.bytes.add((n - 1) as u64 * hello.wire_len() as u64);
+        shared.bytes.add((n - 1) as u64 * hello_len);
 
         // One reader thread per connection demultiplexes frames into
         // routes, credit cells, and the control barrier.
@@ -391,12 +453,52 @@ impl TcpTransport {
             my_node,
             n_nodes: n,
             io_timeout: opts.io_timeout,
+            clock_offsets,
+            heartbeat_period: opts.heartbeat_period,
+            ship_telemetry: opts.ship_telemetry,
             masters: HashMap::new(),
         })
     }
 
     fn peers(&self) -> impl Iterator<Item = NodeId> + '_ {
         (0..self.n_nodes).filter(move |&j| j != self.my_node)
+    }
+
+    /// Estimated `peer_clock − our_clock` per connected peer, in
+    /// tracer-epoch nanoseconds (0 when tracing was off during the
+    /// handshake). On node 0 these rebase remote span timestamps onto
+    /// its timeline when merging the cluster trace.
+    pub fn clock_offsets(&self) -> &HashMap<NodeId, i64> {
+        &self.clock_offsets
+    }
+
+    /// Heartbeats observed so far: this node's own samples plus (on
+    /// node 0) every peer's pushed samples.
+    pub fn heartbeats(&self) -> Vec<Heartbeat> {
+        self.shared.heartbeats.lock().unwrap().clone()
+    }
+
+    /// Telemetry reports shipped by peers (meaningful on node 0 after
+    /// [`Transport::finish`], which waits for every peer's BYE — and
+    /// telemetry precedes BYE on each connection). A report that fails
+    /// to parse is a protocol error, reported as `Corrupt`.
+    pub fn collected_reports(&self) -> Result<Vec<NodeTelemetry>> {
+        let raw = self.shared.reports_from.lock().unwrap();
+        let mut out = Vec::with_capacity(raw.len());
+        for (peer, payload) in raw.iter() {
+            let text = std::str::from_utf8(payload).map_err(|e| {
+                GraphStorageError::Corrupt(format!(
+                    "telemetry report from node {peer} is not UTF-8: {e}"
+                ))
+            })?;
+            let report = NodeTelemetry::from_json(text).map_err(|e| {
+                GraphStorageError::Corrupt(format!(
+                    "telemetry report from node {peer} failed to parse: {e}"
+                ))
+            })?;
+            out.push(report);
+        }
+        Ok(out)
     }
 
     /// Waits until `pick` is satisfied on the control state or the
@@ -523,10 +625,29 @@ impl Transport for TcpTransport {
             self.shared.send_frame(peer, &ready)?;
         }
         let want = self.n_nodes - 1;
-        self.await_ctrl("the READY barrier", |c| c.ready_from.len() == want, false)
+        self.await_ctrl("the READY barrier", |c| c.ready_from.len() == want, false)?;
+        if let Some(period) = self.heartbeat_period {
+            let shared = Arc::clone(&self.shared);
+            thread::Builder::new()
+                .name(format!("net-hb-{}", self.my_node))
+                .spawn(move || heartbeat_loop(&shared, period))
+                .map_err(GraphStorageError::Io)?;
+        }
+        Ok(())
     }
 
     fn finish(&mut self) -> Result<()> {
+        self.shared.hb_stop.store(true, Ordering::Relaxed);
+        // Ship this node's telemetry to node 0 before BYE: FIFO ordering
+        // on the connection means node 0's BYE wait also collects every
+        // report. Best-effort — a dead connection already surfaces below.
+        if self.ship_telemetry && self.my_node != 0 {
+            let _span = self.shared.telemetry.tracer.span("net.telemetry_ship");
+            let report = NodeTelemetry::capture(self.my_node as u32, &self.shared.telemetry);
+            if let Ok(frame) = Frame::telemetry(report.to_json().as_bytes()) {
+                let _ = self.shared.send_frame(0, &frame);
+            }
+        }
         // Tell every peer our run is complete — after this, our EOF is a
         // clean close — then give them a bounded window to say the same.
         // Missing BYEs after the window are forgiven (best-effort), but a
@@ -577,30 +698,48 @@ fn dial(addr: &str, peer: NodeId, window: Duration) -> Result<TcpStream> {
 }
 
 /// Sends our HELLO, reads and validates the peer's. Returns the peer's
-/// node id.
+/// node id and the estimated clock offset `peer_clock − our_clock`.
+///
+/// The offset comes from the classic RTT-midpoint estimate: the peer's
+/// clock reading is assumed to correspond to the midpoint between our
+/// send and our receive, so `offset = peer_now − (t0 + t1) / 2`. Error
+/// is bounded by half the handshake RTT — microseconds on a LAN,
+/// plenty for aligning trace lanes. 0 when either side traces nothing.
 fn handshake(
     stream: &mut TcpStream,
-    hello: &Frame,
+    my_node: NodeId,
     expect: Option<NodeId>,
     topology: u64,
     opts: &TcpOptions,
-) -> Result<NodeId> {
-    let _span = opts.telemetry.tracer.span("net.handshake");
+) -> Result<(NodeId, i64)> {
+    let tracer = &opts.telemetry.tracer;
+    let _span = tracer.span("net.handshake");
     let _ = stream.set_nodelay(true);
     stream
         .set_read_timeout(Some(opts.io_timeout))
         .map_err(net_io)?;
-    write_frame(stream, hello).map_err(net_io)?;
+    let t0 = tracer.now_ns();
+    let hello = Frame::hello(my_node as u32, topology, opts.trace_id, t0);
+    write_frame(stream, &hello).map_err(net_io)?;
     let frame = read_frame(stream)?.ok_or_else(|| {
         GraphStorageError::Net("peer closed the connection during the handshake".into())
     })?;
-    let (peer, their_topology) = frame.parse_hello()?;
-    let peer = peer as NodeId;
-    if their_topology != topology {
+    let t1 = tracer.now_ns();
+    let info = frame.parse_hello()?;
+    let peer = info.node as NodeId;
+    if info.topology != topology {
         return Err(GraphStorageError::Net(format!(
-            "graph topology mismatch: node {peer} runs signature {their_topology:#x}, \
+            "graph topology mismatch: node {peer} runs signature {:#x}, \
              this node runs {topology:#x} — all processes must be launched from the \
-             same graph description"
+             same graph description",
+            info.topology
+        )));
+    }
+    if info.trace_id != opts.trace_id {
+        return Err(GraphStorageError::Net(format!(
+            "trace id mismatch: node {peer} runs trace {:#x}, this node runs {:#x} — \
+             all processes must be launched with the same --trace-id",
+            info.trace_id, opts.trace_id
         )));
     }
     if expect.is_some_and(|want| want != peer) {
@@ -610,7 +749,50 @@ fn handshake(
         )));
     }
     stream.set_read_timeout(None).map_err(net_io)?;
-    Ok(peer)
+    let offset = if tracer.is_enabled() && info.now_ns != 0 {
+        info.now_ns as i64 - ((t0 + t1) / 2) as i64
+    } else {
+        0
+    };
+    Ok((peer, offset))
+}
+
+/// Periodically samples this node's progress counters and pushes a
+/// heartbeat to node 0 (or records it locally on node 0) until the run
+/// finishes or the transport dies.
+fn heartbeat_loop(shared: &Shared, period: Duration) {
+    let metrics = &shared.telemetry.metrics;
+    let windows = metrics.counter("ingest.windows");
+    loop {
+        thread::sleep(period);
+        if shared.hb_stop.load(Ordering::Relaxed) || shared.dead().is_some() {
+            return;
+        }
+        // Median queue depth across every port queue the runtime samples.
+        let snap = metrics.snapshot();
+        let queue_depth = snap
+            .histograms
+            .iter()
+            .filter(|(name, _)| name.starts_with("dc.queue_depth."))
+            .fold(mssg_obs::HistogramSnapshot::default(), |acc, (_, h)| {
+                acc.merged(h)
+            })
+            .quantile_bound(0.5);
+        let hb = Heartbeat {
+            node: shared.my_node as u32,
+            windows: windows.get(),
+            bytes: shared.bytes.get(),
+            credit_stalls: shared.credit_stalls.get(),
+            queue_depth,
+            at_ns: shared.telemetry.tracer.now_ns(),
+        };
+        if shared.my_node == 0 {
+            shared.record_heartbeat(hb);
+        } else if shared.send_frame(0, &Frame::heartbeat(&hb)).is_err() {
+            // The connection is going away; the reader side reports it.
+            return;
+        }
+    }
 }
 
 fn reader_loop(shared: &Shared, peer: NodeId, mut stream: TcpStream) {
@@ -661,7 +843,7 @@ fn dispatch(shared: &Shared, peer: NodeId, frame: Frame) -> std::result::Result<
             let refund = match &route.tx {
                 _ if route.consumers_gone => true,
                 None => true,
-                Some(tx) => match tx.send_timeout((buf, peer), Duration::ZERO) {
+                Some(tx) => match tx.send_timeout((buf, peer, frame.span), Duration::ZERO) {
                     Ok(()) => false,
                     Err(SendTimeoutError::Timeout(_)) => {
                         return Err(format!(
@@ -731,6 +913,25 @@ fn dispatch(shared: &Shared, peer: NodeId, frame: Frame) -> std::result::Result<
             shared.ctrl_cv.notify_all();
             Ok(())
         }
+        FrameKind::Telemetry => {
+            shared
+                .telemetry
+                .metrics
+                .counter("net.telemetry_reports")
+                .inc();
+            shared
+                .reports_from
+                .lock()
+                .unwrap()
+                .push((peer, frame.payload));
+            Ok(())
+        }
+        FrameKind::Heartbeat => {
+            let hb = frame.parse_heartbeat().map_err(|e| e.to_string())?;
+            shared.telemetry.metrics.counter("net.heartbeats").inc();
+            shared.record_heartbeat(hb);
+            Ok(())
+        }
         FrameKind::Hello => Err(format!("unexpected HELLO from node {peer} after handshake")),
     }
 }
@@ -740,7 +941,7 @@ fn dispatch(shared: &Shared, peer: NodeId, frame: Frame) -> std::result::Result<
 struct RxInner {
     stream: u32,
     local_rx: Option<Receiver<DataBuffer>>,
-    remote_rx: Receiver<(DataBuffer, NodeId)>,
+    remote_rx: Receiver<(DataBuffer, NodeId, u64)>,
     /// Remote producer nodes, told EP_CLOSED when this endpoint drops.
     peers: Vec<NodeId>,
     shared: Arc<Shared>,
@@ -772,10 +973,8 @@ impl RxInner {
         let mut remote_open = false;
         if !self.remote_done.load(Ordering::Relaxed) {
             match self.remote_rx.try_recv() {
-                Ok((buf, origin)) => {
-                    let _ = self
-                        .shared
-                        .send_frame(origin, &Frame::credit(self.stream, 1));
+                Ok((buf, origin, span)) => {
+                    self.took_remote(origin, span);
                     return Ok(buf);
                 }
                 Err(TryRecvError::Empty) => remote_open = true,
@@ -783,6 +982,16 @@ impl RxInner {
             }
         }
         Err((local_open, remote_open))
+    }
+
+    /// Bookkeeping for a buffer taken off the demux queue: record the
+    /// sender-span → current-span causal edge and return the credit to
+    /// the origin node, stamped with our span so the ack is traceable.
+    fn took_remote(&self, origin: NodeId, span: u64) {
+        let tracer = &self.shared.telemetry.tracer;
+        tracer.flow_in(origin as u32, span);
+        let credit = Frame::credit(self.stream, 1).with_span(tracer.current_span_id());
+        let _ = self.shared.send_frame(origin, &credit);
     }
 }
 
@@ -842,10 +1051,8 @@ impl RxEndpoint for NetRx {
                 }
             } else {
                 match inner.remote_rx.recv_timeout(slice) {
-                    Ok((buf, origin)) => {
-                        let _ = inner
-                            .shared
-                            .send_frame(origin, &Frame::credit(inner.stream, 1));
+                    Ok((buf, origin, span)) => {
+                        inner.took_remote(origin, span);
                         return RecvOutcome::Buf(buf);
                     }
                     Err(RecvTimeoutError::Timeout) => {}
@@ -925,7 +1132,8 @@ impl TxEndpoint for TcpTx {
                 );
             }
         }
-        let frame = Frame::data(inner.stream, buf.tag, &buf.data);
+        let frame = Frame::data(inner.stream, buf.tag, &buf.data)
+            .with_span(inner.shared.telemetry.tracer.current_span_id());
         match inner.shared.send_frame(inner.dst, &frame) {
             Ok(()) => SendOutcome::Sent,
             Err(e) => {

@@ -3,16 +3,18 @@
 //! Every frame is
 //!
 //! ```text
-//! [len: u32 LE] [kind: u8] [stream: u32 LE] [tag: u64 LE] [payload: len-13 bytes]
+//! [len: u32 LE] [kind: u8] [stream: u32 LE] [tag: u64 LE] [span: u64 LE] [payload]
 //! ```
 //!
 //! where `len` counts everything after the length word itself. `stream`
 //! is the deterministic endpoint id both sides derived from the shared
-//! graph description ([`EndpointSpec::id`]), and `tag` carries the
-//! `DataBuffer` tag so a data frame round-trips without re-encoding.
+//! graph description ([`EndpointSpec::id`]), `tag` carries the
+//! `DataBuffer` tag so a data frame round-trips without re-encoding,
+//! and `span` is the sender's current span id (0 = none) so cross-node
+//! stream activity stitches into one causal trace.
 //!
 //! Frame lengths are **bounded**: a length prefix above
-//! [`MAX_PAYLOAD`] + 13 is rejected as corrupt *before* any allocation,
+//! [`MAX_PAYLOAD`] + the fixed header is rejected as corrupt *before* any allocation,
 //! so a hostile or scrambled peer cannot make the reader allocate
 //! gigabytes from a 4-byte header (the `wire-alloc` lint in `xtask`
 //! keeps it that way). A clean EOF at a frame boundary is a normal
@@ -21,6 +23,7 @@
 //!
 //! [`EndpointSpec::id`]: datacutter::EndpointSpec
 
+use mssg_obs::Heartbeat;
 use mssg_types::{GraphStorageError, Result};
 use std::io::{ErrorKind, Read, Write};
 
@@ -28,14 +31,17 @@ use std::io::{ErrorKind, Read, Write};
 pub const MAGIC: u32 = 0x4D53_5347;
 
 /// Wire protocol version; bumped on any incompatible format change.
-pub const VERSION: u16 = 1;
+/// v2 added the span-id header field, the HELLO trace-context extension,
+/// and the `Telemetry`/`Heartbeat` frame kinds.
+pub const VERSION: u16 = 2;
 
 /// Hard ceiling on a frame's payload (64 MiB) — far above any
 /// `DataBuffer` the services emit, far below an allocation bomb.
 pub const MAX_PAYLOAD: usize = 1 << 26;
 
-/// Fixed bytes after the length word: kind (1) + stream (4) + tag (8).
-const FIXED: usize = 13;
+/// Fixed bytes after the length word: kind (1) + stream (4) + tag (8) +
+/// span (8).
+const FIXED: usize = 21;
 
 /// Total header bytes a frame adds on the wire beyond its payload:
 /// the length word plus the fixed fields.
@@ -59,6 +65,12 @@ pub enum FrameKind {
     Ready = 6,
     /// This node's run is complete; a following EOF is a clean close.
     Bye = 7,
+    /// A node's serialized `NodeTelemetry` report, shipped to node 0 at
+    /// shutdown (sent before BYE so FIFO ordering guarantees arrival).
+    Telemetry = 8,
+    /// Periodic progress sample (windows, bytes, stalls) pushed to
+    /// node 0 while a run is in flight.
+    Heartbeat = 9,
 }
 
 impl FrameKind {
@@ -71,6 +83,8 @@ impl FrameKind {
             5 => Some(FrameKind::EpClosed),
             6 => Some(FrameKind::Ready),
             7 => Some(FrameKind::Bye),
+            8 => Some(FrameKind::Telemetry),
+            9 => Some(FrameKind::Heartbeat),
             _ => None,
         }
     }
@@ -85,8 +99,25 @@ pub struct Frame {
     pub stream: u32,
     /// `DataBuffer` tag for data frames; 0 otherwise.
     pub tag: u64,
+    /// The sender's current span id when the frame was sent (0 = none);
+    /// receivers record it as a cross-node flow edge.
+    pub span: u64,
     /// Frame payload.
     pub payload: Vec<u8>,
+}
+
+/// Decoded HELLO handshake contents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HelloInfo {
+    /// Sender's node id.
+    pub node: u32,
+    /// Sender's topology signature (must match ours).
+    pub topology: u64,
+    /// Run-wide trace id (must match ours; 0 = tracing off).
+    pub trace_id: u64,
+    /// Sender's tracer clock at send time, nanoseconds since its epoch
+    /// (0 = tracing off). Used to estimate per-peer clock offsets.
+    pub now_ns: u64,
 }
 
 impl Frame {
@@ -96,6 +127,7 @@ impl Frame {
             kind,
             stream,
             tag: 0,
+            span: 0,
             payload: Vec::new(),
         }
     }
@@ -106,6 +138,7 @@ impl Frame {
             kind: FrameKind::Data,
             stream,
             tag,
+            span: 0,
             payload: payload.to_vec(),
         }
     }
@@ -116,32 +149,43 @@ impl Frame {
             kind: FrameKind::Credit,
             stream,
             tag: 0,
+            span: 0,
             payload: amount.to_le_bytes().to_vec(),
         }
     }
 
-    /// The handshake frame: magic, version, sender node, topology hash.
-    pub fn hello(node: u32, topology: u64) -> Frame {
+    /// Stamps the sender's current span id (builder style).
+    pub fn with_span(mut self, span: u64) -> Frame {
+        self.span = span;
+        self
+    }
+
+    /// The handshake frame: magic, version, sender node, topology hash,
+    /// run-wide trace id, and the sender's tracer clock (for clock-offset
+    /// estimation; 0 when tracing is off).
+    pub fn hello(node: u32, topology: u64, trace_id: u64, now_ns: u64) -> Frame {
         let mut payload = Vec::new();
         payload.extend_from_slice(&MAGIC.to_le_bytes());
         payload.extend_from_slice(&VERSION.to_le_bytes());
         payload.extend_from_slice(&[0, 0]);
         payload.extend_from_slice(&node.to_le_bytes());
         payload.extend_from_slice(&topology.to_le_bytes());
+        payload.extend_from_slice(&trace_id.to_le_bytes());
+        payload.extend_from_slice(&now_ns.to_le_bytes());
         Frame {
             kind: FrameKind::Hello,
             stream: 0,
             tag: 0,
+            span: 0,
             payload,
         }
     }
 
-    /// Decodes a HELLO payload into `(node, topology)`, validating magic
-    /// and version.
-    pub fn parse_hello(&self) -> Result<(u32, u64)> {
-        if self.kind != FrameKind::Hello || self.payload.len() != 20 {
+    /// Decodes a HELLO payload, validating magic and version.
+    pub fn parse_hello(&self) -> Result<HelloInfo> {
+        if self.kind != FrameKind::Hello || self.payload.len() != 36 {
             return Err(GraphStorageError::Net(format!(
-                "expected a 20-byte HELLO, got {:?} with {} bytes",
+                "expected a 36-byte HELLO, got {:?} with {} bytes",
                 self.kind,
                 self.payload.len()
             )));
@@ -159,9 +203,72 @@ impl Frame {
                 "wire protocol version mismatch: peer speaks v{version}, we speak v{VERSION}"
             )));
         }
-        let node = u32::from_le_bytes(p[8..12].try_into().unwrap());
-        let topology = u64::from_le_bytes(p[12..20].try_into().unwrap());
-        Ok((node, topology))
+        Ok(HelloInfo {
+            node: u32::from_le_bytes(p[8..12].try_into().unwrap()),
+            topology: u64::from_le_bytes(p[12..20].try_into().unwrap()),
+            trace_id: u64::from_le_bytes(p[20..28].try_into().unwrap()),
+            now_ns: u64::from_le_bytes(p[28..36].try_into().unwrap()),
+        })
+    }
+
+    /// A telemetry-report frame carrying a serialized `NodeTelemetry`
+    /// JSON document. Reports above [`MAX_PAYLOAD`] are refused as
+    /// [`GraphStorageError::Corrupt`] — the receiver would reject the
+    /// frame anyway, so the sender fails fast instead of poisoning the
+    /// connection.
+    pub fn telemetry(report_json: &[u8]) -> Result<Frame> {
+        if report_json.len() > MAX_PAYLOAD {
+            return Err(GraphStorageError::Corrupt(format!(
+                "telemetry report of {} bytes exceeds the {MAX_PAYLOAD}-byte frame ceiling",
+                report_json.len()
+            )));
+        }
+        Ok(Frame {
+            kind: FrameKind::Telemetry,
+            stream: 0,
+            tag: 0,
+            span: 0,
+            payload: report_json.to_vec(),
+        })
+    }
+
+    /// A heartbeat frame. The sender's node id travels in the `stream`
+    /// field (heartbeats are connection-level, so the field is free).
+    pub fn heartbeat(hb: &Heartbeat) -> Frame {
+        let mut payload = Vec::with_capacity(40);
+        payload.extend_from_slice(&hb.windows.to_le_bytes());
+        payload.extend_from_slice(&hb.bytes.to_le_bytes());
+        payload.extend_from_slice(&hb.credit_stalls.to_le_bytes());
+        payload.extend_from_slice(&hb.queue_depth.to_le_bytes());
+        payload.extend_from_slice(&hb.at_ns.to_le_bytes());
+        Frame {
+            kind: FrameKind::Heartbeat,
+            stream: hb.node,
+            tag: 0,
+            span: 0,
+            payload,
+        }
+    }
+
+    /// Decodes a HEARTBEAT payload.
+    pub fn parse_heartbeat(&self) -> Result<Heartbeat> {
+        if self.kind != FrameKind::Heartbeat || self.payload.len() != 40 {
+            return Err(GraphStorageError::Corrupt(format!(
+                "expected a 40-byte HEARTBEAT, got {:?} with {} bytes",
+                self.kind,
+                self.payload.len()
+            )));
+        }
+        let p = &self.payload;
+        let u = |r: std::ops::Range<usize>| u64::from_le_bytes(p[r].try_into().unwrap());
+        Ok(Heartbeat {
+            node: self.stream,
+            windows: u(0..8),
+            bytes: u(8..16),
+            credit_stalls: u(16..24),
+            queue_depth: u(24..32),
+            at_ns: u(32..40),
+        })
     }
 
     /// Decodes a CREDIT payload.
@@ -187,6 +294,7 @@ impl Frame {
         out.push(self.kind as u8);
         out.extend_from_slice(&self.stream.to_le_bytes());
         out.extend_from_slice(&self.tag.to_le_bytes());
+        out.extend_from_slice(&self.span.to_le_bytes());
         out.extend_from_slice(&self.payload);
     }
 
@@ -236,10 +344,12 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>> {
         .ok_or_else(|| GraphStorageError::Corrupt(format!("unknown frame kind {:#x}", body[0])))?;
     let stream = u32::from_le_bytes(body[1..5].try_into().unwrap());
     let tag = u64::from_le_bytes(body[5..13].try_into().unwrap());
+    let span = u64::from_le_bytes(body[13..21].try_into().unwrap());
     Ok(Some(Frame {
         kind,
         stream,
         tag,
+        span,
         payload: body[FIXED..].to_vec(),
     }))
 }
@@ -276,19 +386,28 @@ mod tests {
 
     #[test]
     fn data_frame_round_trips() {
-        let f = Frame::data(7, 0xDEAD_BEEF, b"hello");
+        let f = Frame::data(7, 0xDEAD_BEEF, b"hello").with_span(41);
         let mut cur = Cursor::new(f.encode());
         let back = read_frame(&mut cur).unwrap().unwrap();
         assert_eq!(back, f);
-        assert_eq!(f.wire_len(), 4 + 13 + 5);
+        assert_eq!(back.span, 41);
+        assert_eq!(f.wire_len(), 4 + 21 + 5);
         assert!(read_frame(&mut cur).unwrap().is_none(), "clean EOF after");
     }
 
     #[test]
     fn hello_round_trips_and_validates() {
-        let f = Frame::hello(3, 0x1234_5678_9ABC_DEF0);
+        let f = Frame::hello(3, 0x1234_5678_9ABC_DEF0, 77, 123_456);
         let back = read_frame(&mut Cursor::new(f.encode())).unwrap().unwrap();
-        assert_eq!(back.parse_hello().unwrap(), (3, 0x1234_5678_9ABC_DEF0));
+        assert_eq!(
+            back.parse_hello().unwrap(),
+            HelloInfo {
+                node: 3,
+                topology: 0x1234_5678_9ABC_DEF0,
+                trace_id: 77,
+                now_ns: 123_456,
+            }
+        );
 
         let mut wrong = f.clone();
         wrong.payload[0] ^= 0xFF; // break the magic
@@ -349,6 +468,39 @@ mod tests {
         enc[4] = 0xEE;
         assert!(matches!(
             read_frame(&mut Cursor::new(enc)),
+            Err(GraphStorageError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn heartbeat_round_trips() {
+        let hb = Heartbeat {
+            node: 2,
+            windows: 120,
+            bytes: 1 << 20,
+            credit_stalls: 3,
+            queue_depth: 8,
+            at_ns: 987_654_321,
+        };
+        let f = Frame::heartbeat(&hb);
+        let back = read_frame(&mut Cursor::new(f.encode())).unwrap().unwrap();
+        assert_eq!(back.parse_heartbeat().unwrap(), hb);
+        // A truncated heartbeat payload is corruption, not a panic.
+        let mut short = f.clone();
+        short.payload.pop();
+        assert!(matches!(
+            short.parse_heartbeat(),
+            Err(GraphStorageError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn telemetry_refuses_oversized_reports() {
+        let ok = Frame::telemetry(b"{\"node\":0}").unwrap();
+        assert_eq!(ok.kind, FrameKind::Telemetry);
+        let huge = vec![b'x'; MAX_PAYLOAD + 1];
+        assert!(matches!(
+            Frame::telemetry(&huge),
             Err(GraphStorageError::Corrupt(_))
         ));
     }

@@ -47,6 +47,10 @@ pub struct WorkloadConfig {
     /// `process::exit(113)` after ingesting this many blocks. Only
     /// meaningful in multi-process runs.
     pub die_at: Option<(usize, u64)>,
+    /// Chaos knob: `(store copy, millis)` — that store copy sleeps this
+    /// long after every ingested block, making it a straggler without
+    /// changing the result. Exercised by the straggler-detection smoke.
+    pub stall: Option<(usize, u64)>,
 }
 
 impl Default for WorkloadConfig {
@@ -59,6 +63,7 @@ impl Default for WorkloadConfig {
             block: 512,
             stream_timeout: Duration::from_secs(20),
             die_at: None,
+            stall: None,
         }
     }
 }
@@ -212,6 +217,12 @@ impl Store {
         let mut edges = 0u64;
         let mut blocks = 0u64;
         let copy = ctx.copy_index;
+        let telemetry = ctx.telemetry().clone();
+        let _span = telemetry
+            .tracer
+            .span("ingest.shard")
+            .with("copy", copy as u64);
+        let windows = telemetry.metrics.counter("ingest.windows");
         while let Some(buf) = ctx.input("edges")?.recv()? {
             for e in buf.edges() {
                 self.adj
@@ -221,11 +232,17 @@ impl Store {
             }
             edges += (buf.len() / 16) as u64;
             blocks += 1;
+            windows.inc();
             if self.cfg.die_at == Some((copy, blocks)) {
                 // The fault knob: this process vanishes mid-ingest, as a
                 // SIGKILLed or crashed peer would. Peers must turn the
                 // silence into a typed error, never a hang.
                 std::process::exit(113);
+            }
+            if let Some((c, ms)) = self.cfg.stall {
+                if c == copy {
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
             }
         }
         Ok(edges)
@@ -242,7 +259,9 @@ impl Store {
         }
         let mut pending: HashMap<u32, RoundBox> = HashMap::new();
         let mut round: u32 = 0;
+        let tracer = ctx.telemetry().tracer.clone();
         loop {
+            let _round_span = tracer.span("bfs.round").with("round", round as u64);
             // Send this round's candidates: one buffer per destination
             // shard (bounding the burst, which is what the declared
             // send_window and the transport's credit window rely on).
@@ -463,13 +482,17 @@ pub fn run_inproc(cfg: &WorkloadConfig, telemetry: Telemetry) -> Result<Workload
 }
 
 /// Runs this process's share of the workload over `transport`. Returns
-/// the assembled report on node 0, `None` elsewhere.
+/// the assembled report on node 0, `None` elsewhere. The telemetry
+/// bundle should be the same one handed to the transport, so one report
+/// covers both the workload's `ingest.*`/`bfs.*` and the transport's
+/// `net.*` series.
 pub fn run_node(
     cfg: &WorkloadConfig,
     node: NodeId,
     transport: &mut dyn Transport,
+    telemetry: Telemetry,
 ) -> Result<Option<WorkloadReport>> {
-    let (g, sink) = build(cfg, Telemetry::disabled())?;
+    let (g, sink) = build(cfg, telemetry)?;
     g.run_node(node, transport)?;
     if node == 0 {
         Ok(Some(take_report(&sink)?))
@@ -507,10 +530,12 @@ pub fn run_tcp_localhost(cfg: &WorkloadConfig, telemetry: Telemetry) -> Result<W
             io_timeout: cfg.stream_timeout,
             dial_timeout: cfg.stream_timeout,
             telemetry: telemetry.clone(),
+            ..TcpOptions::default()
         };
+        let node_telemetry = telemetry.clone();
         handles.push(std::thread::spawn(move || {
             let mut transport = TcpTransport::establish(node, listener, &addrs, topology, opts)?;
-            run_node(&cfg, node, &mut transport)
+            run_node(&cfg, node, &mut transport, node_telemetry)
         }));
     }
     let mut report = None;

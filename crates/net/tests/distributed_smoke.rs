@@ -74,6 +74,142 @@ fn three_processes_match_inproc_levels_byte_for_byte() {
     );
 }
 
+/// `key=value` fields out of a `MSSG-NODE-*` report line.
+fn field(line: &str, key: &str) -> u64 {
+    line.split_whitespace()
+        .find_map(|kv| kv.strip_prefix(&format!("{key}=")))
+        .unwrap_or_else(|| panic!("no {key}= in {line:?}"))
+        .parse()
+        .unwrap_or_else(|e| panic!("{key} in {line:?}: {e}"))
+}
+
+fn launch_output(extra: &[&str]) -> std::process::Output {
+    let mut cmd = Command::new(BIN);
+    cmd.arg("launch")
+        .args([
+            "--nodes",
+            "3",
+            "--vertices",
+            "1500",
+            "--extra-edges",
+            "4000",
+        ])
+        .args(["--deadline-secs", "120", "--timeout-secs", "30"])
+        .args(extra);
+    cmd.output().expect("mssg-node launch runs")
+}
+
+/// The cluster-observability acceptance gate: a telemetry-enabled launch
+/// ships every node's report to node 0, which merges the metrics
+/// (cluster `net.bytes` = Σ per-node), and writes one Chrome trace whose
+/// process lanes cover all three nodes with rebased (non-negative)
+/// timestamps.
+#[test]
+fn telemetry_launch_merges_reports_and_writes_one_cluster_trace() {
+    let trace_path =
+        std::env::temp_dir().join(format!("mssg-cluster-trace-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&trace_path);
+    let out = launch_output(&[
+        "--block",
+        "128",
+        "--cluster-trace",
+        trace_path.to_str().unwrap(),
+        "--heartbeat-millis",
+        "50",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "launch failed:\n{stdout}");
+
+    // Per-node report lines: one per node, bytes summing to the cluster's.
+    let telem: Vec<&str> = stdout
+        .lines()
+        .filter(|l| l.starts_with("MSSG-NODE-TELEM"))
+        .collect();
+    assert_eq!(telem.len(), 3, "one TELEM line per node:\n{stdout}");
+    let mut nodes: Vec<u64> = telem.iter().map(|l| field(l, "node")).collect();
+    nodes.sort_unstable();
+    assert_eq!(nodes, vec![0, 1, 2]);
+    let byte_sum: u64 = telem.iter().map(|l| field(l, "bytes")).sum();
+    assert!(byte_sum > 0, "no wire bytes counted:\n{stdout}");
+    for line in &telem {
+        assert!(field(line, "spans") > 0, "node shipped no spans: {line}");
+    }
+
+    let cluster = stdout
+        .lines()
+        .find(|l| l.starts_with("MSSG-NODE-CLUSTER"))
+        .unwrap_or_else(|| panic!("no CLUSTER line:\n{stdout}"));
+    assert_eq!(field(cluster, "nodes"), 3);
+    assert_eq!(
+        field(cluster, "bytes"),
+        byte_sum,
+        "merged net.bytes is not the per-node sum"
+    );
+
+    // A healthy uniform run flags nobody.
+    assert!(
+        !stdout.contains("MSSG-NODE-STRAGGLER"),
+        "healthy run flagged a straggler:\n{stdout}"
+    );
+
+    // The merged trace parses (via the mssg-obs JSON parser) and carries
+    // span events in all three process lanes, none before t=0.
+    let text = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let _ = std::fs::remove_file(&trace_path);
+    let doc = mssg_obs::json::parse(&text).expect("trace is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    let mut lanes = std::collections::BTreeSet::new();
+    for ev in events {
+        let ph = ev.get("ph").and_then(|v| v.as_str()).unwrap_or("");
+        if ph == "X" {
+            let pid = ev.get("pid").and_then(|v| v.as_f64()).unwrap();
+            let ts = ev.get("ts").and_then(|v| v.as_f64()).unwrap();
+            assert!(ts >= 0.0, "rebased timestamp went negative: {ts}");
+            lanes.insert(pid as u64);
+        }
+    }
+    assert_eq!(
+        lanes.into_iter().collect::<Vec<_>>(),
+        vec![0, 1, 2],
+        "trace lanes missing a node"
+    );
+}
+
+/// Straggler detection: a store copy artificially stalled during ingest
+/// must be flagged against the cluster-median window rate.
+#[test]
+fn stalled_node_is_flagged_as_a_straggler() {
+    let out = launch_output(&[
+        "--block",
+        "64",
+        "--heartbeat-millis",
+        "40",
+        "--straggler-fraction",
+        "0.5",
+        "--stall-at",
+        "1:25",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "launch failed:\n{stdout}");
+    assert!(
+        stdout.contains("MSSG-NODE-HB"),
+        "no live heartbeat lines:\n{stdout}"
+    );
+    let stragglers: Vec<&str> = stdout
+        .lines()
+        .filter(|l| l.starts_with("MSSG-NODE-STRAGGLER"))
+        .collect();
+    assert_eq!(
+        stragglers.len(),
+        1,
+        "exactly the stalled node is flagged:\n{stdout}"
+    );
+    assert_eq!(field(stragglers[0], "node"), 1, "wrong node flagged");
+}
+
 /// The never-hang guarantee: one store copy calls `process::exit` midway
 /// through ingestion; the survivors must fail with a typed transport
 /// error (which the launcher reports), well inside the deadline.

@@ -84,7 +84,7 @@ proptest! {
     ) {
         // A 4-byte header claiming a body beyond MAX_PAYLOAD must fail
         // before the reader trusts it with an allocation.
-        let len = (13 + MAX_PAYLOAD) as u64 + excess;
+        let len = (FRAME_OVERHEAD - 4 + MAX_PAYLOAD) as u64 + excess;
         let mut wire = ((len.min(u32::MAX as u64)) as u32).to_le_bytes().to_vec();
         wire.extend_from_slice(&noise.to_le_bytes());
         match read_frame(&mut Cursor::new(wire)) {
@@ -96,7 +96,7 @@ proptest! {
     #[test]
     fn corrupted_kind_bytes_never_misparse(
         payload in prop::collection::vec(any::<u8>(), 0..64),
-        bad_kind in 8u8..=255,
+        bad_kind in 10u8..=255,
     ) {
         let mut enc = Frame::data(1, 2, &payload).encode();
         enc[4] = bad_kind; // kind byte lives right after the length word
@@ -105,6 +105,48 @@ proptest! {
             other => prop_assert!(false, "got {:?}", other),
         }
     }
+
+    #[test]
+    fn telemetry_frames_roundtrip_with_span_ids(
+        report in prop::collection::vec(any::<u8>(), 0..4096),
+        span in any::<u64>(),
+    ) {
+        let frame = Frame::telemetry(&report).unwrap().with_span(span);
+        let back = read_frame(&mut Cursor::new(frame.encode())).unwrap().unwrap();
+        prop_assert_eq!(back.kind, FrameKind::Telemetry);
+        prop_assert_eq!(back.span, span);
+        prop_assert_eq!(&back.payload, &report);
+    }
+
+    #[test]
+    fn heartbeat_frames_roundtrip(
+        node in any::<u32>(),
+        windows in any::<u64>(),
+        bytes in any::<u64>(),
+        credit_stalls in any::<u64>(),
+        queue_depth in any::<u64>(),
+        at_ns in any::<u64>(),
+    ) {
+        let hb = mssg_obs::Heartbeat { node, windows, bytes, credit_stalls, queue_depth, at_ns };
+        let frame = Frame::heartbeat(&hb);
+        let back = read_frame(&mut Cursor::new(frame.encode())).unwrap().unwrap();
+        prop_assert_eq!(back.kind, FrameKind::Heartbeat);
+        prop_assert_eq!(back.parse_heartbeat().unwrap(), hb);
+    }
+}
+
+#[test]
+fn oversized_telemetry_reports_are_rejected_as_corrupt() {
+    // Just over the payload ceiling: the constructor must refuse rather
+    // than let the peer's reader kill the connection on a huge frame.
+    let report = vec![0u8; MAX_PAYLOAD + 1];
+    match Frame::telemetry(&report) {
+        Err(GraphStorageError::Corrupt(m)) => {
+            assert!(m.contains("telemetry"), "msg: {m}")
+        }
+        other => panic!("oversized report gave {other:?}"),
+    }
+    assert!(Frame::telemetry(&vec![0u8; 1024]).is_ok());
 }
 
 #[test]

@@ -30,12 +30,18 @@
 //! assert!(t.tracer.chrome_trace_json().contains("ingest.window"));
 //! ```
 
+pub mod cluster;
 pub mod json;
 pub mod metrics;
+pub mod names;
 pub mod span;
 
+pub use cluster::{
+    detect_stragglers, ClusterTelemetryReport, Heartbeat, NodeTelemetry, StragglerConfig,
+    StragglerReport,
+};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
-pub use span::{FieldValue, SpanGuard, SpanRecord, Tracer};
+pub use span::{FieldValue, FlowRecord, SpanGuard, SpanRecord, Tracer};
 
 /// The telemetry bundle handed through the pipeline: a span tracer plus a
 /// metrics registry. Cloning shares both.

@@ -86,11 +86,14 @@ impl Histogram {
         (u64::BITS - value.leading_zeros()) as usize
     }
 
-    /// Inclusive `(low, high)` bounds of bucket `index`.
+    /// Inclusive `(low, high)` bounds of bucket `index`. Indices past the
+    /// last bucket saturate to the last bucket's bounds, so callers
+    /// iterating hostile (deserialized) snapshots can never overflow the
+    /// shift.
     pub fn bucket_bounds(index: usize) -> (u64, u64) {
         match index {
             0 => (0, 0),
-            64 => (1 << 63, u64::MAX),
+            b if b >= HISTOGRAM_BUCKETS - 1 => (1 << 63, u64::MAX),
             b => (1 << (b - 1), (1 << b) - 1),
         }
     }
@@ -103,10 +106,17 @@ impl Histogram {
         self.0.sum.fetch_add(value, Ordering::Relaxed);
     }
 
-    /// Point-in-time copy.
+    /// Point-in-time copy. Trailing empty buckets are trimmed so
+    /// snapshots stay small to ship between nodes.
     pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets: Vec<u64> = (0..HISTOGRAM_BUCKETS)
+            .map(|i| self.0.buckets[i].load(Ordering::Relaxed))
+            .collect();
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
         HistogramSnapshot {
-            buckets: std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed)),
+            buckets,
             count: self.0.count.load(Ordering::Relaxed),
             sum: self.0.sum.load(Ordering::Relaxed),
         }
@@ -114,24 +124,19 @@ impl Histogram {
 }
 
 /// Point-in-time copy of a [`Histogram`].
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// `buckets` holds the occupied log2-bucket prefix: trailing empty
+/// buckets are trimmed, so two snapshots of different lengths are still
+/// mergeable (missing buckets count as zero).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct HistogramSnapshot {
-    /// Observation count per log2 bucket.
-    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Observation count per log2 bucket (possibly shorter than
+    /// [`HISTOGRAM_BUCKETS`]; absent trailing buckets are empty).
+    pub buckets: Vec<u64>,
     /// Total observations.
     pub count: u64,
     /// Sum of all observed values.
     pub sum: u64,
-}
-
-impl Default for HistogramSnapshot {
-    fn default() -> Self {
-        HistogramSnapshot {
-            buckets: [0; HISTOGRAM_BUCKETS],
-            count: 0,
-            sum: 0,
-        }
-    }
 }
 
 impl HistogramSnapshot {
@@ -147,27 +152,54 @@ impl HistogramSnapshot {
     /// Upper bound of the bucket where the cumulative count first reaches
     /// `q` (0.0..=1.0) of all observations; 0 when empty. A coarse
     /// (power-of-two) quantile.
+    ///
+    /// Edge cases are pinned down: `q` is clamped to `[0, 1]` (NaN maps
+    /// to 0), `q = 0` answers the first non-empty bucket, `q = 1` the
+    /// last non-empty bucket, and a snapshot whose `count` exceeds the
+    /// bucket sums (possible after merging hostile or torn input) still
+    /// answers the last non-empty bucket instead of inventing a bucket
+    /// that was never observed.
     pub fn quantile_bound(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
-        let mut cum = 0;
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        let mut last_nonempty = None;
         for (i, n) in self.buckets.iter().enumerate() {
-            cum += n;
-            if cum >= target.max(1) {
+            if *n > 0 {
+                last_nonempty = Some(i);
+            }
+            cum = cum.saturating_add(*n);
+            if cum >= target {
                 return Histogram::bucket_bounds(i).1;
             }
         }
-        Histogram::bucket_bounds(HISTOGRAM_BUCKETS - 1).1
+        // count said there were more observations than the buckets hold;
+        // the last occupied bucket is the best truthful answer.
+        match last_nonempty {
+            Some(i) => Histogram::bucket_bounds(i).1,
+            None => 0,
+        }
     }
 
-    /// Bucketwise sum of two snapshots.
+    /// Bucketwise sum of two snapshots. Handles mismatched bucket
+    /// lengths (shorter snapshot is zero-extended) and saturates instead
+    /// of overflowing on adversarial inputs.
     pub fn merged(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let len = self.buckets.len().max(other.buckets.len());
+        let at = |v: &[u64], i: usize| v.get(i).copied().unwrap_or(0);
+        let mut buckets: Vec<u64> = (0..len)
+            .map(|i| at(&self.buckets, i).saturating_add(at(&other.buckets, i)))
+            .collect();
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
         HistogramSnapshot {
-            buckets: std::array::from_fn(|i| self.buckets[i] + other.buckets[i]),
-            count: self.count + other.count,
-            sum: self.sum + other.sum,
+            buckets,
+            count: self.count.saturating_add(other.count),
+            sum: self.sum.saturating_add(other.sum),
         }
     }
 }
@@ -368,6 +400,108 @@ mod tests {
         assert!((s.mean() - 1050.0 / 9.0).abs() < 1e-9);
         assert_eq!(s.quantile_bound(0.5), 3);
         assert_eq!(s.quantile_bound(1.0), 2047);
+    }
+
+    #[test]
+    fn bucket_bounds_saturates_past_last_bucket() {
+        assert_eq!(Histogram::bucket_bounds(64), (1 << 63, u64::MAX));
+        // Hostile indices (e.g. from a deserialized snapshot with too
+        // many buckets) must not overflow the shift.
+        assert_eq!(Histogram::bucket_bounds(65), (1 << 63, u64::MAX));
+        assert_eq!(Histogram::bucket_bounds(usize::MAX), (1 << 63, u64::MAX));
+    }
+
+    #[test]
+    fn snapshot_trims_trailing_empty_buckets() {
+        let h = Histogram::default();
+        h.record(5); // bucket 3
+        let s = h.snapshot();
+        assert_eq!(s.buckets.len(), 4);
+        assert_eq!(s.buckets, vec![0, 0, 0, 1]);
+        let empty = Histogram::default().snapshot();
+        assert!(empty.buckets.is_empty());
+        assert_eq!(empty, HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn merged_handles_mismatched_bucket_lengths() {
+        let a = Histogram::default();
+        a.record(1); // bucket 1 -> len 2
+        let b = Histogram::default();
+        b.record(1024); // bucket 11 -> len 12
+        let m = a.snapshot().merged(&b.snapshot());
+        assert_eq!(m.count, 2);
+        assert_eq!(m.sum, 1025);
+        assert_eq!(m.buckets.len(), 12);
+        assert_eq!(m.buckets[1], 1);
+        assert_eq!(m.buckets[11], 1);
+        // Merge is symmetric in length handling.
+        assert_eq!(m, b.snapshot().merged(&a.snapshot()));
+    }
+
+    #[test]
+    fn merged_empty_vs_nonempty_is_identity() {
+        let h = Histogram::default();
+        for v in [0, 3, 900] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let empty = HistogramSnapshot::default();
+        assert_eq!(empty.merged(&s), s);
+        assert_eq!(s.merged(&empty), s);
+        assert_eq!(empty.merged(&empty), empty);
+    }
+
+    #[test]
+    fn merged_saturates_instead_of_overflowing() {
+        let a = HistogramSnapshot {
+            buckets: vec![u64::MAX],
+            count: u64::MAX,
+            sum: u64::MAX,
+        };
+        let m = a.merged(&a);
+        assert_eq!(m.count, u64::MAX);
+        assert_eq!(m.sum, u64::MAX);
+        assert_eq!(m.buckets[0], u64::MAX);
+    }
+
+    #[test]
+    fn quantile_bound_extremes() {
+        let h = Histogram::default();
+        for v in [1, 2, 2, 1024] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // q=0 answers the first non-empty bucket, q=1 the last.
+        assert_eq!(s.quantile_bound(0.0), 1);
+        assert_eq!(s.quantile_bound(1.0), 2047);
+        // Out-of-range and NaN inputs clamp rather than panic.
+        assert_eq!(s.quantile_bound(-3.0), 1);
+        assert_eq!(s.quantile_bound(7.5), 2047);
+        assert_eq!(s.quantile_bound(f64::NAN), 1);
+        // Empty snapshot answers 0 for every q.
+        let empty = HistogramSnapshot::default();
+        assert_eq!(empty.quantile_bound(0.0), 0);
+        assert_eq!(empty.quantile_bound(1.0), 0);
+    }
+
+    #[test]
+    fn quantile_bound_with_inconsistent_count() {
+        // A (hostile or torn) snapshot whose count exceeds the bucket
+        // sums must answer from an occupied bucket, not bucket 64.
+        let s = HistogramSnapshot {
+            buckets: vec![0, 2, 1],
+            count: 100,
+            sum: 8,
+        };
+        assert_eq!(s.quantile_bound(1.0), 3);
+        // All-empty buckets but a nonzero count: nothing observed, so 0.
+        let s = HistogramSnapshot {
+            buckets: Vec::new(),
+            count: 5,
+            sum: 0,
+        };
+        assert_eq!(s.quantile_bound(0.5), 0);
     }
 
     #[test]

@@ -20,8 +20,11 @@ pub enum FieldValue {
 }
 
 /// One completed span.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SpanRecord {
+    /// Per-tracer span id (1-based, assigned at open). Carried on wire
+    /// frames so remote receives can stitch back to the sending span.
+    pub id: u64,
     /// Span name (e.g. `"bfs.level"`).
     pub name: String,
     /// Semicolon-joined ancestry ending in this span's name — the
@@ -34,17 +37,32 @@ pub struct SpanRecord {
     /// Logical thread id (dense, per tracer-observing thread).
     pub tid: u64,
     /// Key/value annotations.
-    pub fields: Vec<(&'static str, FieldValue)>,
+    pub fields: Vec<(String, FieldValue)>,
 }
 
 impl SpanRecord {
     /// The numeric field `key`, if recorded.
     pub fn field_u64(&self, key: &str) -> Option<u64> {
         self.fields.iter().find_map(|(k, v)| match v {
-            FieldValue::U64(n) if *k == key => Some(*n),
+            FieldValue::U64(n) if k == key => Some(*n),
             _ => None,
         })
     }
+}
+
+/// A cross-node causal edge: a frame stamped with the sender's span id
+/// arrived while a local span was open. Pairs of flow records become
+/// Chrome flow events (`ph:"s"`/`ph:"f"`) in the merged cluster trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlowRecord {
+    /// Node id of the sender.
+    pub from_node: u32,
+    /// Span id on the sender's tracer.
+    pub from_span: u64,
+    /// Span id on this tracer that observed the arrival (0 = none open).
+    pub to_span: u64,
+    /// Arrival time, nanoseconds since this tracer's epoch.
+    pub at_ns: u64,
 }
 
 struct TracerInner {
@@ -52,6 +70,10 @@ struct TracerInner {
     spans: Mutex<Vec<SpanRecord>>,
     /// Thread names keyed by logical tid, for Chrome metadata events.
     threads: Mutex<HashMap<u64, String>>,
+    /// Cross-node causal edges observed by this tracer.
+    flows: Mutex<Vec<FlowRecord>>,
+    /// Next span id (1-based; 0 means "no span").
+    next_span: AtomicU64,
 }
 
 static NEXT_TID: AtomicU64 = AtomicU64::new(0);
@@ -59,8 +81,9 @@ static NEXT_TID: AtomicU64 = AtomicU64::new(0);
 thread_local! {
     /// Dense per-thread id, assigned on first use.
     static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
-    /// Stack of active span names on this thread (for folded paths).
-    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+    /// Stack of active `(name, span id)` pairs on this thread (for
+    /// folded paths and current-span lookup).
+    static STACK: RefCell<Vec<(String, u64)>> = const { RefCell::new(Vec::new()) };
 }
 
 /// A lightweight span tracer.
@@ -102,6 +125,8 @@ impl Tracer {
                 epoch: Instant::now(),
                 spans: Mutex::new(Vec::new()),
                 threads: Mutex::new(HashMap::new()),
+                flows: Mutex::new(Vec::new()),
+                next_span: AtomicU64::new(1),
             })),
         }
     }
@@ -136,19 +161,27 @@ impl Tracer {
                             .to_string()
                     });
                 }
+                let id = inner.next_span.fetch_add(1, Ordering::Relaxed);
                 let path = STACK.with(|s| {
                     let mut s = s.borrow_mut();
                     let path = if s.is_empty() {
                         name.to_string()
                     } else {
-                        format!("{};{}", s.join(";"), name)
+                        let mut p = String::with_capacity(s.len() * 8 + name.len());
+                        for (n, _) in s.iter() {
+                            p.push_str(n);
+                            p.push(';');
+                        }
+                        p.push_str(name);
+                        p
                     };
-                    s.push(name.to_string());
+                    s.push((name.to_string(), id));
                     path
                 });
                 SpanGuard {
                     active: Some(ActiveSpan {
                         tracer: Arc::clone(inner),
+                        id,
                         name: name.to_string(),
                         path,
                         start: Instant::now(),
@@ -173,6 +206,73 @@ impl Tracer {
         match &self.inner {
             None => Vec::new(),
             Some(inner) => inner.spans.lock().unwrap().clone(),
+        }
+    }
+
+    /// Id of the innermost span currently open on *this thread*, or 0 if
+    /// none (or the tracer is disabled). This is what senders stamp on
+    /// outgoing wire frames. Does not allocate.
+    #[inline]
+    pub fn current_span_id(&self) -> u64 {
+        if self.inner.is_none() {
+            return 0;
+        }
+        STACK.with(|s| s.borrow().last().map(|(_, id)| *id).unwrap_or(0))
+    }
+
+    /// Nanoseconds elapsed since this tracer's epoch (0 when disabled).
+    /// Exchanged in handshakes to estimate per-peer clock offsets.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        match &self.inner {
+            None => 0,
+            Some(inner) => inner.epoch.elapsed().as_nanos() as u64,
+        }
+    }
+
+    /// Records a cross-node causal edge: a frame from `from_node`,
+    /// stamped with the sender's span id `from_span`, was consumed on
+    /// this thread now. No-op on a disabled tracer or when `from_span`
+    /// is 0 (sender had no span open).
+    pub fn flow_in(&self, from_node: u32, from_span: u64) {
+        let Some(inner) = &self.inner else { return };
+        if from_span == 0 {
+            return;
+        }
+        let to_span = STACK.with(|s| s.borrow().last().map(|(_, id)| *id).unwrap_or(0));
+        let at_ns = inner.epoch.elapsed().as_nanos() as u64;
+        inner.flows.lock().unwrap().push(FlowRecord {
+            from_node,
+            from_span,
+            to_span,
+            at_ns,
+        });
+    }
+
+    /// Copies of all recorded cross-node flow edges.
+    pub fn flows(&self) -> Vec<FlowRecord> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner.flows.lock().unwrap().clone(),
+        }
+    }
+
+    /// Thread names observed so far, as sorted `(tid, name)` pairs —
+    /// shipped alongside spans so merged traces keep lane labels.
+    pub fn thread_names(&self) -> Vec<(u64, String)> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => {
+                let mut v: Vec<(u64, String)> = inner
+                    .threads
+                    .lock()
+                    .unwrap()
+                    .iter()
+                    .map(|(k, v)| (*k, v.clone()))
+                    .collect();
+                v.sort();
+                v
+            }
         }
     }
 
@@ -268,11 +368,12 @@ impl Tracer {
 
 struct ActiveSpan {
     tracer: Arc<TracerInner>,
+    id: u64,
     name: String,
     path: String,
     start: Instant,
     tid: u64,
-    fields: Vec<(&'static str, FieldValue)>,
+    fields: Vec<(String, FieldValue)>,
 }
 
 /// RAII guard for an open span; records the span on drop.
@@ -293,7 +394,8 @@ impl SpanGuard {
     #[inline]
     pub fn with_str(mut self, key: &'static str, value: &str) -> SpanGuard {
         if let Some(a) = &mut self.active {
-            a.fields.push((key, FieldValue::Str(value.to_string())));
+            a.fields
+                .push((key.to_string(), FieldValue::Str(value.to_string())));
         }
         self
     }
@@ -303,8 +405,15 @@ impl SpanGuard {
     #[inline]
     pub fn record(&mut self, key: &'static str, value: u64) {
         if let Some(a) = &mut self.active {
-            a.fields.push((key, FieldValue::U64(value)));
+            a.fields.push((key.to_string(), FieldValue::U64(value)));
         }
+    }
+
+    /// Id of this span on its tracer (0 for a disabled tracer's no-op
+    /// guard).
+    #[inline]
+    pub fn id(&self) -> u64 {
+        self.active.as_ref().map(|a| a.id).unwrap_or(0)
     }
 }
 
@@ -315,10 +424,15 @@ impl Drop for SpanGuard {
         let start_ns = a.start.duration_since(a.tracer.epoch).as_nanos() as u64;
         STACK.with(|s| {
             let mut s = s.borrow_mut();
-            debug_assert_eq!(s.last(), Some(&a.name), "span guards dropped out of order");
+            debug_assert_eq!(
+                s.last().map(|(n, _)| n),
+                Some(&a.name),
+                "span guards dropped out of order"
+            );
             s.pop();
         });
         a.tracer.spans.lock().unwrap().push(SpanRecord {
+            id: a.id,
             name: a.name,
             path: a.path,
             start_ns,
@@ -372,11 +486,70 @@ mod tests {
         assert_eq!(
             s.fields,
             vec![
-                ("edges", FieldValue::U64(10)),
-                ("kind", FieldValue::Str("pubmed".into())),
-                ("bytes", FieldValue::U64(160)),
+                ("edges".to_string(), FieldValue::U64(10)),
+                ("kind".to_string(), FieldValue::Str("pubmed".into())),
+                ("bytes".to_string(), FieldValue::U64(160)),
             ]
         );
+    }
+
+    #[test]
+    fn span_ids_are_unique_and_current_tracks_nesting() {
+        let t = Tracer::enabled();
+        assert_eq!(t.current_span_id(), 0);
+        {
+            let a = t.span("a");
+            assert_eq!(t.current_span_id(), a.id());
+            {
+                let b = t.span("b");
+                assert_ne!(a.id(), b.id());
+                assert_eq!(t.current_span_id(), b.id());
+            }
+            assert_eq!(t.current_span_id(), a.id());
+        }
+        assert_eq!(t.current_span_id(), 0);
+        let ids: std::collections::BTreeSet<u64> =
+            t.finished_spans().iter().map(|s| s.id).collect();
+        assert_eq!(ids.len(), 2);
+        assert!(!ids.contains(&0), "0 is reserved for 'no span'");
+
+        let disabled = Tracer::disabled();
+        assert_eq!(disabled.current_span_id(), 0);
+        assert_eq!(disabled.span("x").id(), 0);
+        assert_eq!(disabled.now_ns(), 0);
+    }
+
+    #[test]
+    fn flow_in_records_causal_edges() {
+        let t = Tracer::enabled();
+        let to;
+        {
+            let g = t.span("consume");
+            to = g.id();
+            t.flow_in(2, 7);
+            t.flow_in(2, 0); // sender had no span: dropped
+        }
+        t.flow_in(1, 9); // no local span open: recorded with to_span 0
+        let flows = t.flows();
+        assert_eq!(flows.len(), 2);
+        assert_eq!(flows[0].from_node, 2);
+        assert_eq!(flows[0].from_span, 7);
+        assert_eq!(flows[0].to_span, to);
+        assert_eq!(flows[1].to_span, 0);
+
+        let disabled = Tracer::disabled();
+        disabled.flow_in(1, 1);
+        assert!(disabled.flows().is_empty());
+    }
+
+    #[test]
+    fn thread_names_are_exposed() {
+        let t = Tracer::enabled();
+        {
+            let _g = t.span("x");
+        }
+        let names = t.thread_names();
+        assert_eq!(names.len(), 1);
     }
 
     #[test]

@@ -25,6 +25,12 @@
 //!   `.clamp(`) within a few lines. A length prefix is attacker-
 //!   controlled input; allocating it unclamped turns a corrupt frame
 //!   into an allocation bomb.
+//! - **`metric-names`** — every literal `counter("…")` / `gauge("…")` /
+//!   `histogram("…")` / `span("…")` name in non-test code must appear in
+//!   the central registry `crates/obs/src/names.rs`. A typoed metric
+//!   name silently forks a time series (and a typoed span name breaks
+//!   trace grouping) instead of failing anywhere; the registry makes it
+//!   fail here.
 //!
 //! False positives are suppressed through the allowlist file
 //! `lint.allow` at the repo root (or `--allowlist <file>`), one entry
@@ -103,6 +109,7 @@ pub fn run(args: &[String]) -> ExitCode {
     let allow = load_allowlist(&allow_path);
 
     let mut violations = Vec::new();
+    let registry = load_name_registry(&root, &mut violations);
     for file in rust_sources(&root) {
         let Ok(text) = fs::read_to_string(&file) else {
             continue;
@@ -111,6 +118,9 @@ pub fn run(args: &[String]) -> ExitCode {
         check_filter_unwrap(&rel, &text, &mut violations);
         check_untimed_recv(&rel, &text, &mut violations);
         check_wire_alloc(&rel, &text, &mut violations);
+        if let Some(reg) = &registry {
+            check_metric_names(&rel, &text, reg, &mut violations);
+        }
     }
     check_error_classification(&root, &mut violations);
 
@@ -472,6 +482,170 @@ fn balanced_prefix(rest: &str, open: char, close: char) -> String {
     rest.to_string()
 }
 
+/// Where the central metric/span name registry lives.
+const NAME_REGISTRY_PATH: &str = "crates/obs/src/names.rs";
+
+/// The registered telemetry names, loaded from [`NAME_REGISTRY_PATH`].
+struct NameRegistry {
+    /// Exact names from `COUNTERS`/`GAUGES`/`HISTOGRAMS`/`SPANS`.
+    names: Vec<String>,
+    /// `DYNAMIC_PREFIXES` entries, matched by prefix.
+    prefixes: Vec<String>,
+}
+
+impl NameRegistry {
+    fn covers(&self, name: &str) -> bool {
+        self.names.iter().any(|n| n == name) || self.prefixes.iter().any(|p| name.starts_with(p))
+    }
+}
+
+fn load_name_registry(root: &Path, out: &mut Vec<Violation>) -> Option<NameRegistry> {
+    let Ok(text) = fs::read_to_string(root.join(NAME_REGISTRY_PATH)) else {
+        out.push(Violation {
+            rule: "metric-names",
+            path: NAME_REGISTRY_PATH.to_string(),
+            line: 1,
+            message: "cannot read the telemetry name registry".to_string(),
+        });
+        return None;
+    };
+    let mut names = Vec::new();
+    for marker in [
+        "const COUNTERS",
+        "const GAUGES",
+        "const HISTOGRAMS",
+        "const SPANS",
+    ] {
+        names.extend(const_strings(&text, marker));
+    }
+    let prefixes = const_strings(&text, "const DYNAMIC_PREFIXES");
+    if names.is_empty() {
+        out.push(Violation {
+            rule: "metric-names",
+            path: NAME_REGISTRY_PATH.to_string(),
+            line: 1,
+            message: "the telemetry name registry declares no names".to_string(),
+        });
+        return None;
+    }
+    Some(NameRegistry { names, prefixes })
+}
+
+/// The string literals inside the bracketed initializer of the const
+/// whose declaration contains `marker`.
+fn const_strings(text: &str, marker: &str) -> Vec<String> {
+    let Some(start) = text.find(marker) else {
+        return Vec::new();
+    };
+    let slice = &text[start..];
+    let end = slice.find("];").map(|e| e + 1).unwrap_or(slice.len());
+    quoted_strings(&slice[..end])
+}
+
+/// Every `"…"` literal in `text`, contents unescaped enough for plain
+/// metric names (which never contain escapes).
+fn quoted_strings(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(open) = rest.find('"') {
+        let after = &rest[open + 1..];
+        let Some(close) = after.find('"') else { break };
+        out.push(after[..close].to_string());
+        rest = &after[close + 1..];
+    }
+    out
+}
+
+/// Drops a trailing `//` comment but keeps string-literal contents, so
+/// metric names survive for extraction while commented-out code does not.
+fn cut_comment(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_str = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            if c == '\\' {
+                out.push(c);
+                if let Some(next) = chars.next() {
+                    out.push(next);
+                }
+                continue;
+            }
+            if c == '"' {
+                in_str = false;
+            }
+            out.push(c);
+            continue;
+        }
+        match c {
+            '/' if chars.peek() == Some(&'/') => break,
+            '"' => {
+                in_str = true;
+                out.push(c);
+            }
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// The instrument-call patterns whose literal first argument must be a
+/// registered name.
+const NAME_CALL_PATTERNS: [&str; 4] = [".counter(\"", ".gauge(\"", ".histogram(\"", ".span(\""];
+
+/// Flags literal instrument names absent from the central registry.
+/// Test code is exempt: `#[cfg(test)]` regions and `tests/` directories
+/// invent throwaway names freely.
+fn check_metric_names(rel: &str, text: &str, reg: &NameRegistry, out: &mut Vec<Violation>) {
+    if rel.contains("/tests/") || rel == NAME_REGISTRY_PATH {
+        return;
+    }
+    let mut stack: Vec<Region> = Vec::new();
+    let mut pending: Option<Region> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let stripped = strip_code(raw);
+        let trimmed = stripped.trim();
+        if trimmed.contains("#[cfg(test)]") {
+            pending = Some(Region::Test);
+        }
+        if !stack.contains(&Region::Test) {
+            let code = cut_comment(raw);
+            for pat in NAME_CALL_PATTERNS {
+                let mut search = code.as_str();
+                while let Some(pos) = search.find(pat) {
+                    let arg = &search[pos + pat.len()..];
+                    let Some(close) = arg.find('"') else { break };
+                    let name = &arg[..close];
+                    if !reg.covers(name) {
+                        out.push(Violation {
+                            rule: "metric-names",
+                            path: rel.to_string(),
+                            line: idx + 1,
+                            message: format!(
+                                "telemetry name {name:?} is not in {NAME_REGISTRY_PATH} — \
+                                 register it there or fix the typo"
+                            ),
+                        });
+                    }
+                    search = &arg[close + 1..];
+                }
+            }
+        }
+        for c in stripped.chars() {
+            match c {
+                '{' => stack.push(pending.take().unwrap_or(Region::Plain)),
+                '}' => {
+                    stack.pop();
+                }
+                _ => {}
+            }
+        }
+        if pending.is_some() && trimmed.ends_with(';') {
+            pending = None;
+        }
+    }
+}
+
 /// Checks that `is_transient` names every `GraphStorageError` variant and
 /// has no `_` arm.
 fn check_error_classification(root: &Path, out: &mut Vec<Violation>) {
@@ -747,6 +921,54 @@ fn setup(n: usize) {
 "#;
         check_wire_alloc("crates/net/src/tcp.rs", local, &mut v);
         assert!(v.is_empty(), "untainted size flagged");
+    }
+
+    #[test]
+    fn metric_names_flags_unregistered_literals_outside_tests() {
+        let reg = NameRegistry {
+            names: vec!["net.bytes".into(), "ingest.window".into()],
+            prefixes: vec!["dc.queue_depth.".into()],
+        };
+        let src = r#"
+fn work(t: &Telemetry) {
+    t.metrics.counter("net.bytes").inc();
+    t.metrics.counter("net.bytez").inc();
+    t.metrics.histogram("dc.queue_depth.store.edges").record(1);
+    let _g = t.tracer.span("ingest.window");
+    // t.metrics.counter("commented.out").inc();
+}
+#[cfg(test)]
+mod tests {
+    fn t(t: &Telemetry) {
+        t.metrics.counter("throwaway.name").inc();
+    }
+}
+"#;
+        let mut v = Vec::new();
+        check_metric_names("crates/demo/src/lib.rs", src, &reg, &mut v);
+        assert_eq!(
+            v.len(),
+            1,
+            "{:?}",
+            v.iter().map(|v| v.line).collect::<Vec<_>>()
+        );
+        assert_eq!(v[0].line, 4);
+        assert!(v[0].message.contains("net.bytez"));
+        // Integration tests are exempt wholesale.
+        v.clear();
+        check_metric_names("crates/demo/tests/x.rs", src, &reg, &mut v);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn const_strings_reads_one_registry_list_at_a_time() {
+        let src = r#"
+pub const COUNTERS: &[&str] = &["a.b", "c.d"];
+pub const SPANS: &[&str] = &["e.f"];
+"#;
+        assert_eq!(const_strings(src, "const COUNTERS"), ["a.b", "c.d"]);
+        assert_eq!(const_strings(src, "const SPANS"), ["e.f"]);
+        assert!(const_strings(src, "const GAUGES").is_empty());
     }
 
     #[test]
