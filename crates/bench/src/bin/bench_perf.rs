@@ -1,0 +1,77 @@
+//! Writes `BENCH_perf.json`: baseline vs tuned hot-path throughput
+//! (pooled buffers, parallel ordered ingestion, batched grDB flushes, 2Q
+//! cache + readahead) on the in-process cluster and over TCP-localhost.
+//! Exits non-zero when the tuned/baseline ingest ratio falls below the
+//! gate (`--min-ratio`, default 1.3).
+//!
+//! ```text
+//! bench-perf                               # BENCH_perf.json in cwd
+//! bench-perf --out path.json --scale 128 --nodes 4 --queries 20
+//! bench-perf --pool-blocks 64 --ingest-par 4 --cache-policy 2q
+//! ```
+
+use mssg_bench::perf::{run_perf_bench, PerfConfig};
+use simio::CachePolicy;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench-perf [--out FILE] [--scale N] [--queries N] [--nodes N] [--seed N] \
+         [--pool-blocks N] [--ingest-par N] [--cache-policy lru|clock|2q] [--min-ratio F] \
+         [--tcp-vertices N] [--tcp-extra-edges N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = PerfConfig::default();
+    let mut out = "BENCH_perf.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        let val = |i: usize| -> &str {
+            args.get(i + 1)
+                .map(String::as_str)
+                .unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--out" => out = val(i).to_string(),
+            "--scale" => cfg.scale = val(i).parse().unwrap_or_else(|_| usage()),
+            "--queries" => cfg.queries = val(i).parse().unwrap_or_else(|_| usage()),
+            "--nodes" => cfg.nodes = val(i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.seed = val(i).parse().unwrap_or_else(|_| usage()),
+            "--pool-blocks" => cfg.pool_blocks = val(i).parse().unwrap_or_else(|_| usage()),
+            "--ingest-par" => cfg.ingest_par = val(i).parse().unwrap_or_else(|_| usage()),
+            "--cache-policy" => {
+                cfg.cache_policy = match val(i) {
+                    "lru" => CachePolicy::Lru,
+                    "clock" => CachePolicy::Clock,
+                    "2q" | "twoq" => CachePolicy::TwoQ,
+                    _ => usage(),
+                }
+            }
+            "--min-ratio" => cfg.min_ratio = val(i).parse().unwrap_or_else(|_| usage()),
+            "--tcp-vertices" => cfg.tcp_vertices = val(i).parse().unwrap_or_else(|_| usage()),
+            "--tcp-extra-edges" => cfg.tcp_extra_edges = val(i).parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+        i += 2;
+    }
+
+    let bench = match run_perf_bench(&cfg) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench-perf: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", bench.to_table().to_markdown());
+    if let Err(e) = std::fs::write(&out, bench.to_json()) {
+        eprintln!("bench-perf: write {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out}");
+    if let Err(e) = bench.check() {
+        eprintln!("bench-perf: {e}");
+        std::process::exit(1);
+    }
+}

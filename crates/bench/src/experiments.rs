@@ -595,7 +595,7 @@ pub fn ablation_cache_policy(cfg: &ExpConfig) -> Result<Table> {
             "Modeled I/O",
         ],
     );
-    for policy in [CachePolicy::Lru, CachePolicy::Clock] {
+    for policy in [CachePolicy::Lru, CachePolicy::Clock, CachePolicy::TwoQ] {
         for capacity in [16usize, 64, 256] {
             let label = format!("grDB ({policy:?}/{capacity})");
             let opts = BackendOptions {
@@ -1071,6 +1071,26 @@ pub fn chaos_ingest(cfg: &ExpConfig) -> Result<Table> {
     Ok(t)
 }
 
+/// Perf trajectory (beyond the paper): the hot-path knob set of DESIGN.md
+/// §10 — pooled buffers, ordered parallel front-ends, block-sized batched
+/// store flushes, 2Q cache + readahead — against the legacy settings, on
+/// the same seeded PubMed-S workload the search/ingest figures use. The
+/// `bench-perf` binary runs the same comparison stand-alone and gates the
+/// ingest ratio; here the ratio is only reported, so `figures all` never
+/// fails on scheduler noise.
+pub fn perf_hotpath(cfg: &ExpConfig) -> Result<Table> {
+    let pcfg = crate::perf::PerfConfig {
+        scale: cfg.scale,
+        queries: cfg.queries,
+        nodes: cfg.nodes,
+        seed: cfg.seed,
+        root: cfg.root.clone(),
+        min_ratio: 0.0,
+        ..Default::default()
+    };
+    Ok(crate::perf::run_perf_bench(&pcfg)?.to_table())
+}
+
 /// An experiment harness: takes a config, produces one figure's table.
 pub type Experiment = fn(&ExpConfig) -> Result<Table>;
 
@@ -1095,6 +1115,7 @@ pub fn all_experiments() -> Vec<(&'static str, Experiment)> {
         ("ablation_bulk_load", ablation_bulk_load),
         ("ablation_grdb_geometry", ablation_grdb_geometry),
         ("chaos_ingest", chaos_ingest),
+        ("perf_hotpath", perf_hotpath),
     ]
 }
 

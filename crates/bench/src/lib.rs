@@ -19,9 +19,25 @@
 //!
 //! Criterion benches (`cargo bench`) wrap the same experiment functions at
 //! smaller scales.
+//!
+//! Besides the figures, three perf-trajectory binaries write committed
+//! JSON baselines: `bench-transport` (in-proc vs TCP), `bench-obs`
+//! (telemetry overhead bound), and `bench-perf` (the DESIGN.md §10
+//! hot-path knob set — `--pool-blocks`, `--ingest-par`,
+//! `--cache-policy` — gated at ≥1.3× baseline ingest, exiting non-zero
+//! on regression). Every experiment reports through [`report::Table`]:
+//!
+//! ```
+//! use mssg_bench::Table;
+//!
+//! let mut t = Table::new("demo".to_string(), &["knob", "value"]);
+//! t.row(vec!["pool_blocks".into(), "64".into()]);
+//! assert!(t.to_markdown().contains("| pool_blocks | 64 |"));
+//! ```
 
 pub mod experiments;
 pub mod obs;
+pub mod perf;
 pub mod report;
 pub mod transport;
 pub mod workloads;

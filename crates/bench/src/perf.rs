@@ -1,0 +1,532 @@
+//! Hot-path performance benchmark — the before/after gate for the
+//! pooled-buffer / parallel-decluster / cache-tuning work (DESIGN.md §10).
+//!
+//! Two comparisons, both on the same seeded workloads:
+//!
+//! * **In-process cluster** (PubMed-S, grDB backend): a *baseline* run
+//!   with every knob at its legacy setting (one front-end, per-window
+//!   store flushes, no buffer pool, plain LRU cache, no readahead)
+//!   against a *tuned* run with the full knob set (pooled windows,
+//!   ordered parallel front-ends, block-sized batched `store_edges`
+//!   flushes, 2Q cache, adjacency readahead). The stored graphs must be
+//!   byte-identical — the tuned path is a pure optimisation — and the
+//!   tuned ingest must beat the baseline by at least
+//!   [`PerfConfig::min_ratio`].
+//! * **TCP-localhost workload** (mssg-net, real sockets and credit flow
+//!   control): the same generated graph with and without `--pooled`
+//!   zero-copy buffers, again digest-checked.
+//!
+//! The `bench-perf` binary serializes the result as `BENCH_perf.json`
+//! and exits non-zero when the ingest ratio regresses below the gate, so
+//! successive commits can be compared mechanically.
+
+use crate::report::Table;
+use crate::workloads::{build_and_ingest, fresh_dir, preset, run_queries, sample_queries};
+use graphgen::GraphPreset;
+use grdb::GrdbConfig;
+use mssg_core::ingest::DeclusterKind;
+use mssg_core::{BackendKind, BackendOptions, BfsOptions, IngestOptions, MssgCluster};
+use mssg_net::workload::{run_inproc, run_tcp_localhost, WorkloadConfig};
+use mssg_obs::Telemetry;
+use mssg_types::{GraphStorageError, Result};
+use simio::CachePolicy;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Scaling and knob settings for one benchmark run.
+#[derive(Clone, Debug)]
+pub struct PerfConfig {
+    /// PubMed-S scale divisor for the in-process comparison.
+    pub scale: u64,
+    /// Random BFS queries per variant.
+    pub queries: usize,
+    /// Back-end node count for the in-process cluster.
+    pub nodes: usize,
+    /// PRNG seed for graphs and query sampling.
+    pub seed: u64,
+    /// Directory the clusters are built under.
+    pub root: PathBuf,
+    /// Tuned run: `DataBuffer` pool capacity in payloads (0 disables).
+    pub pool_blocks: usize,
+    /// Tuned run: parallel ordered ingestion front-ends.
+    pub ingest_par: usize,
+    /// Tuned run: grDB block-cache replacement policy.
+    pub cache_policy: CachePolicy,
+    /// Minimum tuned/baseline in-process ingest throughput ratio;
+    /// [`PerfBench::check`] fails below it.
+    pub min_ratio: f64,
+    /// Vertices of the TCP workload's spine.
+    pub tcp_vertices: u64,
+    /// Extra random edges of the TCP workload.
+    pub tcp_extra_edges: u64,
+}
+
+impl Default for PerfConfig {
+    fn default() -> Self {
+        PerfConfig {
+            scale: 256,
+            queries: 20,
+            nodes: 4,
+            seed: 42,
+            root: std::env::temp_dir().join("mssg-bench-perf"),
+            pool_blocks: 64,
+            ingest_par: 4,
+            cache_policy: CachePolicy::TwoQ,
+            min_ratio: 1.3,
+            tcp_vertices: 20_000,
+            tcp_extra_edges: 60_000,
+        }
+    }
+}
+
+impl PerfConfig {
+    /// A configuration small enough for CI unit tests.
+    pub fn tiny() -> PerfConfig {
+        PerfConfig {
+            scale: 8192,
+            queries: 5,
+            nodes: 3,
+            tcp_vertices: 300,
+            tcp_extra_edges: 500,
+            // Tiny runs are timing noise; the unit test checks digests
+            // and shape, not the throughput gate.
+            min_ratio: 0.0,
+            root: std::env::temp_dir().join(format!("mssg-bench-perf-tiny-{}", std::process::id())),
+            ..PerfConfig::default()
+        }
+    }
+
+    /// The tuned run's `store_edges` batch threshold: the largest grDB
+    /// block's capacity in adjacency words. A batch this size spans many
+    /// ingest windows, so edges sharing a source vertex are merged into
+    /// one chain walk per flush instead of one per window.
+    fn batch_edges(&self) -> usize {
+        let cfg = GrdbConfig::thesis_defaults();
+        cfg.levels
+            .iter()
+            .map(|l| l.block_bytes / grdb::config::WORD)
+            .max()
+            .unwrap_or(512)
+    }
+}
+
+/// One (phase, mode, variant) measurement.
+#[derive(Clone, Debug)]
+pub struct PerfRow {
+    /// `"ingest"` or `"bfs"`.
+    pub phase: String,
+    /// `"inproc"` (core cluster) or `"tcp"` (mssg-net localhost sockets).
+    pub mode: String,
+    /// `"baseline"` or `"tuned"`.
+    pub variant: String,
+    /// Edges ingested (ingest rows) or adjacency entries scanned (BFS).
+    pub edges: u64,
+    /// Wall time, seconds.
+    pub secs: f64,
+    /// Throughput, edges/sec.
+    pub eps: f64,
+    /// grDB block-cache hits accumulated during the phase (0 where the
+    /// backend has no cache counters).
+    pub cache_hits: u64,
+    /// grDB block-cache misses accumulated during the phase.
+    pub cache_misses: u64,
+}
+
+/// The full benchmark result: config echo, digests, rows, and the
+/// headline ratios.
+#[derive(Clone, Debug)]
+pub struct PerfBench {
+    /// The configuration that was measured.
+    pub config: PerfConfig,
+    /// In-process stored-graph digest — identical for baseline and tuned
+    /// by construction (checked before any number is reported).
+    pub digest: u64,
+    /// TCP workload BFS digest — identical for plain and pooled runs.
+    pub tcp_digest: u64,
+    /// Measurements, in-process first.
+    pub rows: Vec<PerfRow>,
+    /// Tuned / baseline in-process ingest throughput.
+    pub ingest_ratio: f64,
+    /// Tuned / baseline in-process BFS scan throughput.
+    pub bfs_ratio: f64,
+    /// Pooled / plain TCP ingest throughput.
+    pub tcp_ingest_ratio: f64,
+}
+
+/// FNV-1a over every node's sorted vertex set with each adjacency list
+/// in *stored* order: equal digests ⇔ byte-identical stored graphs.
+fn graph_digest(cluster: &MssgCluster) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: [u8; 8]| {
+        for b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for i in 0..cluster.nodes() {
+        let lists = cluster.with_backend(i, |db| {
+            use graphdb::GraphDbExt;
+            let mut vs = db.local_vertices()?;
+            vs.sort_unstable();
+            vs.into_iter()
+                .map(|v| Ok((v, db.neighbors(v)?)))
+                .collect::<Result<Vec<_>>>()
+        });
+        for (v, ns) in lists.unwrap_or_default() {
+            eat(v.raw().to_le_bytes());
+            for u in ns {
+                eat(u.raw().to_le_bytes());
+            }
+        }
+    }
+    h
+}
+
+/// Sums the block-cache counters over every backend of the cluster.
+fn cache_totals(cluster: &MssgCluster) -> (u64, u64) {
+    let mut hits = 0;
+    let mut misses = 0;
+    for i in 0..cluster.nodes() {
+        if let Some((h, m, _)) = cluster.with_backend(i, |db| db.cache_counters()) {
+            hits += h;
+            misses += m;
+        }
+    }
+    (hits, misses)
+}
+
+/// One in-process variant: build, ingest, query; returns its two rows
+/// plus the stored-graph digest.
+fn run_inproc_variant(
+    cfg: &PerfConfig,
+    variant: &str,
+    backend: &BackendOptions,
+    ingest_opts: &IngestOptions,
+) -> Result<(PerfRow, PerfRow, u64)> {
+    let w = preset(GraphPreset::PubMedS, cfg.scale, cfg.seed);
+    let dir = fresh_dir(&cfg.root, &format!("inproc-{variant}"));
+    let (cluster, report) = build_and_ingest(
+        &dir,
+        &w,
+        BackendKind::Grdb,
+        cfg.nodes,
+        backend,
+        ingest_opts,
+        &Telemetry::disabled(),
+    )?;
+    let (ingest_hits, ingest_misses) = cache_totals(&cluster);
+    let ingest_secs = report.telemetry.elapsed.as_secs_f64().max(1e-9);
+    let ingest_row = PerfRow {
+        phase: "ingest".into(),
+        mode: "inproc".into(),
+        variant: variant.into(),
+        edges: report.edges,
+        secs: ingest_secs,
+        eps: report.edges as f64 / ingest_secs,
+        cache_hits: ingest_hits,
+        cache_misses: ingest_misses,
+    };
+
+    let queries = sample_queries(&w, cfg.queries, cfg.seed);
+    let results = run_queries(&cluster, &queries, &BfsOptions::default())?;
+    let scanned: u64 = results.iter().map(|m| m.edges_scanned).sum();
+    let bfs_secs: f64 = results
+        .iter()
+        .map(|m| m.telemetry.elapsed.as_secs_f64())
+        .sum::<f64>()
+        .max(1e-9);
+    let (total_hits, total_misses) = cache_totals(&cluster);
+    let bfs_row = PerfRow {
+        phase: "bfs".into(),
+        mode: "inproc".into(),
+        variant: variant.into(),
+        edges: scanned,
+        secs: bfs_secs,
+        eps: scanned as f64 / bfs_secs,
+        cache_hits: total_hits - ingest_hits,
+        cache_misses: total_misses - ingest_misses,
+    };
+
+    let digest = graph_digest(&cluster);
+    drop(cluster);
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok((ingest_row, bfs_row, digest))
+}
+
+/// One TCP-localhost variant (real sockets, one transport per node).
+fn run_tcp_variant(cfg: &WorkloadConfig, variant: &str) -> Result<(PerfRow, PerfRow, u64)> {
+    let r = run_tcp_localhost(cfg, Telemetry::disabled())?;
+    let ingest = PerfRow {
+        phase: "ingest".into(),
+        mode: "tcp".into(),
+        variant: variant.into(),
+        edges: r.edges,
+        secs: r.ingest_secs,
+        eps: r.ingest_edges_per_sec(),
+        cache_hits: 0,
+        cache_misses: 0,
+    };
+    let bfs = PerfRow {
+        phase: "bfs".into(),
+        mode: "tcp".into(),
+        variant: variant.into(),
+        edges: r.edges,
+        secs: r.bfs_secs,
+        eps: r.bfs_edges_per_sec(),
+        cache_hits: 0,
+        cache_misses: 0,
+    };
+    Ok((ingest, bfs, r.digest))
+}
+
+/// Runs baseline and tuned variants on both substrates, digest-checking
+/// each pair before reporting any numbers.
+pub fn run_perf_bench(cfg: &PerfConfig) -> Result<PerfBench> {
+    // In-process: legacy knobs vs the full tuned set.
+    // Both variants get the thesis cache size — the comparison is about
+    // policy and access patterns, not cache budget.
+    let cache_blocks = GrdbConfig::thesis_defaults().cache_blocks;
+    let baseline_backend = BackendOptions {
+        grdb: Some(GrdbConfig::thesis_defaults()),
+        cache_capacity: cache_blocks,
+        cache_policy: CachePolicy::Lru,
+        ..Default::default()
+    };
+    let baseline_opts = IngestOptions {
+        declustering: DeclusterKind::VertexHash,
+        ..Default::default()
+    };
+    let (base_ingest, base_bfs, base_digest) =
+        run_inproc_variant(cfg, "baseline", &baseline_backend, &baseline_opts)?;
+
+    let mut tuned_grdb = GrdbConfig::thesis_defaults();
+    tuned_grdb.readahead_blocks = 4;
+    let tuned_backend = BackendOptions {
+        grdb: Some(tuned_grdb),
+        cache_capacity: cache_blocks,
+        cache_policy: cfg.cache_policy,
+        ..Default::default()
+    };
+    let tuned_opts = IngestOptions {
+        declustering: DeclusterKind::VertexHash,
+        front_ends: cfg.ingest_par,
+        ordered: cfg.ingest_par > 1,
+        pool_blocks: cfg.pool_blocks,
+        store_batch_edges: cfg.batch_edges(),
+        ..Default::default()
+    };
+    let (tuned_ingest, tuned_bfs, tuned_digest) =
+        run_inproc_variant(cfg, "tuned", &tuned_backend, &tuned_opts)?;
+    if tuned_digest != base_digest {
+        return Err(GraphStorageError::Corrupt(format!(
+            "tuned ingest diverged from baseline: digest {tuned_digest:016x} vs {base_digest:016x}"
+        )));
+    }
+
+    // TCP-localhost: plain vs pooled zero-copy buffers.
+    let tcp_cfg = WorkloadConfig {
+        nodes: 3,
+        vertices: cfg.tcp_vertices,
+        extra_edges: cfg.tcp_extra_edges,
+        seed: cfg.seed,
+        stream_timeout: Duration::from_secs(120),
+        ..WorkloadConfig::default()
+    };
+    let want = run_inproc(&tcp_cfg, Telemetry::disabled())?;
+    let (tcp_plain_ingest, tcp_plain_bfs, plain_digest) = run_tcp_variant(&tcp_cfg, "baseline")?;
+    let pooled_cfg = WorkloadConfig {
+        pooled: true,
+        ..tcp_cfg
+    };
+    let (tcp_pool_ingest, tcp_pool_bfs, pooled_digest) = run_tcp_variant(&pooled_cfg, "tuned")?;
+    if plain_digest != want.digest || pooled_digest != want.digest {
+        return Err(GraphStorageError::Corrupt(format!(
+            "TCP runs diverged from in-proc: {plain_digest:016x}/{pooled_digest:016x} vs {:016x}",
+            want.digest
+        )));
+    }
+
+    let ratio = |tuned: &PerfRow, base: &PerfRow| {
+        if base.eps > 0.0 {
+            tuned.eps / base.eps
+        } else {
+            0.0
+        }
+    };
+    let ingest_ratio = ratio(&tuned_ingest, &base_ingest);
+    let bfs_ratio = ratio(&tuned_bfs, &base_bfs);
+    let tcp_ingest_ratio = ratio(&tcp_pool_ingest, &tcp_plain_ingest);
+    Ok(PerfBench {
+        config: cfg.clone(),
+        digest: base_digest,
+        tcp_digest: want.digest,
+        rows: vec![
+            base_ingest,
+            tuned_ingest,
+            base_bfs,
+            tuned_bfs,
+            tcp_plain_ingest,
+            tcp_pool_ingest,
+            tcp_plain_bfs,
+            tcp_pool_bfs,
+        ],
+        ingest_ratio,
+        bfs_ratio,
+        tcp_ingest_ratio,
+    })
+}
+
+impl PerfBench {
+    /// The regression gate: fails when the tuned in-process ingest is
+    /// slower than `min_ratio` × baseline. The `bench-perf` binary turns
+    /// this into a non-zero exit.
+    pub fn check(&self) -> Result<()> {
+        if self.ingest_ratio < self.config.min_ratio {
+            return Err(GraphStorageError::Corrupt(format!(
+                "ingest regression: tuned/baseline = {:.2}x, gate is {:.2}x",
+                self.ingest_ratio, self.config.min_ratio
+            )));
+        }
+        Ok(())
+    }
+
+    /// Machine-readable form, written to `BENCH_perf.json`.
+    pub fn to_json(&self) -> String {
+        let c = &self.config;
+        let mut s = String::from("{\n");
+        s.push_str(&format!(
+            "  \"bench\": \"perf\",\n  \"scale\": {},\n  \"queries\": {},\n  \"nodes\": {},\n  \
+             \"seed\": {},\n  \"pool_blocks\": {},\n  \"ingest_par\": {},\n  \
+             \"cache_policy\": \"{:?}\",\n  \"min_ratio\": {:.2},\n  \
+             \"tcp_vertices\": {},\n  \"tcp_extra_edges\": {},\n  \
+             \"digest\": \"{:016x}\",\n  \"tcp_digest\": \"{:016x}\",\n  \
+             \"ingest_ratio\": {:.3},\n  \"bfs_ratio\": {:.3},\n  \
+             \"tcp_ingest_ratio\": {:.3},\n  \"runs\": [\n",
+            c.scale,
+            c.queries,
+            c.nodes,
+            c.seed,
+            c.pool_blocks,
+            c.ingest_par,
+            c.cache_policy,
+            c.min_ratio,
+            c.tcp_vertices,
+            c.tcp_extra_edges,
+            self.digest,
+            self.tcp_digest,
+            self.ingest_ratio,
+            self.bfs_ratio,
+            self.tcp_ingest_ratio,
+        ));
+        for (i, r) in self.rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"phase\": {}, \"mode\": {}, \"variant\": {}, \"edges\": {}, \
+                 \"secs\": {:.6}, \"edges_per_sec\": {:.0}, \
+                 \"cache_hits\": {}, \"cache_misses\": {}}}{}\n",
+                mssg_obs::json::escape(&r.phase),
+                mssg_obs::json::escape(&r.mode),
+                mssg_obs::json::escape(&r.variant),
+                r.edges,
+                r.secs,
+                r.eps,
+                r.cache_hits,
+                r.cache_misses,
+                if i + 1 < self.rows.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Human-readable form for the console.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "Hot-path perf — PubMed-S (1/{}), {} nodes: ingest {:.2}x, BFS {:.2}x, \
+                 TCP ingest {:.2}x",
+                self.config.scale,
+                self.config.nodes,
+                self.ingest_ratio,
+                self.bfs_ratio,
+                self.tcp_ingest_ratio
+            ),
+            &[
+                "Phase",
+                "Mode",
+                "Variant",
+                "Edges",
+                "Secs",
+                "Edges/s",
+                "Cache hits",
+                "Cache misses",
+            ],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.phase.clone(),
+                r.mode.clone(),
+                r.variant.clone(),
+                r.edges.to_string(),
+                format!("{:.3}", r.secs),
+                format!("{:.0}", r.eps),
+                r.cache_hits.to_string(),
+                r.cache_misses.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perf_bench_digests_agree_and_json_parses() {
+        let cfg = PerfConfig::tiny();
+        let b = run_perf_bench(&cfg).unwrap();
+        assert_eq!(b.rows.len(), 8);
+        // Baseline and tuned ingested the same edge count; throughput
+        // ratios are timing noise at this scale, so only their presence
+        // is checked (the gate is exercised by the binary at full scale).
+        assert_eq!(b.rows[0].edges, b.rows[1].edges);
+        assert!(b.ingest_ratio > 0.0);
+        b.check().unwrap();
+
+        let json = b.to_json();
+        let doc = mssg_obs::json::parse(&json).expect("bench JSON parses");
+        assert_eq!(
+            doc.get("bench").unwrap().as_str().unwrap(),
+            "perf",
+            "{json}"
+        );
+        let runs = doc.get("runs").unwrap().as_array().unwrap();
+        assert_eq!(runs.len(), 8);
+        assert_eq!(runs[1].get("variant").unwrap().as_str().unwrap(), "tuned");
+        assert!(doc.get("ingest_ratio").unwrap().as_f64().unwrap() > 0.0);
+
+        // The tuned variant used the 2Q cache and saw traffic.
+        let tuned_bfs = &b.rows[3];
+        assert_eq!(tuned_bfs.variant, "tuned");
+        assert!(tuned_bfs.cache_hits + tuned_bfs.cache_misses > 0);
+    }
+
+    #[test]
+    fn check_fails_below_the_gate() {
+        let mut b = PerfBench {
+            config: PerfConfig {
+                min_ratio: 1.3,
+                ..PerfConfig::tiny()
+            },
+            digest: 0,
+            tcp_digest: 0,
+            rows: vec![],
+            ingest_ratio: 1.0,
+            bfs_ratio: 1.0,
+            tcp_ingest_ratio: 1.0,
+        };
+        assert!(b.check().is_err());
+        b.ingest_ratio = 1.31;
+        b.check().unwrap();
+    }
+}

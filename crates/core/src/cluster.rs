@@ -92,6 +92,22 @@ impl MssgCluster {
         run: RunReport,
         io_before: &simio::IoSnapshot,
     ) -> TelemetryReport {
+        // Publish the block-cache counters as gauges (cumulative values,
+        // `set` rather than `add`, so repeated service runs stay truthful).
+        let mut cache = (0u64, 0u64, 0u64);
+        let mut cached_backend = false;
+        for b in &self.backends {
+            if let Some((h, m, e)) = b.lock().cache_counters() {
+                cached_backend = true;
+                cache = (cache.0 + h, cache.1 + m, cache.2 + e);
+            }
+        }
+        if cached_backend {
+            let metrics = &self.telemetry.metrics;
+            metrics.gauge("grdb.cache.hits").set(cache.0 as i64);
+            metrics.gauge("grdb.cache.misses").set(cache.1 as i64);
+            metrics.gauge("grdb.cache.evictions").set(cache.2 as i64);
+        }
         TelemetryReport::from_run(
             run,
             self.io_snapshot().since(io_before),

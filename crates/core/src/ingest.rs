@@ -19,9 +19,11 @@
 use crate::cluster::MssgCluster;
 use crate::decluster::Declustering;
 use crate::telemetry::TelemetryReport;
-use datacutter::{DataBuffer, FaultPlan, Filter, FilterContext, GraphBuilder};
+use datacutter::{BufferPool, DataBuffer, FaultPlan, Filter, FilterContext, GraphBuilder};
+use mssg_obs::Counter;
 use mssg_types::{Edge, Gid, Meta, Ontology, Result, TypedEdge, UNVISITED};
 use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -70,6 +72,24 @@ pub struct IngestOptions {
     pub stream_timeout: Option<Duration>,
     /// Deterministic fault plan for chaos testing the pipeline.
     pub fault_plan: Option<FaultPlan>,
+    /// Size of the [`BufferPool`] shared by the pipeline's filters, in
+    /// buffers (0 = pooling off). Spent window/batch payloads are recycled
+    /// into the next allocation instead of going back to the allocator;
+    /// see the `dc.pool.*` counters in the run's telemetry.
+    pub pool_blocks: usize,
+    /// Apply windows to each back-end in ascending window order (a small
+    /// store-side reorder buffer). With several front-ends, windows race
+    /// to the store and per-vertex adjacency order becomes
+    /// schedule-dependent; `ordered` restores the single-front-end order —
+    /// and therefore a byte-identical stored graph — at parallel speed.
+    pub ordered: bool,
+    /// Accumulate at least this many directed entries before calling
+    /// `store_edges` (0 = flush per window). Batches sized to the storage
+    /// engine's block let grDB walk each vertex's chain once per batch
+    /// instead of once per window. Checkpoint marks are deferred to the
+    /// batch flush, so a window is never marked durable before its edges
+    /// are stored.
+    pub store_batch_edges: usize,
 }
 
 impl Default for IngestOptions {
@@ -84,6 +104,9 @@ impl Default for IngestOptions {
             restart_backoff: Duration::from_millis(25),
             stream_timeout: None,
             fault_plan: None,
+            pool_blocks: 0,
+            ordered: false,
+            store_batch_edges: 0,
         }
     }
 }
@@ -168,30 +191,42 @@ pub fn ingest(
         g.fault_plan(plan.clone());
     }
     g.supervise(options.max_restarts, options.restart_backoff);
+    // One pool closes the allocation loop across the whole pipeline:
+    // windows recycle at the ingest filters, batches at the stores.
+    let pool = (options.pool_blocks > 0).then(|| BufferPool::new(options.pool_blocks));
     // Node layout: back-ends 0..p, front-ends p..p+f, source at p+f.
     let mut source_holder = Some(SourceFilter {
         edges: Box::new(edges),
         window: options.window_edges,
         skip_before: resume_from,
         count: Arc::new(Mutex::new(0)),
+        pool: pool.clone(),
     });
     let edge_count = Arc::clone(&source_holder.as_ref().unwrap().count);
     let src = g.add_filter("source", vec![p + f], move |_| {
         Box::new(source_holder.take().expect("source filter built once"))
     })?;
     let strat = Arc::clone(&strategy);
+    let ing_pool = pool.clone();
     let ing = g.add_filter("ingest", (p..p + f).collect(), move |_| {
         Box::new(IngestFilter {
             strategy: Arc::clone(&strat),
             nodes: 0,
+            pool: ing_pool.clone(),
         })
     })?;
     let backends: Vec<_> = (0..p).map(|i| cluster.backend(i)).collect();
     let resume = options.resume;
+    let ordered = options.ordered;
+    let batch_edges = options.store_batch_edges;
+    let store_pool = pool.clone();
     let store = g.add_filter("store", (0..p).collect(), move |i| {
         Box::new(StoreFilter {
             backend: backends[i].clone(),
             resume,
+            ordered,
+            batch_edges,
+            pool: store_pool.clone(),
         })
     })?;
     g.declare_ports(src, &[], &["windows"]);
@@ -205,6 +240,15 @@ pub fn ingest(
     }
     g.connect(ing, "batches", store, "batches")?;
     let report = g.run()?;
+
+    if let Some(pool) = &pool {
+        let s = pool.stats();
+        let m = &cluster.telemetry().metrics;
+        m.counter("dc.pool.hits").add(s.hits);
+        m.counter("dc.pool.misses").add(s.misses);
+        m.counter("dc.pool.recycled").add(s.recycled);
+        m.counter("dc.pool.dropped").add(s.dropped);
+    }
 
     // Publish round-robin ownership for later queries.
     if options.declustering == DeclusterKind::VertexRoundRobin {
@@ -230,6 +274,7 @@ struct SourceFilter {
     /// edges still count toward the reported total.
     skip_before: u64,
     count: Arc<Mutex<u64>>,
+    pool: Option<BufferPool>,
 }
 
 impl Filter for SourceFilter {
@@ -248,8 +293,11 @@ impl Filter for SourceFilter {
             if w < self.skip_before {
                 skipped.inc();
             } else {
-                ctx.output("windows")?
-                    .send_rr(DataBuffer::from_edges(w, &buf))?;
+                let window = match &self.pool {
+                    Some(p) => p.from_edges(w, &buf),
+                    None => DataBuffer::from_edges(w, &buf),
+                };
+                ctx.output("windows")?.send_rr(window)?;
             }
             w += 1;
         }
@@ -262,6 +310,7 @@ struct IngestFilter {
     strategy: Arc<Mutex<Declustering>>,
     /// Back-end count, learned from the strategy at `init`.
     nodes: usize,
+    pool: Option<BufferPool>,
 }
 
 impl Filter for IngestFilter {
@@ -277,7 +326,7 @@ impl Filter for IngestFilter {
                 .telemetry()
                 .tracer
                 .span("ingest.window")
-                .with("edges", window.edges().len() as u64)
+                .with("edges", window.len() as u64 / 16)
                 .with("bytes", window.len() as u64);
             let mut batches = vec![Vec::new(); self.nodes];
             for e in window.edges() {
@@ -285,12 +334,18 @@ impl Filter for IngestFilter {
                     batches[node].push(entry);
                 }
             }
+            if let Some(p) = &self.pool {
+                p.recycle(window);
+            }
             // Every back-end hears every window id — including ones it got
             // no edges from — so each node's checkpoint watermark advances
             // over empty windows too.
             for (node, batch) in batches.into_iter().enumerate() {
-                ctx.output("batches")?
-                    .send_to(node, DataBuffer::from_edges(w, &batch))?;
+                let out = match &self.pool {
+                    Some(p) => p.from_edges(w, &batch),
+                    None => DataBuffer::from_edges(w, &batch),
+                };
+                ctx.output("batches")?.send_to(node, out)?;
             }
         }
         Ok(())
@@ -300,32 +355,113 @@ impl Filter for IngestFilter {
 struct StoreFilter {
     backend: crate::cluster::SharedBackend,
     resume: bool,
+    ordered: bool,
+    /// Directed entries to accumulate before a `store_edges` flush
+    /// (0 = flush per window).
+    batch_edges: usize,
+    pool: Option<BufferPool>,
+}
+
+impl StoreFilter {
+    fn recycle(&self, buf: DataBuffer) {
+        if let Some(p) = &self.pool {
+            p.recycle(buf);
+        }
+    }
+
+    /// Folds one window into the pending batch (or skips it under resume),
+    /// flushing when the batch reaches its target size.
+    fn absorb(
+        &mut self,
+        buf: DataBuffer,
+        batch: &mut Vec<Edge>,
+        marks: &mut Vec<u64>,
+        skipped: &Counter,
+    ) -> Result<()> {
+        let w = buf.tag;
+        // Idempotent skip: a resumed run drops windows this node has
+        // already durably stored, making re-delivery harmless.
+        if self.resume && self.backend.lock().get_metadata(window_ckpt_gid(w))? == CKPT_STORED {
+            skipped.inc();
+            self.recycle(buf);
+            return Ok(());
+        }
+        batch.extend(buf.edges());
+        marks.push(w);
+        self.recycle(buf);
+        if batch.len() >= self.batch_edges {
+            self.flush_batch(batch, marks)?;
+        }
+        Ok(())
+    }
+
+    /// Stores the accumulated batch, then durably marks its windows. The
+    /// marks are deferred to this point so a window is never marked before
+    /// its edges are stored: a crash mid-batch leaves its windows
+    /// unmarked, and a `resume` replay re-stores exactly those.
+    fn flush_batch(&mut self, batch: &mut Vec<Edge>, marks: &mut Vec<u64>) -> Result<()> {
+        if marks.is_empty() {
+            return Ok(());
+        }
+        let mut db = self.backend.lock();
+        if !batch.is_empty() {
+            db.store_edges(batch)?;
+        }
+        batch.clear();
+        for &w in marks.iter() {
+            db.set_metadata(window_ckpt_gid(w), CKPT_STORED)?;
+        }
+        marks.clear();
+        // Advance the contiguous watermark past every marked window.
+        let mut wm = ingest_watermark(db.as_mut())?;
+        while db.get_metadata(window_ckpt_gid(wm))? == CKPT_STORED {
+            wm += 1;
+        }
+        db.set_metadata(watermark_gid(), wm as Meta)?;
+        Ok(())
+    }
 }
 
 impl Filter for StoreFilter {
     fn process(&mut self, ctx: &mut FilterContext) -> Result<()> {
         let skipped = ctx.telemetry().metrics.counter("ingest.windows_skipped");
-        while let Some(batch) = ctx.input("batches")?.recv()? {
-            let w = batch.tag;
-            let mut db = self.backend.lock();
-            // Idempotent skip: a resumed run drops windows this node has
-            // already durably stored, making re-delivery harmless.
-            if self.resume && db.get_metadata(window_ckpt_gid(w))? == CKPT_STORED {
-                skipped.inc();
-                continue;
+        // Ordered mode applies windows in ascending id order. The node's
+        // watermark is exactly the next id to apply (ascending application
+        // keeps the durable prefix contiguous), which also makes a
+        // restarted incarnation pick up where the previous one stopped.
+        let mut next = if self.ordered {
+            ingest_watermark(self.backend.lock().as_mut())?
+        } else {
+            0
+        };
+        let mut pending: BTreeMap<u64, DataBuffer> = BTreeMap::new();
+        let mut batch: Vec<Edge> = Vec::new();
+        let mut marks: Vec<u64> = Vec::new();
+        while let Some(buf) = ctx.input("batches")?.recv()? {
+            if self.ordered {
+                if buf.tag < next {
+                    // Below the durable prefix: an earlier run or
+                    // incarnation already stored it.
+                    skipped.inc();
+                    self.recycle(buf);
+                    continue;
+                }
+                pending.insert(buf.tag, buf);
+                while let Some(b) = pending.remove(&next) {
+                    self.absorb(b, &mut batch, &mut marks, &skipped)?;
+                    next += 1;
+                }
+            } else {
+                self.absorb(buf, &mut batch, &mut marks, &skipped)?;
             }
-            let edges = batch.edges();
-            if !edges.is_empty() {
-                db.store_edges(&edges)?;
-            }
-            db.set_metadata(window_ckpt_gid(w), CKPT_STORED)?;
-            // Advance the contiguous watermark past every marked window.
-            let mut wm = ingest_watermark(db.as_mut())?;
-            while db.get_metadata(window_ckpt_gid(wm))? == CKPT_STORED {
-                wm += 1;
-            }
-            db.set_metadata(watermark_gid(), wm as Meta)?;
         }
+        // Stream end. A cleanly finished stream delivered every window, so
+        // `pending` is empty; after an abnormal teardown it may hold
+        // windows above a gap. Those are *dropped*, never applied out of
+        // order: they are unmarked, so a resumed replay re-applies them in
+        // their proper place.
+        drop(pending);
+        self.flush_batch(&mut batch, &mut marks)?;
         self.backend.lock().flush()
     }
 }
@@ -713,6 +849,117 @@ mod tests {
         );
         assert!(err.to_string().contains("after 1 restart"), "{err}");
         assert!(start.elapsed() < Duration::from_secs(30), "no hang");
+    }
+
+    #[test]
+    fn pooled_ingestion_recycles_and_publishes_counters() {
+        let dir = tmpdir("pool");
+        let mut cluster =
+            MssgCluster::new(&dir, 2, BackendKind::HashMap, &BackendOptions::default()).unwrap();
+        cluster.set_telemetry(mssg_obs::Telemetry::enabled());
+        let opts = IngestOptions {
+            window_edges: 10,
+            pool_blocks: 8,
+            ..Default::default()
+        };
+        let report = ingest(&mut cluster, ring(200).into_iter(), &opts).unwrap();
+        assert_eq!(report.edges, 200);
+        assert_eq!(cluster.total_entries(), 400);
+        let c = &report.telemetry.metrics.counters;
+        assert!(c["dc.pool.recycled"] > 0, "spent payloads returned");
+        assert!(c["dc.pool.hits"] > 0, "returned payloads were reused");
+        // Every pool hit consumed one previously recycled payload.
+        assert!(c["dc.pool.hits"] <= c["dc.pool.recycled"]);
+    }
+
+    #[test]
+    fn batched_flushes_store_everything_and_advance_watermark() {
+        let dir = tmpdir("batch");
+        let mut cluster =
+            MssgCluster::new(&dir, 2, BackendKind::HashMap, &BackendOptions::default()).unwrap();
+        let opts = IngestOptions {
+            window_edges: 10,
+            store_batch_edges: 64,
+            ..Default::default()
+        };
+        let report = ingest(&mut cluster, ring(100).into_iter(), &opts).unwrap();
+        assert_eq!(report.edges, 100);
+        assert_eq!(cluster.total_entries(), 200);
+        for i in 0..2 {
+            let wm = cluster.with_backend(i, |db| ingest_watermark(db).unwrap());
+            assert_eq!(wm, 10, "deferred marks still cover every window");
+        }
+    }
+
+    #[test]
+    fn ordered_parallel_front_ends_match_single_front_end_order() {
+        // Sources repeat across windows, so adjacency order depends on the
+        // order windows reach the stores.
+        let edges: Vec<Edge> = (0..200u64).map(|i| Edge::of(i % 10, 100 + i)).collect();
+        let run = |tag: &str, opts: &IngestOptions| {
+            let dir = tmpdir(tag);
+            let mut cluster =
+                MssgCluster::new(&dir, 3, BackendKind::HashMap, &BackendOptions::default())
+                    .unwrap();
+            ingest(&mut cluster, edges.clone().into_iter(), opts).unwrap();
+            (0..10u64)
+                .map(|v| {
+                    let owner = hash_owner(Gid::new(v), 3);
+                    cluster.with_backend(owner, |db| db.neighbors(Gid::new(v)).unwrap())
+                })
+                .collect::<Vec<_>>()
+        };
+        let single = run(
+            "ord-single",
+            &IngestOptions {
+                window_edges: 8,
+                ..Default::default()
+            },
+        );
+        let parallel = run(
+            "ord-par",
+            &IngestOptions {
+                front_ends: 4,
+                window_edges: 8,
+                ordered: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            single, parallel,
+            "ordered mode restores the single-front-end adjacency order"
+        );
+    }
+
+    #[test]
+    fn killed_batched_ingestion_resumes_without_duplicates() {
+        use datacutter::{FaultKind, FaultPlan};
+        let dir = tmpdir("batch-kill");
+        let mut cluster =
+            MssgCluster::new(&dir, 2, BackendKind::HashMap, &BackendOptions::default()).unwrap();
+        // The batch never fills before the crash, so nothing this copy
+        // received was flushed — and nothing may be marked durable.
+        let opts = IngestOptions {
+            window_edges: 10,
+            store_batch_edges: 10_000,
+            fault_plan: Some(FaultPlan::new().inject("store", Some(1), 4, FaultKind::Panic)),
+            ..Default::default()
+        };
+        ingest(&mut cluster, ring(100).into_iter(), &opts).unwrap_err();
+        assert_eq!(
+            cluster.with_backend(1, |db| ingest_watermark(db).unwrap()),
+            0,
+            "unflushed windows stay unmarked"
+        );
+        let retry = IngestOptions {
+            window_edges: 10,
+            store_batch_edges: 10_000,
+            resume: true,
+            ..Default::default()
+        };
+        let report = ingest(&mut cluster, ring(100).into_iter(), &retry).unwrap();
+        assert_eq!(report.edges, 100);
+        assert_eq!(cluster.total_entries(), 200, "converged, no duplicates");
     }
 
     #[test]

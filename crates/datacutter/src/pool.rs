@@ -1,0 +1,242 @@
+//! Pooled payload buffers for the hot ingest path.
+//!
+//! Every window an ingestion pipeline moves is one heap allocation: the
+//! source encodes a `Vec<u8>`, wraps it in a [`DataBuffer`], and the
+//! consumer drops it after decoding. At millions of edges per second the
+//! allocator becomes a measurable fraction of the ingest wall time. A
+//! [`BufferPool`] closes the loop: consumers hand spent payloads back
+//! (conceptually at the same point the transport returns a flow-control
+//! *credit* — the buffer is free exactly when the window it carried has
+//! been popped), and producers reuse the allocation for the next window.
+//!
+//! Recycling relies on the `Bytes` payload being **uniquely owned** when
+//! it is returned: the zero-copy send path moves one `Arc`-backed buffer
+//! from producer to consumer, so by the time the consumer has decoded it
+//! no other clone exists and [`bytes::Bytes::try_into_vec`] unwraps the backing
+//! `Vec` with its capacity intact. A payload that is still shared (e.g.
+//! one arm of a broadcast) is simply dropped and counted — recycling is
+//! an optimisation, never a correctness requirement.
+//!
+//! ```
+//! use datacutter::{BufferPool, DataBuffer};
+//! use mssg_types::Edge;
+//!
+//! let pool = BufferPool::new(4);
+//! let window = pool.from_edges(0, &[Edge::of(1, 2), Edge::of(2, 3)]);
+//! let edges = window.edges();          // consumer decodes...
+//! assert_eq!(edges.len(), 2);
+//! assert!(pool.recycle(window));       // ...and returns the allocation.
+//! let next = pool.from_edges(1, &edges);
+//! assert_eq!(pool.stats().hits, 1, "second window reused the first's Vec");
+//! assert_eq!(next.edges(), edges);
+//! ```
+
+use crate::buffer::DataBuffer;
+use mssg_types::Edge;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Counters describing how well a pool is closing the allocation loop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Allocations served from the free list.
+    pub hits: u64,
+    /// Allocations that had to go to the allocator (cold pool).
+    pub misses: u64,
+    /// Payloads successfully returned to the free list.
+    pub recycled: u64,
+    /// Payloads that could not be recycled (still shared, or pool full).
+    pub dropped: u64,
+}
+
+struct PoolInner {
+    free: Mutex<Vec<Vec<u8>>>,
+    max_buffers: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    recycled: AtomicU64,
+    dropped: AtomicU64,
+}
+
+/// A bounded free list of payload `Vec`s shared by the producers and
+/// consumers of a stream. Cloning shares the pool.
+#[derive(Clone)]
+pub struct BufferPool {
+    inner: Arc<PoolInner>,
+}
+
+impl BufferPool {
+    /// Creates a pool retaining at most `max_buffers` free payloads;
+    /// returns beyond the bound are dropped (the pool never grows the
+    /// process's high-water mark).
+    pub fn new(max_buffers: usize) -> BufferPool {
+        BufferPool {
+            inner: Arc::new(PoolInner {
+                free: Mutex::new(Vec::new()),
+                max_buffers,
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                recycled: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    fn free(&self) -> std::sync::MutexGuard<'_, Vec<Vec<u8>>> {
+        // A poisoned pool just means some thread panicked mid-push; the
+        // free list itself is always valid.
+        match self.inner.free.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Takes an empty `Vec` with at least `capacity` bytes reserved,
+    /// reusing a recycled allocation when one is available.
+    pub fn take(&self, capacity: usize) -> Vec<u8> {
+        if let Some(mut v) = self.free().pop() {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            v.clear();
+            v.reserve(capacity);
+            return v;
+        }
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        Vec::with_capacity(capacity)
+    }
+
+    /// Returns a raw `Vec` to the free list (dropped when the pool is at
+    /// capacity).
+    pub fn give(&self, v: Vec<u8>) {
+        let mut free = self.free();
+        if free.len() < self.inner.max_buffers {
+            free.push(v);
+            drop(free);
+            self.inner.recycled.fetch_add(1, Ordering::Relaxed);
+        } else {
+            drop(free);
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Recycles a spent buffer's payload. Succeeds (and returns `true`)
+    /// only when the payload is uniquely owned — the normal case after a
+    /// point-to-point send has been consumed; shared payloads are dropped
+    /// and counted.
+    pub fn recycle(&self, buf: DataBuffer) -> bool {
+        match buf.data.try_into_vec() {
+            Ok(v) => {
+                self.give(v);
+                true
+            }
+            Err(_) => {
+                self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Encodes edges into a pooled buffer — the recycling counterpart of
+    /// [`DataBuffer::from_edges`].
+    pub fn from_edges(&self, tag: u64, edges: &[Edge]) -> DataBuffer {
+        let mut data = self.take(edges.len() * 16);
+        for e in edges {
+            data.extend_from_slice(&e.to_bytes());
+        }
+        DataBuffer::new(tag, data)
+    }
+
+    /// Encodes 64-bit words into a pooled buffer — the recycling
+    /// counterpart of [`DataBuffer::from_words`].
+    pub fn from_words(&self, tag: u64, words: &[u64]) -> DataBuffer {
+        let mut data = self.take(words.len() * 8);
+        for w in words {
+            data.extend_from_slice(&w.to_le_bytes());
+        }
+        DataBuffer::new(tag, data)
+    }
+
+    /// Free payloads currently held.
+    pub fn available(&self) -> usize {
+        self.free().len()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            recycled: self.inner.recycled.load(Ordering::Relaxed),
+            dropped: self.inner.dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("max_buffers", &self.inner.max_buffers)
+            .field("available", &self.available())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_pool_misses_then_hits() {
+        let pool = BufferPool::new(2);
+        let v = pool.take(64);
+        assert_eq!(pool.stats().misses, 1);
+        pool.give(v);
+        let v2 = pool.take(8);
+        assert_eq!(pool.stats().hits, 1);
+        assert!(v2.capacity() >= 8);
+    }
+
+    #[test]
+    fn recycle_round_trips_the_allocation() {
+        let pool = BufferPool::new(4);
+        let buf = pool.from_words(3, &[1, 2, 3]);
+        let ptr = buf.data.as_ptr();
+        assert!(pool.recycle(buf));
+        let again = pool.from_words(4, &[9, 9, 9]);
+        assert_eq!(again.data.as_ptr(), ptr, "allocation reused");
+        assert_eq!(again.words(), vec![9, 9, 9]);
+    }
+
+    #[test]
+    fn shared_payload_is_dropped_not_recycled() {
+        let pool = BufferPool::new(4);
+        let buf = pool.from_words(0, &[7]);
+        let _clone = buf.clone();
+        assert!(!pool.recycle(buf));
+        assert_eq!(pool.stats().dropped, 1);
+        assert_eq!(pool.available(), 0);
+    }
+
+    #[test]
+    fn pool_bound_is_respected() {
+        let pool = BufferPool::new(1);
+        pool.give(Vec::with_capacity(8));
+        pool.give(Vec::with_capacity(8));
+        assert_eq!(pool.available(), 1);
+        assert_eq!(pool.stats().dropped, 1);
+    }
+
+    #[test]
+    fn pooled_encoding_matches_plain_encoding() {
+        let pool = BufferPool::new(4);
+        let edges = vec![Edge::of(1, 2), Edge::of(3, 4), Edge::of(5, 6)];
+        let pooled = pool.from_edges(9, &edges);
+        let plain = DataBuffer::from_edges(9, &edges);
+        assert_eq!(pooled, plain);
+        let words = vec![10, 20, 30];
+        assert_eq!(
+            pool.from_words(1, &words),
+            DataBuffer::from_words(1, &words)
+        );
+    }
+}

@@ -81,6 +81,13 @@ pub trait GraphDb {
     /// Number of directed adjacency entries stored locally.
     fn stored_entries(&self) -> u64;
 
+    /// Block-cache counters `(hits, misses, evictions)` for engines that
+    /// run one; `None` for engines without a cache. Feeds the
+    /// `grdb.cache.*` gauges in cluster telemetry.
+    fn cache_counters(&self) -> Option<(u64, u64, u64)> {
+        None
+    }
+
     /// Short engine name for reports ("Array", "grDB", …).
     fn backend_name(&self) -> &'static str;
 }

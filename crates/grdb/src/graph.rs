@@ -5,6 +5,7 @@ use crate::store::GrdbStore;
 use graphdb::{GraphDb, MetaTable};
 use mssg_types::{AdjBuffer, Edge, Gid, Meta, MetaOp, Result};
 use simio::IoStats;
+use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
 
@@ -40,10 +41,29 @@ impl GrdbGraphDb {
 
 impl GraphDb for GrdbGraphDb {
     fn store_edges(&mut self, edges: &[Edge]) -> Result<()> {
-        for e in edges {
-            self.store.append_neighbour(e.src, e.dst)?;
+        // Group by source so each vertex's chain is walked to its tail
+        // once per batch instead of once per edge. Groups keep the batch's
+        // first-appearance order and per-vertex edge order, so the
+        // resulting physical layout is deterministic for a given stream.
+        match edges {
+            [] => Ok(()),
+            [e] => self.store.append_neighbour(e.src, e.dst),
+            _ => {
+                let mut index: HashMap<Gid, usize> = HashMap::new();
+                let mut groups: Vec<(Gid, Vec<Gid>)> = Vec::new();
+                for e in edges {
+                    let i = *index.entry(e.src).or_insert_with(|| {
+                        groups.push((e.src, Vec::new()));
+                        groups.len() - 1
+                    });
+                    groups[i].1.push(e.dst);
+                }
+                for (src, dsts) in &groups {
+                    self.store.append_neighbours(*src, dsts)?;
+                }
+                Ok(())
+            }
         }
-        Ok(())
     }
 
     fn get_metadata(&mut self, v: Gid) -> Result<Meta> {
@@ -107,6 +127,11 @@ impl GraphDb for GrdbGraphDb {
 
     fn stored_entries(&self) -> u64 {
         self.store.entries()
+    }
+
+    fn cache_counters(&self) -> Option<(u64, u64, u64)> {
+        let s = self.store.cache_stats();
+        Some((s.hits, s.misses, s.evictions))
     }
 
     fn backend_name(&self) -> &'static str {

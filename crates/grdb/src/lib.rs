@@ -34,7 +34,33 @@
 //!
 //! All block I/O goes through the instance's block cache
 //! ([`simio::BlockCache`]) — the "block cache component". Capacity 0
-//! reproduces the Figure 5.2 cache-off configuration.
+//! reproduces the Figure 5.2 cache-off configuration. The replacement
+//! policy and a same-level readahead are configurable (the hot-path
+//! knobs of DESIGN.md §10): [`simio::CachePolicy::TwoQ`] keeps one-shot
+//! scans from flushing the hot set, and `readahead_blocks > 0` turns a
+//! read miss into a short sequential run of the following blocks.
+//!
+//! ```
+//! use grdb::{GrdbConfig, GrdbGraphDb};
+//! use mssg_types::{Edge, Gid};
+//! use std::sync::Arc;
+//!
+//! let mut cfg = GrdbConfig::tiny();          // 3 levels, 64-byte blocks
+//! cfg.cache_blocks = 32;                     // cache capacity, in blocks
+//! cfg.cache_policy = simio::CachePolicy::TwoQ;
+//! cfg.readahead_blocks = 2;                  // pull 2 blocks per read miss
+//!
+//! let dir = std::env::temp_dir().join("grdb-doc-cache");
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! let stats = Arc::new(simio::IoStats::default());
+//! let mut db = GrdbGraphDb::open(&dir, cfg, stats).unwrap();
+//! use graphdb::{GraphDb, GraphDbExt};
+//! db.store_edges(&[Edge::of(1, 2), Edge::of(1, 3)]).unwrap();
+//! assert_eq!(db.neighbors(Gid::new(1)).unwrap(), vec![Gid::new(2), Gid::new(3)]);
+//! let cache = db.cache_stats();
+//! assert!(cache.hits > 0);
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! ```
 
 pub mod config;
 pub mod graph;

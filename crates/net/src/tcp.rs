@@ -53,7 +53,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use crate::wire::{read_frame, write_frame, Frame, FrameKind, FRAME_OVERHEAD};
+use crate::wire::{read_frame, write_data_frame, write_frame, Frame, FrameKind, FRAME_OVERHEAD};
 
 /// Tuning for [`TcpTransport::establish`].
 #[derive(Clone)]
@@ -256,6 +256,35 @@ impl Shared {
             .map_err(|e| GraphStorageError::Net(format!("writing to node {node} failed: {e}")))?;
         self.frames.inc();
         self.bytes.add(frame.wire_len() as u64);
+        Ok(())
+    }
+
+    /// Hot-path twin of [`Shared::send_frame`] for DATA frames: the
+    /// payload stays borrowed end to end (no `Frame` construction, no
+    /// encode buffer), with identical locking and accounting.
+    fn send_data(
+        &self,
+        node: NodeId,
+        stream: u32,
+        tag: u64,
+        span: u64,
+        payload: &[u8],
+    ) -> Result<()> {
+        let writer = self
+            .writers
+            .get(node)
+            .and_then(|w| w.as_ref())
+            .ok_or_else(|| {
+                GraphStorageError::Net(format!(
+                    "node {} has no connection to node {node}",
+                    self.my_node
+                ))
+            })?;
+        let mut s = writer.lock().unwrap();
+        write_data_frame(&mut *s, stream, tag, span, payload)
+            .map_err(|e| GraphStorageError::Net(format!("writing to node {node} failed: {e}")))?;
+        self.frames.inc();
+        self.bytes.add((FRAME_OVERHEAD + payload.len()) as u64);
         Ok(())
     }
 
@@ -1132,9 +1161,11 @@ impl TxEndpoint for TcpTx {
                 );
             }
         }
-        let frame = Frame::data(inner.stream, buf.tag, &buf.data)
-            .with_span(inner.shared.telemetry.tracer.current_span_id());
-        match inner.shared.send_frame(inner.dst, &frame) {
+        let span = inner.shared.telemetry.tracer.current_span_id();
+        match inner
+            .shared
+            .send_data(inner.dst, inner.stream, buf.tag, span, &buf.data)
+        {
             Ok(()) => SendOutcome::Sent,
             Err(e) => {
                 inner.shared.fail(e.to_string());

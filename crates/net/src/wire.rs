@@ -311,6 +311,29 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<()> {
     w.write_all(&frame.encode())
 }
 
+/// Writes a data frame with a **borrowed** payload: the 25-byte header is
+/// assembled in a stack buffer and the payload bytes go to the writer
+/// as-is. This is the hot-path twin of `write_frame(&Frame::data(...))`,
+/// which would copy the payload twice (once into the `Frame`, once into
+/// the encoded buffer); here it is copied zero times. Callers holding the
+/// writer lock get the same frame atomicity either way.
+pub fn write_data_frame(
+    w: &mut impl Write,
+    stream: u32,
+    tag: u64,
+    span: u64,
+    payload: &[u8],
+) -> std::io::Result<()> {
+    let mut header = [0u8; FRAME_OVERHEAD];
+    header[0..4].copy_from_slice(&((FIXED + payload.len()) as u32).to_le_bytes());
+    header[4] = FrameKind::Data as u8;
+    header[5..9].copy_from_slice(&stream.to_le_bytes());
+    header[9..17].copy_from_slice(&tag.to_le_bytes());
+    header[17..25].copy_from_slice(&span.to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)
+}
+
 /// Reads one frame. `Ok(None)` on a clean EOF at a frame boundary;
 /// [`GraphStorageError::Net`] on a torn frame or truncated stream;
 /// [`GraphStorageError::Corrupt`] on an oversized length prefix or an
@@ -335,22 +358,29 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>> {
             FIXED + MAX_PAYLOAD
         )));
     }
-    // `len` was bounds-checked against MAX_PAYLOAD above.
-    let mut body = vec![0u8; len];
-    r.read_exact(&mut body).map_err(|e| {
+    let mut head = [0u8; FIXED];
+    r.read_exact(&mut head).map_err(|e| {
+        GraphStorageError::Net(format!("truncated stream: EOF inside a frame header: {e}"))
+    })?;
+    let kind = FrameKind::from_u8(head[0])
+        .ok_or_else(|| GraphStorageError::Corrupt(format!("unknown frame kind {:#x}", head[0])))?;
+    let stream = u32::from_le_bytes(head[1..5].try_into().unwrap());
+    let tag = u64::from_le_bytes(head[5..13].try_into().unwrap());
+    let span = u64::from_le_bytes(head[13..21].try_into().unwrap());
+    // The payload Vec is exactly what the frame carries — no whole-body
+    // scratch buffer plus a second copy of the payload slice. `len` was
+    // range-checked above; the clamp re-asserts the bound at the
+    // allocation site.
+    let mut payload = vec![0u8; (len - FIXED).min(MAX_PAYLOAD)];
+    r.read_exact(&mut payload).map_err(|e| {
         GraphStorageError::Net(format!("truncated stream: EOF inside a frame body: {e}"))
     })?;
-    let kind = FrameKind::from_u8(body[0])
-        .ok_or_else(|| GraphStorageError::Corrupt(format!("unknown frame kind {:#x}", body[0])))?;
-    let stream = u32::from_le_bytes(body[1..5].try_into().unwrap());
-    let tag = u64::from_le_bytes(body[5..13].try_into().unwrap());
-    let span = u64::from_le_bytes(body[13..21].try_into().unwrap());
     Ok(Some(Frame {
         kind,
         stream,
         tag,
         span,
-        payload: body[FIXED..].to_vec(),
+        payload,
     }))
 }
 
@@ -393,6 +423,16 @@ mod tests {
         assert_eq!(back.span, 41);
         assert_eq!(f.wire_len(), 4 + 21 + 5);
         assert!(read_frame(&mut cur).unwrap().is_none(), "clean EOF after");
+    }
+
+    #[test]
+    fn borrowed_payload_writer_matches_encode() {
+        let f = Frame::data(7, 0xDEAD_BEEF, b"hello").with_span(41);
+        let mut wire = Vec::new();
+        write_data_frame(&mut wire, 7, 0xDEAD_BEEF, 41, b"hello").unwrap();
+        assert_eq!(wire, f.encode(), "byte-identical to the copying path");
+        let back = read_frame(&mut Cursor::new(wire)).unwrap().unwrap();
+        assert_eq!(back, f);
     }
 
     #[test]

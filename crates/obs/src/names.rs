@@ -10,6 +10,10 @@
 /// Counter names.
 pub const COUNTERS: &[&str] = &[
     "dc.faults_injected",
+    "dc.pool.dropped",
+    "dc.pool.hits",
+    "dc.pool.misses",
+    "dc.pool.recycled",
     "dc.restarts",
     "ingest.windows",
     "ingest.windows_skipped",
@@ -20,9 +24,12 @@ pub const COUNTERS: &[&str] = &[
     "net.telemetry_reports",
 ];
 
-/// Gauge names. None are registered by production code yet; the slice
-/// exists so the lint has one place to look when the first one lands.
-pub const GAUGES: &[&str] = &[];
+/// Gauge names.
+pub const GAUGES: &[&str] = &[
+    "grdb.cache.evictions",
+    "grdb.cache.hits",
+    "grdb.cache.misses",
+];
 
 /// Histogram names.
 pub const HISTOGRAMS: &[&str] = &["ingest.window_edges"];

@@ -1,8 +1,13 @@
 //! Offline stand-in for the `bytes` crate.
 //!
 //! [`Bytes`] is an immutable, cheaply cloneable byte buffer backed by an
-//! `Arc<[u8]>`: clones share the allocation (pointer-identical payloads),
-//! which is the property the DataCutter broadcast path relies on.
+//! `Arc<Vec<u8>>`: clones share the allocation (pointer-identical
+//! payloads), which is the property the DataCutter broadcast path relies
+//! on. Backing the buffer with a `Vec` (rather than `Arc<[u8]>`) makes
+//! `From<Vec<u8>>` **zero-copy** — the hot ingest path hands its freshly
+//! encoded window straight to the stream without a second allocation —
+//! and lets a uniquely owned buffer be unwrapped back into its `Vec` for
+//! recycling ([`Bytes::try_into_vec`], the buffer-pool return path).
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -12,24 +17,21 @@ use std::sync::Arc;
 /// An immutable, reference-counted byte buffer.
 #[derive(Clone)]
 pub struct Bytes {
-    inner: Arc<[u8]>,
+    inner: Arc<Vec<u8>>,
 }
 
 impl Bytes {
     /// Creates an empty buffer.
     pub fn new() -> Bytes {
-        static EMPTY: [u8; 0] = [];
-        // A zero-length slice still needs an Arc header; share one static
-        // empty allocation across all empty Bytes.
         Bytes {
-            inner: Arc::from(&EMPTY[..]),
+            inner: Arc::new(Vec::new()),
         }
     }
 
     /// Copies `data` into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
         Bytes {
-            inner: Arc::from(data),
+            inner: Arc::new(data.to_vec()),
         }
     }
 
@@ -47,6 +49,13 @@ impl Bytes {
     pub fn as_ptr(&self) -> *const u8 {
         self.inner.as_ptr()
     }
+
+    /// Unwraps the backing `Vec` if this is the only reference, preserving
+    /// its capacity — the recycling path of a buffer pool. Returns the
+    /// buffer unchanged when other clones are still alive.
+    pub fn try_into_vec(self) -> Result<Vec<u8>, Bytes> {
+        Arc::try_unwrap(self.inner).map_err(|inner| Bytes { inner })
+    }
 }
 
 impl Default for Bytes {
@@ -57,9 +66,8 @@ impl Default for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
-        Bytes {
-            inner: Arc::from(v),
-        }
+        // Zero-copy: the Vec becomes the shared allocation as-is.
+        Bytes { inner: Arc::new(v) }
     }
 }
 
@@ -104,7 +112,7 @@ impl PartialEq<[u8]> for Bytes {
 
 impl Hash for Bytes {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.inner.hash(state);
+        self.inner[..].hash(state);
     }
 }
 
@@ -145,5 +153,33 @@ mod tests {
         let e = Bytes::new();
         assert!(e.is_empty());
         assert_eq!(e, Bytes::default());
+    }
+
+    #[test]
+    fn from_vec_is_zero_copy() {
+        let v = vec![5u8; 64];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_ptr(), ptr, "From<Vec> must not reallocate");
+    }
+
+    #[test]
+    fn unique_owner_unwraps_with_capacity() {
+        let mut v = Vec::with_capacity(1024);
+        v.extend_from_slice(&[1u8, 2, 3]);
+        let b = Bytes::from(v);
+        let back = b.try_into_vec().expect("sole owner unwraps");
+        assert_eq!(back, vec![1, 2, 3]);
+        assert!(back.capacity() >= 1024, "capacity survives the round trip");
+    }
+
+    #[test]
+    fn shared_buffer_refuses_to_unwrap() {
+        let b = Bytes::from(vec![9u8]);
+        let c = b.clone();
+        let b = b.try_into_vec().unwrap_err();
+        assert_eq!(b, c);
+        drop(c);
+        assert_eq!(b.try_into_vec().unwrap(), vec![9]);
     }
 }
