@@ -296,6 +296,9 @@ impl CopyFaults {
     /// (injected crash), sleep (stall), or return a typed
     /// [`GraphStorageError::Fault`] (send error).
     pub(crate) fn tick(&self, is_send: bool) -> Result<()> {
+        // racecheck: op counting only orders faults, not memory; the
+        // at-most-once `fired` claim below rests on RMW atomicity, and the
+        // preceding load is a best-effort skip re-checked by the swap.
         let op = self.ops.fetch_add(1, Ordering::Relaxed) + 1;
         for p in &self.points {
             if p.at_op > op || p.fired.load(Ordering::Relaxed) {
@@ -306,6 +309,7 @@ impl CopyFaults {
                 FaultKind::SendError => is_send,
                 FaultKind::Stall(_) => true,
             };
+            // racecheck: see the tick doc above — atomicity, not ordering.
             if !applicable || p.fired.swap(true, Ordering::Relaxed) {
                 continue;
             }

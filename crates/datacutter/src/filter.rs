@@ -79,6 +79,7 @@ impl InPort {
             RecvOutcome::Failed(e) => Err(e),
         };
         if let (Some(clocks), Some(start)) = (&self.clocks, start) {
+            // racecheck: timing counter, read only after the runtime joins.
             clocks
                 .blocked_recv_ns
                 .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -174,6 +175,7 @@ impl OutPort {
             SendOutcome::Failed(e) => Err(e),
         };
         if let (Some(clocks), Some(start)) = (&self.clocks, start) {
+            // racecheck: timing counter, read only after the runtime joins.
             clocks
                 .blocked_send_ns
                 .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);

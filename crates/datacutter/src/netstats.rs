@@ -30,6 +30,7 @@ impl NetStats {
     /// header over a socket.
     #[inline]
     pub fn record(&self, src: NodeId, dst: NodeId, bytes: u64) {
+        // racecheck: statistics counters — no reader orders memory on them.
         if src == dst {
             self.local_msgs.fetch_add(1, Ordering::Relaxed);
             self.local_bytes.fetch_add(bytes, Ordering::Relaxed);
@@ -41,6 +42,7 @@ impl NetStats {
 
     /// Snapshot of the counters.
     pub fn snapshot(&self) -> NetSnapshot {
+        // racecheck: approximate snapshot of statistics counters.
         NetSnapshot {
             local_msgs: self.local_msgs.load(Ordering::Relaxed),
             local_bytes: self.local_bytes.load(Ordering::Relaxed),

@@ -33,8 +33,13 @@
 
 use crate::buffer::DataBuffer;
 use mssg_types::Edge;
+// The free list lives behind the model-checking shim mutex: identical to
+// `std::sync::Mutex` in production, scheduler-controlled inside
+// `mssg_modelcheck::check` — which is what lets the racecheck corpus
+// explore recycle/clone/drop interleavings exhaustively.
+use mssg_modelcheck::shim::{Mutex, MutexGuard};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Counters describing how well a pool is closing the allocation loop.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -52,6 +57,9 @@ pub struct PoolStats {
 struct PoolInner {
     free: Mutex<Vec<Vec<u8>>>,
     max_buffers: usize,
+    // racecheck: monotonic stats counters, read only for reporting (or
+    // after joining the worker threads); the free list itself is the
+    // synchronized state.
     hits: AtomicU64,
     misses: AtomicU64,
     recycled: AtomicU64,
@@ -82,7 +90,7 @@ impl BufferPool {
         }
     }
 
-    fn free(&self) -> std::sync::MutexGuard<'_, Vec<Vec<u8>>> {
+    fn free(&self) -> MutexGuard<'_, Vec<Vec<u8>>> {
         // A poisoned pool just means some thread panicked mid-push; the
         // free list itself is always valid.
         match self.inner.free.lock() {
@@ -95,6 +103,7 @@ impl BufferPool {
     /// reusing a recycled allocation when one is available.
     pub fn take(&self, capacity: usize) -> Vec<u8> {
         if let Some(mut v) = self.free().pop() {
+            // racecheck: stats-only counters (see PoolInner).
             self.inner.hits.fetch_add(1, Ordering::Relaxed);
             v.clear();
             v.reserve(capacity);
@@ -108,6 +117,7 @@ impl BufferPool {
     /// capacity).
     pub fn give(&self, v: Vec<u8>) {
         let mut free = self.free();
+        // racecheck: stats-only counters (see PoolInner).
         if free.len() < self.inner.max_buffers {
             free.push(v);
             drop(free);
@@ -129,6 +139,7 @@ impl BufferPool {
                 true
             }
             Err(_) => {
+                // racecheck: stats-only counter (see PoolInner).
                 self.inner.dropped.fetch_add(1, Ordering::Relaxed);
                 false
             }
@@ -162,6 +173,7 @@ impl BufferPool {
 
     /// Counter snapshot.
     pub fn stats(&self) -> PoolStats {
+        // racecheck: stats snapshot; exact only once workers have joined.
         PoolStats {
             hits: self.inner.hits.load(Ordering::Relaxed),
             misses: self.inner.misses.load(Ordering::Relaxed),

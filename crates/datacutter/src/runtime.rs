@@ -421,6 +421,8 @@ fn run_with(
                 .spawn(move || -> Result<()> {
                     let started = Instant::now();
                     let result = sup.run(first, ctx);
+                    // racecheck: timing slot; the thread join below is the
+                    // happens-before edge to whoever reads it.
                     copy_clocks
                         .total_ns
                         .store(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -486,6 +488,7 @@ fn run_with(
                 continue;
             }
             let c = &clocks[fi][ci];
+            // racecheck: timing counters read after every writer joined.
             filters.push(FilterTiming {
                 filter: def.name.clone(),
                 copy: ci,

@@ -1,0 +1,168 @@
+//! Model-checked and threaded property tests for [`BufferPool`]
+//! recycling under concurrent clone/drop storms.
+//!
+//! The invariant under test: a pool **hit** can only ever hand out an
+//! allocation that went through a successful `recycle` — i.e. one whose
+//! `Bytes` payload was *proven unique* by `try_into_vec`. A second live
+//! `Bytes` handle must force the recycle to fail (the buffer is dropped
+//! and counted), so `hits ≤ recycled` holds in **every schedule**, not
+//! just on average. The model-checked tests assert it per explored
+//! schedule; the threaded storm asserts it under real contention.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use datacutter::{BufferPool, DataBuffer};
+use mssg_modelcheck::{check, spawn};
+
+/// One buffer, one lingering clone on another thread: `recycle` succeeds
+/// only in schedules where the clone has already been dropped, and a
+/// subsequent pool hit implies the recycle succeeded — in every schedule.
+#[test]
+fn pool_hit_implies_unique_recycle_per_schedule() {
+    let hit_schedules = Arc::new(AtomicUsize::new(0));
+    let miss_schedules = Arc::new(AtomicUsize::new(0));
+    let (hits2, misses2) = (Arc::clone(&hit_schedules), Arc::clone(&miss_schedules));
+    let report = check(move || {
+        let pool = BufferPool::new(2);
+        let buf = pool.from_words(0, &[7, 8]);
+        let clone = buf.data.clone(); // second handle to the payload
+        let t = spawn(move || {
+            assert_eq!(clone.len(), 16);
+            drop(clone);
+        });
+        let recycled = pool.recycle(buf);
+        let before = pool.stats().hits;
+        let v = pool.take(8);
+        let hit = pool.stats().hits > before;
+        if hit {
+            assert!(
+                recycled,
+                "pool hit handed out an allocation that was never proven unique"
+            );
+            hits2.fetch_add(1, Ordering::Relaxed);
+        } else {
+            misses2.fetch_add(1, Ordering::Relaxed);
+        }
+        drop(v);
+        t.join();
+        let s = pool.stats();
+        assert!(s.hits <= s.recycled, "hit without recycle: {s:?}");
+    });
+    // Both outcomes must be reachable, or the storm proves nothing.
+    assert!(
+        hit_schedules.load(Ordering::Relaxed) > 0,
+        "some schedule must recycle before the clone dies"
+    );
+    assert!(
+        miss_schedules.load(Ordering::Relaxed) > 0,
+        "some schedule must catch the clone alive"
+    );
+    println!(
+        "pool_hit_implies_unique_recycle: {} schedules ({} hit, {} miss)",
+        report.executions,
+        hit_schedules.load(Ordering::Relaxed),
+        miss_schedules.load(Ordering::Relaxed)
+    );
+}
+
+/// Two buffers, a clone storm across three threads: every buffer ends up
+/// exactly once in `recycled` or `dropped`, and `hits ≤ recycled` holds
+/// in every explored schedule.
+#[test]
+fn clone_drop_storm_upholds_accounting_per_schedule() {
+    let report = check(|| {
+        let pool = BufferPool::new(2);
+        let a = pool.from_words(0, &[1]);
+        let b = pool.from_words(1, &[2]);
+        let a_clone = a.data.clone();
+        let pool2 = pool.clone();
+        let t1 = spawn(move || drop(a_clone));
+        let t2 = spawn(move || {
+            // `b` has no clones: its recycle must always succeed.
+            assert!(pool2.recycle(b), "unique payload must recycle");
+        });
+        let _ = pool.recycle(a); // succeeds iff t1 already dropped the clone
+        t1.join();
+        t2.join();
+        let s = pool.stats();
+        assert!(s.hits <= s.recycled, "{s:?}");
+        assert_eq!(
+            s.recycled + s.dropped,
+            2,
+            "every buffer accounted for exactly once: {s:?}"
+        );
+        // Drain the free list: hits stay bounded by recycles.
+        let _ = pool.take(4);
+        let _ = pool.take(4);
+        let s = pool.stats();
+        assert!(s.hits <= s.recycled, "{s:?}");
+    });
+    println!(
+        "clone_drop_storm: {} schedules, accounting exact in all",
+        report.executions
+    );
+}
+
+/// Real-thread storm: four producers, one recycler, lingering clones on
+/// every fourth buffer. The hit/recycle bound and the exactly-once
+/// accounting must survive genuine parallelism.
+#[test]
+fn threaded_clone_drop_storm_upholds_hit_bound() {
+    const WORKERS: u64 = 4;
+    const PER_WORKER: u64 = 64;
+    let pool = BufferPool::new(16);
+    let (tx, rx) = crossbeam::channel::bounded::<DataBuffer>(16);
+    let recycler = {
+        let pool = pool.clone();
+        std::thread::spawn(move || {
+            let mut ok = 0u64;
+            while let Ok(buf) = rx.recv() {
+                if pool.recycle(buf) {
+                    ok += 1;
+                }
+            }
+            ok
+        })
+    };
+    let mut workers = Vec::new();
+    for t in 0..WORKERS {
+        let pool = pool.clone();
+        let tx = tx.clone();
+        workers.push(std::thread::spawn(move || {
+            for j in 0..PER_WORKER {
+                let buf = pool.from_words(t, &[t, j]);
+                if j % 4 == 0 {
+                    // A clone that may or may not outlive the recycle
+                    // attempt — the recycler must never be fooled.
+                    let lingering = buf.data.clone();
+                    tx.send(buf).unwrap();
+                    drop(lingering);
+                } else {
+                    tx.send(buf).unwrap();
+                }
+            }
+        }));
+    }
+    drop(tx);
+    for w in workers {
+        w.join().unwrap();
+    }
+    let unwrap_ok = recycler.join().unwrap();
+    let s = pool.stats();
+    assert!(s.hits <= s.recycled, "hit without recycle: {s:?}");
+    assert_eq!(
+        s.hits + s.misses,
+        WORKERS * PER_WORKER,
+        "one take per buffer"
+    );
+    assert_eq!(
+        s.recycled + s.dropped,
+        WORKERS * PER_WORKER,
+        "every buffer accounted for exactly once: {s:?}"
+    );
+    // `recycled` counts free-list pushes; a unique unwrap whose push hit
+    // the pool bound is counted dropped, so pushes ≤ successful unwraps.
+    assert!(s.recycled <= unwrap_ok, "{s:?} vs {unwrap_ok} unwraps");
+    println!("threaded storm: {s:?}, {unwrap_ok} unique unwraps");
+}

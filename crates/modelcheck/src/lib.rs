@@ -25,7 +25,18 @@
 //! - Threads only interact through shim mutexes, so context switches at
 //!   lock/wait/notify/join points cover all observable interleavings.
 //!   Code that shares state through atomics or `UnsafeCell` outside a
-//!   shim mutex is *not* modeled.
+//!   shim mutex is *not* modeled — unless it goes through
+//!   [`race::TracedCell`] or the [`race`] refcount hooks, which add
+//!   their own scheduling points and check every access against a
+//!   vector-clock happens-before relation (the `clock-order` xtask lint
+//!   polices the remaining raw-atomic uses statically).
+//! - Exploration is exhaustive by default ([`Config::exhaustive`]);
+//!   overflowing [`Config::max_executions`] fails the run. Scenarios
+//!   whose schedule tree is out of exhaustive reach (3+ threads with
+//!   many scheduling points) can opt into bounded exploration instead,
+//!   where the run stops at the budget and [`Report::complete`] records
+//!   that the result is "no violation found in the first N schedules",
+//!   not a proof.
 //! - `notify_one` with no waiters is lost, and which waiter wakes is a
 //!   scheduler choice — lost-wakeup bugs are therefore findable.
 //! - Timeouts are virtual: a timed wait always has an "expire" branch,
@@ -52,6 +63,7 @@
 
 #![warn(missing_docs)]
 
+pub mod race;
 mod sched;
 pub mod shim;
 

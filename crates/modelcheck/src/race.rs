@@ -1,0 +1,293 @@
+//! Vector-clock happens-before race detection (a mini-TSan for model
+//! executions).
+//!
+//! The scheduler (`sched`) already interleaves threads at every shim
+//! mutex/condvar operation; this module adds the *memory* side: every
+//! synchronization operation updates per-thread vector clocks, and a
+//! [`TracedCell`] checks each of its reads/writes against that
+//! happens-before relation. Two accesses to the same cell, at least one
+//! a write, with neither ordered before the other, fail the check with a
+//! counterexample naming **both** source sites and the exact schedule.
+//!
+//! # Clock edges
+//!
+//! | event                              | edge                              |
+//! |------------------------------------|-----------------------------------|
+//! | `shim::Mutex` release → acquire    | release/acquire through the lock  |
+//! | `shim::Condvar` notify → wake      | notifier's clock joins the waiter |
+//! | `spawn` / `JoinHandle::join`       | fork / join                       |
+//! | channel send → recv (vendored)     | [`channel_send`]/[`channel_recv`] |
+//! | `Bytes` drop → unique unwrap       | [`rc_release`]/[`rc_acquire`]     |
+//!
+//! The refcount hooks mirror real `Arc` semantics: cloning is a relaxed
+//! increment (no edge, only a scheduling point), dropping a handle is a
+//! release, and *observing uniqueness* (`Arc::try_unwrap` succeeding —
+//! the buffer-pool recycle path) is the acquire that makes every former
+//! holder's accesses visible. That is exactly the ordering reclamation
+//! correctness depends on, so the detector proves it rather than assumes
+//! it.
+//!
+//! # Outside a model execution
+//!
+//! All hooks are no-ops gated on one relaxed atomic load, and
+//! [`TracedCell`] falls back to an `RwLock` — production code pays one
+//! branch and stays sound.
+//!
+//! # Example: the detector fires on an unsynchronized counter
+//!
+//! ```should_panic
+//! use mssg_modelcheck::{check, race::TracedCell, spawn};
+//! use std::sync::Arc;
+//!
+//! check(|| {
+//!     let c = Arc::new(TracedCell::new("counter", 0u64));
+//!     let c2 = Arc::clone(&c);
+//!     let t = spawn(move || c2.write(|v| *v += 1));
+//!     c.write(|v| *v += 1); // no lock: racy — panics with both sites
+//!     t.join();
+//! });
+//! ```
+
+use std::cell::UnsafeCell;
+use std::panic::Location;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::sched::{self, ExecShared};
+
+/// Number of live explorations in this process — the fast gate for the
+/// vendor-side hooks: zero means "plain production process, return
+/// before touching any thread-local".
+// racecheck: gate counter only; readers ask "is any exploration live" and
+// the thread-local lookup behind it re-validates on the slow path, so no
+// ordering with other memory is needed.
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+/// Arms the vendor-side hooks for one exploration (created by
+/// `check_config`); disarms on drop, including during unwinds.
+pub(crate) struct ActiveGuard(());
+
+impl ActiveGuard {
+    pub(crate) fn new() -> ActiveGuard {
+        // racecheck: see ACTIVE — pure gate increment.
+        ACTIVE.fetch_add(1, Ordering::Relaxed);
+        ActiveGuard(())
+    }
+}
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        // racecheck: see ACTIVE — pure gate decrement.
+        ACTIVE.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The calling thread's model execution, if the hooks should do anything
+/// at all: some exploration is live, this thread belongs to one, and it
+/// is not unwinding (a dead execution must not re-enter the scheduler).
+fn model_ctx() -> Option<(Arc<ExecShared>, usize)> {
+    // racecheck: see ACTIVE — gate load, re-validated via TLS below.
+    if ACTIVE.load(Ordering::Relaxed) == 0 {
+        return None;
+    }
+    if std::thread::panicking() {
+        return None;
+    }
+    sched::current()
+}
+
+/// Hook for a refcount *clone* of the shared object at allocation
+/// address `addr`. A real `Arc` clone is a relaxed increment — it
+/// creates no happens-before edge — so this only inserts a scheduling
+/// point, letting the DFS interleave other threads around the clone.
+pub fn rc_clone(addr: usize) {
+    if let Some((exec, me)) = model_ctx() {
+        sched::obj_mark_shared(&exec, addr);
+        sched::yield_point(&exec, me, &format!("clones shared object @{addr:#x}"));
+    }
+}
+
+/// Hook for a refcount *decrement* (handle drop): a release edge — every
+/// access the dropping thread made through the handle is published to
+/// whoever later observes the object unique. `last` means the refcount
+/// hit zero (the allocation dies; its clock entry is retired so a reused
+/// address cannot inherit it). Dropping a handle that was never cloned
+/// is thread-local and skips the hook entirely (see
+/// `sched::obj_is_shared`).
+pub fn rc_release(addr: usize, last: bool) {
+    if let Some((exec, me)) = model_ctx() {
+        if !sched::obj_is_shared(&exec, addr) {
+            return;
+        }
+        sched::yield_point(&exec, me, &format!("drops shared object @{addr:#x}"));
+        sched::obj_release(&exec, me, addr, last);
+    }
+}
+
+/// Hook for a refcount *inspection* (`Arc::try_unwrap` about to read the
+/// strong count): a scheduling point with no clock edge. Without it the
+/// observing thread could run from its previous yield straight into the
+/// count read, and the DFS could never interleave the drop that makes
+/// the object unique.
+pub fn rc_observe(addr: usize) {
+    if let Some((exec, me)) = model_ctx() {
+        if !sched::obj_is_shared(&exec, addr) {
+            return;
+        }
+        sched::yield_point(&exec, me, &format!("inspects shared object @{addr:#x}"));
+    }
+}
+
+/// Hook for *observing uniqueness* (`Arc::try_unwrap` succeeding — the
+/// pool-recycle path): an acquire edge consuming the object's release
+/// clock, making every former holder's history visible to the caller.
+pub fn rc_acquire(addr: usize) {
+    if let Some((exec, me)) = model_ctx() {
+        if !sched::obj_is_shared(&exec, addr) {
+            return;
+        }
+        sched::yield_point(&exec, me, &format!("unwraps shared object @{addr:#x}"));
+        sched::obj_acquire(&exec, me, addr, true);
+    }
+}
+
+/// Message-passing release edge of a channel send: the sender's history
+/// is published on the queue at `addr`. Not a scheduling point — the
+/// channel's own shim mutex already provides one, so this adds clock
+/// precision without growing the schedule space.
+pub fn channel_send(addr: usize) {
+    if let Some((exec, me)) = model_ctx() {
+        sched::obj_release(&exec, me, addr, false);
+    }
+}
+
+/// Message-passing acquire edge of a channel receive: joins the queue's
+/// release clock into the receiver. See [`channel_send`].
+pub fn channel_recv(addr: usize) {
+    if let Some((exec, me)) = model_ctx() {
+        sched::obj_acquire(&exec, me, addr, false);
+    }
+}
+
+enum CellInner<T> {
+    /// Outside a model execution: a real lock, so the fallback stays
+    /// sound (merely serializing) even if production code ever holds one.
+    Std(RwLock<T>),
+    /// Inside a model execution: raw storage plus a registered cell id.
+    /// Exclusive physical access is guaranteed by the scheduler token;
+    /// *logical* races are what `traced_access` reports.
+    Model {
+        exec: Arc<ExecShared>,
+        id: usize,
+        cell: UnsafeCell<T>,
+    },
+}
+
+/// A shared memory cell whose every access is race-checked under the
+/// model scheduler.
+///
+/// [`read`](TracedCell::read) and [`write`](TracedCell::write) are
+/// `#[track_caller]`, so when two unordered accesses collide the failure
+/// names both source locations. Accesses are also scheduling points:
+/// the DFS drives every pair of accesses into both orders, which is what
+/// makes "no schedule raced" an exhaustive statement.
+///
+/// The closures must not access the same cell re-entrantly (`write`
+/// hands out `&mut`; a nested access would alias it).
+pub struct TracedCell<T> {
+    inner: CellInner<T>,
+}
+
+// Safety: in Std mode the RwLock provides real exclusion; in Model mode
+// the scheduler grants the token to one thread at a time, so the
+// UnsafeCell is never physically accessed concurrently (races are
+// *detected*, not executed).
+unsafe impl<T: Send> Send for TracedCell<T> {}
+unsafe impl<T: Send + Sync> Sync for TracedCell<T> {}
+
+impl<T> TracedCell<T> {
+    /// Creates a cell named `name` (used in race reports and traces);
+    /// model-backed iff called on a model thread.
+    pub fn new(name: &'static str, value: T) -> TracedCell<T> {
+        match sched::current() {
+            None => TracedCell {
+                inner: CellInner::Std(RwLock::new(value)),
+            },
+            Some((exec, _)) => {
+                let id = sched::register_cell(&exec, name);
+                TracedCell {
+                    inner: CellInner::Model {
+                        exec,
+                        id,
+                        cell: UnsafeCell::new(value),
+                    },
+                }
+            }
+        }
+    }
+
+    /// Runs `f` on a shared view of the value, reporting the access to
+    /// the detector. Panics (failing the check with both sites) if it
+    /// races with an unordered write.
+    #[track_caller]
+    pub fn read<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        match &self.inner {
+            CellInner::Std(l) => f(&l.read().unwrap_or_else(|p| p.into_inner())),
+            CellInner::Model { exec, id, cell } => {
+                model_access(exec, *id, false, Location::caller());
+                // Safety: see the Sync impl — we hold the token.
+                f(unsafe { &*cell.get() })
+            }
+        }
+    }
+
+    /// Runs `f` on an exclusive view of the value, reporting the access
+    /// to the detector. Panics (failing the check with both sites) if it
+    /// races with any unordered access.
+    #[track_caller]
+    pub fn write<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        match &self.inner {
+            CellInner::Std(l) => f(&mut l.write().unwrap_or_else(|p| p.into_inner())),
+            CellInner::Model { exec, id, cell } => {
+                model_access(exec, *id, true, Location::caller());
+                // Safety: see the Sync impl — we hold the token.
+                f(unsafe { &mut *cell.get() })
+            }
+        }
+    }
+
+    /// Consumes the cell, returning the value.
+    pub fn into_inner(self) -> T {
+        match self.inner {
+            CellInner::Std(l) => l.into_inner().unwrap_or_else(|p| p.into_inner()),
+            CellInner::Model { cell, .. } => cell.into_inner(),
+        }
+    }
+}
+
+fn model_access(
+    exec: &Arc<ExecShared>,
+    id: usize,
+    is_write: bool,
+    site: &'static Location<'static>,
+) {
+    if std::thread::panicking() {
+        return;
+    }
+    let (cur, me) = sched::current().expect("TracedCell accessed outside a model execution");
+    debug_assert!(
+        Arc::ptr_eq(&cur, exec),
+        "TracedCell crossed into a different execution"
+    );
+    if let Some(report) = sched::traced_access(exec, me, id, is_write, site) {
+        panic!("{report}");
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for TracedCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Reading through `read` keeps the Debug impl honest with the
+        // detector (a formatting access is still an access).
+        self.read(|v| f.debug_tuple("TracedCell").field(v).finish())
+    }
+}

@@ -23,7 +23,8 @@
 //! crate docs for the full soundness statement.
 
 use std::cell::RefCell;
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe, Location};
 use std::sync::{Arc, Condvar as OsCondvar, Mutex as OsMutex};
 use std::time::Duration;
 
@@ -40,6 +41,15 @@ pub struct Config {
     /// in [`Report::deadlocks`] and exploration continues — used to
     /// assert that a negative control *does* deadlock.
     pub fail_on_deadlock: bool,
+    /// When `true` (the default), exceeding [`Config::max_executions`]
+    /// panics: the caller claimed the scenario was exhaustively
+    /// checkable within the budget and it was not. When `false`, the
+    /// exploration stops cleanly at the budget instead and reports
+    /// [`Report::complete`] as `false` — bounded coverage of a schedule
+    /// tree too deep for exhaustive DFS (e.g. three-node protocol
+    /// scenarios), still checking every assertion on every schedule it
+    /// does run.
+    pub exhaustive: bool,
 }
 
 impl Default for Config {
@@ -48,6 +58,7 @@ impl Default for Config {
             max_executions: 200_000,
             max_steps: 20_000,
             fail_on_deadlock: true,
+            exhaustive: true,
         }
     }
 }
@@ -60,6 +71,15 @@ pub struct Report {
     /// Number of schedules that ended in deadlock (always 0 when
     /// [`Config::fail_on_deadlock`] is set — those panic instead).
     pub deadlocks: usize,
+    /// Number of wakes (summed over all schedules) where a notify landed
+    /// on a waiter whose virtual deadline had already passed and the
+    /// scheduler resolved the race as "timed out". Greater than zero
+    /// proves the notify-vs-expiry edge was actually explored.
+    pub notified_expiries: usize,
+    /// `true` when the DFS enumerated every schedule; `false` when a
+    /// non-[`exhaustive`](Config::exhaustive) run stopped at its
+    /// execution budget with alternatives still unexplored.
+    pub complete: bool,
 }
 
 /// Panic payload used to unwind model threads when an execution aborts
@@ -95,8 +115,46 @@ enum ThrState {
     },
     /// Blocked until `target` finishes.
     WantsJoin { target: usize },
+    /// Surrendered the token at an always-enabled scheduling point (a
+    /// traced memory access or refcount transition) — runnable as-is.
+    Yielded,
     /// Ran to completion (or unwound during abort).
     Finished,
+}
+
+/// One recorded access to a traced cell: who, at which epoch of their own
+/// clock, and from which source location.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Access {
+    tid: usize,
+    at: u64,
+    site: &'static Location<'static>,
+}
+
+/// Happens-before bookkeeping for one [`race::TracedCell`](crate::race::TracedCell).
+#[derive(Debug, Default)]
+pub(crate) struct CellState {
+    name: &'static str,
+    last_write: Option<Access>,
+    reads: Vec<Access>,
+}
+
+/// `dst := dst ⊔ src` (pointwise max), growing `dst` as needed.
+fn vc_join(dst: &mut Vec<u64>, src: &[u64]) {
+    if dst.len() < src.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = (*d).max(*s);
+    }
+}
+
+/// Advances `vc[tid]` (the thread's own epoch), growing as needed.
+fn vc_tick(vc: &mut Vec<u64>, tid: usize) {
+    if vc.len() <= tid {
+        vc.resize(tid + 1, 0);
+    }
+    vc[tid] += 1;
 }
 
 #[derive(Debug)]
@@ -136,6 +194,22 @@ pub(crate) struct ExecState {
     aborted: bool,
     /// Thread currently granted the token (consumed by the grantee).
     granted: Option<usize>,
+    /// Per-thread vector clocks (index = thread id). Every lock release,
+    /// notify, spawn and join publishes clocks; acquires join them — the
+    /// happens-before relation the race detector checks against.
+    vclocks: Vec<Vec<u64>>,
+    /// Per-lock release clocks: the clock of the thread that last
+    /// released the lock (joined by the next acquirer).
+    lock_vc: Vec<Vec<u64>>,
+    /// Release clocks of refcounted objects (vendored `Bytes`, channel
+    /// queues), keyed by allocation address. Entries die with the object
+    /// so a reused address cannot leak a stale edge.
+    obj_vc: HashMap<usize, Vec<u64>>,
+    /// Traced-cell access history, index = cell id.
+    cells: Vec<CellState>,
+    /// Wakes resolved as "notify arrived after the deadline → report
+    /// timeout" in this execution (see [`Report::notified_expiries`]).
+    notified_expiries: usize,
 }
 
 pub(crate) struct ExecShared {
@@ -192,6 +266,11 @@ impl ExecState {
             failure: None,
             aborted: false,
             granted: None,
+            vclocks: vec![vec![1]],
+            lock_vc: Vec::new(),
+            obj_vc: HashMap::new(),
+            cells: Vec::new(),
+            notified_expiries: 0,
         }
     }
 
@@ -264,6 +343,7 @@ fn dispatch(exec: &ExecShared, st: &mut ExecState) {
                 {
                     enabled.push(Transition::Run(tid))
                 }
+                ThrState::Yielded => enabled.push(Transition::Run(tid)),
                 ThrState::InCond {
                     deadline: Some(_), ..
                 } => enabled.push(Transition::Timeout(tid)),
@@ -311,11 +391,20 @@ fn dispatch(exec: &ExecShared, st: &mut ExecState) {
             Transition::Run(tid) => {
                 match st.threads[tid].state {
                     ThrState::Spawned => st.trace.push(format!("T{tid}: starts")),
+                    ThrState::Yielded => st.trace.push(format!("T{tid}: resumes")),
                     ThrState::WantsLock { lock } => {
                         st.locks[lock] = true;
+                        // Acquire edge: everything the last releaser did
+                        // happens-before everything this thread does next.
+                        let src = st.lock_vc[lock].clone();
+                        vc_join(&mut st.vclocks[tid], &src);
                         st.trace.push(format!("T{tid}: acquires M{lock}"));
                     }
                     ThrState::WantsJoin { target } => {
+                        // Join edge: the joined thread's whole history is
+                        // visible to the joiner.
+                        let src = st.vclocks[target].clone();
+                        vc_join(&mut st.vclocks[tid], &src);
                         st.trace.push(format!("T{tid}: joins T{target}"))
                     }
                     _ => unreachable!("run transition on an unrunnable thread"),
@@ -352,6 +441,7 @@ fn yield_to_scheduler(exec: &ExecShared, mut st: std::sync::MutexGuard<'_, ExecS
 pub(crate) fn register_lock(exec: &ExecShared) -> usize {
     let mut st = lock_state(exec);
     st.locks.push(false);
+    st.lock_vc.push(Vec::new());
     st.locks.len() - 1
 }
 
@@ -392,6 +482,10 @@ pub(crate) fn release(exec: &ExecShared, me: usize, lock: usize) {
         exec.cv.notify_all();
         return;
     }
+    // Release edge: publish this thread's clock on the lock, then open a
+    // new epoch so later unprotected accesses are *not* covered by it.
+    st.lock_vc[lock] = st.vclocks[me].clone();
+    vc_tick(&mut st.vclocks[me], me);
     st.trace.push(format!("T{me}: releases M{lock}"));
 }
 
@@ -407,6 +501,9 @@ pub(crate) fn cond_wait(
 ) -> Wake {
     let mut st = lock_state(exec);
     st.locks[lock] = false;
+    // Waiting releases the lock: same release edge as an unlock.
+    st.lock_vc[lock] = st.vclocks[me].clone();
+    vc_tick(&mut st.vclocks[me], me);
     st.conds[cond].push(me);
     let deadline = timeout.map(|d| {
         st.clock
@@ -441,7 +538,8 @@ pub(crate) fn notify_one(exec: &ExecShared, me: usize, cond: usize) {
     let n = st.conds[cond].len();
     let k = st.choose(n);
     let tid = st.conds[cond].remove(k);
-    wake_waiter(&mut st, tid);
+    wake_waiter(&mut st, me, tid);
+    vc_tick(&mut st.vclocks[me], me);
     st.trace
         .push(format!("T{me}: notify_one C{cond} wakes T{tid}"));
 }
@@ -458,23 +556,185 @@ pub(crate) fn notify_all(exec: &ExecShared, me: usize, cond: usize) {
         return;
     }
     for &tid in &waiters {
-        wake_waiter(&mut st, tid);
+        wake_waiter(&mut st, me, tid);
     }
+    vc_tick(&mut st.vclocks[me], me);
     st.trace
         .push(format!("T{me}: notify_all C{cond} wakes {waiters:?}"));
 }
 
-fn wake_waiter(st: &mut ExecState, tid: usize) {
-    let ThrState::InCond { lock, .. } = st.threads[tid].state else {
+fn wake_waiter(st: &mut ExecState, me: usize, tid: usize) {
+    let ThrState::InCond { lock, deadline, .. } = st.threads[tid].state else {
         unreachable!("woke a thread that was not waiting")
     };
-    st.threads[tid].wake = Wake::Notified;
+    // A notify landing on (or after) the waiter's expiry tick is a real
+    // OS race: the waiter may observe either the notification or its own
+    // timeout. Explore both outcomes.
+    let wake = match deadline {
+        Some(d) if d <= st.clock && st.choose(2) == 1 => {
+            st.notified_expiries += 1;
+            st.trace.push(format!(
+                "T{tid}: notify arrives after its deadline — resolved as timeout"
+            ));
+            Wake::TimedOut
+        }
+        _ => Wake::Notified,
+    };
+    if wake == Wake::Notified {
+        // Signal edge: the notifier's history is visible to the waiter.
+        // A wake reported as a timeout synchronizes only through the
+        // mutex reacquisition, exactly like the real primitive.
+        let src = st.vclocks[me].clone();
+        vc_join(&mut st.vclocks[tid], &src);
+    }
+    st.threads[tid].wake = wake;
     st.threads[tid].state = ThrState::WantsLock { lock };
 }
 
 /// Current virtual clock (nanoseconds).
 pub(crate) fn virtual_clock(exec: &ExecShared) -> u64 {
     lock_state(exec).clock
+}
+
+// ---- operations invoked by the race detector (crate::race) ----------------
+
+/// An always-enabled scheduling point: surrenders the token so the
+/// scheduler can interleave other threads before the caller's next
+/// (unsynchronized) action. `what` goes into the schedule trace.
+pub(crate) fn yield_point(exec: &ExecShared, me: usize, what: &str) {
+    if std::thread::panicking() {
+        return;
+    }
+    let mut st = lock_state(exec);
+    st.trace.push(format!("T{me}: {what}"));
+    st.threads[me].state = ThrState::Yielded;
+    yield_to_scheduler(exec, st, me);
+}
+
+/// Registers a traced cell; returns its id.
+pub(crate) fn register_cell(exec: &ExecShared, name: &'static str) -> usize {
+    let mut st = lock_state(exec);
+    st.cells.push(CellState {
+        name,
+        ..CellState::default()
+    });
+    st.cells.len() - 1
+}
+
+/// Checks one access to a traced cell against the recorded history and
+/// the accessor's vector clock; records it. Returns a race report naming
+/// both unordered sites if the access races with a previous one. Also a
+/// scheduling point (so the DFS reaches every access interleaving).
+pub(crate) fn traced_access(
+    exec: &ExecShared,
+    me: usize,
+    cell: usize,
+    is_write: bool,
+    site: &'static Location<'static>,
+) -> Option<String> {
+    if std::thread::panicking() {
+        return None;
+    }
+    let kind = if is_write { "write" } else { "read" };
+    {
+        let mut st = lock_state(exec);
+        let name = st.cells[cell].name;
+        st.trace.push(format!("T{me}: {kind}s `{name}` at {site}"));
+        st.threads[me].state = ThrState::Yielded;
+        yield_to_scheduler(exec, st, me);
+    }
+    let mut st = lock_state(exec);
+    let my_vc = st.vclocks[me].clone();
+    let epoch = my_vc.get(me).copied().unwrap_or(0);
+    // `prev` happened-before this access iff our clock has caught up with
+    // the epoch `prev` was made at (FastTrack's epoch comparison).
+    let ordered = |a: &Access| my_vc.get(a.tid).copied().unwrap_or(0) >= a.at;
+    let conflict = {
+        let c = &st.cells[cell];
+        let mut hit: Option<(&'static str, Access)> = None;
+        if let Some(w) = &c.last_write {
+            if w.tid != me && !ordered(w) {
+                hit = Some(("write", *w));
+            }
+        }
+        if hit.is_none() && is_write {
+            hit = c
+                .reads
+                .iter()
+                .find(|r| r.tid != me && !ordered(r))
+                .map(|r| ("read", *r));
+        }
+        hit
+    };
+    let name = st.cells[cell].name;
+    if let Some((prev_kind, prev)) = conflict {
+        return Some(format!(
+            "data race on `{name}`: {prev_kind} at {} (T{}) is unordered with {kind} at {site} (T{me})",
+            prev.site, prev.tid,
+        ));
+    }
+    let c = &mut st.cells[cell];
+    let access = Access {
+        tid: me,
+        at: epoch,
+        site,
+    };
+    if is_write {
+        c.last_write = Some(access);
+        c.reads.clear();
+    } else {
+        c.reads.retain(|a| a.tid != me);
+        c.reads.push(access);
+    }
+    None
+}
+
+/// Marks `addr` as shared: a second handle now exists, so its later
+/// refcount transitions are cross-thread-visible. Idempotent; the entry
+/// is retired when the object dies or is consumed.
+pub(crate) fn obj_mark_shared(exec: &ExecShared, addr: usize) {
+    lock_state(exec).obj_vc.entry(addr).or_default();
+}
+
+/// `true` once `addr` has been marked shared (and not yet retired). A
+/// never-cloned object is thread-local: its refcount operations cannot
+/// order anything across threads, so the race hooks skip the scheduling
+/// point — a sound partial-order reduction that keeps uniquely owned
+/// buffers out of the schedule space.
+pub(crate) fn obj_is_shared(exec: &ExecShared, addr: usize) -> bool {
+    lock_state(exec).obj_vc.contains_key(&addr)
+}
+
+/// Release edge onto a refcounted object: joins the caller's clock into
+/// the object's release clock (dropping a handle publishes every access
+/// made through it). `dying` (refcount hitting zero) retires the entry so
+/// a reused allocation address cannot inherit a stale edge.
+pub(crate) fn obj_release(exec: &ExecShared, me: usize, addr: usize, dying: bool) {
+    let mut st = lock_state(exec);
+    let src = st.vclocks[me].clone();
+    if dying {
+        st.obj_vc.remove(&addr);
+    } else {
+        let vc = st.obj_vc.entry(addr).or_default();
+        vc_join(vc, &src);
+    }
+    vc_tick(&mut st.vclocks[me], me);
+}
+
+/// Acquire edge from a refcounted object: joins the object's release
+/// clock into the caller's (observing uniqueness — or receiving a message
+/// — makes every publisher's history visible). `consume` retires the
+/// entry (the object is gone, e.g. `try_into_vec` succeeded).
+pub(crate) fn obj_acquire(exec: &ExecShared, me: usize, addr: usize, consume: bool) {
+    let mut st = lock_state(exec);
+    let vc = if consume {
+        st.obj_vc.remove(&addr)
+    } else {
+        st.obj_vc.get(&addr).cloned()
+    };
+    if let Some(vc) = vc {
+        vc_join(&mut st.vclocks[me], &vc);
+    }
 }
 
 fn finish(exec: &ExecShared, me: usize) {
@@ -553,14 +813,25 @@ pub fn spawn<F>(f: F) -> JoinHandle
 where
     F: FnOnce() + Send + 'static,
 {
-    let (exec, _me) = current().expect("modelcheck::spawn outside a model thread");
+    let (exec, me) = current().expect("modelcheck::spawn outside a model thread");
     let tid = {
         let mut st = lock_state(&exec);
         st.threads.push(Thr {
             state: ThrState::Spawned,
             wake: Wake::None,
         });
-        st.threads.len() - 1
+        let tid = st.threads.len() - 1;
+        // Fork edge: the child starts with the parent's history, in a
+        // fresh epoch of its own; the parent's later actions are not
+        // ordered before the child's.
+        let mut child = st.vclocks[me].clone();
+        if child.len() <= tid {
+            child.resize(tid + 1, 0);
+        }
+        child[tid] = 1;
+        st.vclocks.push(child);
+        vc_tick(&mut st.vclocks[me], me);
+        tid
     };
     let exec2 = Arc::clone(&exec);
     let handle = std::thread::Builder::new()
@@ -593,11 +864,24 @@ where
     F: Fn() + Send + Sync + 'static,
 {
     silence_model_panics();
+    // Arm the vendor-side race hooks (Bytes, channel edges) for the
+    // duration of the exploration; disarmed again on unwind.
+    let _active = crate::race::ActiveGuard::new();
     let f = Arc::new(f);
     let mut forced: Vec<usize> = Vec::new();
     let mut executions = 0usize;
     let mut deadlocks = 0usize;
+    let mut notified_expiries = 0usize;
     loop {
+        if executions >= config.max_executions && !config.exhaustive {
+            // Budget spent with alternatives left: bounded coverage.
+            return Report {
+                executions,
+                deadlocks,
+                notified_expiries,
+                complete: false,
+            };
+        }
         executions += 1;
         assert!(
             executions <= config.max_executions,
@@ -644,6 +928,7 @@ where
             h.join().ok();
         }
         let st = lock_state(&exec);
+        notified_expiries += st.notified_expiries;
         match st.outcome {
             Outcome::Done => {}
             Outcome::Deadlock => {
@@ -671,6 +956,8 @@ where
             return Report {
                 executions,
                 deadlocks,
+                notified_expiries,
+                complete: true,
             };
         };
         forced = recorded[..i].iter().map(|&(c, _)| c).collect();

@@ -1,0 +1,227 @@
+//! The racecheck corpus: programs the vector-clock detector must accept
+//! (every schedule race-free) and deliberately racy negative controls it
+//! must reject — with both access sites named in the counterexample.
+//!
+//! The `Bytes` scenarios are the point of the exercise: they prove the
+//! unique-ownership reclamation discipline (`try_into_vec` gating any
+//! unsynchronized reuse, the buffer-pool recycle path) is race-free
+//! *because of* the refcount release/acquire edges, not by luck.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam::channel::bounded;
+use mssg_modelcheck::race::TracedCell;
+use mssg_modelcheck::shim::Mutex;
+use mssg_modelcheck::{check, spawn};
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Positive control: a seeded write/write race is detected, and the
+/// counterexample names both stack-tagged sites (two distinct lines of
+/// this file).
+#[test]
+fn seeded_race_names_both_sites() {
+    let result = std::panic::catch_unwind(|| {
+        check(|| {
+            let c = Arc::new(TracedCell::new("counter", 0u64));
+            let c2 = Arc::clone(&c);
+            let t = spawn(move || {
+                c2.write(|v| *v += 1); // racy site A
+            });
+            c.write(|v| *v += 1); // racy site B
+            t.join();
+        })
+    });
+    let err = result.expect_err("the seeded race must be detected");
+    let msg = panic_message(err.as_ref());
+    assert!(
+        msg.contains("data race on `counter`"),
+        "expected a race report, got: {msg}"
+    );
+    let sites: Vec<&str> = msg
+        .match_indices("race_corpus.rs")
+        .map(|(_, s)| s)
+        .collect();
+    assert!(
+        sites.len() >= 2,
+        "both access sites must be named, got: {msg}"
+    );
+}
+
+/// A read racing with a write is also caught (not just write/write).
+#[test]
+fn read_write_race_is_detected() {
+    let result = std::panic::catch_unwind(|| {
+        check(|| {
+            let c = Arc::new(TracedCell::new("flag", false));
+            let c2 = Arc::clone(&c);
+            let t = spawn(move || {
+                c2.read(|v| *v);
+            });
+            c.write(|v| *v = true);
+            t.join();
+        })
+    });
+    let msg = panic_message(result.expect_err("read/write race must fire").as_ref());
+    assert!(msg.contains("data race on `flag`"), "got: {msg}");
+}
+
+/// Lock discipline makes the same program race-free in every schedule:
+/// the release/acquire edges through the shim mutex order the accesses.
+#[test]
+fn mutex_protected_counter_is_race_free() {
+    let report = check(|| {
+        let lock = Arc::new(Mutex::new(()));
+        let c = Arc::new(TracedCell::new("guarded", 0u64));
+        let (l2, c2) = (Arc::clone(&lock), Arc::clone(&c));
+        let t = spawn(move || {
+            let _g = l2.lock().unwrap();
+            c2.write(|v| *v += 1);
+        });
+        {
+            let _g = lock.lock().unwrap();
+            c.write(|v| *v += 1);
+        }
+        t.join();
+        let _g = lock.lock().unwrap();
+        c.read(|v| assert_eq!(*v, 2));
+    });
+    assert!(
+        report.executions >= 2,
+        "lock orders must be explored: {report:?}"
+    );
+    println!(
+        "mutex_protected_counter: {} schedules, all race-free",
+        report.executions
+    );
+}
+
+/// Message passing orders accesses: the channel send/recv edge makes the
+/// producer's write visible to the receiving consumer in every schedule.
+#[test]
+fn channel_transfer_orders_accesses() {
+    let report = check(|| {
+        let (tx, rx) = bounded::<u8>(1);
+        let c = Arc::new(TracedCell::new("handoff", 0u64));
+        let c2 = Arc::clone(&c);
+        let t = spawn(move || {
+            rx.recv().unwrap();
+            c2.write(|v| *v += 1); // ordered after the producer's write
+        });
+        c.write(|v| *v = 41);
+        tx.send(1).unwrap();
+        t.join();
+    });
+    println!(
+        "channel_transfer: {} schedules, all race-free",
+        report.executions
+    );
+}
+
+/// Negative control for the channel edge: a consumer that reads the cell
+/// *without* receiving first has no ordering edge — the detector fires.
+#[test]
+fn unsynchronized_reader_races_with_producer() {
+    let result = std::panic::catch_unwind(|| {
+        check(|| {
+            let (tx, rx) = bounded::<u8>(1);
+            let c = Arc::new(TracedCell::new("handoff", 0u64));
+            let c2 = Arc::clone(&c);
+            let t = spawn(move || {
+                c2.read(|v| *v); // reads before (or without) the recv
+                rx.recv().unwrap();
+            });
+            c.write(|v| *v = 41);
+            tx.send(1).unwrap();
+            t.join();
+        })
+    });
+    let msg = panic_message(result.expect_err("unordered read must race").as_ref());
+    assert!(msg.contains("data race on `handoff`"), "got: {msg}");
+}
+
+/// The reclamation theorem: a thread that observes a `Bytes` unique via
+/// `try_into_vec` may touch the (shadowed) payload unsynchronized,
+/// because the refcount release/acquire edges order it after every
+/// former holder's accesses — in every schedule where the unwrap
+/// succeeds.
+#[test]
+fn bytes_unique_unwrap_orders_reclamation() {
+    let unwrapped = Arc::new(AtomicUsize::new(0));
+    let unwrapped2 = Arc::clone(&unwrapped);
+    let report = check(move || {
+        let (tx, rx) = bounded::<Bytes>(1);
+        // Shadow of the payload allocation: accesses to it model accesses
+        // to the recycled buffer's memory.
+        let shadow = Arc::new(TracedCell::new("payload", 0u64));
+        let shadow2 = Arc::clone(&shadow);
+        let unwrapped3 = Arc::clone(&unwrapped2);
+        let t = spawn(move || {
+            // The recycling consumer: receives the buffer and reclaims it
+            // only if it proves unique (the pool-recycle pattern).
+            let b = rx.recv().unwrap();
+            match b.try_into_vec() {
+                Ok(v) => {
+                    // Acquire edge fired: every former holder's accesses
+                    // are visible, so this unsynchronized access is
+                    // ordered in every schedule that reaches it.
+                    shadow2.write(|s| *s += v.len() as u64);
+                    unwrapped3.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(still_shared) => drop(still_shared),
+            }
+        });
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        tx.send(b.clone()).unwrap();
+        // Touch the payload through the retained handle *after* the send:
+        // the channel edge does not cover this write — only the drop
+        // (release) → try_into_vec (acquire) edge orders it.
+        shadow.write(|v| *v += 1);
+        drop(b);
+        t.join();
+    });
+    assert!(
+        unwrapped.load(Ordering::Relaxed) > 0,
+        "some schedule must observe the buffer unique"
+    );
+    println!(
+        "bytes_unique_unwrap: {} schedules ({} with a successful unwrap), all race-free",
+        report.executions,
+        unwrapped.load(Ordering::Relaxed)
+    );
+}
+
+/// Negative control for the reclamation theorem: touching the payload
+/// *without* the `try_into_vec` gate races with the consumer.
+#[test]
+fn bytes_reuse_without_unwrap_gate_races() {
+    let result = std::panic::catch_unwind(|| {
+        check(|| {
+            let (tx, rx) = bounded::<Bytes>(1);
+            let shadow = Arc::new(TracedCell::new("payload", 0u64));
+            let shadow2 = Arc::clone(&shadow);
+            let t = spawn(move || {
+                let b = rx.recv().unwrap();
+                shadow2.write(|v| *v += b.len() as u64);
+                drop(b);
+            });
+            let b = Bytes::from(vec![1u8, 2, 3]);
+            tx.send(b.clone()).unwrap();
+            drop(b); // drops its handle but never *observes* uniqueness…
+            shadow.write(|s| *s += 1); // …so this access is unordered
+            t.join();
+        })
+    });
+    let msg = panic_message(result.expect_err("ungated reuse must race").as_ref());
+    assert!(msg.contains("data race on `payload`"), "got: {msg}");
+}

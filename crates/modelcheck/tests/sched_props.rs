@@ -171,3 +171,48 @@ fn assertion_failures_are_reported_with_a_schedule() {
         assert_eq!(seen, 1, "read raced the increment");
     });
 }
+
+/// Regression (virtual-clock timeout edge): a `notify` that lands after a
+/// waiter's deadline has already passed on the virtual clock is a real OS
+/// race — the waiter may report *either* "notified" or "timed out". Both
+/// outcomes must be explored, and the scheduler counts the resolved-as-
+/// timeout branch in `Report::notified_expiries`.
+#[test]
+fn notify_on_expired_deadline_explores_both_outcomes() {
+    use std::collections::HashSet;
+    use std::sync::Mutex as StdMutex;
+
+    let outcomes = Arc::new(StdMutex::new(HashSet::new()));
+    let seen = Arc::clone(&outcomes);
+    let report = check(move || {
+        let pair = Arc::new((Mutex::new(()), Condvar::new()));
+        let aux = Arc::new((Mutex::new(()), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let seen2 = Arc::clone(&seen);
+        let t = spawn(move || {
+            let g = p2.0.lock().unwrap();
+            let (_g, r) = p2.1.wait_timeout(g, Duration::from_nanos(10)).unwrap();
+            seen2.lock().unwrap().insert(r.timed_out());
+        });
+        {
+            // Advance the virtual clock past T1's deadline: nobody ever
+            // notifies `aux`, so this wait can only expire (clock := 50),
+            // making the notify below land on an already-expired waiter
+            // in the schedules where T1 parked first.
+            let g = aux.0.lock().unwrap();
+            let (_g, r) = aux.1.wait_timeout(g, Duration::from_nanos(50)).unwrap();
+            assert!(r.timed_out());
+        }
+        pair.1.notify_one();
+        t.join();
+    });
+    let seen = outcomes.lock().unwrap();
+    assert!(
+        seen.contains(&true) && seen.contains(&false),
+        "both wake reasons must be observed across schedules: {seen:?}"
+    );
+    assert!(
+        report.notified_expiries > 0,
+        "the notify-after-deadline branch must be explored: {report:?}"
+    );
+}

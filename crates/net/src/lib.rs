@@ -21,11 +21,13 @@
 //! credit protocol, and the failure mapping.
 
 pub mod launcher;
+pub mod model;
 pub mod tcp;
 pub mod wire;
 pub mod workload;
 
 pub use launcher::{announce_and_gather, report_error, run_cluster, ClusterOutput};
+pub use model::{model_cluster, CreditAudit, Faults, ModelTransport};
 pub use tcp::{TcpOptions, TcpTransport};
 pub use wire::{Frame, FrameKind, FRAME_OVERHEAD, MAX_PAYLOAD};
 pub use workload::{run_inproc, run_tcp_localhost, WorkloadConfig, WorkloadReport};

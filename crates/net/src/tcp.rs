@@ -666,6 +666,8 @@ impl Transport for TcpTransport {
     }
 
     fn finish(&mut self) -> Result<()> {
+        // racecheck: advisory stop flag — no data is published through it,
+        // the heartbeat thread only polls it to exit.
         self.shared.hb_stop.store(true, Ordering::Relaxed);
         // Ship this node's telemetry to node 0 before BYE: FIFO ordering
         // on the connection means node 0's BYE wait also collects every
@@ -794,6 +796,7 @@ fn heartbeat_loop(shared: &Shared, period: Duration) {
     let windows = metrics.counter("ingest.windows");
     loop {
         thread::sleep(period);
+        // racecheck: advisory stop flag, see finish() — exit may lag a beat.
         if shared.hb_stop.load(Ordering::Relaxed) || shared.dead().is_some() {
             return;
         }
@@ -989,6 +992,8 @@ impl RxInner {
         use crossbeam::channel::TryRecvError;
         let mut local_open = false;
         if let Some(rx) = &self.local_rx {
+            // racecheck: done flags memo a disconnect the channel itself
+            // already ordered; worst case is one redundant try_recv.
             if !self.local_done.load(Ordering::Relaxed) {
                 match rx.try_recv() {
                     Ok(buf) => return Ok(buf),
@@ -1000,6 +1005,7 @@ impl RxInner {
             }
         }
         let mut remote_open = false;
+        // racecheck: disconnect memo, same as local_done above.
         if !self.remote_done.load(Ordering::Relaxed) {
             match self.remote_rx.try_recv() {
                 Ok((buf, origin, span)) => {
@@ -1074,6 +1080,7 @@ impl RxEndpoint for NetRx {
                 match rx.recv_timeout(slice) {
                     Ok(buf) => return RecvOutcome::Buf(buf),
                     Err(RecvTimeoutError::Timeout) => {}
+                    // racecheck: disconnect memo, see RxInner::poll.
                     Err(RecvTimeoutError::Disconnected) => {
                         inner.local_done.store(true, Ordering::Relaxed)
                     }
@@ -1085,6 +1092,7 @@ impl RxEndpoint for NetRx {
                         return RecvOutcome::Buf(buf);
                     }
                     Err(RecvTimeoutError::Timeout) => {}
+                    // racecheck: disconnect memo, see RxInner::poll.
                     Err(RecvTimeoutError::Disconnected) => {
                         inner.remote_done.store(true, Ordering::Relaxed)
                     }

@@ -24,11 +24,13 @@ impl Counter {
     /// Adds `n`.
     #[inline]
     pub fn add(&self, n: u64) {
+        // racecheck: metric counter — no reader orders memory on it.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // racecheck: approximate metric read.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -41,17 +43,20 @@ impl Gauge {
     /// Sets the value.
     #[inline]
     pub fn set(&self, v: i64) {
+        // racecheck: metric gauge — no reader orders memory on it.
         self.0.store(v, Ordering::Relaxed);
     }
 
     /// Adjusts the value by `delta`.
     #[inline]
     pub fn add(&self, delta: i64) {
+        // racecheck: metric gauge — no reader orders memory on it.
         self.0.fetch_add(delta, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> i64 {
+        // racecheck: approximate metric read.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -101,6 +106,8 @@ impl Histogram {
     /// Records one observation.
     #[inline]
     pub fn record(&self, value: u64) {
+        // racecheck: histogram cells tear across fields by design — a
+        // snapshot may catch the bucket without the count; tolerated.
         self.0.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
         self.0.count.fetch_add(1, Ordering::Relaxed);
         self.0.sum.fetch_add(value, Ordering::Relaxed);
@@ -109,6 +116,7 @@ impl Histogram {
     /// Point-in-time copy. Trailing empty buckets are trimmed so
     /// snapshots stay small to ship between nodes.
     pub fn snapshot(&self) -> HistogramSnapshot {
+        // racecheck: approximate snapshot, see record() — fields may tear.
         let mut buckets: Vec<u64> = (0..HISTOGRAM_BUCKETS)
             .map(|i| self.0.buckets[i].load(Ordering::Relaxed))
             .collect();
@@ -117,6 +125,7 @@ impl Histogram {
         }
         HistogramSnapshot {
             buckets,
+            // racecheck: approximate, may tear against the buckets above.
             count: self.0.count.load(Ordering::Relaxed),
             sum: self.0.sum.load(Ordering::Relaxed),
         }

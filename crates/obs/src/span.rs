@@ -80,6 +80,7 @@ static NEXT_TID: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
     /// Dense per-thread id, assigned on first use.
+    // racecheck: id allocation needs uniqueness (RMW atomicity), not order.
     static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
     /// Stack of active `(name, span id)` pairs on this thread (for
     /// folded paths and current-span lookup).
@@ -161,6 +162,7 @@ impl Tracer {
                             .to_string()
                     });
                 }
+                // racecheck: span-id allocation — uniqueness, not ordering.
                 let id = inner.next_span.fetch_add(1, Ordering::Relaxed);
                 let path = STACK.with(|s| {
                     let mut s = s.borrow_mut();

@@ -4,9 +4,19 @@
 
 use mssg_obs::Tracer;
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Only the thread that armed the counter is measured — the test
+    /// harness's own threads allocate at unpredictable moments, and a
+    /// process-global count would pick those up as spurious failures.
+    /// `Cell<bool>` has no destructor, so touching it from `alloc` is
+    /// safe at any point in a thread's life.
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
 
 struct CountingAllocator;
 
@@ -14,7 +24,9 @@ struct CountingAllocator;
 // added.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if COUNTING.with(|c| c.get()) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.alloc(layout) }
     }
 
@@ -23,7 +35,9 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if COUNTING.with(|c| c.get()) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -40,6 +54,7 @@ fn disabled_tracer_does_not_allocate() {
         let _g = tracer.span("warmup").with("k", 0);
     }
 
+    COUNTING.with(|c| c.set(true));
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     for i in 0..10_000u64 {
         let mut g = tracer
@@ -49,6 +64,7 @@ fn disabled_tracer_does_not_allocate() {
         g.record("visited", i);
     }
     let after = ALLOCATIONS.load(Ordering::Relaxed);
+    COUNTING.with(|c| c.set(false));
 
     assert_eq!(
         after - before,

@@ -33,6 +33,7 @@ impl IoStats {
     /// Records one block read of `bytes` bytes.
     #[inline]
     pub fn record_read(&self, bytes: u64) {
+        // racecheck: statistics counter — no reader orders memory on it.
         self.block_reads.fetch_add(1, Ordering::Relaxed);
         self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
     }
@@ -40,6 +41,7 @@ impl IoStats {
     /// Records one block write of `bytes` bytes.
     #[inline]
     pub fn record_write(&self, bytes: u64) {
+        // racecheck: statistics counter — no reader orders memory on it.
         self.block_writes.fetch_add(1, Ordering::Relaxed);
         self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
     }
@@ -47,17 +49,20 @@ impl IoStats {
     /// Records one head seek (a non-sequential access).
     #[inline]
     pub fn record_seek(&self) {
+        // racecheck: statistics counter — no reader orders memory on it.
         self.seeks.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one durability sync.
     #[inline]
     pub fn record_sync(&self) {
+        // racecheck: statistics counter — no reader orders memory on it.
         self.syncs.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Takes a consistent-enough snapshot of the counters.
     pub fn snapshot(&self) -> IoSnapshot {
+        // racecheck: approximate-by-contract snapshot (see struct docs).
         IoSnapshot {
             block_reads: self.block_reads.load(Ordering::Relaxed),
             block_writes: self.block_writes.load(Ordering::Relaxed),
@@ -70,6 +75,7 @@ impl IoStats {
 
     /// Resets every counter to zero.
     pub fn reset(&self) {
+        // racecheck: statistics counters; callers quiesce I/O before reset.
         self.block_reads.store(0, Ordering::Relaxed);
         self.block_writes.store(0, Ordering::Relaxed);
         self.bytes_read.store(0, Ordering::Relaxed);

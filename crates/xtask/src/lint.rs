@@ -1,6 +1,6 @@
 //! The MSSG project lint suite.
 //!
-//! Three rules, each a project-policy invariant that rustc/clippy cannot
+//! Each rule is a project-policy invariant that rustc/clippy cannot
 //! express:
 //!
 //! - **`filter-unwrap`** — no `.unwrap()` / `.expect(` inside an
@@ -31,12 +31,28 @@
 //!   name silently forks a time series (and a typoed span name breaks
 //!   trace grouping) instead of failing anywhere; the registry makes it
 //!   fail here.
+//! - **`clock-order`** — no `Ordering::Relaxed` outside `vendor/` and
+//!   test code without a `// racecheck:` justification on the line or
+//!   within a few lines above. Relaxed provides no happens-before edge,
+//!   so every use either carries a written argument for why no ordering
+//!   is needed (a counter nobody reads for synchronization) or is a
+//!   latent race the vector-clock detector cannot model.
+//! - **`shared-mut-escape`** — a field of a `Filter`-implementing type
+//!   whose type smuggles shared mutability (`Arc<Mutex<…>>`,
+//!   `Arc<RwLock<…>>`, `UnsafeCell<…>`, `SharedBackend`) must be
+//!   registered in the repo-root `racecheck.allow` as `Type::field`.
+//!   Filters are single-threaded by contract; a shared-mutable field is
+//!   a deliberate escape hatch that the race-audit inventory must list,
+//!   not an accident.
 //!
 //! False positives are suppressed through the allowlist file
 //! `lint.allow` at the repo root (or `--allowlist <file>`), one entry
-//! per line: `rule path-substring [message-substring]`. Output is
-//! `path:line: [rule] message`, and the process exits non-zero if any
-//! violation survives the allowlist — suitable for CI.
+//! per line: `rule path-substring [message-substring]`. A stale entry —
+//! one that matches no current finding — is itself a finding: dead
+//! suppressions hide future regressions. Output is
+//! `path:line: [rule] message`; the process exits 1 if any violation
+//! (or stale entry) survives, and 2 on malformed input (unparseable
+//! allowlist lines, unknown flags) — suitable for CI.
 
 use std::fmt;
 use std::fs;
@@ -63,10 +79,13 @@ impl fmt::Display for Violation {
 }
 
 /// One `rule path-substring [message-substring]` allowlist entry.
+#[derive(Debug)]
 struct AllowEntry {
     rule: String,
     path_sub: String,
     msg_sub: Option<String>,
+    /// 1-based line in the allowlist file, for stale-entry reports.
+    line: usize,
 }
 
 impl AllowEntry {
@@ -106,10 +125,24 @@ pub fn run(args: &[String]) -> ExitCode {
             }
         }
     }
-    let allow = load_allowlist(&allow_path);
+    let allow = match load_allowlist(&allow_path) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let race_allow = match load_racecheck_allow(&root.join("racecheck.allow")) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
 
     let mut violations = Vec::new();
     let registry = load_name_registry(&root, &mut violations);
+    let mut shared_fields = SharedMutInventory::default();
     for file in rust_sources(&root) {
         let Ok(text) = fs::read_to_string(&file) else {
             continue;
@@ -118,19 +151,48 @@ pub fn run(args: &[String]) -> ExitCode {
         check_filter_unwrap(&rel, &text, &mut violations);
         check_untimed_recv(&rel, &text, &mut violations);
         check_wire_alloc(&rel, &text, &mut violations);
+        check_clock_order(&rel, &text, &mut violations);
+        collect_shared_mut(&rel, &text, &mut shared_fields);
         if let Some(reg) = &registry {
             check_metric_names(&rel, &text, reg, &mut violations);
         }
     }
     check_error_classification(&root, &mut violations);
+    check_shared_mut_escape(&shared_fields, &race_allow, &mut violations);
 
     let mut reported = 0usize;
     let mut allowed = 0usize;
+    let mut hits = vec![false; allow.len()];
     for v in &violations {
-        if allow.iter().any(|e| e.matches(v)) {
+        let mut suppressed = false;
+        for (e, hit) in allow.iter().zip(hits.iter_mut()) {
+            if e.matches(v) {
+                *hit = true;
+                suppressed = true;
+            }
+        }
+        if suppressed {
             allowed += 1;
         } else {
             println!("{v}");
+            reported += 1;
+        }
+    }
+    // A suppression that suppresses nothing is dead weight that will
+    // silently swallow the next real finding at that path: surface it.
+    for (e, hit) in allow.iter().zip(hits.iter()) {
+        if !hit {
+            println!(
+                "{}:{}: [stale-allow] entry `{} {}{}` matches no finding — remove it",
+                rel_path(&root, &allow_path),
+                e.line,
+                e.rule,
+                e.path_sub,
+                e.msg_sub
+                    .as_deref()
+                    .map(|m| format!(" {m}"))
+                    .unwrap_or_default(),
+            );
             reported += 1;
         }
     }
@@ -158,25 +220,67 @@ fn repo_root() -> Option<PathBuf> {
     None
 }
 
-fn load_allowlist(path: &Path) -> Vec<AllowEntry> {
+/// Loads `lint.allow`. A missing file is an empty allowlist; a present
+/// file with an unparseable line is a hard error (exit 2) — a typoed
+/// suppression that silently suppresses nothing is worse than none.
+fn load_allowlist(path: &Path) -> Result<Vec<AllowEntry>, String> {
     let Ok(text) = fs::read_to_string(path) else {
-        return Vec::new();
+        return Ok(Vec::new());
     };
-    text.lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#'))
-        .filter_map(|l| {
-            let mut parts = l.splitn(3, char::is_whitespace);
-            let rule = parts.next()?.to_string();
-            let path_sub = parts.next()?.to_string();
-            let msg_sub = parts.next().map(|s| s.trim().to_string());
-            Some(AllowEntry {
-                rule,
-                path_sub,
-                msg_sub,
-            })
-        })
-        .collect()
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let l = raw.trim();
+        if l.is_empty() || l.starts_with('#') {
+            continue;
+        }
+        let mut parts = l.splitn(3, char::is_whitespace);
+        let (Some(rule), Some(path_sub)) = (parts.next(), parts.next()) else {
+            return Err(format!(
+                "{}:{}: malformed allowlist entry `{l}` — expected \
+                 `rule path-substring [message-substring]`",
+                path.display(),
+                idx + 1
+            ));
+        };
+        entries.push(AllowEntry {
+            rule: rule.to_string(),
+            path_sub: path_sub.to_string(),
+            msg_sub: parts.next().map(|s| s.trim().to_string()),
+            line: idx + 1,
+        });
+    }
+    Ok(entries)
+}
+
+/// Loads the repo-root `racecheck.allow`: the audited inventory of
+/// shared-mutable fields on Filter types, one `Type::field` per line.
+/// Missing file ⇒ empty inventory (every escape is a finding);
+/// malformed line ⇒ hard error (exit 2).
+fn load_racecheck_allow(path: &Path) -> Result<Vec<(String, usize)>, String> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Ok(Vec::new());
+    };
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let l = raw.trim();
+        if l.is_empty() || l.starts_with('#') {
+            continue;
+        }
+        let well_formed = l.split_once("::").is_some_and(|(ty, field)| {
+            let ident =
+                |s: &str| !s.is_empty() && s.chars().all(|c| c.is_alphanumeric() || c == '_');
+            ident(ty) && ident(field)
+        });
+        if !well_formed {
+            return Err(format!(
+                "{}:{}: malformed racecheck entry `{l}` — expected `Type::field`",
+                path.display(),
+                idx + 1
+            ));
+        }
+        entries.push((l.to_string(), idx + 1));
+    }
+    Ok(entries)
 }
 
 /// All first-party `.rs` files: `crates/**` (minus `xtask` itself — its
@@ -480,6 +584,215 @@ fn balanced_prefix(rest: &str, open: char, close: char) -> String {
         }
     }
     rest.to_string()
+}
+
+/// How many preceding lines may hold the `// racecheck:` justification
+/// for a relaxed atomic.
+const CLOCK_ORDER_LOOKBACK: usize = 8;
+
+/// Flags `Ordering::Relaxed` in non-test first-party code with no
+/// `// racecheck:` justification on the same line or within
+/// [`CLOCK_ORDER_LOOKBACK`] lines above. Relaxed creates no
+/// happens-before edge, so each use must either argue in writing why no
+/// ordering is needed or pick an ordering the race detector can model.
+/// (`vendor/` is exempt by construction: [`rust_sources`] never walks
+/// it.)
+fn check_clock_order(rel: &str, text: &str, out: &mut Vec<Violation>) {
+    if rel.starts_with("tests/") || rel.contains("/tests/") {
+        return;
+    }
+    let raw_lines: Vec<&str> = text.lines().collect();
+    let mut stack: Vec<Region> = Vec::new();
+    let mut pending: Option<Region> = None;
+    for (idx, raw) in raw_lines.iter().enumerate() {
+        let code = strip_code(raw);
+        let trimmed = code.trim();
+        if trimmed.contains("#[cfg(test)]") {
+            pending = Some(Region::Test);
+        }
+        if !stack.contains(&Region::Test) && code.contains("Ordering::Relaxed") {
+            let from = idx.saturating_sub(CLOCK_ORDER_LOOKBACK);
+            let justified = raw_lines[from..=idx]
+                .iter()
+                .any(|l| l.contains("racecheck:"));
+            if !justified {
+                out.push(Violation {
+                    rule: "clock-order",
+                    path: rel.to_string(),
+                    line: idx + 1,
+                    message: "`Ordering::Relaxed` with no `// racecheck:` justification \
+                              — Relaxed makes no happens-before edge; write down why \
+                              none is needed, or use Acquire/Release"
+                        .to_string(),
+                });
+            }
+        }
+        for c in code.chars() {
+            match c {
+                '{' => stack.push(pending.take().unwrap_or(Region::Plain)),
+                '}' => {
+                    stack.pop();
+                }
+                _ => {}
+            }
+        }
+        if pending.is_some() && trimmed.ends_with(';') {
+            pending = None;
+        }
+    }
+}
+
+/// Field types that smuggle shared mutability into a struct.
+const SHARED_MUT_PATTERNS: [&str; 4] =
+    ["Arc<Mutex<", "Arc<RwLock<", "UnsafeCell<", "SharedBackend"];
+
+/// Cross-file inventory for the `shared-mut-escape` rule: which types
+/// implement `Filter`, and which struct fields have shared-mutable
+/// types. Collected over every source file first, because a struct and
+/// its `impl Filter` block may live apart.
+#[derive(Default)]
+struct SharedMutInventory {
+    filter_types: Vec<String>,
+    /// `(type, field, pattern, path, line)` for every shared-mutable field.
+    fields: Vec<(String, String, &'static str, String, usize)>,
+}
+
+/// Records `impl … Filter for Type` names and shared-mutable struct
+/// fields from one file into the inventory. Test regions are skipped:
+/// test-only filters exercise the framework, not the product graph.
+fn collect_shared_mut(rel: &str, text: &str, inv: &mut SharedMutInventory) {
+    if rel.starts_with("tests/") || rel.contains("/tests/") {
+        return;
+    }
+    let mut stack: Vec<Region> = Vec::new();
+    let mut pending: Option<Region> = None;
+    // Name of the struct whose fields we are currently walking, with the
+    // brace depth its body started at.
+    let mut in_struct: Option<(String, usize)> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let code = strip_code(raw);
+        let trimmed = code.trim();
+        if trimmed.contains("#[cfg(test)]") {
+            pending = Some(Region::Test);
+        }
+        let in_test = stack.contains(&Region::Test);
+        if !in_test {
+            if trimmed.starts_with("impl") && trimmed.contains("Filter for") {
+                if let Some(pos) = trimmed.find(" for ") {
+                    let name: String = trimmed[pos + 5..]
+                        .chars()
+                        .take_while(|c| c.is_alphanumeric() || *c == '_')
+                        .collect();
+                    if !name.is_empty() {
+                        inv.filter_types.push(name);
+                    }
+                }
+            }
+            if in_struct.is_none() {
+                let header = trimmed.strip_prefix("pub ").unwrap_or(trimmed);
+                if let Some(rest) = header.strip_prefix("struct ") {
+                    let name: String = rest
+                        .chars()
+                        .take_while(|c| c.is_alphanumeric() || *c == '_')
+                        .collect();
+                    if !name.is_empty() && trimmed.ends_with('{') {
+                        in_struct = Some((name, stack.len()));
+                    }
+                }
+            } else if let Some((sname, depth)) = &in_struct {
+                if stack.len() == depth + 1 {
+                    if let Some((fname, ftype)) = trimmed.split_once(':') {
+                        let fname = fname.strip_prefix("pub ").unwrap_or(fname).trim();
+                        let is_ident = !fname.is_empty()
+                            && fname.chars().all(|c| c.is_alphanumeric() || c == '_');
+                        if is_ident {
+                            let compact: String =
+                                ftype.chars().filter(|c| !c.is_whitespace()).collect();
+                            for pat in SHARED_MUT_PATTERNS {
+                                if compact.contains(pat) {
+                                    inv.fields.push((
+                                        sname.clone(),
+                                        fname.to_string(),
+                                        pat,
+                                        rel.to_string(),
+                                        idx + 1,
+                                    ));
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for c in code.chars() {
+            match c {
+                '{' => stack.push(pending.take().unwrap_or(Region::Plain)),
+                '}' => {
+                    stack.pop();
+                    if let Some((_, depth)) = &in_struct {
+                        if stack.len() <= *depth {
+                            in_struct = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if pending.is_some() && trimmed.ends_with(';') {
+            pending = None;
+        }
+    }
+}
+
+/// Flags shared-mutable fields of Filter-implementing types that are not
+/// registered in the repo-root `racecheck.allow` inventory — and, the
+/// other way round, registry entries naming no such field (a field that
+/// was removed or renamed leaves a stale audit claim behind).
+fn check_shared_mut_escape(
+    inv: &SharedMutInventory,
+    race_allow: &[(String, usize)],
+    out: &mut Vec<Violation>,
+) {
+    let mut used = vec![false; race_allow.len()];
+    for (ty, field, pat, path, line) in &inv.fields {
+        if !inv.filter_types.iter().any(|t| t == ty) {
+            continue;
+        }
+        let key = format!("{ty}::{field}");
+        let mut registered = false;
+        for ((e, _), u) in race_allow.iter().zip(used.iter_mut()) {
+            if e == &key {
+                *u = true;
+                registered = true;
+            }
+        }
+        if !registered {
+            out.push(Violation {
+                rule: "shared-mut-escape",
+                path: path.clone(),
+                line: *line,
+                message: format!(
+                    "Filter type field `{key}` holds shared-mutable state ({pat}…) \
+                     but is not registered in racecheck.allow — audit the access \
+                     pattern and add it, or remove the sharing"
+                ),
+            });
+        }
+    }
+    for ((e, line), u) in race_allow.iter().zip(used.iter()) {
+        if !u {
+            out.push(Violation {
+                rule: "stale-allow",
+                path: "racecheck.allow".to_string(),
+                line: *line,
+                message: format!(
+                    "racecheck entry `{e}` names no shared-mutable Filter field — \
+                     remove it (the field was removed, renamed, or de-shared)"
+                ),
+            });
+        }
+    }
 }
 
 /// Where the central metric/span name registry lives.
@@ -975,7 +1288,8 @@ pub const SPANS: &[&str] = &["e.f"];
     fn allowlist_entries_match_rule_path_and_message() {
         let entries = load_allowlist_from(
             "# comment\nfilter-unwrap crates/demo lock\nuntimed-recv crates/core\n",
-        );
+        )
+        .expect("well-formed allowlist");
         let v = Violation {
             rule: "filter-unwrap",
             path: "crates/demo/src/lib.rs".into(),
@@ -984,9 +1298,17 @@ pub const SPANS: &[&str] = &["e.f"];
         };
         assert!(entries[0].matches(&v));
         assert!(!entries[1].matches(&v));
+        assert_eq!(entries[0].line, 2, "stale reports need the source line");
     }
 
-    fn load_allowlist_from(text: &str) -> Vec<AllowEntry> {
+    #[test]
+    fn malformed_allowlist_lines_are_hard_errors() {
+        let err = load_allowlist_from("just-a-rule-no-path\n").unwrap_err();
+        assert!(err.contains("malformed allowlist entry"), "{err}");
+        assert!(err.contains(":1:"), "error must carry the line: {err}");
+    }
+
+    fn load_allowlist_from(text: &str) -> Result<Vec<AllowEntry>, String> {
         let dir = std::env::temp_dir().join(format!("xtask-allow-{}", std::process::id()));
         fs::create_dir_all(&dir).unwrap();
         let path = dir.join("lint.allow");
@@ -994,5 +1316,101 @@ pub const SPANS: &[&str] = &["e.f"];
         let entries = load_allowlist(&path);
         let _ = fs::remove_dir_all(&dir);
         entries
+    }
+
+    #[test]
+    fn racecheck_allow_accepts_type_field_and_rejects_junk() {
+        let dir = std::env::temp_dir().join(format!("xtask-race-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("racecheck.allow");
+        fs::write(&path, "# audited\nCcFilter::backend\n").unwrap();
+        assert_eq!(
+            load_racecheck_allow(&path).unwrap(),
+            [("CcFilter::backend".to_string(), 2)]
+        );
+        fs::write(&path, "CcFilter.backend\n").unwrap();
+        let err = load_racecheck_allow(&path).unwrap_err();
+        assert!(err.contains("malformed racecheck entry"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clock_order_wants_a_racecheck_justification() {
+        let bad = "fn f(c: &AtomicU64) {\n    c.fetch_add(1, Ordering::Relaxed);\n}\n";
+        let mut v = Vec::new();
+        check_clock_order("crates/obs/src/metrics.rs", bad, &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "clock-order");
+        assert_eq!(v[0].line, 2);
+
+        let justified = "fn f(c: &AtomicU64) {\n    \
+                         // racecheck: monotonic counter, read only for display\n    \
+                         c.fetch_add(1, Ordering::Relaxed);\n}\n";
+        v.clear();
+        check_clock_order("crates/obs/src/metrics.rs", justified, &mut v);
+        assert!(v.is_empty(), "justified Relaxed still flagged");
+
+        // Test code and integration tests invent counters freely.
+        let test_region = "#[cfg(test)]\nmod tests {\n    fn f(c: &AtomicU64) {\n        \
+                           c.fetch_add(1, Ordering::Relaxed);\n    }\n}\n";
+        v.clear();
+        check_clock_order("crates/obs/src/metrics.rs", test_region, &mut v);
+        assert!(v.is_empty(), "cfg(test) Relaxed flagged");
+        check_clock_order("crates/obs/tests/x.rs", bad, &mut v);
+        assert!(v.is_empty(), "tests/ Relaxed flagged");
+    }
+
+    #[test]
+    fn shared_mut_escape_flags_unregistered_filter_fields() {
+        let src = r#"
+pub struct CcFilter {
+    outcome: Arc<Mutex<Option<u64>>>,
+    backend: SharedBackend,
+    scratch: Vec<u64>,
+}
+impl Filter for CcFilter {
+    fn process(&mut self) {}
+}
+struct Helper {
+    cache: Arc<Mutex<Vec<u8>>>,
+}
+"#;
+        let mut inv = SharedMutInventory::default();
+        collect_shared_mut("crates/core/src/cluster.rs", src, &mut inv);
+        assert_eq!(inv.filter_types, ["CcFilter"]);
+        assert_eq!(inv.fields.len(), 3, "{:?}", inv.fields);
+
+        let mut v = Vec::new();
+        check_shared_mut_escape(&inv, &[("CcFilter::outcome".to_string(), 3)], &mut v);
+        // `backend` is unregistered; Helper implements no Filter.
+        assert_eq!(
+            v.len(),
+            1,
+            "{:?}",
+            v.iter().map(|v| &v.message).collect::<Vec<_>>()
+        );
+        assert_eq!(v[0].rule, "shared-mut-escape");
+        assert!(v[0].message.contains("CcFilter::backend"));
+    }
+
+    #[test]
+    fn racecheck_entries_without_a_field_are_stale() {
+        let inv = SharedMutInventory::default();
+        let mut v = Vec::new();
+        check_shared_mut_escape(&inv, &[("Ghost::field".to_string(), 7)], &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "stale-allow");
+        assert_eq!((v[0].path.as_str(), v[0].line), ("racecheck.allow", 7));
+        assert!(v[0].message.contains("Ghost::field"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn shared_mut_ignores_test_regions_and_plain_fields() {
+        let src = "#[cfg(test)]\nmod tests {\n    struct TestFilter {\n        \
+                   sink: Arc<Mutex<Vec<u64>>>,\n    }\n    impl Filter for TestFilter {\n        \
+                   fn process(&mut self) {}\n    }\n}\n";
+        let mut inv = SharedMutInventory::default();
+        collect_shared_mut("crates/core/src/x.rs", src, &mut inv);
+        assert!(inv.filter_types.is_empty() && inv.fields.is_empty());
     }
 }

@@ -15,9 +15,30 @@ use std::ops::Deref;
 use std::sync::Arc;
 
 /// An immutable, reference-counted byte buffer.
-#[derive(Clone)]
 pub struct Bytes {
     inner: Arc<Vec<u8>>,
+}
+
+impl Clone for Bytes {
+    fn clone(&self) -> Bytes {
+        // A relaxed refcount increment: no ordering edge, but a
+        // scheduling point under the model checker so clone/drop/unwrap
+        // interleavings are explored.
+        mssg_modelcheck::race::rc_clone(Arc::as_ptr(&self.inner) as usize);
+        Bytes {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl Drop for Bytes {
+    fn drop(&mut self) {
+        // Release edge: dropping a handle publishes this thread's
+        // accesses to whoever later observes the buffer unique
+        // (`try_into_vec`). Mirrors the Release decrement in real `Arc`.
+        let last = Arc::strong_count(&self.inner) == 1;
+        mssg_modelcheck::race::rc_release(Arc::as_ptr(&self.inner) as usize, last);
+    }
 }
 
 impl Bytes {
@@ -54,7 +75,25 @@ impl Bytes {
     /// its capacity — the recycling path of a buffer pool. Returns the
     /// buffer unchanged when other clones are still alive.
     pub fn try_into_vec(self) -> Result<Vec<u8>, Bytes> {
-        Arc::try_unwrap(self.inner).map_err(|inner| Bytes { inner })
+        let this = std::mem::ManuallyDrop::new(self);
+        // Safety: `this` is never dropped, so `inner` is moved out
+        // exactly once and the `Drop` release hook does not double-fire.
+        let inner = unsafe { std::ptr::read(&this.inner) };
+        let addr = Arc::as_ptr(&inner) as usize;
+        // Scheduling point with no clock edge: the uniqueness check reads
+        // the refcount, and the model must be allowed to interleave a
+        // concurrent drop (or clone) right before that read.
+        mssg_modelcheck::race::rc_observe(addr);
+        match Arc::try_unwrap(inner) {
+            Ok(v) => {
+                // Acquire edge: observing uniqueness makes every former
+                // holder's accesses visible — the ordering pool recycling
+                // depends on. Mirrors the Acquire fence in real `Arc`.
+                mssg_modelcheck::race::rc_acquire(addr);
+                Ok(v)
+            }
+            Err(inner) => Err(Bytes { inner }),
+        }
     }
 }
 

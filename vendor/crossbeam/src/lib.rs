@@ -153,6 +153,14 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
+        /// Release edge for the race detector: a completed send publishes
+        /// the sender's history on the queue (a no-op outside
+        /// `mssg_modelcheck::check`). The matching acquire is in
+        /// [`Receiver::recv_edge`].
+        fn send_edge(&self) {
+            mssg_modelcheck::race::channel_send(Arc::as_ptr(&self.shared) as usize);
+        }
+
         /// Blocks until there is room, then enqueues `msg`. Fails only if
         /// every receiver has been dropped.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
@@ -164,6 +172,7 @@ pub mod channel {
                 if st.buf.len() < st.cap {
                     st.buf.push_back(msg);
                     drop(st);
+                    self.send_edge();
                     self.shared.not_empty.notify_one();
                     return Ok(());
                 }
@@ -183,6 +192,7 @@ pub mod channel {
                 if st.buf.len() < st.cap {
                     st.buf.push_back(msg);
                     drop(st);
+                    self.send_edge();
                     self.shared.not_empty.notify_one();
                     return Ok(());
                 }
@@ -214,6 +224,13 @@ pub mod channel {
     }
 
     impl<T> Receiver<T> {
+        /// Acquire edge for the race detector: a completed receive joins
+        /// the queue's release clock (every sender's published history)
+        /// into the receiver. See [`Sender::send_edge`].
+        fn recv_edge(&self) {
+            mssg_modelcheck::race::channel_recv(Arc::as_ptr(&self.shared) as usize);
+        }
+
         /// Blocks for the next message. Fails once the channel is empty and
         /// every sender has been dropped.
         pub fn recv(&self) -> Result<T, RecvError> {
@@ -221,6 +238,7 @@ pub mod channel {
             loop {
                 if let Some(msg) = st.buf.pop_front() {
                     drop(st);
+                    self.recv_edge();
                     self.shared.not_full.notify_one();
                     return Ok(msg);
                 }
@@ -239,6 +257,7 @@ pub mod channel {
             loop {
                 if let Some(msg) = st.buf.pop_front() {
                     drop(st);
+                    self.recv_edge();
                     self.shared.not_full.notify_one();
                     return Ok(msg);
                 }
@@ -261,6 +280,7 @@ pub mod channel {
             let mut st = self.shared.state.lock().unwrap();
             if let Some(msg) = st.buf.pop_front() {
                 drop(st);
+                self.recv_edge();
                 self.shared.not_full.notify_one();
                 return Ok(msg);
             }
