@@ -65,6 +65,9 @@ fn main() {
         }
     };
     print!("{}", bench.to_table().to_markdown());
+    for w in bench.warnings() {
+        eprintln!("bench-perf: {w}");
+    }
     if let Err(e) = std::fs::write(&out, bench.to_json()) {
         eprintln!("bench-perf: write {out}: {e}");
         std::process::exit(1);

@@ -1,0 +1,74 @@
+//! Writes `BENCH_serve.json`: cold (all-miss) vs warm (all-hit) query
+//! throughput through the mssg-serve frontend at each concurrency tier,
+//! with log2-bucketed p50/p99 latencies. Exits non-zero when the
+//! warm/cold throughput ratio at the top tier falls below the gate
+//! (`--min-warm-ratio`, default 2.0).
+//!
+//! ```text
+//! bench-serve                              # BENCH_serve.json in cwd
+//! bench-serve --out path.json --vertices 4000 --requests 32
+//! bench-serve --tiers 1,8,64 --slots 16 --hop 900
+//! ```
+
+use mssg_bench::serve::{run_serve_bench, ServeBenchConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench-serve [--out FILE] [--vertices N] [--requests N] [--span N] \
+         [--tiers A,B,C] [--slots N] [--cache N] [--hop N] [--min-warm-ratio F]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ServeBenchConfig::default();
+    let mut out = "BENCH_serve.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        let val = |i: usize| -> &str {
+            args.get(i + 1)
+                .map(String::as_str)
+                .unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--out" => out = val(i).to_string(),
+            "--vertices" => cfg.vertices = val(i).parse().unwrap_or_else(|_| usage()),
+            "--requests" => cfg.requests = val(i).parse().unwrap_or_else(|_| usage()),
+            "--span" => cfg.span = val(i).parse().unwrap_or_else(|_| usage()),
+            "--tiers" => {
+                cfg.tiers = val(i)
+                    .split(',')
+                    .map(|t| t.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if cfg.tiers.is_empty() {
+                    usage();
+                }
+            }
+            "--slots" => cfg.slots = val(i).parse().unwrap_or_else(|_| usage()),
+            "--cache" => cfg.cache_capacity = val(i).parse().unwrap_or_else(|_| usage()),
+            "--hop" => cfg.hop = val(i).parse().unwrap_or_else(|_| usage()),
+            "--min-warm-ratio" => cfg.min_warm_ratio = val(i).parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+        i += 2;
+    }
+
+    let bench = match run_serve_bench(&cfg) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench-serve: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", bench.to_table().to_markdown());
+    if let Err(e) = std::fs::write(&out, bench.to_json()) {
+        eprintln!("bench-serve: write {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out}");
+    if let Err(e) = bench.check() {
+        eprintln!("bench-serve: {e}");
+        std::process::exit(1);
+    }
+}

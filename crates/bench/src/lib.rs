@@ -20,12 +20,15 @@
 //! Criterion benches (`cargo bench`) wrap the same experiment functions at
 //! smaller scales.
 //!
-//! Besides the figures, three perf-trajectory binaries write committed
+//! Besides the figures, four perf-trajectory binaries write committed
 //! JSON baselines: `bench-transport` (in-proc vs TCP), `bench-obs`
-//! (telemetry overhead bound), and `bench-perf` (the DESIGN.md §10
+//! (telemetry overhead bound), `bench-perf` (the DESIGN.md §10
 //! hot-path knob set — `--pool-blocks`, `--ingest-par`,
 //! `--cache-policy` — gated at ≥1.3× baseline ingest, exiting non-zero
-//! on regression). Every experiment reports through [`report::Table`]:
+//! on regression), and `bench-serve` (cold vs warm query throughput
+//! through the mssg-serve frontend, gated on the warm/cold ratio at the
+//! top concurrency tier). Every experiment reports through
+//! [`report::Table`]:
 //!
 //! ```
 //! use mssg_bench::Table;
@@ -39,6 +42,7 @@ pub mod experiments;
 pub mod obs;
 pub mod perf;
 pub mod report;
+pub mod serve;
 pub mod transport;
 pub mod workloads;
 

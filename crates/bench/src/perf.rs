@@ -390,6 +390,27 @@ impl PerfBench {
         Ok(())
     }
 
+    /// One visible warning line per reported ratio below parity (1.0):
+    /// the "tuned" variant is actively *slower* there, even when the
+    /// hard gate ([`PerfBench::check`]) still passes. The `bench-perf`
+    /// binary prints these so a sub-parity ratio never ships silently in
+    /// `BENCH_perf.json`.
+    pub fn warnings(&self) -> Vec<String> {
+        let mut w = Vec::new();
+        for (name, r) in [
+            ("ingest_ratio", self.ingest_ratio),
+            ("bfs_ratio", self.bfs_ratio),
+            ("tcp_ingest_ratio", self.tcp_ingest_ratio),
+        ] {
+            if r < 1.0 {
+                w.push(format!(
+                    "WARNING: {name} = {r:.3} is below 1.0 — tuned is slower than baseline"
+                ));
+            }
+        }
+        w
+    }
+
     /// Machine-readable form, written to `BENCH_perf.json`.
     pub fn to_json(&self) -> String {
         let c = &self.config;
@@ -528,5 +549,23 @@ mod tests {
         assert!(b.check().is_err());
         b.ingest_ratio = 1.31;
         b.check().unwrap();
+    }
+
+    #[test]
+    fn sub_parity_ratios_warn_visibly() {
+        let mut b = PerfBench {
+            config: PerfConfig::tiny(),
+            digest: 0,
+            tcp_digest: 0,
+            rows: vec![],
+            ingest_ratio: 1.4,
+            bfs_ratio: 1.1,
+            tcp_ingest_ratio: 0.901,
+        };
+        let w = b.warnings();
+        assert_eq!(w.len(), 1, "{w:?}");
+        assert!(w[0].contains("tcp_ingest_ratio = 0.901"), "{w:?}");
+        b.tcp_ingest_ratio = 1.0;
+        assert!(b.warnings().is_empty(), "parity and above stay silent");
     }
 }

@@ -1,0 +1,419 @@
+//! Serving-path benchmark — cold (all-miss) vs warm (all-hit) query
+//! throughput through the full `mssg-serve` stack: TCP clients, wire
+//! protocol, admission control, epoch pins, and the result cache.
+//!
+//! Each concurrency tier runs two phases against one live [`Server`]:
+//!
+//! * **cold** — every client asks BFS queries nobody has asked before
+//!   (globally distinct sources), so every request executes against the
+//!   cluster snapshot;
+//! * **warm** — every client cycles a small primed working set, so every
+//!   request is answered from the `(query, epoch)` result cache.
+//!
+//! Both phases pay the same per-request TCP round trip; the spread
+//! between them is what the cache actually buys. The `bench-serve`
+//! binary serializes the result as `BENCH_serve.json` and exits non-zero
+//! when the warm/cold throughput ratio at the top tier falls below
+//! [`ServeBenchConfig::min_warm_ratio`].
+
+use crate::report::Table;
+use crate::workloads::fresh_dir;
+use mssg_core::ingest::{ingest, IngestOptions};
+use mssg_core::{BackendKind, BackendOptions, MssgCluster};
+use mssg_obs::metrics::Histogram;
+use mssg_serve::{Client, Query, ServeConfig, Server};
+use mssg_types::{Edge, Gid, GraphStorageError, Result};
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+/// Scaling knobs for one serving benchmark run.
+#[derive(Clone, Debug)]
+pub struct ServeBenchConfig {
+    /// Chain length of the served graph (vertices `0..=vertices`).
+    pub vertices: u64,
+    /// Requests per client per phase.
+    pub requests: usize,
+    /// Warm working-set size: distinct queries primed once and then
+    /// re-asked by every client.
+    pub span: u64,
+    /// Concurrency tiers, each measured cold then warm.
+    pub tiers: Vec<usize>,
+    /// Server execution slots.
+    pub slots: usize,
+    /// Result-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// BFS distance of each query — the work a cache miss performs.
+    pub hop: u64,
+    /// Minimum warm/cold throughput ratio at the top tier;
+    /// [`ServeBench::check`] fails below it.
+    pub min_warm_ratio: f64,
+    /// Directory the cluster is built under.
+    pub root: PathBuf,
+}
+
+impl Default for ServeBenchConfig {
+    fn default() -> Self {
+        ServeBenchConfig {
+            vertices: 4000,
+            requests: 32,
+            span: 16,
+            tiers: vec![1, 8, 64],
+            slots: 16,
+            cache_capacity: 4096,
+            hop: 900,
+            min_warm_ratio: 2.0,
+            root: std::env::temp_dir().join("mssg-bench-serve"),
+        }
+    }
+}
+
+impl ServeBenchConfig {
+    /// A configuration small enough for CI unit tests. The ratio gate is
+    /// disabled — tiny runs measure shape, not throughput.
+    pub fn tiny() -> ServeBenchConfig {
+        ServeBenchConfig {
+            vertices: 400,
+            requests: 4,
+            span: 4,
+            tiers: vec![1, 2],
+            slots: 4,
+            hop: 50,
+            min_warm_ratio: 0.0,
+            root: std::env::temp_dir()
+                .join(format!("mssg-bench-serve-tiny-{}", std::process::id())),
+            ..ServeBenchConfig::default()
+        }
+    }
+
+    /// First source outside the cold range — warm queries live in the
+    /// chain's tail so a cold request can never accidentally hit a warm
+    /// cache entry.
+    fn warm_base(&self) -> u64 {
+        (self.vertices - self.hop).saturating_sub(self.span)
+    }
+}
+
+/// One (tier, phase) measurement.
+#[derive(Clone, Debug)]
+pub struct ServeRow {
+    /// Concurrent clients.
+    pub clients: usize,
+    /// `"cold"` (all cache misses) or `"warm"` (all cache hits).
+    pub phase: String,
+    /// Total requests answered in the phase.
+    pub requests: u64,
+    /// Wall time, seconds.
+    pub secs: f64,
+    /// Throughput, queries/sec.
+    pub qps: f64,
+    /// Median request latency upper bound, microseconds (log2 buckets).
+    pub p50_us: u64,
+    /// 99th-percentile request latency upper bound, microseconds.
+    pub p99_us: u64,
+}
+
+/// The full serving benchmark result.
+#[derive(Clone, Debug)]
+pub struct ServeBench {
+    /// The configuration that was measured.
+    pub config: ServeBenchConfig,
+    /// Measurements: for each tier, a cold row then a warm row.
+    pub rows: Vec<ServeRow>,
+    /// Warm / cold throughput at the top (last) concurrency tier.
+    pub warm_cold_ratio: f64,
+    /// Result-cache hits accumulated over the whole run.
+    pub cache_hits: u64,
+    /// Result-cache misses accumulated over the whole run.
+    pub cache_misses: u64,
+}
+
+/// Runs one phase: `clients` threads, each connecting and issuing
+/// `requests` queries produced by `query_for(client, request)`.
+fn run_phase(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    requests: usize,
+    phase: &str,
+    query_for: impl Fn(usize, usize) -> Query + Send + Sync + 'static,
+) -> Result<ServeRow> {
+    let hist = Histogram::default();
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let query_for = Arc::new(query_for);
+    let mut handles = Vec::with_capacity(clients);
+    for c in 0..clients {
+        let hist = hist.clone();
+        let barrier = Arc::clone(&barrier);
+        let query_for = Arc::clone(&query_for);
+        handles.push(std::thread::spawn(move || -> Result<()> {
+            let mut client = Client::connect(addr)?;
+            barrier.wait();
+            for r in 0..requests {
+                let q = query_for(c, r);
+                let t0 = Instant::now();
+                client.request_with_retry(&q, 100)?;
+                hist.record(t0.elapsed().as_micros() as u64);
+            }
+            Ok(())
+        }));
+    }
+    barrier.wait();
+    let started = Instant::now();
+    for h in handles {
+        h.join()
+            .map_err(|_| GraphStorageError::Net("bench client panicked".into()))??;
+    }
+    let secs = started.elapsed().as_secs_f64().max(1e-9);
+    let total = (clients * requests) as u64;
+    let snap = hist.snapshot();
+    Ok(ServeRow {
+        clients,
+        phase: phase.into(),
+        requests: total,
+        secs,
+        qps: total as f64 / secs,
+        p50_us: snap.quantile_bound(0.5),
+        p99_us: snap.quantile_bound(0.99),
+    })
+}
+
+/// Builds the chain cluster, starts a server, and measures every tier
+/// cold then warm.
+pub fn run_serve_bench(cfg: &ServeBenchConfig) -> Result<ServeBench> {
+    let total_cold: u64 = cfg.tiers.iter().map(|&c| (c * cfg.requests) as u64).sum();
+    let cold_limit = cfg.warm_base();
+    if total_cold > cold_limit {
+        return Err(GraphStorageError::Corrupt(format!(
+            "cold phases need {total_cold} distinct sources but only {cold_limit} exist; \
+             raise --vertices or lower --requests"
+        )));
+    }
+
+    let dir = fresh_dir(&cfg.root, "serve");
+    let mut cluster = MssgCluster::new(&dir, 2, BackendKind::HashMap, &BackendOptions::default())?;
+    ingest(
+        &mut cluster,
+        (0..cfg.vertices).map(|i| Edge::of(i, i + 1)),
+        &IngestOptions::default(),
+    )?;
+    let server = Server::start(
+        cluster,
+        &ServeConfig {
+            slots: cfg.slots,
+            queue_depth: 64,
+            cache_capacity: cfg.cache_capacity,
+            retry_after_ms: 5,
+            exec_floor_ms: 0,
+        },
+    )?;
+    let addr = server.addr();
+    let hop = cfg.hop;
+
+    // Prime the warm working set once; every later warm request hits.
+    let warm_base = cfg.warm_base();
+    let span = cfg.span;
+    let warm_query = move |k: u64| Query::Bfs {
+        source: Gid::new(warm_base + (k % span)),
+        dest: Gid::new(warm_base + (k % span) + hop),
+    };
+    let mut primer = Client::connect(addr)?;
+    for k in 0..span {
+        primer.request_with_retry(&warm_query(k), 100)?;
+    }
+
+    let mut rows = Vec::with_capacity(cfg.tiers.len() * 2);
+    let mut next_cold = 0u64;
+    for &clients in &cfg.tiers {
+        let requests = cfg.requests;
+        let base = next_cold;
+        next_cold += (clients * requests) as u64;
+        rows.push(run_phase(addr, clients, requests, "cold", move |c, r| {
+            let source = base + (c * requests + r) as u64;
+            Query::Bfs {
+                source: Gid::new(source),
+                dest: Gid::new(source + hop),
+            }
+        })?);
+        rows.push(run_phase(addr, clients, requests, "warm", move |c, r| {
+            warm_query((c * requests + r) as u64)
+        })?);
+    }
+
+    let stats = server.cache_stats();
+    let top = &rows[rows.len() - 2..];
+    let warm_cold_ratio = if top[0].qps > 0.0 {
+        top[1].qps / top[0].qps
+    } else {
+        0.0
+    };
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(ServeBench {
+        config: cfg.clone(),
+        rows,
+        warm_cold_ratio,
+        cache_hits: stats.hits,
+        cache_misses: stats.misses,
+    })
+}
+
+impl ServeBench {
+    /// The gate: fails when the warm/cold throughput ratio at the top
+    /// concurrency tier falls below `min_warm_ratio`. The `bench-serve`
+    /// binary turns this into a non-zero exit.
+    pub fn check(&self) -> Result<()> {
+        if self.warm_cold_ratio < self.config.min_warm_ratio {
+            return Err(GraphStorageError::Corrupt(format!(
+                "cache regression: warm/cold = {:.2}x at {} clients, gate is {:.2}x",
+                self.warm_cold_ratio,
+                self.config.tiers.last().copied().unwrap_or(0),
+                self.config.min_warm_ratio
+            )));
+        }
+        Ok(())
+    }
+
+    /// Machine-readable form, written to `BENCH_serve.json`.
+    pub fn to_json(&self) -> String {
+        let c = &self.config;
+        let tiers: Vec<String> = c.tiers.iter().map(|t| t.to_string()).collect();
+        let mut s = String::from("{\n");
+        s.push_str(&format!(
+            "  \"bench\": \"serve\",\n  \"vertices\": {},\n  \"requests\": {},\n  \
+             \"span\": {},\n  \"tiers\": [{}],\n  \"slots\": {},\n  \
+             \"cache_capacity\": {},\n  \"hop\": {},\n  \"min_warm_ratio\": {:.2},\n  \
+             \"warm_cold_ratio\": {:.3},\n  \"cache_hits\": {},\n  \
+             \"cache_misses\": {},\n  \"runs\": [\n",
+            c.vertices,
+            c.requests,
+            c.span,
+            tiers.join(", "),
+            c.slots,
+            c.cache_capacity,
+            c.hop,
+            c.min_warm_ratio,
+            self.warm_cold_ratio,
+            self.cache_hits,
+            self.cache_misses,
+        ));
+        for (i, r) in self.rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"clients\": {}, \"phase\": {}, \"requests\": {}, \
+                 \"secs\": {:.6}, \"qps\": {:.0}, \"p50_us\": {}, \"p99_us\": {}}}{}\n",
+                r.clients,
+                mssg_obs::json::escape(&r.phase),
+                r.requests,
+                r.secs,
+                r.qps,
+                r.p50_us,
+                r.p99_us,
+                if i + 1 < self.rows.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Human-readable form for the console.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "Serving path — chain {} vertices, {}-hop BFS, {} slots: \
+                 warm/cold {:.2}x at {} clients",
+                self.config.vertices,
+                self.config.hop,
+                self.config.slots,
+                self.warm_cold_ratio,
+                self.config.tiers.last().copied().unwrap_or(0),
+            ),
+            &[
+                "Clients", "Phase", "Requests", "Secs", "QPS", "p50 us", "p99 us",
+            ],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.clients.to_string(),
+                r.phase.clone(),
+                r.requests.to_string(),
+                format!("{:.3}", r.secs),
+                format!("{:.0}", r.qps),
+                r.p50_us.to_string(),
+                r.p99_us.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_bench_shapes_and_json_parse() {
+        let cfg = ServeBenchConfig::tiny();
+        let b = run_serve_bench(&cfg).unwrap();
+        assert_eq!(b.rows.len(), cfg.tiers.len() * 2);
+        for pair in b.rows.chunks(2) {
+            assert_eq!(pair[0].phase, "cold");
+            assert_eq!(pair[1].phase, "warm");
+            assert_eq!(pair[0].clients, pair[1].clients);
+            assert!(pair[0].qps > 0.0 && pair[1].qps > 0.0);
+            assert!(pair[0].p99_us >= pair[0].p50_us);
+        }
+        // Cold requests all missed; warm requests (and the priming pass'
+        // repeats) all hit.
+        let cold_total: u64 = b
+            .rows
+            .iter()
+            .filter(|r| r.phase == "cold")
+            .map(|r| r.requests)
+            .sum();
+        assert_eq!(b.cache_misses, cold_total + cfg.span);
+        let warm_total: u64 = b
+            .rows
+            .iter()
+            .filter(|r| r.phase == "warm")
+            .map(|r| r.requests)
+            .sum();
+        assert_eq!(b.cache_hits, warm_total);
+        b.check().unwrap();
+
+        let json = b.to_json();
+        let doc = mssg_obs::json::parse(&json).expect("bench JSON parses");
+        assert_eq!(doc.get("bench").unwrap().as_str().unwrap(), "serve");
+        let runs = doc.get("runs").unwrap().as_array().unwrap();
+        assert_eq!(runs.len(), b.rows.len());
+        assert_eq!(runs[0].get("phase").unwrap().as_str().unwrap(), "cold");
+        assert!(doc.get("warm_cold_ratio").unwrap().as_f64().unwrap() > 0.0);
+        assert!(b.to_table().to_markdown().contains("warm"));
+    }
+
+    #[test]
+    fn check_fails_below_the_warm_gate() {
+        let mut b = ServeBench {
+            config: ServeBenchConfig {
+                min_warm_ratio: 2.0,
+                ..ServeBenchConfig::tiny()
+            },
+            rows: vec![],
+            warm_cold_ratio: 1.5,
+            cache_hits: 0,
+            cache_misses: 0,
+        };
+        assert!(b.check().is_err());
+        b.warm_cold_ratio = 2.1;
+        b.check().unwrap();
+    }
+
+    #[test]
+    fn undersized_graphs_are_refused_up_front() {
+        let cfg = ServeBenchConfig {
+            vertices: 60,
+            hop: 50,
+            ..ServeBenchConfig::tiny()
+        };
+        let err = run_serve_bench(&cfg).unwrap_err();
+        assert!(err.to_string().contains("distinct sources"), "{err}");
+    }
+}

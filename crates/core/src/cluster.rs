@@ -7,6 +7,7 @@
 //! (DESIGN.md §2).
 
 use crate::backend::{open_backend, BackendKind, BackendOptions};
+use crate::epoch::EpochManager;
 use crate::telemetry::TelemetryReport;
 use datacutter::RunReport;
 use graphdb::GraphDb;
@@ -37,6 +38,9 @@ pub struct MssgCluster {
     pub(crate) broadcast_fringe: bool,
     /// Telemetry bundle handed to every service run over this cluster.
     telemetry: Telemetry,
+    /// Epoch counter/gate advanced by ingestion at checkpoint boundaries
+    /// and pinned by snapshot-consistent queries (DESIGN.md §13).
+    epoch: Arc<EpochManager>,
 }
 
 impl MssgCluster {
@@ -70,6 +74,7 @@ impl MssgCluster {
             owner_map: None,
             broadcast_fringe: false,
             telemetry: Telemetry::disabled(),
+            epoch: Arc::new(EpochManager::new()),
         })
     }
 
@@ -83,6 +88,19 @@ impl MssgCluster {
     /// The cluster's telemetry bundle.
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// The cluster's epoch manager. Ingestion bumps it at window-checkpoint
+    /// boundaries; queries that need snapshot consistency pin it. The
+    /// `Arc` lets a serving layer hold the gate without borrowing the
+    /// cluster itself.
+    pub fn epoch_manager(&self) -> &Arc<EpochManager> {
+        &self.epoch
+    }
+
+    /// The current graph epoch (completed checkpoint boundaries).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.current()
     }
 
     /// Folds a substrate run report with the cluster's disk-I/O delta

@@ -241,6 +241,14 @@ pub fn ingest(
     g.connect(ing, "batches", store, "batches")?;
     let report = g.run()?;
 
+    // Every store filter has flushed its last batch and marked its
+    // windows durable — a window-checkpoint boundary (DESIGN.md §6) — so
+    // the graph epoch advances. A failed run never reaches this line:
+    // queries pinned to the old epoch keep their snapshot, and the
+    // half-ingested windows become visible only once a `resume` replay
+    // completes the boundary.
+    cluster.epoch_manager().bump();
+
     if let Some(pool) = &pool {
         let s = pool.stats();
         let m = &cluster.telemetry().metrics;

@@ -13,6 +13,9 @@
 //!   strategies (vertex-hash, vertex-round-robin, edge-round-robin),
 //! - [`ingest`] — the streaming Ingestion service: windows of edges flow
 //!   from front-end filters to back-end store filters,
+//! - [`epoch`] — graph epochs: ingestion advances the cluster epoch at
+//!   window-checkpoint boundaries, queries pin it for consistent
+//!   snapshots (the contract `mssg-serve` builds on),
 //! - [`visited`] — in-memory and external-memory visited structures for
 //!   the search algorithms (the Figure 5.8/5.9 ablation),
 //! - [`bfs`] — parallel out-of-core BFS (Algorithm 1) and its pipelined
@@ -29,6 +32,7 @@ pub mod cluster;
 pub mod components;
 pub mod decluster;
 pub mod degrees;
+pub mod epoch;
 pub mod ingest;
 pub mod msf;
 pub mod query;
@@ -41,8 +45,9 @@ pub use cluster::MssgCluster;
 pub use components::{connected_components, ComponentsOptions, ComponentsResult};
 pub use decluster::Declustering;
 pub use degrees::{degree_distribution, DegreeReport};
+pub use epoch::{EpochManager, EpochPin, EpochUpdate};
 pub use ingest::{ingest_typed, IngestOptions, IngestReport, TypedIngestReport};
 pub use msf::{minimum_spanning_forest, MsfResult};
-pub use query::QueryService;
+pub use query::{k_hop, KHopResult, QueryParams, QueryService};
 pub use telemetry::TelemetryReport;
 pub use visited::VisitedKind;

@@ -12,7 +12,7 @@ use crate::components::{connected_components, ComponentsOptions};
 use crate::degrees::degree_distribution;
 use crate::msf::minimum_spanning_forest;
 use mssg_types::{Gid, GraphStorageError, Result};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Parameters of a registered analysis, as key/value strings (the thin
 /// waist a user-facing front end would marshal into).
@@ -37,6 +37,7 @@ impl QueryService {
         svc.register("components", Box::new(run_components_analysis));
         svc.register("degree", Box::new(run_degree_analysis));
         svc.register("degree_distribution", Box::new(run_degree_distribution));
+        svc.register("khop", Box::new(run_khop_analysis));
         svc.register("msf", Box::new(run_msf_analysis));
         svc
     }
@@ -60,6 +61,22 @@ impl QueryService {
             ))
         })?;
         analysis(cluster, params)
+    }
+
+    /// Runs the analysis `name` pinned to the cluster's current epoch:
+    /// the graph cannot advance past a checkpoint boundary while the
+    /// analysis executes, so everything it reads belongs to the returned
+    /// epoch. This is the hook `mssg-serve` stamps its responses (and
+    /// keys its result cache) with.
+    pub fn run_pinned(
+        &self,
+        cluster: &MssgCluster,
+        name: &str,
+        params: &QueryParams,
+    ) -> Result<(u64, String)> {
+        let pin = cluster.epoch_manager().pin();
+        let out = self.run(cluster, name, params)?;
+        Ok((pin.epoch(), out))
     }
 
     /// Convenience: runs a BFS directly, returning the metrics.
@@ -86,6 +103,69 @@ fn param_u64(params: &QueryParams, key: &str) -> Result<u64> {
         .ok_or_else(|| GraphStorageError::Query(format!("missing parameter {key:?}")))?
         .parse()
         .map_err(|_| GraphStorageError::Query(format!("parameter {key:?} is not an integer")))
+}
+
+/// Result of a [`k_hop`] neighborhood expansion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KHopResult {
+    /// The expansion source.
+    pub source: Gid,
+    /// The hop bound the expansion ran to.
+    pub k: u32,
+    /// Every vertex within `k` hops of `source` (source included),
+    /// ascending. A source absent from the graph has no neighbours, so
+    /// the result is just `[source]`.
+    pub vertices: Vec<Gid>,
+    /// Directed adjacency entries scanned during the expansion.
+    pub edges_scanned: u64,
+}
+
+/// The k-hop neighborhood of `source`: every vertex reachable in at most
+/// `k` hops. Runs a synchronous frontier expansion on the front end,
+/// asking *every* back-end for each fringe vertex's adjacency — correct
+/// under all three declustering strategies (an edge-granularity ingestion
+/// scatters a vertex's list across nodes, so the union is required).
+pub fn k_hop(cluster: &MssgCluster, source: Gid, k: u32) -> Result<KHopResult> {
+    use graphdb::GraphDbExt;
+    let mut seen: BTreeSet<Gid> = BTreeSet::new();
+    seen.insert(source);
+    let mut fringe: Vec<Gid> = vec![source];
+    let mut edges_scanned = 0u64;
+    for _ in 0..k {
+        let mut next = Vec::new();
+        for &v in &fringe {
+            for node in 0..cluster.nodes() {
+                let adj = cluster.with_backend(node, |db| db.neighbors(v))?;
+                edges_scanned += adj.len() as u64;
+                for n in adj {
+                    if seen.insert(n) {
+                        next.push(n);
+                    }
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        fringe = next;
+    }
+    Ok(KHopResult {
+        source,
+        k,
+        vertices: seen.into_iter().collect(),
+        edges_scanned,
+    })
+}
+
+fn run_khop_analysis(cluster: &MssgCluster, params: &QueryParams) -> Result<String> {
+    let source = Gid::new(param_u64(params, "source")?);
+    let k = param_u64(params, "k")? as u32;
+    let r = k_hop(cluster, source, k)?;
+    Ok(format!(
+        "vertices={} edges_scanned={}",
+        r.vertices.len(),
+        r.edges_scanned
+    ))
 }
 
 fn run_bfs_analysis(cluster: &MssgCluster, params: &QueryParams) -> Result<String> {
@@ -171,7 +251,14 @@ mod tests {
         let svc = QueryService::new();
         assert_eq!(
             svc.registered(),
-            vec!["bfs", "components", "degree", "degree_distribution", "msf"]
+            vec![
+                "bfs",
+                "components",
+                "degree",
+                "degree_distribution",
+                "khop",
+                "msf"
+            ]
         );
     }
 
@@ -239,6 +326,63 @@ mod tests {
         assert!(svc
             .run(&c, "bfs", &params(&[("source", "x"), ("dest", "1")]))
             .is_err());
+    }
+
+    #[test]
+    fn khop_expands_the_chain() {
+        let c = cluster("khop");
+        // Chain 0–1–…–10: 2 hops from vertex 5 reach {3,4,5,6,7}.
+        let r = k_hop(&c, Gid::new(5), 2).unwrap();
+        assert_eq!(
+            r.vertices,
+            (3..=7).map(Gid::new).collect::<Vec<_>>(),
+            "sorted 2-hop ball around 5"
+        );
+        assert!(r.edges_scanned > 0);
+        let out = QueryService::new()
+            .run(&c, "khop", &params(&[("source", "5"), ("k", "2")]))
+            .unwrap();
+        assert!(out.contains("vertices=5"), "{out}");
+    }
+
+    #[test]
+    fn khop_from_absent_vertex_is_just_the_source() {
+        let c = cluster("khop-absent");
+        let r = k_hop(&c, Gid::new(9999), 3).unwrap();
+        assert_eq!(r.vertices, vec![Gid::new(9999)]);
+        assert_eq!(r.edges_scanned, 0, "an absent vertex has no adjacency");
+        // k = 0 never expands, present or not.
+        let r0 = k_hop(&c, Gid::new(5), 0).unwrap();
+        assert_eq!(r0.vertices, vec![Gid::new(5)]);
+    }
+
+    #[test]
+    fn bfs_on_an_empty_epoch_is_unreachable_not_an_error() {
+        // A cluster before its first ingestion: epoch 0, no edges at all.
+        let dir = std::env::temp_dir().join(format!("core-query-empty-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c =
+            MssgCluster::new(&dir, 2, BackendKind::HashMap, &BackendOptions::default()).unwrap();
+        assert_eq!(c.epoch(), 0);
+        let svc = QueryService::new();
+        let out = svc
+            .run(&c, "bfs", &params(&[("source", "0"), ("dest", "1")]))
+            .unwrap();
+        assert_eq!(out, "unreachable");
+        let r = k_hop(&c, Gid::new(0), 4).unwrap();
+        assert_eq!(r.vertices, vec![Gid::new(0)]);
+    }
+
+    #[test]
+    fn run_pinned_stamps_the_ingestion_epoch() {
+        let c = cluster("epoch"); // one ingest() call = one checkpoint boundary
+        let svc = QueryService::new();
+        let (epoch, out) = svc
+            .run_pinned(&c, "degree", &params(&[("vertex", "5")]))
+            .unwrap();
+        assert_eq!(epoch, 1, "the seed ingestion bumped epoch 0 -> 1");
+        assert_eq!(out, "degree=2");
+        assert_eq!(c.epoch_manager().pinned(), 0, "pin released");
     }
 
     #[test]

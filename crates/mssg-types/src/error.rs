@@ -46,6 +46,17 @@ pub enum GraphStorageError {
     /// (bad wiring or a capacity-starved cycle — see
     /// [`VerifyError`](crate::verify::VerifyError)).
     Verify(crate::verify::VerifyError),
+    /// A launched node process exited non-zero (or was killed). Carries
+    /// the worker's exit code so a launcher can propagate it as its own
+    /// instead of collapsing every child failure to a generic status.
+    NodeFailed {
+        /// Index of the node whose process failed.
+        node: usize,
+        /// The process exit code; `None` when killed by a signal.
+        code: Option<i32>,
+        /// The node's own error report, when it printed one.
+        detail: String,
+    },
 }
 
 impl fmt::Display for GraphStorageError {
@@ -62,6 +73,10 @@ impl fmt::Display for GraphStorageError {
             GraphStorageError::Fault(m) => write!(f, "injected fault: {m}"),
             GraphStorageError::Net(m) => write!(f, "network transport: {m}"),
             GraphStorageError::Verify(e) => write!(f, "graph verification failed: {e}"),
+            GraphStorageError::NodeFailed { node, code, detail } => match code {
+                Some(code) => write!(f, "node {node} failed (exit code {code}): {detail}"),
+                None => write!(f, "node {node} failed (killed by signal): {detail}"),
+            },
         }
     }
 }
@@ -115,12 +130,13 @@ impl GraphStorageError {
                     io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock
                 )
             }
-            // Injected faults, timeouts, and lost peer connections model
-            // transient infrastructure trouble: the same operation
-            // retried (or the run re-launched) can succeed.
+            // Injected faults, timeouts, lost peer connections, and dead
+            // node processes model transient infrastructure trouble: the
+            // same operation retried (or the run re-launched) can succeed.
             GraphStorageError::Fault(_)
             | GraphStorageError::Timeout(_)
-            | GraphStorageError::Net(_) => true,
+            | GraphStorageError::Net(_)
+            | GraphStorageError::NodeFailed { .. } => true,
             // Logical/permanent: retrying the same operation re-derives
             // the same failure.
             GraphStorageError::Corrupt(_)
@@ -165,6 +181,32 @@ mod tests {
         assert!(GraphStorageError::Fault("injected send error".into()).is_transient());
         assert!(GraphStorageError::Net("connection to node 2 lost".into()).is_transient());
         assert!(!GraphStorageError::FilterFailed("store.1 panicked".into()).is_transient());
+        assert!(GraphStorageError::NodeFailed {
+            node: 1,
+            code: Some(3),
+            detail: "boom".into()
+        }
+        .is_transient());
+    }
+
+    #[test]
+    fn node_failed_reports_the_exit_code() {
+        let e = GraphStorageError::NodeFailed {
+            node: 2,
+            code: Some(7),
+            detail: "store wedged".into(),
+        };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("node 2") && msg.contains("exit code 7"),
+            "{msg}"
+        );
+        let killed = GraphStorageError::NodeFailed {
+            node: 0,
+            code: None,
+            detail: "no error report".into(),
+        };
+        assert!(killed.to_string().contains("signal"), "{killed}");
     }
 
     #[test]

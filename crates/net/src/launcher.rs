@@ -187,9 +187,13 @@ pub fn run_cluster_with(
             let detail = errors[i]
                 .clone()
                 .unwrap_or_else(|| "no error report before exit (killed?)".into());
-            return Err(GraphStorageError::Net(format!(
-                "node {i} failed ({status}): {detail}"
-            )));
+            // Typed, with the worker's own exit code: the launcher's
+            // caller can die with the same code instead of a generic one.
+            return Err(GraphStorageError::NodeFailed {
+                node: i,
+                code: status.code(),
+                detail,
+            });
         }
     }
     Ok(ClusterOutput { lines })
@@ -236,9 +240,11 @@ fn check_early_exits(
             let detail = errors[i]
                 .clone()
                 .unwrap_or_else(|| "no error report before exit".into());
-            return Err(GraphStorageError::Net(format!(
-                "node {i} exited ({status}) before announcing an address: {detail}"
-            )));
+            return Err(GraphStorageError::NodeFailed {
+                node: i,
+                code: status.code(),
+                detail: format!("exited before announcing an address: {detail}"),
+            });
         }
     }
     Ok(())
@@ -302,6 +308,15 @@ mod tests {
         let err = run_cluster(vec![sh(ok), sh(bad)], Duration::from_secs(30)).unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("node 1") && msg.contains("boom"), "got: {msg}");
+        // The worker's exit code rides the typed error so the launcher's
+        // caller can propagate it as its own.
+        match err {
+            GraphStorageError::NodeFailed { node, code, .. } => {
+                assert_eq!(node, 1);
+                assert_eq!(code, Some(3));
+            }
+            other => panic!("want NodeFailed, got {other:?}"),
+        }
     }
 
     #[test]
@@ -323,5 +338,9 @@ mod tests {
         let err = run_cluster(vec![sh(dead)], Duration::from_secs(120)).unwrap_err();
         assert!(start.elapsed() < Duration::from_secs(30));
         assert!(err.to_string().contains("before announcing"), "got: {err}");
+        assert!(
+            matches!(err, GraphStorageError::NodeFailed { code: Some(7), .. }),
+            "early exits carry the code too: {err:?}"
+        );
     }
 }

@@ -71,6 +71,16 @@ pub enum FrameKind {
     /// Periodic progress sample (windows, bytes, stalls) pushed to
     /// node 0 while a run is in flight.
     Heartbeat = 9,
+    /// A client query on a serving connection (`mssg-serve`). The
+    /// `stream` field carries the client's request id; the payload is a
+    /// versioned query encoding (`mssg_serve::proto`).
+    Request = 10,
+    /// A completed query's answer: same request id, payload carries the
+    /// epoch stamp, cache flag, and result.
+    Response = 11,
+    /// Typed admission rejection (`Overloaded { retry_after }`): same
+    /// request id, payload carries the reject code and retry hint.
+    Reject = 12,
 }
 
 impl FrameKind {
@@ -85,6 +95,9 @@ impl FrameKind {
             7 => Some(FrameKind::Bye),
             8 => Some(FrameKind::Telemetry),
             9 => Some(FrameKind::Heartbeat),
+            10 => Some(FrameKind::Request),
+            11 => Some(FrameKind::Response),
+            12 => Some(FrameKind::Reject),
             _ => None,
         }
     }
@@ -141,6 +154,29 @@ impl Frame {
             span: 0,
             payload: payload.to_vec(),
         }
+    }
+
+    /// A serving-plane frame (`Request`/`Response`/`Reject`) carrying
+    /// `payload` for request `id`. Payloads above [`MAX_PAYLOAD`] are
+    /// refused up front, mirroring [`Frame::telemetry`].
+    pub fn serve(kind: FrameKind, id: u32, payload: &[u8]) -> Result<Frame> {
+        debug_assert!(matches!(
+            kind,
+            FrameKind::Request | FrameKind::Response | FrameKind::Reject
+        ));
+        if payload.len() > MAX_PAYLOAD {
+            return Err(GraphStorageError::Corrupt(format!(
+                "{kind:?} payload of {} bytes exceeds the {MAX_PAYLOAD}-byte frame ceiling",
+                payload.len()
+            )));
+        }
+        Ok(Frame {
+            kind,
+            stream: id,
+            tag: 0,
+            span: 0,
+            payload: payload.to_vec(),
+        })
     }
 
     /// A credit-return frame granting `amount` slots on `stream`.
@@ -530,6 +566,21 @@ mod tests {
         short.payload.pop();
         assert!(matches!(
             short.parse_heartbeat(),
+            Err(GraphStorageError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn serve_frames_round_trip_and_bound_payloads() {
+        for kind in [FrameKind::Request, FrameKind::Response, FrameKind::Reject] {
+            let f = Frame::serve(kind, 42, b"query-bytes").unwrap();
+            let back = read_frame(&mut Cursor::new(f.encode())).unwrap().unwrap();
+            assert_eq!(back, f);
+            assert_eq!(back.stream, 42, "request id rides the stream field");
+        }
+        let huge = vec![0u8; MAX_PAYLOAD + 1];
+        assert!(matches!(
+            Frame::serve(FrameKind::Request, 1, &huge),
             Err(GraphStorageError::Corrupt(_))
         ));
     }

@@ -22,6 +22,10 @@ pub const COUNTERS: &[&str] = &[
     "net.frames",
     "net.heartbeats",
     "net.telemetry_reports",
+    "serve.cache.hits",
+    "serve.cache.misses",
+    "serve.overloaded",
+    "serve.requests",
 ];
 
 /// Gauge names.
@@ -29,10 +33,12 @@ pub const GAUGES: &[&str] = &[
     "grdb.cache.evictions",
     "grdb.cache.hits",
     "grdb.cache.misses",
+    "serve.clients",
+    "serve.inflight",
 ];
 
 /// Histogram names.
-pub const HISTOGRAMS: &[&str] = &["ingest.window_edges"];
+pub const HISTOGRAMS: &[&str] = &["ingest.window_edges", "serve.latency_us", "serve.queue_us"];
 
 /// Span names.
 pub const SPANS: &[&str] = &[
@@ -45,6 +51,7 @@ pub const SPANS: &[&str] = &[
     "net.connect",
     "net.handshake",
     "net.telemetry_ship",
+    "serve.execute",
 ];
 
 /// Prefixes of dynamically constructed names (the lint cannot check

@@ -1,11 +1,13 @@
 //! `mssg-node` — run the distributed ingest→BFS workload as real OS
-//! processes over TCP (or in-process, for comparison).
+//! processes over TCP (or in-process, for comparison), or serve a graph
+//! to query clients.
 //!
 //! ```text
 //! mssg-node launch [workload flags] [--deadline-secs N]
 //!     Parent: spawns one `mssg-node worker` per node on localhost,
 //!     brokers the address exchange, re-prints the workers' result and
-//!     stat lines, and enforces an overall deadline.
+//!     stat lines, and enforces an overall deadline. A worker that dies
+//!     after READY fails the launch with the worker's own exit code.
 //!
 //! mssg-node worker --node I [workload flags]
 //!     Child: binds 127.0.0.1:0, speaks the launcher stdio protocol,
@@ -15,6 +17,21 @@
 //!     Runs the identical workload on in-process threads and prints the
 //!     same result lines — `diff` its digest against a launch to check
 //!     transport fidelity.
+//!
+//! mssg-node serve [--backend-nodes N --vertices V --slots S
+//!                  --queue-depth D --cache CAP --retry-ms MS
+//!                  --exec-floor-ms F]
+//!     Builds a cluster, ingests a V-vertex chain (epoch 1), and serves
+//!     queries on 127.0.0.1:0. Prints `MSSG-SERVE-ADDR <addr>` then
+//!     `MSSG-SERVE-READY …`, then blocks until stdin closes (or says
+//!     "stop"), finally printing `MSSG-SERVE-STATS …`.
+//!
+//! mssg-node query --addr A [--clients C --requests R --burst B
+//!                           --k K --span N]
+//!     Drives a serving node with C concurrent clients, each issuing R
+//!     degree/k-hop queries over a span of N vertices (bursting B
+//!     requests at a time), and prints
+//!     `MSSG-QUERY-RESULT ok=… overloaded=… cached=…`.
 //! ```
 //!
 //! Workload flags: `--nodes N --vertices V --extra-edges E --seed S
@@ -28,13 +45,17 @@
 //! lines); `--straggler-fraction F` flags nodes whose ingest rate falls
 //! below `F ×` the cluster median (default 0.5).
 
+use mssg_core::ingest::{ingest, IngestOptions};
+use mssg_core::{BackendKind, BackendOptions, MssgCluster};
 use mssg_net::launcher::{self, run_cluster_with};
 use mssg_net::tcp::{TcpOptions, TcpTransport};
 use mssg_net::workload::{self, WorkloadConfig, WorkloadReport};
 use mssg_obs::{
     detect_stragglers, ClusterTelemetryReport, NodeTelemetry, StragglerConfig, Telemetry,
 };
-use mssg_types::{GraphStorageError, Result};
+use mssg_serve::{Client, Outcome, Query, ServeConfig, Server};
+use mssg_types::{Edge, Gid, GraphStorageError, Result};
+use std::io::BufRead;
 use std::net::TcpListener;
 use std::process::{Command, ExitCode};
 use std::time::Duration;
@@ -42,16 +63,18 @@ use std::time::Duration;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(mode) = args.first().map(String::as_str) else {
-        eprintln!("usage: mssg-node <launch|worker|inproc> [flags] (see --help)");
+        eprintln!("usage: mssg-node <launch|worker|inproc|serve|query> [flags] (see --help)");
         return ExitCode::FAILURE;
     };
     if mode == "--help" || mode == "-h" || mode == "help" {
-        eprintln!("modes: launch | worker --node I | inproc");
+        eprintln!("modes: launch | worker --node I | inproc | serve | query --addr A");
         eprintln!(
             "workload flags: --nodes N --vertices V --extra-edges E --seed S \
              --block B --timeout-secs T --pooled --die-at COPY:BLOCKS --stall-at COPY:MS; \
              launch adds --deadline-secs N --cluster-trace PATH --heartbeat-millis N \
-             --straggler-fraction F"
+             --straggler-fraction F; serve takes --backend-nodes N --vertices V --slots S \
+             --queue-depth D --cache CAP --retry-ms MS --exec-floor-ms F; query takes \
+             --addr A --clients C --requests R --burst B --k K --span N"
         );
         return ExitCode::SUCCESS;
     }
@@ -59,8 +82,10 @@ fn main() -> ExitCode {
         "launch" => launch(&args[1..]),
         "worker" => worker(&args[1..]),
         "inproc" => inproc(&args[1..]),
+        "serve" => serve(&args[1..]),
+        "query" => query(&args[1..]),
         other => Err(GraphStorageError::Unsupported(format!(
-            "unknown mode {other:?} (want launch, worker, or inproc)"
+            "unknown mode {other:?} (want launch, worker, inproc, serve, or query)"
         ))),
     };
     match result {
@@ -71,6 +96,16 @@ fn main() -> ExitCode {
                 launcher::report_error(&e.to_string());
             }
             eprintln!("mssg-node {mode}: {e}");
+            // A worker that died after READY decides our own exit code:
+            // the launch fails with the child's code, not a generic 1.
+            if let GraphStorageError::NodeFailed {
+                code: Some(code), ..
+            } = e
+            {
+                if code != 0 {
+                    return ExitCode::from(code.clamp(1, 255) as u8);
+                }
+            }
             ExitCode::FAILURE
         }
     }
@@ -337,5 +372,121 @@ fn inproc(args: &[String]) -> Result<()> {
     let cfg = workload_config(args)?;
     let report = workload::run_inproc(&cfg, Telemetry::disabled())?;
     print_report(&report);
+    Ok(())
+}
+
+/// Builds a cluster, ingests a chain graph, and serves it until stdin
+/// closes (the stdio contract mirrors the launcher's: the parent learns
+/// the address from `MSSG-SERVE-ADDR`, and closing our stdin stops us).
+fn serve(args: &[String]) -> Result<()> {
+    let backend_nodes: usize = flag(args, "--backend-nodes")?.unwrap_or(2);
+    let vertices: u64 = flag(args, "--vertices")?.unwrap_or(1000);
+    let mut config = ServeConfig::default();
+    if let Some(s) = flag(args, "--slots")? {
+        config.slots = s;
+    }
+    if let Some(d) = flag(args, "--queue-depth")? {
+        config.queue_depth = d;
+    }
+    if let Some(c) = flag(args, "--cache")? {
+        config.cache_capacity = c;
+    }
+    if let Some(ms) = flag(args, "--retry-ms")? {
+        config.retry_after_ms = ms;
+    }
+    if let Some(ms) = flag(args, "--exec-floor-ms")? {
+        config.exec_floor_ms = ms;
+    }
+    let dir = std::env::temp_dir().join(format!("mssg-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cluster = MssgCluster::new(
+        &dir,
+        backend_nodes,
+        BackendKind::HashMap,
+        &BackendOptions::default(),
+    )?;
+    // A chain 0–1–…–V: every interior vertex has degree 2, k-hop balls
+    // have predictable sizes, and clients can derive queries from V.
+    let edges = (0..vertices).map(|i| Edge::of(i, i + 1));
+    ingest(&mut cluster, edges, &IngestOptions::default())?;
+    let epoch = cluster.epoch();
+    let mut server = Server::start(cluster, &config)?;
+    println!("MSSG-SERVE-ADDR {}", server.addr());
+    println!(
+        "MSSG-SERVE-READY nodes={backend_nodes} vertices={vertices} epoch={epoch} slots={}",
+        config.slots
+    );
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    // Serve until the parent closes our stdin (or says "stop").
+    for line in std::io::stdin().lock().lines() {
+        let Ok(line) = line else { break };
+        if line.trim() == "stop" {
+            break;
+        }
+    }
+    server.stop();
+    let stats = server.cache_stats();
+    println!(
+        "MSSG-SERVE-STATS hits={} misses={} invalidations={}",
+        stats.hits, stats.misses, stats.invalidations
+    );
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
+/// Drives a serving node with concurrent clients and tallies outcomes.
+fn query(args: &[String]) -> Result<()> {
+    let addr: String = flag(args, "--addr")?.ok_or_else(|| {
+        GraphStorageError::Unsupported("query mode needs --addr HOST:PORT".into())
+    })?;
+    let clients: usize = flag(args, "--clients")?.unwrap_or(1);
+    let requests: usize = flag(args, "--requests")?.unwrap_or(16);
+    let burst: usize = flag::<usize>(args, "--burst")?.unwrap_or(1).max(1);
+    let k: u32 = flag(args, "--k")?.unwrap_or(2);
+    let span: u64 = flag::<u64>(args, "--span")?.unwrap_or(64).max(1);
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.clone();
+            std::thread::spawn(move || -> Result<(u64, u64, u64)> {
+                let mut client = Client::connect(addr.as_str())?;
+                let (mut ok, mut overloaded, mut cached) = (0u64, 0u64, 0u64);
+                let mut sent = 0usize;
+                while sent < requests {
+                    let n = burst.min(requests - sent);
+                    for j in 0..n {
+                        let v = Gid::new(((c * requests + sent + j) as u64) % span);
+                        let q = if (sent + j).is_multiple_of(2) {
+                            Query::Degree { vertex: v }
+                        } else {
+                            Query::KHop { source: v, k }
+                        };
+                        client.send(&q)?;
+                    }
+                    for _ in 0..n {
+                        match client.recv()?.1 {
+                            Outcome::Answer(body) => {
+                                ok += 1;
+                                cached += body.cached as u64;
+                            }
+                            Outcome::Rejected(_) => overloaded += 1,
+                        }
+                    }
+                    sent += n;
+                }
+                Ok((ok, overloaded, cached))
+            })
+        })
+        .collect();
+    let (mut ok, mut overloaded, mut cached) = (0u64, 0u64, 0u64);
+    for w in workers {
+        let (o, r, c) = w
+            .join()
+            .map_err(|_| GraphStorageError::Net("query client thread panicked".into()))??;
+        ok += o;
+        overloaded += r;
+        cached += c;
+    }
+    println!("MSSG-QUERY-RESULT ok={ok} overloaded={overloaded} cached={cached}");
     Ok(())
 }

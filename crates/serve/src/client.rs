@@ -1,0 +1,134 @@
+//! A synchronous client for the serving frontend.
+//!
+//! One [`Client`] is one connection with one outstanding request at a
+//! time — concurrency comes from opening more clients (each gets its own
+//! fair-queue lane in the server's admission controller). The handshake
+//! reuses the transport plane's HELLO, so version skew is refused before
+//! any query bytes are exchanged.
+
+use crate::proto::{Query, Reject, ResponseBody};
+use mssg_net::wire::{read_frame, write_frame};
+use mssg_net::{Frame, FrameKind};
+use mssg_types::{GraphStorageError, Result};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// What the server said to one request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The query executed; here is its result.
+    Answer(ResponseBody),
+    /// The query was refused at admission.
+    Rejected(Reject),
+}
+
+impl Outcome {
+    /// The response body, or an error if the query was rejected.
+    pub fn into_answer(self) -> Result<ResponseBody> {
+        match self {
+            Outcome::Answer(body) => Ok(body),
+            Outcome::Rejected(Reject::Overloaded { retry_after_ms }) => Err(
+                GraphStorageError::Net(format!("server overloaded; retry in {retry_after_ms}ms")),
+            ),
+        }
+    }
+}
+
+/// A connected serving client.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u32,
+}
+
+impl Client {
+    /// Connects and handshakes with a 30-second I/O deadline.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        Client::connect_with_timeout(addr, Duration::from_secs(30))
+    }
+
+    /// Connects and handshakes; every read/write on the connection (not
+    /// just the dial) is bounded by `timeout`, so a wedged server
+    /// surfaces as a typed timeout instead of a hang.
+    pub fn connect_with_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> Result<Client> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(GraphStorageError::Io)?
+            .next()
+            .ok_or_else(|| GraphStorageError::Net("address resolved to nothing".into()))?;
+        let mut stream =
+            TcpStream::connect_timeout(&addr, timeout).map_err(GraphStorageError::Io)?;
+        let _ = stream.set_nodelay(true);
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(GraphStorageError::Io)?;
+        stream
+            .set_write_timeout(Some(timeout))
+            .map_err(GraphStorageError::Io)?;
+        write_frame(&mut stream, &Frame::hello(u32::MAX, 0, 0, 0))
+            .map_err(GraphStorageError::Io)?;
+        let reply = read_frame(&mut stream)?
+            .ok_or_else(|| GraphStorageError::Net("server closed during handshake".into()))?;
+        reply.parse_hello()?;
+        Ok(Client { stream, next_id: 1 })
+    }
+
+    /// Sends `query` and blocks for the server's answer or rejection.
+    pub fn request(&mut self, query: &Query) -> Result<Outcome> {
+        let id = self.send(query)?;
+        let (got, outcome) = self.recv()?;
+        if got != id {
+            return Err(GraphStorageError::Net(format!(
+                "response for request {got} while waiting on {id}"
+            )));
+        }
+        Ok(outcome)
+    }
+
+    /// Fires `query` without waiting, returning its request id. Pair
+    /// with [`Client::recv`]; a burst of sends is how a single client
+    /// exercises the server's admission queue.
+    pub fn send(&mut self, query: &Query) -> Result<u32> {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1).max(1);
+        let frame = Frame::serve(FrameKind::Request, id, &query.encode())?;
+        write_frame(&mut self.stream, &frame).map_err(GraphStorageError::Io)?;
+        Ok(id)
+    }
+
+    /// Blocks for the next answer or rejection, whichever request it
+    /// belongs to. Responses to a burst may arrive out of send order
+    /// (rejections come back immediately; answers when executed).
+    pub fn recv(&mut self) -> Result<(u32, Outcome)> {
+        let reply = read_frame(&mut self.stream)?.ok_or_else(|| {
+            GraphStorageError::Net("server closed with a request outstanding".into())
+        })?;
+        let outcome = match reply.kind {
+            FrameKind::Response => Outcome::Answer(ResponseBody::decode(&reply.payload)?),
+            FrameKind::Reject => Outcome::Rejected(Reject::decode(&reply.payload)?),
+            other => {
+                return Err(GraphStorageError::Net(format!(
+                    "{other:?} frame in answer to a request"
+                )))
+            }
+        };
+        Ok((reply.stream, outcome))
+    }
+
+    /// Sends `query`, retrying after the server's hinted backoff when it
+    /// is overloaded, up to `attempts` tries.
+    pub fn request_with_retry(&mut self, query: &Query, attempts: u32) -> Result<ResponseBody> {
+        let mut last_hint = 0;
+        for _ in 0..attempts.max(1) {
+            match self.request(query)? {
+                Outcome::Answer(body) => return Ok(body),
+                Outcome::Rejected(Reject::Overloaded { retry_after_ms }) => {
+                    last_hint = retry_after_ms;
+                    std::thread::sleep(Duration::from_millis(retry_after_ms as u64));
+                }
+            }
+        }
+        Err(GraphStorageError::Net(format!(
+            "still overloaded after {attempts} attempts (last hint {last_hint}ms)"
+        )))
+    }
+}

@@ -1,0 +1,387 @@
+//! The serving frontend: a TCP listener that executes queries against a
+//! live [`MssgCluster`] under admission control and epoch snapshots.
+//!
+//! Threading model:
+//!
+//! - one **accept** thread hands each connection to a per-connection
+//!   **reader** thread (handshake, decode, submit/reject);
+//! - `slots` **worker** threads pull admitted jobs from the
+//!   [`Admission`] controller (round-robin fair across clients), execute
+//!   them pinned to the current epoch, and write the response through
+//!   the connection's shared writer.
+//!
+//! Lock order (deadlock freedom): a query takes its epoch pin *before*
+//! the cluster read lock; ingestion takes the epoch update gate
+//! ([`EpochManager::begin_update`]) *before* the cluster write lock.
+//! Pins are not held across the write lock and the update gate is not
+//! held across read locks, so the two planes can only wait on each
+//! other in one direction at a time.
+//!
+//! [`EpochManager::begin_update`]: mssg_core::EpochManager::begin_update
+
+use crate::admission::{Admission, ClientId};
+use crate::cache::{ResultCache, ResultCacheStats};
+use crate::proto::{Query, Reject, ResponseBody};
+use mssg_core::ingest::{ingest, IngestOptions, IngestReport};
+use mssg_core::{EpochManager, MssgCluster, QueryParams, QueryService};
+use mssg_net::wire::{read_frame, write_frame};
+use mssg_net::{Frame, FrameKind};
+use mssg_obs::Telemetry;
+use mssg_types::{Edge, GraphStorageError, Result};
+use parking_lot::RwLock;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Serving knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Queries executing concurrently (worker threads).
+    pub slots: usize,
+    /// Queued queries allowed per client before typed rejection.
+    pub queue_depth: usize,
+    /// Result-cache capacity, entries; 0 disables caching.
+    pub cache_capacity: usize,
+    /// Base backoff hint in `Overloaded` rejections, milliseconds.
+    pub retry_after_ms: u32,
+    /// Load-shaping floor: an uncached execution takes at least this
+    /// long (milliseconds), with its epoch pin held throughout. 0 (the
+    /// default) disables it. The smoke tests use the floor to make
+    /// overload and snapshot races deterministic instead of timing-
+    /// dependent; cache hits are never slowed.
+    pub exec_floor_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            slots: 4,
+            queue_depth: 16,
+            cache_capacity: 1024,
+            retry_after_ms: 50,
+            exec_floor_ms: 0,
+        }
+    }
+}
+
+/// One admitted query waiting for (or holding) an execution slot.
+struct Job {
+    id: u32,
+    query: Query,
+    writer: Arc<Mutex<TcpStream>>,
+    queued_at: Instant,
+}
+
+struct Shared {
+    cluster: RwLock<MssgCluster>,
+    epoch: Arc<EpochManager>,
+    svc: QueryService,
+    cache: Mutex<ResultCache>,
+    adm: Admission<Job>,
+    telemetry: Telemetry,
+    exec_floor: std::time::Duration,
+}
+
+/// A running query server. Dropping it shuts the listener and workers
+/// down (live client connections are simply closed).
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Takes ownership of `cluster` and starts serving it on
+    /// `127.0.0.1:0` (the chosen port is in [`Server::addr`]).
+    pub fn start(cluster: MssgCluster, config: &ServeConfig) -> Result<Server> {
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(GraphStorageError::Io)?;
+        let addr = listener.local_addr().map_err(GraphStorageError::Io)?;
+        let telemetry = cluster.telemetry().clone();
+        let epoch = Arc::clone(cluster.epoch_manager());
+        let shared = Arc::new(Shared {
+            cluster: RwLock::new(cluster),
+            epoch,
+            svc: QueryService::new(),
+            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            adm: Admission::new(config.slots, config.queue_depth, config.retry_after_ms),
+            telemetry,
+            exec_floor: std::time::Duration::from_millis(config.exec_floor_ms),
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let workers = (0..config.slots.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .map_err(GraphStorageError::Io)
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || accept_loop(&listener, &shared, &shutdown))
+                .map_err(GraphStorageError::Io)?
+        };
+        Ok(Server {
+            addr,
+            shared,
+            shutdown,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's telemetry bundle (shared with the cluster).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.shared.telemetry
+    }
+
+    /// Result-cache tallies so far.
+    pub fn cache_stats(&self) -> ResultCacheStats {
+        lock(&self.shared.cache).stats()
+    }
+
+    /// The epoch queries are currently being pinned to.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.current()
+    }
+
+    /// The epoch manager shared with the served cluster, for embedders
+    /// (and tests) that coordinate their own pins with the server's.
+    pub fn epoch_manager(&self) -> Arc<EpochManager> {
+        Arc::clone(&self.shared.epoch)
+    }
+
+    /// Streams `edges` into the served graph *while serving*. The epoch
+    /// update gate drains in-flight pins first (admitted queries keep
+    /// their snapshot), blocks new pins for the duration, and the
+    /// completed ingestion bumps the epoch — invalidating the result
+    /// cache — before queries resume on the new graph.
+    pub fn ingest(
+        &self,
+        edges: impl Iterator<Item = Edge> + Send + 'static,
+        options: &IngestOptions,
+    ) -> Result<IngestReport> {
+        let update = self.shared.epoch.begin_update();
+        let mut cluster = self.shared.cluster.write();
+        let report = ingest(&mut cluster, edges, options)?;
+        // Eagerly drop the now-stale cached results; lazily they would
+        // also miss (the cache verifies epochs), but the memory is dead.
+        lock(&self.shared.cache).advance(self.shared.epoch.current());
+        drop(cluster);
+        drop(update);
+        Ok(report)
+    }
+
+    /// Stops accepting, drains queued queries, and joins the workers.
+    pub fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        self.shared.adm.close();
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, shutdown: &Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let shared = Arc::clone(shared);
+        // Readers detach: they exit when their client disconnects (or at
+        // process exit) and hold nothing but the shared Arc.
+        let _ = std::thread::Builder::new()
+            .name("serve-conn".into())
+            .spawn(move || {
+                let _ = serve_connection(&shared, stream);
+            });
+    }
+}
+
+/// Handshake + read loop for one client connection. Returns (closing the
+/// connection) on EOF, an I/O error, or a protocol violation.
+fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) -> Result<()> {
+    let _ = stream.set_nodelay(true);
+    // Same HELLO the transport plane speaks: magic and version are
+    // checked, so a client from a different wire version is refused
+    // before any query bytes are interpreted.
+    let hello = read_frame(&mut stream)?
+        .ok_or_else(|| GraphStorageError::Net("client closed before HELLO".into()))?;
+    hello.parse_hello()?;
+    write_frame(&mut stream, &Frame::hello(0, 0, 0, 0)).map_err(GraphStorageError::Io)?;
+    let writer = Arc::new(Mutex::new(
+        stream.try_clone().map_err(GraphStorageError::Io)?,
+    ));
+    let client = shared.adm.register();
+    shared
+        .telemetry
+        .metrics
+        .gauge("serve.clients")
+        .set(shared.adm.clients() as i64);
+    let outcome = read_requests(shared, &mut stream, client, &writer);
+    shared.adm.deregister(client);
+    shared
+        .telemetry
+        .metrics
+        .gauge("serve.clients")
+        .set(shared.adm.clients() as i64);
+    outcome
+}
+
+fn read_requests(
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    client: ClientId,
+    writer: &Arc<Mutex<TcpStream>>,
+) -> Result<()> {
+    while let Some(frame) = read_frame(stream)? {
+        if frame.kind != FrameKind::Request {
+            return Err(GraphStorageError::Net(format!(
+                "client sent a {:?} frame on a serving connection",
+                frame.kind
+            )));
+        }
+        let query = Query::decode(&frame.payload)?;
+        shared.telemetry.metrics.counter("serve.requests").inc();
+        let job = Job {
+            id: frame.stream,
+            query,
+            writer: Arc::clone(writer),
+            queued_at: Instant::now(),
+        };
+        if let Err(over) = shared.adm.submit(client, job) {
+            shared.telemetry.metrics.counter("serve.overloaded").inc();
+            let reject = Reject::Overloaded {
+                retry_after_ms: over.retry_after_ms,
+            };
+            let frame = Frame::serve(FrameKind::Reject, frame.stream, &reject.encode())?;
+            write_frame(&mut *lock(writer), &frame).map_err(GraphStorageError::Io)?;
+        }
+    }
+    Ok(())
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some((job, _slot)) = shared.adm.next() {
+        let metrics = &shared.telemetry.metrics;
+        metrics
+            .histogram("serve.queue_us")
+            .record(job.queued_at.elapsed().as_micros() as u64);
+        metrics
+            .gauge("serve.inflight")
+            .set(shared.adm.inflight() as i64);
+        let started = Instant::now();
+        let body = execute(shared, &job.query);
+        metrics
+            .histogram("serve.latency_us")
+            .record(started.elapsed().as_micros() as u64);
+        if let Ok(frame) = Frame::serve(FrameKind::Response, job.id, &body.encode()) {
+            // A client that vanished mid-query just loses its response.
+            let _ = write_frame(&mut *lock(&job.writer), &frame);
+        }
+    }
+}
+
+/// Runs one query pinned to the current epoch, through the result cache.
+fn execute(shared: &Arc<Shared>, query: &Query) -> ResponseBody {
+    let _span = shared.telemetry.tracer.span("serve.execute");
+    // Pin first, then read-lock: the graph cannot advance past a
+    // checkpoint boundary until this pin drops, so the cache key and
+    // everything the analysis reads agree on the epoch.
+    let pin = shared.epoch.pin();
+    let epoch = pin.epoch();
+    let key = query.encode();
+    if let Some(result) = lock(&shared.cache).get(epoch, &key) {
+        shared.telemetry.metrics.counter("serve.cache.hits").inc();
+        return ResponseBody {
+            epoch,
+            cached: true,
+            result,
+        };
+    }
+    shared.telemetry.metrics.counter("serve.cache.misses").inc();
+    if !shared.exec_floor.is_zero() {
+        std::thread::sleep(shared.exec_floor); // pin stays held: see ServeConfig
+    }
+    let cluster = shared.cluster.read();
+    let run = shared
+        .svc
+        .run(&cluster, analysis_name(query), &analysis_params(query));
+    drop(cluster);
+    match run {
+        Ok(result) => {
+            lock(&shared.cache).insert(epoch, &key, &result);
+            ResponseBody {
+                epoch,
+                cached: false,
+                result,
+            }
+        }
+        // Execution errors answer the request (the client is waiting)
+        // but are never cached.
+        Err(e) => ResponseBody {
+            epoch,
+            cached: false,
+            result: format!("error: {e}"),
+        },
+    }
+}
+
+fn analysis_name(query: &Query) -> &'static str {
+    match query {
+        Query::Bfs { .. } => "bfs",
+        Query::KHop { .. } => "khop",
+        Query::Degree { .. } => "degree",
+        Query::Components => "components",
+    }
+}
+
+fn analysis_params(query: &Query) -> QueryParams {
+    let mut p = QueryParams::new();
+    match query {
+        Query::Bfs { source, dest } => {
+            p.insert("source".into(), source.raw().to_string());
+            p.insert("dest".into(), dest.raw().to_string());
+        }
+        Query::KHop { source, k } => {
+            p.insert("source".into(), source.raw().to_string());
+            p.insert("k".into(), k.to_string());
+        }
+        Query::Degree { vertex } => {
+            p.insert("vertex".into(), vertex.raw().to_string());
+        }
+        Query::Components => {}
+    }
+    p
+}

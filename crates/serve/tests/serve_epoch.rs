@@ -1,0 +1,124 @@
+//! The serving subsystem's snapshot contract: a query admitted at epoch
+//! N answers from epoch N even while ingestion is concurrently advancing
+//! the graph to N+1 — and the result cache never leaks epoch-N answers
+//! into epoch N+1.
+
+use mssg_core::ingest::{ingest, IngestOptions};
+use mssg_core::{BackendKind, BackendOptions, MssgCluster};
+use mssg_serve::{Client, Query, ServeConfig, Server};
+use mssg_types::{Edge, Gid};
+use std::time::{Duration, Instant};
+
+fn chain_cluster(tag: &str, n: u64) -> MssgCluster {
+    let dir = std::env::temp_dir().join(format!("serve-ep-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut c =
+        MssgCluster::new(&dir, 2, BackendKind::HashMap, &BackendOptions::default()).unwrap();
+    ingest(
+        &mut c,
+        (0..n).map(|i| Edge::of(i, i + 1)),
+        &IngestOptions::default(),
+    )
+    .unwrap();
+    c
+}
+
+/// The acceptance test for the epoch manager: an admitted query returns
+/// results identical to its admission-time snapshot, before and after a
+/// concurrent ingestion advances the graph from epoch N to N+1.
+#[test]
+fn admitted_query_is_isolated_from_concurrent_ingestion() {
+    let config = ServeConfig {
+        cache_capacity: 0, // isolate the snapshot property from caching
+        exec_floor_ms: 400,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(chain_cluster("isolate", 10), &config).unwrap();
+    assert_eq!(server.epoch(), 1);
+
+    // The reference answer at epoch 1, before any concurrent ingestion.
+    let mut client = Client::connect(server.addr()).unwrap();
+    let q = Query::Degree {
+        vertex: Gid::new(5),
+    };
+    let before = client.request(&q).unwrap().into_answer().unwrap();
+    assert_eq!((before.epoch, before.result.as_str()), (1, "degree=2"));
+
+    // Admit the same query again; the execution floor keeps its epoch
+    // pin held for ~400ms, giving the ingestion below a wide window to
+    // arrive *while the query is in flight*.
+    let addr = server.addr();
+    let q2 = q.clone();
+    let inflight = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.request(&q2).unwrap().into_answer().unwrap()
+    });
+    // Wait for the query's pin to actually be held, not a wall-clock
+    // guess: once pinned, its snapshot is immune to what follows.
+    let mgr = server.epoch_manager();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while mgr.pinned() == 0 {
+        assert!(Instant::now() < deadline, "query never pinned");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Concurrent ingestion: two new edges at vertex 5. The epoch update
+    // gate must drain the in-flight pin before the write applies.
+    let started = Instant::now();
+    server
+        .ingest(
+            vec![Edge::of(5, 100), Edge::of(5, 101)].into_iter(),
+            &IngestOptions::default(),
+        )
+        .unwrap();
+    assert!(
+        started.elapsed() >= Duration::from_millis(100),
+        "ingestion should have waited for the pinned query, returned in {:?}",
+        started.elapsed()
+    );
+    assert_eq!(server.epoch(), 2, "checkpoint boundary advanced the epoch");
+
+    // The admitted query saw epoch 1 — identical to the pre-ingestion
+    // answer, untouched by the concurrent advance to epoch 2.
+    let during = inflight.join().unwrap();
+    assert_eq!((during.epoch, during.result.as_str()), (1, "degree=2"));
+
+    // A *new* query (admitted after the advance) sees the new graph.
+    let after = client.request(&q).unwrap().into_answer().unwrap();
+    assert_eq!((after.epoch, after.result.as_str()), (2, "degree=4"));
+}
+
+/// Epoch advance invalidates the result cache: the same query re-asked
+/// after ingestion recomputes (fresh epoch stamp, fresh answer) instead
+/// of replaying the stale epoch's cached result.
+#[test]
+fn cache_is_invalidated_by_epoch_advance() {
+    let server = Server::start(chain_cluster("invalidate", 10), &ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let q = Query::Degree {
+        vertex: Gid::new(5),
+    };
+    let cold = client.request(&q).unwrap().into_answer().unwrap();
+    let warm = client.request(&q).unwrap().into_answer().unwrap();
+    assert!(!cold.cached && warm.cached);
+    assert_eq!(warm.epoch, 1);
+
+    server
+        .ingest(
+            vec![Edge::of(5, 100)].into_iter(),
+            &IngestOptions::default(),
+        )
+        .unwrap();
+
+    let fresh = client.request(&q).unwrap().into_answer().unwrap();
+    assert!(
+        !fresh.cached,
+        "epoch 2 must not be served epoch 1's cached answer"
+    );
+    assert_eq!(fresh.epoch, 2);
+    assert_eq!(fresh.result, "degree=3");
+    let rewarm = client.request(&q).unwrap().into_answer().unwrap();
+    assert!(rewarm.cached, "the epoch-2 answer is cacheable in turn");
+    assert_eq!(rewarm.result, "degree=3");
+    assert_eq!(server.cache_stats().invalidations, 1);
+}

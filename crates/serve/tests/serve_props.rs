@@ -1,0 +1,94 @@
+//! Property test: for any interleaving of queries and epoch-advancing
+//! ingestions, the result-cache path answers byte-identically to direct
+//! (uncached) execution. The cache may only change *when* a result is
+//! computed, never *what* it is.
+
+use mssg_core::ingest::{ingest, IngestOptions};
+use mssg_core::{BackendKind, BackendOptions, MssgCluster, QueryService};
+use mssg_serve::{Query, ResultCache};
+use mssg_types::{Edge, Gid};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn analysis(query: &Query) -> (&'static str, BTreeMap<String, String>) {
+    let mut p = BTreeMap::new();
+    match query {
+        Query::Bfs { source, dest } => {
+            p.insert("source".into(), source.raw().to_string());
+            p.insert("dest".into(), dest.raw().to_string());
+            ("bfs", p)
+        }
+        Query::KHop { source, k } => {
+            p.insert("source".into(), source.raw().to_string());
+            p.insert("k".into(), k.to_string());
+            ("khop", p)
+        }
+        Query::Degree { vertex } => {
+            p.insert("vertex".into(), vertex.raw().to_string());
+            ("degree", p)
+        }
+        Query::Components => ("components", p),
+    }
+}
+
+proptest! {
+    // Each case runs real ingestions; keep the count modest.
+    #![proptest_config(ProptestConfig { cases: 8 })]
+
+    #[test]
+    fn cached_and_uncached_results_agree_across_random_epochs(
+        seed in any::<u64>(),
+        picks in prop::collection::vec((0u64..16, 0u32..4), 4..24),
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "serve-props-{}-{seed:x}-{}", std::process::id(), picks.len()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cluster =
+            MssgCluster::new(&dir, 2, BackendKind::HashMap, &BackendOptions::default()).unwrap();
+        ingest(
+            &mut cluster,
+            (0..12).map(|i| Edge::of(i, i + 1)),
+            &IngestOptions::default(),
+        )
+        .unwrap();
+        let svc = QueryService::new();
+        let mut cache = ResultCache::new(16);
+        for (step, &(v, shape)) in picks.iter().enumerate() {
+            // Every 5th step is an epoch-advancing ingestion of one new
+            // seed-derived edge, so queries run across several epochs.
+            if step % 5 == 4 {
+                let a = (seed.wrapping_mul(step as u64 + 1)) % 12;
+                ingest(
+                    &mut cluster,
+                    std::iter::once(Edge::of(a, 20 + step as u64)),
+                    &IngestOptions::default(),
+                )
+                .unwrap();
+            }
+            let query = match shape {
+                0 => Query::Degree { vertex: Gid::new(v) },
+                1 => Query::KHop { source: Gid::new(v), k: (v % 3) as u32 },
+                2 => Query::Bfs { source: Gid::new(v), dest: Gid::new((v * 7) % 16) },
+                _ => Query::Components,
+            };
+            let (name, params) = analysis(&query);
+            let uncached = svc.run(&cluster, name, &params).unwrap();
+            let epoch = cluster.epoch();
+            let key = query.encode();
+            let via_cache = match cache.get(epoch, &key) {
+                Some(hit) => hit,
+                None => {
+                    let computed = svc.run(&cluster, name, &params).unwrap();
+                    cache.insert(epoch, &key, &computed);
+                    computed
+                }
+            };
+            prop_assert_eq!(
+                &via_cache, &uncached,
+                "step {} epoch {} {:?}", step, epoch, query
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,204 @@
+//! In-process server + TCP clients: protocol round trips, cache
+//! behaviour, and typed overload rejection.
+
+use mssg_core::ingest::{ingest, IngestOptions};
+use mssg_core::{BackendKind, BackendOptions, MssgCluster};
+use mssg_serve::{Client, Outcome, Query, Reject, ServeConfig, Server};
+use mssg_types::{Edge, Gid};
+
+/// A cluster holding the chain 0–1–…–n, ingested (epoch 1).
+fn chain_cluster(tag: &str, n: u64) -> MssgCluster {
+    let dir = std::env::temp_dir().join(format!("serve-rt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut c =
+        MssgCluster::new(&dir, 2, BackendKind::HashMap, &BackendOptions::default()).unwrap();
+    ingest(
+        &mut c,
+        (0..n).map(|i| Edge::of(i, i + 1)),
+        &IngestOptions::default(),
+    )
+    .unwrap();
+    c
+}
+
+#[test]
+fn every_query_kind_round_trips() {
+    let server = Server::start(chain_cluster("kinds", 10), &ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let cases = [
+        (
+            Query::Bfs {
+                source: Gid::new(0),
+                dest: Gid::new(4),
+            },
+            "path_length=4",
+        ),
+        (
+            Query::KHop {
+                source: Gid::new(5),
+                k: 2,
+            },
+            "vertices=5",
+        ),
+        (
+            Query::Degree {
+                vertex: Gid::new(5),
+            },
+            "degree=2",
+        ),
+        (Query::Components, "components=1"),
+    ];
+    for (query, want) in cases {
+        let body = client.request(&query).unwrap().into_answer().unwrap();
+        assert_eq!(body.epoch, 1, "{query:?}");
+        assert!(!body.cached, "first ask computes: {query:?}");
+        assert!(body.result.contains(want), "{query:?} -> {}", body.result);
+    }
+}
+
+#[test]
+fn repeated_queries_hit_the_cache() {
+    let server = Server::start(chain_cluster("cache", 10), &ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let q = Query::Bfs {
+        source: Gid::new(0),
+        dest: Gid::new(7),
+    };
+    let cold = client.request(&q).unwrap().into_answer().unwrap();
+    assert!(!cold.cached);
+    let warm = client.request(&q).unwrap().into_answer().unwrap();
+    assert!(
+        warm.cached,
+        "identical (query, epoch) must be served cached"
+    );
+    assert_eq!(warm.result, cold.result);
+    assert_eq!(warm.epoch, cold.epoch);
+    // A second client shares the same cache.
+    let mut other = Client::connect(server.addr()).unwrap();
+    let third = other.request(&q).unwrap().into_answer().unwrap();
+    assert!(third.cached);
+    let stats = server.cache_stats();
+    assert_eq!(stats.hits, 2);
+    assert_eq!(stats.misses, 1);
+}
+
+#[test]
+fn burst_past_the_queue_allowance_is_rejected_typed() {
+    let config = ServeConfig {
+        slots: 1,
+        queue_depth: 1,
+        cache_capacity: 0,
+        retry_after_ms: 5,
+        exec_floor_ms: 100,
+    };
+    let server = Server::start(chain_cluster("overload", 50), &config).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    // Four distinct queries fired back-to-back against one slot and a
+    // depth-1 queue (each held >= 100ms by the execution floor): at most
+    // one executing plus one queued can be admitted.
+    for i in 0..4u64 {
+        client
+            .send(&Query::Degree {
+                vertex: Gid::new(10 + i),
+            })
+            .unwrap();
+    }
+    let (mut answered, mut rejected) = (0, 0);
+    for _ in 0..4 {
+        match client.recv().unwrap().1 {
+            Outcome::Answer(body) => {
+                assert!(body.result.starts_with("degree="), "{}", body.result);
+                answered += 1;
+            }
+            Outcome::Rejected(Reject::Overloaded { retry_after_ms }) => {
+                assert!(retry_after_ms > 0, "hint must be actionable");
+                rejected += 1;
+            }
+        }
+    }
+    assert!(
+        rejected >= 2,
+        "4 sent, at most 2 admissible; got {rejected}"
+    );
+    assert!(answered >= 1, "the admitted head must still be answered");
+    // The typed hint is honoured by the retry helper: load drains and
+    // the query eventually lands.
+    let body = client
+        .request_with_retry(
+            &Query::Degree {
+                vertex: Gid::new(40),
+            },
+            50,
+        )
+        .unwrap();
+    assert_eq!(body.result, "degree=2");
+}
+
+#[test]
+fn fair_queueing_interleaves_clients_under_load() {
+    let config = ServeConfig {
+        slots: 1,
+        queue_depth: 8,
+        cache_capacity: 0,
+        retry_after_ms: 5,
+        exec_floor_ms: 30,
+    };
+    let server = Server::start(chain_cluster("fair", 50), &config).unwrap();
+    // A flooding client queues 6 slow queries; a polite client then asks
+    // one. Round-robin dispatch means the polite query waits behind at
+    // most two flood entries (one executing, one dispatched), not six.
+    let mut flood = Client::connect(server.addr()).unwrap();
+    for i in 0..6u64 {
+        flood
+            .send(&Query::Degree {
+                vertex: Gid::new(i),
+            })
+            .unwrap();
+    }
+    std::thread::sleep(std::time::Duration::from_millis(10)); // flood enqueued first
+    let mut polite = Client::connect(server.addr()).unwrap();
+    let start = std::time::Instant::now();
+    let body = polite
+        .request(&Query::Degree {
+            vertex: Gid::new(40),
+        })
+        .unwrap()
+        .into_answer()
+        .unwrap();
+    let waited = start.elapsed();
+    assert_eq!(body.result, "degree=2");
+    assert!(
+        waited < std::time::Duration::from_millis(6 * 30),
+        "polite client waited out the whole flood: {waited:?}"
+    );
+    for _ in 0..6 {
+        flood.recv().unwrap();
+    }
+}
+
+#[test]
+fn protocol_violations_close_the_connection_not_the_server() {
+    use mssg_net::wire::{read_frame, write_frame};
+    use mssg_net::{Frame, FrameKind};
+    let server = Server::start(chain_cluster("viol", 10), &ServeConfig::default()).unwrap();
+    // Speak a valid HELLO, then garbage: the server drops us.
+    let mut bad = std::net::TcpStream::connect(server.addr()).unwrap();
+    write_frame(&mut bad, &Frame::hello(1, 0, 0, 0)).unwrap();
+    read_frame(&mut bad).unwrap().expect("hello reply");
+    let garbage = Frame::serve(FrameKind::Request, 9, &[0xFF, 0xEE]).unwrap();
+    write_frame(&mut bad, &garbage).unwrap();
+    assert!(
+        read_frame(&mut bad).unwrap().is_none(),
+        "server should close on an undecodable query"
+    );
+    // A well-behaved client is unaffected.
+    let mut good = Client::connect(server.addr()).unwrap();
+    let body = good
+        .request(&Query::Degree {
+            vertex: Gid::new(5),
+        })
+        .unwrap()
+        .into_answer()
+        .unwrap();
+    assert_eq!(body.result, "degree=2");
+}

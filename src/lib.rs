@@ -14,6 +14,7 @@ pub use kvdb;
 pub use minisql;
 pub use mssg_core as core;
 pub use mssg_obs as obs;
+pub use mssg_serve as serve;
 pub use mssg_types as types;
 pub use simio;
 pub use streamdb;
