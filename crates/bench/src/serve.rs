@@ -204,6 +204,7 @@ pub fn run_serve_bench(cfg: &ServeBenchConfig) -> Result<ServeBench> {
             cache_capacity: cfg.cache_capacity,
             retry_after_ms: 5,
             exec_floor_ms: 0,
+            ..ServeConfig::default()
         },
     )?;
     let addr = server.addr();

@@ -107,6 +107,48 @@ impl EpochManager {
         EpochUpdate { mgr: self }
     }
 
+    /// [`begin_update`](EpochManager::begin_update) with a drain
+    /// deadline: if in-flight pins have not drained within `timeout`, the
+    /// registration is rolled back (new pins unblock) and a typed
+    /// [`Timeout`](mssg_types::GraphStorageError::Timeout) comes back
+    /// instead of waiting forever.
+    ///
+    /// This is the serving plane's guard against a leaked pin — a worker
+    /// stuck writing to a dead client, a panicked analysis, any bug that
+    /// keeps a pin alive — turning "ingestion hangs forever" into an
+    /// error the operator can see and retry.
+    ///
+    /// # Panics
+    /// Panics if an update is already registered, exactly like
+    /// [`begin_update`](EpochManager::begin_update).
+    pub fn begin_update_timeout(
+        &self,
+        timeout: std::time::Duration,
+    ) -> mssg_types::Result<EpochUpdate<'_>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut s = self.lock();
+        assert!(!s.updating, "concurrent epoch updates are not supported");
+        s.updating = true;
+        while s.pins > 0 {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                let stuck = s.pins;
+                s.updating = false;
+                drop(s);
+                self.cv.notify_all();
+                return Err(mssg_types::GraphStorageError::Timeout(format!(
+                    "epoch update gate: {stuck} pin(s) still held after {timeout:?}"
+                )));
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(s, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            s = guard;
+        }
+        Ok(EpochUpdate { mgr: self })
+    }
+
     /// Records a completed checkpoint boundary: the epoch advances and
     /// every waiter is woken. Called by ingestion after its final flush;
     /// legal with or without a registered update.
@@ -206,5 +248,25 @@ mod tests {
         updater.join().unwrap();
         assert_eq!(observed.load(Ordering::SeqCst), 0, "pins drained first");
         assert_eq!(reader.join().unwrap(), 1, "reader waited out the update");
+    }
+
+    #[test]
+    fn update_timeout_rolls_back_and_unblocks_pins() {
+        let m = EpochManager::new();
+        let stuck = m.pin(); // a pin that never drains
+        let outcome = m.begin_update_timeout(Duration::from_millis(50));
+        assert!(
+            matches!(outcome, Err(mssg_types::GraphStorageError::Timeout(_))),
+            "pin held; the gate must time out"
+        );
+        drop(outcome);
+        // The failed registration rolled back: new pins proceed and a
+        // later (drained) update succeeds.
+        let late = m.pin();
+        drop((stuck, late));
+        let update = m
+            .begin_update_timeout(Duration::from_millis(50))
+            .expect("no pins held");
+        drop(update);
     }
 }

@@ -90,8 +90,9 @@ pub struct FaultPlan {
 }
 
 /// SplitMix64 step — the deterministic generator behind the seed-driven
-/// plan constructors.
-fn splitmix64(state: &mut u64) -> u64 {
+/// plan constructors. Public so sibling fault planners (e.g. the wire
+/// simulator's `SimPlan`) derive their streams from the same primitive.
+pub fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

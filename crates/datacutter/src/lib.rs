@@ -131,7 +131,7 @@ pub mod transport;
 pub mod verify;
 
 pub use buffer::DataBuffer;
-pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec};
+pub use fault::{splitmix64, FaultEvent, FaultKind, FaultPlan, FaultSpec};
 pub use filter::{Filter, FilterContext, InPort, OutPort};
 pub use graph::{FilterHandle, GraphBuilder};
 pub use netstats::{NetSnapshot, NetStats, NetworkCostModel};

@@ -1,0 +1,139 @@
+//! Byte-stream abstraction shared by the TCP transport and [`SimNet`].
+//!
+//! [`TcpTransport`] and the `mssg-serve` frontend used to be welded to
+//! [`std::net::TcpStream`]. The [`Conn`] trait captures the handful of
+//! socket capabilities the protocol code actually uses — duplex I/O, a
+//! cloneable write half, half-close, and a read deadline — so the same
+//! handshake, framing, credit, and serving logic runs unchanged over a
+//! kernel socket or a deterministic in-process virtual link
+//! ([`crate::sim::SimConn`]). [`Listener`] does the same for the serving
+//! plane's accept loop.
+//!
+//! [`TcpTransport`]: crate::tcp::TcpTransport
+//! [`SimNet`]: crate::sim::SimNet
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::time::Duration;
+
+/// A duplex byte stream a transport or server can speak frames over.
+///
+/// Implementations must behave like a socket: `read` blocks until bytes
+/// arrive, EOF, or the read deadline; writes either complete or fail
+/// with an I/O error; [`try_clone_conn`](Conn::try_clone_conn) yields an
+/// independently usable handle onto the same underlying stream (so one
+/// thread can read while another writes).
+pub trait Conn: Read + Write + Send {
+    /// A second handle onto the same stream (shared file description).
+    fn try_clone_conn(&self) -> std::io::Result<Box<dyn Conn>>;
+
+    /// Half-close: no more writes from this side; the peer's reader sees
+    /// EOF after draining what was already sent.
+    fn shutdown_write(&self) -> std::io::Result<()>;
+
+    /// Full close: both directions torn down immediately.
+    fn shutdown_both(&self) -> std::io::Result<()>;
+
+    /// Bounds every subsequent `read` on this handle; `None` blocks
+    /// forever. An expired deadline surfaces as a `WouldBlock`/`TimedOut`
+    /// I/O error, which the framing layer maps to a typed `Net` error.
+    fn set_read_deadline(&self, timeout: Option<Duration>) -> std::io::Result<()>;
+
+    /// Bounds every subsequent write on this handle (best effort: some
+    /// streams never block on write and ignore it).
+    fn set_write_deadline(&self, timeout: Option<Duration>) -> std::io::Result<()>;
+
+    /// Human-readable peer label for error messages (an address for TCP,
+    /// a link label for simulated connections).
+    fn peer_label(&self) -> String;
+}
+
+impl Conn for TcpStream {
+    fn try_clone_conn(&self) -> std::io::Result<Box<dyn Conn>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+
+    fn shutdown_write(&self) -> std::io::Result<()> {
+        self.shutdown(Shutdown::Write)
+    }
+
+    fn shutdown_both(&self) -> std::io::Result<()> {
+        self.shutdown(Shutdown::Both)
+    }
+
+    fn set_read_deadline(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+
+    fn set_write_deadline(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.set_write_timeout(timeout)
+    }
+
+    fn peer_label(&self) -> String {
+        self.peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "tcp-peer".into())
+    }
+}
+
+/// An accept surface for the serving plane: yields one [`Conn`] per
+/// client. Implemented by [`std::net::TcpListener`] and by
+/// [`crate::sim::SimListener`].
+pub trait Listener: Send + Sync {
+    /// Blocks for the next client connection.
+    fn accept_conn(&self) -> std::io::Result<Box<dyn Conn>>;
+
+    /// Wakes a blocked [`accept_conn`](Listener::accept_conn) so a
+    /// shutting-down accept loop can observe its stop flag. Idempotent
+    /// and best-effort.
+    fn unblock(&self);
+
+    /// Human-readable bind label (an address for TCP).
+    fn label(&self) -> String;
+}
+
+impl Listener for TcpListener {
+    fn accept_conn(&self) -> std::io::Result<Box<dyn Conn>> {
+        let (stream, _) = self.accept()?;
+        let _ = stream.set_nodelay(true);
+        Ok(Box::new(stream))
+    }
+
+    fn unblock(&self) {
+        // A throwaway local connection pops the blocked accept.
+        if let Ok(addr) = self.local_addr() {
+            let _ = TcpStream::connect(addr);
+        }
+    }
+
+    fn label(&self) -> String {
+        self.local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "tcp-listener".into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_conn_round_trips_through_the_trait() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let mut conn = listener.accept_conn().unwrap();
+            let mut buf = [0u8; 4];
+            conn.read_exact(&mut buf).unwrap();
+            conn.write_all(&buf).unwrap();
+        });
+        let mut c: Box<dyn Conn> = Box::new(TcpStream::connect(addr).unwrap());
+        c.set_read_deadline(Some(Duration::from_secs(5))).unwrap();
+        c.write_all(b"ping").unwrap();
+        let mut back = [0u8; 4];
+        c.read_exact(&mut back).unwrap();
+        assert_eq!(&back, b"ping");
+        assert!(!c.peer_label().is_empty());
+        t.join().unwrap();
+    }
+}

@@ -20,14 +20,18 @@
 //! See DESIGN.md §8 "Distributed transport" for the wire format, the
 //! credit protocol, and the failure mapping.
 
+pub mod conn;
 pub mod launcher;
 pub mod model;
+pub mod sim;
 pub mod tcp;
 pub mod wire;
 pub mod workload;
 
+pub use conn::{Conn, Listener};
 pub use launcher::{announce_and_gather, report_error, run_cluster, ClusterOutput};
 pub use model::{model_cluster, CreditAudit, Faults, ModelTransport};
+pub use sim::{run_workload_sim, SimConn, SimFault, SimFaultEvent, SimListener, SimNet, SimPlan};
 pub use tcp::{TcpOptions, TcpTransport};
 pub use wire::{Frame, FrameKind, FRAME_OVERHEAD, MAX_PAYLOAD};
 pub use workload::{run_inproc, run_tcp_localhost, WorkloadConfig, WorkloadReport};

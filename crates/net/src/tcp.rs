@@ -38,6 +38,7 @@
 //! typed [`GraphStorageError::Net`] — a killed peer becomes an error,
 //! never a hang.
 
+use crate::conn::Conn;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender};
 use datacutter::{
     ChannelRx, ChannelTx, DataBuffer, EndpointSpec, NodeId, RecvOutcome, RxEndpoint, SendOutcome,
@@ -217,7 +218,7 @@ struct Ctrl {
 struct Shared {
     my_node: NodeId,
     /// Write half of the connection to each node (`None` at `my_node`).
-    writers: Vec<Option<Mutex<TcpStream>>>,
+    writers: Vec<Option<Mutex<Box<dyn Conn>>>>,
     routes: Mutex<HashMap<u32, Route>>,
     credits: Mutex<HashMap<u32, Arc<CreditCell>>>,
     ctrl: Mutex<Ctrl>,
@@ -401,6 +402,7 @@ impl TcpTransport {
                 match listener.accept() {
                     Ok((mut stream, _)) => {
                         stream.set_nonblocking(false).map_err(net_io)?;
+                        let _ = stream.set_nodelay(true);
                         let (peer, offset) =
                             handshake(&mut stream, my_node, None, topology, &opts)?;
                         if peer <= my_node || peer >= n {
@@ -433,13 +435,31 @@ impl TcpTransport {
             }
         }
 
+        let conns = conns
+            .into_iter()
+            .map(|c| c.map(|s| Box::new(s) as Box<dyn Conn>))
+            .collect();
+        Self::from_conns(my_node, conns, clock_offsets, opts)
+    }
+
+    /// Builds a transport over *already handshaken* connections — the
+    /// shared tail of [`TcpTransport::establish`] and
+    /// [`TcpTransport::establish_over`].
+    fn from_conns(
+        my_node: NodeId,
+        conns: Vec<Option<Box<dyn Conn>>>,
+        clock_offsets: HashMap<NodeId, i64>,
+        opts: TcpOptions,
+    ) -> Result<TcpTransport> {
+        let n = conns.len();
+        let telemetry = &opts.telemetry;
         let shared = Arc::new(Shared {
             my_node,
             writers: conns
                 .iter()
                 .map(|c| {
                     c.as_ref()
-                        .map(|s| s.try_clone().map(Mutex::new))
+                        .map(|s| s.try_clone_conn().map(Mutex::new))
                         .transpose()
                 })
                 .collect::<std::io::Result<_>>()
@@ -487,6 +507,36 @@ impl TcpTransport {
             ship_telemetry: opts.ship_telemetry,
             masters: HashMap::new(),
         })
+    }
+
+    /// [`TcpTransport::establish`] over caller-supplied [`Conn`]s — the
+    /// entry point the deterministic wire simulator uses to run a whole
+    /// cluster in one process ([`crate::sim`]).
+    ///
+    /// `conns[j]` is this node's connection to node `j` (the entry at
+    /// `my_node` must be `None`). The full protocol still runs: each
+    /// connection is HELLO-handshaken against `topology` (so a sim plan
+    /// can abort or corrupt the handshake itself), then reader threads
+    /// and the credit machinery start exactly as over TCP.
+    pub fn establish_over(
+        my_node: NodeId,
+        mut conns: Vec<Option<Box<dyn Conn>>>,
+        topology: u64,
+        opts: TcpOptions,
+    ) -> Result<TcpTransport> {
+        let n = conns.len();
+        if my_node >= n || conns.get(my_node).is_some_and(|c| c.is_some()) {
+            return Err(GraphStorageError::Unsupported(format!(
+                "node {my_node} needs a {n}-slot conn list with `None` at its own index"
+            )));
+        }
+        let mut clock_offsets: HashMap<NodeId, i64> = HashMap::new();
+        for (j, conn) in conns.iter_mut().enumerate() {
+            let Some(conn) = conn else { continue };
+            let (_, offset) = handshake(&mut **conn, my_node, Some(j), topology, &opts)?;
+            clock_offsets.insert(j, offset);
+        }
+        Self::from_conns(my_node, conns, clock_offsets, opts)
     }
 
     fn peers(&self) -> impl Iterator<Item = NodeId> + '_ {
@@ -693,7 +743,7 @@ impl Transport for TcpTransport {
         // Half-close every connection so peer reader threads see EOF (a
         // clean one — our BYE precedes it) instead of blocking forever.
         for writer in self.shared.writers.iter().flatten() {
-            let _ = writer.lock().unwrap().shutdown(std::net::Shutdown::Write);
+            let _ = writer.lock().unwrap().shutdown_write();
         }
         outcome
     }
@@ -714,7 +764,10 @@ fn dial(addr: &str, peer: NodeId, window: Duration) -> Result<TcpStream> {
     let mut pause = Duration::from_millis(2);
     loop {
         match TcpStream::connect(addr) {
-            Ok(s) => return Ok(s),
+            Ok(s) => {
+                let _ = s.set_nodelay(true);
+                return Ok(s);
+            }
             Err(e) => {
                 if Instant::now() >= deadline {
                     return Err(GraphStorageError::Net(format!(
@@ -737,7 +790,7 @@ fn dial(addr: &str, peer: NodeId, window: Duration) -> Result<TcpStream> {
 /// is bounded by half the handshake RTT — microseconds on a LAN,
 /// plenty for aligning trace lanes. 0 when either side traces nothing.
 fn handshake(
-    stream: &mut TcpStream,
+    stream: &mut dyn Conn,
     my_node: NodeId,
     expect: Option<NodeId>,
     topology: u64,
@@ -745,14 +798,14 @@ fn handshake(
 ) -> Result<(NodeId, i64)> {
     let tracer = &opts.telemetry.tracer;
     let _span = tracer.span("net.handshake");
-    let _ = stream.set_nodelay(true);
     stream
-        .set_read_timeout(Some(opts.io_timeout))
+        .set_read_deadline(Some(opts.io_timeout))
         .map_err(net_io)?;
     let t0 = tracer.now_ns();
     let hello = Frame::hello(my_node as u32, topology, opts.trace_id, t0);
-    write_frame(stream, &hello).map_err(net_io)?;
-    let frame = read_frame(stream)?.ok_or_else(|| {
+    let mut io = &mut *stream;
+    write_frame(&mut io, &hello).map_err(net_io)?;
+    let frame = read_frame(&mut io)?.ok_or_else(|| {
         GraphStorageError::Net("peer closed the connection during the handshake".into())
     })?;
     let t1 = tracer.now_ns();
@@ -779,7 +832,7 @@ fn handshake(
             expect.unwrap()
         )));
     }
-    stream.set_read_timeout(None).map_err(net_io)?;
+    stream.set_read_deadline(None).map_err(net_io)?;
     let offset = if tracer.is_enabled() && info.now_ns != 0 {
         info.now_ns as i64 - ((t0 + t1) / 2) as i64
     } else {
@@ -827,7 +880,7 @@ fn heartbeat_loop(shared: &Shared, period: Duration) {
     }
 }
 
-fn reader_loop(shared: &Shared, peer: NodeId, mut stream: TcpStream) {
+fn reader_loop(shared: &Shared, peer: NodeId, mut stream: Box<dyn Conn>) {
     loop {
         match read_frame(&mut stream) {
             Ok(Some(frame)) => {
@@ -1406,7 +1459,7 @@ mod tests {
         let shared0 = Arc::clone(&n0.shared);
         drop(n0);
         for w in shared0.writers.iter().flatten() {
-            let _ = w.lock().unwrap().shutdown(std::net::Shutdown::Both);
+            let _ = w.lock().unwrap().shutdown_both();
         }
         // ...makes node 1's blocked recv fail, not hang. (The CLOSE from
         // dropping tx may race the shutdown, so Closed is also possible,

@@ -342,6 +342,15 @@ impl Frame {
     }
 }
 
+/// Total on-wire bytes of the frame whose 4-byte length prefix is
+/// `header` — the prefix itself plus the declared body length. The wire
+/// simulator uses this to track frame boundaries so faults land at exact
+/// frame offsets; it never sizes an allocation (the simulator forwards
+/// bytes as they arrive).
+pub fn declared_frame_len(header: [u8; 4]) -> u64 {
+    4 + u64::from(u32::from_le_bytes(header))
+}
+
 /// Writes one frame.
 pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<()> {
     w.write_all(&frame.encode())

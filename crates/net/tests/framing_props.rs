@@ -96,13 +96,87 @@ proptest! {
     #[test]
     fn corrupted_kind_bytes_never_misparse(
         payload in prop::collection::vec(any::<u8>(), 0..64),
-        bad_kind in 10u8..=255,
+        // Kinds 1..=12 are assigned (transport 1-9, serving plane 10-12);
+        // everything else must be refused as Corrupt.
+        bad_kind in any::<u8>().prop_filter("unassigned kind", |k| !(1..=12).contains(k)),
     ) {
         let mut enc = Frame::data(1, 2, &payload).encode();
         enc[4] = bad_kind; // kind byte lives right after the length word
         match read_frame(&mut Cursor::new(enc)) {
             Err(GraphStorageError::Corrupt(m)) => prop_assert!(m.contains("kind"), "msg: {}", m),
             other => prop_assert!(false, "got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn arbitrary_byte_soup_never_panics_the_frame_decoder(
+        soup in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        // Whatever the wire says, the decoder answers Ok or a typed
+        // error — never a panic, never an allocation sized by the soup.
+        let mut cur = Cursor::new(&soup);
+        loop {
+            match read_frame(&mut cur) {
+                Ok(None) => break,                   // clean EOF
+                Ok(Some(_)) => {}                    // soup happened to frame-align
+                Err(GraphStorageError::Net(_)) | Err(GraphStorageError::Corrupt(_)) => break,
+                Err(other) => prop_assert!(false, "untyped decode failure: {:?}", other),
+            }
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_decode_or_fail_typed(
+        payload in prop::collection::vec(any::<u8>(), 0..128),
+        byte_pick in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let mut enc = Frame::data(5, 11, &payload).encode();
+        let at = (byte_pick % enc.len() as u64) as usize;
+        enc[at] ^= 1 << bit;
+        // A flipped length prefix may leave the stream torn (Net), claim
+        // an insane size (Corrupt), or still parse; all are acceptable —
+        // a panic or a misparse that *grows* the frame is not.
+        match read_frame(&mut Cursor::new(enc)) {
+            Ok(Some(f)) => prop_assert!(f.payload.len() <= payload.len() + (1 << bit)),
+            Ok(None) => {}
+            Err(GraphStorageError::Net(_)) | Err(GraphStorageError::Corrupt(_)) => {}
+            Err(other) => prop_assert!(false, "untyped decode failure: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn control_payload_parsers_reject_soup_typed(
+        soup in prop::collection::vec(any::<u8>(), 0..64),
+        stream in any::<u32>(),
+        tag in any::<u64>(),
+    ) {
+        // parse_hello / parse_heartbeat / parse_credit on a frame whose
+        // payload is arbitrary bytes: a typed error or a successful
+        // parse, never a panic.
+        let frame = Frame {
+            kind: FrameKind::Hello,
+            stream,
+            tag,
+            span: 0,
+            payload: soup,
+        };
+        for outcome in [
+            frame.parse_hello().map(|_| ()),
+            frame.parse_heartbeat().map(|_| ()),
+            frame.parse_credit().map(|_| ()),
+        ] {
+            if let Err(e) = outcome {
+                prop_assert!(
+                    matches!(
+                        e,
+                        GraphStorageError::Corrupt(_)
+                            | GraphStorageError::Net(_)
+                            | GraphStorageError::Unsupported(_)
+                    ),
+                    "untyped parse failure: {:?}", e
+                );
+            }
         }
     }
 

@@ -26,6 +26,9 @@ pub const COUNTERS: &[&str] = &[
     "serve.cache.misses",
     "serve.overloaded",
     "serve.requests",
+    "sim.bytes",
+    "sim.faults",
+    "sim.frames",
 ];
 
 /// Gauge names.

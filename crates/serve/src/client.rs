@@ -5,10 +5,14 @@
 //! fair-queue lane in the server's admission controller). The handshake
 //! reuses the transport plane's HELLO, so version skew is refused before
 //! any query bytes are exchanged.
+//!
+//! The connection is any [`Conn`]: [`Client::connect`] dials TCP, while
+//! [`Client::handshake_over`] accepts a caller-supplied stream — the
+//! deterministic wire simulator's `SimNet::connect` in the chaos tests.
 
 use crate::proto::{Query, Reject, ResponseBody};
 use mssg_net::wire::{read_frame, write_frame};
-use mssg_net::{Frame, FrameKind};
+use mssg_net::{Conn, Frame, FrameKind};
 use mssg_types::{GraphStorageError, Result};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -34,9 +38,60 @@ impl Outcome {
     }
 }
 
+/// Bounds for [`Client::request_with_policy`]: how many attempts, and —
+/// crucially — how much *total* time may be spent sleeping between them.
+///
+/// The cumulative cap is what makes retry termination a guarantee rather
+/// than a hope: a server hinting `retry_after_ms: u32::MAX` (or a long
+/// reject streak) cannot wedge the client past `max_total_backoff`, and
+/// a `0` hint never busy-loops because every sleep is at least
+/// `min_backoff` (floored at 1ms).
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Maximum request attempts (at least 1).
+    pub attempts: u32,
+    /// Smallest sleep between attempts; also the floor applied to a 0ms
+    /// server hint.
+    pub min_backoff: Duration,
+    /// Hard cap on the *sum* of all backoff sleeps across the attempts.
+    pub max_total_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 4,
+            min_backoff: Duration::from_millis(1),
+            max_total_backoff: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The next sleep for a server hint of `hint_ms`, given `waited`
+    /// already spent sleeping — or `None` when the budget is exhausted
+    /// and the client should give up instead of sleeping again.
+    ///
+    /// Pure so the property tests can sweep it: the returned duration is
+    /// always > 0 and never pushes the running total past
+    /// [`max_total_backoff`](RetryPolicy::max_total_backoff).
+    pub fn backoff(&self, hint_ms: u32, waited: Duration) -> Option<Duration> {
+        let remaining = self.max_total_backoff.checked_sub(waited)?;
+        if remaining.is_zero() {
+            return None;
+        }
+        let floor = self.min_backoff.max(Duration::from_millis(1));
+        Some(
+            Duration::from_millis(u64::from(hint_ms))
+                .max(floor)
+                .min(remaining),
+        )
+    }
+}
+
 /// A connected serving client.
 pub struct Client {
-    stream: TcpStream,
+    stream: Box<dyn Conn>,
     next_id: u32,
 }
 
@@ -55,15 +110,22 @@ impl Client {
             .map_err(GraphStorageError::Io)?
             .next()
             .ok_or_else(|| GraphStorageError::Net("address resolved to nothing".into()))?;
-        let mut stream =
-            TcpStream::connect_timeout(&addr, timeout).map_err(GraphStorageError::Io)?;
+        let stream = TcpStream::connect_timeout(&addr, timeout).map_err(GraphStorageError::Io)?;
         let _ = stream.set_nodelay(true);
+        Client::handshake_over(Box::new(stream), timeout)
+    }
+
+    /// Handshakes over a caller-supplied connection (the deterministic
+    /// wire simulator, a unix socket, …); reads and writes are bounded
+    /// by `timeout` where the stream supports deadlines.
+    pub fn handshake_over(stream: Box<dyn Conn>, timeout: Duration) -> Result<Client> {
         stream
-            .set_read_timeout(Some(timeout))
+            .set_read_deadline(Some(timeout))
             .map_err(GraphStorageError::Io)?;
         stream
-            .set_write_timeout(Some(timeout))
+            .set_write_deadline(Some(timeout))
             .map_err(GraphStorageError::Io)?;
+        let mut stream = stream;
         write_frame(&mut stream, &Frame::hello(u32::MAX, 0, 0, 0))
             .map_err(GraphStorageError::Io)?;
         let reply = read_frame(&mut stream)?
@@ -115,20 +177,78 @@ impl Client {
     }
 
     /// Sends `query`, retrying after the server's hinted backoff when it
-    /// is overloaded, up to `attempts` tries.
+    /// is overloaded, up to `attempts` tries under the default
+    /// [`RetryPolicy`] bounds (cumulative backoff capped at 2s; a 0ms
+    /// hint still sleeps ≥ 1ms, never busy-loops).
     pub fn request_with_retry(&mut self, query: &Query, attempts: u32) -> Result<ResponseBody> {
+        self.request_with_policy(
+            query,
+            &RetryPolicy {
+                attempts,
+                ..RetryPolicy::default()
+            },
+        )
+    }
+
+    /// [`Client::request_with_retry`] with explicit bounds. Total wall
+    /// time spent backing off never exceeds
+    /// [`RetryPolicy::max_total_backoff`], whatever the server hints.
+    pub fn request_with_policy(
+        &mut self,
+        query: &Query,
+        policy: &RetryPolicy,
+    ) -> Result<ResponseBody> {
+        let attempts = policy.attempts.max(1);
+        let mut waited = Duration::ZERO;
         let mut last_hint = 0;
-        for _ in 0..attempts.max(1) {
+        for attempt in 0..attempts {
             match self.request(query)? {
                 Outcome::Answer(body) => return Ok(body),
                 Outcome::Rejected(Reject::Overloaded { retry_after_ms }) => {
                     last_hint = retry_after_ms;
-                    std::thread::sleep(Duration::from_millis(retry_after_ms as u64));
+                    if attempt + 1 == attempts {
+                        break; // no sleep after the final attempt
+                    }
+                    let Some(pause) = policy.backoff(retry_after_ms, waited) else {
+                        return Err(GraphStorageError::Net(format!(
+                            "still overloaded with the {:?} backoff budget spent \
+                             after {} attempt(s) (last hint {last_hint}ms)",
+                            policy.max_total_backoff,
+                            attempt + 1
+                        )));
+                    };
+                    waited += pause;
+                    std::thread::sleep(pause);
                 }
             }
         }
         Err(GraphStorageError::Net(format!(
             "still overloaded after {attempts} attempts (last hint {last_hint}ms)"
         )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_respects_hint_floor_and_budget() {
+        let p = RetryPolicy::default();
+        // A 0ms hint still sleeps (no busy-loop)...
+        assert_eq!(p.backoff(0, Duration::ZERO), Some(Duration::from_millis(1)));
+        // ...a sane hint is honored...
+        assert_eq!(
+            p.backoff(25, Duration::ZERO),
+            Some(Duration::from_millis(25))
+        );
+        // ...a hostile hint is clamped to the remaining budget...
+        assert_eq!(
+            p.backoff(u32::MAX, Duration::from_secs(1)),
+            Some(Duration::from_secs(1))
+        );
+        // ...and a spent budget refuses to sleep at all.
+        assert_eq!(p.backoff(5, Duration::from_secs(2)), None);
+        assert_eq!(p.backoff(5, Duration::from_secs(3)), None);
     }
 }

@@ -32,6 +32,6 @@ pub mod server;
 
 pub use admission::{Admission, ClientId, Overloaded, SlotGuard};
 pub use cache::{ResultCache, ResultCacheStats};
-pub use client::{Client, Outcome};
+pub use client::{Client, Outcome, RetryPolicy};
 pub use proto::{Query, Reject, ResponseBody, ENCODING_VERSION};
 pub use server::{ServeConfig, Server};

@@ -25,15 +25,15 @@ use crate::proto::{Query, Reject, ResponseBody};
 use mssg_core::ingest::{ingest, IngestOptions, IngestReport};
 use mssg_core::{EpochManager, MssgCluster, QueryParams, QueryService};
 use mssg_net::wire::{read_frame, write_frame};
-use mssg_net::{Frame, FrameKind};
+use mssg_net::{Conn, Frame, FrameKind, Listener};
 use mssg_obs::Telemetry;
 use mssg_types::{Edge, GraphStorageError, Result};
 use parking_lot::RwLock;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Serving knobs.
 #[derive(Clone, Debug)]
@@ -52,6 +52,17 @@ pub struct ServeConfig {
     /// overload and snapshot races deterministic instead of timing-
     /// dependent; cache hits are never slowed.
     pub exec_floor_ms: u64,
+    /// Per-connection write deadline, milliseconds. A client that stops
+    /// reading cannot wedge a worker forever: the blocked response write
+    /// fails, the response is dropped, and the slot is freed. 0 means
+    /// unbounded.
+    pub write_timeout_ms: u64,
+    /// Deadline for the epoch update gate during [`Server::ingest`],
+    /// milliseconds: if in-flight query pins do not drain in time the
+    /// ingest fails with a typed `Timeout` instead of blocking forever
+    /// behind a leaked pin. 0 means unbounded (the classic
+    /// `begin_update`).
+    pub update_gate_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +73,8 @@ impl Default for ServeConfig {
             cache_capacity: 1024,
             retry_after_ms: 50,
             exec_floor_ms: 0,
+            write_timeout_ms: 10_000,
+            update_gate_ms: 30_000,
         }
     }
 }
@@ -70,7 +83,7 @@ impl Default for ServeConfig {
 struct Job {
     id: u32,
     query: Query,
-    writer: Arc<Mutex<TcpStream>>,
+    writer: Arc<Mutex<Box<dyn Conn>>>,
     queued_at: Instant,
 }
 
@@ -81,13 +94,16 @@ struct Shared {
     cache: Mutex<ResultCache>,
     adm: Admission<Job>,
     telemetry: Telemetry,
-    exec_floor: std::time::Duration,
+    exec_floor: Duration,
+    write_timeout: Option<Duration>,
+    update_gate: Option<Duration>,
 }
 
 /// A running query server. Dropping it shuts the listener and workers
 /// down (live client connections are simply closed).
 pub struct Server {
     addr: SocketAddr,
+    listener: Arc<dyn Listener>,
     shared: Arc<Shared>,
     shutdown: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
@@ -100,6 +116,22 @@ impl Server {
     pub fn start(cluster: MssgCluster, config: &ServeConfig) -> Result<Server> {
         let listener = TcpListener::bind("127.0.0.1:0").map_err(GraphStorageError::Io)?;
         let addr = listener.local_addr().map_err(GraphStorageError::Io)?;
+        let mut server = Self::start_on(cluster, config, Arc::new(listener))?;
+        server.addr = addr;
+        Ok(server)
+    }
+
+    /// [`Server::start`] over a caller-supplied accept surface — any
+    /// [`Listener`], e.g. the deterministic wire simulator's
+    /// `SimNet::listen`. [`Server::addr`] is meaningless for non-TCP
+    /// listeners (it reports `127.0.0.1:0`); connect through the same
+    /// simulator instead.
+    pub fn start_on(
+        cluster: MssgCluster,
+        config: &ServeConfig,
+        listener: Arc<dyn Listener>,
+    ) -> Result<Server> {
+        let addr = SocketAddr::from(([127, 0, 0, 1], 0));
         let telemetry = cluster.telemetry().clone();
         let epoch = Arc::clone(cluster.epoch_manager());
         let shared = Arc::new(Shared {
@@ -109,7 +141,11 @@ impl Server {
             cache: Mutex::new(ResultCache::new(config.cache_capacity)),
             adm: Admission::new(config.slots, config.queue_depth, config.retry_after_ms),
             telemetry,
-            exec_floor: std::time::Duration::from_millis(config.exec_floor_ms),
+            exec_floor: Duration::from_millis(config.exec_floor_ms),
+            write_timeout: (config.write_timeout_ms > 0)
+                .then(|| Duration::from_millis(config.write_timeout_ms)),
+            update_gate: (config.update_gate_ms > 0)
+                .then(|| Duration::from_millis(config.update_gate_ms)),
         });
         let shutdown = Arc::new(AtomicBool::new(false));
         let workers = (0..config.slots.max(1))
@@ -122,15 +158,17 @@ impl Server {
             })
             .collect::<Result<Vec<_>>>()?;
         let accept = {
+            let listener = Arc::clone(&listener);
             let shared = Arc::clone(&shared);
             let shutdown = Arc::clone(&shutdown);
             std::thread::Builder::new()
                 .name("serve-accept".into())
-                .spawn(move || accept_loop(&listener, &shared, &shutdown))
+                .spawn(move || accept_loop(&*listener, &shared, &shutdown))
                 .map_err(GraphStorageError::Io)?
         };
         Ok(Server {
             addr,
+            listener,
             shared,
             shutdown,
             accept: Some(accept),
@@ -174,7 +212,10 @@ impl Server {
         edges: impl Iterator<Item = Edge> + Send + 'static,
         options: &IngestOptions,
     ) -> Result<IngestReport> {
-        let update = self.shared.epoch.begin_update();
+        let update = match self.shared.update_gate {
+            Some(gate) => self.shared.epoch.begin_update_timeout(gate)?,
+            None => self.shared.epoch.begin_update(),
+        };
         let mut cluster = self.shared.cluster.write();
         let report = ingest(&mut cluster, edges, options)?;
         // Eagerly drop the now-stale cached results; lazily they would
@@ -190,8 +231,8 @@ impl Server {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
+        // Unblock the accept loop so it can observe the stop flag.
+        self.listener.unblock();
         self.shared.adm.close();
         if let Some(t) = self.accept.take() {
             let _ = t.join();
@@ -212,12 +253,20 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, shutdown: &Arc<AtomicBool>) {
-    for conn in listener.incoming() {
+fn accept_loop(listener: &dyn Listener, shared: &Arc<Shared>, shutdown: &Arc<AtomicBool>) {
+    loop {
         if shutdown.load(Ordering::SeqCst) {
             break;
         }
-        let Ok(stream) = conn else { continue };
+        let stream = match listener.accept_conn() {
+            Ok(stream) => stream,
+            Err(_) if shutdown.load(Ordering::SeqCst) => break,
+            Err(_) => {
+                // Transient accept failure; don't spin.
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+        };
         let shared = Arc::clone(shared);
         // Readers detach: they exit when their client disconnects (or at
         // process exit) and hold nothing but the shared Arc.
@@ -231,8 +280,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, shutdown: &Arc<Atom
 
 /// Handshake + read loop for one client connection. Returns (closing the
 /// connection) on EOF, an I/O error, or a protocol violation.
-fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) -> Result<()> {
-    let _ = stream.set_nodelay(true);
+fn serve_connection(shared: &Arc<Shared>, mut stream: Box<dyn Conn>) -> Result<()> {
     // Same HELLO the transport plane speaks: magic and version are
     // checked, so a client from a different wire version is refused
     // before any query bytes are interpreted.
@@ -240,9 +288,12 @@ fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) -> Result<()> {
         .ok_or_else(|| GraphStorageError::Net("client closed before HELLO".into()))?;
     hello.parse_hello()?;
     write_frame(&mut stream, &Frame::hello(0, 0, 0, 0)).map_err(GraphStorageError::Io)?;
-    let writer = Arc::new(Mutex::new(
-        stream.try_clone().map_err(GraphStorageError::Io)?,
-    ));
+    let write_half = stream.try_clone_conn().map_err(GraphStorageError::Io)?;
+    // A dead or wedged client must not hold a worker hostage on a
+    // blocked response write (its epoch pin is already released before
+    // the write, but the slot matters too).
+    let _ = write_half.set_write_deadline(shared.write_timeout);
+    let writer = Arc::new(Mutex::new(write_half));
     let client = shared.adm.register();
     shared
         .telemetry
@@ -261,9 +312,9 @@ fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) -> Result<()> {
 
 fn read_requests(
     shared: &Arc<Shared>,
-    stream: &mut TcpStream,
+    stream: &mut Box<dyn Conn>,
     client: ClientId,
-    writer: &Arc<Mutex<TcpStream>>,
+    writer: &Arc<Mutex<Box<dyn Conn>>>,
 ) -> Result<()> {
     while let Some(frame) = read_frame(stream)? {
         if frame.kind != FrameKind::Request {
@@ -302,7 +353,16 @@ fn worker_loop(shared: &Arc<Shared>) {
             .gauge("serve.inflight")
             .set(shared.adm.inflight() as i64);
         let started = Instant::now();
-        let body = execute(shared, &job.query);
+        // A panicking analysis must not kill the worker (the pool would
+        // shrink until admission deadlocks); it answers a typed error
+        // body instead. The epoch pin is dropped during unwind.
+        let body =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute(shared, &job.query)))
+                .unwrap_or_else(|panic| ResponseBody {
+                    epoch: shared.epoch.current(),
+                    cached: false,
+                    result: format!("error: query panicked: {}", panic_label(&panic)),
+                });
         metrics
             .histogram("serve.latency_us")
             .record(started.elapsed().as_micros() as u64);
@@ -355,6 +415,16 @@ fn execute(shared: &Arc<Shared>, query: &Query) -> ResponseBody {
             cached: false,
             result: format!("error: {e}"),
         },
+    }
+}
+
+fn panic_label(panic: &Box<dyn std::any::Any + Send>) -> &str {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s
+    } else {
+        "opaque panic payload"
     }
 }
 

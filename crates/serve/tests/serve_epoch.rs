@@ -6,7 +6,7 @@
 use mssg_core::ingest::{ingest, IngestOptions};
 use mssg_core::{BackendKind, BackendOptions, MssgCluster};
 use mssg_serve::{Client, Query, ServeConfig, Server};
-use mssg_types::{Edge, Gid};
+use mssg_types::{Edge, Gid, GraphStorageError};
 use std::time::{Duration, Instant};
 
 fn chain_cluster(tag: &str, n: u64) -> MssgCluster {
@@ -121,4 +121,84 @@ fn cache_is_invalidated_by_epoch_advance() {
     assert!(rewarm.cached, "the epoch-2 answer is cacheable in turn");
     assert_eq!(rewarm.result, "degree=3");
     assert_eq!(server.cache_stats().invalidations, 1);
+}
+
+/// Regression: drop the client while its query is executing (the epoch
+/// pin is held across the execution floor) and prove `begin_update`
+/// still completes — the pin is released by the worker finishing
+/// `execute`, not by anything the client does, so a dead connection can
+/// never block ingestion forever.
+#[test]
+fn dropped_client_mid_request_cannot_block_begin_update() {
+    let config = ServeConfig {
+        slots: 2,
+        cache_capacity: 0,
+        // Long enough that the disconnect below lands mid-execution.
+        exec_floor_ms: 400,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(chain_cluster("drop", 20), &config).unwrap();
+    let mgr = server.epoch_manager();
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    client
+        .send(&Query::Bfs {
+            source: Gid::new(0),
+            dest: Gid::new(19),
+        })
+        .unwrap();
+    // Wait for the worker to pick the job up and take its pin, then
+    // vanish without ever reading the response.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while mgr.pinned() == 0 {
+        assert!(Instant::now() < deadline, "query never pinned");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    drop(client);
+
+    // The gate must open once the in-flight execution finishes; the dead
+    // connection must not matter. Bound the wait so a regression is a
+    // typed failure, not a hung test.
+    let started = Instant::now();
+    let update = mgr
+        .begin_update_timeout(Duration::from_secs(10))
+        .expect("a dropped client must never leak its epoch pin");
+    drop(update);
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "gate opened only at the deadline"
+    );
+    assert_eq!(mgr.pinned(), 0);
+}
+
+/// The server-level guard for the same class of bug: even if a pin
+/// *does* stay held (simulated by holding one across `ingest`), the
+/// configured update gate turns the would-be-forever wait into a typed
+/// `Timeout`, and a later ingest succeeds once the pin is gone.
+#[test]
+fn ingest_gate_times_out_typed_on_a_held_pin_then_recovers() {
+    let config = ServeConfig {
+        update_gate_ms: 200,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(chain_cluster("leak", 10), &config).unwrap();
+    let mgr = server.epoch_manager();
+    let leaked = mgr.pin();
+
+    let outcome = server.ingest(std::iter::once(Edge::of(0, 40)), &IngestOptions::default());
+    assert!(
+        matches!(outcome, Err(GraphStorageError::Timeout(_))),
+        "gate must fail typed behind a held pin, got {outcome:?}"
+    );
+    assert_eq!(
+        server.epoch(),
+        1,
+        "failed ingest must not advance the epoch"
+    );
+
+    drop(leaked);
+    server
+        .ingest(std::iter::once(Edge::of(0, 41)), &IngestOptions::default())
+        .expect("gate rolled back; a drained update proceeds");
+    assert_eq!(server.epoch(), 2, "seed ingest plus ours");
 }

@@ -1,14 +1,22 @@
-//! Property test: for any interleaving of queries and epoch-advancing
-//! ingestions, the result-cache path answers byte-identically to direct
-//! (uncached) execution. The cache may only change *when* a result is
-//! computed, never *what* it is.
+//! Property tests for the serving plane.
+//!
+//! 1. Cache transparency: for any interleaving of queries and
+//!    epoch-advancing ingestions, the result-cache path answers
+//!    byte-identically to direct (uncached) execution. The cache may
+//!    only change *when* a result is computed, never *what* it is.
+//! 2. Retry termination: for any sequence of server backoff hints, the
+//!    client's cumulative sleep stays under the policy cap and every
+//!    individual sleep is strictly positive (a `0` hint can't busy-loop).
+//! 3. Decoder hostility: every `serve::proto` decoder answers arbitrary,
+//!    truncated, or bit-flipped bytes with a typed error — never a panic.
 
 use mssg_core::ingest::{ingest, IngestOptions};
 use mssg_core::{BackendKind, BackendOptions, MssgCluster, QueryService};
-use mssg_serve::{Query, ResultCache};
-use mssg_types::{Edge, Gid};
+use mssg_serve::{Query, Reject, ResponseBody, ResultCache, RetryPolicy};
+use mssg_types::{Edge, Gid, GraphStorageError};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
+use std::time::Duration;
 
 fn analysis(query: &Query) -> (&'static str, BTreeMap<String, String>) {
     let mut p = BTreeMap::new();
@@ -90,5 +98,153 @@ proptest! {
             );
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Any well-formed query (gids stay inside the 56-bit id space so the
+/// re-encode check in `Query::decode` is an identity).
+fn arb_query() -> impl Strategy<Value = Query> {
+    prop_oneof![
+        (0u64..(1 << 56), 0u64..(1 << 56)).prop_map(|(s, d)| Query::Bfs {
+            source: Gid::new(s),
+            dest: Gid::new(d),
+        }),
+        (0u64..(1 << 56), any::<u32>()).prop_map(|(s, k)| Query::KHop {
+            source: Gid::new(s),
+            k,
+        }),
+        (0u64..(1 << 56)).prop_map(|v| Query::Degree {
+            vertex: Gid::new(v),
+        }),
+        Just(Query::Components),
+    ]
+}
+
+fn assert_typed(outcome: mssg_types::Result<()>, what: &str) -> Result<(), TestCaseError> {
+    if let Err(e) = outcome {
+        prop_assert!(
+            matches!(
+                e,
+                GraphStorageError::Corrupt(_) | GraphStorageError::Unsupported(_)
+            ),
+            "{} decoder answered an untyped error: {:?}",
+            what,
+            e
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    // Satellite: retry backoff termination. The policy's pure `backoff`
+    // is the entire sleep decision, so sweeping it proves the client
+    // loop's bounds for any reject sequence the server could emit.
+    #[test]
+    fn retry_backoff_is_positive_and_cumulatively_bounded(
+        attempts in 1u32..8,
+        min_ms in 0u64..50,
+        cap_ms in 0u64..2000,
+        hints in prop::collection::vec(any::<u32>(), 1..32),
+    ) {
+        let policy = RetryPolicy {
+            attempts,
+            min_backoff: Duration::from_millis(min_ms),
+            max_total_backoff: Duration::from_millis(cap_ms),
+        };
+        let mut waited = Duration::ZERO;
+        for &hint in &hints {
+            match policy.backoff(hint, waited) {
+                Some(pause) => {
+                    // A 0ms hint (or 0ms min_backoff) still sleeps: the
+                    // retry loop can never spin on a hot server.
+                    prop_assert!(pause > Duration::ZERO, "hint {} slept 0", hint);
+                    waited += pause;
+                    prop_assert!(
+                        waited <= policy.max_total_backoff,
+                        "cumulative sleep {:?} past the {:?} cap",
+                        waited,
+                        policy.max_total_backoff
+                    );
+                }
+                None => {
+                    // Refusal happens exactly when the budget is spent,
+                    // and it is sticky: no later hint revives the loop.
+                    prop_assert!(waited >= policy.max_total_backoff);
+                    prop_assert!(policy.backoff(u32::MAX, waited).is_none());
+                    prop_assert!(policy.backoff(0, waited).is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn proto_round_trips_for_any_values(
+        query in arb_query(),
+        epoch in any::<u64>(),
+        cached in any::<bool>(),
+        text in prop::collection::vec(any::<u8>(), 0..64),
+        retry_after_ms in any::<u32>(),
+    ) {
+        prop_assert_eq!(Query::decode(&query.encode()).unwrap(), query);
+        let body = ResponseBody {
+            epoch,
+            cached,
+            result: String::from_utf8_lossy(&text).into_owned(),
+        };
+        prop_assert_eq!(ResponseBody::decode(&body.encode()).unwrap(), body);
+        let reject = Reject::Overloaded { retry_after_ms };
+        prop_assert_eq!(Reject::decode(&reject.encode()).unwrap(), reject);
+    }
+
+    // Satellite: decoder fuzz. Arbitrary byte soup into every proto
+    // decoder — a typed Corrupt/Unsupported or a valid value, only.
+    #[test]
+    fn proto_decoders_answer_soup_with_typed_errors(
+        soup in prop::collection::vec(any::<u8>(), 0..96),
+    ) {
+        assert_typed(Query::decode(&soup).map(|_| ()), "query")?;
+        assert_typed(ResponseBody::decode(&soup).map(|_| ()), "response")?;
+        assert_typed(Reject::decode(&soup).map(|_| ()), "reject")?;
+    }
+
+    // Near-valid hostility: take a real encoding, then truncate it or
+    // flip one bit. These are the wire-fault shapes the chaos simulator
+    // produces; the decoders must stay typed on all of them.
+    #[test]
+    fn mutated_valid_encodings_fail_typed_or_reparse(
+        query in arb_query(),
+        epoch in any::<u64>(),
+        cached in any::<bool>(),
+        text in prop::collection::vec(any::<u8>(), 0..48),
+        retry_after_ms in any::<u32>(),
+        pick in any::<u64>(),
+        bit in 0u8..8,
+        truncate in any::<bool>(),
+    ) {
+        let body = ResponseBody {
+            epoch,
+            cached,
+            result: String::from_utf8_lossy(&text).into_owned(),
+        };
+        let encodings = [
+            ("query", query.encode()),
+            ("response", body.encode()),
+            ("reject", Reject::Overloaded { retry_after_ms }.encode()),
+        ];
+        for (what, enc) in encodings {
+            let mut enc = enc;
+            if truncate {
+                enc.truncate((pick % (enc.len() as u64 + 1)) as usize);
+            } else {
+                let at = (pick % enc.len() as u64) as usize;
+                enc[at] ^= 1 << bit;
+            }
+            let outcome = match what {
+                "query" => Query::decode(&enc).map(|_| ()),
+                "response" => ResponseBody::decode(&enc).map(|_| ()),
+                _ => Reject::decode(&enc).map(|_| ()),
+            };
+            assert_typed(outcome, what)?;
+        }
     }
 }

@@ -90,6 +90,7 @@ fn burst_past_the_queue_allowance_is_rejected_typed() {
         cache_capacity: 0,
         retry_after_ms: 5,
         exec_floor_ms: 100,
+        ..ServeConfig::default()
     };
     let server = Server::start(chain_cluster("overload", 50), &config).unwrap();
     let mut client = Client::connect(server.addr()).unwrap();
@@ -142,6 +143,7 @@ fn fair_queueing_interleaves_clients_under_load() {
         cache_capacity: 0,
         retry_after_ms: 5,
         exec_floor_ms: 30,
+        ..ServeConfig::default()
     };
     let server = Server::start(chain_cluster("fair", 50), &config).unwrap();
     // A flooding client queues 6 slow queries; a polite client then asks

@@ -26,6 +26,24 @@ pub trait Strategy {
         }
     }
 
+    /// Keeps only values satisfying `pred`, resampling otherwise.
+    ///
+    /// Real proptest tracks rejection rates globally; this stand-in
+    /// simply retries a bounded number of times and panics (naming
+    /// `reason`) if the predicate filters out essentially everything —
+    /// a too-strict filter is a bug in the test, not a property failure.
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            strategy: self,
+            reason,
+            pred,
+        }
+    }
+
     /// Erases the strategy type (used by [`crate::prop_oneof!`]).
     fn boxed(self) -> BoxedStrategy<Self::Value>
     where
@@ -77,6 +95,33 @@ where
     type Value = O;
     fn new_value(&self, rng: &mut TestRng) -> O {
         (self.mapper)(self.strategy.new_value(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    strategy: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.strategy.new_value(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter({:?}) rejected 1000 consecutive samples; loosen the source strategy",
+            self.reason
+        );
     }
 }
 
